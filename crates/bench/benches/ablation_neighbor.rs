@@ -1,0 +1,40 @@
+//! Ablation: what the paper left on the table by not using neighbor
+//! structures. Real host wall-clock of the O(N²) kernel vs the Verlet
+//! pairlist vs cell lists, at sizes where the asymptotics separate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use md_core::prelude::*;
+use mdea_bench::host_criterion;
+use std::hint::black_box;
+
+fn neighbor_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_neighbor");
+    for &n in &[500usize, 2048] {
+        let cfg = SimConfig::reduced_lj(n);
+        let sys: ParticleSystem<f64> = md_core::init::initialize(&cfg);
+        let params = cfg.lj_params::<f64>();
+
+        group.bench_with_input(BenchmarkId::new("all-pairs-n2", n), &n, |b, _| {
+            let mut s = sys.clone();
+            let mut k = AllPairsHalfKernel;
+            b.iter(|| black_box(k.compute(&mut s, &params)));
+        });
+        group.bench_with_input(BenchmarkId::new("neighbor-list", n), &n, |b, _| {
+            let mut s = sys.clone();
+            let mut k = NeighborListKernel::with_default_skin();
+            // Build once outside the measurement loop, as production MD does
+            // (the list is reused for ~10-20 steps between rebuilds).
+            k.compute(&mut s, &params);
+            b.iter(|| black_box(k.compute(&mut s, &params)));
+        });
+        group.bench_with_input(BenchmarkId::new("cell-list", n), &n, |b, _| {
+            let mut s = sys.clone();
+            let mut k = CellListKernel::new();
+            b.iter(|| black_box(k.compute(&mut s, &params)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(name = benches; config = host_criterion(); targets = neighbor_ablation);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Figure 5 as a Criterion bench: simulated runtime of one SPE acceleration
+//! evaluation per SIMD optimization stage. The reported "time" is simulated
+//! 3.2 GHz SPE time, not host time.
+
+use cell_be::{CellBeDevice, SpeKernelVariant};
+use criterion::{criterion_group, criterion_main, Criterion};
+use md_core::params::SimConfig;
+use mdea_bench::{sim_criterion, sim_duration};
+
+fn fig5(c: &mut Criterion) {
+    // 1024 atoms keeps each Criterion sample fast while preserving the
+    // ladder's ratios exactly (per-pair costs are size independent).
+    let sim = SimConfig::reduced_lj(1024);
+    let device = CellBeDevice::paper_blade();
+
+    let mut group = c.benchmark_group("fig5_simd_ladder");
+    for variant in SpeKernelVariant::ALL {
+        group.bench_function(variant.label(), |b| {
+            b.iter_custom(|iters| {
+                let s = device
+                    .time_single_spe_accel(&sim, variant)
+                    .expect("fits local store");
+                sim_duration(s, iters)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(name = benches; config = sim_criterion(); targets = fig5);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Figure 6 as a Criterion bench: total simulated runtime of the four SPE
+//! thread-management configurations (1/8 SPEs × respawn/launch-once).
+
+use cell_be::{CellBeDevice, CellRunConfig, SpawnPolicy, SpeKernelVariant};
+use criterion::{criterion_group, criterion_main, Criterion};
+use md_core::params::SimConfig;
+use mdea_bench::{sim_criterion, sim_duration};
+
+fn fig6(c: &mut Criterion) {
+    let sim = SimConfig::reduced_lj(1024);
+    let steps = 10;
+    let device = CellBeDevice::paper_blade();
+
+    let mut group = c.benchmark_group("fig6_launch_overhead");
+    for (label, n_spes, policy) in [
+        ("respawn/1spe", 1usize, SpawnPolicy::RespawnEveryStep),
+        ("respawn/8spe", 8, SpawnPolicy::RespawnEveryStep),
+        ("launch-once/1spe", 1, SpawnPolicy::LaunchOnce),
+        ("launch-once/8spe", 8, SpawnPolicy::LaunchOnce),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter_custom(|iters| {
+                let run = device
+                    .run_md(
+                        &sim,
+                        steps,
+                        CellRunConfig {
+                            n_spes,
+                            policy,
+                            variant: SpeKernelVariant::SimdAcceleration,
+                        },
+                    )
+                    .expect("fits local store");
+                sim_duration(run.sim_seconds, iters)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(name = benches; config = sim_criterion(); targets = fig6);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Figure 7 as a Criterion bench: GPU vs Opteron simulated runtime across
+//! atom counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpu::GpuMdSimulation;
+use md_core::params::SimConfig;
+use mdea_bench::{sim_criterion, sim_duration};
+use opteron::OpteronCpu;
+
+fn fig7(c: &mut Criterion) {
+    let steps = 4;
+    let mut group = c.benchmark_group("fig7_gpu_vs_opteron");
+    for &n in &[128usize, 256, 512, 1024, 2048] {
+        let sim = SimConfig::reduced_lj(n);
+        group.bench_with_input(BenchmarkId::new("opteron", n), &n, |b, _| {
+            b.iter_custom(|iters| {
+                let run = OpteronCpu::paper_reference().run_md(&sim, steps);
+                sim_duration(run.sim_seconds, iters)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("gpu", n), &n, |b, _| {
+            b.iter_custom(|iters| {
+                let run = GpuMdSimulation::geforce_7900gtx().run_md(&sim, steps);
+                sim_duration(run.sim_seconds, iters)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(name = benches; config = sim_criterion(); targets = fig7);
+criterion_main!(benches);

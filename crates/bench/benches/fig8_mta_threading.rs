@@ -1,0 +1,32 @@
+//! Figure 8 as a Criterion bench: fully vs partially multithreaded MD on the
+//! MTA-2 across atom counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use md_core::params::SimConfig;
+use mdea_bench::{sim_criterion, sim_duration};
+use mta::{MtaMdSimulation, ThreadingMode};
+
+fn fig8(c: &mut Criterion) {
+    let steps = 4;
+    let m = MtaMdSimulation::paper_mta2();
+    let mut group = c.benchmark_group("fig8_mta_threading");
+    for &n in &[256usize, 512, 1024, 2048] {
+        let sim = SimConfig::reduced_lj(n);
+        group.bench_with_input(BenchmarkId::new("fully-mt", n), &n, |b, _| {
+            b.iter_custom(|iters| {
+                let run = m.run_md(&sim, steps, ThreadingMode::FullyMultithreaded);
+                sim_duration(run.sim_seconds, iters)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("partially-mt", n), &n, |b, _| {
+            b.iter_custom(|iters| {
+                let run = m.run_md(&sim, steps, ThreadingMode::PartiallyMultithreaded);
+                sim_duration(run.sim_seconds, iters)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(name = benches; config = sim_criterion(); targets = fig8);
+criterion_main!(benches);

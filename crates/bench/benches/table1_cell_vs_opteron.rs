@@ -1,0 +1,48 @@
+//! Table 1 as a Criterion bench: simulated total runtime of the four systems
+//! (Opteron, Cell 1 SPE, Cell 8 SPEs, Cell PPE-only) on the MD workload.
+
+use cell_be::{CellBeDevice, CellRunConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use md_core::params::SimConfig;
+use mdea_bench::{sim_criterion, sim_duration};
+use opteron::OpteronCpu;
+
+fn table1(c: &mut Criterion) {
+    // 1024 atoms / 4 steps keeps samples fast; the comparison structure is
+    // the paper's (the harness binary runs the full 2048/10).
+    let sim = SimConfig::reduced_lj(1024);
+    let steps = 4;
+
+    let mut group = c.benchmark_group("table1");
+    group.bench_function("opteron", |b| {
+        b.iter_custom(|iters| {
+            let run = OpteronCpu::paper_reference().run_md(&sim, steps);
+            sim_duration(run.sim_seconds, iters)
+        });
+    });
+    let device = CellBeDevice::paper_blade();
+    group.bench_function("cell-1spe", |b| {
+        b.iter_custom(|iters| {
+            let run = device
+                .run_md(&sim, steps, CellRunConfig::single_spe())
+                .unwrap();
+            sim_duration(run.sim_seconds, iters)
+        });
+    });
+    group.bench_function("cell-8spe", |b| {
+        b.iter_custom(|iters| {
+            let run = device.run_md(&sim, steps, CellRunConfig::best()).unwrap();
+            sim_duration(run.sim_seconds, iters)
+        });
+    });
+    group.bench_function("cell-ppe-only", |b| {
+        b.iter_custom(|iters| {
+            let run = device.run_md_ppe_only(&sim, steps);
+            sim_duration(run.sim_seconds, iters)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(name = benches; config = sim_criterion(); targets = table1);
+criterion_main!(benches);

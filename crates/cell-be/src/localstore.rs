@@ -1,0 +1,199 @@
+//! The SPE local store: 256 KB of directly addressed, fixed-latency memory.
+//!
+//! An SPE can only load/store from its local store; everything else arrives
+//! by DMA. The store is modeled as real bytes — DMA writes into it and the
+//! kernel reads out of it — with a bump allocator and the 16-byte (quadword)
+//! alignment rules of the hardware.
+
+/// A byte-addressed local store with quadword-aligned allocation.
+#[derive(Clone, Debug)]
+pub struct LocalStore {
+    bytes: Vec<u8>,
+    alloc_top: usize,
+}
+
+/// Handle to a region allocated inside a local store.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LsRegion {
+    pub offset: usize,
+    pub len: usize,
+}
+
+impl LocalStore {
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity.is_multiple_of(16), "local store size must be quadword aligned");
+        Self {
+            bytes: vec![0; capacity],
+            alloc_top: 0,
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.bytes.len()
+    }
+
+    pub fn bytes_allocated(&self) -> usize {
+        self.alloc_top
+    }
+
+    pub fn bytes_free(&self) -> usize {
+        self.capacity() - self.alloc_top
+    }
+
+    /// Allocate `len` bytes, 16-byte aligned. Returns `None` if the store is
+    /// exhausted — the hard 256 KB wall the paper's port must design around.
+    pub fn alloc(&mut self, len: usize) -> Option<LsRegion> {
+        let offset = (self.alloc_top + 15) & !15;
+        if offset + len > self.capacity() {
+            return None;
+        }
+        self.alloc_top = offset + len;
+        Some(LsRegion { offset, len })
+    }
+
+    /// Allocate space for `n` quadwords (`[f32; 4]` each).
+    pub fn alloc_quads(&mut self, n: usize) -> Option<LsRegion> {
+        self.alloc(n * 16)
+    }
+
+    /// Free everything (between kernel launches).
+    pub fn reset(&mut self) {
+        self.alloc_top = 0;
+    }
+
+    /// Raw write (used by the DMA engine). Panics on out-of-bounds — a DMA
+    /// that overruns the local store is a programming error on real hardware
+    /// too (it wraps, silently corrupting; we fail loudly instead).
+    pub fn write_bytes(&mut self, offset: usize, data: &[u8]) {
+        assert!(
+            offset + data.len() <= self.capacity(),
+            "local store overrun: write of {} bytes at {offset} exceeds {} bytes",
+            data.len(),
+            self.capacity()
+        );
+        self.bytes[offset..offset + data.len()].copy_from_slice(data);
+    }
+
+    pub fn read_bytes(&self, offset: usize, len: usize) -> &[u8] {
+        assert!(
+            offset + len <= self.capacity(),
+            "local store overrun: read of {len} bytes at {offset}"
+        );
+        &self.bytes[offset..offset + len]
+    }
+
+    /// Load quadword `i` of a region as `[f32; 4]` (the SPE `lqd` view).
+    #[inline]
+    pub fn load_quad(&self, region: LsRegion, i: usize) -> [f32; 4] {
+        let off = region.offset + i * 16;
+        debug_assert!(off + 16 <= region.offset + region.len, "quad read past region");
+        let b = &self.bytes[off..off + 16];
+        [
+            f32::from_le_bytes([b[0], b[1], b[2], b[3]]),
+            f32::from_le_bytes([b[4], b[5], b[6], b[7]]),
+            f32::from_le_bytes([b[8], b[9], b[10], b[11]]),
+            f32::from_le_bytes([b[12], b[13], b[14], b[15]]),
+        ]
+    }
+
+    /// Store `[f32; 4]` into quadword `i` of a region (`stqd`).
+    #[inline]
+    pub fn store_quad(&mut self, region: LsRegion, i: usize, q: [f32; 4]) {
+        let off = region.offset + i * 16;
+        debug_assert!(off + 16 <= region.offset + region.len, "quad write past region");
+        self.bytes[off..off + 4].copy_from_slice(&q[0].to_le_bytes());
+        self.bytes[off + 4..off + 8].copy_from_slice(&q[1].to_le_bytes());
+        self.bytes[off + 8..off + 12].copy_from_slice(&q[2].to_le_bytes());
+        self.bytes[off + 12..off + 16].copy_from_slice(&q[3].to_le_bytes());
+    }
+
+    /// Load quadword `i` as two doubles — the SPE's double-precision view of
+    /// a register (2 × f64 per 128-bit quadword).
+    #[inline]
+    pub fn load_dquad(&self, region: LsRegion, i: usize) -> [f64; 2] {
+        let off = region.offset + i * 16;
+        debug_assert!(off + 16 <= region.offset + region.len, "dquad read past region");
+        let b = &self.bytes[off..off + 16];
+        [
+            f64::from_le_bytes(b[0..8].try_into().unwrap()),
+            f64::from_le_bytes(b[8..16].try_into().unwrap()),
+        ]
+    }
+
+    /// Store two doubles into quadword `i`.
+    #[inline]
+    pub fn store_dquad(&mut self, region: LsRegion, i: usize, q: [f64; 2]) {
+        let off = region.offset + i * 16;
+        debug_assert!(off + 16 <= region.offset + region.len, "dquad write past region");
+        self.bytes[off..off + 8].copy_from_slice(&q[0].to_le_bytes());
+        self.bytes[off + 8..off + 16].copy_from_slice(&q[1].to_le_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_respects_alignment_and_capacity() {
+        let mut ls = LocalStore::new(256);
+        let a = ls.alloc(20).unwrap();
+        assert_eq!(a.offset, 0);
+        let b = ls.alloc(16).unwrap();
+        assert_eq!(b.offset % 16, 0, "quadword aligned");
+        assert_eq!(b.offset, 32);
+        assert!(ls.alloc(1024).is_none(), "over capacity");
+    }
+
+    #[test]
+    fn exhaustion_boundary() {
+        let mut ls = LocalStore::new(64);
+        assert!(ls.alloc_quads(4).is_some()); // exactly full
+        assert!(ls.alloc(1).is_none());
+        ls.reset();
+        assert!(ls.alloc(64).is_some());
+    }
+
+    #[test]
+    fn quad_roundtrip() {
+        let mut ls = LocalStore::new(256);
+        let r = ls.alloc_quads(4).unwrap();
+        ls.store_quad(r, 2, [1.0, -2.5, 3.25, 0.0]);
+        assert_eq!(ls.load_quad(r, 2), [1.0, -2.5, 3.25, 0.0]);
+        assert_eq!(ls.load_quad(r, 0), [0.0; 4], "untouched quads are zero");
+    }
+
+    #[test]
+    fn byte_and_quad_views_agree() {
+        let mut ls = LocalStore::new(64);
+        let r = ls.alloc_quads(1).unwrap();
+        ls.write_bytes(r.offset, &1.0f32.to_le_bytes());
+        assert_eq!(ls.load_quad(r, 0)[0], 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "overrun")]
+    fn write_past_end_panics() {
+        let mut ls = LocalStore::new(32);
+        ls.write_bytes(24, &[0u8; 16]);
+    }
+
+    #[test]
+    fn dquad_roundtrip_and_aliasing() {
+        let mut ls = LocalStore::new(64);
+        let r = ls.alloc_quads(2).unwrap();
+        ls.store_dquad(r, 0, [1.5, -2.25]);
+        ls.store_dquad(r, 1, [f64::MAX, f64::MIN_POSITIVE]);
+        assert_eq!(ls.load_dquad(r, 0), [1.5, -2.25]);
+        assert_eq!(ls.load_dquad(r, 1), [f64::MAX, f64::MIN_POSITIVE]);
+    }
+
+    #[test]
+    fn capacity_tracking() {
+        let mut ls = LocalStore::new(256 * 1024);
+        assert_eq!(ls.capacity(), 262144);
+        ls.alloc_quads(2048).unwrap(); // a 2048-atom position array: 32 KB
+        assert_eq!(ls.bytes_allocated(), 32768);
+        assert_eq!(ls.bytes_free(), 262144 - 32768);
+    }
+}

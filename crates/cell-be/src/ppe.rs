@@ -1,0 +1,63 @@
+//! The Power Processing Element: orchestration and (optionally) compute.
+//!
+//! In the paper's port the PPE runs everything except the acceleration
+//! computation: velocity updates, position updates, energy reductions, and
+//! the SPE thread/mailbox management. The paper also reports a PPE-only run
+//! of the whole kernel — 26x slower than 8 SPEs — which we model by running
+//! the scalar `Original` kernel variant with the PPE's effective CPI factor.
+
+use crate::config::CellConfig;
+
+/// Cycle-cost model for PPE-side work.
+#[derive(Clone, Copy, Debug)]
+pub struct PpeModel {
+    /// Effective CPI multiplier over the SPE stage-cost table for scalar code
+    /// on the in-order, dual-issue PPE.
+    pub cpi_factor: f64,
+    /// Per-atom cost of one integration pass (half-kick + drift + wrap or
+    /// half-kick + energy accumulation), in cycles.
+    pub integrate_per_atom: f64,
+    /// Fixed per-step orchestration cost (loop control, step bookkeeping).
+    pub step_overhead: f64,
+}
+
+impl PpeModel {
+    pub fn new(config: &CellConfig) -> Self {
+        Self {
+            cpi_factor: config.ppe_cpi_factor,
+            integrate_per_atom: 30.0,
+            step_overhead: 2000.0,
+        }
+    }
+
+    /// Cycles for one O(N) integration pass over `n` atoms.
+    pub fn integration_cycles(&self, n: usize) -> f64 {
+        self.step_overhead + self.integrate_per_atom * n as f64
+    }
+
+    /// Cycles for the PPE to execute SPE-kernel work itself (PPE-only mode):
+    /// the scalar kernel's cycle count scaled by the PPE CPI factor.
+    pub fn scale_kernel_cycles(&self, spe_cycles: f64) -> f64 {
+        spe_cycles * self.cpi_factor
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integration_linear_in_atoms() {
+        let m = PpeModel::new(&CellConfig::paper_blade());
+        let c1 = m.integration_cycles(1000);
+        let c2 = m.integration_cycles(2000);
+        assert!(c2 > c1);
+        assert!((c2 - c1 - 1000.0 * m.integrate_per_atom).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ppe_slower_than_spe_on_kernel_work() {
+        let m = PpeModel::new(&CellConfig::paper_blade());
+        assert!(m.scale_kernel_cycles(100.0) > 100.0);
+    }
+}

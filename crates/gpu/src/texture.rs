@@ -1,0 +1,83 @@
+//! GPU textures: 1-D arrays of 4-component single-precision texels.
+//!
+//! "Typical high end cards today ... support from 8-bit integer to 32-bit
+//! floating point data types, with 1, 2, or 4 component SIMD operations."
+//! The MD port uses 4-component float texels exclusively: xyz in the first
+//! three lanes, the fourth lane free (zero on input positions, potential
+//! energy on output accelerations).
+
+/// A 4-component float texture living in GPU memory.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Texture {
+    texels: Vec<[f32; 4]>,
+}
+
+impl Texture {
+    /// Allocate a zeroed texture of `len` texels.
+    pub fn new(len: usize) -> Self {
+        Self {
+            texels: vec![[0.0; 4]; len],
+        }
+    }
+
+    pub fn from_texels(texels: Vec<[f32; 4]>) -> Self {
+        Self { texels }
+    }
+
+    /// Pack xyz triples, fourth component zero.
+    pub fn from_xyz(points: &[[f32; 3]]) -> Self {
+        Self {
+            texels: points.iter().map(|p| [p[0], p[1], p[2], 0.0]).collect(),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.texels.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.texels.is_empty()
+    }
+
+    /// Texture fetch (`texfetch`): the only read operation shaders get.
+    #[inline(always)]
+    pub fn fetch(&self, i: usize) -> [f32; 4] {
+        self.texels[i]
+    }
+
+    /// Byte size for PCIe transfer costing.
+    pub fn size_bytes(&self) -> usize {
+        self.texels.len() * 16
+    }
+
+    /// Host-side view after readback.
+    pub fn texels(&self) -> &[[f32; 4]] {
+        &self.texels
+    }
+
+    pub(crate) fn texels_mut(&mut self) -> &mut [[f32; 4]] {
+        &mut self.texels
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xyz_packing_pads_fourth_lane() {
+        let t = Texture::from_xyz(&[[1.0, 2.0, 3.0], [4.0, 5.0, 6.0]]);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.fetch(0), [1.0, 2.0, 3.0, 0.0]);
+        assert_eq!(t.fetch(1), [4.0, 5.0, 6.0, 0.0]);
+        assert_eq!(t.size_bytes(), 32);
+    }
+
+    #[test]
+    fn zeroed_allocation() {
+        let t = Texture::new(3);
+        assert_eq!(t.fetch(2), [0.0; 4]);
+        assert!(!t.is_empty());
+        assert!(Texture::new(0).is_empty());
+    }
+}

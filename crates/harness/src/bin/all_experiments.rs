@@ -1,0 +1,20 @@
+//! Runs every experiment in sequence (Figure 5, 6, 7, 8, 9 and Table 1),
+//! printing each regenerated artifact. This is the one-command reproduction
+//! of the paper's evaluation section; see EXPERIMENTS.md for the recorded
+//! paper-vs-measured comparison.
+
+use std::process::Command;
+
+fn main() {
+    let exe = std::env::current_exe().expect("own path");
+    let dir = exe.parent().expect("bin dir");
+    for name in ["fig5", "fig6", "table1", "fig7", "fig8", "fig9", "xmt_projection"] {
+        let path = dir.join(name);
+        println!("\n{0}\n▶ {name}\n{0}", "=".repeat(72));
+        let status = Command::new(&path)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to run {}: {e}", path.display()));
+        assert!(status.success(), "{name} exited with {status}");
+    }
+    println!("\nAll experiments complete. CSVs are under results/.");
+}

@@ -1,0 +1,51 @@
+//! Regenerates Figure 5: SIMD optimization ladder for the MD kernel on one
+//! SPE (runtime of the acceleration computation, 2048 atoms).
+
+use harness::report::{secs, Table};
+use harness::{experiments, write_csv};
+
+fn main() {
+    let n = experiments::PAPER_ATOMS;
+    println!("Figure 5 — SIMD optimization for the MD kernel ({n} atoms, 1 SPE, 1 force eval)\n");
+    let rows = experiments::fig5(n);
+
+    let mut table = Table::new(&["optimization stage", "simulated runtime", "vs original"]);
+    let base = rows[0].seconds;
+    let mut csv = Vec::new();
+    for r in &rows {
+        table.row(&[
+            r.label.to_string(),
+            secs(r.seconds),
+            format!("{:.2}x", base / r.seconds),
+        ]);
+        csv.push(vec![r.label.to_string(), format!("{:.9}", r.seconds)]);
+    }
+    println!("{}", table.render());
+
+    let v = |i: usize| rows[i].seconds;
+    println!("paper-vs-measured shape checks:");
+    println!(
+        "  copysign gives a small speedup:            {:.1}%  (paper: 'small')",
+        (v(0) / v(1) - 1.0) * 100.0
+    );
+    println!(
+        "  SIMD unit cell vs original:                {:.2}x  (paper: 'over 1.5x')",
+        v(0) / v(2)
+    );
+    println!(
+        "  SIMD direction improvement:                {:.0}%  (paper: 21%)",
+        (v(2) / v(3) - 1.0) * 100.0
+    );
+    println!(
+        "  SIMD length improvement:                   {:.0}%  (paper: 15%)",
+        (v(3) / v(4) - 1.0) * 100.0
+    );
+    println!(
+        "  SIMD acceleration improvement:             {:.1}%  (paper: ~3%, 'very little runtime')",
+        (v(4) / v(5) - 1.0) * 100.0
+    );
+
+    if let Ok(path) = write_csv("fig5_simd_ladder", &["stage", "seconds"], &csv) {
+        println!("\nwrote {}", path.display());
+    }
+}

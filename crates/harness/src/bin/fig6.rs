@@ -1,0 +1,73 @@
+//! Regenerates Figure 6: SPE thread-launch overhead on the MD kernel,
+//! respawn-every-step vs launch-once, 1 vs 8 SPEs.
+
+use harness::report::{secs, Table};
+use harness::{experiments, write_csv};
+
+fn main() {
+    let (n, steps) = (experiments::PAPER_ATOMS, experiments::PAPER_STEPS);
+    println!("Figure 6 — SPE launch overhead on MD ({n} atoms, {steps} time steps)\n");
+    let cases = experiments::fig6(n, steps);
+
+    let mut table = Table::new(&[
+        "configuration",
+        "total runtime",
+        "SPE launch overhead",
+        "launch fraction",
+    ]);
+    let mut csv = Vec::new();
+    for c in &cases {
+        table.row(&[
+            c.label.clone(),
+            secs(c.total_seconds),
+            secs(c.launch_seconds),
+            format!("{:.1}%", c.launch_fraction() * 100.0),
+        ]);
+        csv.push(vec![
+            c.label.clone(),
+            format!("{:.9}", c.total_seconds),
+            format!("{:.9}", c.launch_seconds),
+        ]);
+    }
+    println!("{}", table.render());
+
+    let find = |spes: usize, once: bool| {
+        cases
+            .iter()
+            .find(|c| {
+                c.n_spes == spes
+                    && (c.policy == cell_be::SpawnPolicy::LaunchOnce) == once
+            })
+            .unwrap()
+    };
+    let r1 = find(1, false);
+    let r8 = find(8, false);
+    let o1 = find(1, true);
+    let o8 = find(8, true);
+
+    println!("paper-vs-measured shape checks:");
+    println!(
+        "  1 SPE respawn, launch is a small fraction:  {:.1}%  (paper: 'small fraction')",
+        r1.launch_fraction() * 100.0
+    );
+    println!(
+        "  8 SPE respawn vs 1 SPE respawn:             {:.2}x  (paper: 'only about 1.5x faster')",
+        r1.total_seconds / r8.total_seconds
+    );
+    println!(
+        "  launch overhead grows with SPE count:       {:.1}x  (paper: 'by a factor of eight')",
+        r8.launch_seconds / r1.launch_seconds
+    );
+    println!(
+        "  8 SPE launch-once vs 1 SPE launch-once:     {:.2}x  (paper: '4.5x faster')",
+        o1.total_seconds / o8.total_seconds
+    );
+
+    if let Ok(path) = write_csv(
+        "fig6_launch_overhead",
+        &["configuration", "total_seconds", "launch_seconds"],
+        &csv,
+    ) {
+        println!("\nwrote {}", path.display());
+    }
+}

@@ -1,0 +1,59 @@
+//! Regenerates Figure 7: GPU vs Opteron runtime across atom counts
+//! (GPU startup excluded; per-step PCIe transfers included).
+
+use harness::report::{secs, Table};
+use harness::{experiments, write_csv};
+
+fn main() {
+    let counts = [128usize, 256, 512, 1024, 2048, 4096, 8192];
+    let steps = experiments::PAPER_STEPS;
+    println!("Figure 7 — performance results on GPU vs Opteron ({steps} time steps)\n");
+    let rows = experiments::fig7(&counts, steps);
+
+    let mut table = Table::new(&["atoms", "Opteron", "NVIDIA GPU", "GPU speedup"]);
+    let mut csv = Vec::new();
+    for r in &rows {
+        table.row(&[
+            r.n_atoms.to_string(),
+            secs(r.opteron_seconds),
+            secs(r.gpu_seconds),
+            format!("{:.2}x", r.opteron_seconds / r.gpu_seconds),
+        ]);
+        csv.push(vec![
+            r.n_atoms.to_string(),
+            format!("{:.9}", r.opteron_seconds),
+            format!("{:.9}", r.gpu_seconds),
+        ]);
+    }
+    println!("{}", table.render());
+
+    let crossover = rows
+        .windows(2)
+        .find(|w| w[0].gpu_seconds >= w[0].opteron_seconds && w[1].gpu_seconds < w[1].opteron_seconds)
+        .map(|w| (w[0].n_atoms, w[1].n_atoms));
+    let at2048 = rows.iter().find(|r| r.n_atoms == 2048).unwrap();
+
+    println!("paper-vs-measured shape checks:");
+    match crossover {
+        Some((lo, hi)) => println!(
+            "  GPU slower at very small N, crossover between {lo} and {hi} atoms \
+             (paper: 'longer to run ... at very small numbers of atoms')"
+        ),
+        None => println!(
+            "  crossover: GPU {} at the smallest size measured",
+            if rows[0].gpu_seconds > rows[0].opteron_seconds { "slower" } else { "faster" }
+        ),
+    }
+    println!(
+        "  GPU speedup at 2048 atoms: {:.2}x  (paper: 'almost 6x faster than the CPU')",
+        at2048.opteron_seconds / at2048.gpu_seconds
+    );
+
+    if let Ok(path) = write_csv(
+        "fig7_gpu_vs_opteron",
+        &["atoms", "opteron_seconds", "gpu_seconds"],
+        &csv,
+    ) {
+        println!("\nwrote {}", path.display());
+    }
+}

@@ -1,0 +1,50 @@
+//! Regenerates Figure 8: fully vs partially multithreaded MD kernel on the
+//! Cray MTA-2.
+
+use harness::report::{secs, Table};
+use harness::{experiments, write_csv};
+
+fn main() {
+    let counts = [256usize, 512, 1024, 2048, 4096];
+    let steps = experiments::PAPER_STEPS;
+    println!("Figure 8 — fully vs partially multithreaded MD kernel on the MTA-2 ({steps} steps)\n");
+    let rows = experiments::fig8(&counts, steps);
+
+    let mut table = Table::new(&["atoms", "fully multithreaded", "partially multithreaded", "gap"]);
+    let mut csv = Vec::new();
+    for r in &rows {
+        table.row(&[
+            r.n_atoms.to_string(),
+            secs(r.fully_mt_seconds),
+            secs(r.partially_mt_seconds),
+            format!("{:.1}x", r.partially_mt_seconds / r.fully_mt_seconds),
+        ]);
+        csv.push(vec![
+            r.n_atoms.to_string(),
+            format!("{:.9}", r.fully_mt_seconds),
+            format!("{:.9}", r.partially_mt_seconds),
+        ]);
+    }
+    println!("{}", table.render());
+
+    let first_gap = rows[0].partially_mt_seconds - rows[0].fully_mt_seconds;
+    let last_gap = rows.last().unwrap().partially_mt_seconds - rows.last().unwrap().fully_mt_seconds;
+    println!("paper-vs-measured shape checks:");
+    println!(
+        "  fully MT faster everywhere: {}",
+        rows.iter().all(|r| r.fully_mt_seconds < r.partially_mt_seconds)
+    );
+    println!(
+        "  performance difference grows with atoms: {:.3} s -> {:.3} s \
+         (paper: 'increases with the increase in the number of atoms')",
+        first_gap, last_gap
+    );
+
+    if let Ok(path) = write_csv(
+        "fig8_mta_threading",
+        &["atoms", "fully_mt_seconds", "partially_mt_seconds"],
+        &csv,
+    ) {
+        println!("\nwrote {}", path.display());
+    }
+}

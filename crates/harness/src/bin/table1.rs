@@ -1,0 +1,42 @@
+//! Regenerates Table 1: performance comparison of the MD calculation,
+//! Opteron vs Cell (1 SPE / 8 SPEs / PPE only), 2048 atoms, 10 time steps.
+
+use harness::report::{secs, Table};
+use harness::{experiments, write_csv};
+
+fn main() {
+    let (n, steps) = (experiments::PAPER_ATOMS, experiments::PAPER_STEPS);
+    println!("Table 1 — performance comparison of MD calculations ({n} atoms, {steps} steps)\n");
+    let t = experiments::table1(n, steps);
+
+    let mut table = Table::new(&["system", "simulated runtime"]);
+    table.row(&["Opteron (2.2 GHz)".into(), secs(t.opteron_seconds)]);
+    table.row(&["Cell, 1 SPE".into(), secs(t.cell_1spe_seconds)]);
+    table.row(&["Cell, 8 SPEs".into(), secs(t.cell_8spe_seconds)]);
+    table.row(&["Cell, PPE only".into(), secs(t.cell_ppe_seconds)]);
+    println!("{}", table.render());
+
+    println!("paper-vs-measured shape checks:");
+    println!(
+        "  1 SPE vs Opteron:   {:.2}x  (paper: 'just edges out the Opteron')",
+        t.speedup_1spe_vs_opteron()
+    );
+    println!(
+        "  8 SPEs vs Opteron:  {:.2}x  (paper: 'better than 5x')",
+        t.speedup_8spe_vs_opteron()
+    );
+    println!(
+        "  8 SPEs vs PPE only: {:.1}x  (paper: '26x faster than the PPE alone')",
+        t.speedup_8spe_vs_ppe()
+    );
+
+    let csv = vec![
+        vec!["opteron".into(), format!("{:.9}", t.opteron_seconds)],
+        vec!["cell_1spe".into(), format!("{:.9}", t.cell_1spe_seconds)],
+        vec!["cell_8spe".into(), format!("{:.9}", t.cell_8spe_seconds)],
+        vec!["cell_ppe".into(), format!("{:.9}", t.cell_ppe_seconds)],
+    ];
+    if let Ok(path) = write_csv("table1_cell_vs_opteron", &["system", "seconds"], &csv) {
+        println!("\nwrote {}", path.display());
+    }
+}

@@ -1,0 +1,327 @@
+//! The six experiments of the paper's evaluation section.
+
+use cell_be::{CellBeDevice, CellRunConfig, SpawnPolicy, SpeKernelVariant};
+use gpu::GpuMdSimulation;
+use md_core::params::SimConfig;
+use mta::{MtaMdSimulation, ThreadingMode};
+use opteron::OpteronCpu;
+
+/// The paper's standard workload: 2048 atoms, 10 time steps.
+pub const PAPER_ATOMS: usize = 2048;
+pub const PAPER_STEPS: usize = 10;
+
+// ---------------------------------------------------------------- Figure 5
+
+/// One bar of Figure 5: an optimization stage and the simulated runtime of
+/// one acceleration-function invocation (2048 atoms, 1 SPE).
+#[derive(Clone, Debug)]
+pub struct Fig5Row {
+    pub variant: SpeKernelVariant,
+    pub label: &'static str,
+    pub seconds: f64,
+}
+
+/// Figure 5: SIMD optimization ladder on a single SPE.
+pub fn fig5(n_atoms: usize) -> Vec<Fig5Row> {
+    let sim = SimConfig::reduced_lj(n_atoms);
+    let device = CellBeDevice::paper_blade();
+    SpeKernelVariant::ALL
+        .iter()
+        .map(|&variant| Fig5Row {
+            variant,
+            label: variant.label(),
+            seconds: device
+                .time_single_spe_accel(&sim, variant)
+                .expect("paper workload fits the local store"),
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------- Figure 6
+
+/// One bar pair of Figure 6: total runtime and the part spent launching SPE
+/// threads.
+#[derive(Clone, Debug)]
+pub struct Fig6Case {
+    pub label: String,
+    pub n_spes: usize,
+    pub policy: SpawnPolicy,
+    pub total_seconds: f64,
+    pub launch_seconds: f64,
+}
+
+impl Fig6Case {
+    pub fn launch_fraction(&self) -> f64 {
+        self.launch_seconds / self.total_seconds
+    }
+}
+
+/// Figure 6: SPE thread-launch overhead, {1, 8} SPEs × {respawn, launch-once}.
+pub fn fig6(n_atoms: usize, steps: usize) -> Vec<Fig6Case> {
+    let sim = SimConfig::reduced_lj(n_atoms);
+    let device = CellBeDevice::paper_blade();
+    let mut out = Vec::new();
+    for policy in [SpawnPolicy::RespawnEveryStep, SpawnPolicy::LaunchOnce] {
+        for n_spes in [1usize, 8] {
+            let run = device
+                .run_md(
+                    &sim,
+                    steps,
+                    CellRunConfig {
+                        n_spes,
+                        policy,
+                        variant: SpeKernelVariant::SimdAcceleration,
+                    },
+                )
+                .expect("paper workload fits the local store");
+            let policy_label = match policy {
+                SpawnPolicy::RespawnEveryStep => "respawn every time step",
+                SpawnPolicy::LaunchOnce => "launch only first time step",
+            };
+            out.push(Fig6Case {
+                label: format!("{n_spes} SPE{}, {policy_label}", if n_spes > 1 { "s" } else { "" }),
+                n_spes,
+                policy,
+                total_seconds: run.sim_seconds,
+                launch_seconds: run.breakdown.spawn / device.config.clock_hz,
+            });
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------- Table 1
+
+/// Table 1: total runtime for 2048 atoms, 10 time steps.
+#[derive(Clone, Debug)]
+pub struct Table1Data {
+    pub n_atoms: usize,
+    pub steps: usize,
+    pub opteron_seconds: f64,
+    pub cell_1spe_seconds: f64,
+    pub cell_8spe_seconds: f64,
+    pub cell_ppe_seconds: f64,
+}
+
+impl Table1Data {
+    /// Paper: "better than 5x performance improvement relative to the Opteron".
+    pub fn speedup_8spe_vs_opteron(&self) -> f64 {
+        self.opteron_seconds / self.cell_8spe_seconds
+    }
+    /// Paper: "26x faster than the PPE alone".
+    pub fn speedup_8spe_vs_ppe(&self) -> f64 {
+        self.cell_ppe_seconds / self.cell_8spe_seconds
+    }
+    /// Paper: "even a single SPE just edges out the Opteron".
+    pub fn speedup_1spe_vs_opteron(&self) -> f64 {
+        self.opteron_seconds / self.cell_1spe_seconds
+    }
+}
+
+/// Table 1: performance comparison of MD calculations.
+pub fn table1(n_atoms: usize, steps: usize) -> Table1Data {
+    let sim = SimConfig::reduced_lj(n_atoms);
+    let device = CellBeDevice::paper_blade();
+    let opteron = OpteronCpu::paper_reference().run_md(&sim, steps);
+    let one = device
+        .run_md(&sim, steps, CellRunConfig::single_spe())
+        .expect("fits local store");
+    let eight = device
+        .run_md(&sim, steps, CellRunConfig::best())
+        .expect("fits local store");
+    let ppe = device.run_md_ppe_only(&sim, steps);
+    Table1Data {
+        n_atoms,
+        steps,
+        opteron_seconds: opteron.sim_seconds,
+        cell_1spe_seconds: one.sim_seconds,
+        cell_8spe_seconds: eight.sim_seconds,
+        cell_ppe_seconds: ppe.sim_seconds,
+    }
+}
+
+// ---------------------------------------------------------------- Figure 7
+
+/// One x-position of Figure 7: runtimes at a given atom count.
+#[derive(Clone, Debug)]
+pub struct Fig7Row {
+    pub n_atoms: usize,
+    pub opteron_seconds: f64,
+    pub gpu_seconds: f64,
+}
+
+/// Figure 7: GPU vs Opteron total runtime across atom counts (GPU startup
+/// excluded, per-step transfer costs included — exactly the paper's
+/// accounting).
+pub fn fig7(atom_counts: &[usize], steps: usize) -> Vec<Fig7Row> {
+    atom_counts
+        .iter()
+        .map(|&n| {
+            let sim = SimConfig::reduced_lj(n);
+            let opteron = OpteronCpu::paper_reference().run_md(&sim, steps);
+            let gpu = GpuMdSimulation::geforce_7900gtx().run_md(&sim, steps);
+            Fig7Row {
+                n_atoms: n,
+                opteron_seconds: opteron.sim_seconds,
+                gpu_seconds: gpu.sim_seconds,
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------- Figure 8
+
+/// One x-position of Figure 8.
+#[derive(Clone, Debug)]
+pub struct Fig8Row {
+    pub n_atoms: usize,
+    pub fully_mt_seconds: f64,
+    pub partially_mt_seconds: f64,
+}
+
+/// Figure 8: fully vs partially multithreaded MD kernel on the MTA-2.
+pub fn fig8(atom_counts: &[usize], steps: usize) -> Vec<Fig8Row> {
+    let m = MtaMdSimulation::paper_mta2();
+    atom_counts
+        .iter()
+        .map(|&n| {
+            let sim = SimConfig::reduced_lj(n);
+            Fig8Row {
+                n_atoms: n,
+                fully_mt_seconds: m.run_md(&sim, steps, ThreadingMode::FullyMultithreaded).sim_seconds,
+                partially_mt_seconds: m
+                    .run_md(&sim, steps, ThreadingMode::PartiallyMultithreaded)
+                    .sim_seconds,
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------- Figure 9
+
+/// One x-position of Figure 9: runtime relative to the 256-atom run.
+#[derive(Clone, Debug)]
+pub struct Fig9Row {
+    pub n_atoms: usize,
+    pub mta_relative: f64,
+    pub opteron_relative: f64,
+}
+
+/// Figure 9: increase in runtime with respect to the 256-atom run, MTA vs
+/// Opteron. The paper's point: the MTA's growth tracks the floating-point
+/// work; the Opteron's grows faster once the arrays outgrow its caches.
+pub fn fig9(atom_counts: &[usize], steps: usize) -> Vec<Fig9Row> {
+    assert!(
+        atom_counts.first() == Some(&256),
+        "figure 9 normalizes to the 256-atom run"
+    );
+    let m = MtaMdSimulation::paper_mta2();
+    let runs: Vec<(usize, f64, f64)> = atom_counts
+        .iter()
+        .map(|&n| {
+            let sim = SimConfig::reduced_lj(n);
+            let mta = m.run_md(&sim, steps, ThreadingMode::FullyMultithreaded).sim_seconds;
+            let opt = OpteronCpu::paper_reference().run_md(&sim, steps).sim_seconds;
+            (n, mta, opt)
+        })
+        .collect();
+    let (_, mta0, opt0) = runs[0];
+    runs.iter()
+        .map(|&(n, mta, opt)| Fig9Row {
+            n_atoms: n,
+            mta_relative: mta / mta0,
+            opteron_relative: opt / opt0,
+        })
+        .collect()
+}
+
+// ------------------------------------------------- XMT projection (extension)
+
+/// One row of the XMT scaling projection.
+#[derive(Clone, Debug)]
+pub struct XmtRow {
+    pub label: &'static str,
+    pub n_processors: usize,
+    pub seconds: f64,
+}
+
+/// The paper's conclusion anticipates "significant performance gains from
+/// the upcoming XMT technology" while §3.3 warns that the XMT loses the
+/// MTA-2's uniform memory. This extension projects both: the MTA-2 baseline,
+/// the optimistic XMT (placed data), and the locality-blind XMT where 80% of
+/// the gather's references go remote.
+pub fn xmt_projection(n_atoms: usize, steps: usize, processors: &[usize]) -> Vec<XmtRow> {
+    use mta::MtaConfig;
+    let sim = SimConfig::reduced_lj(n_atoms);
+    let mut rows = vec![XmtRow {
+        label: "MTA-2",
+        n_processors: 1,
+        seconds: MtaMdSimulation::paper_mta2()
+            .run_md(&sim, steps, ThreadingMode::FullyMultithreaded)
+            .sim_seconds,
+    }];
+    for &p in processors {
+        rows.push(XmtRow {
+            label: "XMT (placed data)",
+            n_processors: p,
+            seconds: MtaMdSimulation::new(MtaConfig::xmt(p))
+                .run_md(&sim, steps, ThreadingMode::FullyMultithreaded)
+                .sim_seconds,
+        });
+        rows.push(XmtRow {
+            label: "XMT (locality-blind)",
+            n_processors: p,
+            seconds: MtaMdSimulation::new(MtaConfig::xmt_nonuniform(p, 0.8))
+                .run_md(&sim, steps, ThreadingMode::FullyMultithreaded)
+                .sim_seconds,
+        });
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    //! Small-scale smoke tests; the full paper-scale shape checks live in the
+    //! workspace integration tests.
+    use super::*;
+
+    #[test]
+    fn fig5_ladder_monotone() {
+        let rows = fig5(256);
+        assert_eq!(rows.len(), 6);
+        for w in rows.windows(2) {
+            assert!(w[1].seconds < w[0].seconds, "{} !< {}", w[1].label, w[0].label);
+        }
+    }
+
+    #[test]
+    fn fig6_cases_cover_the_grid() {
+        let cases = fig6(256, 3);
+        assert_eq!(cases.len(), 4);
+        assert!(cases.iter().any(|c| c.n_spes == 8 && c.policy == SpawnPolicy::LaunchOnce));
+        for c in &cases {
+            assert!(c.launch_seconds < c.total_seconds);
+        }
+    }
+
+    #[test]
+    fn fig7_has_both_series() {
+        let rows = fig7(&[128, 256], 1);
+        assert_eq!(rows.len(), 2);
+        assert!(rows[1].opteron_seconds > rows[0].opteron_seconds);
+    }
+
+    #[test]
+    fn fig9_normalized_to_first() {
+        let rows = fig9(&[256, 512], 1);
+        assert_eq!(rows[0].mta_relative, 1.0);
+        assert_eq!(rows[0].opteron_relative, 1.0);
+        assert!(rows[1].mta_relative > 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "256")]
+    fn fig9_requires_256_baseline() {
+        fig9(&[512, 1024], 1);
+    }
+}

@@ -1,0 +1,24 @@
+//! Experiment harness: regenerates every table and figure of the paper's
+//! evaluation section from the simulated devices.
+//!
+//! Each experiment is a plain function returning a typed result, used by
+//! three consumers: the per-figure binaries (human-readable tables + CSV),
+//! the workspace integration tests (shape assertions), and EXPERIMENTS.md.
+//!
+//! | Paper artifact | Function | Binary |
+//! |---|---|---|
+//! | Figure 5 (SPE SIMD ladder) | [`experiments::fig5`] | `fig5` |
+//! | Figure 6 (SPE launch overhead) | [`experiments::fig6`] | `fig6` |
+//! | Table 1 (Cell vs Opteron) | [`experiments::table1`] | `table1` |
+//! | Figure 7 (GPU vs Opteron sweep) | [`experiments::fig7`] | `fig7` |
+//! | Figure 8 (MTA full vs partial MT) | [`experiments::fig8`] | `fig8` |
+//! | Figure 9 (relative scaling) | [`experiments::fig9`] | `fig9` |
+
+pub mod experiments;
+pub mod report;
+
+pub use experiments::{
+    fig5, fig6, fig7, fig8, fig9, table1, Fig5Row, Fig6Case, Fig7Row, Fig8Row, Fig9Row,
+    Table1Data,
+};
+pub use report::{write_csv, Table};

@@ -1,0 +1,319 @@
+//! Bonded interactions.
+//!
+//! The paper (§3.5): "Calculation of forces between bonded atoms is
+//! straightforward and less computationally intensive as there are only a
+//! very small number of bonded interactions as compared to the non-bonded
+//! interactions." The device ports therefore keep bonded terms on the host.
+//! This module supplies those terms — harmonic bonds and harmonic angles —
+//! so the library covers the full force field of a simple bio-molecular
+//! model, not just the LJ kernel.
+//!
+//! Energy models:
+//!
+//! - bond: `V(r) = ½ k (r − r₀)²`
+//! - angle: `V(θ) = ½ k (θ − θ₀)²`
+
+use crate::system::ParticleSystem;
+use serde::{Deserialize, Serialize};
+use vecmath::{pbc, Real, Vec3};
+
+/// A harmonic two-body bond.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Bond {
+    pub i: usize,
+    pub j: usize,
+    /// Spring constant k.
+    pub k: f64,
+    /// Equilibrium length r₀.
+    pub r0: f64,
+}
+
+/// A harmonic three-body angle (j is the vertex).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Angle {
+    pub i: usize,
+    pub j: usize,
+    pub k_atom: usize,
+    /// Spring constant k.
+    pub k: f64,
+    /// Equilibrium angle θ₀ in radians.
+    pub theta0: f64,
+}
+
+/// The bonded part of a topology.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct BondedTopology {
+    pub bonds: Vec<Bond>,
+    pub angles: Vec<Angle>,
+}
+
+impl BondedTopology {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn with_bond(mut self, i: usize, j: usize, k: f64, r0: f64) -> Self {
+        assert_ne!(i, j, "a bond must join two distinct atoms");
+        self.bonds.push(Bond { i, j, k, r0 });
+        self
+    }
+
+    pub fn with_angle(mut self, i: usize, j: usize, k_atom: usize, k: f64, theta0: f64) -> Self {
+        assert!(
+            i != j && j != k_atom && i != k_atom,
+            "an angle must involve three distinct atoms"
+        );
+        self.angles.push(Angle {
+            i,
+            j,
+            k_atom,
+            k,
+            theta0,
+        });
+        self
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.bonds.is_empty() && self.angles.is_empty()
+    }
+
+    /// Check all indices are within `n`.
+    pub fn validate(&self, n: usize) {
+        for b in &self.bonds {
+            assert!(b.i < n && b.j < n, "bond ({}, {}) out of range for {n} atoms", b.i, b.j);
+        }
+        for a in &self.angles {
+            assert!(
+                a.i < n && a.j < n && a.k_atom < n,
+                "angle ({}, {}, {}) out of range for {n} atoms",
+                a.i,
+                a.j,
+                a.k_atom
+            );
+        }
+    }
+
+    /// Accumulate bonded forces into `sys.accelerations` (mass-weighted) and
+    /// return the bonded potential energy. Call after the non-bonded kernel
+    /// (which *overwrites* accelerations).
+    pub fn accumulate_forces<T: Real>(&self, sys: &mut ParticleSystem<T>) -> T {
+        self.validate(sys.n());
+        let l = sys.box_len;
+        let inv_m = sys.mass.recip();
+        let mut pe = T::ZERO;
+
+        for b in &self.bonds {
+            let d = pbc::min_image_branchy(sys.positions[b.i] - sys.positions[b.j], l);
+            let r = d.norm();
+            if r.to_f64() == 0.0 {
+                continue; // coincident atoms exert no defined bond force
+            }
+            let k = T::from_f64(b.k);
+            let dr = r - T::from_f64(b.r0);
+            pe += T::HALF * k * dr * dr;
+            // F_i = −k (r − r₀) r̂
+            let f = d * (-(k * dr) / r);
+            sys.accelerations[b.i] += f * inv_m;
+            sys.accelerations[b.j] -= f * inv_m;
+        }
+
+        for a in &self.angles {
+            let rij = pbc::min_image_branchy(sys.positions[a.i] - sys.positions[a.j], l);
+            let rkj = pbc::min_image_branchy(sys.positions[a.k_atom] - sys.positions[a.j], l);
+            let nij = rij.norm();
+            let nkj = rkj.norm();
+            if nij.to_f64() == 0.0 || nkj.to_f64() == 0.0 {
+                continue;
+            }
+            let cos_t = (rij.dot(rkj) / (nij * nkj))
+                .min(T::ONE)
+                .max(-T::ONE);
+            let theta = T::from_f64(cos_t.to_f64().acos());
+            let k = T::from_f64(a.k);
+            let dt = theta - T::from_f64(a.theta0);
+            pe += T::HALF * k * dt * dt;
+
+            // F_i = −k(θ−θ₀)·∂θ/∂r_i with ∂θ/∂r = −(1/sinθ)·∂cosθ/∂r,
+            // so F_i = +(k·(θ−θ₀)/sinθ)·∂cosθ/∂r_i.
+            let sin_t = T::from_f64((1.0 - cos_t.to_f64() * cos_t.to_f64()).max(1e-12).sqrt());
+            let coeff = (k * dt) / sin_t;
+            // ∂cosθ/∂r_i and ∂cosθ/∂r_k:
+            let di = (rkj / (nij * nkj)) - rij * (cos_t / (nij * nij));
+            let dk = (rij / (nij * nkj)) - rkj * (cos_t / (nkj * nkj));
+            let fi = di * coeff;
+            let fk = dk * coeff;
+            sys.accelerations[a.i] += fi * inv_m;
+            sys.accelerations[a.k_atom] += fk * inv_m;
+            sys.accelerations[a.j] -= (fi + fk) * inv_m;
+        }
+
+        pe
+    }
+
+    /// Bonded potential energy only (no force accumulation).
+    pub fn energy<T: Real>(&self, sys: &ParticleSystem<T>) -> T {
+        let mut scratch = sys.clone();
+        for a in scratch.accelerations.iter_mut() {
+            *a = Vec3::zero();
+        }
+        // accumulate_forces returns the energy; the scratch clone discards
+        // the force side effects.
+        self.clone().accumulate_forces(&mut scratch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_atoms(sep: f64) -> ParticleSystem<f64> {
+        let mut sys = ParticleSystem::new(2, 100.0);
+        sys.positions[0] = Vec3::new(10.0, 10.0, 10.0);
+        sys.positions[1] = Vec3::new(10.0 + sep, 10.0, 10.0);
+        sys
+    }
+
+    #[test]
+    fn bond_at_equilibrium_is_force_free() {
+        let mut sys = two_atoms(1.5);
+        let topo = BondedTopology::new().with_bond(0, 1, 100.0, 1.5);
+        let pe = topo.accumulate_forces(&mut sys);
+        assert!(pe.abs() < 1e-12);
+        assert!(sys.accelerations[0].norm() < 1e-12);
+    }
+
+    #[test]
+    fn stretched_bond_pulls_together() {
+        let mut sys = two_atoms(2.0);
+        let topo = BondedTopology::new().with_bond(0, 1, 100.0, 1.5);
+        let pe = topo.accumulate_forces(&mut sys);
+        // V = ½·100·0.5² = 12.5
+        assert!((pe - 12.5).abs() < 1e-12);
+        // Atom 0 pulled toward +x (toward atom 1), magnitude k·dr = 50.
+        assert!((sys.accelerations[0].x - 50.0).abs() < 1e-9);
+        assert!((sys.accelerations[0] + sys.accelerations[1]).norm() < 1e-12, "Newton's 3rd law");
+    }
+
+    #[test]
+    fn compressed_bond_pushes_apart() {
+        let mut sys = two_atoms(1.0);
+        let topo = BondedTopology::new().with_bond(0, 1, 100.0, 1.5);
+        topo.accumulate_forces(&mut sys);
+        assert!(sys.accelerations[0].x < 0.0, "atom 0 pushed away from atom 1");
+    }
+
+    #[test]
+    fn bond_force_matches_numeric_gradient() {
+        let topo = BondedTopology::new().with_bond(0, 1, 37.0, 1.2);
+        let h = 1e-6;
+        for sep in [0.9, 1.2, 1.7] {
+            let mut sys = two_atoms(sep);
+            topo.accumulate_forces(&mut sys);
+            let analytic = sys.accelerations[0].x;
+            let e = |s: f64| topo.energy(&two_atoms(s));
+            // Moving atom 0 by +dx shrinks the separation.
+            let numeric = -(e(sep - h) - e(sep + h)) / (2.0 * h);
+            assert!(
+                (analytic - numeric).abs() < 1e-4 * numeric.abs().max(1.0),
+                "sep {sep}: {analytic} vs {numeric}"
+            );
+        }
+    }
+
+    fn water_like(theta: f64) -> ParticleSystem<f64> {
+        // Vertex at origin-ish; arms of length 1 at ±θ/2 around +x.
+        let mut sys = ParticleSystem::new(3, 100.0);
+        sys.positions[1] = Vec3::new(50.0, 50.0, 50.0); // vertex j
+        let half = theta / 2.0;
+        sys.positions[0] = sys.positions[1] + Vec3::new(half.cos(), half.sin(), 0.0);
+        sys.positions[2] = sys.positions[1] + Vec3::new(half.cos(), -half.sin(), 0.0);
+        sys
+    }
+
+    #[test]
+    fn angle_at_equilibrium_is_force_free() {
+        let theta0 = 1.9106; // ~109.47°
+        let mut sys = water_like(theta0);
+        let topo = BondedTopology::new().with_angle(0, 1, 2, 50.0, theta0);
+        let pe = topo.accumulate_forces(&mut sys);
+        assert!(pe.abs() < 1e-9);
+        for a in &sys.accelerations {
+            assert!(a.norm() < 1e-6, "{a:?}");
+        }
+    }
+
+    #[test]
+    fn bent_angle_restores_and_conserves_momentum() {
+        let theta0 = 2.0;
+        let mut sys = water_like(1.6); // compressed angle
+        let topo = BondedTopology::new().with_angle(0, 1, 2, 50.0, theta0);
+        let pe = topo.accumulate_forces(&mut sys);
+        assert!(pe > 0.0);
+        let net = sys.accelerations[0] + sys.accelerations[1] + sys.accelerations[2];
+        assert!(net.norm() < 1e-9, "net bonded force {net:?}");
+        // Arms should be pushed apart (opening the angle): the y components
+        // of the arm forces point away from the bisector.
+        assert!(sys.accelerations[0].y > 0.0);
+        assert!(sys.accelerations[2].y < 0.0);
+    }
+
+    #[test]
+    fn angle_energy_matches_numeric_gradient() {
+        let topo = BondedTopology::new().with_angle(0, 1, 2, 31.0, 1.8);
+        let h = 1e-6;
+        let theta = 1.4;
+        let mut sys = water_like(theta);
+        topo.accumulate_forces(&mut sys);
+        // Perturb atom 0 along y and compare dE/dy with the analytic force.
+        let e_at = |dy: f64| {
+            let mut s = water_like(theta);
+            s.positions[0].y += dy;
+            topo.energy(&s)
+        };
+        let numeric = -(e_at(h) - e_at(-h)) / (2.0 * h);
+        let analytic = sys.accelerations[0].y;
+        assert!(
+            (analytic - numeric).abs() < 1e-4 * numeric.abs().max(1.0),
+            "{analytic} vs {numeric}"
+        );
+    }
+
+    #[test]
+    fn bonded_dynamics_conserve_energy() {
+        // A diatomic spring oscillating in NVE: total (bond PE + KE) constant.
+        use crate::verlet::VelocityVerlet;
+        let topo = BondedTopology::new().with_bond(0, 1, 80.0, 1.5);
+        let mut sys = two_atoms(1.8); // stretched start
+        let vv = VelocityVerlet::new(0.001);
+        let pe0 = topo.accumulate_forces(&mut sys);
+        let e0 = pe0 + sys.kinetic_energy();
+        let mut pe = pe0;
+        for _ in 0..2000 {
+            vv.kick_drift(&mut sys);
+            for a in sys.accelerations.iter_mut() {
+                *a = Vec3::zero();
+            }
+            pe = topo.accumulate_forces(&mut sys);
+            vv.kick(&mut sys);
+        }
+        let e1 = pe + sys.kinetic_energy();
+        assert!(
+            ((e1 - e0) / e0).abs() < 1e-4,
+            "bonded NVE drift: {e0} -> {e1}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn self_bond_rejected() {
+        BondedTopology::new().with_bond(3, 3, 1.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_detected() {
+        let mut sys = two_atoms(1.0);
+        let topo = BondedTopology::new().with_bond(0, 5, 1.0, 1.0);
+        topo.accumulate_forces(&mut sys);
+    }
+}

@@ -1,0 +1,192 @@
+//! Cell (linked-cell) lists: O(N) force evaluation.
+//!
+//! The second standard cache-friendly technique the paper's related work
+//! mentions. The box is divided into cells at least `cutoff` wide; each atom
+//! only tests atoms in its own and the 26 neighboring cells. Complexity drops
+//! from O(N²) to O(N) at fixed density.
+
+use crate::forces::ForceKernel;
+use crate::lj::LjParams;
+use crate::system::ParticleSystem;
+use vecmath::{pbc, Real, Vec3};
+
+/// Cell-list force kernel. Rebuilds its binning every call (binning is O(N)
+/// and cheap relative to the force loop).
+#[derive(Clone, Debug, Default)]
+pub struct CellListKernel {
+    /// Cells per box edge at the last build (diagnostic).
+    pub cells_per_edge: usize,
+    /// head[c] = first atom in cell c, next[i] = next atom in i's cell.
+    head: Vec<i32>,
+    next: Vec<i32>,
+}
+
+impl CellListKernel {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn bin<T: Real>(&mut self, sys: &ParticleSystem<T>, cutoff: T) {
+        let l = sys.box_len.to_f64();
+        let m = ((l / cutoff.to_f64()).floor() as usize).max(1);
+        self.cells_per_edge = m;
+        self.head.clear();
+        self.head.resize(m * m * m, -1);
+        self.next.clear();
+        self.next.resize(sys.n(), -1);
+        let mf = m as f64;
+        for (i, p) in sys.positions.iter().enumerate() {
+            let cx = ((p.x.to_f64() / l * mf) as usize).min(m - 1);
+            let cy = ((p.y.to_f64() / l * mf) as usize).min(m - 1);
+            let cz = ((p.z.to_f64() / l * mf) as usize).min(m - 1);
+            let c = (cx * m + cy) * m + cz;
+            self.next[i] = self.head[c];
+            self.head[c] = i as i32;
+        }
+    }
+
+    /// Whether a cell decomposition finer than 1 cell/edge exists for this
+    /// geometry (otherwise the kernel degenerates to all-pairs).
+    pub fn effective_for<T: Real>(sys: &ParticleSystem<T>, cutoff: T) -> bool {
+        (sys.box_len.to_f64() / cutoff.to_f64()).floor() as usize >= 3
+    }
+}
+
+impl<T: Real> ForceKernel<T> for CellListKernel {
+    fn compute(&mut self, sys: &mut ParticleSystem<T>, params: &LjParams<T>) -> T {
+        self.bin(sys, params.cutoff);
+        let m = self.cells_per_edge as i64;
+        let l = sys.box_len;
+        let cutoff2 = params.cutoff2();
+        let inv_m = sys.mass.recip();
+        let mut pe_twice = T::ZERO;
+
+        // Gather formulation (like the device kernels): for each atom, scan
+        // its 27 surrounding cells; every pair is seen twice.
+        let n = sys.n();
+        let mut acc = vec![Vec3::<T>::zero(); n];
+        for (i, acc_i) in acc.iter_mut().enumerate() {
+            let p = sys.positions[i];
+            let lf = l.to_f64();
+            let mf = m as f64;
+            let cx = ((p.x.to_f64() / lf * mf) as i64).min(m - 1);
+            let cy = ((p.y.to_f64() / lf * mf) as i64).min(m - 1);
+            let cz = ((p.z.to_f64() / lf * mf) as i64).min(m - 1);
+            let mut ai = Vec3::zero();
+            // Collect the surrounding cell indices, deduplicated: with fewer
+            // than 3 cells per edge the ±1 offsets alias the same cell and a
+            // naive scan would double-count pairs.
+            let mut cells = [0usize; 27];
+            let mut n_cells = 0;
+            for dx in -1..=1i64 {
+                for dy in -1..=1i64 {
+                    for dz in -1..=1i64 {
+                        let nx = (cx + dx).rem_euclid(m);
+                        let ny = (cy + dy).rem_euclid(m);
+                        let nz = (cz + dz).rem_euclid(m);
+                        let c = ((nx * m + ny) * m + nz) as usize;
+                        if !cells[..n_cells].contains(&c) {
+                            cells[n_cells] = c;
+                            n_cells += 1;
+                        }
+                    }
+                }
+            }
+            for &c in &cells[..n_cells] {
+                let mut j = self.head[c];
+                while j >= 0 {
+                    let ju = j as usize;
+                    if ju != i {
+                        let d = pbc::min_image_branchy(p - sys.positions[ju], l);
+                        let r2 = d.norm2();
+                        if r2 < cutoff2 {
+                            let (e, f_over_r) = params.energy_force(r2);
+                            pe_twice += e;
+                            ai += d * (f_over_r * inv_m);
+                        }
+                    }
+                    j = self.next[ju];
+                }
+            }
+            *acc_i = ai;
+        }
+        sys.accelerations.copy_from_slice(&acc);
+        pe_twice * T::HALF
+    }
+
+    fn name(&self) -> &'static str {
+        "cell-list"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forces::AllPairsHalfKernel;
+    use crate::init::initialize;
+    use crate::params::SimConfig;
+
+    #[test]
+    fn matches_reference_large_box() {
+        // 2048 atoms → box ≈ 13.4σ, cells_per_edge = 5: a real decomposition.
+        let cfg = SimConfig::reduced_lj(2048);
+        let mut s1: ParticleSystem<f64> = initialize(&cfg);
+        let mut s2 = s1.clone();
+        let params = cfg.lj_params();
+        let pe_ref = AllPairsHalfKernel.compute(&mut s1, &params);
+        let mut cl = CellListKernel::new();
+        let pe_cl = cl.compute(&mut s2, &params);
+        assert!(cl.cells_per_edge >= 5, "expected real cells, got {}", cl.cells_per_edge);
+        assert!(
+            (pe_ref - pe_cl).abs() < 1e-9 * pe_ref.abs(),
+            "{pe_ref} vs {pe_cl}"
+        );
+        for (a, b) in s1.accelerations.iter().zip(&s2.accelerations) {
+            assert!((*a - *b).norm() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn matches_reference_small_box_degenerate() {
+        // 108 atoms → box ≈ 5σ → m = 2: cells wrap around and each atom sees
+        // every cell; still must be correct (duplicate-image hazard is the
+        // classic cell-list bug this test pins).
+        let cfg = SimConfig::reduced_lj(108);
+        let mut s1: ParticleSystem<f64> = initialize(&cfg);
+        let mut s2 = s1.clone();
+        let params = cfg.lj_params();
+        let pe_ref = AllPairsHalfKernel.compute(&mut s1, &params);
+        let mut cl = CellListKernel::new();
+        let pe_cl = cl.compute(&mut s2, &params);
+        assert!(
+            (pe_ref - pe_cl).abs() < 1e-6 * pe_ref.abs(),
+            "{pe_ref} vs {pe_cl}"
+        );
+    }
+
+    #[test]
+    fn effectiveness_predicate() {
+        let big: ParticleSystem<f64> = initialize(&SimConfig::reduced_lj(2048));
+        let small: ParticleSystem<f64> = initialize(&SimConfig::reduced_lj(108));
+        assert!(CellListKernel::effective_for(&big, 2.5));
+        assert!(!CellListKernel::effective_for(&small, 2.5));
+    }
+
+    #[test]
+    fn binning_covers_all_atoms() {
+        let cfg = SimConfig::reduced_lj(500);
+        let sys: ParticleSystem<f64> = initialize(&cfg);
+        let mut cl = CellListKernel::new();
+        cl.bin(&sys, 2.5);
+        let mut seen = vec![false; sys.n()];
+        for &h in &cl.head {
+            let mut j = h;
+            while j >= 0 {
+                assert!(!seen[j as usize], "atom {j} binned twice");
+                seen[j as usize] = true;
+                j = cl.next[j as usize];
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "every atom binned exactly once");
+    }
+}

@@ -1,0 +1,225 @@
+//! Workload generation: lattice positions and Maxwell-Boltzmann velocities.
+//!
+//! The paper's experiments sweep the number of atoms (256 … 8192); each run
+//! starts from a regular lattice at a target density with thermal velocities.
+//! Initialization is fully deterministic given the `SimConfig` seed.
+
+use crate::params::SimConfig;
+use crate::rng::SplitMix64;
+use crate::system::ParticleSystem;
+use serde::{Deserialize, Serialize};
+use vecmath::{Real, Vec3};
+
+/// Initial placement lattice.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Lattice {
+    /// Simple cubic: 1 atom per unit cell.
+    SimpleCubic,
+    /// Face-centered cubic: 4 atoms per unit cell — the ground-state packing
+    /// for LJ solids, giving uniform density with no overlaps.
+    Fcc,
+}
+
+impl Lattice {
+    pub fn atoms_per_cell(self) -> usize {
+        match self {
+            Lattice::SimpleCubic => 1,
+            Lattice::Fcc => 4,
+        }
+    }
+
+    /// Smallest number of unit cells per box edge that holds >= n atoms.
+    pub fn cells_for(self, n: usize) -> usize {
+        let per = self.atoms_per_cell();
+        let mut c = 1usize;
+        while c * c * c * per < n {
+            c += 1;
+        }
+        c
+    }
+
+    /// Fractional offsets of the basis atoms within a unit cell.
+    fn basis(self) -> &'static [[f64; 3]] {
+        match self {
+            Lattice::SimpleCubic => &[[0.25, 0.25, 0.25]],
+            Lattice::Fcc => &[
+                [0.25, 0.25, 0.25],
+                [0.75, 0.75, 0.25],
+                [0.75, 0.25, 0.75],
+                [0.25, 0.75, 0.75],
+            ],
+        }
+    }
+}
+
+/// Box side length used by [`initialize`] for a config (same as
+/// `SimConfig::box_len`, re-exported for symmetry).
+pub fn lattice_box_len(config: &SimConfig) -> f64 {
+    config.box_len()
+}
+
+/// Build a fully initialized system:
+///
+/// 1. place atoms on the configured lattice inside a cubic box sized for the
+///    target density (truncating to exactly `n_atoms` when `exact_n`),
+/// 2. draw Maxwell-Boltzmann velocities at the target temperature,
+/// 3. remove net momentum and rescale to the exact target temperature.
+pub fn initialize<T: Real>(config: &SimConfig) -> ParticleSystem<T> {
+    config.validate();
+    let n_target = config.n_atoms;
+    let cells = config.lattice.cells_for(n_target);
+    let box_len = config.box_len();
+    let cell = box_len / cells as f64;
+
+    let mut positions = Vec::with_capacity(n_target);
+    'fill: for ix in 0..cells {
+        for iy in 0..cells {
+            for iz in 0..cells {
+                for b in config.lattice.basis() {
+                    if positions.len() == n_target {
+                        break 'fill;
+                    }
+                    positions.push(Vec3::new(
+                        T::from_f64((ix as f64 + b[0]) * cell),
+                        T::from_f64((iy as f64 + b[1]) * cell),
+                        T::from_f64((iz as f64 + b[2]) * cell),
+                    ));
+                }
+            }
+        }
+    }
+    assert_eq!(positions.len(), n_target);
+
+    let mut sys = ParticleSystem::new(n_target, T::from_f64(box_len));
+    sys.positions = positions;
+
+    let mut rng = SplitMix64::new(config.seed);
+    maxwell_boltzmann(&mut sys, config.temperature, &mut rng);
+    sys
+}
+
+/// Draw velocities from the Maxwell-Boltzmann distribution at `temperature`,
+/// remove the net momentum, and rescale so the instantaneous temperature is
+/// exactly the target.
+pub fn maxwell_boltzmann<T: Real>(
+    sys: &mut ParticleSystem<T>,
+    temperature: f64,
+    rng: &mut SplitMix64,
+) {
+    let n = sys.n();
+    if n == 0 {
+        return;
+    }
+    let stddev = (temperature / sys.mass.to_f64()).sqrt();
+    for v in &mut sys.velocities {
+        *v = Vec3::new(
+            T::from_f64(stddev * rng.gaussian()),
+            T::from_f64(stddev * rng.gaussian()),
+            T::from_f64(stddev * rng.gaussian()),
+        );
+    }
+
+    // Remove center-of-mass drift.
+    let drift = sys.total_momentum() / (T::from_usize(n) * sys.mass);
+    for v in &mut sys.velocities {
+        *v -= drift;
+    }
+
+    // Exact rescale to the target temperature (skip for T=0 or single atom).
+    let current = sys.temperature().to_f64();
+    if current > 0.0 && temperature > 0.0 {
+        let scale = T::from_f64((temperature / current).sqrt());
+        for v in &mut sys.velocities {
+            *v = *v * scale;
+        }
+    } else {
+        for v in &mut sys.velocities {
+            *v = Vec3::zero();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(n: usize) -> SimConfig {
+        SimConfig::reduced_lj(n)
+    }
+
+    #[test]
+    fn exact_atom_count() {
+        for &n in &[256usize, 500, 864, 2048] {
+            let sys: ParticleSystem<f64> = initialize(&cfg(n));
+            assert_eq!(sys.n(), n);
+        }
+    }
+
+    #[test]
+    fn all_positions_inside_box() {
+        let sys: ParticleSystem<f64> = initialize(&cfg(500));
+        let l = sys.box_len;
+        for p in &sys.positions {
+            for k in 0..3 {
+                assert!((0.0..l).contains(&p[k]));
+            }
+        }
+    }
+
+    #[test]
+    fn no_overlapping_atoms() {
+        let sys: ParticleSystem<f64> = initialize(&cfg(256));
+        // FCC nearest-neighbor distance at ρ*=0.8442 is ~1.09σ; assert a
+        // conservative lower bound well above the hard-core wall.
+        let mut min2 = f64::INFINITY;
+        for i in 0..sys.n() {
+            for j in (i + 1)..sys.n() {
+                min2 = min2.min(sys.distance2(i, j));
+            }
+        }
+        assert!(min2.sqrt() > 0.8, "closest pair {:.3}σ", min2.sqrt());
+    }
+
+    #[test]
+    fn temperature_exact_and_momentum_zero() {
+        let sys: ParticleSystem<f64> = initialize(&cfg(864));
+        assert!((sys.temperature() - 0.728).abs() < 1e-12);
+        let p = sys.total_momentum();
+        assert!(p.norm() < 1e-10, "net momentum {:?}", p);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a: ParticleSystem<f64> = initialize(&cfg(256));
+        let b: ParticleSystem<f64> = initialize(&cfg(256));
+        assert_eq!(a.positions, b.positions);
+        assert_eq!(a.velocities, b.velocities);
+        let c: ParticleSystem<f64> = initialize(&cfg(256).with_seed(77));
+        assert_ne!(a.velocities, c.velocities, "different seed, different draws");
+        assert_eq!(a.positions, c.positions, "lattice does not depend on seed");
+    }
+
+    #[test]
+    fn simple_cubic_lattice_works() {
+        let sys: ParticleSystem<f64> =
+            initialize(&cfg(216).with_lattice(Lattice::SimpleCubic));
+        assert_eq!(sys.n(), 216); // 6³
+    }
+
+    #[test]
+    fn cells_for_rounds_up() {
+        assert_eq!(Lattice::Fcc.cells_for(256), 4); // 4³·4 = 256
+        assert_eq!(Lattice::Fcc.cells_for(257), 5);
+        assert_eq!(Lattice::SimpleCubic.cells_for(27), 3);
+        assert_eq!(Lattice::SimpleCubic.cells_for(28), 4);
+    }
+
+    #[test]
+    fn f32_initialization_close_to_f64() {
+        let a: ParticleSystem<f64> = initialize(&cfg(256));
+        let b: ParticleSystem<f32> = initialize(&cfg(256));
+        for (pa, pb) in a.positions.iter().zip(&b.positions) {
+            assert!((pa.x - pb.x as f64).abs() < 1e-5);
+        }
+    }
+}

@@ -1,0 +1,236 @@
+//! The 6-12 Lennard-Jones potential (paper section 3.4):
+//!
+//! ```text
+//! V(r) = 4ε [ (σ/r)¹² − (σ/r)⁶ ]
+//! ```
+//!
+//! combining long-range attraction (r⁻⁶) and short-range repulsion (r⁻¹²).
+//! Forces and energies are evaluated from r² only — no square root is needed
+//! on the hot path, matching every production LJ kernel and the paper's.
+
+use serde::{Deserialize, Serialize};
+use vecmath::Real;
+
+/// Lennard-Jones interaction parameters.
+///
+/// ```
+/// use md_core::lj::LjParams;
+///
+/// let lj = LjParams::<f64>::reduced(2.5);
+/// // V(σ) = 0, V(r_min) = −ε:
+/// assert!(lj.energy(1.0).abs() < 1e-12);
+/// let rm = lj.r_min();
+/// assert!((lj.energy(rm * rm) + 1.0).abs() < 1e-12);
+/// // Nothing beyond the cutoff:
+/// assert_eq!(lj.energy(2.5 * 2.5), 0.0);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LjParams<T> {
+    /// Well depth ε.
+    pub epsilon: T,
+    /// Zero-crossing distance σ.
+    pub sigma: T,
+    /// Radial cutoff r_c: pairs with r ≥ r_c contribute nothing.
+    pub cutoff: T,
+    /// Energy shift subtracted inside the cutoff. Zero for plain truncation
+    /// (the paper's kernel); `V(r_c)` for the energy-continuous "truncated
+    /// and shifted" form that eliminates cutoff-crossing energy jumps.
+    pub shift: T,
+}
+
+impl<T: Real> LjParams<T> {
+    pub fn new(epsilon: T, sigma: T, cutoff: T) -> Self {
+        Self {
+            epsilon,
+            sigma,
+            cutoff,
+            shift: T::ZERO,
+        }
+    }
+
+    /// Reduced units: ε = σ = 1.
+    pub fn reduced(cutoff: T) -> Self {
+        Self::new(T::ONE, T::ONE, cutoff)
+    }
+
+    /// Truncated-and-shifted form: same forces, energy continuous at the
+    /// cutoff (so NVE total energy conserves to O(dt²) rather than being
+    /// dominated by cutoff-crossing jumps).
+    pub fn shifted(mut self) -> Self {
+        let s2 = self.sigma * self.sigma / self.cutoff2();
+        let s6 = s2 * s2 * s2;
+        self.shift = T::from_f64(4.0) * self.epsilon * (s6 * s6 - s6);
+        self
+    }
+
+    /// Squared cutoff, the quantity the kernel actually compares against.
+    #[inline(always)]
+    pub fn cutoff2(&self) -> T {
+        self.cutoff * self.cutoff
+    }
+
+    /// Pair energy V(r) from squared separation. Returns 0 beyond cutoff.
+    #[inline(always)]
+    pub fn energy(&self, r2: T) -> T {
+        if r2 >= self.cutoff2() || r2 == T::ZERO {
+            return T::ZERO;
+        }
+        let s2 = self.sigma * self.sigma / r2;
+        let s6 = s2 * s2 * s2;
+        T::from_f64(4.0) * self.epsilon * (s6 * s6 - s6) - self.shift
+    }
+
+    /// `F(r)/r` from squared separation: multiplying the displacement vector
+    /// by this scalar yields the force vector on atom i due to atom j
+    /// (pointing from j to i for repulsion). Returns 0 beyond cutoff.
+    ///
+    /// Derivation: F(r) = −dV/dr = 24 ε (2 (σ/r)¹² − (σ/r)⁶) / r, so
+    /// F/r = 24 ε (2 s6² − s6) / r².
+    #[inline(always)]
+    pub fn force_over_r(&self, r2: T) -> T {
+        if r2 >= self.cutoff2() || r2 == T::ZERO {
+            return T::ZERO;
+        }
+        let inv_r2 = r2.recip();
+        let s2 = self.sigma * self.sigma * inv_r2;
+        let s6 = s2 * s2 * s2;
+        T::from_f64(24.0) * self.epsilon * (T::TWO * s6 * s6 - s6) * inv_r2
+    }
+
+    /// Energy and force/r in one evaluation (shares the s6 computation, the
+    /// form every device kernel uses).
+    #[inline(always)]
+    pub fn energy_force(&self, r2: T) -> (T, T) {
+        if r2 >= self.cutoff2() || r2 == T::ZERO {
+            return (T::ZERO, T::ZERO);
+        }
+        let inv_r2 = r2.recip();
+        let s2 = self.sigma * self.sigma * inv_r2;
+        let s6 = s2 * s2 * s2;
+        let s12 = s6 * s6;
+        let four = T::from_f64(4.0);
+        let e = four * self.epsilon * (s12 - s6) - self.shift;
+        let f = T::from_f64(24.0) * self.epsilon * (T::TWO * s12 - s6) * inv_r2;
+        (e, f)
+    }
+
+    /// The separation at which the potential is minimal: r_min = 2^(1/6) σ.
+    pub fn r_min(&self) -> T {
+        self.sigma * T::from_f64(2f64.powf(1.0 / 6.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn p() -> LjParams<f64> {
+        LjParams::reduced(2.5)
+    }
+
+    #[test]
+    fn zero_crossing_at_sigma() {
+        let e = p().energy(1.0); // r = σ = 1
+        assert!(e.abs() < 1e-12, "V(σ) = 0, got {e}");
+    }
+
+    #[test]
+    fn minimum_at_r_min() {
+        let params = p();
+        let rm = params.r_min();
+        let e_min = params.energy(rm * rm);
+        assert!((e_min + 1.0).abs() < 1e-12, "V(r_min) = −ε, got {e_min}");
+        // Force vanishes at the minimum.
+        assert!(params.force_over_r(rm * rm).abs() < 1e-9);
+    }
+
+    #[test]
+    fn repulsive_inside_minimum_attractive_outside() {
+        let params = p();
+        assert!(params.force_over_r(0.9 * 0.9) > 0.0, "repulsion pushes apart");
+        assert!(params.force_over_r(1.5 * 1.5) < 0.0, "attraction pulls together");
+    }
+
+    #[test]
+    fn zero_beyond_cutoff() {
+        let params = p();
+        assert_eq!(params.energy(6.25), 0.0);
+        assert_eq!(params.force_over_r(6.26), 0.0);
+        assert_eq!(params.energy_force(100.0), (0.0, 0.0));
+    }
+
+    #[test]
+    fn zero_at_zero_separation_guard() {
+        // r² = 0 (self-interaction) must not produce NaN/inf.
+        let params = p();
+        assert_eq!(params.energy(0.0), 0.0);
+        assert_eq!(params.force_over_r(0.0), 0.0);
+    }
+
+    #[test]
+    fn shifted_potential_continuous_at_cutoff() {
+        let params = LjParams::<f64>::reduced(2.5).shifted();
+        let just_inside = params.energy(2.5 * 2.5 * (1.0 - 1e-9));
+        assert!(just_inside.abs() < 1e-8, "V(r_c⁻) ≈ 0, got {just_inside}");
+        assert_eq!(params.energy(2.5 * 2.5), 0.0, "zero outside");
+        // Forces unchanged by the shift.
+        let unshifted = LjParams::<f64>::reduced(2.5);
+        assert_eq!(params.force_over_r(1.44), unshifted.force_over_r(1.44));
+    }
+
+    #[test]
+    fn f32_and_f64_agree() {
+        let p64 = LjParams::<f64>::reduced(2.5);
+        let p32 = LjParams::<f32>::reduced(2.5);
+        for &r in &[0.8, 0.95, 1.0, 1.12, 1.5, 2.0, 2.4] {
+            let (e64, f64v) = p64.energy_force(r * r);
+            let (e32, f32v) = p32.energy_force((r * r) as f32);
+            assert!(
+                (e64 - e32 as f64).abs() < 1e-4 * e64.abs().max(1.0),
+                "energy mismatch at r={r}"
+            );
+            assert!(
+                (f64v - f32v as f64).abs() < 1e-3 * f64v.abs().max(1.0),
+                "force mismatch at r={r}"
+            );
+        }
+    }
+
+    proptest! {
+        /// force_over_r equals the negative derivative of energy (central
+        /// difference), divided by r.
+        #[test]
+        fn force_is_energy_gradient(r in 0.85f64..2.4) {
+            let params = p();
+            let h = 1e-6;
+            let e_plus = params.energy((r + h) * (r + h));
+            let e_minus = params.energy((r - h) * (r - h));
+            let f_numeric = -(e_plus - e_minus) / (2.0 * h);
+            let f_analytic = params.force_over_r(r * r) * r;
+            let tol = 1e-4 * f_analytic.abs().max(1.0);
+            prop_assert!((f_numeric - f_analytic).abs() < tol,
+                "r={r}: numeric {f_numeric} vs analytic {f_analytic}");
+        }
+
+        /// energy_force agrees with the individual evaluators.
+        #[test]
+        fn combined_matches_separate(r2 in 0.5f64..7.0) {
+            let params = p();
+            let (e, f) = params.energy_force(r2);
+            prop_assert_eq!(e, params.energy(r2));
+            prop_assert_eq!(f, params.force_over_r(r2));
+        }
+
+        /// Scaling ε scales both energy and force linearly.
+        #[test]
+        fn epsilon_linearity(r2 in 0.7f64..6.0, eps in 0.1f64..10.0) {
+            let base = LjParams::new(1.0, 1.0, 2.5);
+            let scaled = LjParams::new(eps, 1.0, 2.5);
+            let (e1, f1) = base.energy_force(r2);
+            let (e2, f2) = scaled.energy_force(r2);
+            prop_assert!((e2 - eps * e1).abs() < 1e-9 * e1.abs().max(1.0));
+            prop_assert!((f2 - eps * f1).abs() < 1e-9 * f1.abs().max(1.0));
+        }
+    }
+}

@@ -1,0 +1,238 @@
+//! High-level simulation driver: the one-stop API the examples use.
+
+use crate::bonded::BondedTopology;
+use crate::forces::{AllPairsHalfKernel, ForceKernel};
+use crate::init;
+use crate::lj::LjParams;
+use crate::observables::EnergyReport;
+use crate::params::SimConfig;
+use crate::system::ParticleSystem;
+use crate::verlet::VelocityVerlet;
+use vecmath::Real;
+
+/// A ready-to-run MD simulation: system state + integrator + force kernel,
+/// optionally with a bonded topology layered on top of the non-bonded LJ
+/// interactions (the paper's force field split, §3.5).
+pub struct Simulation<T: Real> {
+    pub system: ParticleSystem<T>,
+    pub params: LjParams<T>,
+    pub integrator: VelocityVerlet<T>,
+    kernel: Box<dyn ForceKernel<T> + Send>,
+    topology: BondedTopology,
+    /// Potential energy at the current positions.
+    last_pe: T,
+    steps_done: usize,
+}
+
+impl<T: Real> Simulation<T> {
+    /// Initialize from a config with the default sequential kernel and prime
+    /// the accelerations (so the first Verlet half-kick is correct).
+    pub fn prepare(config: SimConfig) -> Self {
+        Self::prepare_with_kernel(config, Box::new(AllPairsHalfKernel))
+    }
+
+    /// Initialize with a caller-chosen force kernel.
+    pub fn prepare_with_kernel(
+        config: SimConfig,
+        mut kernel: Box<dyn ForceKernel<T> + Send>,
+    ) -> Self {
+        let mut system = init::initialize::<T>(&config);
+        let params = config.lj_params();
+        let last_pe = kernel.compute(&mut system, &params);
+        Self {
+            system,
+            params,
+            integrator: VelocityVerlet::new(T::from_f64(config.dt)),
+            kernel,
+            topology: BondedTopology::new(),
+            last_pe,
+            steps_done: 0,
+        }
+    }
+
+    /// Attach a bonded topology (harmonic bonds/angles evaluated on top of
+    /// the non-bonded kernel each step). Recomputes forces.
+    pub fn set_topology(&mut self, topology: BondedTopology) {
+        topology.validate(self.system.n());
+        self.topology = topology;
+        self.recompute_forces();
+    }
+
+    pub fn topology(&self) -> &BondedTopology {
+        &self.topology
+    }
+
+    fn recompute_forces(&mut self) {
+        let mut pe = self.kernel.compute(&mut self.system, &self.params);
+        if !self.topology.is_empty() {
+            pe += self.topology.accumulate_forces(&mut self.system);
+        }
+        self.last_pe = pe;
+    }
+
+    /// Advance one time step; returns the post-step energies.
+    pub fn step(&mut self) -> EnergyReport {
+        if self.topology.is_empty() {
+            self.last_pe =
+                self.integrator
+                    .step(&mut self.system, self.kernel.as_mut(), &self.params);
+        } else {
+            // Same velocity-Verlet splitting, with the bonded terms added to
+            // the freshly computed non-bonded forces.
+            self.integrator.kick_drift(&mut self.system);
+            self.recompute_forces();
+            self.integrator.kick(&mut self.system);
+        }
+        self.steps_done += 1;
+        self.energies()
+    }
+
+    /// Advance `n` steps; returns the final energies.
+    pub fn run(&mut self, n: usize) -> EnergyReport {
+        let mut report = self.energies();
+        for _ in 0..n {
+            report = self.step();
+        }
+        report
+    }
+
+    /// Current energies without advancing.
+    pub fn energies(&self) -> EnergyReport {
+        EnergyReport::measure(&self.system, self.last_pe.to_f64())
+    }
+
+    pub fn total_energy(&self) -> f64 {
+        self.energies().total
+    }
+
+    pub fn potential_energy(&self) -> f64 {
+        self.last_pe.to_f64()
+    }
+
+    pub fn steps_done(&self) -> usize {
+        self.steps_done
+    }
+
+    pub fn kernel_name(&self) -> &'static str {
+        self.kernel.name()
+    }
+
+    /// Swap the force kernel mid-run (e.g. all-pairs during equilibration,
+    /// neighbor list for production). Recomputes forces with the new kernel,
+    /// including any attached bonded topology.
+    pub fn set_kernel(&mut self, kernel: Box<dyn ForceKernel<T> + Send>) {
+        self.kernel = kernel;
+        self.recompute_forces();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::neighbor::NeighborListKernel;
+
+    #[test]
+    fn prepare_primes_accelerations() {
+        let sim = Simulation::<f64>::prepare(SimConfig::reduced_lj(108));
+        assert!(
+            sim.system
+                .accelerations
+                .iter()
+                .any(|a| a.norm2() > 0.0),
+            "forces computed at init"
+        );
+        assert!(sim.potential_energy() < 0.0);
+    }
+
+    #[test]
+    fn run_counts_steps_and_conserves() {
+        let mut sim = Simulation::<f64>::prepare(SimConfig::reduced_lj(108));
+        let e0 = sim.total_energy();
+        let report = sim.run(50);
+        assert_eq!(sim.steps_done(), 50);
+        assert!((report.total - e0).abs() / e0.abs() < 1e-2);
+    }
+
+    #[test]
+    fn run_zero_steps_is_noop() {
+        let mut sim = Simulation::<f64>::prepare(SimConfig::reduced_lj(108));
+        let before = sim.energies();
+        let after = sim.run(0);
+        assert_eq!(before, after);
+        assert_eq!(sim.steps_done(), 0);
+    }
+
+    #[test]
+    fn kernel_swap_preserves_trajectory_energy() {
+        let mut sim = Simulation::<f64>::prepare(SimConfig::reduced_lj(256));
+        sim.run(10);
+        let pe_before = sim.potential_energy();
+        sim.set_kernel(Box::new(NeighborListKernel::with_default_skin()));
+        let pe_after = sim.potential_energy();
+        assert!(
+            (pe_before - pe_after).abs() < 1e-8 * pe_before.abs(),
+            "kernels agree at swap: {pe_before} vs {pe_after}"
+        );
+        assert_eq!(sim.kernel_name(), "neighbor-list");
+    }
+
+    #[test]
+    fn bonded_topology_participates_in_dynamics() {
+        use crate::bonded::BondedTopology;
+        let cfg = SimConfig::reduced_lj(108);
+        let mut plain = Simulation::<f64>::prepare(cfg);
+        let mut bonded = Simulation::<f64>::prepare(cfg);
+        // Bond atoms 0-1 with a stiff spring at their current separation so
+        // the trajectory diverges from the unbonded run once they move.
+        let r01 = bonded.system.distance2(0, 1).sqrt();
+        bonded.set_topology(BondedTopology::new().with_bond(0, 1, 200.0, r01 * 0.8));
+        assert!(!bonded.topology().is_empty());
+
+        let e0 = bonded.total_energy();
+        plain.run(20);
+        bonded.run(20);
+        assert_ne!(
+            plain.system.positions[0], bonded.system.positions[0],
+            "the bond must alter the trajectory"
+        );
+        // NVE still conserves with the bonded term included.
+        let drift = ((bonded.total_energy() - e0) / e0).abs();
+        assert!(drift < 1e-2, "bonded NVE drift {drift:.2e}");
+    }
+
+    #[test]
+    fn kernel_swap_preserves_bonded_forces() {
+        use crate::bonded::BondedTopology;
+        let mut sim = Simulation::<f64>::prepare(SimConfig::reduced_lj(108));
+        let r01 = sim.system.distance2(0, 1).sqrt();
+        sim.set_topology(BondedTopology::new().with_bond(0, 1, 100.0, r01 * 0.5));
+        let pe_before = sim.potential_energy();
+        let acc_before = sim.system.accelerations.clone();
+        sim.set_kernel(Box::new(crate::forces::AllPairsFullKernel));
+        assert!(
+            (sim.potential_energy() - pe_before).abs() < 1e-8 * pe_before.abs(),
+            "bonded PE must survive a kernel swap"
+        );
+        assert!(
+            (sim.system.accelerations[0] - acc_before[0]).norm() < 1e-8,
+            "bonded forces must survive a kernel swap"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn topology_validated_against_system() {
+        use crate::bonded::BondedTopology;
+        let mut sim = Simulation::<f64>::prepare(SimConfig::reduced_lj(108));
+        sim.set_topology(BondedTopology::new().with_bond(0, 500, 1.0, 1.0));
+    }
+
+    #[test]
+    fn f32_simulation_runs() {
+        let mut sim = Simulation::<f32>::prepare(SimConfig::reduced_lj(108));
+        let e0 = sim.total_energy();
+        sim.run(20);
+        let drift = ((sim.total_energy() - e0) / e0).abs();
+        assert!(drift < 1e-2, "f32 drift {drift}");
+    }
+}

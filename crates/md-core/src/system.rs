@@ -1,0 +1,177 @@
+//! The particle system state.
+
+use vecmath::{pbc, Real, Vec3};
+
+/// Positions, velocities, and accelerations of N identical atoms in a cubic
+/// periodic box.
+///
+/// Arrays are stored as `Vec<Vec3<T>>` — the "positions stored in arrays"
+/// layout the paper describes, which is what makes the O(N²) scan
+/// cache-unfriendly on a conventional microprocessor and what the device
+/// simulators transfer through local stores / textures.
+#[derive(Clone, Debug)]
+pub struct ParticleSystem<T> {
+    pub positions: Vec<Vec3<T>>,
+    pub velocities: Vec<Vec3<T>>,
+    pub accelerations: Vec<Vec3<T>>,
+    /// Cubic box side length L.
+    pub box_len: T,
+    /// Uniform atomic mass m (1 in reduced units).
+    pub mass: T,
+}
+
+impl<T: Real> ParticleSystem<T> {
+    /// An empty system (all atoms at the origin, at rest) — callers normally
+    /// use `init::initialize` instead.
+    pub fn new(n: usize, box_len: T) -> Self {
+        Self {
+            positions: vec![Vec3::zero(); n],
+            velocities: vec![Vec3::zero(); n],
+            accelerations: vec![Vec3::zero(); n],
+            box_len,
+            mass: T::ONE,
+        }
+    }
+
+    pub fn n(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Total kinetic energy Σ ½ m v².
+    pub fn kinetic_energy(&self) -> T {
+        let half_m = self.mass * T::HALF;
+        self.velocities.iter().map(|v| half_m * v.norm2()).sum()
+    }
+
+    /// Instantaneous temperature from equipartition: T = 2 KE / (3 N k_B),
+    /// k_B = 1 in reduced units.
+    pub fn temperature(&self) -> T {
+        if self.n() == 0 {
+            return T::ZERO;
+        }
+        T::TWO * self.kinetic_energy() / (T::from_f64(3.0) * T::from_usize(self.n()))
+    }
+
+    /// Total linear momentum Σ m v (should stay ~0 for an NVE run started at
+    /// zero net momentum).
+    pub fn total_momentum(&self) -> Vec3<T> {
+        let mut p = Vec3::zero();
+        for v in &self.velocities {
+            p += *v;
+        }
+        p * self.mass
+    }
+
+    /// Wrap every position back into the primary box.
+    pub fn wrap_positions(&mut self) {
+        for p in &mut self.positions {
+            *p = pbc::wrap_position(*p, self.box_len);
+        }
+    }
+
+    /// Minimum-image displacement from atom `j` to atom `i`.
+    #[inline(always)]
+    pub fn displacement(&self, i: usize, j: usize) -> Vec3<T> {
+        pbc::min_image_branchy(self.positions[i] - self.positions[j], self.box_len)
+    }
+
+    /// Squared minimum-image distance between atoms `i` and `j`.
+    #[inline(always)]
+    pub fn distance2(&self, i: usize, j: usize) -> T {
+        self.displacement(i, j).norm2()
+    }
+
+    /// Convert precision (f64 reference state → f32 device state and back).
+    pub fn convert<U: Real>(&self) -> ParticleSystem<U> {
+        ParticleSystem {
+            positions: self
+                .positions
+                .iter()
+                .map(|p| Vec3::from_f64(p.to_f64()))
+                .collect(),
+            velocities: self
+                .velocities
+                .iter()
+                .map(|v| Vec3::from_f64(v.to_f64()))
+                .collect(),
+            accelerations: self
+                .accelerations
+                .iter()
+                .map(|a| Vec3::from_f64(a.to_f64()))
+                .collect(),
+            box_len: U::from_f64(self.box_len.to_f64()),
+            mass: U::from_f64(self.mass.to_f64()),
+        }
+    }
+
+    /// All coordinates finite? (Used as a cheap NaN tripwire in tests.)
+    pub fn is_finite(&self) -> bool {
+        self.positions.iter().all(|p| p.is_finite())
+            && self.velocities.iter().all(|v| v.is_finite())
+            && self.accelerations.iter().all(|a| a.is_finite())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_system_properties() {
+        let s = ParticleSystem::<f64>::new(10, 5.0);
+        assert_eq!(s.n(), 10);
+        assert_eq!(s.kinetic_energy(), 0.0);
+        assert_eq!(s.temperature(), 0.0);
+        assert_eq!(s.total_momentum(), Vec3::zero());
+        assert!(s.is_finite());
+    }
+
+    #[test]
+    fn kinetic_energy_single_mover() {
+        let mut s = ParticleSystem::<f64>::new(2, 5.0);
+        s.velocities[0] = Vec3::new(3.0, 0.0, 4.0); // |v|² = 25
+        assert_eq!(s.kinetic_energy(), 12.5);
+        // T = 2·12.5 / (3·2) = 25/6
+        assert!((s.temperature() - 25.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn displacement_uses_minimum_image() {
+        let mut s = ParticleSystem::<f64>::new(2, 10.0);
+        s.positions[0] = Vec3::new(9.5, 0.0, 0.0);
+        s.positions[1] = Vec3::new(0.5, 0.0, 0.0);
+        let d = s.displacement(0, 1);
+        assert!((d.x - (-1.0)).abs() < 1e-12, "wraps across the boundary");
+        assert!((s.distance2(0, 1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wrap_positions_bounds() {
+        let mut s = ParticleSystem::<f64>::new(3, 4.0);
+        s.positions[0] = Vec3::new(-1.0, 5.0, 3.9);
+        s.positions[1] = Vec3::new(8.1, -0.1, 0.0);
+        s.wrap_positions();
+        for p in &s.positions {
+            for k in 0..3 {
+                assert!((0.0..4.0).contains(&p[k]), "coordinate {} out of box", p[k]);
+            }
+        }
+    }
+
+    #[test]
+    fn precision_roundtrip() {
+        let mut s = ParticleSystem::<f64>::new(2, 7.0);
+        s.positions[0] = Vec3::new(1.5, 2.5, 3.5); // exactly representable
+        let s32: ParticleSystem<f32> = s.convert();
+        let back: ParticleSystem<f64> = s32.convert();
+        assert_eq!(back.positions[0], s.positions[0]);
+        assert_eq!(back.box_len, 7.0);
+    }
+
+    #[test]
+    fn nan_detected() {
+        let mut s = ParticleSystem::<f64>::new(1, 5.0);
+        s.velocities[0].y = f64::NAN;
+        assert!(!s.is_finite());
+    }
+}

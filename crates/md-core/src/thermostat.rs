@@ -1,0 +1,91 @@
+//! Thermostats for equilibration.
+//!
+//! The paper's kernel is pure NVE, but realistic example workloads (melting,
+//! quenching) need temperature control during equilibration. Berendsen-style
+//! velocity rescaling is provided; it is simple, stable, and adequate for
+//! preparing states.
+
+use crate::system::ParticleSystem;
+use vecmath::Real;
+
+/// Velocity-rescaling thermostat with a coupling strength.
+///
+/// After each step: `v *= sqrt(1 + κ (T_target/T − 1))`. κ = 1 is an
+/// immediate hard rescale; small κ relaxes gradually (Berendsen-like).
+#[derive(Clone, Copy, Debug)]
+pub struct VelocityRescale<T> {
+    pub target: T,
+    /// Coupling in (0, 1].
+    pub kappa: T,
+}
+
+impl<T: Real> VelocityRescale<T> {
+    pub fn new(target: T, kappa: T) -> Self {
+        assert!(target >= T::ZERO, "target temperature must be non-negative");
+        assert!(
+            kappa > T::ZERO && kappa <= T::ONE,
+            "coupling must be in (0, 1]"
+        );
+        Self { target, kappa }
+    }
+
+    /// Hard rescale to the target every application.
+    pub fn hard(target: T) -> Self {
+        Self::new(target, T::ONE)
+    }
+
+    /// Apply one rescale. No-op for an empty or motionless system.
+    pub fn apply(&self, sys: &mut ParticleSystem<T>) {
+        let current = sys.temperature();
+        if current <= T::ZERO {
+            return;
+        }
+        let ratio = self.target / current;
+        let factor = (T::ONE + self.kappa * (ratio - T::ONE)).sqrt();
+        for v in &mut sys.velocities {
+            *v = *v * factor;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::initialize;
+    use crate::params::SimConfig;
+
+    #[test]
+    fn hard_rescale_hits_target() {
+        let mut sys: ParticleSystem<f64> = initialize(&SimConfig::reduced_lj(108));
+        VelocityRescale::hard(1.5).apply(&mut sys);
+        assert!((sys.temperature() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn soft_rescale_moves_toward_target() {
+        let mut sys: ParticleSystem<f64> = initialize(&SimConfig::reduced_lj(108));
+        let t0 = sys.temperature(); // 0.728
+        let thermostat = VelocityRescale::new(2.0, 0.25);
+        thermostat.apply(&mut sys);
+        let t1 = sys.temperature();
+        assert!(t1 > t0 && t1 < 2.0, "partial move: {t0} -> {t1}");
+        // Repeated application converges.
+        for _ in 0..100 {
+            thermostat.apply(&mut sys);
+        }
+        assert!((sys.temperature() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn motionless_system_untouched() {
+        let mut sys = ParticleSystem::<f64>::new(10, 5.0);
+        VelocityRescale::hard(1.0).apply(&mut sys);
+        assert_eq!(sys.temperature(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "coupling")]
+    fn bad_coupling_rejected() {
+        VelocityRescale::<f64>::new(1.0, 0.0);
+    }
+}

@@ -1,0 +1,151 @@
+//! A next-line hardware prefetcher (the K8 carries a simple stride/stream
+//! prefetcher on its L2 interface).
+//!
+//! The paper argues MD's access pattern is cache-*unfriendly* because atoms
+//! move and neighbors change; but the kernel it actually measures streams the
+//! position array sequentially in its inner loop, which a stream prefetcher
+//! handles well. The `prefetch` ablation quantifies how much of the Figure 9
+//! cache penalty a prefetcher recovers — and therefore how much of the
+//! argument rests on the *random* (pairlist-driven) access patterns of
+//! production MD rather than this kernel's sequential scan.
+
+use crate::cache::AccessKind;
+use crate::hierarchy::{HierarchyConfig, MemoryHierarchy};
+
+/// Statistics of the prefetcher itself.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PrefetchStats {
+    /// Prefetches issued.
+    pub issued: u64,
+    /// Sequential-access pairs detected (the trigger condition).
+    pub triggers: u64,
+}
+
+/// A memory hierarchy fronted by a next-line stream prefetcher: when two
+/// consecutive accesses touch adjacent cache lines, the following line is
+/// pulled into the hierarchy in the background (charged nothing on the
+/// demand path — the model assumes enough bandwidth headroom, which holds
+/// for this kernel's ~1 miss per 2.7 atoms).
+#[derive(Clone, Debug)]
+pub struct PrefetchingHierarchy {
+    inner: MemoryHierarchy,
+    line_bytes: u64,
+    last_line: Option<u64>,
+    stats: PrefetchStats,
+}
+
+impl PrefetchingHierarchy {
+    pub fn new(config: HierarchyConfig) -> Self {
+        Self {
+            line_bytes: config.l1.line_bytes as u64,
+            inner: MemoryHierarchy::new(config),
+            last_line: None,
+            stats: PrefetchStats::default(),
+        }
+    }
+
+    pub fn opteron() -> Self {
+        Self::new(HierarchyConfig::opteron())
+    }
+
+    /// Demand access; returns cycles on the demand path.
+    pub fn access(&mut self, addr: u64, kind: AccessKind) -> u64 {
+        let line = addr / self.line_bytes;
+        let cycles = self.inner.access(addr, kind);
+        if self.last_line == Some(line.wrapping_sub(1)) {
+            // Sequential pattern: prefetch the next line. The fill happens
+            // off the demand path; we replay it through the hierarchy so the
+            // caches warm up, but do not charge its latency to the program.
+            self.stats.triggers += 1;
+            let next = (line + 1) * self.line_bytes;
+            self.inner.access(next, AccessKind::Read);
+            self.stats.issued += 1;
+        }
+        self.last_line = Some(line);
+        cycles
+    }
+
+    pub fn prefetch_stats(&self) -> PrefetchStats {
+        self.stats
+    }
+
+    pub fn inner(&self) -> &MemoryHierarchy {
+        &self.inner
+    }
+
+    pub fn reset(&mut self) {
+        self.inner.reset();
+        self.last_line = None;
+        self.stats = PrefetchStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::CacheConfig;
+
+    fn tiny() -> HierarchyConfig {
+        HierarchyConfig {
+            l1: CacheConfig {
+                size_bytes: 256,
+                line_bytes: 32,
+                associativity: 2,
+            },
+            l2: CacheConfig {
+                size_bytes: 2048,
+                line_bytes: 32,
+                associativity: 4,
+            },
+            l1_hit_cycles: 1,
+            l2_hit_cycles: 10,
+            dram_cycles: 100,
+        }
+    }
+
+    #[test]
+    fn sequential_stream_mostly_hits_after_warmup() {
+        // Stream far beyond L1: without prefetch every new line is a miss;
+        // with prefetch, line N+1 is resident before the stream reaches it.
+        let mut with = PrefetchingHierarchy::new(tiny());
+        let mut without = MemoryHierarchy::new(tiny());
+        let mut cycles_with = 0u64;
+        let mut cycles_without = 0u64;
+        for addr in (0..16 * 1024u64).step_by(8) {
+            cycles_with += with.access(addr, AccessKind::Read);
+            cycles_without += without.access(addr, AccessKind::Read);
+        }
+        assert!(
+            cycles_with < cycles_without / 2,
+            "prefetch should hide most stream misses: {cycles_with} vs {cycles_without}"
+        );
+        assert!(with.prefetch_stats().issued > 100);
+    }
+
+    #[test]
+    fn random_pattern_triggers_nothing() {
+        let mut h = PrefetchingHierarchy::new(tiny());
+        let mut x: u64 = 0x2545F4914F6CDD1D;
+        for _ in 0..1000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            // Strided far apart: consecutive accesses never hit adjacent lines.
+            h.access((x % 1024) * 4096, AccessKind::Read);
+        }
+        assert_eq!(h.prefetch_stats().issued, 0, "no sequential pairs");
+    }
+
+    #[test]
+    fn reset_clears_detector() {
+        let mut h = PrefetchingHierarchy::new(tiny());
+        h.access(0, AccessKind::Read);
+        h.access(32, AccessKind::Read); // adjacent line -> prefetch
+        assert_eq!(h.prefetch_stats().issued, 1);
+        h.reset();
+        assert_eq!(h.prefetch_stats().issued, 0);
+        // After reset the first adjacent pair must be re-detected from scratch.
+        h.access(64, AccessKind::Read);
+        assert_eq!(h.prefetch_stats().issued, 0);
+    }
+}

@@ -1,0 +1,107 @@
+//! A model of the MTA auto-parallelizing compiler's loop analysis.
+//!
+//! The MTA compilers "automatically parallelize the body of such loops so
+//! that a collection of threads executes the loop", but "there are some
+//! restrictions ... due to data and control dependencies, and sometimes
+//! compiler directives must be used". The paper hits exactly this: step 2 of
+//! the MD kernel "was not automatically parallelized by the MTA compiler
+//! because it found a dependency on the reduction operation", and was fixed
+//! by restructuring plus `#pragma mta assert no dependence`.
+
+/// Static description of a loop nest as the compiler sees it.
+#[derive(Clone, Copy, Debug)]
+pub struct LoopDesc {
+    /// Human-readable name for reports ("step2-forces", ...).
+    pub name: &'static str,
+    /// Trip count.
+    pub iterations: u64,
+    /// Instructions per iteration (arithmetic + memory; on the MTA these
+    /// cost the same once streams saturate the processor).
+    pub instructions_per_iteration: f64,
+    /// Fraction of the body's instructions that reference memory — irrelevant
+    /// on the uniform-latency MTA-2, decisive on the non-uniform XMT.
+    pub memory_fraction: f64,
+    /// The loop body updates a scalar shared across iterations (the PE
+    /// reduction) in a way the compiler cannot prove independent.
+    pub has_unresolved_reduction: bool,
+    /// The programmer asserted `#pragma mta assert no dependence`.
+    pub pragma_no_dependence: bool,
+}
+
+impl LoopDesc {
+    pub fn total_instructions(&self) -> f64 {
+        self.iterations as f64 * self.instructions_per_iteration
+    }
+}
+
+/// The compiler's verdict on one loop.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ParallelizationDecision {
+    pub parallel: bool,
+    pub reason: &'static str,
+}
+
+/// Decide whether the loop is multithreaded across streams.
+pub fn analyze_loop(desc: &LoopDesc) -> ParallelizationDecision {
+    if desc.has_unresolved_reduction && !desc.pragma_no_dependence {
+        ParallelizationDecision {
+            parallel: false,
+            reason: "dependence found on reduction operation; loop serialized",
+        }
+    } else if desc.pragma_no_dependence {
+        ParallelizationDecision {
+            parallel: true,
+            reason: "programmer asserted no dependence",
+        }
+    } else {
+        ParallelizationDecision {
+            parallel: true,
+            reason: "no loop-carried dependence found",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> LoopDesc {
+        LoopDesc {
+            name: "test",
+            iterations: 100,
+            instructions_per_iteration: 10.0,
+            memory_fraction: 0.4,
+            has_unresolved_reduction: false,
+            pragma_no_dependence: false,
+        }
+    }
+
+    #[test]
+    fn clean_loop_parallelized() {
+        let d = analyze_loop(&base());
+        assert!(d.parallel);
+    }
+
+    #[test]
+    fn reduction_blocks_parallelization() {
+        let mut l = base();
+        l.has_unresolved_reduction = true;
+        let d = analyze_loop(&l);
+        assert!(!d.parallel);
+        assert!(d.reason.contains("reduction"));
+    }
+
+    #[test]
+    fn pragma_overrides_reduction() {
+        let mut l = base();
+        l.has_unresolved_reduction = true;
+        l.pragma_no_dependence = true;
+        assert!(analyze_loop(&l).parallel);
+    }
+
+    #[test]
+    fn total_instruction_count() {
+        let l = base();
+        assert_eq!(l.total_instructions(), 1000.0);
+    }
+}

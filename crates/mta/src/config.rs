@@ -1,0 +1,114 @@
+//! MTA-2 machine parameters.
+
+/// Non-uniform memory model for the XMT projection.
+///
+/// The paper: the XMT "will not have the MTA-2's nearly uniform memory
+/// access latency, so data placement and access locality will be an
+/// important consideration". Modeled as extra latency on the fraction of
+/// memory references that go to remote memory; a stream that issued a remote
+/// load cannot issue again until it returns, so remote-heavy loops need more
+/// concurrency than the hardware has and the processor desaturates.
+#[derive(Clone, Copy, Debug)]
+pub struct RemoteMemoryModel {
+    /// Fraction of memory references that are remote (locality-blind MD
+    /// gather code: high; blocked/placed data: low).
+    pub remote_fraction: f64,
+    /// Additional cycles a remote reference takes over a local one.
+    pub remote_extra_cycles: f64,
+}
+
+/// Parameters of the simulated MTA-2 system.
+#[derive(Clone, Copy, Debug)]
+pub struct MtaConfig {
+    /// Processor clock in Hz. The paper notes the MTA-2's clock is "about
+    /// 11x slower than the 2.2 GHz Opteron": 200 MHz.
+    pub clock_hz: f64,
+    /// Hardware streams per processor (128 on the MTA-2).
+    pub streams_per_processor: usize,
+    /// Number of processor modules (the largest MTA-2 had 256; the paper's
+    /// kernel study uses one).
+    pub n_processors: usize,
+    /// Minimum cycles between consecutive issues from the *same* stream (the
+    /// pipeline depth / lookahead). A serial loop — one stream — pays this on
+    /// every instruction; a saturated processor hides it completely.
+    pub stream_issue_interval: f64,
+    /// Per-parallel-loop startup: stream creation/teardown and iteration
+    /// scheduling, cycles.
+    pub loop_startup_cycles: f64,
+    /// Instruction charge for one `readfe`/`writeef` full/empty
+    /// synchronization pair.
+    pub sync_instructions: f64,
+    /// `None` for the MTA-2's nearly uniform memory; `Some` for the XMT's
+    /// non-uniform network (see [`RemoteMemoryModel`]).
+    pub remote_memory: Option<RemoteMemoryModel>,
+}
+
+impl MtaConfig {
+    /// The paper's MTA-2.
+    pub fn paper_mta2() -> Self {
+        Self {
+            clock_hz: 200e6,
+            streams_per_processor: 128,
+            n_processors: 1,
+            stream_issue_interval: 21.0,
+            loop_startup_cycles: 1500.0,
+            sync_instructions: 2.0,
+            remote_memory: None,
+        }
+    }
+
+    /// The announced follow-on the paper anticipates: the Cray XMT —
+    /// multithreaded processors at a higher clock, scalable to thousands of
+    /// processors. This constructor is the optimistic projection with
+    /// perfectly placed data (no remote penalty); see [`Self::xmt_nonuniform`]
+    /// for the locality-blind case the paper warns about.
+    pub fn xmt(n_processors: usize) -> Self {
+        Self {
+            clock_hz: 500e6,
+            streams_per_processor: 128,
+            n_processors,
+            stream_issue_interval: 21.0,
+            loop_startup_cycles: 3000.0,
+            sync_instructions: 2.0,
+            remote_memory: None,
+        }
+    }
+
+    /// XMT with the non-uniform memory the paper anticipates: a
+    /// locality-blind O(N²) gather sends most references across the network,
+    /// and 128 streams can no longer hide the latency.
+    pub fn xmt_nonuniform(n_processors: usize, remote_fraction: f64) -> Self {
+        Self {
+            remote_memory: Some(RemoteMemoryModel {
+                remote_fraction,
+                remote_extra_cycles: 600.0,
+            }),
+            ..Self::xmt(n_processors)
+        }
+    }
+}
+
+impl Default for MtaConfig {
+    fn default() -> Self {
+        Self::paper_mta2()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_clock_ratio() {
+        let c = MtaConfig::paper_mta2();
+        assert!((2.2e9 / c.clock_hz - 11.0).abs() < 0.1, "11x slower than the Opteron");
+        assert_eq!(c.streams_per_processor, 128);
+    }
+
+    #[test]
+    fn xmt_scales_out() {
+        let x = MtaConfig::xmt(64);
+        assert!(x.clock_hz > MtaConfig::paper_mta2().clock_hz);
+        assert_eq!(x.n_processors, 64);
+    }
+}

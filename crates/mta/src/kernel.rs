@@ -1,0 +1,309 @@
+//! The MD kernel on the MTA-2 (paper section 5.3).
+//!
+//! Double precision (unlike the Cell/GPU ports), with the five-step structure
+//! of Figure 4 mapped onto parallel loops. Two build modes reproduce
+//! Figure 8:
+//!
+//! - **Fully multithreaded**: the step-2 reduction is restructured (moved
+//!   inside the loop body, accumulated through full/empty-bit atomic adds)
+//!   and the loop carries `#pragma mta assert no dependence` — every loop
+//!   parallelizes across the 128 hardware streams.
+//! - **Partially multithreaded**: the original code; the compiler detects the
+//!   PE-reduction dependence in step 2 and serializes that loop onto a single
+//!   stream, while the O(N) loops still parallelize. Since step 2 is O(N²),
+//!   the performance gap grows with atom count — exactly Figure 8.
+
+use crate::compiler::{analyze_loop, LoopDesc, ParallelizationDecision};
+use crate::config::MtaConfig;
+use crate::memory::FullEmptyMemory;
+use crate::processor::MtaProcessor;
+use md_core::init;
+use md_core::observables::EnergyReport;
+use md_core::params::SimConfig;
+use md_core::system::ParticleSystem;
+use md_core::verlet::VelocityVerlet;
+use vecmath::{pbc, Vec3};
+
+/// Instructions per examined pair in step 2 (loads, minimum image, distance,
+/// cutoff compare, loop bookkeeping — all single-issue on the MTA).
+const INSTR_PER_PAIR: f64 = 24.0;
+/// Extra instructions for an interacting pair (LJ evaluation + accumulate).
+const INSTR_PER_INTERACTION: f64 = 20.0;
+/// Instructions per atom in each O(N) integration loop.
+const INSTR_INTEGRATE: f64 = 15.0;
+/// Instructions per atom in the energy loop (step 5).
+const INSTR_ENERGY: f64 = 8.0;
+
+/// Whether the step-2 loop got the paper's restructuring + pragma.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ThreadingMode {
+    /// Reduction moved into the loop body + `assert no dependence`.
+    FullyMultithreaded,
+    /// Original code: compiler serializes step 2.
+    PartiallyMultithreaded,
+}
+
+/// Result of a simulated MTA run.
+#[derive(Clone, Debug)]
+pub struct MtaRun {
+    pub sim_seconds: f64,
+    pub cycles: f64,
+    pub energies: EnergyReport,
+    pub mode: ThreadingMode,
+    /// What the compiler decided for each loop (step name, verdict).
+    pub decisions: Vec<(&'static str, ParallelizationDecision)>,
+    /// Total instructions issued — Figure 9's "floating-point computation
+    /// requirements" proxy (the MTA's runtime is proportional to this).
+    pub instructions: f64,
+}
+
+/// MD on the simulated MTA.
+pub struct MtaMdSimulation {
+    pub processor: MtaProcessor,
+}
+
+impl MtaMdSimulation {
+    pub fn new(config: MtaConfig) -> Self {
+        Self {
+            processor: MtaProcessor::new(config),
+        }
+    }
+
+    pub fn paper_mta2() -> Self {
+        Self::new(MtaConfig::paper_mta2())
+    }
+
+    /// Run `steps` time steps in the given threading mode. Physics is
+    /// mode-independent (the modes differ only in how loops are scheduled);
+    /// runtimes differ enormously.
+    pub fn run_md(&self, sim: &SimConfig, steps: usize, mode: ThreadingMode) -> MtaRun {
+        let mut sys: ParticleSystem<f64> = init::initialize(sim);
+        let n = sys.n();
+        let vv = VelocityVerlet::new(sim.dt);
+        let params = sim.lj_params::<f64>();
+
+        let mut cycles = 0.0f64;
+        let mut instructions = 0.0f64;
+        let mut decisions: Vec<(&'static str, ParallelizationDecision)> = Vec::new();
+        let record = |name: &'static str, d: ParallelizationDecision,
+                          decisions: &mut Vec<(&'static str, ParallelizationDecision)>| {
+            if !decisions.iter().any(|(n2, _)| *n2 == name) {
+                decisions.push((name, d));
+            }
+        };
+
+        // Shared PE accumulator in tagged memory (the restructured reduction
+        // uses full/empty atomic adds from every stream).
+        let mut tagged = FullEmptyMemory::new_full(1, 0.0);
+
+        let mut pe = 0.0f64;
+        for eval in 0..=steps {
+            if eval > 0 {
+                let l = self.integration_loop("step1-advance-velocities", n);
+                record(l.name, analyze_loop(&l), &mut decisions);
+                cycles += self.processor.loop_cycles(&l);
+                instructions += l.total_instructions();
+                vv.kick_drift(&mut sys);
+            }
+
+            // Step 2: forces. Compute physics and the exact interaction count
+            // in one pass, then charge the loop with its true instruction mix.
+            tagged.write(0, 0.0);
+            let mut interactions: u64 = 0;
+            let cutoff2 = params.cutoff2();
+            let box_len = sys.box_len;
+            let inv_m = sys.mass.recip();
+            for i in 0..n {
+                let pi = sys.positions[i];
+                let mut acc = Vec3::zero();
+                let mut pe_i = 0.0;
+                for j in 0..n {
+                    if j == i {
+                        continue;
+                    }
+                    let d = pbc::min_image_branchy(pi - sys.positions[j], box_len);
+                    let r2 = d.norm2();
+                    if r2 < cutoff2 {
+                        interactions += 1;
+                        let (e, f_over_r) = params.energy_force(r2);
+                        pe_i += e;
+                        acc += d * (f_over_r * inv_m);
+                    }
+                }
+                sys.accelerations[i] = acc;
+                // Reduction inside the loop body: full/empty atomic add.
+                tagged
+                    .atomic_add(0, pe_i)
+                    .expect("accumulator protocol is lock/unlock per atom");
+            }
+            pe = tagged.read(0) * 0.5;
+
+            let per_iter = (n as f64 - 1.0) * INSTR_PER_PAIR
+                + (interactions as f64 / n as f64) * INSTR_PER_INTERACTION
+                + self.processor.config.sync_instructions;
+            let step2 = LoopDesc {
+                name: "step2-forces",
+                iterations: n as u64,
+                instructions_per_iteration: per_iter,
+                // loads dominate the gather loop
+                memory_fraction: 0.4,
+                has_unresolved_reduction: true,
+                pragma_no_dependence: mode == ThreadingMode::FullyMultithreaded,
+            };
+            record(step2.name, analyze_loop(&step2), &mut decisions);
+            cycles += self.processor.loop_cycles(&step2);
+            instructions += step2.total_instructions();
+
+            if eval > 0 {
+                let l = self.integration_loop("step3-4-move-update", n);
+                record(l.name, analyze_loop(&l), &mut decisions);
+                cycles += self.processor.loop_cycles(&l);
+                instructions += l.total_instructions();
+                vv.kick(&mut sys);
+
+                // Step 5: kinetic/total energies (parallelized without code
+                // modification, per the paper).
+                let l = LoopDesc {
+                    name: "step5-energies",
+                    iterations: n as u64,
+                    instructions_per_iteration: INSTR_ENERGY,
+                    memory_fraction: 0.3,
+                    has_unresolved_reduction: false,
+                    pragma_no_dependence: false,
+                };
+                record(l.name, analyze_loop(&l), &mut decisions);
+                cycles += self.processor.loop_cycles(&l);
+                instructions += l.total_instructions();
+            }
+        }
+
+        MtaRun {
+            sim_seconds: cycles / self.processor.config.clock_hz,
+            cycles,
+            energies: EnergyReport::measure(&sys, pe),
+            mode,
+            decisions,
+            instructions,
+        }
+    }
+
+    fn integration_loop(&self, name: &'static str, n: usize) -> LoopDesc {
+        LoopDesc {
+            name,
+            iterations: n as u64,
+            instructions_per_iteration: INSTR_INTEGRATE,
+            memory_fraction: 0.3,
+            has_unresolved_reduction: false,
+            pragma_no_dependence: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use md_core::forces::{AllPairsFullKernel, ForceKernel};
+
+    #[test]
+    fn physics_matches_reference_and_is_mode_independent() {
+        let sim = SimConfig::reduced_lj(108);
+        let m = MtaMdSimulation::paper_mta2();
+        let full = m.run_md(&sim, 3, ThreadingMode::FullyMultithreaded);
+        let partial = m.run_md(&sim, 3, ThreadingMode::PartiallyMultithreaded);
+        assert_eq!(full.energies.total, partial.energies.total);
+
+        let mut sys: ParticleSystem<f64> = init::initialize(&sim);
+        let params = sim.lj_params::<f64>();
+        let vv = VelocityVerlet::new(sim.dt);
+        let mut kernel = AllPairsFullKernel;
+        let mut pe = kernel.compute(&mut sys, &params);
+        for _ in 0..3 {
+            pe = vv.step(&mut sys, &mut kernel, &params);
+        }
+        let expect = EnergyReport::measure(&sys, pe);
+        assert!(
+            (full.energies.total - expect.total).abs() < 1e-9 * expect.total.abs(),
+            "MTA {} vs reference {}",
+            full.energies.total,
+            expect.total
+        );
+    }
+
+    #[test]
+    fn figure8_fully_mt_much_faster() {
+        let sim = SimConfig::reduced_lj(256);
+        let m = MtaMdSimulation::paper_mta2();
+        let full = m.run_md(&sim, 2, ThreadingMode::FullyMultithreaded);
+        let partial = m.run_md(&sim, 2, ThreadingMode::PartiallyMultithreaded);
+        let ratio = partial.sim_seconds / full.sim_seconds;
+        assert!(
+            ratio > 10.0,
+            "serialized step 2 should dominate: {ratio:.1}x"
+        );
+    }
+
+    #[test]
+    fn figure8_gap_grows_with_atoms() {
+        let m = MtaMdSimulation::paper_mta2();
+        let gap = |n: usize| {
+            let sim = SimConfig::reduced_lj(n);
+            let full = m.run_md(&sim, 1, ThreadingMode::FullyMultithreaded);
+            let partial = m.run_md(&sim, 1, ThreadingMode::PartiallyMultithreaded);
+            partial.sim_seconds - full.sim_seconds
+        };
+        assert!(gap(1024) > 10.0 * gap(256), "absolute gap grows ~N²");
+    }
+
+    #[test]
+    fn compiler_decisions_reported() {
+        let sim = SimConfig::reduced_lj(108);
+        let m = MtaMdSimulation::paper_mta2();
+        let partial = m.run_md(&sim, 1, ThreadingMode::PartiallyMultithreaded);
+        let step2 = partial
+            .decisions
+            .iter()
+            .find(|(n, _)| *n == "step2-forces")
+            .expect("step 2 analyzed");
+        assert!(!step2.1.parallel);
+        let others_parallel = partial
+            .decisions
+            .iter()
+            .filter(|(n, _)| *n != "step2-forces")
+            .all(|(_, d)| d.parallel);
+        assert!(others_parallel, "rest of the kernel parallelizes untouched");
+
+        let full = m.run_md(&sim, 1, ThreadingMode::FullyMultithreaded);
+        let step2 = full
+            .decisions
+            .iter()
+            .find(|(n, _)| *n == "step2-forces")
+            .unwrap();
+        assert!(step2.1.parallel);
+    }
+
+    #[test]
+    fn figure9_runtime_tracks_instruction_count() {
+        // The MTA's runtime growth must be proportional to the instruction
+        // (≈ flop) growth — no cache knee.
+        let m = MtaMdSimulation::paper_mta2();
+        let run = |n: usize| m.run_md(&SimConfig::reduced_lj(n), 1, ThreadingMode::FullyMultithreaded);
+        let small = run(256);
+        let large = run(2048);
+        let time_ratio = large.sim_seconds / small.sim_seconds;
+        let instr_ratio = large.instructions / small.instructions;
+        assert!(
+            (time_ratio / instr_ratio - 1.0).abs() < 0.02,
+            "time x{time_ratio:.1} vs instructions x{instr_ratio:.1}"
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let sim = SimConfig::reduced_lj(108);
+        let m = MtaMdSimulation::paper_mta2();
+        let a = m.run_md(&sim, 2, ThreadingMode::FullyMultithreaded);
+        let b = m.run_md(&sim, 2, ThreadingMode::FullyMultithreaded);
+        assert_eq!(a.sim_seconds, b.sim_seconds);
+        assert_eq!(a.energies.total, b.energies.total);
+    }
+}

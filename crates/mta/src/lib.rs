@@ -1,0 +1,37 @@
+//! Functional simulator of the Cray MTA-2 (paper sections 3.3 and 5.3).
+//!
+//! The MTA-2 attacks the memory wall with massive hardware multithreading
+//! instead of caches: each processor holds the full execution context of 128
+//! hardware streams and can switch streams every clock cycle, so as long as
+//! enough concurrent streams exist, memory latency is completely hidden and
+//! every memory access costs the same ("there is no penalty for accessing
+//! atoms ... in an irregular fashion").
+//!
+//! The pieces modeled here:
+//!
+//! - [`MtaProcessor`]: the stream-issue timing model. A saturated processor
+//!   issues one instruction per cycle; a single stream can only issue once
+//!   every ~21 cycles (the pipeline lookahead), which is why a loop the
+//!   compiler *fails* to parallelize runs an order of magnitude slower —
+//!   Figure 8's "fully vs partially multithreaded" gap.
+//! - [`compiler`]: a model of the MTA auto-parallelizing compiler: it
+//!   parallelizes loops unless it detects a dependence (the PE reduction in
+//!   step 2), and accepts the `#pragma mta assert no dependence` hint the
+//!   paper adds after restructuring the reduction.
+//! - [`FullEmptyMemory`]: the MTA's tagged memory (every word carries a
+//!   full/empty bit for fine-grained synchronization); the cross-stream PE
+//!   reduction uses `readfe`/`writeef` on it.
+//! - [`MtaMdSimulation`]: the MD kernel (double precision, as the paper's
+//!   MTA port) run through the above, producing simulated runtimes.
+
+pub mod compiler;
+mod config;
+mod kernel;
+mod memory;
+mod processor;
+
+pub use compiler::{analyze_loop, LoopDesc, ParallelizationDecision};
+pub use config::{MtaConfig, RemoteMemoryModel};
+pub use kernel::{MtaMdSimulation, MtaRun, ThreadingMode};
+pub use memory::{FullEmptyError, FullEmptyMemory};
+pub use processor::MtaProcessor;

@@ -1,0 +1,159 @@
+//! Tagged (full/empty bit) memory.
+//!
+//! Every word of MTA memory carries a full/empty bit enabling word-granular
+//! producer/consumer synchronization: `readfe` blocks until the word is full,
+//! reads it, and marks it empty; `writeef` blocks until empty, writes, and
+//! marks it full. Bokhari & Sauer's MTA-2 sequence alignment work (cited in
+//! the paper's related work) leans on exactly this mechanism, and the MD
+//! kernel's cross-stream PE reduction uses it as a per-word lock.
+//!
+//! The simulator executes streams sequentially, so a "block" that could never
+//! be satisfied is a protocol bug and surfaces as an error.
+
+/// A full/empty synchronization violation (would block forever in the
+/// sequential simulation).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FullEmptyError {
+    /// `readfe` on an empty word.
+    ReadOfEmpty { index: usize },
+    /// `writeef` on a full word.
+    WriteOfFull { index: usize },
+}
+
+impl std::fmt::Display for FullEmptyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::ReadOfEmpty { index } => {
+                write!(f, "readfe on empty word {index} would block forever")
+            }
+            Self::WriteOfFull { index } => {
+                write!(f, "writeef on full word {index} would block forever")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FullEmptyError {}
+
+/// A bank of f64 words, each tagged with a full/empty bit.
+#[derive(Clone, Debug)]
+pub struct FullEmptyMemory {
+    words: Vec<f64>,
+    full: Vec<bool>,
+}
+
+impl FullEmptyMemory {
+    /// All words initialized full with the given value (the normal state of
+    /// ordinary data).
+    pub fn new_full(len: usize, value: f64) -> Self {
+        Self {
+            words: vec![value; len],
+            full: vec![true; len],
+        }
+    }
+
+    /// All words empty (producer/consumer handoff cells).
+    pub fn new_empty(len: usize) -> Self {
+        Self {
+            words: vec![0.0; len],
+            full: vec![false; len],
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    pub fn is_full(&self, i: usize) -> bool {
+        self.full[i]
+    }
+
+    /// Ordinary (unsynchronized) read; ignores the tag bit.
+    pub fn read(&self, i: usize) -> f64 {
+        self.words[i]
+    }
+
+    /// Ordinary write; leaves the word full.
+    pub fn write(&mut self, i: usize, v: f64) {
+        self.words[i] = v;
+        self.full[i] = true;
+    }
+
+    /// `readfe`: read a full word and mark it empty.
+    pub fn readfe(&mut self, i: usize) -> Result<f64, FullEmptyError> {
+        if !self.full[i] {
+            return Err(FullEmptyError::ReadOfEmpty { index: i });
+        }
+        self.full[i] = false;
+        Ok(self.words[i])
+    }
+
+    /// `writeef`: write an empty word and mark it full.
+    pub fn writeef(&mut self, i: usize, v: f64) -> Result<(), FullEmptyError> {
+        if self.full[i] {
+            return Err(FullEmptyError::WriteOfFull { index: i });
+        }
+        self.words[i] = v;
+        self.full[i] = true;
+        Ok(())
+    }
+
+    /// Atomic accumulate implemented the MTA way: lock the word by reading it
+    /// empty, add, write it back full. This is how concurrent streams safely
+    /// update the shared PE accumulator.
+    pub fn atomic_add(&mut self, i: usize, v: f64) -> Result<(), FullEmptyError> {
+        let old = self.readfe(i)?;
+        self.writeef(i, old + v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn readfe_writeef_handoff() {
+        let mut m = FullEmptyMemory::new_empty(2);
+        assert!(!m.is_full(0));
+        m.writeef(0, 3.5).unwrap();
+        assert!(m.is_full(0));
+        assert_eq!(m.readfe(0).unwrap(), 3.5);
+        assert!(!m.is_full(0));
+    }
+
+    #[test]
+    fn blocking_violations_detected() {
+        let mut m = FullEmptyMemory::new_empty(1);
+        assert_eq!(m.readfe(0), Err(FullEmptyError::ReadOfEmpty { index: 0 }));
+        m.writeef(0, 1.0).unwrap();
+        assert_eq!(m.writeef(0, 2.0), Err(FullEmptyError::WriteOfFull { index: 0 }));
+    }
+
+    #[test]
+    fn atomic_add_accumulates() {
+        let mut m = FullEmptyMemory::new_full(1, 10.0);
+        m.atomic_add(0, 2.5).unwrap();
+        m.atomic_add(0, -0.5).unwrap();
+        assert_eq!(m.read(0), 12.0);
+        assert!(m.is_full(0), "lock released after accumulate");
+    }
+
+    #[test]
+    fn ordinary_access_ignores_tags() {
+        let mut m = FullEmptyMemory::new_empty(1);
+        m.write(0, 7.0);
+        assert_eq!(m.read(0), 7.0);
+        assert!(m.is_full(0));
+    }
+
+    #[test]
+    fn error_messages_name_the_word() {
+        let mut m = FullEmptyMemory::new_empty(3);
+        let e = m.readfe(2).unwrap_err();
+        assert!(e.to_string().contains("word 2"));
+    }
+}

@@ -1,0 +1,21 @@
+//! Timeline tracing for the simulated devices.
+//!
+//! The device models account simulated time as they execute; this crate lets
+//! them also emit *spans* — "SPE 3: DMA get, 4.2 µs–4.9 µs" — and renders the
+//! collection as [Chrome trace-event JSON] that loads directly into
+//! `chrome://tracing` or [Perfetto]. That turns a Cell run into an inspectable
+//! timeline: thread launches on the PPE track, DMA/compute alternation on
+//! each SPE track, mailbox handshakes between them.
+//!
+//! Times are *simulated device seconds*, recorded as microseconds in the
+//! trace (the Chrome format's native unit).
+//!
+//! [Chrome trace-event JSON]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+//! [Perfetto]: https://ui.perfetto.dev
+
+mod json;
+mod tracer;
+
+pub use tracer::{Span, TraceTrack, Tracer};
+
+pub use json::escape_json_string;

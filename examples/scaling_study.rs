@@ -1,0 +1,59 @@
+//! Workload-scaling study: how each simulated system's runtime grows with
+//! atom count — the behaviour behind Figures 7-9, plus the host machine's
+//! real wall-clock for comparison.
+//!
+//! ```text
+//! cargo run --release --example scaling_study
+//! ```
+
+use md_emerging_arch::cell::{CellBeDevice, CellRunConfig};
+use md_emerging_arch::gpu::GpuMdSimulation;
+use md_emerging_arch::md::prelude::*;
+use md_emerging_arch::mta::{MtaMdSimulation, ThreadingMode};
+use md_emerging_arch::opteron::OpteronCpu;
+use std::time::Instant;
+
+fn main() {
+    let steps = 2;
+    println!("runtime scaling, {} time steps per point (simulated seconds)\n", steps);
+    println!(
+        "{:>6} {:>12} {:>12} {:>12} {:>12} {:>14}",
+        "atoms", "Opteron", "Cell 8SPE", "GPU", "MTA-2", "host (real)"
+    );
+
+    for &n in &[256usize, 512, 1024, 2048] {
+        let sim = SimConfig::reduced_lj(n);
+        let opteron = OpteronCpu::paper_reference().run_md(&sim, steps).sim_seconds;
+        let cell = CellBeDevice::paper_blade()
+            .run_md(&sim, steps, CellRunConfig::best())
+            .unwrap()
+            .sim_seconds;
+        let gpu = GpuMdSimulation::geforce_7900gtx().run_md(&sim, steps).sim_seconds;
+        let mta = MtaMdSimulation::paper_mta2()
+            .run_md(&sim, steps, ThreadingMode::FullyMultithreaded)
+            .sim_seconds;
+
+        // And the real machine this example runs on, using the rayon kernel.
+        let mut host = Simulation::<f64>::prepare_with_kernel(sim, Box::new(RayonKernel));
+        let t0 = Instant::now();
+        host.run(steps);
+        let host_secs = t0.elapsed().as_secs_f64();
+
+        println!(
+            "{:>6} {:>10.2}ms {:>10.2}ms {:>10.2}ms {:>10.2}ms {:>12.2}ms",
+            n,
+            opteron * 1e3,
+            cell * 1e3,
+            gpu * 1e3,
+            mta * 1e3,
+            host_secs * 1e3
+        );
+    }
+
+    println!(
+        "\nshapes to notice: every system is O(N²); the GPU's fixed per-step cost \
+         dominates at small N; the MTA-2 is slowest in absolute terms (200 MHz) but \
+         grows exactly with the flop count; the Opteron picks up a cache penalty \
+         beyond ~2700 atoms (run the fig9 binary for the full sweep)."
+    );
+}

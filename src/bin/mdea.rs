@@ -1,0 +1,161 @@
+//! `mdea` — command-line front end.
+//!
+//! ```text
+//! cargo run --release --bin mdea -- run --atoms 864 --steps 200 --kernel rayon
+//! cargo run --release --bin mdea -- devices --atoms 1024
+//! cargo run --release --bin mdea -- trace --atoms 512 --steps 5 --out cell_trace.json
+//! ```
+
+use md_emerging_arch::cell::{CellBeDevice, CellRunConfig};
+use md_emerging_arch::cli::{parse_args, Command, DevicesArgs, KernelChoice, RunArgs, TraceArgs, USAGE};
+use md_emerging_arch::gpu::GpuMdSimulation;
+use md_emerging_arch::md::forces::ForceKernel;
+use md_emerging_arch::md::prelude::*;
+use md_emerging_arch::md::{io as mdio, sim::Simulation};
+use md_emerging_arch::mta::{MtaMdSimulation, ThreadingMode};
+use md_emerging_arch::opteron::OpteronCpu;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let refs: Vec<&str> = args.iter().map(String::as_str).collect();
+    match parse_args(refs.iter().copied()) {
+        Ok(Command::Help) => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Ok(Command::Run(r)) => run(r),
+        Ok(Command::Devices(d)) => devices(d),
+        Ok(Command::Trace(t)) => trace(t),
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn make_kernel(choice: KernelChoice) -> Box<dyn ForceKernel<f64> + Send> {
+    match choice {
+        KernelChoice::Half => Box::new(AllPairsHalfKernel),
+        KernelChoice::Full => Box::new(AllPairsFullKernel),
+        KernelChoice::Rayon => Box::new(RayonKernel),
+        KernelChoice::NeighborList => Box::new(NeighborListKernel::with_default_skin()),
+        KernelChoice::CellList => Box::new(CellListKernel::new()),
+    }
+}
+
+fn run(args: RunArgs) -> ExitCode {
+    let mut sim = Simulation::<f64>::prepare_with_kernel(args.config, make_kernel(args.kernel));
+    println!(
+        "running {} atoms for {} steps with the {} kernel",
+        args.config.n_atoms,
+        args.steps,
+        sim.kernel_name()
+    );
+
+    let mut xyz = match &args.xyz_path {
+        Some(path) => match File::create(path) {
+            Ok(f) => Some(BufWriter::new(f)),
+            Err(e) => {
+                eprintln!("error: cannot create {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+
+    let e0 = sim.total_energy();
+    for step in 1..=args.steps {
+        let report = sim.step();
+        if step % args.xyz_every == 0 {
+            if let Some(out) = xyz.as_mut() {
+                if let Err(e) =
+                    mdio::write_xyz_frame(out, &sim.system, &format!("step {step}"))
+                {
+                    eprintln!("error writing XYZ: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        if step % (args.steps / 10).max(1) == 0 {
+            println!(
+                "step {step:>6}: T* = {:.4}  E = {:.4}  (drift {:+.2e})",
+                report.temperature,
+                report.total,
+                (report.total - e0) / e0
+            );
+        }
+    }
+
+    if let Some(path) = &args.checkpoint_path {
+        let text = mdio::checkpoint_to_string(&sim.system);
+        if let Err(e) = std::fs::write(path, text) {
+            eprintln!("error writing checkpoint: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("checkpoint written to {path}");
+    }
+    ExitCode::SUCCESS
+}
+
+fn devices(args: DevicesArgs) -> ExitCode {
+    println!(
+        "workload: {} atoms, {} steps (simulated 2006 hardware)\n",
+        args.config.n_atoms, args.steps
+    );
+    let opteron = OpteronCpu::paper_reference().run_md(&args.config, args.steps);
+    let base = opteron.sim_seconds;
+    println!("{:<28} {:>12} {:>10}", "system", "runtime", "vs Opteron");
+    let row =
+        |name: &str, secs: f64| println!("{name:<28} {:>9.2} ms {:>9.2}x", secs * 1e3, base / secs);
+    row("Opteron 2.2 GHz", opteron.sim_seconds);
+    match CellBeDevice::paper_blade().run_md(&args.config, args.steps, CellRunConfig::best()) {
+        Ok(cell) => row("Cell BE, 8 SPEs", cell.sim_seconds),
+        Err(e) => println!("{:<28} {e}", "Cell BE, 8 SPEs"),
+    }
+    row(
+        "GeForce 7900GTX",
+        GpuMdSimulation::geforce_7900gtx()
+            .run_md(&args.config, args.steps)
+            .sim_seconds,
+    );
+    row(
+        "Cray MTA-2",
+        MtaMdSimulation::paper_mta2()
+            .run_md(&args.config, args.steps, ThreadingMode::FullyMultithreaded)
+            .sim_seconds,
+    );
+    ExitCode::SUCCESS
+}
+
+fn trace(args: TraceArgs) -> ExitCode {
+    let device = CellBeDevice::paper_blade();
+    let mut tracer = md_emerging_arch::mdea_trace::Tracer::new();
+    match device.run_md_traced(&args.config, args.steps, CellRunConfig::best(), &mut tracer) {
+        Ok(run) => {
+            let json = tracer.to_chrome_json();
+            match File::create(&args.out_path).and_then(|mut f| f.write_all(json.as_bytes())) {
+                Ok(()) => {
+                    println!(
+                        "traced {} spans over {:.2} ms of simulated Cell time -> {}",
+                        tracer.spans().len(),
+                        run.sim_seconds * 1e3,
+                        args.out_path
+                    );
+                    println!("open chrome://tracing or https://ui.perfetto.dev and load the file");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("error writing {}: {e}", args.out_path);
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,327 @@
+//! Command-line interface for the `mdea` binary.
+//!
+//! Hand-rolled flag parsing (no external dependency) kept in the library so
+//! the parser is unit-testable. Subcommands:
+//!
+//! - `run` — run an MD simulation, optionally writing XYZ frames and a final
+//!   checkpoint;
+//! - `devices` — run one workload on all four simulated systems;
+//! - `trace` — produce a Chrome-trace timeline of a simulated Cell run.
+
+use md_core::params::SimConfig;
+
+/// Which force kernel `mdea run` uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KernelChoice {
+    Half,
+    Full,
+    Rayon,
+    NeighborList,
+    CellList,
+}
+
+impl KernelChoice {
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "half" => Ok(Self::Half),
+            "full" => Ok(Self::Full),
+            "rayon" => Ok(Self::Rayon),
+            "neighbor" => Ok(Self::NeighborList),
+            "cell" => Ok(Self::CellList),
+            other => Err(format!(
+                "unknown kernel '{other}' (expected half|full|rayon|neighbor|cell)"
+            )),
+        }
+    }
+}
+
+/// Parsed `mdea run` arguments.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunArgs {
+    pub config: SimConfig,
+    pub steps: usize,
+    pub kernel: KernelChoice,
+    /// Write an XYZ frame every `xyz_every` steps to this path.
+    pub xyz_path: Option<String>,
+    pub xyz_every: usize,
+    /// Write a final checkpoint here.
+    pub checkpoint_path: Option<String>,
+}
+
+/// Parsed `mdea devices` arguments.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DevicesArgs {
+    pub config: SimConfig,
+    pub steps: usize,
+}
+
+/// Parsed `mdea trace` arguments.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceArgs {
+    pub config: SimConfig,
+    pub steps: usize,
+    pub out_path: String,
+}
+
+/// A parsed command line.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Command {
+    Run(RunArgs),
+    Devices(DevicesArgs),
+    Trace(TraceArgs),
+    Help,
+}
+
+pub const USAGE: &str = "\
+mdea — molecular dynamics on simulated 2006 'emerging' architectures
+
+USAGE:
+  mdea run     [--atoms N] [--steps S] [--density D] [--temperature T]
+               [--dt DT] [--seed X] [--kernel half|full|rayon|neighbor|cell]
+               [--xyz FILE [--every K]] [--checkpoint FILE]
+  mdea devices [--atoms N] [--steps S]
+  mdea trace   [--atoms N] [--steps S] --out FILE
+  mdea help
+";
+
+fn take_value<'a>(
+    flag: &str,
+    it: &mut impl Iterator<Item = &'a str>,
+) -> Result<&'a str, String> {
+    it.next().ok_or_else(|| format!("{flag} requires a value"))
+}
+
+fn parse_num<T: std::str::FromStr>(flag: &str, v: &str) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    v.parse()
+        .map_err(|e| format!("invalid value '{v}' for {flag}: {e}"))
+}
+
+/// Shared workload flags. Returns leftover flags it did not consume.
+struct WorkloadFlags {
+    atoms: usize,
+    steps: usize,
+    density: f64,
+    temperature: f64,
+    dt: f64,
+    seed: u64,
+}
+
+impl Default for WorkloadFlags {
+    fn default() -> Self {
+        Self {
+            atoms: 864,
+            steps: 100,
+            density: 0.8442,
+            temperature: 0.728,
+            dt: 0.005,
+            seed: 0x5EED_0001,
+        }
+    }
+}
+
+impl WorkloadFlags {
+    fn config(&self) -> Result<SimConfig, String> {
+        let cfg = SimConfig::reduced_lj(self.atoms)
+            .with_density(self.density)
+            .with_temperature(self.temperature)
+            .with_dt(self.dt)
+            .with_seed(self.seed);
+        cfg.try_validate()?;
+        Ok(cfg)
+    }
+
+    /// Try to consume one flag; `Ok(true)` if it was a workload flag.
+    fn try_consume<'a>(
+        &mut self,
+        flag: &str,
+        it: &mut impl Iterator<Item = &'a str>,
+    ) -> Result<bool, String> {
+        match flag {
+            "--atoms" => self.atoms = parse_num(flag, take_value(flag, it)?)?,
+            "--steps" => self.steps = parse_num(flag, take_value(flag, it)?)?,
+            "--density" => self.density = parse_num(flag, take_value(flag, it)?)?,
+            "--temperature" => self.temperature = parse_num(flag, take_value(flag, it)?)?,
+            "--dt" => self.dt = parse_num(flag, take_value(flag, it)?)?,
+            "--seed" => self.seed = parse_num(flag, take_value(flag, it)?)?,
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
+}
+
+/// Parse a full command line (without the program name).
+pub fn parse_args<'a>(args: impl IntoIterator<Item = &'a str>) -> Result<Command, String> {
+    let mut it = args.into_iter();
+    let sub = match it.next() {
+        None | Some("help") | Some("--help") | Some("-h") => return Ok(Command::Help),
+        Some(s) => s,
+    };
+    match sub {
+        "run" => {
+            let mut w = WorkloadFlags::default();
+            let mut kernel = KernelChoice::Half;
+            let mut xyz_path = None;
+            let mut xyz_every = 10usize;
+            let mut checkpoint_path = None;
+            while let Some(flag) = it.next() {
+                if w.try_consume(flag, &mut it)? {
+                    continue;
+                }
+                match flag {
+                    "--kernel" => kernel = KernelChoice::parse(take_value(flag, &mut it)?)?,
+                    "--xyz" => xyz_path = Some(take_value(flag, &mut it)?.to_string()),
+                    "--every" => xyz_every = parse_num(flag, take_value(flag, &mut it)?)?,
+                    "--checkpoint" => {
+                        checkpoint_path = Some(take_value(flag, &mut it)?.to_string())
+                    }
+                    other => return Err(format!("unknown flag for run: {other}")),
+                }
+            }
+            if xyz_every == 0 {
+                return Err("--every must be at least 1".into());
+            }
+            Ok(Command::Run(RunArgs {
+                config: w.config()?,
+                steps: w.steps,
+                kernel,
+                xyz_path,
+                xyz_every,
+                checkpoint_path,
+            }))
+        }
+        "devices" => {
+            let mut w = WorkloadFlags {
+                atoms: 1024,
+                steps: 10,
+                ..WorkloadFlags::default()
+            };
+            while let Some(flag) = it.next() {
+                if !w.try_consume(flag, &mut it)? {
+                    return Err(format!("unknown flag for devices: {flag}"));
+                }
+            }
+            Ok(Command::Devices(DevicesArgs {
+                config: w.config()?,
+                steps: w.steps,
+            }))
+        }
+        "trace" => {
+            let mut w = WorkloadFlags {
+                atoms: 512,
+                steps: 5,
+                ..WorkloadFlags::default()
+            };
+            let mut out_path = None;
+            while let Some(flag) = it.next() {
+                if w.try_consume(flag, &mut it)? {
+                    continue;
+                }
+                match flag {
+                    "--out" => out_path = Some(take_value(flag, &mut it)?.to_string()),
+                    other => return Err(format!("unknown flag for trace: {other}")),
+                }
+            }
+            Ok(Command::Trace(TraceArgs {
+                config: w.config()?,
+                steps: w.steps,
+                out_path: out_path.ok_or("trace requires --out FILE")?,
+            }))
+        }
+        other => Err(format!("unknown subcommand: {other}\n{USAGE}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_help() {
+        assert_eq!(parse_args([]).unwrap(), Command::Help);
+        assert_eq!(parse_args(["help"]).unwrap(), Command::Help);
+        assert_eq!(parse_args(["--help"]).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn run_defaults() {
+        let Command::Run(r) = parse_args(["run"]).unwrap() else {
+            panic!("expected run");
+        };
+        assert_eq!(r.config.n_atoms, 864);
+        assert_eq!(r.steps, 100);
+        assert_eq!(r.kernel, KernelChoice::Half);
+        assert_eq!(r.xyz_path, None);
+    }
+
+    #[test]
+    fn run_full_flags() {
+        let Command::Run(r) = parse_args([
+            "run", "--atoms", "500", "--steps", "20", "--density", "0.7", "--temperature",
+            "1.1", "--dt", "0.002", "--seed", "42", "--kernel", "rayon", "--xyz", "t.xyz",
+            "--every", "5", "--checkpoint", "state.ckpt",
+        ])
+        .unwrap() else {
+            panic!("expected run");
+        };
+        assert_eq!(r.config.n_atoms, 500);
+        assert_eq!(r.config.density, 0.7);
+        assert_eq!(r.config.temperature, 1.1);
+        assert_eq!(r.config.dt, 0.002);
+        assert_eq!(r.config.seed, 42);
+        assert_eq!(r.steps, 20);
+        assert_eq!(r.kernel, KernelChoice::Rayon);
+        assert_eq!(r.xyz_path.as_deref(), Some("t.xyz"));
+        assert_eq!(r.xyz_every, 5);
+        assert_eq!(r.checkpoint_path.as_deref(), Some("state.ckpt"));
+    }
+
+    #[test]
+    fn run_rejects_bad_input() {
+        assert!(parse_args(["run", "--atoms"]).is_err(), "missing value");
+        assert!(parse_args(["run", "--atoms", "many"]).is_err(), "non-numeric");
+        assert!(parse_args(["run", "--kernel", "magic"]).is_err(), "bad kernel");
+        assert!(parse_args(["run", "--every", "0"]).is_err(), "zero interval");
+        assert!(parse_args(["run", "--bogus"]).is_err(), "unknown flag");
+    }
+
+    #[test]
+    fn devices_and_trace() {
+        let Command::Devices(d) = parse_args(["devices", "--atoms", "256"]).unwrap() else {
+            panic!();
+        };
+        assert_eq!(d.config.n_atoms, 256);
+        assert_eq!(d.steps, 10);
+
+        let Command::Trace(t) =
+            parse_args(["trace", "--steps", "3", "--out", "cell.json"]).unwrap()
+        else {
+            panic!();
+        };
+        assert_eq!(t.steps, 3);
+        assert_eq!(t.out_path, "cell.json");
+        assert!(parse_args(["trace"]).is_err(), "--out required");
+    }
+
+    #[test]
+    fn unknown_subcommand_mentions_usage() {
+        let err = parse_args(["frobnicate"]).unwrap_err();
+        assert!(err.contains("unknown subcommand"));
+        assert!(err.contains("USAGE"));
+    }
+
+    #[test]
+    fn kernel_choices_roundtrip() {
+        for (s, k) in [
+            ("half", KernelChoice::Half),
+            ("full", KernelChoice::Full),
+            ("rayon", KernelChoice::Rayon),
+            ("neighbor", KernelChoice::NeighborList),
+            ("cell", KernelChoice::CellList),
+        ] {
+            assert_eq!(KernelChoice::parse(s).unwrap(), k);
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Cross-crate physics agreement: every simulated device and every host
+//! kernel must produce the same trajectory for the same workload — the
+//! property that makes the timing comparisons meaningful.
+
+use cell_be::{CellBeDevice, CellRunConfig, SpawnPolicy, SpeKernelVariant};
+use gpu::GpuMdSimulation;
+use md_core::forces::{AllPairsFullKernel, ForceKernel};
+use md_core::observables::EnergyReport;
+use md_core::params::SimConfig;
+use md_core::system::ParticleSystem;
+use md_core::verlet::VelocityVerlet;
+use mta::{MtaMdSimulation, ThreadingMode};
+use opteron::OpteronCpu;
+
+fn reference<T: vecmath::Real>(sim: &SimConfig, steps: usize) -> EnergyReport {
+    let mut sys: ParticleSystem<T> = md_core::init::initialize(sim);
+    let params = sim.lj_params::<T>();
+    let vv = VelocityVerlet::new(T::from_f64(sim.dt));
+    let mut kernel = AllPairsFullKernel;
+    let mut pe = kernel.compute(&mut sys, &params);
+    for _ in 0..steps {
+        pe = vv.step(&mut sys, &mut kernel, &params);
+    }
+    EnergyReport::measure(&sys, pe.to_f64())
+}
+
+const N: usize = 500;
+const STEPS: usize = 5;
+
+#[test]
+fn opteron_matches_f64_reference() {
+    let sim = SimConfig::reduced_lj(N);
+    let run = OpteronCpu::paper_reference().run_md(&sim, STEPS);
+    let expect = reference::<f64>(&sim, STEPS);
+    assert!(
+        (run.energies.total - expect.total).abs() < 1e-9 * expect.total.abs(),
+        "{} vs {}",
+        run.energies.total,
+        expect.total
+    );
+}
+
+#[test]
+fn mta_matches_f64_reference() {
+    let sim = SimConfig::reduced_lj(N);
+    let run = MtaMdSimulation::paper_mta2().run_md(&sim, STEPS, ThreadingMode::FullyMultithreaded);
+    let expect = reference::<f64>(&sim, STEPS);
+    assert!(
+        (run.energies.total - expect.total).abs() < 1e-9 * expect.total.abs(),
+        "{} vs {}",
+        run.energies.total,
+        expect.total
+    );
+}
+
+#[test]
+fn cell_matches_f32_reference() {
+    let sim = SimConfig::reduced_lj(N);
+    let run = CellBeDevice::paper_blade()
+        .run_md(&sim, STEPS, CellRunConfig::best())
+        .unwrap();
+    let expect = reference::<f32>(&sim, STEPS);
+    assert!(
+        (run.energies.total - expect.total).abs() < 2e-3 * expect.total.abs(),
+        "{} vs {}",
+        run.energies.total,
+        expect.total
+    );
+}
+
+#[test]
+fn gpu_matches_f32_reference() {
+    let sim = SimConfig::reduced_lj(N);
+    let run = GpuMdSimulation::geforce_7900gtx().run_md(&sim, STEPS);
+    let expect = reference::<f32>(&sim, STEPS);
+    assert!(
+        (run.energies.total - expect.total).abs() < 2e-3 * expect.total.abs(),
+        "{} vs {}",
+        run.energies.total,
+        expect.total
+    );
+}
+
+#[test]
+fn all_devices_agree_with_each_other() {
+    let sim = SimConfig::reduced_lj(N);
+    let opteron = OpteronCpu::paper_reference().run_md(&sim, STEPS).energies.total;
+    let cell = CellBeDevice::paper_blade()
+        .run_md(&sim, STEPS, CellRunConfig::best())
+        .unwrap()
+        .energies
+        .total;
+    let gpu = GpuMdSimulation::geforce_7900gtx().run_md(&sim, STEPS).energies.total;
+    let mta = MtaMdSimulation::paper_mta2()
+        .run_md(&sim, STEPS, ThreadingMode::FullyMultithreaded)
+        .energies
+        .total;
+    for (name, e, tol) in [("cell", cell, 2e-3), ("gpu", gpu, 2e-3), ("mta", mta, 1e-9)] {
+        let err = ((e - opteron) / opteron).abs();
+        assert!(err < tol, "{name} diverged from opteron by {err:.2e}");
+    }
+}
+
+#[test]
+fn every_spe_variant_and_spawn_policy_gives_same_physics() {
+    let sim = SimConfig::reduced_lj(256);
+    let device = CellBeDevice::paper_blade();
+    let expect = reference::<f32>(&sim, 3);
+    for variant in SpeKernelVariant::ALL {
+        for policy in [SpawnPolicy::RespawnEveryStep, SpawnPolicy::LaunchOnce] {
+            for n_spes in [1usize, 3, 8] {
+                let run = device
+                    .run_md(&sim, 3, CellRunConfig { n_spes, policy, variant })
+                    .unwrap();
+                let err = ((run.energies.total - expect.total) / expect.total).abs();
+                assert!(
+                    err < 2e-3,
+                    "{variant:?}/{policy:?}/{n_spes} SPEs diverged: {err:.2e}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn device_timings_are_positive_and_finite() {
+    let sim = SimConfig::reduced_lj(256);
+    let runs = [
+        OpteronCpu::paper_reference().run_md(&sim, 2).sim_seconds,
+        CellBeDevice::paper_blade()
+            .run_md(&sim, 2, CellRunConfig::best())
+            .unwrap()
+            .sim_seconds,
+        GpuMdSimulation::geforce_7900gtx().run_md(&sim, 2).sim_seconds,
+        MtaMdSimulation::paper_mta2()
+            .run_md(&sim, 2, ThreadingMode::FullyMultithreaded)
+            .sim_seconds,
+    ];
+    for (i, t) in runs.iter().enumerate() {
+        assert!(t.is_finite() && *t > 0.0, "device {i} produced runtime {t}");
+    }
+}
