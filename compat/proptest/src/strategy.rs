@@ -1,0 +1,249 @@
+//! The `Strategy` trait and the concrete strategies the workspace uses.
+
+use crate::test_runner::TestRng;
+use std::ops::Range;
+
+/// A generator of test values. Mirrors `proptest::strategy::Strategy`, with
+/// generation collapsed to a single deterministic draw (no value trees, no
+/// shrinking).
+pub trait Strategy {
+    type Value: std::fmt::Debug;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values. Mirrors `Strategy::prop_map`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        O: std::fmt::Debug,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+#[derive(Clone, Copy, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    O: std::fmt::Debug,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            /// Uniform draw from `[start, end)`.
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                debug_assert!(self.start < self.end, "empty strategy range");
+                let span = f64::from(self.end) - f64::from(self.start);
+                let v = f64::from(self.start) + span * rng.next_f64();
+                // Guard the half-open bound against rounding at the top end.
+                (v as $t).clamp(self.start, self.end.next_down())
+            }
+        }
+    )*};
+}
+
+float_range_strategy!(f32);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    /// Uniform draw from `[start, end)`.
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        debug_assert!(self.start < self.end, "empty strategy range");
+        let v = self.start + (self.end - self.start) * rng.next_f64();
+        v.clamp(self.start, self.end.next_down())
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                debug_assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start.wrapping_add(rng.below(span) as $t)
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u64, usize, u32, u16, u8);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+);)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A.0);
+    (A.0, B.1);
+    (A.0, B.1, C.2);
+    (A.0, B.1, C.2, D.3);
+}
+
+/// String strategy from a pattern literal. Real proptest interprets the
+/// pattern as a regex; the only pattern the workspace uses is `".*"`, so the
+/// shim generates arbitrary strings (length 0..=40, biased toward the JSON-
+/// hostile characters escaping code must survive: quotes, backslashes,
+/// control characters, and multi-byte code points).
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        const SPICE: &[char] = &[
+            '"', '\\', '\n', '\r', '\t', '\u{1}', '\u{1f}', '{', '}', '[', ']', ':', ',', 'π',
+            '🧪', '\u{7f}', '\u{0}',
+        ];
+        let len = rng.below(41) as usize;
+        let mut out = String::with_capacity(len);
+        for _ in 0..len {
+            if rng.below(4) == 0 {
+                out.push(SPICE[rng.below(SPICE.len() as u64) as usize]);
+            } else {
+                // Printable ASCII.
+                out.push((0x20 + rng.below(0x5f) as u8) as char);
+            }
+        }
+        out
+    }
+}
+
+/// Output of [`crate::collection::vec`].
+#[derive(Clone, Debug)]
+pub struct VecStrategy<S> {
+    pub(crate) element: S,
+    pub(crate) len: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = self.len.generate(rng);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Output of [`crate::array::uniform4`] (const-generic over the arity).
+#[derive(Clone, Copy, Debug)]
+pub struct ArrayStrategy<S, const N: usize> {
+    pub(crate) element: S,
+}
+
+impl<S: Strategy, const N: usize> Strategy for ArrayStrategy<S, N> {
+    type Value = [S::Value; N];
+
+    fn generate(&self, rng: &mut TestRng) -> [S::Value; N] {
+        std::array::from_fn(|_| self.element.generate(rng))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::for_case("strategy_tests", 0)
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = rng();
+        for _ in 0..5_000 {
+            let f = (0.85f64..2.4).generate(&mut r);
+            assert!((0.85..2.4).contains(&f), "{f}");
+            let g = (1e-3f32..1e6).generate(&mut r);
+            assert!((1e-3..1e6).contains(&g), "{g}");
+            let u = (1usize..100).generate(&mut r);
+            assert!((1..100).contains(&u), "{u}");
+            let s = (0u64..500).generate(&mut r);
+            assert!(s < 500, "{s}");
+        }
+    }
+
+    #[test]
+    fn ranges_cover_the_span() {
+        // All quartiles of a range get hit — the generator is not stuck.
+        let mut r = rng();
+        let mut seen = [false; 4];
+        for _ in 0..1_000 {
+            let v = (0.0f64..1.0).generate(&mut r);
+            seen[(v * 4.0) as usize] = true;
+        }
+        assert_eq!(seen, [true; 4]);
+    }
+
+    #[test]
+    fn tuple_and_map_compose() {
+        let strat = (0u64..10, 0.0f64..1.0, 0.0f64..1.0).prop_map(|(a, b, c)| a as f64 + b + c);
+        let mut r = rng();
+        for _ in 0..100 {
+            let v = strat.generate(&mut r);
+            assert!((0.0..12.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_length_and_elements() {
+        let strat = crate::collection::vec((1usize..100, 1usize..32), 1..20);
+        let mut r = rng();
+        for _ in 0..200 {
+            let v = strat.generate(&mut r);
+            assert!((1..20).contains(&v.len()));
+            for (a, b) in &v {
+                assert!((1..100).contains(a) && (1..32).contains(b));
+            }
+        }
+    }
+
+    #[test]
+    fn uniform4_fills_all_lanes() {
+        let strat = crate::array::uniform4(-1e3f32..1e3);
+        let mut r = rng();
+        let a = strat.generate(&mut r);
+        let b = strat.generate(&mut r);
+        assert_ne!(a, b, "lanes drawn independently across calls");
+        for lane in a {
+            assert!((-1e3..1e3).contains(&lane));
+        }
+    }
+
+    #[test]
+    fn string_strategy_exercises_hostile_chars() {
+        let mut r = rng();
+        let mut saw_quote_or_backslash = false;
+        let mut saw_control = false;
+        for _ in 0..400 {
+            let s = ".*".generate(&mut r);
+            saw_quote_or_backslash |= s.contains('"') || s.contains('\\');
+            saw_control |= s.chars().any(|c| (c as u32) < 0x20);
+        }
+        assert!(saw_quote_or_backslash && saw_control);
+    }
+}

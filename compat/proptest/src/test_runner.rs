@@ -1,0 +1,129 @@
+//! Deterministic test runner machinery: per-case RNG and the config/error
+//! types the `proptest!` macro expands against.
+
+use std::fmt;
+
+/// Runner configuration. Only `cases` is consulted.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated inputs per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    /// Fewer cases than upstream's 256: the workspace's properties drive
+    /// whole MD simulations per case, and the generator (no shrinking) leans
+    /// on deterministic reproducibility rather than volume.
+    fn default() -> Self {
+        Self { cases: 32 }
+    }
+}
+
+/// A failed property case (produced by `prop_assert!`).
+#[derive(Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    pub fn fail(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// SplitMix64-based deterministic RNG, seeded from the test name + case
+/// index so every case is reproducible without a persistence file.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn for_case(test_name: &str, case: u32) -> Self {
+        // FNV-1a over the test name, mixed with the case index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        Self {
+            state: h ^ (u64::from(case).wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform in `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        // Multiply-shift bounded sampling; bias is negligible for test sizes.
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_per_name_and_case() {
+        let mut a = TestRng::for_case("prop_x", 3);
+        let mut b = TestRng::for_case("prop_x", 3);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = TestRng::for_case("prop_x", 4);
+        assert_ne!(a.next_u64(), c.next_u64());
+        let mut d = TestRng::for_case("prop_y", 3);
+        assert_ne!(b.next_u64(), d.next_u64());
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = TestRng::for_case("unit", 0);
+        for _ in 0..10_000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut rng = TestRng::for_case("bound", 0);
+        for _ in 0..10_000 {
+            assert!(rng.below(17) < 17);
+        }
+    }
+
+    #[test]
+    fn config_defaults_and_with_cases() {
+        assert_eq!(ProptestConfig::default().cases, 32);
+        assert_eq!(ProptestConfig::with_cases(12).cases, 12);
+    }
+}

@@ -1,0 +1,77 @@
+//! Offline shim for the subset of `rand 0.8` this workspace uses: the
+//! [`RngCore`] trait (md-core's `SplitMix64` implements it so callers can
+//! plug into rand-style generic code) and the [`Error`] type its fallible
+//! method mentions. See `compat/README.md` for the shim policy.
+
+use std::fmt;
+
+/// The core random-number-generator trait, mirroring `rand::RngCore`.
+pub trait RngCore {
+    fn next_u32(&mut self) -> u32;
+    fn next_u64(&mut self) -> u64;
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error>;
+}
+
+/// Mirror of `rand::Error`. The shimmed generators are infallible, so this
+/// is only ever mentioned in signatures, never constructed.
+#[derive(Debug)]
+pub struct Error {
+    msg: &'static str,
+}
+
+impl Error {
+    pub fn new(msg: &'static str) -> Self {
+        Self { msg }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rand error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(1);
+            self.0
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(8) {
+                let v = self.next_u64().to_le_bytes();
+                chunk.copy_from_slice(&v[..chunk.len()]);
+            }
+        }
+        fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+            self.fill_bytes(dest);
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn trait_is_object_safe_and_usable() {
+        let mut rng: Box<dyn RngCore> = Box::new(Counter(0));
+        assert_eq!(rng.next_u64(), 1);
+        let mut buf = [0u8; 12];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn error_displays() {
+        let e = Error::new("exhausted");
+        assert!(e.to_string().contains("exhausted"));
+    }
+}

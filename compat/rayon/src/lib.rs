@@ -1,0 +1,183 @@
+//! Offline shim for the subset of `rayon` this workspace uses:
+//! `slice.par_iter().enumerate().map(f).collect::<Vec<_>>()`.
+//!
+//! Unlike a sequential stub, this executes on real OS threads
+//! (`std::thread::scope`, one chunk per available core), so the
+//! `RayonKernel` host benchmark still demonstrates genuine multi-core
+//! scaling. Results are collected **in index order**, matching rayon's
+//! indexed-collect determinism guarantee that `md_core::parallel` relies on.
+
+pub mod prelude {
+    pub use crate::iter::IntoParallelRefIterator;
+}
+
+pub mod iter {
+    /// Entry point mirroring `rayon::iter::IntoParallelRefIterator`.
+    pub trait IntoParallelRefIterator<'data> {
+        type Item: Sync + 'data;
+        fn par_iter(&'data self) -> ParIter<'data, Self::Item>;
+    }
+
+    impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+        type Item = T;
+        fn par_iter(&'data self) -> ParIter<'data, T> {
+            ParIter { items: self }
+        }
+    }
+
+    impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+        type Item = T;
+        fn par_iter(&'data self) -> ParIter<'data, T> {
+            ParIter { items: self }
+        }
+    }
+
+    /// Borrowing parallel iterator over a slice.
+    #[derive(Clone, Copy)]
+    pub struct ParIter<'data, T> {
+        items: &'data [T],
+    }
+
+    impl<'data, T: Sync> ParIter<'data, T> {
+        pub fn enumerate(self) -> ParEnumerate<'data, T> {
+            ParEnumerate { items: self.items }
+        }
+
+        pub fn map<R, F>(self, f: F) -> ParMap<'data, T, impl Fn((usize, &'data T)) -> R + Sync>
+        where
+            R: Send,
+            F: Fn(&'data T) -> R + Sync,
+        {
+            ParMap {
+                items: self.items,
+                f: move |(_, item)| f(item),
+            }
+        }
+    }
+
+    /// Indexed parallel iterator (`par_iter().enumerate()`).
+    #[derive(Clone, Copy)]
+    pub struct ParEnumerate<'data, T> {
+        items: &'data [T],
+    }
+
+    impl<'data, T: Sync> ParEnumerate<'data, T> {
+        pub fn map<R, F>(self, f: F) -> ParMap<'data, T, F>
+        where
+            R: Send,
+            F: Fn((usize, &'data T)) -> R + Sync,
+        {
+            ParMap {
+                items: self.items,
+                f,
+            }
+        }
+    }
+
+    /// Mapped parallel iterator; `collect` runs the map on worker threads.
+    pub struct ParMap<'data, T, F> {
+        items: &'data [T],
+        f: F,
+    }
+
+    impl<'data, T, R, F> ParMap<'data, T, F>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn((usize, &'data T)) -> R + Sync,
+    {
+        /// Execute across threads, preserving element order.
+        pub fn collect<C: FromIterator<R>>(self) -> C {
+            run_indexed(self.items, &self.f).into_iter().collect()
+        }
+    }
+
+    fn run_indexed<'data, T, R, F>(items: &'data [T], f: &F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn((usize, &'data T)) -> R + Sync,
+    {
+        let n = items.len();
+        let threads = std::thread::available_parallelism()
+            .map_or(1, std::num::NonZeroUsize::get)
+            .min(n.max(1));
+        if threads <= 1 || n < 2 {
+            return items.iter().enumerate().map(f).collect();
+        }
+        let chunk = n.div_ceil(threads);
+        let mut out: Vec<Option<R>> = Vec::with_capacity(n);
+        out.resize_with(n, || None);
+        let mut rest = out.as_mut_slice();
+        std::thread::scope(|scope| {
+            let mut lo = 0;
+            while lo < n {
+                let hi = (lo + chunk).min(n);
+                let (head, tail) = rest.split_at_mut(hi - lo);
+                rest = tail;
+                let base = lo;
+                scope.spawn(move || {
+                    for (k, slot) in head.iter_mut().enumerate() {
+                        let i = base + k;
+                        *slot = Some(f((i, &items[i])));
+                    }
+                });
+                lo = hi;
+            }
+        });
+        out.into_iter()
+            .map(|r| r.unwrap_or_else(|| unreachable!("every index filled by exactly one worker")))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn indexed_map_collect_preserves_order() {
+        let data: Vec<u64> = (0..10_000).collect();
+        let out: Vec<u64> = data
+            .par_iter()
+            .enumerate()
+            .map(|(i, &x)| x * 2 + i as u64)
+            .collect();
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i as u64 * 3);
+        }
+    }
+
+    #[test]
+    fn unindexed_map_works() {
+        let data = [1u32, 2, 3, 4, 5];
+        let out: Vec<u32> = data.par_iter().map(|&x| x * x).collect();
+        assert_eq!(out, vec![1, 4, 9, 16, 25]);
+    }
+
+    #[test]
+    fn empty_and_single_element() {
+        let empty: Vec<u8> = Vec::new();
+        let out: Vec<u8> = empty.par_iter().enumerate().map(|(_, &x)| x).collect();
+        assert!(out.is_empty());
+        let one = [7u8];
+        let out: Vec<u8> = one.par_iter().enumerate().map(|(_, &x)| x + 1).collect();
+        assert_eq!(out, vec![8]);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let data: Vec<f64> = (0..4096).map(|i| f64::from(i as u32) * 0.5).collect();
+        let a: Vec<f64> = data
+            .par_iter()
+            .enumerate()
+            .map(|(i, &x)| x + i as f64)
+            .collect();
+        let b: Vec<f64> = data
+            .par_iter()
+            .enumerate()
+            .map(|(i, &x)| x + i as f64)
+            .collect();
+        assert_eq!(a, b);
+    }
+}

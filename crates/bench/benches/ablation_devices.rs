@@ -7,9 +7,9 @@
 use cell_be::{CellBeDevice, CellRunConfig, SpawnPolicy, SpeKernelVariant};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use md_core::params::SimConfig;
-use opteron::{OpteronConfig, OpteronCpu};
 use mdea_bench::{sim_criterion, sim_duration};
 use mta::{MtaConfig, MtaMdSimulation, ThreadingMode};
+use opteron::{OpteronConfig, OpteronCpu};
 
 fn spe_count_sweep(c: &mut Criterion) {
     let sim = SimConfig::reduced_lj(1024);
@@ -48,7 +48,10 @@ fn xmt_projection(c: &mut Criterion) {
         // The paper's caution about the XMT's non-uniform memory: the same
         // locality-blind gather loop with 80% remote references vs blocked
         // data placement at 5%.
-        ("xmt-16proc-locality-blind", MtaConfig::xmt_nonuniform(16, 0.8)),
+        (
+            "xmt-16proc-locality-blind",
+            MtaConfig::xmt_nonuniform(16, 0.8),
+        ),
         ("xmt-16proc-placed", MtaConfig::xmt_nonuniform(16, 0.05)),
     ] {
         let m = MtaMdSimulation::new(config);
@@ -94,16 +97,12 @@ fn opteron_variants(c: &mut Criterion) {
             ("sse2", OpteronConfig::sse2_vectorized()),
             ("prefetch", OpteronConfig::with_prefetcher()),
         ] {
-            group.bench_with_input(
-                BenchmarkId::new(label, n),
-                &n,
-                |b, _| {
-                    b.iter_custom(|iters| {
-                        let run = OpteronCpu::new(cfg).run_md(&sim, steps);
-                        sim_duration(run.sim_seconds, iters)
-                    });
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
+                b.iter_custom(|iters| {
+                    let run = OpteronCpu::new(cfg).run_md(&sim, steps);
+                    sim_duration(run.sim_seconds, iters)
+                });
+            });
         }
     }
     group.finish();

@@ -123,7 +123,7 @@ impl CellConfig {
             dma_bytes_per_cycle: 8.0,
             dma_max_transfer: 16 * 1024,
             mailbox_cycles: 300.0,
-            spawn_cycles: 7.0e6, // ~2.2 ms
+            spawn_cycles: 7.0e6,       // ~2.2 ms
             ppe_service_cycles: 6.4e5, // ~0.2 ms
             ppe_cpi_factor: 2.3,
             costs: SpeCostModel::calibrated(),

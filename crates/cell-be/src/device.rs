@@ -3,10 +3,13 @@
 
 use crate::config::CellConfig;
 use crate::dma::DmaEngine;
+use crate::error::CellError;
+#[cfg(feature = "hazard-check")]
+use crate::hazard::{Dir, HazardChecker};
 use crate::kernel::{compute_accelerations, KernelStats, SpeKernelVariant, SpeLjParams};
 use crate::localstore::{LocalStore, LsRegion};
 use crate::ppe::PpeModel;
-use crate::spe::{LsOverflow, Spe};
+use crate::spe::Spe;
 use md_core::init;
 use md_core::observables::EnergyReport;
 use md_core::params::SimConfig;
@@ -122,7 +125,7 @@ impl CellBeDevice {
         sim: &SimConfig,
         steps: usize,
         run: CellRunConfig,
-    ) -> Result<CellRun, LsOverflow> {
+    ) -> Result<CellRun, CellError> {
         self.run_md_impl(sim, steps, run, None)
     }
 
@@ -136,7 +139,7 @@ impl CellBeDevice {
         steps: usize,
         run: CellRunConfig,
         tracer: &mut mdea_trace::Tracer,
-    ) -> Result<CellRun, LsOverflow> {
+    ) -> Result<CellRun, CellError> {
         tracer.name_track(mdea_trace::TraceTrack(0), "PPE");
         for s in 0..run.n_spes {
             tracer.name_track(mdea_trace::TraceTrack(1 + s as u32), format!("SPE {s}"));
@@ -150,7 +153,7 @@ impl CellBeDevice {
         steps: usize,
         run: CellRunConfig,
         mut tracer: Option<&mut mdea_trace::Tracer>,
-    ) -> Result<CellRun, LsOverflow> {
+    ) -> Result<CellRun, CellError> {
         assert!(
             run.n_spes >= 1 && run.n_spes <= self.config.n_spes,
             "n_spes must be in 1..={}",
@@ -177,6 +180,13 @@ impl CellBeDevice {
             regions.push((pos, acc));
         }
         let slices: Vec<(usize, usize)> = partition(n, run.n_spes);
+
+        // Under hazard-check, shadow every DMA command, tag wait, compute
+        // access, and blocking mailbox op with the asynchronous-hardware race
+        // detector (one checker per local store).
+        #[cfg(feature = "hazard-check")]
+        let mut hazard: Vec<HazardChecker> =
+            (0..run.n_spes).map(|_| HazardChecker::new()).collect();
 
         let mut breakdown = CostBreakdown::default();
         let mut stats_total = KernelStats::default();
@@ -239,7 +249,11 @@ impl CellBeDevice {
                     } else {
                         // "Signal them using mailboxes when there is more
                         // data to process."
-                        for spe in spes.iter_mut() {
+                        #[allow(clippy::unused_enumerate_index)]
+                        // index feeds the hazard checker when the feature is on
+                        for (_s, spe) in spes.iter_mut().enumerate() {
+                            #[cfg(feature = "hazard-check")]
+                            hazard[_s].note_mailbox_write(_s, spe.inbox.is_full());
                             spe.inbox.write(eval as u32);
                         }
                         let dur = run.n_spes as f64 * self.config.ppe_service_cycles / clk;
@@ -247,8 +261,7 @@ impl CellBeDevice {
                             tr.span(ppe_track, "mailbox handshake", "mailbox", t_now, dur);
                         }
                         t_now += dur;
-                        breakdown.mailbox +=
-                            run.n_spes as f64 * self.config.ppe_service_cycles;
+                        breakdown.mailbox += run.n_spes as f64 * self.config.ppe_service_cycles;
                     }
                 }
             }
@@ -265,13 +278,25 @@ impl CellBeDevice {
             pe_total = 0.0;
             for (s, spe) in spes.iter_mut().enumerate() {
                 if run.policy == SpawnPolicy::LaunchOnce && eval > 0 {
+                    #[cfg(feature = "hazard-check")]
+                    hazard[s].note_mailbox_read(s, spe.inbox.is_empty());
                     let _go = spe.inbox.read();
                     spe.charge(self.config.mailbox_cycles);
                 }
                 let (pos_r, acc_r) = regions[s];
                 let (lo, hi) = slices[s];
 
-                let dma_in = dma.get(&main_memory, &mut spe.local_store, pos_r, 0, n * 16);
+                #[cfg(feature = "hazard-check")]
+                hazard[s].dma_issue(0, Dir::Get, pos_r);
+                let dma_in = dma.get(&main_memory, &mut spe.local_store, pos_r, 0, n * 16)?;
+                #[cfg(feature = "hazard-check")]
+                {
+                    // The functional engine transfers synchronously; the
+                    // modeled hardware pattern is issue → tag wait → compute.
+                    hazard[s].tag_wait(0);
+                    hazard[s].compute_read(pos_r);
+                    hazard[s].compute_write(acc_r);
+                }
                 let (pe_slice, stats) = compute_accelerations(
                     &mut spe.local_store,
                     pos_r,
@@ -287,15 +312,23 @@ impl CellBeDevice {
                     offset: acc_r.offset + lo * 16,
                     len: (hi - lo) * 16,
                 };
+                #[cfg(feature = "hazard-check")]
+                hazard[s].dma_issue(1, Dir::Put, slice_view);
                 let dma_out = dma.put(
                     &spe.local_store,
                     &mut main_memory,
                     slice_view,
                     (n + lo) * 16,
                     (hi - lo) * 16,
-                );
+                )?;
+                #[cfg(feature = "hazard-check")]
+                hazard[s].tag_wait(1);
                 // Completion notification to the PPE.
+                #[cfg(feature = "hazard-check")]
+                hazard[s].note_mailbox_write(s, spe.outbox.is_full());
                 spe.outbox.write(1);
+                #[cfg(feature = "hazard-check")]
+                hazard[s].note_mailbox_read(s, spe.outbox.is_empty());
                 let _ = spe.outbox.read();
                 let mbox = self.config.mailbox_cycles;
 
@@ -317,7 +350,13 @@ impl CellBeDevice {
                     t += stats.cycles / clk;
                     tr.span(spe_track(s), "mailbox done", "mailbox", t, mbox / clk);
                     t += mbox / clk;
-                    tr.span(spe_track(s), "DMA put accelerations", "dma", t, dma_out / clk);
+                    tr.span(
+                        spe_track(s),
+                        "DMA put accelerations",
+                        "dma",
+                        t,
+                        dma_out / clk,
+                    );
                 }
                 max_spe_cycles = max_spe_cycles.max(spe_cycles);
                 max_spe_dma = max_spe_dma.max(dma_in + dma_out);
@@ -350,6 +389,14 @@ impl CellBeDevice {
             }
         }
 
+        // Surface any detected races on the timeline as instant markers.
+        #[cfg(feature = "hazard-check")]
+        if let Some(tr) = tracer {
+            for (s, hz) in hazard.iter().enumerate() {
+                hz.emit_to_tracer(tr, spe_track(s), t_now);
+            }
+        }
+
         stats_total.cycles = breakdown.compute;
         let pe = (pe_total * 0.5) as f64;
         Ok(CellRun {
@@ -376,7 +423,7 @@ impl CellBeDevice {
         steps: usize,
         run: CellRunConfig,
         tile_atoms: usize,
-    ) -> Result<CellRun, LsOverflow> {
+    ) -> Result<CellRun, CellError> {
         assert!(
             run.n_spes >= 1 && run.n_spes <= self.config.n_spes,
             "n_spes must be in 1..={}",
@@ -462,8 +509,13 @@ impl CellBeDevice {
                 let slice_len = hi - lo;
 
                 // Own positions in; accumulator zeroed.
-                let dma_i =
-                    dma.get(&main_memory, &mut spe.local_store, r.pos_i, lo * 16, slice_len * 16);
+                let dma_i = dma.get(
+                    &main_memory,
+                    &mut spe.local_store,
+                    r.pos_i,
+                    lo * 16,
+                    slice_len * 16,
+                )?;
                 for ii in 0..slice_len {
                     spe.local_store.store_quad(r.acc, ii, [0.0; 4]);
                 }
@@ -486,7 +538,7 @@ impl CellBeDevice {
                         buf,
                         j_lo * 16,
                         count * 16,
-                    );
+                    )?;
                     let (_, stats) = crate::kernel::compute_accelerations_tiled(
                         &mut spe.local_store,
                         r.pos_i,
@@ -507,7 +559,11 @@ impl CellBeDevice {
                 }
                 let mut path = dma_i + zero_cycles + dma_cycles[0];
                 for t in 0..n_tiles {
-                    let next_dma = if t + 1 < n_tiles { dma_cycles[t + 1] } else { 0.0 };
+                    let next_dma = if t + 1 < n_tiles {
+                        dma_cycles[t + 1]
+                    } else {
+                        0.0
+                    };
                     path += compute_cycles[t].max(next_dma);
                 }
 
@@ -565,7 +621,7 @@ impl CellBeDevice {
         sim: &SimConfig,
         steps: usize,
         run: CellRunConfig,
-    ) -> Result<CellRun, LsOverflow> {
+    ) -> Result<CellRun, CellError> {
         assert!(
             run.n_spes >= 1 && run.n_spes <= self.config.n_spes,
             "n_spes must be in 1..={}",
@@ -645,7 +701,7 @@ impl CellBeDevice {
                 }
                 let (pos_r, acc_r) = regions[s];
                 let (lo, hi) = slices[s];
-                let dma_in = dma.get(&main_memory, &mut spe.local_store, pos_r, 0, 2 * n * 16);
+                let dma_in = dma.get(&main_memory, &mut spe.local_store, pos_r, 0, 2 * n * 16)?;
                 let (pe_slice, stats) = crate::kernel::compute_accelerations_f64(
                     &mut spe.local_store,
                     pos_r,
@@ -665,7 +721,7 @@ impl CellBeDevice {
                     slice_view,
                     (2 * n + 2 * lo) * 16,
                     2 * (hi - lo) * 16,
-                );
+                )?;
                 spe.outbox.write(1);
                 let _ = spe.outbox.read();
                 let spe_cycles = stats.cycles + self.config.mailbox_cycles;
@@ -715,10 +771,17 @@ impl CellBeDevice {
         let params = Self::lj_params(sim, &sys);
 
         // The PPE works straight out of main memory; reuse the kernel with a
-        // scratch "store" big enough for both arrays.
+        // scratch "store" big enough for both arrays. The layout is fixed, so
+        // the regions are constructed directly — nothing can fail here.
         let mut scratch = LocalStore::new(2 * n * 16);
-        let pos_r = scratch.alloc_quads(n).expect("scratch sized for n");
-        let acc_r = scratch.alloc_quads(n).expect("scratch sized for n");
+        let pos_r = LsRegion {
+            offset: 0,
+            len: n * 16,
+        };
+        let acc_r = LsRegion {
+            offset: n * 16,
+            len: n * 16,
+        };
 
         let mut breakdown = CostBreakdown::default();
         let mut stats_total = KernelStats::default();
@@ -778,7 +841,7 @@ impl CellBeDevice {
         &self,
         sim: &SimConfig,
         variant: SpeKernelVariant,
-    ) -> Result<f64, LsOverflow> {
+    ) -> Result<f64, CellError> {
         let sys: ParticleSystem<f32> = init::initialize(sim);
         let n = sys.n();
         let dma = DmaEngine::new(&self.config);
@@ -791,7 +854,7 @@ impl CellBeDevice {
         for (i, p) in sys.positions.iter().enumerate() {
             write_quad(&mut main_memory, i, [p.x, p.y, p.z, 0.0]);
         }
-        let dma_in = dma.get(&main_memory, &mut spe.local_store, pos_r, 0, n * 16);
+        let dma_in = dma.get(&main_memory, &mut spe.local_store, pos_r, 0, n * 16)?;
         let (_, stats) = compute_accelerations(
             &mut spe.local_store,
             pos_r,
@@ -802,7 +865,7 @@ impl CellBeDevice {
             variant,
             &self.config.costs,
         );
-        let dma_out = dma.put(&spe.local_store, &mut main_memory, acc_r, n * 16, n * 16);
+        let dma_out = dma.put(&spe.local_store, &mut main_memory, acc_r, n * 16, n * 16)?;
         Ok((dma_in + stats.cycles + dma_out) / self.config.clock_hz)
     }
 }
@@ -839,20 +902,26 @@ fn write_dquad(mem: &mut [u8], quad_index: usize, q: [f64; 2]) {
 #[inline]
 fn read_dquad(mem: &[u8], quad_index: usize) -> [f64; 2] {
     let off = quad_index * 16;
-    [
-        f64::from_le_bytes(mem[off..off + 8].try_into().unwrap()),
-        f64::from_le_bytes(mem[off + 8..off + 16].try_into().unwrap()),
-    ]
+    let lane = |o: usize| {
+        f64::from_le_bytes([
+            mem[o],
+            mem[o + 1],
+            mem[o + 2],
+            mem[o + 3],
+            mem[o + 4],
+            mem[o + 5],
+            mem[o + 6],
+            mem[o + 7],
+        ])
+    };
+    [lane(off), lane(off + 8)]
 }
 
 #[inline]
 fn read_quad(mem: &[u8], quad_index: usize) -> [f32; 4] {
     let off = quad_index * 16;
-    let mut q = [0.0f32; 4];
-    for (k, v) in q.iter_mut().enumerate() {
-        *v = f32::from_le_bytes(mem[off + 4 * k..off + 4 * k + 4].try_into().unwrap());
-    }
-    q
+    let lane = |o: usize| f32::from_le_bytes([mem[o], mem[o + 1], mem[o + 2], mem[o + 3]]);
+    [lane(off), lane(off + 4), lane(off + 8), lane(off + 12)]
 }
 
 #[cfg(test)]
@@ -980,8 +1049,7 @@ mod tests {
         );
         // Same physics either way.
         assert!(
-            (once.energies.total - respawn.energies.total).abs()
-                < 1e-6 * once.energies.total.abs()
+            (once.energies.total - respawn.energies.total).abs() < 1e-6 * once.energies.total.abs()
         );
     }
 
@@ -1012,8 +1080,7 @@ mod tests {
         let ratio = ppe.sim_seconds / eight.sim_seconds;
         assert!(ratio > 5.0, "PPE-only should be far slower: {ratio:.1}");
         assert!(
-            (ppe.energies.total - eight.energies.total).abs()
-                < 1e-3 * eight.energies.total.abs()
+            (ppe.energies.total - eight.energies.total).abs() < 1e-3 * eight.energies.total.abs()
         );
     }
 
@@ -1055,7 +1122,10 @@ mod tests {
         // timeline end matches the reported runtime closely, and the JSON
         // export is well formed.
         assert!(!tracer.is_empty());
-        assert!(tracer.track_busy(mdea_trace::TraceTrack(0)) > 0.0, "PPE busy");
+        assert!(
+            tracer.track_busy(mdea_trace::TraceTrack(0)) > 0.0,
+            "PPE busy"
+        );
         for s in 0..8u32 {
             assert!(
                 tracer.track_busy(mdea_trace::TraceTrack(1 + s)) > 0.0,
@@ -1167,7 +1237,9 @@ mod tests {
         let sim = workload(512);
         let device = CellBeDevice::paper_blade();
         let sp = device.run_md(&sim, 4, CellRunConfig::best()).unwrap();
-        let dp = device.run_md_double(&sim, 4, CellRunConfig::best()).unwrap();
+        let dp = device
+            .run_md_double(&sim, 4, CellRunConfig::best())
+            .unwrap();
         let ratio = dp.breakdown.compute / sp.breakdown.compute;
         assert!(
             (3.0..8.0).contains(&ratio),
@@ -1181,6 +1253,8 @@ mod tests {
         let sim = workload(6000);
         let device = CellBeDevice::paper_blade();
         assert!(device.run_md(&sim, 0, CellRunConfig::best()).is_ok());
-        assert!(device.run_md_double(&sim, 0, CellRunConfig::best()).is_err());
+        assert!(device
+            .run_md_double(&sim, 0, CellRunConfig::best())
+            .is_err());
     }
 }

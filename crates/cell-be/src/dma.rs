@@ -4,9 +4,11 @@
 //! most 16 KB per command, and streams at the Element Interconnect Bus rate.
 //! The engine here enforces the alignment and size rules, actually copies the
 //! bytes, and reports the cycle cost of each transfer so the device model can
-//! charge it.
+//! charge it. Malformed commands surface as [`DmaError`] values, not panics —
+//! a failed transfer must stay inside the cost-accounted simulation.
 
 use crate::config::CellConfig;
+use crate::error::DmaError;
 use crate::localstore::{LocalStore, LsRegion};
 
 /// Stateless DMA cost/transfer engine (per-SPE in hardware; shared here since
@@ -27,25 +29,51 @@ impl DmaEngine {
         }
     }
 
+    /// Number of ≤16 KB hardware commands a `len`-byte transfer splits into.
+    pub fn command_count(&self, len: usize) -> usize {
+        len.div_ceil(self.max_transfer)
+    }
+
     /// Cycle cost of moving `len` bytes: each ≤16 KB command pays the issue
     /// latency, then bytes stream at bus bandwidth.
     pub fn transfer_cycles(&self, len: usize) -> f64 {
         if len == 0 {
             return 0.0;
         }
-        let commands = len.div_ceil(self.max_transfer) as f64;
-        commands * self.latency_cycles + len as f64 / self.bytes_per_cycle
+        self.command_count(len) as f64 * self.latency_cycles + len as f64 / self.bytes_per_cycle
     }
 
-    fn check_alignment(len: usize, ls_offset: usize) {
-        assert!(
-            len.is_multiple_of(16),
-            "DMA length {len} must be a multiple of 16 bytes"
-        );
-        assert!(
-            ls_offset.is_multiple_of(16),
-            "DMA local-store offset {ls_offset} must be 16-byte aligned"
-        );
+    fn check_alignment(len: usize, ls_offset: usize) -> Result<(), DmaError> {
+        if !len.is_multiple_of(16) {
+            return Err(DmaError::UnalignedLength { len });
+        }
+        if !ls_offset.is_multiple_of(16) {
+            return Err(DmaError::UnalignedOffset { offset: ls_offset });
+        }
+        Ok(())
+    }
+
+    fn check_bounds(
+        region: LsRegion,
+        main_offset: usize,
+        len: usize,
+        mem_len: usize,
+    ) -> Result<(), DmaError> {
+        Self::check_alignment(len, region.offset)?;
+        if len > region.len {
+            return Err(DmaError::RegionOverflow {
+                len,
+                region_len: region.len,
+            });
+        }
+        if main_offset + len > mem_len {
+            return Err(DmaError::MainMemoryOutOfBounds {
+                offset: main_offset,
+                len,
+                mem_len,
+            });
+        }
+        Ok(())
     }
 
     /// `mfc_get`: main memory → local store. Returns the cycle cost.
@@ -56,15 +84,10 @@ impl DmaEngine {
         region: LsRegion,
         main_offset: usize,
         len: usize,
-    ) -> f64 {
-        Self::check_alignment(len, region.offset);
-        assert!(len <= region.len, "DMA get larger than destination region");
-        assert!(
-            main_offset + len <= main_memory.len(),
-            "DMA get source out of bounds"
-        );
-        ls.write_bytes(region.offset, &main_memory[main_offset..main_offset + len]);
-        self.transfer_cycles(len)
+    ) -> Result<f64, DmaError> {
+        Self::check_bounds(region, main_offset, len, main_memory.len())?;
+        ls.write_bytes(region.offset, &main_memory[main_offset..main_offset + len])?;
+        Ok(self.transfer_cycles(len))
     }
 
     /// `mfc_put`: local store → main memory. Returns the cycle cost.
@@ -75,16 +98,11 @@ impl DmaEngine {
         region: LsRegion,
         main_offset: usize,
         len: usize,
-    ) -> f64 {
-        Self::check_alignment(len, region.offset);
-        assert!(len <= region.len, "DMA put larger than source region");
-        assert!(
-            main_offset + len <= main_memory.len(),
-            "DMA put destination out of bounds"
-        );
+    ) -> Result<f64, DmaError> {
+        Self::check_bounds(region, main_offset, len, main_memory.len())?;
         main_memory[main_offset..main_offset + len]
-            .copy_from_slice(ls.read_bytes(region.offset, len));
-        self.transfer_cycles(len)
+            .copy_from_slice(ls.read_bytes(region.offset, len)?);
+        Ok(self.transfer_cycles(len))
     }
 }
 
@@ -104,9 +122,9 @@ mod tests {
         let src: Vec<u8> = (0..64u8).collect();
         let mut main = vec![0u8; 128];
         main[32..96].copy_from_slice(&src);
-        e.get(&main, &mut ls, r, 32, 64);
+        e.get(&main, &mut ls, r, 32, 64).unwrap();
         let mut out = vec![0u8; 128];
-        e.put(&ls, &mut out, r, 16, 64);
+        e.put(&ls, &mut out, r, 16, 64).unwrap();
         assert_eq!(&out[16..80], &src[..]);
     }
 
@@ -124,23 +142,102 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "multiple of 16")]
+    fn transfers_over_16kb_split_into_commands() {
+        let e = engine();
+        assert_eq!(e.command_count(16), 1);
+        assert_eq!(e.command_count(16 * 1024), 1, "exactly one max command");
+        assert_eq!(e.command_count(16 * 1024 + 16), 2);
+        assert_eq!(e.command_count(48 * 1024), 3);
+        // The split shows up in the cost as one extra issue latency.
+        let one = e.transfer_cycles(16 * 1024);
+        let two = e.transfer_cycles(16 * 1024 + 16);
+        let per_byte = 16.0 / (e.transfer_cycles(32) - e.transfer_cycles(16));
+        assert!(
+            two - one > 16.0 / per_byte,
+            "second command pays a fresh latency: {one} -> {two}"
+        );
+        // A split transfer still moves every byte.
+        let len = 40 * 1024; // 2.5 max-size commands
+        let mut ls = LocalStore::new(64 * 1024);
+        let r = ls.alloc(len).unwrap();
+        let main: Vec<u8> = (0..len).map(|i| (i % 251) as u8).collect();
+        e.get(&main, &mut ls, r, 0, len).unwrap();
+        let mut out = vec![0u8; len];
+        e.put(&ls, &mut out, r, 0, len).unwrap();
+        assert_eq!(out, main);
+    }
+
+    #[test]
     fn unaligned_length_rejected() {
         let e = engine();
         let mut ls = LocalStore::new(64);
         let r = ls.alloc(32).unwrap();
         let main = vec![0u8; 64];
-        e.get(&main, &mut ls, r, 0, 20);
+        assert_eq!(
+            e.get(&main, &mut ls, r, 0, 20),
+            Err(DmaError::UnalignedLength { len: 20 })
+        );
     }
 
     #[test]
-    #[should_panic(expected = "out of bounds")]
+    fn unaligned_offset_rejected() {
+        let e = engine();
+        let mut ls = LocalStore::new(64);
+        ls.alloc(32).unwrap();
+        let misaligned = LsRegion { offset: 8, len: 32 };
+        let mut main = vec![0u8; 64];
+        assert_eq!(
+            e.get(&main, &mut ls, misaligned, 0, 16),
+            Err(DmaError::UnalignedOffset { offset: 8 })
+        );
+        assert_eq!(
+            e.put(&ls, &mut main, misaligned, 0, 16),
+            Err(DmaError::UnalignedOffset { offset: 8 })
+        );
+    }
+
+    #[test]
     fn source_overrun_rejected() {
         let e = engine();
         let mut ls = LocalStore::new(64);
         let r = ls.alloc(32).unwrap();
         let main = vec![0u8; 16];
-        e.get(&main, &mut ls, r, 0, 32);
+        assert_eq!(
+            e.get(&main, &mut ls, r, 0, 32),
+            Err(DmaError::MainMemoryOutOfBounds {
+                offset: 0,
+                len: 32,
+                mem_len: 16
+            })
+        );
+    }
+
+    #[test]
+    fn transfer_larger_than_region_rejected() {
+        let e = engine();
+        let mut ls = LocalStore::new(64);
+        let r = ls.alloc(16).unwrap();
+        let main = vec![0u8; 64];
+        assert_eq!(
+            e.get(&main, &mut ls, r, 0, 32),
+            Err(DmaError::RegionOverflow {
+                len: 32,
+                region_len: 16
+            })
+        );
+    }
+
+    #[test]
+    fn failed_transfer_leaves_no_partial_write() {
+        let e = engine();
+        let mut ls = LocalStore::new(64);
+        let r = ls.alloc(32).unwrap();
+        let main = vec![7u8; 64];
+        assert!(e.get(&main, &mut ls, r, 0, 20).is_err());
+        assert!(
+            ls.read_bytes(0, 32).unwrap().iter().all(|&b| b == 0),
+            "rejected command must not touch the store"
+        );
     }
 
     #[test]

@@ -79,7 +79,7 @@ pub struct KernelStats {
     pub pairs_tested: u64,
     pub interactions: u64,
     /// SPE cycles charged by the cost model.
-    pub cycles: f64,
+    pub cycles: f64, // sim-vet: allow(precision-discipline): simulated-time accounting, not kernel physics
 }
 
 /// Scalar LJ parameters as the SPE sees them (single precision).
@@ -163,8 +163,11 @@ pub fn compute_accelerations(
                 let d = pi_v.sub(F32x4(pj));
                 let hi = d.cmp_gt(F32x4::splat(half_l));
                 let lo = F32x4::splat(-half_l).cmp_gt(d);
-                let shift = F32x4::select(hi, F32x4::splat(l), F32x4::ZERO)
-                    .add(F32x4::select(lo, F32x4::splat(-l), F32x4::ZERO));
+                let shift = F32x4::select(hi, F32x4::splat(l), F32x4::ZERO).add(F32x4::select(
+                    lo,
+                    F32x4::splat(-l),
+                    F32x4::ZERO,
+                ));
                 F32x4(pj).add(shift)
             } else if variant.branch_free_reflect() {
                 // Scalar copysign form per axis: n = trunc(|d|/L + ½)·sign(d).
@@ -301,8 +304,11 @@ pub fn compute_accelerations_tiled(
             let d = pi.sub(pj);
             let hi = d.cmp_gt(F32x4::splat(half_l));
             let lo = F32x4::splat(-half_l).cmp_gt(d);
-            let shift = F32x4::select(hi, F32x4::splat(l), F32x4::ZERO)
-                .add(F32x4::select(lo, F32x4::splat(-l), F32x4::ZERO));
+            let shift = F32x4::select(hi, F32x4::splat(l), F32x4::ZERO).add(F32x4::select(
+                lo,
+                F32x4::splat(-l),
+                F32x4::ZERO,
+            ));
             let dir = pi.sub(pj.add(shift));
             let r2 = dir.dot3(dir);
 
@@ -325,6 +331,8 @@ pub fn compute_accelerations_tiled(
 
     (pe_added, stats)
 }
+
+// sim-vet: begin-allow(precision-discipline): explicit double-precision section — models the SPE's DP unit (the paper's "outstanding issue"), not the f32 datapath
 
 /// Double-precision LJ parameters for the DP kernel extension.
 #[derive(Clone, Copy, Debug)]
@@ -362,10 +370,10 @@ pub fn compute_accelerations_f64(
     let sigma2 = params.sigma * params.sigma;
 
     // DP stage costs: arithmetic scaled by the penalty, loads doubled.
-    let per_pair_cost = (costs.reflect_simd + costs.direction_simd + costs.length_simd
-        + costs.cutoff_test)
-        * costs.dp_penalty
-        + 2.0 * costs.pair_loads;
+    let per_pair_cost =
+        (costs.reflect_simd + costs.direction_simd + costs.length_simd + costs.cutoff_test)
+            * costs.dp_penalty
+            + 2.0 * costs.pair_loads;
     let per_interact_cost = (costs.lj_eval + costs.accel_simd) * costs.dp_penalty;
 
     for i in i_range {
@@ -420,13 +428,18 @@ pub fn compute_accelerations_f64(
     (pe_slice, stats)
 }
 
+// sim-vet: end-allow(precision-discipline)
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::localstore::LocalStore;
 
     /// Builds a small LS image from explicit positions.
-    fn setup(positions: &[[f32; 3]], box_len: f32) -> (LocalStore, LsRegion, LsRegion, SpeLjParams) {
+    fn setup(
+        positions: &[[f32; 3]],
+        box_len: f32,
+    ) -> (LocalStore, LsRegion, LsRegion, SpeLjParams) {
         let n = positions.len();
         let mut ls = LocalStore::new(64 * 1024);
         let pos = ls.alloc_quads(n).unwrap();
@@ -449,10 +462,8 @@ mod tests {
         let costs = SpeCostModel::calibrated();
         let mut results = Vec::new();
         for v in SpeKernelVariant::ALL {
-            let (mut ls, pos, acc, params) =
-                setup(&[[1.0, 1.0, 1.0], [2.2, 1.0, 1.0]], 20.0);
-            let (pe, stats) =
-                compute_accelerations(&mut ls, pos, acc, 0..2, 2, params, v, &costs);
+            let (mut ls, pos, acc, params) = setup(&[[1.0, 1.0, 1.0], [2.2, 1.0, 1.0]], 20.0);
+            let (pe, stats) = compute_accelerations(&mut ls, pos, acc, 0..2, 2, params, v, &costs);
             let a0 = ls.load_quad(acc, 0);
             results.push((pe, a0, stats));
         }
@@ -478,14 +489,16 @@ mod tests {
         // Atoms at x=0.5 and x=19.5 in a 20-box are 1.0 apart through the wall.
         let costs = SpeCostModel::calibrated();
         for v in SpeKernelVariant::ALL {
-            let (mut ls, pos, acc, params) =
-                setup(&[[0.5, 5.0, 5.0], [19.5, 5.0, 5.0]], 20.0);
+            let (mut ls, pos, acc, params) = setup(&[[0.5, 5.0, 5.0], [19.5, 5.0, 5.0]], 20.0);
             let (_, stats) = compute_accelerations(&mut ls, pos, acc, 0..2, 2, params, v, &costs);
             assert_eq!(stats.interactions, 2, "{v:?} must see the wrapped pair");
             let a0 = ls.load_quad(acc, 0);
             // At r=1 the LJ force is 24ε(2−1)=24, repulsive: atom 0 pushed +x
             // (away from the image at x=-0.5).
-            assert!(a0[0] > 0.0, "{v:?}: repulsion through the boundary, got {a0:?}");
+            assert!(
+                a0[0] > 0.0,
+                "{v:?}: repulsion through the boundary, got {a0:?}"
+            );
             assert!((a0[0] - 24.0).abs() < 1e-3, "{v:?}: |a| = {}", a0[0]);
         }
     }
@@ -522,8 +535,7 @@ mod tests {
         for v in SpeKernelVariant::ALL {
             let (mut ls, pos, acc, mut params) = setup(&positions, 6.0);
             params.cutoff2 = 4.0;
-            let (_, stats) =
-                compute_accelerations(&mut ls, pos, acc, 0..32, 32, params, v, &costs);
+            let (_, stats) = compute_accelerations(&mut ls, pos, acc, 0..32, 32, params, v, &costs);
             assert!(
                 stats.cycles < prev,
                 "{v:?}: {} not below previous {prev}",

@@ -28,6 +28,9 @@
 mod config;
 mod device;
 mod dma;
+mod error;
+#[cfg(feature = "hazard-check")]
+pub mod hazard;
 mod kernel;
 mod localstore;
 mod mailbox;
@@ -36,16 +39,16 @@ mod spe;
 
 pub use config::{CellConfig, SpeCostModel};
 pub use device::{CellBeDevice, CellRun, CellRunConfig, CostBreakdown, SpawnPolicy};
-pub use spe::LsOverflow;
 pub use dma::DmaEngine;
+pub use error::{CellError, DmaError, LsError};
 pub use kernel::{
-    compute_accelerations_tiled,
-    compute_accelerations, compute_accelerations_f64, KernelStats, SpeKernelVariant,
-    SpeLjParams, SpeLjParamsF64,
+    compute_accelerations, compute_accelerations_f64, compute_accelerations_tiled, KernelStats,
+    SpeKernelVariant, SpeLjParams, SpeLjParamsF64,
 };
-pub use localstore::LocalStore;
+pub use localstore::{LocalStore, LsRegion};
 pub use mailbox::Mailbox;
 pub use ppe::PpeModel;
+pub use spe::LsOverflow;
 pub use spe::Spe;
 
 /// Re-export of the tracing crate used by [`CellBeDevice::run_md_traced`].

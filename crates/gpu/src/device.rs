@@ -73,6 +73,7 @@ impl GpuDevice {
     ) -> DispatchResult {
         let constants = self
             .constants
+            // sim-vet: allow(panic-discipline): compile-before-dispatch is an API contract (the JIT protocol), not a runtime data failure
             .expect("shader must be JIT-compiled (GpuDevice::compile) before dispatch");
         assert!(
             inputs.len() <= self.config.max_input_textures,

@@ -49,7 +49,13 @@ impl LjAccelShader {
     }
 
     /// Pack the kernel parameters into the JIT-baked constant block.
-    pub fn constants(box_len: f32, cutoff2: f32, epsilon: f32, sigma: f32, inv_mass: f32) -> ShaderConstants {
+    pub fn constants(
+        box_len: f32,
+        cutoff2: f32,
+        epsilon: f32,
+        sigma: f32,
+        inv_mass: f32,
+    ) -> ShaderConstants {
         let mut values = [0.0f32; 8];
         values[constants::BOX_LEN] = box_len;
         values[constants::CUTOFF2] = cutoff2;
@@ -159,7 +165,10 @@ mod tests {
     fn self_pair_masked_no_nan() {
         let (out, _) = dispatch(&[[5.0, 5.0, 5.0]], 20.0);
         let a = out.fetch(0);
-        assert!(a.iter().all(|v| v.is_finite()), "self-pair must not produce NaN: {a:?}");
+        assert!(
+            a.iter().all(|v| v.is_finite()),
+            "self-pair must not produce NaN: {a:?}"
+        );
         assert_eq!(a, [0.0; 4]);
     }
 
@@ -174,7 +183,10 @@ mod tests {
     #[test]
     fn op_count_uniform_in_pairs() {
         let (_, ops_dense) = dispatch(&[[1.0, 1.0, 1.0], [1.5, 1.0, 1.0], [2.0, 1.0, 1.0]], 20.0);
-        let (_, ops_sparse) = dispatch(&[[1.0, 1.0, 1.0], [8.0, 8.0, 8.0], [15.0, 15.0, 15.0]], 20.0);
+        let (_, ops_sparse) = dispatch(
+            &[[1.0, 1.0, 1.0], [8.0, 8.0, 8.0], [15.0, 15.0, 15.0]],
+            20.0,
+        );
         // Predication: cost depends only on N, not on interactions.
         assert_eq!(ops_dense.total(), ops_sparse.total());
         let n = 3u64;

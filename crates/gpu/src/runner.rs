@@ -120,12 +120,8 @@ impl GpuMdSimulation {
 
             // "At the next time step, the updated positions are re-sent to
             // the GPU and new accelerations computed again."
-            let positions = Texture::from_texels(
-                sys.positions
-                    .iter()
-                    .map(|p| [p.x, p.y, p.z, 0.0])
-                    .collect(),
-            );
+            let positions =
+                Texture::from_texels(sys.positions.iter().map(|p| [p.x, p.y, p.z, 0.0]).collect());
             breakdown.upload += device.upload_seconds(&positions);
 
             let result = device.dispatch(&shader, &[&positions], n);

@@ -8,7 +8,15 @@ use std::process::Command;
 fn main() {
     let exe = std::env::current_exe().expect("own path");
     let dir = exe.parent().expect("bin dir");
-    for name in ["fig5", "fig6", "table1", "fig7", "fig8", "fig9", "xmt_projection"] {
+    for name in [
+        "fig5",
+        "fig6",
+        "table1",
+        "fig7",
+        "fig8",
+        "fig9",
+        "xmt_projection",
+    ] {
         let path = dir.join(name);
         println!("\n{0}\n▶ {name}\n{0}", "=".repeat(72));
         let status = Command::new(&path)

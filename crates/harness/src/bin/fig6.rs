@@ -34,10 +34,7 @@ fn main() {
     let find = |spes: usize, once: bool| {
         cases
             .iter()
-            .find(|c| {
-                c.n_spes == spes
-                    && (c.policy == cell_be::SpawnPolicy::LaunchOnce) == once
-            })
+            .find(|c| c.n_spes == spes && (c.policy == cell_be::SpawnPolicy::LaunchOnce) == once)
             .unwrap()
     };
     let r1 = find(1, false);

@@ -29,7 +29,9 @@ fn main() {
 
     let crossover = rows
         .windows(2)
-        .find(|w| w[0].gpu_seconds >= w[0].opteron_seconds && w[1].gpu_seconds < w[1].opteron_seconds)
+        .find(|w| {
+            w[0].gpu_seconds >= w[0].opteron_seconds && w[1].gpu_seconds < w[1].opteron_seconds
+        })
         .map(|w| (w[0].n_atoms, w[1].n_atoms));
     let at2048 = rows.iter().find(|r| r.n_atoms == 2048).unwrap();
 
@@ -41,7 +43,11 @@ fn main() {
         ),
         None => println!(
             "  crossover: GPU {} at the smallest size measured",
-            if rows[0].gpu_seconds > rows[0].opteron_seconds { "slower" } else { "faster" }
+            if rows[0].gpu_seconds > rows[0].opteron_seconds {
+                "slower"
+            } else {
+                "faster"
+            }
         ),
     }
     println!(

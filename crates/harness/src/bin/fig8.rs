@@ -7,10 +7,17 @@ use harness::{experiments, write_csv};
 fn main() {
     let counts = [256usize, 512, 1024, 2048, 4096];
     let steps = experiments::PAPER_STEPS;
-    println!("Figure 8 — fully vs partially multithreaded MD kernel on the MTA-2 ({steps} steps)\n");
+    println!(
+        "Figure 8 — fully vs partially multithreaded MD kernel on the MTA-2 ({steps} steps)\n"
+    );
     let rows = experiments::fig8(&counts, steps);
 
-    let mut table = Table::new(&["atoms", "fully multithreaded", "partially multithreaded", "gap"]);
+    let mut table = Table::new(&[
+        "atoms",
+        "fully multithreaded",
+        "partially multithreaded",
+        "gap",
+    ]);
     let mut csv = Vec::new();
     for r in &rows {
         table.row(&[
@@ -28,11 +35,13 @@ fn main() {
     println!("{}", table.render());
 
     let first_gap = rows[0].partially_mt_seconds - rows[0].fully_mt_seconds;
-    let last_gap = rows.last().unwrap().partially_mt_seconds - rows.last().unwrap().fully_mt_seconds;
+    let last_gap =
+        rows.last().unwrap().partially_mt_seconds - rows.last().unwrap().fully_mt_seconds;
     println!("paper-vs-measured shape checks:");
     println!(
         "  fully MT faster everywhere: {}",
-        rows.iter().all(|r| r.fully_mt_seconds < r.partially_mt_seconds)
+        rows.iter()
+            .all(|r| r.fully_mt_seconds < r.partially_mt_seconds)
     );
     println!(
         "  performance difference grows with atoms: {:.3} s -> {:.3} s \

@@ -7,9 +7,7 @@ use harness::{experiments, write_csv};
 fn main() {
     let counts = [256usize, 512, 1024, 2048, 4096, 8192];
     let steps = experiments::PAPER_STEPS;
-    println!(
-        "Figure 9 — increase in runtime with respect to the 256-atom run ({steps} steps)\n"
-    );
+    println!("Figure 9 — increase in runtime with respect to the 256-atom run ({steps} steps)\n");
     let rows = experiments::fig9(&counts, steps);
 
     let mut table = Table::new(&["atoms", "MTA (relative)", "Opteron (relative)"]);
@@ -45,9 +43,7 @@ fn main() {
          ... the effect of cache misses')",
         last.n_atoms, last.opteron_relative, last.mta_relative
     );
-    println!(
-        "  MTA growth tracks flop growth (proportional to N² work), no cache knee"
-    );
+    println!("  MTA growth tracks flop growth (proportional to N² work), no cache knee");
 
     if let Ok(path) = write_csv(
         "fig9_relative_scaling",

@@ -39,11 +39,7 @@ fn main() {
          'data placement and access locality will be an important consideration'."
     );
 
-    if let Ok(path) = write_csv(
-        "xmt_projection",
-        &["system", "processors", "seconds"],
-        &csv,
-    ) {
+    if let Ok(path) = write_csv("xmt_projection", &["system", "processors", "seconds"], &csv) {
         println!("\nwrote {}", path.display());
     }
 }

@@ -79,7 +79,10 @@ pub fn fig6(n_atoms: usize, steps: usize) -> Vec<Fig6Case> {
                 SpawnPolicy::LaunchOnce => "launch only first time step",
             };
             out.push(Fig6Case {
-                label: format!("{n_spes} SPE{}, {policy_label}", if n_spes > 1 { "s" } else { "" }),
+                label: format!(
+                    "{n_spes} SPE{}, {policy_label}",
+                    if n_spes > 1 { "s" } else { "" }
+                ),
                 n_spes,
                 policy,
                 total_seconds: run.sim_seconds,
@@ -188,7 +191,9 @@ pub fn fig8(atom_counts: &[usize], steps: usize) -> Vec<Fig8Row> {
             let sim = SimConfig::reduced_lj(n);
             Fig8Row {
                 n_atoms: n,
-                fully_mt_seconds: m.run_md(&sim, steps, ThreadingMode::FullyMultithreaded).sim_seconds,
+                fully_mt_seconds: m
+                    .run_md(&sim, steps, ThreadingMode::FullyMultithreaded)
+                    .sim_seconds,
                 partially_mt_seconds: m
                     .run_md(&sim, steps, ThreadingMode::PartiallyMultithreaded)
                     .sim_seconds,
@@ -220,8 +225,12 @@ pub fn fig9(atom_counts: &[usize], steps: usize) -> Vec<Fig9Row> {
         .iter()
         .map(|&n| {
             let sim = SimConfig::reduced_lj(n);
-            let mta = m.run_md(&sim, steps, ThreadingMode::FullyMultithreaded).sim_seconds;
-            let opt = OpteronCpu::paper_reference().run_md(&sim, steps).sim_seconds;
+            let mta = m
+                .run_md(&sim, steps, ThreadingMode::FullyMultithreaded)
+                .sim_seconds;
+            let opt = OpteronCpu::paper_reference()
+                .run_md(&sim, steps)
+                .sim_seconds;
             (n, mta, opt)
         })
         .collect();
@@ -290,7 +299,12 @@ mod tests {
         let rows = fig5(256);
         assert_eq!(rows.len(), 6);
         for w in rows.windows(2) {
-            assert!(w[1].seconds < w[0].seconds, "{} !< {}", w[1].label, w[0].label);
+            assert!(
+                w[1].seconds < w[0].seconds,
+                "{} !< {}",
+                w[1].label,
+                w[0].label
+            );
         }
     }
 
@@ -298,7 +312,9 @@ mod tests {
     fn fig6_cases_cover_the_grid() {
         let cases = fig6(256, 3);
         assert_eq!(cases.len(), 4);
-        assert!(cases.iter().any(|c| c.n_spes == 8 && c.policy == SpawnPolicy::LaunchOnce));
+        assert!(cases
+            .iter()
+            .any(|c| c.n_spes == 8 && c.policy == SpawnPolicy::LaunchOnce));
         for c in &cases {
             assert!(c.launch_seconds < c.total_seconds);
         }

@@ -18,7 +18,6 @@ pub mod experiments;
 pub mod report;
 
 pub use experiments::{
-    fig5, fig6, fig7, fig8, fig9, table1, Fig5Row, Fig6Case, Fig7Row, Fig8Row, Fig9Row,
-    Table1Data,
+    fig5, fig6, fig7, fig8, fig9, table1, Fig5Row, Fig6Case, Fig7Row, Fig8Row, Fig9Row, Table1Data,
 };
 pub use report::{write_csv, Table};

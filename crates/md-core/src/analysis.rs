@@ -31,12 +31,14 @@ impl<T: Real> DisplacementTracker<T> {
     /// once per few steps so no atom moves more than half a box between
     /// updates.
     pub fn update(&mut self, sys: &ParticleSystem<T>) {
-        assert_eq!(sys.n(), self.unwrapped.len(), "tracker bound to one system size");
+        assert_eq!(
+            sys.n(),
+            self.unwrapped.len(),
+            "tracker bound to one system size"
+        );
         for i in 0..sys.n() {
-            let step = pbc::min_image_branchy(
-                sys.positions[i] - self.last_wrapped[i],
-                self.box_len,
-            );
+            let step =
+                pbc::min_image_branchy(sys.positions[i] - self.last_wrapped[i], self.box_len);
             self.unwrapped[i] += step;
             self.last_wrapped[i] = sys.positions[i];
         }
@@ -127,7 +129,8 @@ impl BlockAverage {
         self.current_sum += value;
         self.current_count += 1;
         if self.current_count == self.block_size {
-            self.block_means.push(self.current_sum / self.block_size as f64);
+            self.block_means
+                .push(self.current_sum / self.block_size as f64);
             self.current_sum = 0.0;
             self.current_count = 0;
         }
@@ -188,7 +191,11 @@ mod tests {
             sys.wrap_positions();
             tracker.update(&sys);
         }
-        assert!((tracker.msd() - 0.25).abs() < 1e-9, "MSD = 0.5² = 0.25, got {}", tracker.msd());
+        assert!(
+            (tracker.msd() - 0.25).abs() < 1e-9,
+            "MSD = 0.5² = 0.25, got {}",
+            tracker.msd()
+        );
     }
 
     #[test]
@@ -256,7 +263,11 @@ mod tests {
         }
         assert_eq!(b.completed_blocks(), 10);
         assert_eq!(b.mean(), Some(4.5));
-        assert_eq!(b.standard_error(), Some(0.0), "identical blocks, zero error");
+        assert_eq!(
+            b.standard_error(),
+            Some(0.0),
+            "identical blocks, zero error"
+        );
     }
 
     #[test]

@@ -14,11 +14,10 @@
 //! - angle: `V(θ) = ½ k (θ − θ₀)²`
 
 use crate::system::ParticleSystem;
-use serde::{Deserialize, Serialize};
 use vecmath::{pbc, Real, Vec3};
 
 /// A harmonic two-body bond.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Bond {
     pub i: usize,
     pub j: usize,
@@ -29,7 +28,7 @@ pub struct Bond {
 }
 
 /// A harmonic three-body angle (j is the vertex).
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Angle {
     pub i: usize,
     pub j: usize,
@@ -41,7 +40,7 @@ pub struct Angle {
 }
 
 /// The bonded part of a topology.
-#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct BondedTopology {
     pub bonds: Vec<Bond>,
     pub angles: Vec<Angle>,
@@ -80,7 +79,12 @@ impl BondedTopology {
     /// Check all indices are within `n`.
     pub fn validate(&self, n: usize) {
         for b in &self.bonds {
-            assert!(b.i < n && b.j < n, "bond ({}, {}) out of range for {n} atoms", b.i, b.j);
+            assert!(
+                b.i < n && b.j < n,
+                "bond ({}, {}) out of range for {n} atoms",
+                b.i,
+                b.j
+            );
         }
         for a in &self.angles {
             assert!(
@@ -125,9 +129,7 @@ impl BondedTopology {
             if nij.to_f64() == 0.0 || nkj.to_f64() == 0.0 {
                 continue;
             }
-            let cos_t = (rij.dot(rkj) / (nij * nkj))
-                .min(T::ONE)
-                .max(-T::ONE);
+            let cos_t = (rij.dot(rkj) / (nij * nkj)).min(T::ONE).max(-T::ONE);
             let theta = T::from_f64(cos_t.to_f64().acos());
             let k = T::from_f64(a.k);
             let dt = theta - T::from_f64(a.theta0);
@@ -191,7 +193,10 @@ mod tests {
         assert!((pe - 12.5).abs() < 1e-12);
         // Atom 0 pulled toward +x (toward atom 1), magnitude k·dr = 50.
         assert!((sys.accelerations[0].x - 50.0).abs() < 1e-9);
-        assert!((sys.accelerations[0] + sys.accelerations[1]).norm() < 1e-12, "Newton's 3rd law");
+        assert!(
+            (sys.accelerations[0] + sys.accelerations[1]).norm() < 1e-12,
+            "Newton's 3rd law"
+        );
     }
 
     #[test]
@@ -199,7 +204,10 @@ mod tests {
         let mut sys = two_atoms(1.0);
         let topo = BondedTopology::new().with_bond(0, 1, 100.0, 1.5);
         topo.accumulate_forces(&mut sys);
-        assert!(sys.accelerations[0].x < 0.0, "atom 0 pushed away from atom 1");
+        assert!(
+            sys.accelerations[0].x < 0.0,
+            "atom 0 pushed away from atom 1"
+        );
     }
 
     #[test]

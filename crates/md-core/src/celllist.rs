@@ -136,7 +136,11 @@ mod tests {
         let pe_ref = AllPairsHalfKernel.compute(&mut s1, &params);
         let mut cl = CellListKernel::new();
         let pe_cl = cl.compute(&mut s2, &params);
-        assert!(cl.cells_per_edge >= 5, "expected real cells, got {}", cl.cells_per_edge);
+        assert!(
+            cl.cells_per_edge >= 5,
+            "expected real cells, got {}",
+            cl.cells_per_edge
+        );
         assert!(
             (pe_ref - pe_cl).abs() < 1e-9 * pe_ref.abs(),
             "{pe_ref} vs {pe_cl}"

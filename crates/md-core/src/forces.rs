@@ -143,7 +143,7 @@ pub trait PairVisitor<T: Real> {
 
 impl<T: Real, F: FnMut(usize, usize, T)> PairVisitor<T> for F {
     fn pair(&mut self, i: usize, j: usize, r2: T) {
-        self(i, j, r2)
+        self(i, j, r2);
     }
 }
 
@@ -233,7 +233,10 @@ mod tests {
         // At ρ*=0.8442, r_c=2.5: expected neighbors/atom ≈ ρ·(4/3)πr³ ≈ 55,
         // so pairs ≈ N·55/2. Sanity-band it.
         let per_atom = 2.0 * count as f64 / sys.n() as f64;
-        assert!((30.0..80.0).contains(&per_atom), "neighbors/atom {per_atom}");
+        assert!(
+            (30.0..80.0).contains(&per_atom),
+            "neighbors/atom {per_atom}"
+        );
     }
 
     #[test]

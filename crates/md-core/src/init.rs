@@ -7,11 +7,10 @@
 use crate::params::SimConfig;
 use crate::rng::SplitMix64;
 use crate::system::ParticleSystem;
-use serde::{Deserialize, Serialize};
 use vecmath::{Real, Vec3};
 
 /// Initial placement lattice.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Lattice {
     /// Simple cubic: 1 atom per unit cell.
     SimpleCubic,
@@ -195,14 +194,16 @@ mod tests {
         assert_eq!(a.positions, b.positions);
         assert_eq!(a.velocities, b.velocities);
         let c: ParticleSystem<f64> = initialize(&cfg(256).with_seed(77));
-        assert_ne!(a.velocities, c.velocities, "different seed, different draws");
+        assert_ne!(
+            a.velocities, c.velocities,
+            "different seed, different draws"
+        );
         assert_eq!(a.positions, c.positions, "lattice does not depend on seed");
     }
 
     #[test]
     fn simple_cubic_lattice_works() {
-        let sys: ParticleSystem<f64> =
-            initialize(&cfg(216).with_lattice(Lattice::SimpleCubic));
+        let sys: ParticleSystem<f64> = initialize(&cfg(216).with_lattice(Lattice::SimpleCubic));
         assert_eq!(sys.n(), 216); // 6³
     }
 

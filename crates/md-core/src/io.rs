@@ -39,13 +39,12 @@ pub fn read_xyz_frames<R: BufRead>(input: R) -> io::Result<Vec<Vec<Vec3<f64>>>> 
         if first.trim().is_empty() {
             continue;
         }
-        let n: usize = first
-            .trim()
-            .parse()
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad atom count: {e}")))?;
-        let _comment = lines
-            .next()
-            .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "missing comment line"))??;
+        let n: usize = first.trim().parse().map_err(|e| {
+            io::Error::new(io::ErrorKind::InvalidData, format!("bad atom count: {e}"))
+        })?;
+        let _comment = lines.next().ok_or_else(|| {
+            io::Error::new(io::ErrorKind::UnexpectedEof, "missing comment line")
+        })??;
         let mut frame = Vec::with_capacity(n);
         for _ in 0..n {
             let line = lines
@@ -59,9 +58,13 @@ pub fn read_xyz_frames<R: BufRead>(input: R) -> io::Result<Vec<Vec<Vec3<f64>>>> 
             for c in &mut coord {
                 *c = parts
                     .next()
-                    .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "missing coordinate"))?
+                    .ok_or_else(|| {
+                        io::Error::new(io::ErrorKind::InvalidData, "missing coordinate")
+                    })?
                     .parse()
-                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad coordinate: {e}")))?;
+                    .map_err(|e| {
+                        io::Error::new(io::ErrorKind::InvalidData, format!("bad coordinate: {e}"))
+                    })?;
             }
             frame.push(Vec3::new(coord[0], coord[1], coord[2]));
         }
@@ -111,9 +114,25 @@ pub fn checkpoint_from_str(text: &str) -> Result<ParticleSystem<f64>, String> {
     for line in lines {
         let mut parts = line.split_whitespace();
         match parts.next() {
-            Some("n") => n = Some(parts.next().ok_or("missing n")?.parse::<usize>().map_err(|e| e.to_string())?),
-            Some("box") => box_len = Some(f64::from_bits(parse_u64(parts.next().ok_or("missing box")?)?)),
-            Some("mass") => mass = Some(f64::from_bits(parse_u64(parts.next().ok_or("missing mass")?)?)),
+            Some("n") => {
+                n = Some(
+                    parts
+                        .next()
+                        .ok_or("missing n")?
+                        .parse::<usize>()
+                        .map_err(|e| e.to_string())?,
+                );
+            }
+            Some("box") => {
+                box_len = Some(f64::from_bits(parse_u64(
+                    parts.next().ok_or("missing box")?,
+                )?));
+            }
+            Some("mass") => {
+                mass = Some(f64::from_bits(parse_u64(
+                    parts.next().ok_or("missing mass")?,
+                )?));
+            }
             Some(tag @ ("p" | "v" | "a")) => {
                 let mut c = [0.0f64; 3];
                 for v in &mut c {
@@ -200,7 +219,11 @@ mod tests {
         let sys = ParticleSystem::<f64>::new(2, 5.0);
         let text = checkpoint_to_string(&sys);
         // Drop one record line.
-        let truncated: String = text.lines().take(text.lines().count() - 1).collect::<Vec<_>>().join("\n");
+        let truncated: String = text
+            .lines()
+            .take(text.lines().count() - 1)
+            .collect::<Vec<_>>()
+            .join("\n");
         assert!(checkpoint_from_str(&truncated).is_err());
         assert!(checkpoint_from_str("garbage").is_err());
     }

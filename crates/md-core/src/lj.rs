@@ -8,7 +8,6 @@
 //! Forces and energies are evaluated from r² only — no square root is needed
 //! on the hot path, matching every production LJ kernel and the paper's.
 
-use serde::{Deserialize, Serialize};
 use vecmath::Real;
 
 /// Lennard-Jones interaction parameters.
@@ -24,7 +23,7 @@ use vecmath::Real;
 /// // Nothing beyond the cutoff:
 /// assert_eq!(lj.energy(2.5 * 2.5), 0.0);
 /// ```
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct LjParams<T> {
     /// Well depth ε.
     pub epsilon: T,
@@ -148,8 +147,14 @@ mod tests {
     #[test]
     fn repulsive_inside_minimum_attractive_outside() {
         let params = p();
-        assert!(params.force_over_r(0.9 * 0.9) > 0.0, "repulsion pushes apart");
-        assert!(params.force_over_r(1.5 * 1.5) < 0.0, "attraction pulls together");
+        assert!(
+            params.force_over_r(0.9 * 0.9) > 0.0,
+            "repulsion pushes apart"
+        );
+        assert!(
+            params.force_over_r(1.5 * 1.5) < 0.0,
+            "attraction pulls together"
+        );
     }
 
     #[test]

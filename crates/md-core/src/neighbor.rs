@@ -144,7 +144,7 @@ mod tests {
         let mut nl = NeighborListKernel::with_default_skin();
         nl.compute(&mut sys, &params);
         for step in 0..60 {
-            let pe_nl = vv.step(&mut sys, &mut nl, &params, );
+            let pe_nl = vv.step(&mut sys, &mut nl, &params);
             if step % 15 == 0 {
                 let mut check = sys.clone();
                 let pe_ref = AllPairsHalfKernel.compute(&mut check, &params);

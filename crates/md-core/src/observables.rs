@@ -63,7 +63,11 @@ pub fn radial_distribution<T: Real>(
             let r_lo = k as f64 * dr;
             let r_hi = r_lo + dr;
             let shell = norm * (r_hi.powi(3) - r_lo.powi(3));
-            let g = if shell > 0.0 { count as f64 / shell } else { 0.0 };
+            let g = if shell > 0.0 {
+                count as f64 / shell
+            } else {
+                0.0
+            };
             (r_lo + dr / 2.0, g)
         })
         .collect()

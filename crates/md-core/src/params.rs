@@ -2,13 +2,12 @@
 
 use crate::init::Lattice;
 use crate::lj::LjParams;
-use serde::{Deserialize, Serialize};
 
 /// Full description of an MD workload — enough to reproduce any experiment.
 ///
 /// All quantities are in reduced Lennard-Jones units (ε = σ = m = 1), the
 /// conventional choice for LJ benchmark kernels like the paper's.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct SimConfig {
     /// Number of atoms. Lattice initialization may round this up to the next
     /// perfect lattice filling unless `exact_n` is set.

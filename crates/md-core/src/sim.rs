@@ -135,10 +135,7 @@ mod tests {
     fn prepare_primes_accelerations() {
         let sim = Simulation::<f64>::prepare(SimConfig::reduced_lj(108));
         assert!(
-            sim.system
-                .accelerations
-                .iter()
-                .any(|a| a.norm2() > 0.0),
+            sim.system.accelerations.iter().any(|a| a.norm2() > 0.0),
             "forces computed at init"
         );
         assert!(sim.potential_energy() < 0.0);

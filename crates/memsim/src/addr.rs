@@ -38,7 +38,11 @@ impl ArrayRegion {
     /// Byte address of element `i`.
     #[inline(always)]
     pub fn addr(&self, i: usize) -> u64 {
-        debug_assert!((i as u64) < self.len, "index {i} out of region of {} elems", self.len);
+        debug_assert!(
+            (i as u64) < self.len,
+            "index {i} out of region of {} elems",
+            self.len
+        );
         self.base + i as u64 * self.elem_bytes
     }
 

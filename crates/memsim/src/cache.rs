@@ -43,16 +43,17 @@ impl CacheConfig {
     }
 
     fn validate(&self) {
-        assert!(self.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            self.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         assert!(self.associativity >= 1, "associativity must be >= 1");
         assert!(
-            self.size_bytes.is_multiple_of(self.line_bytes * self.associativity),
+            self.size_bytes
+                .is_multiple_of(self.line_bytes * self.associativity),
             "capacity must be a multiple of line_bytes * associativity"
         );
-        assert!(
-            self.num_sets() >= 1,
-            "cache must contain at least one set"
-        );
+        assert!(self.num_sets() >= 1, "cache must contain at least one set");
     }
 }
 

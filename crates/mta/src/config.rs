@@ -101,7 +101,10 @@ mod tests {
     #[test]
     fn paper_clock_ratio() {
         let c = MtaConfig::paper_mta2();
-        assert!((2.2e9 / c.clock_hz - 11.0).abs() < 0.1, "11x slower than the Opteron");
+        assert!(
+            (2.2e9 / c.clock_hz - 11.0).abs() < 0.1,
+            "11x slower than the Opteron"
+        );
         assert_eq!(c.streams_per_processor, 128);
     }
 

@@ -85,12 +85,14 @@ impl MtaMdSimulation {
         let mut cycles = 0.0f64;
         let mut instructions = 0.0f64;
         let mut decisions: Vec<(&'static str, ParallelizationDecision)> = Vec::new();
-        let record = |name: &'static str, d: ParallelizationDecision,
-                          decisions: &mut Vec<(&'static str, ParallelizationDecision)>| {
-            if !decisions.iter().any(|(n2, _)| *n2 == name) {
-                decisions.push((name, d));
-            }
-        };
+        let record =
+            |name: &'static str,
+             d: ParallelizationDecision,
+             decisions: &mut Vec<(&'static str, ParallelizationDecision)>| {
+                if !decisions.iter().any(|(n2, _)| *n2 == name) {
+                    decisions.push((name, d));
+                }
+            };
 
         // Shared PE accumulator in tagged memory (the restructured reduction
         // uses full/empty atomic adds from every stream).
@@ -134,6 +136,7 @@ impl MtaMdSimulation {
                 // Reduction inside the loop body: full/empty atomic add.
                 tagged
                     .atomic_add(0, pe_i)
+                    // sim-vet: allow(panic-discipline): full/empty-bit protocol violation is a simulator bug, not a recoverable data error
                     .expect("accumulator protocol is lock/unlock per atom");
             }
             pe = tagged.read(0) * 0.5;
@@ -286,7 +289,13 @@ mod tests {
         // The MTA's runtime growth must be proportional to the instruction
         // (≈ flop) growth — no cache knee.
         let m = MtaMdSimulation::paper_mta2();
-        let run = |n: usize| m.run_md(&SimConfig::reduced_lj(n), 1, ThreadingMode::FullyMultithreaded);
+        let run = |n: usize| {
+            m.run_md(
+                &SimConfig::reduced_lj(n),
+                1,
+                ThreadingMode::FullyMultithreaded,
+            )
+        };
         let small = run(256);
         let large = run(2048);
         let time_ratio = large.sim_seconds / small.sim_seconds;

@@ -130,7 +130,10 @@ mod tests {
         let mut m = FullEmptyMemory::new_empty(1);
         assert_eq!(m.readfe(0), Err(FullEmptyError::ReadOfEmpty { index: 0 }));
         m.writeef(0, 1.0).unwrap();
-        assert_eq!(m.writeef(0, 2.0), Err(FullEmptyError::WriteOfFull { index: 0 }));
+        assert_eq!(
+            m.writeef(0, 2.0),
+            Err(FullEmptyError::WriteOfFull { index: 0 })
+        );
     }
 
     #[test]

@@ -2,8 +2,13 @@ fn main() {
     for n in [256usize, 512, 1024, 2048, 4096, 8192] {
         let cfg = md_core::params::SimConfig::reduced_lj(n);
         let run = opteron::OpteronCpu::paper_reference().run_md(&cfg, 1);
-        println!("N={n:5} t={:.6}s flop_cyc={:.3e} mem_cyc={:.3e} l1miss={:.4} avgmem={:.2}",
-            run.sim_seconds, run.flop_cycles, run.memory_cycles,
-            run.memory.l1.miss_rate(), run.memory.avg_cycles());
+        println!(
+            "N={n:5} t={:.6}s flop_cyc={:.3e} mem_cyc={:.3e} l1miss={:.4} avgmem={:.2}",
+            run.sim_seconds,
+            run.flop_cycles,
+            run.memory_cycles,
+            run.memory.l1.miss_rate(),
+            run.memory.avg_cycles()
+        );
     }
 }

@@ -110,7 +110,7 @@ impl OpteronCpu {
         let vv = VelocityVerlet::new(sim.dt);
 
         // Lay out the logical arrays in the simulated address space.
-        let elem = std::mem::size_of::<Vec3<f64>>(); // 24 bytes
+        let elem = size_of::<Vec3<f64>>(); // 24 bytes
         let mut space = AddressSpace::new();
         let pos_r = space.alloc_array(sys.n(), elem);
         let vel_r = space.alloc_array(sys.n(), elem);
@@ -121,7 +121,14 @@ impl OpteronCpu {
 
         // Prime the accelerations (step-0 force evaluation), charged like any
         // other evaluation — the paper's total runtime includes everything.
-        let mut pe = self.traced_forces(&mut sys, &params, &pos_r, &acc_r, &mut flops, &mut loop_iters);
+        let mut pe = self.traced_forces(
+            &mut sys,
+            &params,
+            &pos_r,
+            &acc_r,
+            &mut flops,
+            &mut loop_iters,
+        );
 
         for _ in 0..steps {
             // Steps 1, 3, 4 of Figure 4: O(N) integration. One pass reads
@@ -135,7 +142,14 @@ impl OpteronCpu {
             vv.kick_drift(&mut sys);
 
             // Step 2: the traced O(N²) force evaluation.
-            pe = self.traced_forces(&mut sys, &params, &pos_r, &acc_r, &mut flops, &mut loop_iters);
+            pe = self.traced_forces(
+                &mut sys,
+                &params,
+                &pos_r,
+                &acc_r,
+                &mut flops,
+                &mut loop_iters,
+            );
 
             // Second half-kick + step 5 energy reduction.
             for i in 0..sys.n() {
@@ -147,8 +161,8 @@ impl OpteronCpu {
         }
 
         let stats = self.hierarchy.stats();
-        let flop_cycles = flops * self.config.cycles_per_flop
-            + loop_iters * self.config.loop_overhead_cycles;
+        let flop_cycles =
+            flops * self.config.cycles_per_flop + loop_iters * self.config.loop_overhead_cycles;
         // Demand-path memory cycles only: with the prefetcher on, background
         // fills also pass through the hierarchy but cost the program nothing.
         let memory_cycles = self.demand_cycles;
@@ -292,7 +306,7 @@ mod tests {
         // interesting caveat to the paper's cache argument).
         let cfg = SimConfig::reduced_lj(4096);
         let plain = OpteronCpu::paper_reference().run_md(&cfg, 1);
-        let pf = OpteronCpu::new(crate::OpteronConfig::with_prefetcher()).run_md(&cfg, 1);
+        let pf = OpteronCpu::new(OpteronConfig::with_prefetcher()).run_md(&cfg, 1);
         assert_eq!(plain.energies.total, pf.energies.total, "same physics");
         assert!(
             pf.memory_cycles < 0.7 * plain.memory_cycles,
@@ -307,7 +321,7 @@ mod tests {
     fn sse2_ablation_faster_but_same_physics() {
         let cfg = SimConfig::reduced_lj(256);
         let scalar = OpteronCpu::paper_reference().run_md(&cfg, 2);
-        let sse2 = OpteronCpu::new(crate::OpteronConfig::sse2_vectorized()).run_md(&cfg, 2);
+        let sse2 = OpteronCpu::new(OpteronConfig::sse2_vectorized()).run_md(&cfg, 2);
         assert_eq!(scalar.energies.total, sse2.energies.total);
         let speedup = scalar.sim_seconds / sse2.sim_seconds;
         assert!(

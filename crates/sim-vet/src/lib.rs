@@ -1,0 +1,182 @@
+//! `sim-vet` — a workspace invariant linter for the device simulators.
+//!
+//! The paper's evaluation methodology only works because every device model
+//! is *numerically checkable* against the f64 reference kernel while charging
+//! deterministic cycle costs. Four source-level disciplines keep that true,
+//! and this crate enforces them mechanically:
+//!
+//! | rule | invariant |
+//! |---|---|
+//! | `precision-discipline` | f32 device kernel modules contain no `f64` types, casts, or literals — single precision *is* the modeled hardware |
+//! | `determinism` | device crates never iterate `HashMap`/`HashSet` — cycle accounting must be order-stable run to run |
+//! | `panic-discipline` | device hot paths don't `unwrap()`/`expect(`/`panic!` — failures must surface as typed errors, not aborts that skip cost accounting |
+//! | `cost-conservation` | `pub fn`s in device crates that mutate buffers report a cost (no `&mut`-buffer mutators returning `()`) — every data movement is charged |
+//!
+//! The linter is a *lightweight line/token scanner*, not a full parser: it
+//! strips comments and string literals, tracks `#[cfg(test)]` modules (rules
+//! apply to shipping code only), and matches rule-specific tokens. Known-good
+//! exceptions are waived inline:
+//!
+//! ```text
+//! let cycles: f64 = ...; // sim-vet: allow(precision-discipline): cycle accounting, not physics
+//! // sim-vet: begin-allow(precision-discipline): explicit DP kernel section
+//! ...
+//! // sim-vet: end-allow(precision-discipline)
+//! // sim-vet: allow-file(determinism): <file-wide reason>
+//! ```
+//!
+//! A bare-line waiver (`// sim-vet: allow(rule)` alone on a line) applies to
+//! the next line. The binary (`cargo run -p sim-vet`) scans the workspace and
+//! exits nonzero with `file:line` diagnostics for every unwaived finding.
+
+mod rules;
+mod scanner;
+mod waiver;
+
+pub use rules::{applicable_rules, Rule};
+pub use scanner::strip_comments_and_strings;
+pub use waiver::Waivers;
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// One rule violation (or waived near-violation) at a source location.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    pub rule: Rule,
+    /// Workspace-relative path, `/`-separated.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    pub message: String,
+    /// True if an inline/region/file waiver covers this finding.
+    pub waived: bool,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}{}",
+            self.path,
+            self.line,
+            self.rule.name(),
+            self.message,
+            if self.waived { " (waived)" } else { "" }
+        )
+    }
+}
+
+/// Result of linting a whole tree.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    pub findings: Vec<Finding>,
+    pub files_scanned: usize,
+}
+
+impl Report {
+    pub fn unwaived(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| !f.waived)
+    }
+
+    pub fn waived(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| f.waived)
+    }
+
+    pub fn is_clean(&self) -> bool {
+        self.unwaived().next().is_none()
+    }
+}
+
+/// Lint one file's source text. `rel_path` selects which rules apply (see
+/// [`applicable_rules`]); the text never touches the filesystem, so tests can
+/// lint synthetic sources.
+pub fn scan_source(rel_path: &str, text: &str) -> Vec<Finding> {
+    let rules = applicable_rules(rel_path);
+    if rules.is_empty() {
+        return Vec::new();
+    }
+    let waivers = Waivers::parse(text);
+    let stripped = strip_comments_and_strings(text);
+    let mut findings = Vec::new();
+    for rule in rules {
+        rule.check(rel_path, &stripped, &mut findings);
+    }
+    for f in &mut findings {
+        f.waived = waivers.covers(f.rule, f.line);
+    }
+    findings.sort_by_key(|f| (f.line, f.rule));
+    findings
+}
+
+/// Lint every `.rs` file under `root`, skipping build output and VCS state.
+///
+/// `root` should be the workspace root; paths in the report are relative to
+/// it. Returns an error only for I/O failures, not findings.
+pub fn scan_workspace(root: &Path) -> std::io::Result<Report> {
+    let mut files = Vec::new();
+    collect_rs_files(root, root, &mut files)?;
+    files.sort();
+    let mut report = Report::default();
+    for path in files {
+        let text = std::fs::read_to_string(root.join(&path))?;
+        report.files_scanned += 1;
+        report.findings.extend(scan_source(&path, &text));
+    }
+    Ok(report)
+}
+
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<String>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if matches!(name.as_ref(), "target" | ".git" | "results" | ".github") {
+                continue;
+            }
+            collect_rs_files(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(relative_slash_path(root, &path));
+        }
+    }
+    Ok(())
+}
+
+fn relative_slash_path(root: &Path, path: &Path) -> String {
+    let rel: PathBuf = path.strip_prefix(root).unwrap_or(path).to_path_buf();
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_source_has_no_findings() {
+        let src = "pub fn transfer(len: usize) -> f32 { len as f32 }\n";
+        assert!(scan_source("crates/cell-be/src/kernel.rs", src).is_empty());
+    }
+
+    #[test]
+    fn non_device_paths_are_out_of_scope() {
+        let src = "pub fn host() -> f64 { std::collections::HashMap::<u8, u8>::new(); 0.0 }\n";
+        assert!(scan_source("crates/md-core/src/forces.rs", src).is_empty());
+        assert!(scan_source("src/cli.rs", src).is_empty());
+    }
+
+    #[test]
+    fn findings_are_ordered_and_displayed() {
+        let src = "use std::collections::HashMap;\nfn f() { panic!(\"x\") }\n";
+        let found = scan_source("crates/gpu/src/shader.rs", src);
+        assert!(found.len() >= 2);
+        assert!(found.windows(2).all(|w| w[0].line <= w[1].line));
+        let shown = found[0].to_string();
+        assert!(shown.contains("crates/gpu/src/shader.rs:1:"), "{shown}");
+        assert!(shown.contains("[determinism]"), "{shown}");
+    }
+}

@@ -1,0 +1,65 @@
+//! `sim-vet` CLI: lint the workspace, print `file:line` diagnostics, exit
+//! nonzero when any unwaived finding remains.
+//!
+//! Usage: `cargo run -p sim-vet [-- --root <dir>] [--verbose]`
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut verbose = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => root = args.next().map(PathBuf::from),
+            "--verbose" | "-v" => verbose = true,
+            "--help" | "-h" => {
+                println!("sim-vet: workspace invariant linter");
+                println!("  --root <dir>   lint this tree (default: workspace root)");
+                println!("  --verbose      also list waived findings");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("sim-vet: unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    // Default root: the workspace the binary was built from, so plain
+    // `cargo run -p sim-vet` does the right thing from any cwd.
+    let root = root.unwrap_or_else(|| {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .and_then(|p| p.parent())
+            .map_or_else(|| PathBuf::from("."), PathBuf::from)
+    });
+
+    let report = match sim_vet::scan_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("sim-vet: failed to scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    for f in report.unwaived() {
+        println!("{f}");
+    }
+    if verbose {
+        for f in report.waived() {
+            println!("{f}");
+        }
+    }
+    let unwaived = report.unwaived().count();
+    let waived = report.waived().count();
+    println!(
+        "sim-vet: {} files scanned, {} finding(s) ({} waived)",
+        report.files_scanned, unwaived, waived
+    );
+    if unwaived == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,509 @@
+//! The four invariant rules and their file scoping.
+
+use crate::Finding;
+
+/// Kernel modules that model f32-only device datapaths: the Cell SPE kernel
+/// and the GPU fragment shaders. The paper's single-precision error analysis
+/// assumes no double-precision sneaks into these.
+const F32_KERNEL_MODULES: &[&str] = &[
+    "crates/cell-be/src/kernel.rs",
+    "crates/gpu/src/mdshader.rs",
+    "crates/gpu/src/shader.rs",
+];
+
+/// Crates that model devices and charge cycle costs.
+const DEVICE_CRATE_PREFIXES: &[&str] = &[
+    "crates/cell-be/",
+    "crates/gpu/",
+    "crates/mta/",
+    "crates/opteron/",
+];
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Rule {
+    PrecisionDiscipline,
+    Determinism,
+    PanicDiscipline,
+    CostConservation,
+}
+
+impl Rule {
+    pub const ALL: [Rule; 4] = [
+        Rule::PrecisionDiscipline,
+        Rule::Determinism,
+        Rule::PanicDiscipline,
+        Rule::CostConservation,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::PrecisionDiscipline => "precision-discipline",
+            Rule::Determinism => "determinism",
+            Rule::PanicDiscipline => "panic-discipline",
+            Rule::CostConservation => "cost-conservation",
+        }
+    }
+
+    pub fn from_name(name: &str) -> Option<Self> {
+        Rule::ALL.into_iter().find(|r| r.name() == name)
+    }
+
+    /// Run this rule over comment/string-stripped source, appending findings.
+    /// `#[cfg(test)]` modules are exempt — the disciplines bind shipping code.
+    pub fn check(self, rel_path: &str, stripped: &str, out: &mut Vec<Finding>) {
+        let lines = LineIndex::new(stripped);
+        let test_lines = test_line_mask(stripped, &lines);
+        let mut emit = |pos: usize, message: String| {
+            let line = lines.line_of(pos);
+            if !test_lines.get(line - 1).copied().unwrap_or(false) {
+                out.push(Finding {
+                    rule: self,
+                    path: rel_path.to_string(),
+                    line,
+                    message,
+                    waived: false,
+                });
+            }
+        };
+        match self {
+            Rule::PrecisionDiscipline => {
+                for pos in find_f64_tokens(stripped) {
+                    emit(
+                        pos,
+                        "`f64` in an f32 device kernel module — single precision is the modeled datapath".into(),
+                    );
+                }
+            }
+            Rule::Determinism => {
+                for word in ["HashMap", "HashSet"] {
+                    for pos in find_word(stripped, word) {
+                        emit(
+                            pos,
+                            format!("`{word}` in a device crate — iteration order breaks run-to-run determinism of cycle accounting"),
+                        );
+                    }
+                }
+            }
+            Rule::PanicDiscipline => {
+                for (pat, what) in [
+                    (".unwrap()", "`unwrap()`"),
+                    (".expect(", "`expect()`"),
+                    ("panic!", "`panic!`"),
+                ] {
+                    for pos in find_pattern(stripped, pat) {
+                        emit(
+                            pos,
+                            format!("{what} in a device hot path — failures must surface as typed errors so cost accounting is not skipped"),
+                        );
+                    }
+                }
+            }
+            Rule::CostConservation => {
+                for pos in find_uncosted_mutators(stripped) {
+                    emit(
+                        pos,
+                        "pub device fn mutates a buffer but returns `()` — every data movement must report its cost".into(),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Which rules apply to a workspace-relative file path.
+pub fn applicable_rules(rel_path: &str) -> Vec<Rule> {
+    let mut rules = Vec::new();
+    if F32_KERNEL_MODULES.contains(&rel_path) {
+        rules.push(Rule::PrecisionDiscipline);
+    }
+    let in_device_src = DEVICE_CRATE_PREFIXES
+        .iter()
+        .any(|p| rel_path.starts_with(p))
+        && rel_path.contains("/src/");
+    if in_device_src {
+        rules.push(Rule::Determinism);
+        rules.push(Rule::PanicDiscipline);
+        rules.push(Rule::CostConservation);
+    }
+    rules
+}
+
+/// Byte-offset → 1-based line lookup.
+struct LineIndex {
+    starts: Vec<usize>,
+}
+
+impl LineIndex {
+    fn new(text: &str) -> Self {
+        let mut starts = vec![0];
+        for (i, b) in text.bytes().enumerate() {
+            if b == b'\n' {
+                starts.push(i + 1);
+            }
+        }
+        LineIndex { starts }
+    }
+
+    fn line_of(&self, pos: usize) -> usize {
+        self.starts.partition_point(|&s| s <= pos)
+    }
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// `f64` as a type, cast target, or literal suffix. A digit *before* is
+/// allowed (that's the `1.0f64` suffix form); an identifier char after is not.
+fn find_f64_tokens(text: &str) -> Vec<usize> {
+    let b = text.as_bytes();
+    let mut hits = Vec::new();
+    let mut from = 0;
+    while let Some(off) = text[from..].find("f64") {
+        let pos = from + off;
+        from = pos + 3;
+        let before_ok = pos == 0 || {
+            let p = b[pos - 1];
+            !(p.is_ascii_alphabetic() || p == b'_')
+        };
+        let after_ok = pos + 3 >= b.len() || !is_ident_byte(b[pos + 3]);
+        if before_ok && after_ok {
+            hits.push(pos);
+        }
+    }
+    hits
+}
+
+/// Whole-word occurrences of `word`.
+fn find_word(text: &str, word: &str) -> Vec<usize> {
+    let b = text.as_bytes();
+    let mut hits = Vec::new();
+    let mut from = 0;
+    while let Some(off) = text[from..].find(word) {
+        let pos = from + off;
+        from = pos + word.len();
+        let before_ok = pos == 0 || !is_ident_byte(b[pos - 1]);
+        let end = pos + word.len();
+        let after_ok = end >= b.len() || !is_ident_byte(b[end]);
+        if before_ok && after_ok {
+            hits.push(pos);
+        }
+    }
+    hits
+}
+
+/// Literal pattern occurrences; patterns starting with `.`/ending with `(`
+/// carry their own boundaries, `panic!` checks the leading one.
+fn find_pattern(text: &str, pat: &str) -> Vec<usize> {
+    let b = text.as_bytes();
+    let mut hits = Vec::new();
+    let mut from = 0;
+    while let Some(off) = text[from..].find(pat) {
+        let pos = from + off;
+        from = pos + pat.len();
+        let before_ok = pat.starts_with('.') || pos == 0 || !is_ident_byte(b[pos - 1]);
+        if before_ok {
+            hits.push(pos);
+        }
+    }
+    hits
+}
+
+/// Find `pub fn`s that take a mutable buffer but return `()`.
+///
+/// Heuristic on stripped text: a fn is flagged when it returns unit and either
+/// (a) takes a non-`self` `&mut`/`*mut` parameter, or (b) takes `&mut self`
+/// plus a data-carrying parameter (slice/`Vec`) it presumably copies in/out.
+/// Mutating `&mut self` alone is fine — that's ordinary state update, not an
+/// uncharged transfer.
+fn find_uncosted_mutators(text: &str) -> Vec<usize> {
+    let b = text.as_bytes();
+    let mut hits = Vec::new();
+    let mut from = 0;
+    while let Some(off) = text[from..].find("fn ") {
+        let fn_pos = from + off;
+        from = fn_pos + 3;
+        if fn_pos > 0 && is_ident_byte(b[fn_pos - 1]) {
+            continue;
+        }
+        // Public? Look back along the current line for a `pub` token.
+        let line_start = text[..fn_pos].rfind('\n').map_or(0, |p| p + 1);
+        let prefix = &text[line_start..fn_pos];
+        if find_word(prefix, "pub").is_empty() {
+            continue;
+        }
+        let Some(sig) = signature_after(text, fn_pos) else {
+            continue;
+        };
+        if !sig.returns_unit {
+            continue;
+        }
+        let params = split_top_level(&sig.params);
+        let mut mut_self = false;
+        let mut mut_buffer_param = false;
+        let mut data_param = false;
+        for (i, p) in params.iter().enumerate() {
+            let p = p.trim();
+            let is_self = i == 0
+                && (p == "self"
+                    || p == "&self"
+                    || p == "&mut self"
+                    || p == "mut self"
+                    || (p.starts_with('&') && p.ends_with(" self")));
+            if is_self {
+                mut_self = p.contains("mut self");
+                continue;
+            }
+            if p.contains("&mut ") || p.contains("*mut ") {
+                mut_buffer_param = true;
+            }
+            if p.contains('[') || p.contains("Vec<") {
+                data_param = true;
+            }
+        }
+        if mut_buffer_param || (mut_self && data_param) {
+            hits.push(fn_pos);
+        }
+    }
+    hits
+}
+
+struct Signature {
+    params: String,
+    returns_unit: bool,
+}
+
+/// Extract the parameter list and unit-ness of the fn whose `fn` keyword is
+/// at `fn_pos`. Returns None for malformed/truncated text.
+fn signature_after(text: &str, fn_pos: usize) -> Option<Signature> {
+    let b = text.as_bytes();
+    let open = text[fn_pos..].find('(')? + fn_pos;
+    let mut depth = 0usize;
+    let mut close = None;
+    for (i, &c) in b[open..].iter().enumerate() {
+        match c {
+            b'(' => depth += 1,
+            b')' => {
+                depth -= 1;
+                if depth == 0 {
+                    close = Some(open + i);
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+    let close = close?;
+    let params = text[open + 1..close].to_string();
+    // Return type: text up to the body `{` (or `;` for trait decls).
+    let mut ret_end = None;
+    let mut pdepth = 0usize;
+    for (i, &c) in b[close + 1..].iter().enumerate() {
+        match c {
+            b'(' | b'[' => pdepth += 1,
+            b')' | b']' => pdepth = pdepth.saturating_sub(1),
+            b'{' | b';' if pdepth == 0 => {
+                ret_end = Some(close + 1 + i);
+                break;
+            }
+            _ => {}
+        }
+    }
+    let ret = &text[close + 1..ret_end?];
+    let returns_unit = match ret.find("->") {
+        None => true,
+        Some(a) => {
+            let ty = ret[a + 2..].trim();
+            let ty = ty.split("where").next().unwrap_or(ty).trim();
+            ty == "()"
+        }
+    };
+    Some(Signature {
+        params,
+        returns_unit,
+    })
+}
+
+/// Split a parameter list at top-level commas (ignoring `<>`, `()`, `[]`).
+fn split_top_level(params: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut cur = String::new();
+    for c in params.chars() {
+        match c {
+            '<' | '(' | '[' => {
+                depth += 1;
+                cur.push(c);
+            }
+            '>' | ')' | ']' => {
+                depth -= 1;
+                cur.push(c);
+            }
+            ',' if depth <= 0 => {
+                out.push(std::mem::take(&mut cur));
+            }
+            _ => cur.push(c),
+        }
+    }
+    if !cur.trim().is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Per-line mask: true when the line sits inside a `#[cfg(test)]` item.
+fn test_line_mask(text: &str, lines: &LineIndex) -> Vec<bool> {
+    let total = lines.starts.len();
+    let mut mask = vec![false; total];
+    let b = text.as_bytes();
+    let mut from = 0;
+    while let Some(off) = text[from..].find("#[cfg(test)]") {
+        let attr = from + off;
+        from = attr + "#[cfg(test)]".len();
+        // Find the item's opening brace; bail at a top-level `;` (e.g.
+        // `mod tests;` — the body lives in another file).
+        let mut open = None;
+        for (i, &c) in b[from..].iter().enumerate() {
+            match c {
+                b'{' => {
+                    open = Some(from + i);
+                    break;
+                }
+                b';' => break,
+                _ => {}
+            }
+        }
+        let Some(open) = open else { continue };
+        let mut depth = 0usize;
+        let mut end = text.len();
+        for (i, &c) in b[open..].iter().enumerate() {
+            match c {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = open + i;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        let first = lines.line_of(attr);
+        let last = lines.line_of(end.min(text.len().saturating_sub(1)));
+        for line in first..=last.min(total) {
+            mask[line - 1] = true;
+        }
+        from = end;
+    }
+    mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(rule: Rule, path: &str, src: &str) -> Vec<Finding> {
+        let mut out = Vec::new();
+        rule.check(path, src, &mut out);
+        out
+    }
+
+    #[test]
+    fn rule_names_round_trip() {
+        for r in Rule::ALL {
+            assert_eq!(Rule::from_name(r.name()), Some(r));
+        }
+        assert_eq!(Rule::from_name("nope"), None);
+    }
+
+    #[test]
+    fn scoping() {
+        assert_eq!(
+            applicable_rules("crates/cell-be/src/kernel.rs").len(),
+            4,
+            "kernel module gets precision + the three device rules"
+        );
+        assert_eq!(applicable_rules("crates/cell-be/src/dma.rs").len(), 3);
+        assert!(applicable_rules("crates/md-core/src/lj.rs").is_empty());
+        assert!(applicable_rules("crates/cell-be/tests/integration.rs").is_empty());
+        assert!(applicable_rules("src/main.rs").is_empty());
+    }
+
+    #[test]
+    fn precision_flags_types_casts_and_suffixes() {
+        let path = "crates/gpu/src/shader.rs";
+        for src in [
+            "pub fn f(x: f64) {}\n",
+            "let y = x as f64;\n",
+            "let z = 1.0f64;\n",
+            "const K: f64 = 0.5;\n",
+        ] {
+            assert_eq!(
+                check(Rule::PrecisionDiscipline, path, src).len(),
+                1,
+                "{src}"
+            );
+        }
+        // Identifiers merely containing the substring are fine.
+        assert!(check(Rule::PrecisionDiscipline, path, "let buf64 = 0u32;\n").is_empty());
+    }
+
+    #[test]
+    fn determinism_flags_hash_collections() {
+        let path = "crates/mta/src/kernel.rs";
+        let found = check(
+            Rule::Determinism,
+            path,
+            "use std::collections::{HashMap, HashSet};\n",
+        );
+        assert_eq!(found.len(), 2);
+        assert!(check(Rule::Determinism, path, "use std::collections::BTreeMap;\n").is_empty());
+    }
+
+    #[test]
+    fn panic_discipline_flags_the_three_forms() {
+        let path = "crates/cell-be/src/dma.rs";
+        let src = "fn f() { x.unwrap(); y.expect(\"m\"); panic!(\"boom\"); }\n";
+        assert_eq!(check(Rule::PanicDiscipline, path, src).len(), 3);
+        // `unwrap_or` and custom macros ending in the substring don't count.
+        let ok = "fn f() { x.unwrap_or(0); my_panic!(); }\n";
+        assert!(check(Rule::PanicDiscipline, path, ok).is_empty());
+    }
+
+    #[test]
+    fn cost_conservation_flags_unit_buffer_mutators() {
+        let path = "crates/cell-be/src/localstore.rs";
+        let bad = "pub fn write_bytes(&mut self, offset: usize, data: &[u8]) {\n}\n";
+        assert_eq!(check(Rule::CostConservation, path, bad).len(), 1);
+        let bad2 = "pub fn fill(dst: &mut [f32], v: f32) {\n}\n";
+        assert_eq!(check(Rule::CostConservation, path, bad2).len(), 1);
+        // Returning a cost (or anything) is the fix.
+        let good = "pub fn write_bytes(&mut self, offset: usize, data: &[u8]) -> u64 {\n0\n}\n";
+        assert!(check(Rule::CostConservation, path, good).is_empty());
+        // Plain state update through &mut self is not a transfer.
+        let state = "pub fn reset(&mut self) {\n}\n";
+        assert!(check(Rule::CostConservation, path, state).is_empty());
+        // Private fns are the implementation's business.
+        let private = "fn scribble(dst: &mut [u8]) {\n}\n";
+        assert!(check(Rule::CostConservation, path, private).is_empty());
+    }
+
+    #[test]
+    fn multiline_signatures_are_parsed() {
+        let path = "crates/gpu/src/device.rs";
+        let src = "pub fn upload(\n    &mut self,\n    data: &[f32],\n    stride: usize,\n) {\n}\n";
+        let found = check(Rule::CostConservation, path, src);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].line, 1);
+    }
+
+    #[test]
+    fn cfg_test_modules_are_exempt() {
+        let path = "crates/cell-be/src/dma.rs";
+        let src = "fn shipping() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { x.unwrap(); }\n}\n";
+        assert!(check(Rule::PanicDiscipline, path, src).is_empty());
+        let src2 = "fn shipping() { x.unwrap(); }\n#[cfg(test)]\nmod tests {}\n";
+        assert_eq!(check(Rule::PanicDiscipline, path, src2).len(), 1);
+    }
+}

@@ -1,0 +1,218 @@
+//! Comment/string stripping: turns Rust source into "code-only" text with
+//! identical line structure, so rule matching never fires on prose or string
+//! payloads and reported line numbers stay exact.
+
+/// Strip comments (line, nested block, doc) and string/char literals from
+/// Rust source. Stripped spans are replaced with spaces; newlines are kept,
+/// so `stripped.lines().nth(i)` corresponds to line `i` of the original.
+///
+/// This is a token-level scanner, not a parser. It handles: `//`, nested
+/// `/* */`, `"…"` with escapes, raw strings `r"…"`/`r#"…"#` (any number of
+/// `#`s), byte strings, char literals, and distinguishes lifetimes (`'a`)
+/// from char literals.
+pub fn strip_comments_and_strings(src: &str) -> String {
+    let b: Vec<char> = src.chars().collect();
+    let mut out = String::with_capacity(src.len());
+    let mut i = 0;
+    let n = b.len();
+
+    // Emit a char or its blank placeholder.
+    fn blank(c: char) -> char {
+        if c == '\n' {
+            '\n'
+        } else {
+            ' '
+        }
+    }
+
+    while i < n {
+        let c = b[i];
+        // Line comment.
+        if c == '/' && i + 1 < n && b[i + 1] == '/' {
+            while i < n && b[i] != '\n' {
+                out.push(' ');
+                i += 1;
+            }
+            continue;
+        }
+        // Block comment (nests).
+        if c == '/' && i + 1 < n && b[i + 1] == '*' {
+            let mut depth = 0;
+            while i < n {
+                if b[i] == '/' && i + 1 < n && b[i + 1] == '*' {
+                    depth += 1;
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                } else if b[i] == '*' && i + 1 < n && b[i + 1] == '/' {
+                    depth -= 1;
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    out.push(blank(b[i]));
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Raw string r"…" / r#"…"# (and br…). Keep the delimiters blanked.
+        if (c == 'r' || c == 'b') && !prev_is_ident(&b, i) {
+            let start = if c == 'b' && i + 1 < n && b[i + 1] == 'r' {
+                i + 2
+            } else if c == 'r' {
+                i + 1
+            } else {
+                usize::MAX
+            };
+            if start != usize::MAX && start < n {
+                let mut hashes = 0;
+                let mut j = start;
+                while j < n && b[j] == '#' {
+                    hashes += 1;
+                    j += 1;
+                }
+                if j < n && b[j] == '"' {
+                    // Consume through the matching `"###…` terminator.
+                    for &c in &b[i..=j] {
+                        out.push(blank(c));
+                    }
+                    i = j + 1;
+                    'raw: while i < n {
+                        if b[i] == '"' {
+                            let mut h = 0;
+                            while h < hashes && i + 1 + h < n && b[i + 1 + h] == '#' {
+                                h += 1;
+                            }
+                            if h == hashes {
+                                for _ in 0..=hashes {
+                                    out.push(' ');
+                                }
+                                i += 1 + hashes;
+                                break 'raw;
+                            }
+                        }
+                        out.push(blank(b[i]));
+                        i += 1;
+                    }
+                    continue;
+                }
+            }
+        }
+        // Ordinary (or byte) string literal.
+        if c == '"' {
+            out.push(' ');
+            i += 1;
+            while i < n {
+                if b[i] == '\\' && i + 1 < n {
+                    out.push(' ');
+                    out.push(blank(b[i + 1]));
+                    i += 2;
+                    continue;
+                }
+                let done = b[i] == '"';
+                out.push(blank(b[i]));
+                i += 1;
+                if done {
+                    break;
+                }
+            }
+            continue;
+        }
+        // Char literal vs lifetime: `'x'` / `'\n'` are literals; `'a` in
+        // `&'a str` or `'outer:` is not.
+        if c == '\'' {
+            let is_char_lit = if i + 1 < n && b[i + 1] == '\\' {
+                true
+            } else {
+                i + 2 < n && b[i + 2] == '\''
+            };
+            if is_char_lit {
+                out.push(' ');
+                i += 1;
+                if i < n && b[i] == '\\' && i + 1 < n {
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                } else if i < n {
+                    out.push(blank(b[i]));
+                    i += 1;
+                }
+                if i < n && b[i] == '\'' {
+                    out.push(' ');
+                    i += 1;
+                }
+                continue;
+            }
+        }
+        out.push(c);
+        i += 1;
+    }
+    out
+}
+
+/// True when the char before `i` continues an identifier — then an `r`/`b`
+/// at `i` is part of a name like `ptr`, not a raw-string prefix.
+fn prev_is_ident(b: &[char], i: usize) -> bool {
+    i > 0 && (b[i - 1].is_alphanumeric() || b[i - 1] == '_')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_line_and_block_comments() {
+        let s = strip_comments_and_strings("let x = 1; // f64 here\n/* f64\ntoo */ let y = 2;\n");
+        assert!(!s.contains("f64"));
+        assert!(s.contains("let x = 1;"));
+        assert!(s.contains("let y = 2;"));
+        assert_eq!(s.lines().count(), 3);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let s = strip_comments_and_strings("a /* outer /* inner */ still */ b");
+        assert_eq!(s.trim_start().chars().next(), Some('a'));
+        assert!(s.contains('b'));
+        assert!(!s.contains("inner") && !s.contains("still"));
+    }
+
+    #[test]
+    fn strips_strings_but_not_code() {
+        let s = strip_comments_and_strings(r#"assert!(x, "f64 wanted {}", y as f32);"#);
+        assert!(!s.contains("f64"));
+        assert!(s.contains("as f32"));
+    }
+
+    #[test]
+    fn string_escapes_do_not_terminate_early() {
+        let s = strip_comments_and_strings(r#"let s = "a\"f64\""; let t = f64::MAX;"#);
+        assert_eq!(s.matches("f64").count(), 1, "{s}");
+    }
+
+    #[test]
+    fn raw_strings() {
+        let s = strip_comments_and_strings(r##"let s = r#"contains "f64" quote"#; f64"##);
+        assert_eq!(s.matches("f64").count(), 1, "{s}");
+    }
+
+    #[test]
+    fn lifetimes_survive_char_literals_stripped() {
+        let s = strip_comments_and_strings("fn f<'a>(x: &'a str) -> char { 'f' }");
+        assert!(s.contains("<'a>"));
+        assert!(s.contains("&'a str"));
+        assert!(!s.contains("'f'"));
+    }
+
+    #[test]
+    fn line_structure_is_preserved() {
+        let src = "line1 /* c\nc */ line2 \"s\ntr\" line3\n";
+        let s = strip_comments_and_strings(src);
+        assert_eq!(s.lines().count(), src.lines().count());
+        assert!(s.lines().nth(2).unwrap().contains("line3"));
+    }
+}

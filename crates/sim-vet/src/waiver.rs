@@ -1,0 +1,157 @@
+//! Inline waiver parsing.
+//!
+//! Syntax (always inside a comment, with an optional `: reason` suffix):
+//!
+//! - `// sim-vet: allow(rule)` — trailing: waives `rule` on this line;
+//!   alone on a line: waives `rule` on the next line.
+//! - `// sim-vet: begin-allow(rule)` … `// sim-vet: end-allow(rule)` —
+//!   waives `rule` for the region between the markers.
+//! - `// sim-vet: allow-file(rule)` — waives `rule` for the whole file.
+
+use crate::rules::Rule;
+
+/// Parsed waivers for one file.
+#[derive(Clone, Debug, Default)]
+pub struct Waivers {
+    /// (rule, 1-based line) covered by a line waiver.
+    lines: Vec<(Rule, usize)>,
+    /// (rule, start line, inclusive end line) regions.
+    regions: Vec<(Rule, usize, usize)>,
+    /// Rules waived for the whole file.
+    file: Vec<Rule>,
+}
+
+impl Waivers {
+    pub fn parse(text: &str) -> Self {
+        let mut w = Waivers::default();
+        let mut open_regions: Vec<(Rule, usize)> = Vec::new();
+        let mut total_lines = 0;
+        for (idx, line) in text.lines().enumerate() {
+            let lineno = idx + 1;
+            total_lines = lineno;
+            let Some(pos) = line.find("sim-vet:") else {
+                continue;
+            };
+            // Only honor the directive inside a comment.
+            let Some(comment) = line.find("//") else {
+                continue;
+            };
+            if comment > pos {
+                continue;
+            }
+            let directive = &line[pos + "sim-vet:".len()..];
+            let directive = directive.trim_start();
+            for (prefix, kind) in [
+                ("begin-allow(", WaiverKind::Begin),
+                ("end-allow(", WaiverKind::End),
+                ("allow-file(", WaiverKind::File),
+                ("allow(", WaiverKind::Line),
+            ] {
+                let Some(rest) = directive.strip_prefix(prefix) else {
+                    continue;
+                };
+                let Some(close) = rest.find(')') else {
+                    break;
+                };
+                let Some(rule) = Rule::from_name(rest[..close].trim()) else {
+                    break;
+                };
+                match kind {
+                    WaiverKind::Line => {
+                        // Trailing waiver covers its own line; a bare-line
+                        // waiver (comment is the whole line) covers the next.
+                        let bare = line.trim_start().starts_with("//");
+                        w.lines.push((rule, if bare { lineno + 1 } else { lineno }));
+                    }
+                    WaiverKind::Begin => open_regions.push((rule, lineno)),
+                    WaiverKind::End => {
+                        if let Some(open_at) = open_regions.iter().rposition(|(r, _)| *r == rule) {
+                            let (r, start) = open_regions.remove(open_at);
+                            w.regions.push((r, start, lineno));
+                        }
+                    }
+                    WaiverKind::File => w.file.push(rule),
+                }
+                break;
+            }
+        }
+        // Unterminated regions run to end of file.
+        for (rule, start) in open_regions {
+            w.regions.push((rule, start, total_lines));
+        }
+        w
+    }
+
+    /// Does any waiver cover `rule` at `line`?
+    pub fn covers(&self, rule: Rule, line: usize) -> bool {
+        self.file.contains(&rule)
+            || self.lines.iter().any(|&(r, l)| r == rule && l == line)
+            || self
+                .regions
+                .iter()
+                .any(|&(r, lo, hi)| r == rule && (lo..=hi).contains(&line))
+    }
+}
+
+enum WaiverKind {
+    Line,
+    Begin,
+    End,
+    File,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trailing_waiver_covers_its_line() {
+        let w = Waivers::parse("let x: f64 = 0.0; // sim-vet: allow(precision-discipline)\n");
+        assert!(w.covers(Rule::PrecisionDiscipline, 1));
+        assert!(!w.covers(Rule::PrecisionDiscipline, 2));
+        assert!(!w.covers(Rule::Determinism, 1));
+    }
+
+    #[test]
+    fn bare_line_waiver_covers_next_line() {
+        let w = Waivers::parse(
+            "// sim-vet: allow(panic-discipline): guarded by protocol\nx.unwrap();\n",
+        );
+        assert!(w.covers(Rule::PanicDiscipline, 2));
+        assert!(!w.covers(Rule::PanicDiscipline, 1));
+    }
+
+    #[test]
+    fn region_waiver() {
+        let src = "a\n// sim-vet: begin-allow(precision-discipline): DP section\nb\nc\n// sim-vet: end-allow(precision-discipline)\nd\n";
+        let w = Waivers::parse(src);
+        assert!(!w.covers(Rule::PrecisionDiscipline, 1));
+        assert!(w.covers(Rule::PrecisionDiscipline, 3));
+        assert!(w.covers(Rule::PrecisionDiscipline, 4));
+        assert!(!w.covers(Rule::PrecisionDiscipline, 6));
+    }
+
+    #[test]
+    fn unterminated_region_runs_to_eof() {
+        let w = Waivers::parse("// sim-vet: begin-allow(determinism)\nx\ny\n");
+        assert!(w.covers(Rule::Determinism, 3));
+    }
+
+    #[test]
+    fn file_waiver() {
+        let w = Waivers::parse("// sim-vet: allow-file(cost-conservation): charged upstream\nx\n");
+        assert!(w.covers(Rule::CostConservation, 999));
+    }
+
+    #[test]
+    fn directive_outside_comment_is_ignored() {
+        let w = Waivers::parse("let s = \"sim-vet: allow(determinism)\";\n");
+        assert!(!w.covers(Rule::Determinism, 1));
+    }
+
+    #[test]
+    fn unknown_rule_is_ignored() {
+        let w = Waivers::parse("// sim-vet: allow(no-such-rule)\nx\n");
+        assert!(!w.covers(Rule::Determinism, 2));
+    }
+}

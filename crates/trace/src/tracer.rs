@@ -20,10 +20,23 @@ pub struct Span {
     pub duration_s: f64,
 }
 
+/// A point-in-time marker on a track (rendered as a Chrome "i" instant
+/// event). Used for things that have no duration — dropped deadlines,
+/// detected hazards, protocol milestones.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Instant {
+    pub track: TraceTrack,
+    pub name: String,
+    pub category: &'static str,
+    /// Simulated seconds.
+    pub time_s: f64,
+}
+
 /// Collects spans and track names; exports Chrome trace JSON.
 #[derive(Clone, Debug, Default)]
 pub struct Tracer {
     spans: Vec<Span>,
+    instants: Vec<Instant>,
     track_names: Vec<(TraceTrack, String)>,
 }
 
@@ -60,19 +73,41 @@ impl Tracer {
         });
     }
 
+    /// Record an instant marker.
+    pub fn instant(
+        &mut self,
+        track: TraceTrack,
+        name: impl Into<String>,
+        category: &'static str,
+        time_s: f64,
+    ) {
+        assert!(time_s >= 0.0, "instant time must be non-negative");
+        self.instants.push(Instant {
+            track,
+            name: name.into(),
+            category,
+            time_s,
+        });
+    }
+
     pub fn spans(&self) -> &[Span] {
         &self.spans
     }
 
-    pub fn is_empty(&self) -> bool {
-        self.spans.is_empty()
+    pub fn instants(&self) -> &[Instant] {
+        &self.instants
     }
 
-    /// End time of the latest span (simulated seconds).
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty() && self.instants.is_empty()
+    }
+
+    /// End time of the latest span or instant (simulated seconds).
     pub fn end_time(&self) -> f64 {
         self.spans
             .iter()
             .map(|s| s.start_s + s.duration_s)
+            .chain(self.instants.iter().map(|i| i.time_s))
             .fold(0.0, f64::max)
     }
 
@@ -119,6 +154,19 @@ impl Tracer {
                 s.track.0,
                 s.start_s * 1e6,
                 s.duration_s * 1e6,
+            );
+            push(&mut out, body);
+        }
+        for i in &self.instants {
+            let mut body = String::new();
+            let _ = write!(
+                body,
+                "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"i\",\"pid\":1,\"tid\":{},\
+                 \"ts\":{:.3},\"s\":\"t\"}}",
+                escape_json_string(&i.name),
+                escape_json_string(i.category),
+                i.track.0,
+                i.time_s * 1e6,
             );
             push(&mut out, body);
         }
@@ -179,6 +227,21 @@ mod tests {
     #[should_panic(expected = "non-negative")]
     fn negative_duration_rejected() {
         Tracer::new().span(TraceTrack(0), "x", "c", 0.0, -1.0);
+    }
+
+    #[test]
+    fn instants_render_as_i_events() {
+        let mut t = Tracer::new();
+        assert!(t.is_empty());
+        t.instant(TraceTrack(2), "hazard: missing tag wait", "hazard", 0.004);
+        assert!(!t.is_empty());
+        assert_eq!(t.instants().len(), 1);
+        assert!((t.end_time() - 0.004).abs() < 1e-12);
+        let json = t.to_chrome_json();
+        assert!(json.contains("\"ph\":\"i\""), "{json}");
+        assert!(json.contains("\"s\":\"t\""), "thread-scoped instant");
+        assert!(json.contains("\"ts\":4000.000"), "{json}");
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 
     #[test]

@@ -69,5 +69,12 @@ fn main() {
     println!(
         "\nfirst g(r) peak dropped as the crystal melted (liquid peaks are broad): {final_peak:.2}"
     );
-    println!("the system is {}", if final_peak < 4.0 { "molten" } else { "still ordered" });
+    println!(
+        "the system is {}",
+        if final_peak < 4.0 {
+            "molten"
+        } else {
+            "still ordered"
+        }
+    );
 }

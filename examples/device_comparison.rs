@@ -42,9 +42,24 @@ fn main() {
             precision
         );
     };
-    row("Opteron 2.2 GHz (reference)", opteron.sim_seconds, opteron.energies.total, "f64");
-    row("Cell BE, 8 SPEs", cell.sim_seconds, cell.energies.total, "f32");
-    row("GeForce 7900GTX", gpu.sim_seconds, gpu.energies.total, "f32");
+    row(
+        "Opteron 2.2 GHz (reference)",
+        opteron.sim_seconds,
+        opteron.energies.total,
+        "f64",
+    );
+    row(
+        "Cell BE, 8 SPEs",
+        cell.sim_seconds,
+        cell.energies.total,
+        "f32",
+    );
+    row(
+        "GeForce 7900GTX",
+        gpu.sim_seconds,
+        gpu.energies.total,
+        "f32",
+    );
     row("Cray MTA-2", mta.sim_seconds, mta.energies.total, "f64");
 
     // All four must agree on the physics (within single precision for the

@@ -39,7 +39,10 @@ fn main() {
     );
 
     let e0 = sim.total_energy();
-    println!("{:>6} {:>10} {:>12} {:>14} {:>16}", "step", "T*", "E total", "drift", "mean bond len");
+    println!(
+        "{:>6} {:>10} {:>12} {:>14} {:>16}",
+        "step", "T*", "E total", "drift", "mean bond len"
+    );
     for block in 0..8 {
         let r = sim.run(50);
         // Average bond length across molecules.

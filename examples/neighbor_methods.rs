@@ -13,7 +13,7 @@ use std::time::Instant;
 fn time_kernel(
     name: &str,
     sys: &ParticleSystem<f64>,
-    params: &md_emerging_arch::md::lj::LjParams<f64>,
+    params: &LjParams<f64>,
     kernel: &mut dyn ForceKernel<f64>,
     reference_pe: f64,
 ) {
@@ -50,7 +50,13 @@ fn main() {
     let mut s = sys.clone();
     let reference_pe = reference.compute(&mut s, &params);
 
-    time_kernel("all-pairs O(N²)", &sys, &params, &mut AllPairsHalfKernel, reference_pe);
+    time_kernel(
+        "all-pairs O(N²)",
+        &sys,
+        &params,
+        &mut AllPairsHalfKernel,
+        reference_pe,
+    );
     time_kernel(
         "neighbor list",
         &sys,
@@ -58,8 +64,20 @@ fn main() {
         &mut NeighborListKernel::with_default_skin(),
         reference_pe,
     );
-    time_kernel("cell list", &sys, &params, &mut CellListKernel::new(), reference_pe);
-    time_kernel("rayon parallel", &sys, &params, &mut RayonKernel, reference_pe);
+    time_kernel(
+        "cell list",
+        &sys,
+        &params,
+        &mut CellListKernel::new(),
+        reference_pe,
+    );
+    time_kernel(
+        "rayon parallel",
+        &sys,
+        &params,
+        &mut RayonKernel,
+        reference_pe,
+    );
 
     println!(
         "\nthe paper's device ports compute distances on the fly with no neighbor \

@@ -19,7 +19,10 @@ fn main() {
     let mut sim = Simulation::<f64>::prepare(config);
     let e0 = sim.total_energy();
 
-    println!("{:>6} {:>12} {:>12} {:>12} {:>8}", "step", "kinetic", "potential", "total", "T*");
+    println!(
+        "{:>6} {:>12} {:>12} {:>12} {:>8}",
+        "step", "kinetic", "potential", "total", "T*"
+    );
     for block in 0..10 {
         let r = sim.run(20);
         println!(

@@ -15,7 +15,10 @@ use std::time::Instant;
 
 fn main() {
     let steps = 2;
-    println!("runtime scaling, {} time steps per point (simulated seconds)\n", steps);
+    println!(
+        "runtime scaling, {} time steps per point (simulated seconds)\n",
+        steps
+    );
     println!(
         "{:>6} {:>12} {:>12} {:>12} {:>12} {:>14}",
         "atoms", "Opteron", "Cell 8SPE", "GPU", "MTA-2", "host (real)"
@@ -23,12 +26,16 @@ fn main() {
 
     for &n in &[256usize, 512, 1024, 2048] {
         let sim = SimConfig::reduced_lj(n);
-        let opteron = OpteronCpu::paper_reference().run_md(&sim, steps).sim_seconds;
+        let opteron = OpteronCpu::paper_reference()
+            .run_md(&sim, steps)
+            .sim_seconds;
         let cell = CellBeDevice::paper_blade()
             .run_md(&sim, steps, CellRunConfig::best())
             .unwrap()
             .sim_seconds;
-        let gpu = GpuMdSimulation::geforce_7900gtx().run_md(&sim, steps).sim_seconds;
+        let gpu = GpuMdSimulation::geforce_7900gtx()
+            .run_md(&sim, steps)
+            .sim_seconds;
         let mta = MtaMdSimulation::paper_mta2()
             .run_md(&sim, steps, ThreadingMode::FullyMultithreaded)
             .sim_seconds;

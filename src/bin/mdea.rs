@@ -7,7 +7,9 @@
 //! ```
 
 use md_emerging_arch::cell::{CellBeDevice, CellRunConfig};
-use md_emerging_arch::cli::{parse_args, Command, DevicesArgs, KernelChoice, RunArgs, TraceArgs, USAGE};
+use md_emerging_arch::cli::{
+    parse_args, Command, DevicesArgs, KernelChoice, RunArgs, TraceArgs, USAGE,
+};
 use md_emerging_arch::gpu::GpuMdSimulation;
 use md_emerging_arch::md::forces::ForceKernel;
 use md_emerging_arch::md::prelude::*;
@@ -71,9 +73,7 @@ fn run(args: RunArgs) -> ExitCode {
         let report = sim.step();
         if step % args.xyz_every == 0 {
             if let Some(out) = xyz.as_mut() {
-                if let Err(e) =
-                    mdio::write_xyz_frame(out, &sim.system, &format!("step {step}"))
-                {
+                if let Err(e) = mdio::write_xyz_frame(out, &sim.system, &format!("step {step}")) {
                     eprintln!("error writing XYZ: {e}");
                     return ExitCode::FAILURE;
                 }
@@ -132,7 +132,7 @@ fn devices(args: DevicesArgs) -> ExitCode {
 
 fn trace(args: TraceArgs) -> ExitCode {
     let device = CellBeDevice::paper_blade();
-    let mut tracer = md_emerging_arch::mdea_trace::Tracer::new();
+    let mut tracer = mdea_trace::Tracer::new();
     match device.run_md_traced(&args.config, args.steps, CellRunConfig::best(), &mut tracer) {
         Ok(run) => {
             let json = tracer.to_chrome_json();

@@ -84,10 +84,7 @@ USAGE:
   mdea help
 ";
 
-fn take_value<'a>(
-    flag: &str,
-    it: &mut impl Iterator<Item = &'a str>,
-) -> Result<&'a str, String> {
+fn take_value<'a>(flag: &str, it: &mut impl Iterator<Item = &'a str>) -> Result<&'a str, String> {
     it.next().ok_or_else(|| format!("{flag} requires a value"))
 }
 
@@ -156,7 +153,7 @@ impl WorkloadFlags {
 pub fn parse_args<'a>(args: impl IntoIterator<Item = &'a str>) -> Result<Command, String> {
     let mut it = args.into_iter();
     let sub = match it.next() {
-        None | Some("help") | Some("--help") | Some("-h") => return Ok(Command::Help),
+        None | Some("help" | "--help" | "-h") => return Ok(Command::Help),
         Some(s) => s,
     };
     match sub {
@@ -175,7 +172,7 @@ pub fn parse_args<'a>(args: impl IntoIterator<Item = &'a str>) -> Result<Command
                     "--xyz" => xyz_path = Some(take_value(flag, &mut it)?.to_string()),
                     "--every" => xyz_every = parse_num(flag, take_value(flag, &mut it)?)?,
                     "--checkpoint" => {
-                        checkpoint_path = Some(take_value(flag, &mut it)?.to_string())
+                        checkpoint_path = Some(take_value(flag, &mut it)?.to_string());
                     }
                     other => return Err(format!("unknown flag for run: {other}")),
                 }
@@ -259,9 +256,27 @@ mod tests {
     #[test]
     fn run_full_flags() {
         let Command::Run(r) = parse_args([
-            "run", "--atoms", "500", "--steps", "20", "--density", "0.7", "--temperature",
-            "1.1", "--dt", "0.002", "--seed", "42", "--kernel", "rayon", "--xyz", "t.xyz",
-            "--every", "5", "--checkpoint", "state.ckpt",
+            "run",
+            "--atoms",
+            "500",
+            "--steps",
+            "20",
+            "--density",
+            "0.7",
+            "--temperature",
+            "1.1",
+            "--dt",
+            "0.002",
+            "--seed",
+            "42",
+            "--kernel",
+            "rayon",
+            "--xyz",
+            "t.xyz",
+            "--every",
+            "5",
+            "--checkpoint",
+            "state.ckpt",
         ])
         .unwrap() else {
             panic!("expected run");
@@ -281,9 +296,18 @@ mod tests {
     #[test]
     fn run_rejects_bad_input() {
         assert!(parse_args(["run", "--atoms"]).is_err(), "missing value");
-        assert!(parse_args(["run", "--atoms", "many"]).is_err(), "non-numeric");
-        assert!(parse_args(["run", "--kernel", "magic"]).is_err(), "bad kernel");
-        assert!(parse_args(["run", "--every", "0"]).is_err(), "zero interval");
+        assert!(
+            parse_args(["run", "--atoms", "many"]).is_err(),
+            "non-numeric"
+        );
+        assert!(
+            parse_args(["run", "--kernel", "magic"]).is_err(),
+            "bad kernel"
+        );
+        assert!(
+            parse_args(["run", "--every", "0"]).is_err(),
+            "zero interval"
+        );
         assert!(parse_args(["run", "--bogus"]).is_err(), "unknown flag");
     }
 

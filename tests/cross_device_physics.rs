@@ -84,13 +84,19 @@ fn gpu_matches_f32_reference() {
 #[test]
 fn all_devices_agree_with_each_other() {
     let sim = SimConfig::reduced_lj(N);
-    let opteron = OpteronCpu::paper_reference().run_md(&sim, STEPS).energies.total;
+    let opteron = OpteronCpu::paper_reference()
+        .run_md(&sim, STEPS)
+        .energies
+        .total;
     let cell = CellBeDevice::paper_blade()
         .run_md(&sim, STEPS, CellRunConfig::best())
         .unwrap()
         .energies
         .total;
-    let gpu = GpuMdSimulation::geforce_7900gtx().run_md(&sim, STEPS).energies.total;
+    let gpu = GpuMdSimulation::geforce_7900gtx()
+        .run_md(&sim, STEPS)
+        .energies
+        .total;
     let mta = MtaMdSimulation::paper_mta2()
         .run_md(&sim, STEPS, ThreadingMode::FullyMultithreaded)
         .energies
@@ -110,7 +116,15 @@ fn every_spe_variant_and_spawn_policy_gives_same_physics() {
         for policy in [SpawnPolicy::RespawnEveryStep, SpawnPolicy::LaunchOnce] {
             for n_spes in [1usize, 3, 8] {
                 let run = device
-                    .run_md(&sim, 3, CellRunConfig { n_spes, policy, variant })
+                    .run_md(
+                        &sim,
+                        3,
+                        CellRunConfig {
+                            n_spes,
+                            policy,
+                            variant,
+                        },
+                    )
                     .unwrap();
                 let err = ((run.energies.total - expect.total) / expect.total).abs();
                 assert!(
@@ -131,7 +145,9 @@ fn device_timings_are_positive_and_finite() {
             .run_md(&sim, 2, CellRunConfig::best())
             .unwrap()
             .sim_seconds,
-        GpuMdSimulation::geforce_7900gtx().run_md(&sim, 2).sim_seconds,
+        GpuMdSimulation::geforce_7900gtx()
+            .run_md(&sim, 2)
+            .sim_seconds,
         MtaMdSimulation::paper_mta2()
             .run_md(&sim, 2, ThreadingMode::FullyMultithreaded)
             .sim_seconds,

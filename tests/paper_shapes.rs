@@ -54,11 +54,20 @@ fn fig5_simd_ladder_ratios() {
     // "21% and 15% improvements, respectively".
     let dir = (v(2) / v(3) - 1.0) * 100.0;
     let len = (v(3) / v(4) - 1.0) * 100.0;
-    assert!((15.0..27.0).contains(&dir), "direction gain {dir:.0}% (paper 21%)");
-    assert!((10.0..20.0).contains(&len), "length gain {len:.0}% (paper 15%)");
+    assert!(
+        (15.0..27.0).contains(&dir),
+        "direction gain {dir:.0}% (paper 21%)"
+    );
+    assert!(
+        (10.0..20.0).contains(&len),
+        "length gain {len:.0}% (paper 15%)"
+    );
     // "the total improvement in runtime was only 3%" (final stage is small).
     let accel = (v(4) / v(5) - 1.0) * 100.0;
-    assert!(accel < 5.0, "acceleration-SIMD gain should be tiny: {accel:.1}%");
+    assert!(
+        accel < 5.0,
+        "acceleration-SIMD gain should be tiny: {accel:.1}%"
+    );
 }
 
 /// Figure 6: SPE thread-launch overhead (2048 atoms, 10 steps).
@@ -77,7 +86,11 @@ fn fig6_launch_overhead_shapes() {
     let o8 = find(8, true);
 
     // "the thread launch overhead is a small fraction of the runtime" (1 SPE).
-    assert!(r1.launch_fraction() < 0.15, "1-SPE respawn fraction {:.2}", r1.launch_fraction());
+    assert!(
+        r1.launch_fraction() < 0.15,
+        "1-SPE respawn fraction {:.2}",
+        r1.launch_fraction()
+    );
     // "the thread launch overhead grows by a factor of eight".
     let growth = r8.launch_seconds / r1.launch_seconds;
     assert!((7.5..8.5).contains(&growth), "launch overhead x{growth:.1}");
@@ -116,7 +129,10 @@ fn fig7_gpu_crossover_and_speedup() {
         "GPU at 2048 should be ~6x: {speedup:.2}x"
     );
     // The speedup grows monotonically over this range.
-    let speedups: Vec<f64> = rows.iter().map(|r| r.opteron_seconds / r.gpu_seconds).collect();
+    let speedups: Vec<f64> = rows
+        .iter()
+        .map(|r| r.opteron_seconds / r.gpu_seconds)
+        .collect();
     for w in speedups.windows(2) {
         assert!(w[1] > w[0], "GPU speedup should grow with N: {speedups:?}");
     }

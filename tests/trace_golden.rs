@@ -1,0 +1,313 @@
+//! Golden-file and structural tests for the Chrome trace-event export.
+//!
+//! Three guarantees:
+//!
+//! 1. **Byte-stable output** — a fixed synthetic timeline (spans + a hazard
+//!    instant) renders exactly the committed golden file, so the export
+//!    format cannot drift silently.
+//! 2. **Valid JSON** — the export of a real traced Cell run parses with a
+//!    strict (dependency-free) JSON reader, not just a brace counter.
+//! 3. **Well-nested spans** — on every track, any two spans are either
+//!    disjoint or one contains the other; Chrome's flame view requires this
+//!    to render `X` events on one thread without artifacts.
+
+use mdea_trace::{TraceTrack, Tracer};
+
+// ---------------------------------------------------------------------------
+// A minimal strict JSON validator (no deps). Accepts exactly the RFC 8259
+// grammar subset the tracer emits: objects, arrays, strings with escapes,
+// numbers, true/false/null.
+// ---------------------------------------------------------------------------
+
+struct Json<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl<'a> Json<'a> {
+    fn validate(text: &'a str) -> Result<(), String> {
+        let mut p = Json {
+            b: text.as_bytes(),
+            i: 0,
+        };
+        p.ws();
+        p.value()?;
+        p.ws();
+        if p.i != p.b.len() {
+            return Err(format!("trailing bytes at offset {}", p.i));
+        }
+        Ok(())
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.i).copied()
+    }
+
+    fn ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.i += 1;
+        }
+    }
+
+    fn eat(&mut self, c: u8) -> Result<(), String> {
+        if self.peek() == Some(c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at offset {}", c as char, self.i))
+        }
+    }
+
+    fn value(&mut self) -> Result<(), String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string(),
+            Some(b't') => self.literal("true"),
+            Some(b'f') => self.literal("false"),
+            Some(b'n') => self.literal("null"),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(format!("unexpected {other:?} at offset {}", self.i)),
+        }
+    }
+
+    fn object(&mut self) -> Result<(), String> {
+        self.eat(b'{')?;
+        self.ws();
+        if self.peek() == Some(b'}') {
+            self.i += 1;
+            return Ok(());
+        }
+        loop {
+            self.ws();
+            self.string()?;
+            self.ws();
+            self.eat(b':')?;
+            self.ws();
+            self.value()?;
+            self.ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(());
+                }
+                other => return Err(format!("bad object sep {other:?} at {}", self.i)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<(), String> {
+        self.eat(b'[')?;
+        self.ws();
+        if self.peek() == Some(b']') {
+            self.i += 1;
+            return Ok(());
+        }
+        loop {
+            self.ws();
+            self.value()?;
+            self.ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(());
+                }
+                other => return Err(format!("bad array sep {other:?} at {}", self.i)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<(), String> {
+        self.eat(b'"')?;
+        while let Some(c) = self.peek() {
+            self.i += 1;
+            match c {
+                b'"' => return Ok(()),
+                b'\\' => {
+                    let esc = self.peek().ok_or("eof in escape")?;
+                    self.i += 1;
+                    match esc {
+                        b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't' => {}
+                        b'u' => {
+                            for _ in 0..4 {
+                                let h = self.peek().ok_or("eof in \\u")?;
+                                if !h.is_ascii_hexdigit() {
+                                    return Err(format!("bad \\u digit at {}", self.i));
+                                }
+                                self.i += 1;
+                            }
+                        }
+                        other => return Err(format!("bad escape {:?}", other as char)),
+                    }
+                }
+                0x00..=0x1f => return Err(format!("raw control char at {}", self.i - 1)),
+                _ => {}
+            }
+        }
+        Err("unterminated string".into())
+    }
+
+    fn number(&mut self) -> Result<(), String> {
+        if self.peek() == Some(b'-') {
+            self.i += 1;
+        }
+        let digits = |p: &mut Self| {
+            let start = p.i;
+            while p.peek().is_some_and(|c| c.is_ascii_digit()) {
+                p.i += 1;
+            }
+            p.i > start
+        };
+        if !digits(self) {
+            return Err(format!("expected digits at {}", self.i));
+        }
+        if self.peek() == Some(b'.') {
+            self.i += 1;
+            if !digits(self) {
+                return Err(format!("expected fraction digits at {}", self.i));
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.i += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.i += 1;
+            }
+            if !digits(self) {
+                return Err(format!("expected exponent digits at {}", self.i));
+            }
+        }
+        Ok(())
+    }
+
+    fn literal(&mut self, lit: &str) -> Result<(), String> {
+        if self.b[self.i..].starts_with(lit.as_bytes()) {
+            self.i += lit.len();
+            Ok(())
+        } else {
+            Err(format!("bad literal at {}", self.i))
+        }
+    }
+}
+
+/// On each track, every pair of spans must be disjoint or properly nested.
+fn assert_well_nested(tracer: &Tracer) {
+    let spans = tracer.spans();
+    for (idx, a) in spans.iter().enumerate() {
+        for b in &spans[idx + 1..] {
+            if a.track != b.track {
+                continue;
+            }
+            let (a0, a1) = (a.start_s, a.start_s + a.duration_s);
+            let (b0, b1) = (b.start_s, b.start_s + b.duration_s);
+            let eps = 1e-12 * a1.max(b1).max(1.0);
+            let disjoint = a1 <= b0 + eps || b1 <= a0 + eps;
+            let a_in_b = b0 <= a0 + eps && a1 <= b1 + eps;
+            let b_in_a = a0 <= b0 + eps && b1 <= a1 + eps;
+            assert!(
+                disjoint || a_in_b || b_in_a,
+                "partially overlapping spans on track {:?}: {:?} [{a0}, {a1}) vs {:?} [{b0}, {b1})",
+                a.track,
+                a.name,
+                b.name
+            );
+        }
+    }
+}
+
+fn synthetic_timeline() -> Tracer {
+    let mut t = Tracer::new();
+    t.name_track(TraceTrack(0), "PPE");
+    t.name_track(TraceTrack(1), "SPE 0");
+    t.span(
+        TraceTrack(0),
+        "spawn SPE 0 thread",
+        "thread",
+        0.0,
+        0.000_125,
+    );
+    t.span(
+        TraceTrack(1),
+        "dma-get positions",
+        "dma",
+        0.000_125,
+        0.000_25,
+    );
+    t.span(TraceTrack(1), "accel kernel", "compute", 0.000_375, 0.001);
+    t.span(TraceTrack(0), "integrate: kick", "ppe", 0.001_375, 0.000_5);
+    t.instant(
+        TraceTrack(1),
+        "hazard: read-before-get at offset 4096",
+        "read-before-get",
+        0.000_375,
+    );
+    t
+}
+
+#[test]
+fn synthetic_timeline_matches_golden_file() {
+    let json = synthetic_timeline().to_chrome_json();
+    let golden = include_str!("golden/trace_small.json");
+    assert_eq!(
+        json, golden,
+        "trace export drifted from tests/golden/trace_small.json — \
+         if the change is intentional, update the golden file"
+    );
+}
+
+#[test]
+fn golden_file_is_strictly_valid_json() {
+    let golden = include_str!("golden/trace_small.json");
+    Json::validate(golden).expect("golden trace must parse");
+    // Sanity: the hazard instant survived with its scope marker.
+    assert!(golden.contains("\"ph\":\"i\""));
+    assert!(golden.contains("\"s\":\"t\""));
+}
+
+#[test]
+fn traced_cell_run_is_valid_and_well_nested() {
+    use cell_be::{CellBeDevice, CellRunConfig};
+    let sim = md_core::params::SimConfig::reduced_lj(256);
+    let device = CellBeDevice::paper_blade();
+    let mut tracer = Tracer::new();
+    device
+        .run_md_traced(&sim, 3, CellRunConfig::best(), &mut tracer)
+        .expect("traced run");
+    assert!(!tracer.is_empty());
+    assert_well_nested(&tracer);
+    Json::validate(&tracer.to_chrome_json()).expect("device trace must parse");
+}
+
+#[test]
+fn hazard_instants_keep_the_export_valid() {
+    use cell_be::hazard::{Dir, HazardChecker};
+    use cell_be::LsRegion;
+    let mut tracer = synthetic_timeline();
+    let mut hz = HazardChecker::new();
+    hz.dma_issue(
+        9,
+        Dir::Put,
+        LsRegion {
+            offset: 0,
+            len: 256,
+        },
+    );
+    hz.compute_write(LsRegion {
+        offset: 128,
+        len: 16,
+    });
+    assert_eq!(hz.emit_to_tracer(&mut tracer, TraceTrack(1), 0.002), 1);
+    let json = tracer.to_chrome_json();
+    Json::validate(&json).expect("trace with hazards must parse");
+    assert!(json.contains("write-before-put"), "{json}");
+}
+
+#[test]
+fn escaped_names_still_produce_valid_json() {
+    let mut t = Tracer::new();
+    t.name_track(TraceTrack(0), "tab\tquote\"backslash\\");
+    t.span(TraceTrack(0), "newline\nname", "cat", 0.0, 1e-6);
+    t.instant(TraceTrack(0), "ctrl\u{1}char", "cat", 2e-6);
+    Json::validate(&t.to_chrome_json()).expect("escaping must cover control chars");
+}
