@@ -82,6 +82,9 @@ pub struct CellRun {
     pub energies: EnergyReport,
     pub kernel_stats: KernelStats,
     pub config: CellRunConfig,
+    /// Injected-fault ledger for this run (zero when no plan is armed).
+    #[cfg(feature = "fault-inject")]
+    pub faults: sim_fault::FaultStats,
 }
 
 impl CellRun {
@@ -95,15 +98,32 @@ impl CellRun {
 /// The simulated Cell blade.
 pub struct CellBeDevice {
     pub config: CellConfig,
+    /// Armed fault schedule; `None` runs fault-free (see DESIGN.md §9).
+    #[cfg(feature = "fault-inject")]
+    pub fault_plan: Option<sim_fault::FaultPlan>,
 }
 
 impl CellBeDevice {
     pub fn new(config: CellConfig) -> Self {
-        Self { config }
+        Self {
+            config,
+            #[cfg(feature = "fault-inject")]
+            fault_plan: None,
+        }
     }
 
     pub fn paper_blade() -> Self {
         Self::new(CellConfig::paper_blade())
+    }
+
+    /// Arm a deterministic fault schedule for subsequent `run_md*` calls
+    /// (primary resident path only; the tiled/double/PPE-only paths stay
+    /// fault-free).
+    #[cfg(feature = "fault-inject")]
+    #[must_use]
+    pub fn with_fault_plan(mut self, plan: sim_fault::FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
     }
 
     fn lj_params(sim: &SimConfig, sys: &ParticleSystem<f32>) -> SpeLjParams {
@@ -126,7 +146,25 @@ impl CellBeDevice {
         steps: usize,
         run: CellRunConfig,
     ) -> Result<CellRun, CellError> {
-        self.run_md_impl(sim, steps, run, None)
+        let mut sys: ParticleSystem<f32> = init::initialize(sim);
+        self.run_md_impl(&mut sys, sim, steps, run, None)
+    }
+
+    /// Like [`Self::run_md`] but continuing from caller-owned state instead
+    /// of a fresh lattice. The supervisor uses this to resume a run from a
+    /// checkpoint: because every segment re-primes accelerations from the
+    /// positions at its first evaluation, a run split into segments
+    /// reproduces the unsegmented trajectory bit for bit. On error
+    /// (including injected-fault exhaustion) `sys` may hold a partially
+    /// advanced state and must be restored by the caller before retrying.
+    pub fn run_md_from(
+        &self,
+        sys: &mut ParticleSystem<f32>,
+        sim: &SimConfig,
+        steps: usize,
+        run: CellRunConfig,
+    ) -> Result<CellRun, CellError> {
+        self.run_md_impl(sys, sim, steps, run, None)
     }
 
     /// Like [`Self::run_md`], additionally recording a timeline of the
@@ -144,11 +182,13 @@ impl CellBeDevice {
         for s in 0..run.n_spes {
             tracer.name_track(mdea_trace::TraceTrack(1 + s as u32), format!("SPE {s}"));
         }
-        self.run_md_impl(sim, steps, run, Some(tracer))
+        let mut sys: ParticleSystem<f32> = init::initialize(sim);
+        self.run_md_impl(&mut sys, sim, steps, run, Some(tracer))
     }
 
     fn run_md_impl(
         &self,
+        sys: &mut ParticleSystem<f32>,
         sim: &SimConfig,
         steps: usize,
         run: CellRunConfig,
@@ -159,12 +199,16 @@ impl CellBeDevice {
             "n_spes must be in 1..={}",
             self.config.n_spes
         );
-        let mut sys: ParticleSystem<f32> = init::initialize(sim);
         let n = sys.n();
         let vv = VelocityVerlet::new(sim.dt as f32);
         let ppe = PpeModel::new(&self.config);
         let dma = DmaEngine::new(&self.config);
-        let params = Self::lj_params(sim, &sys);
+        let params = Self::lj_params(sim, sys);
+
+        // One fault session per run: the plan decides, the session keeps the
+        // retry/exhaustion ledger and the simulated-time cost of recovery.
+        #[cfg(feature = "fault-inject")]
+        let mut fault = self.fault_plan.map(sim_fault::FaultSession::new);
 
         // Main memory image: positions then accelerations, quadword layout.
         let mut main_memory = vec![0u8; 2 * n * 16];
@@ -208,13 +252,41 @@ impl CellBeDevice {
                     tr.span(ppe_track, "integrate: kick+drift", "ppe", t_now, dur);
                 }
                 t_now += dur;
-                vv.kick_drift(&mut sys);
+                vv.kick_drift(sys);
             }
 
             // Thread management per Figure 6.
             match run.policy {
                 SpawnPolicy::RespawnEveryStep => {
                     for (s, spe) in spes.iter_mut().enumerate() {
+                        #[cfg(feature = "fault-inject")]
+                        {
+                            // A failed spe_create_thread is repeated at full
+                            // launch cost.
+                            let extra = resolve_fault_site(
+                                &mut fault,
+                                sim_fault::FaultSite::new(
+                                    sim_fault::FaultKind::SpeLaunch,
+                                    eval as u64,
+                                    s as u32,
+                                    0,
+                                ),
+                                self.config.spawn_cycles,
+                                clk,
+                            )?;
+                            if extra > 0.0 {
+                                if let Some(tr) = tracer.as_deref_mut() {
+                                    tr.instant(
+                                        ppe_track,
+                                        format!("fault: spe-launch retry (SPE {s})"),
+                                        "fault",
+                                        t_now,
+                                    );
+                                }
+                                breakdown.spawn += extra;
+                                t_now += extra / clk;
+                            }
+                        }
                         spe.start_thread();
                         if let Some(tr) = tracer.as_deref_mut() {
                             tr.span(
@@ -232,6 +304,32 @@ impl CellBeDevice {
                 SpawnPolicy::LaunchOnce => {
                     if !launched {
                         for (s, spe) in spes.iter_mut().enumerate() {
+                            #[cfg(feature = "fault-inject")]
+                            {
+                                let extra = resolve_fault_site(
+                                    &mut fault,
+                                    sim_fault::FaultSite::new(
+                                        sim_fault::FaultKind::SpeLaunch,
+                                        eval as u64,
+                                        s as u32,
+                                        0,
+                                    ),
+                                    self.config.spawn_cycles,
+                                    clk,
+                                )?;
+                                if extra > 0.0 {
+                                    if let Some(tr) = tracer.as_deref_mut() {
+                                        tr.instant(
+                                            ppe_track,
+                                            format!("fault: spe-launch retry (SPE {s})"),
+                                            "fault",
+                                            t_now,
+                                        );
+                                    }
+                                    breakdown.spawn += extra;
+                                    t_now += extra / clk;
+                                }
+                            }
                             spe.start_thread();
                             if let Some(tr) = tracer.as_deref_mut() {
                                 tr.span(
@@ -252,6 +350,34 @@ impl CellBeDevice {
                         #[allow(clippy::unused_enumerate_index)]
                         // index feeds the hazard checker when the feature is on
                         for (_s, spe) in spes.iter_mut().enumerate() {
+                            #[cfg(feature = "fault-inject")]
+                            {
+                                // A dropped mailbox message costs a fresh
+                                // PPE service round plus the SPE-side read.
+                                let extra = resolve_fault_site(
+                                    &mut fault,
+                                    sim_fault::FaultSite::new(
+                                        sim_fault::FaultKind::MailboxDrop,
+                                        eval as u64,
+                                        _s as u32,
+                                        0,
+                                    ),
+                                    self.config.ppe_service_cycles + self.config.mailbox_cycles,
+                                    clk,
+                                )?;
+                                if extra > 0.0 {
+                                    if let Some(tr) = tracer.as_deref_mut() {
+                                        tr.instant(
+                                            ppe_track,
+                                            format!("fault: mailbox-drop resend (SPE {_s})"),
+                                            "fault",
+                                            t_now,
+                                        );
+                                    }
+                                    breakdown.mailbox += extra;
+                                    t_now += extra / clk;
+                                }
+                            }
                             #[cfg(feature = "hazard-check")]
                             hazard[_s].note_mailbox_write(_s, spe.inbox.is_full());
                             spe.inbox.write(eval as u32);
@@ -289,6 +415,43 @@ impl CellBeDevice {
                 #[cfg(feature = "hazard-check")]
                 hazard[s].dma_issue(0, Dir::Get, pos_r);
                 let dma_in = dma.get(&main_memory, &mut spe.local_store, pos_r, 0, n * 16)?;
+                // The functional transfer above always lands pristine data;
+                // injected failures only re-model the transfer's cost, so
+                // physics is untouched by construction.
+                #[cfg(feature = "fault-inject")]
+                let dma_in = {
+                    // Failed transfer → full re-issue of the get.
+                    let reissue = resolve_fault_site(
+                        &mut fault,
+                        sim_fault::FaultSite::new(
+                            sim_fault::FaultKind::DmaTransfer,
+                            eval as u64,
+                            s as u32,
+                            0,
+                        ),
+                        dma_in,
+                        clk,
+                    )?;
+                    // Tag-group wait spins out → spin window plus a fresh
+                    // issue-and-wait, modeled as two transfers' worth.
+                    let spin = resolve_fault_site(
+                        &mut fault,
+                        sim_fault::FaultSite::new(
+                            sim_fault::FaultKind::TagWaitTimeout,
+                            eval as u64,
+                            s as u32,
+                            0,
+                        ),
+                        2.0 * dma_in,
+                        clk,
+                    )?;
+                    if reissue + spin > 0.0 {
+                        if let Some(tr) = tracer.as_deref_mut() {
+                            tr.instant(spe_track(s), "fault: dma get retried", "fault", t_now);
+                        }
+                    }
+                    dma_in + reissue + spin
+                };
                 #[cfg(feature = "hazard-check")]
                 {
                     // The functional engine transfers synchronously; the
@@ -321,6 +484,26 @@ impl CellBeDevice {
                     (n + lo) * 16,
                     (hi - lo) * 16,
                 )?;
+                #[cfg(feature = "fault-inject")]
+                let dma_out = {
+                    let reissue = resolve_fault_site(
+                        &mut fault,
+                        sim_fault::FaultSite::new(
+                            sim_fault::FaultKind::DmaTransfer,
+                            eval as u64,
+                            s as u32,
+                            1,
+                        ),
+                        dma_out,
+                        clk,
+                    )?;
+                    if reissue > 0.0 {
+                        if let Some(tr) = tracer.as_deref_mut() {
+                            tr.instant(spe_track(s), "fault: dma put retried", "fault", t_now);
+                        }
+                    }
+                    dma_out + reissue
+                };
                 #[cfg(feature = "hazard-check")]
                 hazard[s].tag_wait(1);
                 // Completion notification to the PPE.
@@ -385,7 +568,7 @@ impl CellBeDevice {
                     tr.span(ppe_track, "integrate: kick", "ppe", t_now, dur);
                 }
                 t_now += dur;
-                vv.kick(&mut sys);
+                vv.kick(sys);
             }
         }
 
@@ -402,9 +585,11 @@ impl CellBeDevice {
         Ok(CellRun {
             sim_seconds: breakdown.total() / self.config.clock_hz,
             breakdown,
-            energies: EnergyReport::measure(&sys, pe),
+            energies: EnergyReport::measure(sys, pe),
             kernel_stats: stats_total,
             config: run,
+            #[cfg(feature = "fault-inject")]
+            faults: fault.map_or_else(sim_fault::FaultStats::default, |f| f.stats()),
         })
     }
 
@@ -606,6 +791,8 @@ impl CellBeDevice {
             energies: EnergyReport::measure(&sys, (pe_total * 0.5) as f64),
             kernel_stats: stats_total,
             config: run,
+            #[cfg(feature = "fault-inject")]
+            faults: sim_fault::FaultStats::default(),
         })
     }
 
@@ -757,6 +944,8 @@ impl CellBeDevice {
             energies: EnergyReport::measure(&sys, pe_total * 0.5),
             kernel_stats: stats_total,
             config: run,
+            #[cfg(feature = "fault-inject")]
+            faults: sim_fault::FaultStats::default(),
         })
     }
 
@@ -830,6 +1019,8 @@ impl CellBeDevice {
                 policy: SpawnPolicy::LaunchOnce,
                 variant: SpeKernelVariant::Original,
             },
+            #[cfg(feature = "fault-inject")]
+            faults: sim_fault::FaultStats::default(),
         }
     }
 
@@ -868,6 +1059,36 @@ impl CellBeDevice {
         let dma_out = dma.put(&spe.local_store, &mut main_memory, acc_r, n * 16, n * 16)?;
         Ok((dma_in + stats.cycles + dma_out) / self.config.clock_hz)
     }
+}
+
+/// Apply the armed fault schedule to one injection site: walk the plan's
+/// per-retry decisions, charge `unit_cycles` of simulated recovery time per
+/// failure, and return the total extra cycles — or the typed exhaustion
+/// error once the retry budget is spent, so the harness supervisor can
+/// restore a checkpoint or fall back to the reference device.
+#[cfg(feature = "fault-inject")]
+fn resolve_fault_site(
+    fault: &mut Option<sim_fault::FaultSession>,
+    site: sim_fault::FaultSite,
+    unit_cycles: f64,
+    clock_hz: f64,
+) -> Result<f64, CellError> {
+    let Some(sess) = fault.as_mut() else {
+        return Ok(0.0);
+    };
+    let out = sess.outcome(site);
+    if out.exhausted {
+        return Err(CellError::FaultExhausted {
+            kind: site.kind,
+            eval: site.eval,
+            unit: site.unit,
+        });
+    }
+    let extra = unit_cycles * f64::from(out.failures);
+    if extra > 0.0 {
+        sess.charge(extra / clock_hz);
+    }
+    Ok(extra)
 }
 
 /// Split `n` items into `k` contiguous, balanced slices.
@@ -1245,6 +1466,108 @@ mod tests {
             (3.0..8.0).contains(&ratio),
             "DP compute should be several times SP: {ratio:.2}x"
         );
+    }
+
+    #[test]
+    fn segmented_run_matches_unsegmented_run_bitwise() {
+        // run_md_from in two 5-step segments must reproduce the 10-step run
+        // exactly: this is the property the supervisor's checkpoint/restart
+        // relies on.
+        let sim = workload(256);
+        let device = CellBeDevice::paper_blade();
+        let mut whole: ParticleSystem<f32> = init::initialize(&sim);
+        device
+            .run_md_from(&mut whole, &sim, 10, CellRunConfig::best())
+            .unwrap();
+
+        let mut segmented: ParticleSystem<f32> = init::initialize(&sim);
+        device
+            .run_md_from(&mut segmented, &sim, 5, CellRunConfig::best())
+            .unwrap();
+        device
+            .run_md_from(&mut segmented, &sim, 5, CellRunConfig::best())
+            .unwrap();
+
+        assert_eq!(whole.positions, segmented.positions);
+        assert_eq!(whole.velocities, segmented.velocities);
+        assert_eq!(whole.accelerations, segmented.accelerations);
+    }
+
+    #[cfg(feature = "fault-inject")]
+    #[test]
+    fn injected_faults_leave_physics_untouched_and_slow_the_run() {
+        let sim = workload(256);
+        let clean_device = CellBeDevice::paper_blade();
+        let mut clean_sys: ParticleSystem<f32> = init::initialize(&sim);
+        let clean = clean_device
+            .run_md_from(&mut clean_sys, &sim, 5, CellRunConfig::best())
+            .unwrap();
+
+        let faulty_device =
+            CellBeDevice::paper_blade().with_fault_plan(sim_fault::FaultPlan::new(7, 0.1));
+        let mut faulty_sys: ParticleSystem<f32> = init::initialize(&sim);
+        let faulty = faulty_device
+            .run_md_from(&mut faulty_sys, &sim, 5, CellRunConfig::best())
+            .unwrap();
+
+        assert_eq!(clean_sys.positions, faulty_sys.positions);
+        assert_eq!(clean_sys.velocities, faulty_sys.velocities);
+        assert_eq!(clean.energies.total, faulty.energies.total);
+        assert!(faulty.faults.any(), "rate 0.2 over 5 steps must fire");
+        assert!(
+            faulty.sim_seconds > clean.sim_seconds,
+            "recovery must cost simulated time: {} !> {}",
+            faulty.sim_seconds,
+            clean.sim_seconds
+        );
+        assert!(faulty.faults.extra_seconds > 0.0);
+        // SPEs run concurrently, so recovery on a non-critical-path SPE is
+        // absorbed: the wall slowdown is at most the total charged time.
+        assert!(
+            faulty.sim_seconds - clean.sim_seconds <= faulty.faults.extra_seconds + 1e-12,
+            "slowdown {} cannot exceed charged recovery {}",
+            faulty.sim_seconds - clean.sim_seconds,
+            faulty.faults.extra_seconds
+        );
+    }
+
+    #[cfg(feature = "fault-inject")]
+    #[test]
+    fn always_faulting_plan_surfaces_typed_exhaustion() {
+        let sim = workload(256);
+        let device = CellBeDevice::paper_blade().with_fault_plan(sim_fault::FaultPlan::new(0, 1.0));
+        let err = device.run_md(&sim, 2, CellRunConfig::best());
+        assert!(
+            matches!(err, Err(CellError::FaultExhausted { .. })),
+            "rate-1.0 plan must exhaust: {err:?}"
+        );
+    }
+
+    #[cfg(feature = "fault-inject")]
+    #[test]
+    fn fault_schedule_is_reproducible_across_runs() {
+        let sim = workload(256);
+        let mk =
+            || CellBeDevice::paper_blade().with_fault_plan(sim_fault::FaultPlan::new(42, 0.15));
+        let a = mk().run_md(&sim, 4, CellRunConfig::best()).unwrap();
+        let b = mk().run_md(&sim, 4, CellRunConfig::best()).unwrap();
+        assert_eq!(a.faults, b.faults);
+        assert_eq!(a.sim_seconds, b.sim_seconds);
+    }
+
+    #[cfg(feature = "fault-inject")]
+    #[test]
+    fn fault_instants_appear_on_the_timeline() {
+        let sim = workload(256);
+        let device =
+            CellBeDevice::paper_blade().with_fault_plan(sim_fault::FaultPlan::new(11, 0.3));
+        let mut tracer = mdea_trace::Tracer::new();
+        let run = device
+            .run_md_traced(&sim, 4, CellRunConfig::best(), &mut tracer)
+            .unwrap();
+        assert!(run.faults.any());
+        let json = tracer.to_chrome_json();
+        assert!(json.contains("fault:"), "fault instants in the trace");
     }
 
     #[test]

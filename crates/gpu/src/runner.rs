@@ -57,16 +57,36 @@ pub struct GpuRun {
     pub energies: EnergyReport,
     /// Total shader ops retired.
     pub total_ops: u64,
+    /// Injected-fault ledger for this run (zero when no plan is armed).
+    /// `faults.exhausted > 0` means the modeled degraded path was taken;
+    /// the harness supervisor treats that as a failed segment.
+    #[cfg(feature = "fault-inject")]
+    pub faults: sim_fault::FaultStats,
 }
 
 /// Driver for GPU-accelerated MD.
 pub struct GpuMdSimulation {
     pub config: GpuConfig,
+    /// Armed fault schedule; `None` runs fault-free (see DESIGN.md §9).
+    #[cfg(feature = "fault-inject")]
+    pub fault_plan: Option<sim_fault::FaultPlan>,
 }
 
 impl GpuMdSimulation {
     pub fn new(config: GpuConfig) -> Self {
-        Self { config }
+        Self {
+            config,
+            #[cfg(feature = "fault-inject")]
+            fault_plan: None,
+        }
+    }
+
+    /// Arm a deterministic fault schedule for subsequent `run_md*` calls.
+    #[cfg(feature = "fault-inject")]
+    #[must_use]
+    pub fn with_fault_plan(mut self, plan: sim_fault::FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
     }
 
     pub fn geforce_7900gtx() -> Self {
@@ -84,6 +104,24 @@ impl GpuMdSimulation {
         self.run_md_with(sim, steps, crate::reduction::ReductionStrategy::CpuReadback)
     }
 
+    /// Like [`Self::run_md`] but continuing from caller-owned state instead
+    /// of a fresh lattice — the supervisor's checkpoint/restart entry point.
+    /// Each segment re-primes accelerations from the incoming positions, so
+    /// a segmented run reproduces the unsegmented trajectory bit for bit.
+    pub fn run_md_from(
+        &self,
+        sys: &mut ParticleSystem<f32>,
+        sim: &SimConfig,
+        steps: usize,
+    ) -> GpuRun {
+        self.run_md_impl(
+            sys,
+            sim,
+            steps,
+            crate::reduction::ReductionStrategy::CpuReadback,
+        )
+    }
+
     /// Run with an explicit PE-reduction strategy — `GpuMultiPass` is the
     /// alternative the paper rejected; it exists so the overhead claim can be
     /// measured (see the `ablation_gpu_reduction` bench).
@@ -94,6 +132,16 @@ impl GpuMdSimulation {
         strategy: crate::reduction::ReductionStrategy,
     ) -> GpuRun {
         let mut sys: ParticleSystem<f32> = init::initialize(sim);
+        self.run_md_impl(&mut sys, sim, steps, strategy)
+    }
+
+    fn run_md_impl(
+        &self,
+        sys: &mut ParticleSystem<f32>,
+        sim: &SimConfig,
+        steps: usize,
+        strategy: crate::reduction::ReductionStrategy,
+    ) -> GpuRun {
         let n = sys.n();
         let vv = VelocityVerlet::new(sim.dt as f32);
 
@@ -111,10 +159,16 @@ impl GpuMdSimulation {
         let mut total_ops = 0u64;
         let mut pe = 0.0f64;
 
+        // One fault session per run; the functional transfers below always
+        // deliver pristine data, so injected failures re-model only the cost
+        // of detection and re-issue — never the physics.
+        #[cfg(feature = "fault-inject")]
+        let mut fault = self.fault_plan.map(sim_fault::FaultSession::new);
+
         // Priming evaluation + one per time step.
         for eval in 0..=steps {
             if eval > 0 {
-                vv.kick_drift(&mut sys);
+                vv.kick_drift(sys);
                 breakdown.cpu += self.config.cpu_linear_s_per_atom * n as f64;
             }
 
@@ -122,14 +176,57 @@ impl GpuMdSimulation {
             // the GPU and new accelerations computed again."
             let positions =
                 Texture::from_texels(sys.positions.iter().map(|p| [p.x, p.y, p.z, 0.0]).collect());
-            breakdown.upload += device.upload_seconds(&positions);
+            let upload = device.upload_seconds(&positions);
+            breakdown.upload += upload;
+            #[cfg(feature = "fault-inject")]
+            {
+                // A timed-out host→GPU transfer costs the timeout window
+                // (modeled as the transfer itself) plus the re-send.
+                breakdown.upload += resolve_degradable(
+                    &mut fault,
+                    sim_fault::FaultSite::new(
+                        sim_fault::FaultKind::TransferTimeout,
+                        eval as u64,
+                        0,
+                        0,
+                    ),
+                    2.0 * upload,
+                );
+            }
 
             let result = device.dispatch(&shader, &[&positions], n);
             breakdown.shader += result.shader_seconds;
             breakdown.dispatch_overhead += result.overhead_seconds;
             total_ops += result.ops.total();
+            #[cfg(feature = "fault-inject")]
+            {
+                // A NaN-poisoned shader pass is detected on the host (a scan
+                // of the output texels, already covered by the linear CPU
+                // term) and the whole dispatch is re-issued.
+                breakdown.shader += resolve_degradable(
+                    &mut fault,
+                    sim_fault::FaultSite::new(sim_fault::FaultKind::ShaderNan, eval as u64, 0, 0),
+                    result.shader_seconds + result.overhead_seconds,
+                );
+            }
 
-            breakdown.readback += device.readback_seconds(&result.output);
+            let readback = device.readback_seconds(&result.output);
+            breakdown.readback += readback;
+            #[cfg(feature = "fault-inject")]
+            {
+                // A corrupted PCIe readback is caught by a host-side
+                // checksum over the texels and re-read.
+                breakdown.readback += resolve_degradable(
+                    &mut fault,
+                    sim_fault::FaultSite::new(
+                        sim_fault::FaultKind::ReadbackCorruption,
+                        eval as u64,
+                        0,
+                        1,
+                    ),
+                    readback,
+                );
+            }
 
             // The accelerations must come back to the host either way.
             for (i, texel) in result.output.texels().iter().enumerate() {
@@ -157,7 +254,7 @@ impl GpuMdSimulation {
             pe = pe_twice * 0.5;
 
             if eval > 0 {
-                vv.kick(&mut sys);
+                vv.kick(sys);
                 breakdown.cpu += self.config.cpu_linear_s_per_atom * n as f64;
             }
         }
@@ -166,10 +263,38 @@ impl GpuMdSimulation {
             sim_seconds: breakdown.total(),
             startup_seconds: device.startup_seconds(),
             breakdown,
-            energies: EnergyReport::measure(&sys, pe),
+            energies: EnergyReport::measure(sys, pe),
             total_ops,
+            #[cfg(feature = "fault-inject")]
+            faults: fault.map_or_else(sim_fault::FaultStats::default, |f| f.stats()),
         }
     }
+}
+
+/// Apply the armed fault schedule to one injection site, returning the extra
+/// simulated seconds to charge. The GPU driver's public run functions are
+/// infallible, so retry-budget exhaustion degrades instead of erroring: the
+/// modeled slow path (a device reset plus one conservative re-issue at 4x
+/// cost) is charged and `FaultStats::exhausted` is incremented — the harness
+/// supervisor treats a nonzero count as a failed segment.
+#[cfg(feature = "fault-inject")]
+fn resolve_degradable(
+    fault: &mut Option<sim_fault::FaultSession>,
+    site: sim_fault::FaultSite,
+    unit_seconds: f64,
+) -> f64 {
+    let Some(sess) = fault.as_mut() else {
+        return 0.0;
+    };
+    let out = sess.outcome(site);
+    let mut extra = unit_seconds * f64::from(out.failures);
+    if out.exhausted {
+        extra += 4.0 * unit_seconds;
+    }
+    if extra > 0.0 {
+        sess.charge(extra);
+    }
+    extra
 }
 
 #[cfg(test)]
@@ -235,6 +360,67 @@ mod tests {
         assert_eq!(a.sim_seconds, b.sim_seconds);
         assert_eq!(a.energies.total, b.energies.total);
         assert_eq!(a.total_ops, b.total_ops);
+    }
+
+    #[test]
+    fn segmented_run_matches_unsegmented_run_bitwise() {
+        let sim = SimConfig::reduced_lj(256);
+        let runner = GpuMdSimulation::geforce_7900gtx();
+        let mut whole: ParticleSystem<f32> = init::initialize(&sim);
+        runner.run_md_from(&mut whole, &sim, 10);
+        let mut segmented: ParticleSystem<f32> = init::initialize(&sim);
+        runner.run_md_from(&mut segmented, &sim, 5);
+        runner.run_md_from(&mut segmented, &sim, 5);
+        assert_eq!(whole.positions, segmented.positions);
+        assert_eq!(whole.velocities, segmented.velocities);
+    }
+
+    #[cfg(feature = "fault-inject")]
+    #[test]
+    fn injected_faults_leave_physics_untouched_and_slow_the_run() {
+        let sim = SimConfig::reduced_lj(256);
+        let clean = GpuMdSimulation::geforce_7900gtx().run_md(&sim, 5);
+        let faulty = GpuMdSimulation::geforce_7900gtx()
+            .with_fault_plan(sim_fault::FaultPlan::new(5, 0.3))
+            .run_md(&sim, 5);
+        assert_eq!(clean.energies.total, faulty.energies.total);
+        assert_eq!(clean.total_ops, faulty.total_ops);
+        assert!(faulty.faults.any());
+        assert!(faulty.sim_seconds > clean.sim_seconds);
+        // The GPU pipeline is serial, so the slowdown is exactly the
+        // charged recovery time.
+        assert!(
+            (faulty.sim_seconds - clean.sim_seconds - faulty.faults.extra_seconds).abs()
+                < 1e-12 * faulty.sim_seconds.max(1e-30)
+        );
+    }
+
+    #[cfg(feature = "fault-inject")]
+    #[test]
+    fn exhaustion_degrades_instead_of_failing() {
+        let sim = SimConfig::reduced_lj(108);
+        let run = GpuMdSimulation::geforce_7900gtx()
+            .with_fault_plan(sim_fault::FaultPlan::new(0, 1.0))
+            .run_md(&sim, 1);
+        assert!(run.faults.exhausted > 0, "rate 1.0 must exhaust");
+        assert!(
+            run.energies.total.is_finite(),
+            "degraded run still completes"
+        );
+    }
+
+    #[cfg(feature = "fault-inject")]
+    #[test]
+    fn fault_schedule_is_reproducible_across_runs() {
+        let sim = SimConfig::reduced_lj(108);
+        let mk = || {
+            GpuMdSimulation::geforce_7900gtx()
+                .with_fault_plan(sim_fault::FaultPlan::new(42, 0.25))
+                .run_md(&sim, 3)
+        };
+        let (a, b) = (mk(), mk());
+        assert_eq!(a.faults, b.faults);
+        assert_eq!(a.sim_seconds, b.sim_seconds);
     }
 
     #[test]

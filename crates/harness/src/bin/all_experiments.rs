@@ -3,11 +3,24 @@
 //! of the paper's evaluation section; see EXPERIMENTS.md for the recorded
 //! paper-vs-measured comparison.
 
-use std::process::Command;
+use harness::HarnessError;
+use std::process::{Command, ExitCode};
 
-fn main() {
-    let exe = std::env::current_exe().expect("own path");
-    let dir = exe.parent().expect("bin dir");
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("all_experiments: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), HarnessError> {
+    let exe = std::env::current_exe()?;
+    let dir = exe.parent().ok_or_else(|| {
+        HarnessError::Io(std::io::Error::other("own executable has no parent dir"))
+    })?;
     for name in [
         "fig5",
         "fig6",
@@ -19,10 +32,11 @@ fn main() {
     ] {
         let path = dir.join(name);
         println!("\n{0}\n▶ {name}\n{0}", "=".repeat(72));
-        let status = Command::new(&path)
-            .status()
-            .unwrap_or_else(|e| panic!("failed to run {}: {e}", path.display()));
-        assert!(status.success(), "{name} exited with {status}");
+        let status = Command::new(&path).status()?;
+        if !status.success() {
+            return Err(HarnessError::ExperimentFailed { name, status });
+        }
     }
     println!("\nAll experiments complete. CSVs are under results/.");
+    Ok(())
 }

@@ -2,15 +2,29 @@
 //! SPE (runtime of the acceleration computation, 2048 atoms).
 
 use harness::report::{secs, Table};
-use harness::{experiments, write_csv};
+use harness::{experiments, write_csv, HarnessError};
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("fig5: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), HarnessError> {
     let n = experiments::PAPER_ATOMS;
     println!("Figure 5 — SIMD optimization for the MD kernel ({n} atoms, 1 SPE, 1 force eval)\n");
-    let rows = experiments::fig5(n);
+    let rows = experiments::fig5(n)?;
 
     let mut table = Table::new(&["optimization stage", "simulated runtime", "vs original"]);
-    let base = rows[0].seconds;
+    let base = rows
+        .first()
+        .ok_or(HarnessError::MissingRow("the original (scalar) stage"))?
+        .seconds;
     let mut csv = Vec::new();
     for r in &rows {
         table.row(&[
@@ -22,6 +36,9 @@ fn main() {
     }
     println!("{}", table.render());
 
+    if rows.len() < 6 {
+        return Err(HarnessError::MissingRow("all six optimization stages"));
+    }
     let v = |i: usize| rows[i].seconds;
     println!("paper-vs-measured shape checks:");
     println!(
@@ -45,7 +62,7 @@ fn main() {
         (v(4) / v(5) - 1.0) * 100.0
     );
 
-    if let Ok(path) = write_csv("fig5_simd_ladder", &["stage", "seconds"], &csv) {
-        println!("\nwrote {}", path.display());
-    }
+    let path = write_csv("fig5_simd_ladder", &["stage", "seconds"], &csv)?;
+    println!("\nwrote {}", path.display());
+    Ok(())
 }

@@ -2,12 +2,23 @@
 //! respawn-every-step vs launch-once, 1 vs 8 SPEs.
 
 use harness::report::{secs, Table};
-use harness::{experiments, write_csv};
+use harness::{experiments, write_csv, HarnessError};
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("fig6: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), HarnessError> {
     let (n, steps) = (experiments::PAPER_ATOMS, experiments::PAPER_STEPS);
     println!("Figure 6 — SPE launch overhead on MD ({n} atoms, {steps} time steps)\n");
-    let cases = experiments::fig6(n, steps);
+    let cases = experiments::fig6(n, steps)?;
 
     let mut table = Table::new(&[
         "configuration",
@@ -35,12 +46,12 @@ fn main() {
         cases
             .iter()
             .find(|c| c.n_spes == spes && (c.policy == cell_be::SpawnPolicy::LaunchOnce) == once)
-            .unwrap()
+            .ok_or(HarnessError::MissingRow("a fig6 SPE/policy combination"))
     };
-    let r1 = find(1, false);
-    let r8 = find(8, false);
-    let o1 = find(1, true);
-    let o8 = find(8, true);
+    let r1 = find(1, false)?;
+    let r8 = find(8, false)?;
+    let o1 = find(1, true)?;
+    let o8 = find(8, true)?;
 
     println!("paper-vs-measured shape checks:");
     println!(
@@ -60,11 +71,11 @@ fn main() {
         o1.total_seconds / o8.total_seconds
     );
 
-    if let Ok(path) = write_csv(
+    let path = write_csv(
         "fig6_launch_overhead",
         &["configuration", "total_seconds", "launch_seconds"],
         &csv,
-    ) {
-        println!("\nwrote {}", path.display());
-    }
+    )?;
+    println!("\nwrote {}", path.display());
+    Ok(())
 }

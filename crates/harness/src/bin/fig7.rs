@@ -2,9 +2,20 @@
 //! (GPU startup excluded; per-step PCIe transfers included).
 
 use harness::report::{secs, Table};
-use harness::{experiments, write_csv};
+use harness::{experiments, write_csv, HarnessError};
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("fig7: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), HarnessError> {
     let counts = [128usize, 256, 512, 1024, 2048, 4096, 8192];
     let steps = experiments::PAPER_STEPS;
     println!("Figure 7 — performance results on GPU vs Opteron ({steps} time steps)\n");
@@ -33,7 +44,10 @@ fn main() {
             w[0].gpu_seconds >= w[0].opteron_seconds && w[1].gpu_seconds < w[1].opteron_seconds
         })
         .map(|w| (w[0].n_atoms, w[1].n_atoms));
-    let at2048 = rows.iter().find(|r| r.n_atoms == 2048).unwrap();
+    let at2048 = rows
+        .iter()
+        .find(|r| r.n_atoms == 2048)
+        .ok_or(HarnessError::MissingRow("the 2048-atom point"))?;
 
     println!("paper-vs-measured shape checks:");
     match crossover {
@@ -55,11 +69,11 @@ fn main() {
         at2048.opteron_seconds / at2048.gpu_seconds
     );
 
-    if let Ok(path) = write_csv(
+    let path = write_csv(
         "fig7_gpu_vs_opteron",
         &["atoms", "opteron_seconds", "gpu_seconds"],
         &csv,
-    ) {
-        println!("\nwrote {}", path.display());
-    }
+    )?;
+    println!("\nwrote {}", path.display());
+    Ok(())
 }

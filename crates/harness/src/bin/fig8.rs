@@ -2,9 +2,20 @@
 //! Cray MTA-2.
 
 use harness::report::{secs, Table};
-use harness::{experiments, write_csv};
+use harness::{experiments, write_csv, HarnessError};
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("fig8: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), HarnessError> {
     let counts = [256usize, 512, 1024, 2048, 4096];
     let steps = experiments::PAPER_STEPS;
     println!(
@@ -34,9 +45,12 @@ fn main() {
     }
     println!("{}", table.render());
 
-    let first_gap = rows[0].partially_mt_seconds - rows[0].fully_mt_seconds;
-    let last_gap =
-        rows.last().unwrap().partially_mt_seconds - rows.last().unwrap().fully_mt_seconds;
+    let (first, last) = match (rows.first(), rows.last()) {
+        (Some(f), Some(l)) => (f, l),
+        _ => return Err(HarnessError::MissingRow("any atom-count row")),
+    };
+    let first_gap = first.partially_mt_seconds - first.fully_mt_seconds;
+    let last_gap = last.partially_mt_seconds - last.fully_mt_seconds;
     println!("paper-vs-measured shape checks:");
     println!(
         "  fully MT faster everywhere: {}",
@@ -49,11 +63,11 @@ fn main() {
         first_gap, last_gap
     );
 
-    if let Ok(path) = write_csv(
+    let path = write_csv(
         "fig8_mta_threading",
         &["atoms", "fully_mt_seconds", "partially_mt_seconds"],
         &csv,
-    ) {
-        println!("\nwrote {}", path.display());
-    }
+    )?;
+    println!("\nwrote {}", path.display());
+    Ok(())
 }

@@ -2,13 +2,24 @@
 //! MTA-2 vs Opteron.
 
 use harness::report::Table;
-use harness::{experiments, write_csv};
+use harness::{experiments, write_csv, HarnessError};
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("fig9: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), HarnessError> {
     let counts = [256usize, 512, 1024, 2048, 4096, 8192];
     let steps = experiments::PAPER_STEPS;
     println!("Figure 9 — increase in runtime with respect to the 256-atom run ({steps} steps)\n");
-    let rows = experiments::fig9(&counts, steps);
+    let rows = experiments::fig9(&counts, steps)?;
 
     let mut table = Table::new(&["atoms", "MTA (relative)", "Opteron (relative)"]);
     let mut csv = Vec::new();
@@ -29,7 +40,9 @@ fn main() {
     // The two curves track each other while the Opteron's arrays still fit
     // in cache; the divergence appears "as the array sizes become larger
     // than the cache capacities" (24·N bytes > 64 KB L1 at N ≳ 2700).
-    let last = rows.last().unwrap();
+    let last = rows
+        .last()
+        .ok_or(HarnessError::MissingRow("any atom-count row"))?;
     println!("paper-vs-measured shape checks:");
     println!(
         "  Opteron grows faster than MTA past cache capacity: {}",
@@ -45,11 +58,11 @@ fn main() {
     );
     println!("  MTA growth tracks flop growth (proportional to N² work), no cache knee");
 
-    if let Ok(path) = write_csv(
+    let path = write_csv(
         "fig9_relative_scaling",
         &["atoms", "mta_relative", "opteron_relative"],
         &csv,
-    ) {
-        println!("\nwrote {}", path.display());
-    }
+    )?;
+    println!("\nwrote {}", path.display());
+    Ok(())
 }

@@ -2,12 +2,23 @@
 //! Opteron vs Cell (1 SPE / 8 SPEs / PPE only), 2048 atoms, 10 time steps.
 
 use harness::report::{secs, Table};
-use harness::{experiments, write_csv};
+use harness::{experiments, write_csv, HarnessError};
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("table1: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), HarnessError> {
     let (n, steps) = (experiments::PAPER_ATOMS, experiments::PAPER_STEPS);
     println!("Table 1 — performance comparison of MD calculations ({n} atoms, {steps} steps)\n");
-    let t = experiments::table1(n, steps);
+    let t = experiments::table1(n, steps)?;
 
     let mut table = Table::new(&["system", "simulated runtime"]);
     table.row(&["Opteron (2.2 GHz)".into(), secs(t.opteron_seconds)]);
@@ -36,7 +47,7 @@ fn main() {
         vec!["cell_8spe".into(), format!("{:.9}", t.cell_8spe_seconds)],
         vec!["cell_ppe".into(), format!("{:.9}", t.cell_ppe_seconds)],
     ];
-    if let Ok(path) = write_csv("table1_cell_vs_opteron", &["system", "seconds"], &csv) {
-        println!("\nwrote {}", path.display());
-    }
+    let path = write_csv("table1_cell_vs_opteron", &["system", "seconds"], &csv)?;
+    println!("\nwrote {}", path.display());
+    Ok(())
 }

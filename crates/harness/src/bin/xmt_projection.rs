@@ -3,14 +3,28 @@
 //! memory demands.
 
 use harness::report::{secs, Table};
-use harness::{experiments, write_csv};
+use harness::{experiments, write_csv, HarnessError};
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("xmt_projection: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), HarnessError> {
     let (n, steps) = (2048usize, 4usize);
     println!("XMT projection — MD kernel, {n} atoms, {steps} steps (extension)\n");
     let rows = experiments::xmt_projection(n, steps, &[1, 4, 16, 64]);
 
-    let baseline = rows[0].seconds;
+    let baseline = rows
+        .first()
+        .ok_or(HarnessError::MissingRow("the MTA-2 baseline"))?
+        .seconds;
     let mut table = Table::new(&["system", "processors", "runtime", "vs MTA-2"]);
     let mut csv = Vec::new();
     for r in &rows {
@@ -39,7 +53,7 @@ fn main() {
          'data placement and access locality will be an important consideration'."
     );
 
-    if let Ok(path) = write_csv("xmt_projection", &["system", "processors", "seconds"], &csv) {
-        println!("\nwrote {}", path.display());
-    }
+    let path = write_csv("xmt_projection", &["system", "processors", "seconds"], &csv)?;
+    println!("\nwrote {}", path.display());
+    Ok(())
 }

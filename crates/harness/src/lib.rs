@@ -14,10 +14,17 @@
 //! | Figure 8 (MTA full vs partial MT) | [`experiments::fig8`] | `fig8` |
 //! | Figure 9 (relative scaling) | [`experiments::fig9`] | `fig9` |
 
+pub mod error;
 pub mod experiments;
 pub mod report;
+pub mod supervisor;
 
+pub use error::HarnessError;
 pub use experiments::{
     fig5, fig6, fig7, fig8, fig9, table1, Fig5Row, Fig6Case, Fig7Row, Fig8Row, Fig9Row, Table1Data,
 };
 pub use report::{write_csv, Table};
+pub use supervisor::{
+    run_supervised, run_supervised_strict, RecoveryEvent, RecoveryReport, SupervisedDevice,
+    SupervisedRun, SupervisorConfig, SUPERVISOR_TRACK,
+};

@@ -1,0 +1,647 @@
+//! Supervised execution: checkpoint/restart, retry with backoff, and
+//! graceful degradation to the Opteron reference (DESIGN.md §9).
+//!
+//! A supervised run splits the workload into segments of
+//! `checkpoint_interval` steps. Each segment starts from the last good
+//! [`SystemCheckpoint`]; a segment that fails — an injected fault exhausted
+//! its retry budget, or the watchdog saw the segment's simulated time blow
+//! past its budget — is rolled back and re-run with a fresh fault-schedule
+//! salt, paying an exponential backoff in *simulated* seconds. A segment
+//! that keeps failing triggers graceful degradation: the remaining steps run
+//! on the fault-free Opteron reference model and the run is marked
+//! `fell_back`. The recovered trajectory is bit-identical to a fault-free
+//! run on the same device (devices re-prime accelerations from positions at
+//! every `run_md_from` entry, so segment boundaries are invisible to the
+//! physics); only the simulated clock shows the recovery work.
+
+use crate::error::HarnessError;
+use cell_be::{CellBeDevice, CellRunConfig};
+use gpu::GpuMdSimulation;
+use md_core::checkpoint::SystemCheckpoint;
+use md_core::init;
+use md_core::observables::EnergyReport;
+use md_core::params::SimConfig;
+use md_core::system::ParticleSystem;
+use mdea_trace::{TraceTrack, Tracer};
+use mta::{MtaMdSimulation, ThreadingMode};
+use opteron::OpteronCpu;
+use sim_fault::FaultStats;
+
+/// The trace track supervisor events are emitted on.
+pub const SUPERVISOR_TRACK: TraceTrack = TraceTrack(200);
+
+/// Retry/checkpoint/fallback policy. All times are simulated seconds.
+#[derive(Clone, Copy, Debug)]
+pub struct SupervisorConfig {
+    /// Attempts per segment before degrading to the reference device.
+    pub max_attempts: u32,
+    /// Steps per segment (checkpoint cadence). Clamped to at least 1.
+    pub checkpoint_interval: usize,
+    /// First retry waits this long; each further retry doubles it.
+    pub backoff_base_s: f64,
+    /// A segment whose simulated time exceeds `watchdog_s_per_step × steps`
+    /// is treated as hung and rolled back.
+    pub watchdog_s_per_step: f64,
+    /// Relative total-energy drift vs the untimed f64 reference that is
+    /// tolerated before the whole run is redone on the reference device.
+    /// Loose enough for the f32 devices' genuine precision gap.
+    pub energy_drift_tol: f64,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        Self {
+            max_attempts: 3,
+            checkpoint_interval: 2,
+            backoff_base_s: 1e-4,
+            watchdog_s_per_step: 10.0,
+            energy_drift_tol: 1e-2,
+        }
+    }
+}
+
+/// Why the supervisor abandoned a segment attempt or the whole device.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RecoveryEvent {
+    /// State captured after a successfully completed segment.
+    Checkpoint { step: u64 },
+    /// A segment attempt failed and was rolled back to the checkpoint.
+    Restore {
+        step: u64,
+        attempt: u32,
+        cause: String,
+    },
+    /// The watchdog cut a segment whose simulated time exceeded its budget.
+    WatchdogTimeout { step: u64, attempt: u32 },
+    /// Remaining steps were handed to the fault-free Opteron reference.
+    Fallback { step: u64, reason: String },
+}
+
+impl RecoveryEvent {
+    fn label(&self) -> String {
+        match self {
+            RecoveryEvent::Checkpoint { step } => format!("supervisor: checkpoint @ step {step}"),
+            RecoveryEvent::Restore {
+                step,
+                attempt,
+                cause,
+            } => format!("supervisor: restore to step {step} (attempt {attempt}: {cause})"),
+            RecoveryEvent::WatchdogTimeout { step, attempt } => {
+                format!("supervisor: watchdog timeout in segment @ step {step} (attempt {attempt})")
+            }
+            RecoveryEvent::Fallback { step, reason } => {
+                format!("supervisor: fallback to Opteron reference @ step {step} ({reason})")
+            }
+        }
+    }
+}
+
+/// What happened during a supervised run, beyond the physics.
+#[derive(Clone, Debug, Default)]
+pub struct RecoveryReport {
+    /// Segment attempts, including first tries.
+    pub attempts: u64,
+    /// Checkpoints captured (one per completed segment, plus the initial).
+    pub checkpoints: u64,
+    /// Rollbacks to a checkpoint after a failed attempt.
+    pub restores: u64,
+    /// Watchdog cuts (a subset of the restores' causes).
+    pub watchdog_timeouts: u64,
+    /// Whether the run finished on the Opteron reference instead.
+    pub fell_back: bool,
+    /// Merged per-device fault accounting across all attempts (zero without
+    /// the `fault-inject` feature).
+    pub faults: FaultStats,
+    /// Ordered log of everything the supervisor did.
+    pub events: Vec<RecoveryEvent>,
+}
+
+/// Result of a supervised run: final physics plus the recovery story.
+#[derive(Clone, Debug)]
+pub struct SupervisedRun {
+    /// Simulated seconds including retries, backoff, and any fallback run.
+    pub sim_seconds: f64,
+    /// Final state of the trajectory (from the last completed segment).
+    pub checkpoint: SystemCheckpoint,
+    pub energies: EnergyReport,
+    pub report: RecoveryReport,
+}
+
+/// A device the supervisor can drive segment by segment.
+pub enum SupervisedDevice {
+    Cell {
+        device: CellBeDevice,
+        run: CellRunConfig,
+    },
+    Gpu(GpuMdSimulation),
+    Mta {
+        sim: MtaMdSimulation,
+        mode: ThreadingMode,
+    },
+    Opteron(Box<OpteronCpu>),
+}
+
+/// One completed segment as the supervisor sees it.
+struct Segment {
+    after: SystemCheckpoint,
+    sim_seconds: f64,
+    energies: EnergyReport,
+    faults: FaultStats,
+}
+
+impl SupervisedDevice {
+    pub fn cell(device: CellBeDevice, run: CellRunConfig) -> Self {
+        SupervisedDevice::Cell { device, run }
+    }
+
+    pub fn opteron(cpu: OpteronCpu) -> Self {
+        SupervisedDevice::Opteron(Box::new(cpu))
+    }
+
+    /// Re-arm the device's fault plan with a fresh salt so a retried segment
+    /// sees a different (but still deterministic) fault schedule.
+    #[cfg(feature = "fault-inject")]
+    fn resalt(&mut self, salt: u64) {
+        let resalted = |p: &Option<sim_fault::FaultPlan>| p.map(|p| p.with_salt(salt));
+        match self {
+            SupervisedDevice::Cell { device, .. } => {
+                device.fault_plan = resalted(&device.fault_plan);
+            }
+            SupervisedDevice::Gpu(g) => g.fault_plan = resalted(&g.fault_plan),
+            SupervisedDevice::Mta { sim, .. } => sim.fault_plan = resalted(&sim.fault_plan),
+            SupervisedDevice::Opteron(cpu) => cpu.fault_plan = resalted(&cpu.fault_plan),
+        }
+    }
+
+    #[cfg(not(feature = "fault-inject"))]
+    fn resalt(&mut self, _salt: u64) {}
+
+    /// Run one segment from `cp`. `Err` is the cause string for the restore
+    /// event; gpu/mta/opteron report exhaustion through their fault stats
+    /// rather than a typed error, so it is promoted to a failure here.
+    fn run_segment(
+        &mut self,
+        cp: &SystemCheckpoint,
+        sim: &SimConfig,
+        steps: usize,
+    ) -> Result<Segment, String> {
+        match self {
+            SupervisedDevice::Cell { device, run } => {
+                let mut sys: ParticleSystem<f32> = cp.restore();
+                let r = device
+                    .run_md_from(&mut sys, sim, steps, *run)
+                    .map_err(|e| e.to_string())?;
+                Ok(Segment {
+                    after: SystemCheckpoint::capture(&sys, cp.step + steps as u64),
+                    sim_seconds: r.sim_seconds,
+                    energies: r.energies,
+                    faults: run_faults(&r),
+                })
+            }
+            SupervisedDevice::Gpu(g) => {
+                let mut sys: ParticleSystem<f32> = cp.restore();
+                let r = g.run_md_from(&mut sys, sim, steps);
+                let faults = {
+                    #[cfg(feature = "fault-inject")]
+                    {
+                        r.faults
+                    }
+                    #[cfg(not(feature = "fault-inject"))]
+                    {
+                        FaultStats::default()
+                    }
+                };
+                reject_exhausted(&faults, "GPU")?;
+                Ok(Segment {
+                    after: SystemCheckpoint::capture(&sys, cp.step + steps as u64),
+                    sim_seconds: r.sim_seconds,
+                    energies: r.energies,
+                    faults,
+                })
+            }
+            SupervisedDevice::Mta { sim: m, mode } => {
+                let mut sys: ParticleSystem<f64> = cp.restore();
+                let r = m.run_md_from(&mut sys, sim, steps, *mode);
+                let faults = {
+                    #[cfg(feature = "fault-inject")]
+                    {
+                        r.faults
+                    }
+                    #[cfg(not(feature = "fault-inject"))]
+                    {
+                        FaultStats::default()
+                    }
+                };
+                reject_exhausted(&faults, "MTA")?;
+                Ok(Segment {
+                    after: SystemCheckpoint::capture(&sys, cp.step + steps as u64),
+                    sim_seconds: r.sim_seconds,
+                    energies: r.energies,
+                    faults,
+                })
+            }
+            SupervisedDevice::Opteron(cpu) => {
+                let mut sys: ParticleSystem<f64> = cp.restore();
+                let r = cpu.run_md_from(&mut sys, sim, steps);
+                let faults = {
+                    #[cfg(feature = "fault-inject")]
+                    {
+                        r.faults
+                    }
+                    #[cfg(not(feature = "fault-inject"))]
+                    {
+                        FaultStats::default()
+                    }
+                };
+                reject_exhausted(&faults, "Opteron")?;
+                Ok(Segment {
+                    after: SystemCheckpoint::capture(&sys, cp.step + steps as u64),
+                    sim_seconds: r.sim_seconds,
+                    energies: r.energies,
+                    faults,
+                })
+            }
+        }
+    }
+}
+
+#[cfg(feature = "fault-inject")]
+fn run_faults(r: &cell_be::CellRun) -> FaultStats {
+    r.faults
+}
+
+#[cfg(not(feature = "fault-inject"))]
+fn run_faults(_r: &cell_be::CellRun) -> FaultStats {
+    FaultStats::default()
+}
+
+/// Degradation-style devices absorb exhaustion into their timeline; the
+/// supervisor still treats it as a failed segment so the retry/rollback
+/// path is uniform across devices.
+fn reject_exhausted(faults: &FaultStats, device: &str) -> Result<(), String> {
+    if faults.exhausted > 0 {
+        Err(format!(
+            "{device} reported {} exhausted fault site(s)",
+            faults.exhausted
+        ))
+    } else {
+        Ok(())
+    }
+}
+
+/// Drive `device` through `steps` time steps of `sim` under the supervisor's
+/// retry/checkpoint/fallback policy. Never panics and always completes: the
+/// worst case degrades to the fault-free Opteron reference model.
+///
+/// Pass a [`Tracer`] to get every supervisor decision as an instant event on
+/// [`SUPERVISOR_TRACK`], stamped in accumulated simulated time.
+pub fn run_supervised(
+    device: &mut SupervisedDevice,
+    sim: &SimConfig,
+    steps: usize,
+    cfg: &SupervisorConfig,
+    mut tracer: Option<&mut Tracer>,
+) -> SupervisedRun {
+    let interval = cfg.checkpoint_interval.max(1);
+    let mut report = RecoveryReport::default();
+    let mut total_s = 0.0f64;
+    let sys: ParticleSystem<f64> = init::initialize(sim);
+    let mut cp = SystemCheckpoint::capture(&sys, 0);
+    let mut energies: Option<EnergyReport> = None;
+
+    if let Some(t) = tracer.as_deref_mut() {
+        t.name_track(SUPERVISOR_TRACK, "supervisor");
+    }
+    let emit = |report: &mut RecoveryReport,
+                tracer: &mut Option<&mut Tracer>,
+                at_s: f64,
+                ev: RecoveryEvent| {
+        if let Some(t) = tracer.as_deref_mut() {
+            t.instant(SUPERVISOR_TRACK, ev.label(), "supervisor", at_s);
+        }
+        report.events.push(ev);
+    };
+
+    emit(
+        &mut report,
+        &mut tracer,
+        total_s,
+        RecoveryEvent::Checkpoint { step: 0 },
+    );
+    report.checkpoints = 1;
+
+    let mut done = 0usize;
+    'segments: while done < steps {
+        let seg_steps = interval.min(steps - done);
+        let watchdog_budget = cfg.watchdog_s_per_step * seg_steps as f64;
+
+        for attempt in 0..cfg.max_attempts {
+            report.attempts += 1;
+            // Fresh, deterministic schedule per (segment, attempt): the salt
+            // folds both so replays of the same run see the same faults.
+            device.resalt((cp.step << 8) | u64::from(attempt));
+
+            let failure = match device.run_segment(&cp, sim, seg_steps) {
+                Ok(seg) if seg.sim_seconds > watchdog_budget => {
+                    // The watchdog fires at its budget; the segment's work
+                    // past that point is lost, not charged.
+                    total_s += watchdog_budget;
+                    report.watchdog_timeouts += 1;
+                    report.faults.merge(&seg.faults);
+                    emit(
+                        &mut report,
+                        &mut tracer,
+                        total_s,
+                        RecoveryEvent::WatchdogTimeout {
+                            step: cp.step,
+                            attempt,
+                        },
+                    );
+                    "watchdog timeout".to_string()
+                }
+                Ok(seg) => {
+                    total_s += seg.sim_seconds;
+                    report.faults.merge(&seg.faults);
+                    energies = Some(seg.energies);
+                    cp = seg.after;
+                    report.checkpoints += 1;
+                    emit(
+                        &mut report,
+                        &mut tracer,
+                        total_s,
+                        RecoveryEvent::Checkpoint { step: cp.step },
+                    );
+                    done += seg_steps;
+                    continue 'segments;
+                }
+                // A typed abort (Cell) or promoted exhaustion: the aborted
+                // attempt's work is abandoned, not charged — the backoff
+                // below is the recovery cost the timeline sees.
+                Err(cause) => cause,
+            };
+
+            let backoff = cfg.backoff_base_s * f64::from(1u32 << attempt.min(20));
+            total_s += backoff;
+            report.restores += 1;
+            emit(
+                &mut report,
+                &mut tracer,
+                total_s,
+                RecoveryEvent::Restore {
+                    step: cp.step,
+                    attempt,
+                    cause: failure,
+                },
+            );
+        }
+
+        // Retry budget exhausted: degrade to the fault-free reference for
+        // everything that remains.
+        emit(
+            &mut report,
+            &mut tracer,
+            total_s,
+            RecoveryEvent::Fallback {
+                step: cp.step,
+                reason: format!("segment failed {} attempts", cfg.max_attempts),
+            },
+        );
+        let (s, e, after) = reference_remainder(&cp, sim, steps - done);
+        total_s += s;
+        energies = Some(e);
+        cp = after;
+        report.fell_back = true;
+        break;
+    }
+
+    // Safety net: a recovered run whose energies drifted from the untimed
+    // f64 reference beyond tolerance is redone on the reference device. By
+    // construction (faults never touch data) this should never fire; it
+    // guards the invariant rather than assuming it.
+    if !report.fell_back && steps > 0 {
+        let reference = OpteronCpu::untimed_energies(sim, steps);
+        let drifted = energies.is_none_or(|e| {
+            (e.total - reference.total).abs() > cfg.energy_drift_tol * reference.total.abs()
+        });
+        if drifted {
+            emit(
+                &mut report,
+                &mut tracer,
+                total_s,
+                RecoveryEvent::Fallback {
+                    step: cp.step,
+                    reason: "energy drift beyond tolerance".to_string(),
+                },
+            );
+            let start: ParticleSystem<f64> = init::initialize(sim);
+            let (s, e, after) =
+                reference_remainder(&SystemCheckpoint::capture(&start, 0), sim, steps);
+            total_s += s;
+            energies = Some(e);
+            cp = after;
+            report.fell_back = true;
+        }
+    }
+
+    SupervisedRun {
+        sim_seconds: total_s,
+        energies: energies.unwrap_or_else(|| {
+            // steps == 0: nothing ran; measure the initial state directly.
+            let sys: ParticleSystem<f64> = cp.restore();
+            EnergyReport::measure(&sys, 0.0)
+        }),
+        checkpoint: cp,
+        report,
+    }
+}
+
+/// Run the remaining steps on the fault-free Opteron reference model.
+fn reference_remainder(
+    cp: &SystemCheckpoint,
+    sim: &SimConfig,
+    steps: usize,
+) -> (f64, EnergyReport, SystemCheckpoint) {
+    let mut cpu = OpteronCpu::paper_reference();
+    let mut sys: ParticleSystem<f64> = cp.restore();
+    let r = cpu.run_md_from(&mut sys, sim, steps);
+    let after = SystemCheckpoint::capture(&sys, cp.step + steps as u64);
+    (r.sim_seconds, r.energies, after)
+}
+
+/// Convenience: supervised run that must not have fallen back — used where
+/// the experiment's point is the device's own timing.
+pub fn run_supervised_strict(
+    device: &mut SupervisedDevice,
+    sim: &SimConfig,
+    steps: usize,
+    cfg: &SupervisorConfig,
+) -> Result<SupervisedRun, HarnessError> {
+    let run = run_supervised(device, sim, steps, cfg, None);
+    if run.report.fell_back {
+        return Err(HarnessError::InvalidInput(format!(
+            "supervised run degraded to the reference device after {} restores",
+            run.report.restores
+        )));
+    }
+    Ok(run)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> SimConfig {
+        SimConfig::reduced_lj(108)
+    }
+
+    #[test]
+    fn supervised_matches_unsupervised_without_faults() {
+        let sim = small();
+        let mut dev = SupervisedDevice::Mta {
+            sim: MtaMdSimulation::paper_mta2(),
+            mode: ThreadingMode::FullyMultithreaded,
+        };
+        let run = run_supervised(&mut dev, &sim, 6, &SupervisorConfig::default(), None);
+        let plain =
+            MtaMdSimulation::paper_mta2().run_md(&sim, 6, ThreadingMode::FullyMultithreaded);
+        assert_eq!(run.energies.total, plain.energies.total);
+        assert!(!run.report.fell_back);
+        assert_eq!(run.report.restores, 0);
+        // 6 steps at interval 2 → initial + 3 segment checkpoints.
+        assert_eq!(run.report.checkpoints, 4);
+        assert_eq!(run.checkpoint.step, 6);
+        // Segments are each timed cold, so totals match the unsegmented run
+        // only approximately; both must be positive and close.
+        assert!(run.sim_seconds > 0.0);
+    }
+
+    #[test]
+    fn supervised_cell_run_completes() {
+        let sim = small();
+        let mut dev = SupervisedDevice::cell(CellBeDevice::paper_blade(), CellRunConfig::best());
+        let run = run_supervised(&mut dev, &sim, 4, &SupervisorConfig::default(), None);
+        assert!(!run.report.fell_back);
+        assert!(run.energies.total.is_finite());
+        assert_eq!(run.checkpoint.step, 4);
+    }
+
+    #[test]
+    fn watchdog_degrades_to_reference() {
+        let sim = small();
+        let mut dev = SupervisedDevice::Gpu(GpuMdSimulation::geforce_7900gtx());
+        let cfg = SupervisorConfig {
+            // Impossible budget: every attempt "hangs", forcing fallback.
+            watchdog_s_per_step: 1e-30,
+            ..SupervisorConfig::default()
+        };
+        let mut tracer = Tracer::new();
+        let run = run_supervised(&mut dev, &sim, 4, &cfg, Some(&mut tracer));
+        assert!(run.report.fell_back);
+        assert_eq!(run.report.watchdog_timeouts, cfg.max_attempts as u64);
+        // The fallback still produces the reference physics.
+        let reference = OpteronCpu::untimed_energies(&sim, 4);
+        assert!((run.energies.total - reference.total).abs() < 1e-9 * reference.total.abs());
+        // Every decision is on the trace.
+        let json = tracer.to_chrome_json();
+        assert!(json.contains("watchdog timeout"));
+        assert!(json.contains("fallback to Opteron reference"));
+        assert!(run
+            .report
+            .events
+            .iter()
+            .any(|e| matches!(e, RecoveryEvent::Fallback { .. })));
+    }
+
+    #[test]
+    fn strict_mode_rejects_fallback() {
+        let sim = small();
+        let mut dev = SupervisedDevice::opteron(OpteronCpu::paper_reference());
+        let cfg = SupervisorConfig {
+            watchdog_s_per_step: 1e-30,
+            ..SupervisorConfig::default()
+        };
+        let err = run_supervised_strict(&mut dev, &sim, 2, &cfg);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn zero_steps_is_a_noop() {
+        let sim = small();
+        let mut dev = SupervisedDevice::opteron(OpteronCpu::paper_reference());
+        let run = run_supervised(&mut dev, &sim, 0, &SupervisorConfig::default(), None);
+        assert_eq!(run.sim_seconds, 0.0);
+        assert_eq!(run.checkpoint.step, 0);
+        assert!(run.energies.total.is_finite());
+    }
+
+    #[cfg(feature = "fault-inject")]
+    mod faulted {
+        use super::*;
+        use sim_fault::FaultPlan;
+
+        #[test]
+        fn recovery_reproduces_the_fault_free_trajectory() {
+            let sim = small();
+            let cfg = SupervisorConfig::default();
+
+            let mut clean_dev =
+                SupervisedDevice::cell(CellBeDevice::paper_blade(), CellRunConfig::best());
+            let clean = run_supervised(&mut clean_dev, &sim, 6, &cfg, None);
+
+            let device = CellBeDevice::paper_blade().with_fault_plan(FaultPlan::new(13, 0.05));
+            let mut faulty_dev = SupervisedDevice::cell(device, CellRunConfig::best());
+            let faulty = run_supervised(&mut faulty_dev, &sim, 6, &cfg, None);
+
+            assert!(!faulty.report.fell_back, "recovery should succeed");
+            assert!(faulty.report.faults.any(), "faults should have fired");
+            assert_eq!(
+                faulty.checkpoint.positions, clean.checkpoint.positions,
+                "recovered trajectory must be bit-identical"
+            );
+            assert_eq!(faulty.checkpoint.velocities, clean.checkpoint.velocities);
+            assert_eq!(faulty.energies.total, clean.energies.total);
+            assert!(
+                faulty.sim_seconds > clean.sim_seconds,
+                "recovery must cost simulated time: {} !> {}",
+                faulty.sim_seconds,
+                clean.sim_seconds
+            );
+        }
+
+        #[test]
+        fn hopeless_device_degrades_to_reference() {
+            let sim = small();
+            let device = CellBeDevice::paper_blade().with_fault_plan(FaultPlan::new(0, 1.0));
+            let mut dev = SupervisedDevice::cell(device, CellRunConfig::best());
+            let mut tracer = Tracer::new();
+            let run = run_supervised(
+                &mut dev,
+                &sim,
+                4,
+                &SupervisorConfig::default(),
+                Some(&mut tracer),
+            );
+            assert!(run.report.fell_back);
+            let reference = OpteronCpu::untimed_energies(&sim, 4);
+            assert!((run.energies.total - reference.total).abs() < 1e-9 * reference.total.abs());
+            assert!(tracer.to_chrome_json().contains("restore to step"));
+        }
+
+        #[test]
+        fn supervised_runs_are_deterministic() {
+            let sim = small();
+            let cfg = SupervisorConfig::default();
+            let run = || {
+                let device = CellBeDevice::paper_blade().with_fault_plan(FaultPlan::new(99, 0.08));
+                let mut dev = SupervisedDevice::cell(device, CellRunConfig::best());
+                run_supervised(&mut dev, &sim, 6, &cfg, None)
+            };
+            let a = run();
+            let b = run();
+            assert_eq!(a.sim_seconds, b.sim_seconds);
+            assert_eq!(a.report.restores, b.report.restores);
+            assert_eq!(a.report.faults.injected, b.report.faults.injected);
+            assert_eq!(a.checkpoint.positions, b.checkpoint.positions);
+        }
+    }
+}

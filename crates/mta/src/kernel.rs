@@ -55,17 +55,27 @@ pub struct MtaRun {
     /// Total instructions issued — Figure 9's "floating-point computation
     /// requirements" proxy (the MTA's runtime is proportional to this).
     pub instructions: f64,
+    /// Injected-fault ledger for this run (zero when no plan is armed).
+    /// `faults.exhausted > 0` means the modeled degraded path was taken;
+    /// the harness supervisor treats that as a failed segment.
+    #[cfg(feature = "fault-inject")]
+    pub faults: sim_fault::FaultStats,
 }
 
 /// MD on the simulated MTA.
 pub struct MtaMdSimulation {
     pub processor: MtaProcessor,
+    /// Armed fault schedule; `None` runs fault-free (see DESIGN.md §9).
+    #[cfg(feature = "fault-inject")]
+    pub fault_plan: Option<sim_fault::FaultPlan>,
 }
 
 impl MtaMdSimulation {
     pub fn new(config: MtaConfig) -> Self {
         Self {
             processor: MtaProcessor::new(config),
+            #[cfg(feature = "fault-inject")]
+            fault_plan: None,
         }
     }
 
@@ -73,11 +83,43 @@ impl MtaMdSimulation {
         Self::new(MtaConfig::paper_mta2())
     }
 
+    /// Arm a deterministic fault schedule for subsequent `run_md*` calls.
+    #[cfg(feature = "fault-inject")]
+    #[must_use]
+    pub fn with_fault_plan(mut self, plan: sim_fault::FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
     /// Run `steps` time steps in the given threading mode. Physics is
     /// mode-independent (the modes differ only in how loops are scheduled);
     /// runtimes differ enormously.
     pub fn run_md(&self, sim: &SimConfig, steps: usize, mode: ThreadingMode) -> MtaRun {
         let mut sys: ParticleSystem<f64> = init::initialize(sim);
+        self.run_md_impl(&mut sys, sim, steps, mode)
+    }
+
+    /// Like [`Self::run_md`] but continuing from caller-owned state instead
+    /// of a fresh lattice — the supervisor's checkpoint/restart entry point.
+    /// Each segment re-primes accelerations from the incoming positions, so
+    /// a segmented run reproduces the unsegmented trajectory bit for bit.
+    pub fn run_md_from(
+        &self,
+        sys: &mut ParticleSystem<f64>,
+        sim: &SimConfig,
+        steps: usize,
+        mode: ThreadingMode,
+    ) -> MtaRun {
+        self.run_md_impl(sys, sim, steps, mode)
+    }
+
+    fn run_md_impl(
+        &self,
+        sys: &mut ParticleSystem<f64>,
+        sim: &SimConfig,
+        steps: usize,
+        mode: ThreadingMode,
+    ) -> MtaRun {
         let n = sys.n();
         let vv = VelocityVerlet::new(sim.dt);
         let params = sim.lj_params::<f64>();
@@ -98,6 +140,12 @@ impl MtaMdSimulation {
         // uses full/empty atomic adds from every stream).
         let mut tagged = FullEmptyMemory::new_full(1, 0.0);
 
+        // One fault session per run. The physics pass below is computed on
+        // pristine data regardless of the schedule; injected failures only
+        // charge the cost of re-issued work.
+        #[cfg(feature = "fault-inject")]
+        let mut fault = self.fault_plan.map(sim_fault::FaultSession::new);
+
         let mut pe = 0.0f64;
         for eval in 0..=steps {
             if eval > 0 {
@@ -105,7 +153,7 @@ impl MtaMdSimulation {
                 record(l.name, analyze_loop(&l), &mut decisions);
                 cycles += self.processor.loop_cycles(&l);
                 instructions += l.total_instructions();
-                vv.kick_drift(&mut sys);
+                vv.kick_drift(sys);
             }
 
             // Step 2: forces. Compute physics and the exact interaction count
@@ -154,15 +202,49 @@ impl MtaMdSimulation {
                 pragma_no_dependence: mode == ThreadingMode::FullyMultithreaded,
             };
             record(step2.name, analyze_loop(&step2), &mut decisions);
-            cycles += self.processor.loop_cycles(&step2);
+            let step2_cycles = self.processor.loop_cycles(&step2);
+            cycles += step2_cycles;
             instructions += step2.total_instructions();
+            #[cfg(feature = "fault-inject")]
+            {
+                let cfg = &self.processor.config;
+                // The runtime hands the loop fewer streams than requested:
+                // the starved share of the iteration space is re-issued,
+                // paying the loop startup again plus a quarter of the loop.
+                cycles += resolve_degradable(
+                    &mut fault,
+                    sim_fault::FaultSite::new(
+                        sim_fault::FaultKind::StreamStarvation,
+                        eval as u64,
+                        0,
+                        0,
+                    ),
+                    cfg.loop_startup_cycles + 0.25 * step2_cycles,
+                    cfg.clock_hz,
+                );
+                // Hot-spotting on the full/empty PE accumulator: every
+                // stream retries its synchronized add once.
+                cycles += resolve_degradable(
+                    &mut fault,
+                    sim_fault::FaultSite::new(
+                        sim_fault::FaultKind::HotSpotRetry,
+                        eval as u64,
+                        0,
+                        1,
+                    ),
+                    cfg.sync_instructions
+                        * cfg.stream_issue_interval
+                        * cfg.streams_per_processor as f64,
+                    cfg.clock_hz,
+                );
+            }
 
             if eval > 0 {
                 let l = self.integration_loop("step3-4-move-update", n);
                 record(l.name, analyze_loop(&l), &mut decisions);
                 cycles += self.processor.loop_cycles(&l);
                 instructions += l.total_instructions();
-                vv.kick(&mut sys);
+                vv.kick(sys);
 
                 // Step 5: kinetic/total energies (parallelized without code
                 // modification, per the paper).
@@ -183,10 +265,12 @@ impl MtaMdSimulation {
         MtaRun {
             sim_seconds: cycles / self.processor.config.clock_hz,
             cycles,
-            energies: EnergyReport::measure(&sys, pe),
+            energies: EnergyReport::measure(sys, pe),
             mode,
             decisions,
             instructions,
+            #[cfg(feature = "fault-inject")]
+            faults: fault.map_or_else(sim_fault::FaultStats::default, |f| f.stats()),
         }
     }
 
@@ -200,6 +284,33 @@ impl MtaMdSimulation {
             pragma_no_dependence: false,
         }
     }
+}
+
+/// Apply the armed fault schedule to one injection site, returning the extra
+/// cycles to charge. The MTA runner is infallible, so retry-budget
+/// exhaustion degrades instead of erroring: a modeled slow path (one
+/// conservative re-issue at 4x cost) is charged and
+/// `FaultStats::exhausted` is incremented — the harness supervisor treats a
+/// nonzero count as a failed segment.
+#[cfg(feature = "fault-inject")]
+fn resolve_degradable(
+    fault: &mut Option<sim_fault::FaultSession>,
+    site: sim_fault::FaultSite,
+    unit_cycles: f64,
+    clock_hz: f64,
+) -> f64 {
+    let Some(sess) = fault.as_mut() else {
+        return 0.0;
+    };
+    let out = sess.outcome(site);
+    let mut extra = unit_cycles * f64::from(out.failures);
+    if out.exhausted {
+        extra += 4.0 * unit_cycles;
+    }
+    if extra > 0.0 {
+        sess.charge(extra / clock_hz);
+    }
+    extra
 }
 
 #[cfg(test)]
@@ -314,5 +425,65 @@ mod tests {
         let b = m.run_md(&sim, 2, ThreadingMode::FullyMultithreaded);
         assert_eq!(a.sim_seconds, b.sim_seconds);
         assert_eq!(a.energies.total, b.energies.total);
+    }
+
+    #[test]
+    fn segmented_run_matches_unsegmented_run_bitwise() {
+        let sim = SimConfig::reduced_lj(108);
+        let m = MtaMdSimulation::paper_mta2();
+        let mode = ThreadingMode::FullyMultithreaded;
+        let mut whole: ParticleSystem<f64> = init::initialize(&sim);
+        m.run_md_from(&mut whole, &sim, 10, mode);
+        let mut segmented: ParticleSystem<f64> = init::initialize(&sim);
+        m.run_md_from(&mut segmented, &sim, 5, mode);
+        m.run_md_from(&mut segmented, &sim, 5, mode);
+        assert_eq!(whole.positions, segmented.positions);
+        assert_eq!(whole.velocities, segmented.velocities);
+    }
+
+    #[cfg(feature = "fault-inject")]
+    #[test]
+    fn injected_faults_leave_physics_untouched_and_slow_the_run() {
+        let sim = SimConfig::reduced_lj(108);
+        let mode = ThreadingMode::FullyMultithreaded;
+        let clean = MtaMdSimulation::paper_mta2().run_md(&sim, 5, mode);
+        let faulty = MtaMdSimulation::paper_mta2()
+            .with_fault_plan(sim_fault::FaultPlan::new(9, 0.4))
+            .run_md(&sim, 5, mode);
+        assert_eq!(clean.energies.total, faulty.energies.total);
+        assert_eq!(clean.instructions, faulty.instructions);
+        assert!(faulty.faults.any());
+        assert!(faulty.sim_seconds > clean.sim_seconds);
+        // The MTA charges every retry on the single-processor timeline, so
+        // the slowdown equals the charged recovery time.
+        assert!(
+            (faulty.sim_seconds - clean.sim_seconds - faulty.faults.extra_seconds).abs()
+                < 1e-9 * faulty.sim_seconds
+        );
+    }
+
+    #[cfg(feature = "fault-inject")]
+    #[test]
+    fn exhaustion_degrades_instead_of_failing() {
+        let sim = SimConfig::reduced_lj(108);
+        let run = MtaMdSimulation::paper_mta2()
+            .with_fault_plan(sim_fault::FaultPlan::new(0, 1.0))
+            .run_md(&sim, 1, ThreadingMode::FullyMultithreaded);
+        assert!(run.faults.exhausted > 0);
+        assert!(run.energies.total.is_finite());
+    }
+
+    #[cfg(feature = "fault-inject")]
+    #[test]
+    fn fault_schedule_is_reproducible_across_runs() {
+        let sim = SimConfig::reduced_lj(108);
+        let mk = || {
+            MtaMdSimulation::paper_mta2()
+                .with_fault_plan(sim_fault::FaultPlan::new(21, 0.3))
+                .run_md(&sim, 3, ThreadingMode::FullyMultithreaded)
+        };
+        let (a, b) = (mk(), mk());
+        assert_eq!(a.faults, b.faults);
+        assert_eq!(a.sim_seconds, b.sim_seconds);
     }
 }

@@ -35,6 +35,9 @@ pub struct OpteronRun {
     pub memory: HierarchyStats,
     /// Total floating-point operations charged.
     pub flops: f64,
+    /// Injected-fault accounting for this run (zero when no plan is armed).
+    #[cfg(feature = "fault-inject")]
+    pub faults: sim_fault::FaultStats,
 }
 
 /// The memory front-end: plain hierarchy or prefetcher-assisted.
@@ -74,6 +77,9 @@ pub struct OpteronCpu {
     /// Demand cycles charged (the prefetching frontend's inner hierarchy
     /// also counts background fills, so demand cycles are tracked here).
     demand_cycles: f64,
+    /// When armed, ECC-style reload faults fire per the plan's schedule.
+    #[cfg(feature = "fault-inject")]
+    pub fault_plan: Option<sim_fault::FaultPlan>,
 }
 
 impl OpteronCpu {
@@ -87,11 +93,21 @@ impl OpteronCpu {
             hierarchy,
             config,
             demand_cycles: 0.0,
+            #[cfg(feature = "fault-inject")]
+            fault_plan: None,
         }
     }
 
     pub fn paper_reference() -> Self {
         Self::new(OpteronConfig::paper_reference())
+    }
+
+    /// Arm deterministic fault injection for subsequent runs.
+    #[cfg(feature = "fault-inject")]
+    #[must_use]
+    pub fn with_fault_plan(mut self, plan: sim_fault::FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
     }
 
     #[inline]
@@ -103,9 +119,23 @@ impl OpteronCpu {
     /// memory traffic through the cache model. Physics is double precision,
     /// exactly as the paper's reference implementation.
     pub fn run_md(&mut self, sim: &SimConfig, steps: usize) -> OpteronRun {
+        let mut sys: ParticleSystem<f64> = init::initialize(sim);
+        self.run_md_from(&mut sys, sim, steps)
+    }
+
+    /// Run `steps` further time steps from an existing system state, leaving
+    /// the advanced state in `sys`. Accelerations are re-primed from the
+    /// positions at entry, so splitting a run into segments reproduces the
+    /// unsegmented trajectory bit for bit (the checkpoint/restart contract).
+    /// Each call is timed as its own cold-cache run.
+    pub fn run_md_from(
+        &mut self,
+        sys: &mut ParticleSystem<f64>,
+        sim: &SimConfig,
+        steps: usize,
+    ) -> OpteronRun {
         self.hierarchy.reset();
         self.demand_cycles = 0.0;
-        let mut sys: ParticleSystem<f64> = init::initialize(sim);
         let params = sim.lj_params::<f64>();
         let vv = VelocityVerlet::new(sim.dt);
 
@@ -119,18 +149,31 @@ impl OpteronCpu {
         let mut flops = 0.0f64;
         let mut loop_iters = 0.0f64;
 
+        #[cfg(feature = "fault-inject")]
+        let mut fault = self.fault_plan.map(sim_fault::FaultSession::new);
+        #[cfg(feature = "fault-inject")]
+        let mut fault_extra_cycles = 0.0f64;
+        // An ECC-corrected memory error forces a scrubbed cache line to be
+        // refetched from DRAM; the reload costs one DRAM round trip and
+        // touches nothing but the timeline.
+        #[cfg(feature = "fault-inject")]
+        let ecc_reload_cycles = self.config.memory.dram_cycles as f64;
+
         // Prime the accelerations (step-0 force evaluation), charged like any
         // other evaluation — the paper's total runtime includes everything.
-        let mut pe = self.traced_forces(
-            &mut sys,
-            &params,
-            &pos_r,
-            &acc_r,
-            &mut flops,
-            &mut loop_iters,
-        );
+        let mut pe = self.traced_forces(sys, &params, &pos_r, &acc_r, &mut flops, &mut loop_iters);
+        #[cfg(feature = "fault-inject")]
+        {
+            fault_extra_cycles += resolve_degradable(
+                &mut fault,
+                sim_fault::FaultSite::new(sim_fault::FaultKind::EccReload, 0, 0, 0),
+                ecc_reload_cycles,
+                self.config.clock_hz,
+            );
+        }
 
-        for _ in 0..steps {
+        // `_step` is only read by the fault-injection site below.
+        for _step in 0..steps {
             // Steps 1, 3, 4 of Figure 4: O(N) integration. One pass reads
             // acc + vel + pos and writes vel + pos.
             for i in 0..sys.n() {
@@ -139,17 +182,24 @@ impl OpteronCpu {
                 self.mem_access(pos_r.addr(i), AccessKind::Write);
             }
             flops += FLOPS_INTEGRATE * sys.n() as f64;
-            vv.kick_drift(&mut sys);
+            vv.kick_drift(sys);
 
             // Step 2: the traced O(N²) force evaluation.
-            pe = self.traced_forces(
-                &mut sys,
-                &params,
-                &pos_r,
-                &acc_r,
-                &mut flops,
-                &mut loop_iters,
-            );
+            pe = self.traced_forces(sys, &params, &pos_r, &acc_r, &mut flops, &mut loop_iters);
+            #[cfg(feature = "fault-inject")]
+            {
+                fault_extra_cycles += resolve_degradable(
+                    &mut fault,
+                    sim_fault::FaultSite::new(
+                        sim_fault::FaultKind::EccReload,
+                        _step as u64 + 1,
+                        0,
+                        0,
+                    ),
+                    ecc_reload_cycles,
+                    self.config.clock_hz,
+                );
+            }
 
             // Second half-kick + step 5 energy reduction.
             for i in 0..sys.n() {
@@ -157,7 +207,7 @@ impl OpteronCpu {
                 self.mem_access(vel_r.addr(i), AccessKind::Write);
             }
             flops += 6.0 * sys.n() as f64;
-            vv.kick(&mut sys);
+            vv.kick(sys);
         }
 
         let stats = self.hierarchy.stats();
@@ -165,15 +215,22 @@ impl OpteronCpu {
             flops * self.config.cycles_per_flop + loop_iters * self.config.loop_overhead_cycles;
         // Demand-path memory cycles only: with the prefetcher on, background
         // fills also pass through the hierarchy but cost the program nothing.
-        let memory_cycles = self.demand_cycles;
+        #[allow(unused_mut)]
+        let mut memory_cycles = self.demand_cycles;
+        #[cfg(feature = "fault-inject")]
+        {
+            memory_cycles += fault_extra_cycles;
+        }
         let total_cycles = flop_cycles + memory_cycles;
         OpteronRun {
             sim_seconds: total_cycles / self.config.clock_hz,
             flop_cycles,
             memory_cycles,
-            energies: EnergyReport::measure(&sys, pe),
+            energies: EnergyReport::measure(sys, pe),
             memory: stats,
             flops,
+            #[cfg(feature = "fault-inject")]
+            faults: fault.map_or_else(sim_fault::FaultStats::default, |f| f.stats()),
         }
     }
 
@@ -237,6 +294,32 @@ impl OpteronCpu {
         }
         EnergyReport::measure(&sys, pe)
     }
+}
+
+/// Resolve one fault site in the degradation style: retries cost one unit of
+/// recovery work each; an exhausted budget costs a 4× penalty (a full scrub
+/// pass) and is recorded in [`sim_fault::FaultStats::exhausted`] rather than
+/// failing the run — the supervisor decides what exhaustion means. Returns
+/// the extra cycles charged, which the caller folds into `memory_cycles`.
+#[cfg(feature = "fault-inject")]
+fn resolve_degradable(
+    fault: &mut Option<sim_fault::FaultSession>,
+    site: sim_fault::FaultSite,
+    unit_cycles: f64,
+    clock_hz: f64,
+) -> f64 {
+    let Some(sess) = fault.as_mut() else {
+        return 0.0;
+    };
+    let out = sess.outcome(site);
+    let mut extra = unit_cycles * f64::from(out.failures);
+    if out.exhausted {
+        extra += 4.0 * unit_cycles;
+    }
+    if extra > 0.0 {
+        sess.charge(extra / clock_hz);
+    }
+    extra
 }
 
 #[cfg(test)]
@@ -336,5 +419,77 @@ mod tests {
         let total = run.sim_seconds * 2.2e9;
         assert!((total - (run.flop_cycles + run.memory_cycles)).abs() < 1.0);
         assert!(run.flops > 0.0);
+    }
+
+    #[test]
+    fn segmented_run_matches_unsegmented_run_bitwise() {
+        let cfg = SimConfig::reduced_lj(108);
+
+        let mut whole_sys: ParticleSystem<f64> = init::initialize(&cfg);
+        OpteronCpu::paper_reference().run_md_from(&mut whole_sys, &cfg, 10);
+
+        let mut seg_sys: ParticleSystem<f64> = init::initialize(&cfg);
+        let mut cpu = OpteronCpu::paper_reference();
+        cpu.run_md_from(&mut seg_sys, &cfg, 5);
+        cpu.run_md_from(&mut seg_sys, &cfg, 5);
+
+        assert_eq!(seg_sys.positions, whole_sys.positions);
+        assert_eq!(seg_sys.velocities, whole_sys.velocities);
+        assert_eq!(seg_sys.accelerations, whole_sys.accelerations);
+    }
+
+    #[cfg(feature = "fault-inject")]
+    mod faulted {
+        use super::*;
+
+        #[test]
+        fn injected_faults_leave_physics_untouched_and_slow_the_run() {
+            let cfg = SimConfig::reduced_lj(108);
+            let clean = OpteronCpu::paper_reference().run_md(&cfg, 6);
+            let faulty = OpteronCpu::paper_reference()
+                .with_fault_plan(sim_fault::FaultPlan::new(7, 0.4))
+                .run_md(&cfg, 6);
+
+            assert_eq!(clean.energies.total, faulty.energies.total);
+            assert_eq!(clean.energies.kinetic, faulty.energies.kinetic);
+            assert_eq!(clean.flops, faulty.flops);
+            assert!(faulty.faults.any(), "rate 0.4 over 7 evals should fire");
+            assert!(faulty.sim_seconds > clean.sim_seconds);
+            // Serial timeline: the slowdown is exactly the charged recovery.
+            let slowdown = faulty.sim_seconds - clean.sim_seconds;
+            assert!(
+                (slowdown - faulty.faults.extra_seconds).abs()
+                    <= 1e-9 * faulty.faults.extra_seconds,
+                "slowdown {slowdown:.3e} vs charged {:.3e}",
+                faulty.faults.extra_seconds
+            );
+        }
+
+        #[test]
+        fn exhaustion_degrades_instead_of_failing() {
+            let cfg = SimConfig::reduced_lj(108);
+            let run = OpteronCpu::paper_reference()
+                .with_fault_plan(sim_fault::FaultPlan::new(3, 1.0))
+                .run_md(&cfg, 3);
+            assert!(run.faults.exhausted > 0, "rate 1.0 must exhaust retries");
+            assert!(run.energies.total.is_finite());
+            assert!(run.sim_seconds > 0.0);
+        }
+
+        #[test]
+        fn fault_schedule_is_reproducible_across_runs() {
+            let cfg = SimConfig::reduced_lj(108);
+            let run = || {
+                OpteronCpu::paper_reference()
+                    .with_fault_plan(sim_fault::FaultPlan::new(42, 0.3))
+                    .run_md(&cfg, 5)
+            };
+            let a = run();
+            let b = run();
+            assert_eq!(a.faults.injected, b.faults.injected);
+            assert_eq!(a.faults.retries, b.faults.retries);
+            assert_eq!(a.faults.extra_seconds, b.faults.extra_seconds);
+            assert_eq!(a.sim_seconds, b.sim_seconds);
+        }
     }
 }

@@ -1,0 +1,74 @@
+//! Simulated-time ledger for fault and recovery costs.
+
+/// Accumulates the extra *simulated* seconds a run spends on injected faults
+/// and their recovery. This is the only clock fault handling is allowed to
+/// read or write: host time (`std::time`) is banned from the device crates
+/// and from this crate by sim-vet's determinism rule.
+///
+/// Devices convert their native cycle counts to seconds with their own
+/// clock rate before charging, so the ledger composes across heterogeneous
+/// devices.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct FaultClock {
+    elapsed_s: f64,
+}
+
+impl FaultClock {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Charge `seconds` of simulated recovery time. Negative or non-finite
+    /// charges are rejected — a fault can only ever slow the simulated run
+    /// down.
+    pub fn advance(&mut self, seconds: f64) {
+        if seconds.is_finite() && seconds > 0.0 {
+            self.elapsed_s += seconds;
+        }
+    }
+
+    /// Charge a cycle count at a given device clock rate.
+    pub fn advance_cycles(&mut self, cycles: u64, clock_hz: f64) {
+        if clock_hz > 0.0 {
+            // Cycle counts fit f64 exactly for any realistic budget here.
+            self.advance(cycles as f64 / clock_hz);
+        }
+    }
+
+    /// Total simulated seconds charged so far.
+    pub fn now(&self) -> f64 {
+        self.elapsed_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advances_accumulate() {
+        let mut clock = FaultClock::new();
+        clock.advance(1.5e-6);
+        clock.advance(0.5e-6);
+        assert!((clock.now() - 2.0e-6).abs() < 1e-18);
+    }
+
+    #[test]
+    fn rejects_nonpositive_and_nonfinite() {
+        let mut clock = FaultClock::new();
+        clock.advance(-1.0);
+        clock.advance(0.0);
+        clock.advance(f64::NAN);
+        clock.advance(f64::INFINITY);
+        assert_eq!(clock.now(), 0.0);
+    }
+
+    #[test]
+    fn cycles_convert_at_device_clock() {
+        let mut clock = FaultClock::new();
+        clock.advance_cycles(3_200, 3.2e9); // 3200 Cell cycles @ 3.2 GHz
+        assert!((clock.now() - 1.0e-6).abs() < 1e-15);
+        clock.advance_cycles(100, 0.0); // degenerate clock: no charge
+        assert!((clock.now() - 1.0e-6).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,303 @@
+//! Seeded fault plans: which sites fault, decided deterministically.
+
+use rand::RngCore;
+
+/// The failure classes the device simulators model. Each maps to a concrete
+/// 2006-hardware hazard reported by the contemporary porting literature.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// Cell: an SPE DMA command fails and must be re-issued.
+    DmaTransfer,
+    /// Cell: an MFC tag-group wait spins past its timeout threshold.
+    TagWaitTimeout,
+    /// Cell: a PPE→SPE mailbox message is dropped and must be resent.
+    MailboxDrop,
+    /// Cell: `spe_create_thread` fails and the launch is repeated.
+    SpeLaunch,
+    /// GPU: a PCIe readback arrives corrupted (caught by checksum).
+    ReadbackCorruption,
+    /// GPU: a shader pass produces NaN lanes and is re-dispatched.
+    ShaderNan,
+    /// GPU: a host→GPU transfer times out and is re-sent.
+    TransferTimeout,
+    /// MTA: the runtime hands a loop fewer streams than requested and part
+    /// of the iteration space is re-issued.
+    StreamStarvation,
+    /// MTA: hot-spotting on a full/empty word forces synchronization
+    /// retries.
+    HotSpotRetry,
+    /// Opteron: an ECC corrected error forces a cache-line reload.
+    EccReload,
+}
+
+impl FaultKind {
+    pub const ALL: [FaultKind; 10] = [
+        FaultKind::DmaTransfer,
+        FaultKind::TagWaitTimeout,
+        FaultKind::MailboxDrop,
+        FaultKind::SpeLaunch,
+        FaultKind::ReadbackCorruption,
+        FaultKind::ShaderNan,
+        FaultKind::TransferTimeout,
+        FaultKind::StreamStarvation,
+        FaultKind::HotSpotRetry,
+        FaultKind::EccReload,
+    ];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultKind::DmaTransfer => "dma-transfer",
+            FaultKind::TagWaitTimeout => "tag-wait-timeout",
+            FaultKind::MailboxDrop => "mailbox-drop",
+            FaultKind::SpeLaunch => "spe-launch",
+            FaultKind::ReadbackCorruption => "readback-corruption",
+            FaultKind::ShaderNan => "shader-nan",
+            FaultKind::TransferTimeout => "transfer-timeout",
+            FaultKind::StreamStarvation => "stream-starvation",
+            FaultKind::HotSpotRetry => "hot-spot-retry",
+            FaultKind::EccReload => "ecc-reload",
+        }
+    }
+
+    /// Stable discriminant mixed into the per-site seed.
+    fn tag(self) -> u64 {
+        match self {
+            FaultKind::DmaTransfer => 1,
+            FaultKind::TagWaitTimeout => 2,
+            FaultKind::MailboxDrop => 3,
+            FaultKind::SpeLaunch => 4,
+            FaultKind::ReadbackCorruption => 5,
+            FaultKind::ShaderNan => 6,
+            FaultKind::TransferTimeout => 7,
+            FaultKind::StreamStarvation => 8,
+            FaultKind::HotSpotRetry => 9,
+            FaultKind::EccReload => 10,
+        }
+    }
+}
+
+impl std::fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One potential injection point in a simulated run, identified by what it
+/// is and where/when it happens. Sites are value types so the fault decision
+/// can be a pure function of the site — no registration step, no ordering
+/// dependence.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct FaultSite {
+    pub kind: FaultKind,
+    /// Force-evaluation index (0 = the priming evaluation).
+    pub eval: u64,
+    /// Execution unit: SPE id, GPU engine, MTA processor, core...
+    pub unit: u32,
+    /// Disambiguates several same-kind sites within one (eval, unit) —
+    /// e.g. the get vs the put half of a DMA round trip.
+    pub slot: u32,
+}
+
+impl FaultSite {
+    pub fn new(kind: FaultKind, eval: u64, unit: u32, slot: u32) -> Self {
+        Self {
+            kind,
+            eval,
+            unit,
+            slot,
+        }
+    }
+}
+
+impl std::fmt::Display for FaultSite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} (eval {}, unit {}, slot {})",
+            self.kind, self.eval, self.unit, self.slot
+        )
+    }
+}
+
+/// SplitMix64 over the `rand::RngCore` trait — the same generator family the
+/// workload initializer uses, kept private here so the plan owns its stream.
+struct PlanRng {
+    state: u64,
+}
+
+impl RngCore for PlanRng {
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let v = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&v[..chunk.len()]);
+        }
+    }
+
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+/// A seeded fault schedule. `faults_at` is a pure function of
+/// `(seed, salt, site, retry)`: the site's fields are folded into the seed
+/// and one draw from the resulting generator is compared against the rate.
+#[derive(Clone, Copy, Debug)]
+pub struct FaultPlan {
+    seed: u64,
+    /// Supervisor attempt salt: a retried *run* must see a fresh schedule,
+    /// otherwise a deterministic plan reproduces the same exhaustion forever.
+    salt: u64,
+    /// Probability in [0, 1] that any given (site, retry) draw faults.
+    pub rate: f64,
+}
+
+impl FaultPlan {
+    pub fn new(seed: u64, rate: f64) -> Self {
+        Self {
+            seed,
+            salt: 0,
+            rate: rate.clamp(0.0, 1.0),
+        }
+    }
+
+    /// A plan that never fires (rate 0).
+    pub fn disabled() -> Self {
+        Self::new(0, 0.0)
+    }
+
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The same schedule family under a different salt — used by the
+    /// supervisor so attempt N+1 does not replay attempt N's faults.
+    #[must_use]
+    pub fn with_salt(mut self, salt: u64) -> Self {
+        self.salt = salt;
+        self
+    }
+
+    /// Does `site` fault on its `retry`-th consecutive attempt? Pure and
+    /// order-independent: callers may query sites in any order, any number
+    /// of times, and get the same schedule.
+    pub fn faults_at(&self, site: FaultSite, retry: u32) -> bool {
+        if self.rate <= 0.0 {
+            return false;
+        }
+        let mut key = self.seed ^ self.salt.rotate_left(17);
+        for word in [
+            site.kind.tag(),
+            site.eval,
+            u64::from(site.unit) << 32 | u64::from(site.slot),
+            u64::from(retry),
+        ] {
+            // Fold each field through one SplitMix64 step so nearby sites
+            // decorrelate.
+            key = PlanRng {
+                state: key ^ word.wrapping_mul(0xD6E8_FEB8_6659_FD93),
+            }
+            .next_u64();
+        }
+        let mut rng = PlanRng { state: key };
+        let draw = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        draw < self.rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let a = FaultPlan::new(42, 0.3);
+        let b = FaultPlan::new(42, 0.3);
+        for kind in FaultKind::ALL {
+            for eval in 0..20 {
+                for unit in 0..4 {
+                    let s = FaultSite::new(kind, eval, unit, 0);
+                    for retry in 0..3 {
+                        assert_eq!(a.faults_at(s, retry), b.faults_at(s, retry));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let a = FaultPlan::new(1, 0.5);
+        let b = FaultPlan::new(2, 0.5);
+        let diverged = (0..200).any(|eval| {
+            let s = FaultSite::new(FaultKind::DmaTransfer, eval, 0, 0);
+            a.faults_at(s, 0) != b.faults_at(s, 0)
+        });
+        assert!(diverged, "seeds 1 and 2 should give different schedules");
+    }
+
+    #[test]
+    fn salt_changes_the_schedule() {
+        let base = FaultPlan::new(7, 0.5);
+        let salted = base.with_salt(1);
+        let diverged = (0..200).any(|eval| {
+            let s = FaultSite::new(FaultKind::SpeLaunch, eval, 0, 0);
+            base.faults_at(s, 0) != salted.faults_at(s, 0)
+        });
+        assert!(diverged);
+    }
+
+    #[test]
+    fn rate_bounds() {
+        let never = FaultPlan::new(3, 0.0);
+        let always = FaultPlan::new(3, 1.0);
+        for eval in 0..50 {
+            let s = FaultSite::new(FaultKind::EccReload, eval, 0, 0);
+            assert!(!never.faults_at(s, 0));
+            assert!(always.faults_at(s, 0));
+        }
+        // Out-of-range rates are clamped.
+        assert_eq!(FaultPlan::new(0, 7.5).rate, 1.0);
+        assert_eq!(FaultPlan::new(0, -1.0).rate, 0.0);
+    }
+
+    #[test]
+    fn empirical_rate_tracks_requested_rate() {
+        let plan = FaultPlan::new(99, 0.25);
+        let mut hits = 0u32;
+        let total = 4000;
+        for eval in 0..total {
+            let s = FaultSite::new(FaultKind::ShaderNan, eval, 0, 0);
+            if plan.faults_at(s, 0) {
+                hits += 1;
+            }
+        }
+        let observed = f64::from(hits) / f64::from(total as u32);
+        assert!(
+            (observed - 0.25).abs() < 0.03,
+            "observed fault rate {observed} vs requested 0.25"
+        );
+    }
+
+    #[test]
+    fn labels_round_trip_through_display() {
+        for kind in FaultKind::ALL {
+            assert_eq!(kind.to_string(), kind.label());
+        }
+        let site = FaultSite::new(FaultKind::MailboxDrop, 3, 1, 0);
+        assert!(site.to_string().contains("mailbox-drop"));
+        assert!(site.to_string().contains("eval 3"));
+    }
+}

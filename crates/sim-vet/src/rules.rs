@@ -11,12 +11,15 @@ const F32_KERNEL_MODULES: &[&str] = &[
     "crates/gpu/src/shader.rs",
 ];
 
-/// Crates that model devices and charge cycle costs.
+/// Crates that model devices and charge cycle costs. `sim-fault` is held to
+/// the same bar: its schedules and clocks feed every device's accounting, so
+/// nondeterminism or wall-clock reads there poison all of them.
 const DEVICE_CRATE_PREFIXES: &[&str] = &[
     "crates/cell-be/",
     "crates/gpu/",
     "crates/mta/",
     "crates/opteron/",
+    "crates/sim-fault/",
 ];
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -80,6 +83,17 @@ impl Rule {
                         emit(
                             pos,
                             format!("`{word}` in a device crate — iteration order breaks run-to-run determinism of cycle accounting"),
+                        );
+                    }
+                }
+                // Wall-clock reads: simulated time is the only clock device
+                // code may consult. `std::time::` catches imports and
+                // qualified uses; the `::now(` forms catch pre-imported types.
+                for pat in ["std::time::", "Instant::now(", "SystemTime::now("] {
+                    for pos in find_pattern(stripped, pat) {
+                        emit(
+                            pos,
+                            format!("`{pat}` in a device crate — host wall-clock reads break deterministic simulated-time accounting"),
                         );
                     }
                 }
@@ -425,6 +439,11 @@ mod tests {
             "kernel module gets precision + the three device rules"
         );
         assert_eq!(applicable_rules("crates/cell-be/src/dma.rs").len(), 3);
+        assert_eq!(
+            applicable_rules("crates/sim-fault/src/plan.rs").len(),
+            3,
+            "the fault-injection crate is held to the device disciplines"
+        );
         assert!(applicable_rules("crates/md-core/src/lj.rs").is_empty());
         assert!(applicable_rules("crates/cell-be/tests/integration.rs").is_empty());
         assert!(applicable_rules("src/main.rs").is_empty());
@@ -459,6 +478,27 @@ mod tests {
         );
         assert_eq!(found.len(), 2);
         assert!(check(Rule::Determinism, path, "use std::collections::BTreeMap;\n").is_empty());
+    }
+
+    #[test]
+    fn determinism_flags_wall_clock_reads() {
+        let path = "crates/sim-fault/src/clock.rs";
+        for src in [
+            "use std::time::Instant;\n",
+            "let t0 = std::time::SystemTime::now();\n",
+            "let t0 = Instant::now();\n",
+            "let t0 = SystemTime::now();\n",
+        ] {
+            assert!(!check(Rule::Determinism, path, src).is_empty(), "{src}");
+        }
+        // The simulated clock itself and unrelated `now` methods are fine.
+        for src in [
+            "let t = clock.now();\n",
+            "let t = FaultClock::new();\n",
+            "fn now(&self) -> f64 { self.elapsed_s }\n",
+        ] {
+            assert!(check(Rule::Determinism, path, src).is_empty(), "{src}");
+        }
     }
 
     #[test]

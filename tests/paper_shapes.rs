@@ -7,7 +7,7 @@ use harness::experiments;
 /// Table 1: Opteron vs Cell (2048 atoms, 10 steps).
 #[test]
 fn table1_cell_vs_opteron_ratios() {
-    let t = experiments::table1(2048, 10);
+    let t = experiments::table1(2048, 10).expect("paper workload fits the local store");
 
     // "Thanks to its effective use of SIMD intrinsics on the SPE, even a
     // single SPE just edges out the Opteron in total performance."
@@ -36,7 +36,7 @@ fn table1_cell_vs_opteron_ratios() {
 /// Figure 5: the SPE SIMD optimization ladder (2048 atoms, 1 SPE).
 #[test]
 fn fig5_simd_ladder_ratios() {
-    let rows = experiments::fig5(2048);
+    let rows = experiments::fig5(2048).expect("paper workload fits the local store");
     let v = |i: usize| rows[i].seconds;
 
     // Strictly decreasing runtimes along the ladder.
@@ -73,7 +73,7 @@ fn fig5_simd_ladder_ratios() {
 /// Figure 6: SPE thread-launch overhead (2048 atoms, 10 steps).
 #[test]
 fn fig6_launch_overhead_shapes() {
-    let cases = experiments::fig6(2048, 10);
+    let cases = experiments::fig6(2048, 10).expect("paper workload fits the local store");
     let find = |spes: usize, once: bool| {
         cases
             .iter()
@@ -163,7 +163,8 @@ fn fig8_mta_threading_gap_grows() {
 /// Figure 9: relative runtime growth, MTA vs Opteron.
 #[test]
 fn fig9_opteron_grows_faster_past_cache() {
-    let rows = experiments::fig9(&[256, 512, 1024, 2048, 4096], 10);
+    let rows =
+        experiments::fig9(&[256, 512, 1024, 2048, 4096], 10).expect("256-atom baseline present");
     // Both normalized to 1 at 256.
     assert_eq!(rows[0].mta_relative, 1.0);
     assert_eq!(rows[0].opteron_relative, 1.0);
