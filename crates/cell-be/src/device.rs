@@ -147,7 +147,25 @@ impl CellBeDevice {
         run: CellRunConfig,
     ) -> Result<CellRun, CellError> {
         let mut sys: ParticleSystem<f32> = init::initialize(sim);
-        self.run_md_impl(&mut sys, sim, steps, run, None)
+        self.run_md_impl(&mut sys, sim, steps, run, None, None)
+    }
+
+    /// [`run_md`] with performance counters: per-SPE DMA bytes and stall
+    /// cycles, mailbox round-trips, SIMD vs scalar flops, sampled once per
+    /// force evaluation. The monitor is a passive observer — this run is
+    /// bitwise-identical to [`run_md`]. Use a fresh monitor per run: counter
+    /// values are run-local totals.
+    ///
+    /// [`run_md`]: CellBeDevice::run_md
+    pub fn run_md_perf(
+        &self,
+        sim: &SimConfig,
+        steps: usize,
+        run: CellRunConfig,
+        perf: &mut sim_perf::PerfMonitor,
+    ) -> Result<CellRun, CellError> {
+        let mut sys: ParticleSystem<f32> = init::initialize(sim);
+        self.run_md_impl(&mut sys, sim, steps, run, None, Some(perf))
     }
 
     /// Like [`Self::run_md`] but continuing from caller-owned state instead
@@ -164,7 +182,22 @@ impl CellBeDevice {
         steps: usize,
         run: CellRunConfig,
     ) -> Result<CellRun, CellError> {
-        self.run_md_impl(sys, sim, steps, run, None)
+        self.run_md_impl(sys, sim, steps, run, None, None)
+    }
+
+    /// [`run_md_from`] with performance counters (see [`run_md_perf`]).
+    ///
+    /// [`run_md_from`]: CellBeDevice::run_md_from
+    /// [`run_md_perf`]: CellBeDevice::run_md_perf
+    pub fn run_md_from_perf(
+        &self,
+        sys: &mut ParticleSystem<f32>,
+        sim: &SimConfig,
+        steps: usize,
+        run: CellRunConfig,
+        perf: &mut sim_perf::PerfMonitor,
+    ) -> Result<CellRun, CellError> {
+        self.run_md_impl(sys, sim, steps, run, None, Some(perf))
     }
 
     /// Like [`Self::run_md`], additionally recording a timeline of the
@@ -183,7 +216,7 @@ impl CellBeDevice {
             tracer.name_track(mdea_trace::TraceTrack(1 + s as u32), format!("SPE {s}"));
         }
         let mut sys: ParticleSystem<f32> = init::initialize(sim);
-        self.run_md_impl(&mut sys, sim, steps, run, Some(tracer))
+        self.run_md_impl(&mut sys, sim, steps, run, Some(tracer), None)
     }
 
     fn run_md_impl(
@@ -193,6 +226,7 @@ impl CellBeDevice {
         steps: usize,
         run: CellRunConfig,
         mut tracer: Option<&mut mdea_trace::Tracer>,
+        mut perf: Option<&mut sim_perf::PerfMonitor>,
     ) -> Result<CellRun, CellError> {
         assert!(
             run.n_spes >= 1 && run.n_spes <= self.config.n_spes,
@@ -235,6 +269,10 @@ impl CellBeDevice {
         let mut breakdown = CostBreakdown::default();
         let mut stats_total = KernelStats::default();
         let mut launched = false;
+        let handles = perf
+            .as_deref_mut()
+            .map(|p| PerfHandles::register(p, run.n_spes));
+        let mut mailbox_round_trips = 0u64;
 
         // Simulated-time cursor for the (optional) execution timeline.
         let clk = self.config.clock_hz;
@@ -408,6 +446,7 @@ impl CellBeDevice {
                     hazard[s].note_mailbox_read(s, spe.inbox.is_empty());
                     let _go = spe.inbox.read();
                     spe.charge(self.config.mailbox_cycles);
+                    mailbox_round_trips += 1;
                 }
                 let (pos_r, acc_r) = regions[s];
                 let (lo, hi) = slices[s];
@@ -513,6 +552,7 @@ impl CellBeDevice {
                 #[cfg(feature = "hazard-check")]
                 hazard[s].note_mailbox_read(s, spe.outbox.is_empty());
                 let _ = spe.outbox.read();
+                mailbox_round_trips += 1;
                 let mbox = self.config.mailbox_cycles;
 
                 let spe_cycles = stats.cycles + mbox;
@@ -546,6 +586,12 @@ impl CellBeDevice {
                 stats_total.pairs_tested += stats.pairs_tested;
                 stats_total.interactions += stats.interactions;
                 pe_total += pe_slice;
+                if let (Some(p), Some(h)) = (perf.as_deref_mut(), handles.as_ref()) {
+                    p.add_u64(h.spe_dma_bytes[s], ((n + hi - lo) * 16) as u64);
+                    p.add(h.spe_dma_stall[s], dma_in + dma_out);
+                    p.add_u64(h.dma_bytes_in, (n * 16) as u64);
+                    p.add_u64(h.dma_bytes_out, ((hi - lo) * 16) as u64);
+                }
 
                 if run.policy == SpawnPolicy::RespawnEveryStep {
                     spe.stop_thread();
@@ -569,6 +615,19 @@ impl CellBeDevice {
                 }
                 t_now += dur;
                 vv.kick(sys);
+            }
+
+            if let (Some(p), Some(h)) = (perf.as_deref_mut(), handles.as_ref()) {
+                let flops = stats_total.pairs_tested as f64 * FLOPS_PER_PAIR
+                    + stats_total.interactions as f64 * FLOPS_PER_INTERACTION;
+                let simd = simd_fraction(run.variant) * flops;
+                p.record_total(h.simd_flops, simd);
+                p.record_total(h.scalar_flops, flops - simd);
+                p.record_total(h.pairs, stats_total.pairs_tested as f64);
+                p.record_total(h.interactions, stats_total.interactions as f64);
+                p.record_total(h.dma_stall_cycles, breakdown.dma);
+                p.record_total(h.mailbox_round_trips, mailbox_round_trips as f64);
+                p.sample_all(breakdown.total() / clk);
             }
         }
 
@@ -1061,6 +1120,63 @@ impl CellBeDevice {
     }
 }
 
+/// Flop estimate per examined pair (minimum image + distance + cutoff test)
+/// — for counter reporting only; simulated time comes from the cost model.
+const FLOPS_PER_PAIR: f64 = 14.0;
+/// Extra flops for an interacting pair (LJ energy/force + accumulate).
+const FLOPS_PER_INTERACTION: f64 = 20.0;
+
+/// Fraction of the kernel's flops issued through SIMD lanes at each Figure 5
+/// optimization stage (each SIMDized phase covers about a quarter of the
+/// per-pair arithmetic).
+fn simd_fraction(variant: SpeKernelVariant) -> f64 {
+    match variant {
+        SpeKernelVariant::Original | SpeKernelVariant::Copysign => 0.0,
+        SpeKernelVariant::SimdUnitCell => 0.25,
+        SpeKernelVariant::SimdDirection => 0.5,
+        SpeKernelVariant::SimdLength => 0.75,
+        SpeKernelVariant::SimdAcceleration => 1.0,
+    }
+}
+
+/// Era-appropriate Cell counters, registered once per instrumented run.
+struct PerfHandles {
+    /// Per-SPE DMA traffic (get + put), indexed by SPE id.
+    spe_dma_bytes: Vec<sim_perf::CounterHandle>,
+    /// Per-SPE cycles spent waiting on DMA completion.
+    spe_dma_stall: Vec<sim_perf::CounterHandle>,
+    dma_bytes_in: sim_perf::CounterHandle,
+    dma_bytes_out: sim_perf::CounterHandle,
+    /// Critical-path DMA cycles (max across concurrent SPEs per step).
+    dma_stall_cycles: sim_perf::CounterHandle,
+    mailbox_round_trips: sim_perf::CounterHandle,
+    simd_flops: sim_perf::CounterHandle,
+    scalar_flops: sim_perf::CounterHandle,
+    pairs: sim_perf::CounterHandle,
+    interactions: sim_perf::CounterHandle,
+}
+
+impl PerfHandles {
+    fn register(perf: &mut sim_perf::PerfMonitor, n_spes: usize) -> Self {
+        Self {
+            spe_dma_bytes: (0..n_spes)
+                .map(|s| perf.register(format!("cell.spe{s}.dma.bytes"), "bytes"))
+                .collect(),
+            spe_dma_stall: (0..n_spes)
+                .map(|s| perf.register(format!("cell.spe{s}.dma.stall_cycles"), "cycles"))
+                .collect(),
+            dma_bytes_in: perf.register("cell.dma.bytes_in", "bytes"),
+            dma_bytes_out: perf.register("cell.dma.bytes_out", "bytes"),
+            dma_stall_cycles: perf.register("cell.dma.stall_cycles", "cycles"),
+            mailbox_round_trips: perf.register("cell.mailbox.round_trips", "events"),
+            simd_flops: perf.register("cell.flops.simd", "flops"),
+            scalar_flops: perf.register("cell.flops.scalar", "flops"),
+            pairs: perf.register("cell.kernel.pairs_tested", "pairs"),
+            interactions: perf.register("cell.kernel.interactions", "pairs"),
+        }
+    }
+}
+
 /// Apply the armed fault schedule to one injection site: walk the plan's
 /// per-retry decisions, charge `unit_cycles` of simulated recovery time per
 /// failure, and return the total extra cycles — or the typed exhaustion
@@ -1323,6 +1439,65 @@ mod tests {
         let b = device.run_md(&sim, 3, CellRunConfig::best()).unwrap();
         assert_eq!(a.sim_seconds, b.sim_seconds);
         assert_eq!(a.energies.total, b.energies.total);
+    }
+
+    #[test]
+    fn perf_counters_are_free_and_populated() {
+        let sim = workload(256);
+        let device = CellBeDevice::paper_blade();
+        let plain = device.run_md(&sim, 3, CellRunConfig::best()).unwrap();
+        let mut perf = sim_perf::PerfMonitor::new();
+        let counted = device
+            .run_md_perf(&sim, 3, CellRunConfig::best(), &mut perf)
+            .unwrap();
+
+        // Observability is free: bitwise-identical outcome.
+        assert_eq!(plain.sim_seconds, counted.sim_seconds);
+        assert_eq!(plain.energies.total, counted.energies.total);
+
+        // 4 evaluations (1 priming + 3 steps), each SPE gets all 256
+        // positions in (256 quads) and puts its 32-atom slice back.
+        let spe0 = perf.find("cell.spe0.dma.bytes").expect("registered");
+        assert_eq!(spe0.value(), 4.0 * (256.0 + 32.0) * 16.0);
+        assert_eq!(spe0.samples().len(), 4);
+        let bytes_in = perf.find("cell.dma.bytes_in").expect("registered");
+        assert_eq!(bytes_in.value(), 4.0 * 8.0 * 256.0 * 16.0);
+        // Launch-once: 8 completion round-trips per eval + 8 "more data"
+        // signals on each of the 3 non-priming evals.
+        let mbox = perf.find("cell.mailbox.round_trips").expect("registered");
+        assert_eq!(mbox.value(), 4.0 * 8.0 + 3.0 * 8.0);
+        // Fully SIMDized variant: all kernel flops through SIMD lanes.
+        let simd = perf.find("cell.flops.simd").expect("registered");
+        let scalar = perf.find("cell.flops.scalar").expect("registered");
+        assert!(simd.value() > 0.0);
+        assert_eq!(scalar.value(), 0.0);
+        let pairs = perf.find("cell.kernel.pairs_tested").expect("registered");
+        assert_eq!(pairs.value(), counted.kernel_stats.pairs_tested as f64);
+        let stall = perf.find("cell.dma.stall_cycles").expect("registered");
+        assert_eq!(stall.value(), counted.breakdown.dma);
+    }
+
+    #[test]
+    fn scalar_variant_attributes_flops_to_scalar_pipe() {
+        let sim = workload(108);
+        let device = CellBeDevice::paper_blade();
+        let mut perf = sim_perf::PerfMonitor::new();
+        device
+            .run_md_perf(
+                &sim,
+                1,
+                CellRunConfig {
+                    n_spes: 2,
+                    policy: SpawnPolicy::LaunchOnce,
+                    variant: SpeKernelVariant::Original,
+                },
+                &mut perf,
+            )
+            .unwrap();
+        let simd = perf.find("cell.flops.simd").expect("registered");
+        let scalar = perf.find("cell.flops.scalar").expect("registered");
+        assert_eq!(simd.value(), 0.0);
+        assert!(scalar.value() > 0.0);
     }
 
     #[test]

@@ -41,7 +41,11 @@ impl GpuConfig {
             upload_bytes_per_sec: 3.0e9,
             readback_bytes_per_sec: 1.0e9,
             transfer_latency_s: 10e-6,
-            dispatch_overhead_s: 300e-6,
+            // Per-pass driver/sync cost (draw call + glFinish on 2006-era
+            // OpenGL GPGPU). Calibrated so the offload overhead, not the
+            // shader, dominates runs at N <= 512 atoms — the attribution the
+            // paper gives for the GPU losing to the CPU at small N.
+            dispatch_overhead_s: 500e-6,
             jit_startup_s: 0.2,
             cpu_linear_s_per_atom: 25e-9,
             max_input_textures: 16,

@@ -104,6 +104,29 @@ impl GpuMdSimulation {
         self.run_md_with(sim, steps, crate::reduction::ReductionStrategy::CpuReadback)
     }
 
+    /// [`run_md`] with performance counters: texture fetches, shader
+    /// instructions, PCIe bytes per direction, and readback stalls, sampled
+    /// once per evaluation. The monitor is a passive observer — this run is
+    /// bitwise-identical to [`run_md`]. Use a fresh monitor per run: counter
+    /// values are run-local totals.
+    ///
+    /// [`run_md`]: GpuMdSimulation::run_md
+    pub fn run_md_perf(
+        &self,
+        sim: &SimConfig,
+        steps: usize,
+        perf: &mut sim_perf::PerfMonitor,
+    ) -> GpuRun {
+        let mut sys: ParticleSystem<f32> = init::initialize(sim);
+        self.run_md_impl(
+            &mut sys,
+            sim,
+            steps,
+            crate::reduction::ReductionStrategy::CpuReadback,
+            Some(perf),
+        )
+    }
+
     /// Like [`Self::run_md`] but continuing from caller-owned state instead
     /// of a fresh lattice — the supervisor's checkpoint/restart entry point.
     /// Each segment re-primes accelerations from the incoming positions, so
@@ -119,6 +142,27 @@ impl GpuMdSimulation {
             sim,
             steps,
             crate::reduction::ReductionStrategy::CpuReadback,
+            None,
+        )
+    }
+
+    /// [`run_md_from`] with performance counters (see [`run_md_perf`]).
+    ///
+    /// [`run_md_from`]: GpuMdSimulation::run_md_from
+    /// [`run_md_perf`]: GpuMdSimulation::run_md_perf
+    pub fn run_md_from_perf(
+        &self,
+        sys: &mut ParticleSystem<f32>,
+        sim: &SimConfig,
+        steps: usize,
+        perf: &mut sim_perf::PerfMonitor,
+    ) -> GpuRun {
+        self.run_md_impl(
+            sys,
+            sim,
+            steps,
+            crate::reduction::ReductionStrategy::CpuReadback,
+            Some(perf),
         )
     }
 
@@ -132,7 +176,7 @@ impl GpuMdSimulation {
         strategy: crate::reduction::ReductionStrategy,
     ) -> GpuRun {
         let mut sys: ParticleSystem<f32> = init::initialize(sim);
-        self.run_md_impl(&mut sys, sim, steps, strategy)
+        self.run_md_impl(&mut sys, sim, steps, strategy, None)
     }
 
     fn run_md_impl(
@@ -141,6 +185,7 @@ impl GpuMdSimulation {
         sim: &SimConfig,
         steps: usize,
         strategy: crate::reduction::ReductionStrategy,
+        mut perf: Option<&mut sim_perf::PerfMonitor>,
     ) -> GpuRun {
         let n = sys.n();
         let vv = VelocityVerlet::new(sim.dt as f32);
@@ -158,6 +203,11 @@ impl GpuMdSimulation {
         let mut breakdown = GpuStepBreakdown::default();
         let mut total_ops = 0u64;
         let mut pe = 0.0f64;
+        let handles = perf.as_deref_mut().map(PerfHandles::register);
+        let mut total_fetches = 0u64;
+        let mut total_alu = 0u64;
+        let mut bytes_up = 0u64;
+        let mut bytes_down = 0u64;
 
         // One fault session per run; the functional transfers below always
         // deliver pristine data, so injected failures re-model only the cost
@@ -178,6 +228,7 @@ impl GpuMdSimulation {
                 Texture::from_texels(sys.positions.iter().map(|p| [p.x, p.y, p.z, 0.0]).collect());
             let upload = device.upload_seconds(&positions);
             breakdown.upload += upload;
+            bytes_up += positions.size_bytes() as u64;
             #[cfg(feature = "fault-inject")]
             {
                 // A timed-out host→GPU transfer costs the timeout window
@@ -198,6 +249,8 @@ impl GpuMdSimulation {
             breakdown.shader += result.shader_seconds;
             breakdown.dispatch_overhead += result.overhead_seconds;
             total_ops += result.ops.total();
+            total_fetches += result.ops.fetches;
+            total_alu += result.ops.alu;
             #[cfg(feature = "fault-inject")]
             {
                 // A NaN-poisoned shader pass is detected on the host (a scan
@@ -212,6 +265,7 @@ impl GpuMdSimulation {
 
             let readback = device.readback_seconds(&result.output);
             breakdown.readback += readback;
+            bytes_down += result.output.size_bytes() as u64;
             #[cfg(feature = "fault-inject")]
             {
                 // A corrupted PCIe readback is caught by a host-side
@@ -257,6 +311,18 @@ impl GpuMdSimulation {
                 vv.kick(sys);
                 breakdown.cpu += self.config.cpu_linear_s_per_atom * n as f64;
             }
+
+            if let (Some(p), Some(h)) = (perf.as_deref_mut(), handles) {
+                p.record_total(h.fetches, total_fetches as f64);
+                p.record_total(h.shader_instructions, total_alu as f64);
+                p.record_total(h.bytes_to_device, bytes_up as f64);
+                p.record_total(h.bytes_from_device, bytes_down as f64);
+                // The host blocks on every readback (the CPU-side reduction
+                // needs the texels), so readback seconds *are* stall time.
+                p.record_total(h.readback_stall_seconds, breakdown.readback);
+                p.record_total(h.dispatches, (eval + 1) as f64);
+                p.sample_all(breakdown.total());
+            }
         }
 
         GpuRun {
@@ -267,6 +333,31 @@ impl GpuMdSimulation {
             total_ops,
             #[cfg(feature = "fault-inject")]
             faults: fault.map_or_else(sim_fault::FaultStats::default, |f| f.stats()),
+        }
+    }
+}
+
+/// Registered handles for the GPU's counter set (texture fetches, shader
+/// instructions, PCIe bytes per direction, readback stalls, dispatches).
+#[derive(Clone, Copy)]
+struct PerfHandles {
+    fetches: sim_perf::CounterHandle,
+    shader_instructions: sim_perf::CounterHandle,
+    bytes_to_device: sim_perf::CounterHandle,
+    bytes_from_device: sim_perf::CounterHandle,
+    readback_stall_seconds: sim_perf::CounterHandle,
+    dispatches: sim_perf::CounterHandle,
+}
+
+impl PerfHandles {
+    fn register(p: &mut sim_perf::PerfMonitor) -> Self {
+        Self {
+            fetches: p.register("gpu.texture.fetches", "ops"),
+            shader_instructions: p.register("gpu.shader.instructions", "ops"),
+            bytes_to_device: p.register("gpu.pcie.bytes_to_device", "bytes"),
+            bytes_from_device: p.register("gpu.pcie.bytes_from_device", "bytes"),
+            readback_stall_seconds: p.register("gpu.readback.stall_seconds", "seconds"),
+            dispatches: p.register("gpu.dispatches", "events"),
         }
     }
 }
@@ -360,6 +451,48 @@ mod tests {
         assert_eq!(a.sim_seconds, b.sim_seconds);
         assert_eq!(a.energies.total, b.energies.total);
         assert_eq!(a.total_ops, b.total_ops);
+    }
+
+    #[test]
+    fn perf_counters_are_free_and_populated() {
+        let sim = SimConfig::reduced_lj(128);
+        let plain = GpuMdSimulation::geforce_7900gtx().run_md(&sim, 2);
+        let mut perf = sim_perf::PerfMonitor::new();
+        let counted = GpuMdSimulation::geforce_7900gtx().run_md_perf(&sim, 2, &mut perf);
+        assert_eq!(
+            plain.sim_seconds, counted.sim_seconds,
+            "observability is free"
+        );
+        assert_eq!(plain.energies.total, counted.energies.total);
+        assert_eq!(plain.total_ops, counted.total_ops);
+        let fetches = perf.find("gpu.texture.fetches").expect("registered");
+        let alu = perf.find("gpu.shader.instructions").expect("registered");
+        assert_eq!(
+            fetches.value() + alu.value(),
+            counted.total_ops as f64,
+            "fetch + alu partition the retired ops"
+        );
+        assert_eq!(fetches.samples().len(), 3, "prime eval + one per step");
+        // Both PCIe directions move one 16-byte texel per atom per eval.
+        let expect_bytes = (128 * 16 * 3) as f64;
+        assert_eq!(
+            perf.find("gpu.pcie.bytes_to_device")
+                .expect("registered")
+                .value(),
+            expect_bytes
+        );
+        assert_eq!(
+            perf.find("gpu.pcie.bytes_from_device")
+                .expect("registered")
+                .value(),
+            expect_bytes
+        );
+        assert_eq!(
+            perf.find("gpu.readback.stall_seconds")
+                .expect("registered")
+                .value(),
+            counted.breakdown.readback
+        );
     }
 
     #[test]

@@ -1,0 +1,28 @@
+//! Regenerates `BENCH_seed.json`: the simulated-seconds baseline for every
+//! paper figure/device at the paper's workload sizes. Run from the repo root
+//! after any intentional cost-model change and commit the result; CI and
+//! reviewers diff against it to catch unintended timing drift.
+
+use harness::{experiments, perf, HarnessError};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("bench_seed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), HarnessError> {
+    let json = perf::bench_seed_json(experiments::PAPER_STEPS)?;
+    std::fs::write("BENCH_seed.json", &json)?;
+    println!(
+        "wrote BENCH_seed.json ({} benchmark entries, {} steps each)",
+        json.matches("\"figure\"").count(),
+        experiments::PAPER_STEPS
+    );
+    Ok(())
+}

@@ -16,6 +16,7 @@
 
 pub mod error;
 pub mod experiments;
+pub mod perf;
 pub mod report;
 pub mod supervisor;
 
@@ -23,8 +24,12 @@ pub use error::HarnessError;
 pub use experiments::{
     fig5, fig6, fig7, fig8, fig9, table1, Fig5Row, Fig6Case, Fig7Row, Fig8Row, Fig9Row, Table1Data,
 };
+pub use perf::{
+    bench_seed_json, cell_metrics, gpu_metrics, mta_metrics, opteron_metrics, standard_metrics,
+    write_metrics_json, write_metrics_json_in, BENCH_SCHEMA_VERSION,
+};
 pub use report::{write_csv, Table};
 pub use supervisor::{
-    run_supervised, run_supervised_strict, RecoveryEvent, RecoveryReport, SupervisedDevice,
-    SupervisedRun, SupervisorConfig, SUPERVISOR_TRACK,
+    run_supervised, run_supervised_strict, RecoveryEvent, RecoveryReport, SegmentCounters,
+    SupervisedDevice, SupervisedRun, SupervisorConfig, SUPERVISOR_TRACK,
 };

@@ -26,6 +26,7 @@ use mdea_trace::{TraceTrack, Tracer};
 use mta::{MtaMdSimulation, ThreadingMode};
 use opteron::OpteronCpu;
 use sim_fault::FaultStats;
+use sim_perf::PerfMonitor;
 
 /// The trace track supervisor events are emitted on.
 pub const SUPERVISOR_TRACK: TraceTrack = TraceTrack(200);
@@ -96,6 +97,21 @@ impl RecoveryEvent {
     }
 }
 
+/// Performance-counter deltas for one *accepted* segment. Each segment
+/// runs with a fresh [`PerfMonitor`], so the values are per-segment deltas,
+/// not cumulative totals; failed attempts (rolled back) are not recorded.
+#[derive(Clone, Debug, Default)]
+pub struct SegmentCounters {
+    /// Step the segment started from (its base checkpoint).
+    pub start_step: u64,
+    /// Steps the segment advanced.
+    pub steps: usize,
+    /// Simulated seconds charged for the segment.
+    pub sim_seconds: f64,
+    /// Final `(name, value, unit)` of every counter the device registered.
+    pub counters: Vec<(String, f64, &'static str)>,
+}
+
 /// What happened during a supervised run, beyond the physics.
 #[derive(Clone, Debug, Default)]
 pub struct RecoveryReport {
@@ -114,6 +130,9 @@ pub struct RecoveryReport {
     pub faults: FaultStats,
     /// Ordered log of everything the supervisor did.
     pub events: Vec<RecoveryEvent>,
+    /// Counter deltas per accepted segment (device segments and, when the
+    /// run degrades, one final entry for the reference remainder).
+    pub segments: Vec<SegmentCounters>,
 }
 
 /// Result of a supervised run: final physics plus the recovery story.
@@ -147,6 +166,15 @@ struct Segment {
     sim_seconds: f64,
     energies: EnergyReport,
     faults: FaultStats,
+    counters: Vec<(String, f64, &'static str)>,
+}
+
+/// Snapshot a monitor's final values for a [`SegmentCounters`] record.
+fn snapshot_counters(perf: &PerfMonitor) -> Vec<(String, f64, &'static str)> {
+    perf.counters()
+        .iter()
+        .map(|c| (c.name.clone(), c.value(), c.unit))
+        .collect()
 }
 
 impl SupervisedDevice {
@@ -188,19 +216,22 @@ impl SupervisedDevice {
         match self {
             SupervisedDevice::Cell { device, run } => {
                 let mut sys: ParticleSystem<f32> = cp.restore();
+                let mut perf = PerfMonitor::new();
                 let r = device
-                    .run_md_from(&mut sys, sim, steps, *run)
+                    .run_md_from_perf(&mut sys, sim, steps, *run, &mut perf)
                     .map_err(|e| e.to_string())?;
                 Ok(Segment {
                     after: SystemCheckpoint::capture(&sys, cp.step + steps as u64),
                     sim_seconds: r.sim_seconds,
                     energies: r.energies,
                     faults: run_faults(&r),
+                    counters: snapshot_counters(&perf),
                 })
             }
             SupervisedDevice::Gpu(g) => {
                 let mut sys: ParticleSystem<f32> = cp.restore();
-                let r = g.run_md_from(&mut sys, sim, steps);
+                let mut perf = PerfMonitor::new();
+                let r = g.run_md_from_perf(&mut sys, sim, steps, &mut perf);
                 let faults = {
                     #[cfg(feature = "fault-inject")]
                     {
@@ -217,11 +248,13 @@ impl SupervisedDevice {
                     sim_seconds: r.sim_seconds,
                     energies: r.energies,
                     faults,
+                    counters: snapshot_counters(&perf),
                 })
             }
             SupervisedDevice::Mta { sim: m, mode } => {
                 let mut sys: ParticleSystem<f64> = cp.restore();
-                let r = m.run_md_from(&mut sys, sim, steps, *mode);
+                let mut perf = PerfMonitor::new();
+                let r = m.run_md_from_perf(&mut sys, sim, steps, *mode, &mut perf);
                 let faults = {
                     #[cfg(feature = "fault-inject")]
                     {
@@ -238,11 +271,13 @@ impl SupervisedDevice {
                     sim_seconds: r.sim_seconds,
                     energies: r.energies,
                     faults,
+                    counters: snapshot_counters(&perf),
                 })
             }
             SupervisedDevice::Opteron(cpu) => {
                 let mut sys: ParticleSystem<f64> = cp.restore();
-                let r = cpu.run_md_from(&mut sys, sim, steps);
+                let mut perf = PerfMonitor::new();
+                let r = cpu.run_md_from_perf(&mut sys, sim, steps, &mut perf);
                 let faults = {
                     #[cfg(feature = "fault-inject")]
                     {
@@ -259,6 +294,7 @@ impl SupervisedDevice {
                     sim_seconds: r.sim_seconds,
                     energies: r.energies,
                     faults,
+                    counters: snapshot_counters(&perf),
                 })
             }
         }
@@ -362,6 +398,12 @@ pub fn run_supervised(
                 Ok(seg) => {
                     total_s += seg.sim_seconds;
                     report.faults.merge(&seg.faults);
+                    report.segments.push(SegmentCounters {
+                        start_step: cp.step,
+                        steps: seg_steps,
+                        sim_seconds: seg.sim_seconds,
+                        counters: seg.counters,
+                    });
                     energies = Some(seg.energies);
                     cp = seg.after;
                     report.checkpoints += 1;
@@ -406,7 +448,13 @@ pub fn run_supervised(
                 reason: format!("segment failed {} attempts", cfg.max_attempts),
             },
         );
-        let (s, e, after) = reference_remainder(&cp, sim, steps - done);
+        let (s, e, after, counters) = reference_remainder(&cp, sim, steps - done);
+        report.segments.push(SegmentCounters {
+            start_step: cp.step,
+            steps: steps - done,
+            sim_seconds: s,
+            counters,
+        });
         total_s += s;
         energies = Some(e);
         cp = after;
@@ -434,8 +482,14 @@ pub fn run_supervised(
                 },
             );
             let start: ParticleSystem<f64> = init::initialize(sim);
-            let (s, e, after) =
+            let (s, e, after, counters) =
                 reference_remainder(&SystemCheckpoint::capture(&start, 0), sim, steps);
+            report.segments.push(SegmentCounters {
+                start_step: 0,
+                steps,
+                sim_seconds: s,
+                counters,
+            });
             total_s += s;
             energies = Some(e);
             cp = after;
@@ -460,12 +514,18 @@ fn reference_remainder(
     cp: &SystemCheckpoint,
     sim: &SimConfig,
     steps: usize,
-) -> (f64, EnergyReport, SystemCheckpoint) {
+) -> (
+    f64,
+    EnergyReport,
+    SystemCheckpoint,
+    Vec<(String, f64, &'static str)>,
+) {
     let mut cpu = OpteronCpu::paper_reference();
     let mut sys: ParticleSystem<f64> = cp.restore();
-    let r = cpu.run_md_from(&mut sys, sim, steps);
+    let mut perf = PerfMonitor::new();
+    let r = cpu.run_md_from_perf(&mut sys, sim, steps, &mut perf);
     let after = SystemCheckpoint::capture(&sys, cp.step + steps as u64);
-    (r.sim_seconds, r.energies, after)
+    (r.sim_seconds, r.energies, after, snapshot_counters(&perf))
 }
 
 /// Convenience: supervised run that must not have fallen back — used where
@@ -550,6 +610,11 @@ mod tests {
             .events
             .iter()
             .any(|e| matches!(e, RecoveryEvent::Fallback { .. })));
+        // Every device attempt was cut, so the only recorded segment is the
+        // reference remainder covering the whole run.
+        assert_eq!(run.report.segments.len(), 1);
+        assert_eq!(run.report.segments[0].steps, 4);
+        assert_eq!(run.report.segments[0].start_step, 0);
     }
 
     #[test]
@@ -562,6 +627,30 @@ mod tests {
         };
         let err = run_supervised_strict(&mut dev, &sim, 2, &cfg);
         assert!(err.is_err());
+    }
+
+    #[test]
+    fn segments_carry_counter_deltas() {
+        let sim = small();
+        let mut dev = SupervisedDevice::opteron(OpteronCpu::paper_reference());
+        let run = run_supervised(&mut dev, &sim, 4, &SupervisorConfig::default(), None);
+        assert!(!run.report.fell_back);
+        // 4 steps at interval 2 → two accepted segments, each with its own
+        // fresh-monitor counter deltas.
+        assert_eq!(run.report.segments.len(), 2);
+        assert_eq!(run.report.segments[0].start_step, 0);
+        assert_eq!(run.report.segments[1].start_step, 2);
+        let total: f64 = run.report.segments.iter().map(|s| s.sim_seconds).sum();
+        assert!((total - run.sim_seconds).abs() <= 1e-9 * run.sim_seconds);
+        for seg in &run.report.segments {
+            assert_eq!(seg.steps, 2);
+            let flops = seg.counters.iter().find(|(n, _, _)| n == "opteron.flops");
+            assert!(
+                flops.is_some_and(|(_, v, _)| *v > 0.0),
+                "segment at step {} missing flop counter",
+                seg.start_step
+            );
+        }
     }
 
     #[test]

@@ -43,11 +43,34 @@ pub enum ThreadingMode {
     PartiallyMultithreaded,
 }
 
+/// Where the run's cycles went, summed over every loop the kernel charged
+/// (see [`crate::processor::MtaProcessor::loop_cycle_parts`]). Injected-fault
+/// recovery cycles are folded into `stall`, so
+/// `startup + issue + stall == MtaRun::cycles` to within float rounding.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MtaCycleBreakdown {
+    /// Parallel-loop spin-up cycles.
+    pub startup: f64,
+    /// Ideal instruction-issue cycles (saturated floor).
+    pub issue: f64,
+    /// Phantom/no-op issue slots: under-saturation, serialization, and
+    /// injected-fault recovery.
+    pub stall: f64,
+}
+
+impl MtaCycleBreakdown {
+    pub fn total(&self) -> f64 {
+        self.startup + self.issue + self.stall
+    }
+}
+
 /// Result of a simulated MTA run.
 #[derive(Clone, Debug)]
 pub struct MtaRun {
     pub sim_seconds: f64,
     pub cycles: f64,
+    /// Cycle decomposition of the run (startup vs issue vs phantom).
+    pub breakdown: MtaCycleBreakdown,
     pub energies: EnergyReport,
     pub mode: ThreadingMode,
     /// What the compiler decided for each loop (step name, verdict).
@@ -96,7 +119,25 @@ impl MtaMdSimulation {
     /// runtimes differ enormously.
     pub fn run_md(&self, sim: &SimConfig, steps: usize, mode: ThreadingMode) -> MtaRun {
         let mut sys: ParticleSystem<f64> = init::initialize(sim);
-        self.run_md_impl(&mut sys, sim, steps, mode)
+        self.run_md_impl(&mut sys, sim, steps, mode, None)
+    }
+
+    /// [`run_md`] with performance counters: stream-occupancy cycles,
+    /// phantom/no-op cycles, hot-spot retry cycles, and instructions,
+    /// sampled once per evaluation. The monitor is a passive observer —
+    /// this run is bitwise-identical to [`run_md`]. Use a fresh monitor per
+    /// run: counter values are run-local totals.
+    ///
+    /// [`run_md`]: MtaMdSimulation::run_md
+    pub fn run_md_perf(
+        &self,
+        sim: &SimConfig,
+        steps: usize,
+        mode: ThreadingMode,
+        perf: &mut sim_perf::PerfMonitor,
+    ) -> MtaRun {
+        let mut sys: ParticleSystem<f64> = init::initialize(sim);
+        self.run_md_impl(&mut sys, sim, steps, mode, Some(perf))
     }
 
     /// Like [`Self::run_md`] but continuing from caller-owned state instead
@@ -110,7 +151,22 @@ impl MtaMdSimulation {
         steps: usize,
         mode: ThreadingMode,
     ) -> MtaRun {
-        self.run_md_impl(sys, sim, steps, mode)
+        self.run_md_impl(sys, sim, steps, mode, None)
+    }
+
+    /// [`run_md_from`] with performance counters (see [`run_md_perf`]).
+    ///
+    /// [`run_md_from`]: MtaMdSimulation::run_md_from
+    /// [`run_md_perf`]: MtaMdSimulation::run_md_perf
+    pub fn run_md_from_perf(
+        &self,
+        sys: &mut ParticleSystem<f64>,
+        sim: &SimConfig,
+        steps: usize,
+        mode: ThreadingMode,
+        perf: &mut sim_perf::PerfMonitor,
+    ) -> MtaRun {
+        self.run_md_impl(sys, sim, steps, mode, Some(perf))
     }
 
     fn run_md_impl(
@@ -119,6 +175,7 @@ impl MtaMdSimulation {
         sim: &SimConfig,
         steps: usize,
         mode: ThreadingMode,
+        mut perf: Option<&mut sim_perf::PerfMonitor>,
     ) -> MtaRun {
         let n = sys.n();
         let vv = VelocityVerlet::new(sim.dt);
@@ -126,6 +183,14 @@ impl MtaMdSimulation {
 
         let mut cycles = 0.0f64;
         let mut instructions = 0.0f64;
+        let mut breakdown = MtaCycleBreakdown::default();
+        // Stream-occupancy integral: streams × cycles summed over loops.
+        // Monotonic by construction; average occupancy falls out as
+        // occupancy_cycles / cycles.
+        let mut occupancy_cycles = 0.0f64;
+        #[allow(unused_mut)] // mutated only under fault-inject
+        let mut hotspot_retry_cycles = 0.0f64;
+        let handles = perf.as_deref_mut().map(PerfHandles::register);
         let mut decisions: Vec<(&'static str, ParallelizationDecision)> = Vec::new();
         let record =
             |name: &'static str,
@@ -135,6 +200,25 @@ impl MtaMdSimulation {
                     decisions.push((name, d));
                 }
             };
+        // Charge one loop: total cycles (bitwise the same value
+        // `loop_cycles` returns — the breakdown is derived, not a reprice),
+        // instruction count, the cycle decomposition, and the occupancy
+        // integral. Returns the loop's cycles for fault-unit sizing.
+        let charge = |l: &LoopDesc,
+                      cycles: &mut f64,
+                      instructions: &mut f64,
+                      breakdown: &mut MtaCycleBreakdown,
+                      occupancy_cycles: &mut f64|
+         -> f64 {
+            let parts = self.processor.loop_cycle_parts(l);
+            *cycles += parts.cycles;
+            *instructions += l.total_instructions();
+            breakdown.startup += parts.startup;
+            breakdown.issue += parts.issue;
+            breakdown.stall += parts.stall;
+            *occupancy_cycles += parts.streams as f64 * parts.cycles;
+            parts.cycles
+        };
 
         // Shared PE accumulator in tagged memory (the restructured reduction
         // uses full/empty atomic adds from every stream).
@@ -151,8 +235,13 @@ impl MtaMdSimulation {
             if eval > 0 {
                 let l = self.integration_loop("step1-advance-velocities", n);
                 record(l.name, analyze_loop(&l), &mut decisions);
-                cycles += self.processor.loop_cycles(&l);
-                instructions += l.total_instructions();
+                charge(
+                    &l,
+                    &mut cycles,
+                    &mut instructions,
+                    &mut breakdown,
+                    &mut occupancy_cycles,
+                );
                 vv.kick_drift(sys);
             }
 
@@ -202,16 +291,21 @@ impl MtaMdSimulation {
                 pragma_no_dependence: mode == ThreadingMode::FullyMultithreaded,
             };
             record(step2.name, analyze_loop(&step2), &mut decisions);
-            let step2_cycles = self.processor.loop_cycles(&step2);
-            cycles += step2_cycles;
-            instructions += step2.total_instructions();
+            #[cfg_attr(not(feature = "fault-inject"), allow(unused_variables))]
+            let step2_cycles = charge(
+                &step2,
+                &mut cycles,
+                &mut instructions,
+                &mut breakdown,
+                &mut occupancy_cycles,
+            );
             #[cfg(feature = "fault-inject")]
             {
                 let cfg = &self.processor.config;
                 // The runtime hands the loop fewer streams than requested:
                 // the starved share of the iteration space is re-issued,
                 // paying the loop startup again plus a quarter of the loop.
-                cycles += resolve_degradable(
+                let starvation_extra = resolve_degradable(
                     &mut fault,
                     sim_fault::FaultSite::new(
                         sim_fault::FaultKind::StreamStarvation,
@@ -222,9 +316,11 @@ impl MtaMdSimulation {
                     cfg.loop_startup_cycles + 0.25 * step2_cycles,
                     cfg.clock_hz,
                 );
+                cycles += starvation_extra;
+                breakdown.stall += starvation_extra;
                 // Hot-spotting on the full/empty PE accumulator: every
                 // stream retries its synchronized add once.
-                cycles += resolve_degradable(
+                let hotspot_extra = resolve_degradable(
                     &mut fault,
                     sim_fault::FaultSite::new(
                         sim_fault::FaultKind::HotSpotRetry,
@@ -237,13 +333,21 @@ impl MtaMdSimulation {
                         * cfg.streams_per_processor as f64,
                     cfg.clock_hz,
                 );
+                cycles += hotspot_extra;
+                breakdown.stall += hotspot_extra;
+                hotspot_retry_cycles += hotspot_extra;
             }
 
             if eval > 0 {
                 let l = self.integration_loop("step3-4-move-update", n);
                 record(l.name, analyze_loop(&l), &mut decisions);
-                cycles += self.processor.loop_cycles(&l);
-                instructions += l.total_instructions();
+                charge(
+                    &l,
+                    &mut cycles,
+                    &mut instructions,
+                    &mut breakdown,
+                    &mut occupancy_cycles,
+                );
                 vv.kick(sys);
 
                 // Step 5: kinetic/total energies (parallelized without code
@@ -257,14 +361,30 @@ impl MtaMdSimulation {
                     pragma_no_dependence: false,
                 };
                 record(l.name, analyze_loop(&l), &mut decisions);
-                cycles += self.processor.loop_cycles(&l);
-                instructions += l.total_instructions();
+                charge(
+                    &l,
+                    &mut cycles,
+                    &mut instructions,
+                    &mut breakdown,
+                    &mut occupancy_cycles,
+                );
+            }
+
+            if let (Some(p), Some(h)) = (perf.as_deref_mut(), handles) {
+                p.record_total(h.instructions, instructions);
+                p.record_total(h.startup, breakdown.startup);
+                p.record_total(h.issue, breakdown.issue);
+                p.record_total(h.phantom, breakdown.stall);
+                p.record_total(h.occupancy, occupancy_cycles);
+                p.record_total(h.hotspot_retries, hotspot_retry_cycles);
+                p.sample_all(cycles / self.processor.config.clock_hz);
             }
         }
 
         MtaRun {
             sim_seconds: cycles / self.processor.config.clock_hz,
             cycles,
+            breakdown,
             energies: EnergyReport::measure(sys, pe),
             mode,
             decisions,
@@ -282,6 +402,30 @@ impl MtaMdSimulation {
             memory_fraction: 0.3,
             has_unresolved_reduction: false,
             pragma_no_dependence: false,
+        }
+    }
+}
+
+/// Era-appropriate MTA counters, registered once per instrumented run.
+#[derive(Clone, Copy)]
+struct PerfHandles {
+    instructions: sim_perf::CounterHandle,
+    startup: sim_perf::CounterHandle,
+    issue: sim_perf::CounterHandle,
+    phantom: sim_perf::CounterHandle,
+    occupancy: sim_perf::CounterHandle,
+    hotspot_retries: sim_perf::CounterHandle,
+}
+
+impl PerfHandles {
+    fn register(perf: &mut sim_perf::PerfMonitor) -> Self {
+        Self {
+            instructions: perf.register("mta.instructions", "instrs"),
+            startup: perf.register("mta.cycles.startup", "cycles"),
+            issue: perf.register("mta.cycles.issue", "cycles"),
+            phantom: perf.register("mta.cycles.phantom", "cycles"),
+            occupancy: perf.register("mta.stream.occupancy_cycles", "stream-cycles"),
+            hotspot_retries: perf.register("mta.hotspot.retry_cycles", "cycles"),
         }
     }
 }
@@ -415,6 +559,65 @@ mod tests {
             (time_ratio / instr_ratio - 1.0).abs() < 0.02,
             "time x{time_ratio:.1} vs instructions x{instr_ratio:.1}"
         );
+    }
+
+    #[test]
+    fn breakdown_partitions_the_run() {
+        let sim = SimConfig::reduced_lj(256);
+        let m = MtaMdSimulation::paper_mta2();
+        for mode in [
+            ThreadingMode::FullyMultithreaded,
+            ThreadingMode::PartiallyMultithreaded,
+        ] {
+            let run = m.run_md(&sim, 2, mode);
+            let b = run.breakdown;
+            assert!(
+                (b.total() - run.cycles).abs() <= 1e-9 * run.cycles,
+                "{mode:?}: {b:?} vs {}",
+                run.cycles
+            );
+            // Figure 8's mechanism, visible in the attribution: the
+            // serialized step 2 shows up as phantom cycles.
+            if mode == ThreadingMode::PartiallyMultithreaded {
+                assert!(b.stall > b.issue, "serialized run is stall-dominated");
+            } else {
+                assert!(
+                    b.stall < 0.01 * b.issue,
+                    "saturated run is nearly stall-free"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn perf_counters_are_free_and_populated() {
+        let sim = SimConfig::reduced_lj(108);
+        let m = MtaMdSimulation::paper_mta2();
+        let mode = ThreadingMode::FullyMultithreaded;
+        let plain = m.run_md(&sim, 3, mode);
+        let mut perf = sim_perf::PerfMonitor::new();
+        let counted = m.run_md_perf(&sim, 3, mode, &mut perf);
+
+        // Observability is free: bitwise-identical outcome.
+        assert_eq!(plain.sim_seconds, counted.sim_seconds);
+        assert_eq!(plain.energies.total, counted.energies.total);
+        assert_eq!(plain.instructions, counted.instructions);
+
+        let instr = perf.find("mta.instructions").expect("registered");
+        assert_eq!(instr.value(), counted.instructions);
+        // One sample per evaluation: steps + 1 priming evaluation.
+        assert_eq!(instr.samples().len(), 4);
+        let phantom = perf.find("mta.cycles.phantom").expect("registered");
+        assert_eq!(phantom.value(), counted.breakdown.stall);
+        let occ = perf
+            .find("mta.stream.occupancy_cycles")
+            .expect("registered");
+        // Saturated parallel loops run at 128 streams, so the occupancy
+        // integral sits near 128 x cycles.
+        let avg = occ.value() / counted.cycles;
+        assert!((100.0..=128.0).contains(&avg), "avg occupancy {avg:.1}");
+        let retries = perf.find("mta.hotspot.retry_cycles").expect("registered");
+        assert_eq!(retries.value(), 0.0, "no faults armed");
     }
 
     #[test]

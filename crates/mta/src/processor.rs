@@ -76,6 +76,56 @@ impl MtaProcessor {
     pub fn loop_seconds(&self, desc: &LoopDesc) -> f64 {
         self.loop_cycles(desc) / self.config.clock_hz
     }
+
+    /// Decompose [`loop_cycles`] into where the cycles go:
+    ///
+    /// - `startup`: the parallel-loop spin-up cost (0 for serialized loops);
+    /// - `issue`: the ideal instruction-issue time — total instructions at
+    ///   one instruction per cycle per processor, the floor a fully
+    ///   saturated machine achieves;
+    /// - `stall`: everything above the floor — phantom (no-op) issue slots
+    ///   from under-saturation or serialization.
+    ///
+    /// `streams` is the concurrency the loop actually ran with. The parts
+    /// are derived from the same expression as [`loop_cycles`], so
+    /// `startup + issue + stall == cycles` exactly for saturated parallel
+    /// loops and to within float rounding otherwise.
+    ///
+    /// [`loop_cycles`]: MtaProcessor::loop_cycles
+    pub fn loop_cycle_parts(&self, desc: &LoopDesc) -> LoopCycleParts {
+        let cycles = self.loop_cycles(desc);
+        let decision = analyze_loop(desc);
+        let issue = desc.total_instructions() / self.config.n_processors as f64;
+        let (startup, streams) = if decision.parallel {
+            let hw = self.config.streams_per_processor * self.config.n_processors;
+            (
+                self.config.loop_startup_cycles,
+                (desc.iterations as usize).min(hw).max(1),
+            )
+        } else {
+            (0.0, 1)
+        };
+        LoopCycleParts {
+            cycles,
+            startup,
+            issue,
+            stall: (cycles - startup - issue).max(0.0),
+            streams,
+        }
+    }
+}
+
+/// Where one loop's cycles went (see [`MtaProcessor::loop_cycle_parts`]).
+#[derive(Clone, Copy, Debug)]
+pub struct LoopCycleParts {
+    /// Total, identical to [`MtaProcessor::loop_cycles`].
+    pub cycles: f64,
+    pub startup: f64,
+    pub issue: f64,
+    /// Phantom/no-op issue slots.
+    pub stall: f64,
+    /// Concurrent streams the loop ran with (1 when serialized).
+    pub streams: usize,
 }
 
 #[cfg(test)]
@@ -137,6 +187,44 @@ mod tests {
             (3.5..=4.0).contains(&speedup),
             "4 processors ≈ 4x on a saturated loop: {speedup:.2}"
         );
+    }
+
+    #[test]
+    fn cycle_parts_sum_to_loop_cycles() {
+        let p = MtaProcessor::paper_mta2();
+        for (iters, reduction, pragma) in [
+            (2048, false, false),
+            (8, false, false),
+            (100_000, true, false),
+        ] {
+            let d = loop_desc(iters, reduction, pragma);
+            let parts = p.loop_cycle_parts(&d);
+            let total = p.loop_cycles(&d);
+            assert_eq!(parts.cycles, total);
+            assert!(
+                (parts.startup + parts.issue + parts.stall - total).abs() <= 1e-9 * total,
+                "parts must partition the loop: {parts:?} vs {total}"
+            );
+        }
+    }
+
+    #[test]
+    fn saturated_loop_has_no_stall() {
+        // 2048 iterations on 128 streams with interval 21: fully saturated,
+        // so every cycle above startup is a useful issue slot.
+        let p = MtaProcessor::paper_mta2();
+        let parts = p.loop_cycle_parts(&loop_desc(2048, false, false));
+        assert_eq!(parts.stall, 0.0, "{parts:?}");
+        assert_eq!(parts.streams, 128);
+    }
+
+    #[test]
+    fn serialized_loop_is_stall_dominated() {
+        let p = MtaProcessor::paper_mta2();
+        let parts = p.loop_cycle_parts(&loop_desc(100_000, true, false));
+        assert_eq!(parts.streams, 1);
+        assert_eq!(parts.startup, 0.0);
+        assert!(parts.stall > 10.0 * parts.issue, "{parts:?}");
     }
 
     #[test]

@@ -35,6 +35,10 @@ pub struct OpteronRun {
     pub memory: HierarchyStats,
     /// Total floating-point operations charged.
     pub flops: f64,
+    /// Demand loads issued (every simulated read reference).
+    pub loads: u64,
+    /// Demand stores issued (every simulated write reference).
+    pub stores: u64,
     /// Injected-fault accounting for this run (zero when no plan is armed).
     #[cfg(feature = "fault-inject")]
     pub faults: sim_fault::FaultStats,
@@ -77,6 +81,10 @@ pub struct OpteronCpu {
     /// Demand cycles charged (the prefetching frontend's inner hierarchy
     /// also counts background fills, so demand cycles are tracked here).
     demand_cycles: f64,
+    /// Demand reference counts by direction, for the perf-counter layer.
+    /// Pure event counts: they never feed back into the cycle accounting.
+    loads: u64,
+    stores: u64,
     /// When armed, ECC-style reload faults fire per the plan's schedule.
     #[cfg(feature = "fault-inject")]
     pub fault_plan: Option<sim_fault::FaultPlan>,
@@ -93,6 +101,8 @@ impl OpteronCpu {
             hierarchy,
             config,
             demand_cycles: 0.0,
+            loads: 0,
+            stores: 0,
             #[cfg(feature = "fault-inject")]
             fault_plan: None,
         }
@@ -112,6 +122,10 @@ impl OpteronCpu {
 
     #[inline]
     fn mem_access(&mut self, addr: u64, kind: AccessKind) {
+        match kind {
+            AccessKind::Read => self.loads += 1,
+            AccessKind::Write => self.stores += 1,
+        }
         self.demand_cycles += self.hierarchy.access(addr, kind) as f64;
     }
 
@@ -121,6 +135,23 @@ impl OpteronCpu {
     pub fn run_md(&mut self, sim: &SimConfig, steps: usize) -> OpteronRun {
         let mut sys: ParticleSystem<f64> = init::initialize(sim);
         self.run_md_from(&mut sys, sim, steps)
+    }
+
+    /// [`run_md`] with performance counters: cache hits/misses per level,
+    /// loads/stores, memory-stall cycles, and flops, sampled once per time
+    /// step. The monitor is a passive observer — this run is bitwise-
+    /// identical to [`run_md`]. Use a fresh monitor per run: counter values
+    /// are run-local totals.
+    ///
+    /// [`run_md`]: OpteronCpu::run_md
+    pub fn run_md_perf(
+        &mut self,
+        sim: &SimConfig,
+        steps: usize,
+        perf: &mut sim_perf::PerfMonitor,
+    ) -> OpteronRun {
+        let mut sys: ParticleSystem<f64> = init::initialize(sim);
+        self.run_md_from_impl(&mut sys, sim, steps, Some(perf))
     }
 
     /// Run `steps` further time steps from an existing system state, leaving
@@ -134,8 +165,35 @@ impl OpteronCpu {
         sim: &SimConfig,
         steps: usize,
     ) -> OpteronRun {
+        self.run_md_from_impl(sys, sim, steps, None)
+    }
+
+    /// [`run_md_from`] with performance counters (see [`run_md_perf`]).
+    ///
+    /// [`run_md_from`]: OpteronCpu::run_md_from
+    /// [`run_md_perf`]: OpteronCpu::run_md_perf
+    pub fn run_md_from_perf(
+        &mut self,
+        sys: &mut ParticleSystem<f64>,
+        sim: &SimConfig,
+        steps: usize,
+        perf: &mut sim_perf::PerfMonitor,
+    ) -> OpteronRun {
+        self.run_md_from_impl(sys, sim, steps, Some(perf))
+    }
+
+    fn run_md_from_impl(
+        &mut self,
+        sys: &mut ParticleSystem<f64>,
+        sim: &SimConfig,
+        steps: usize,
+        mut perf: Option<&mut sim_perf::PerfMonitor>,
+    ) -> OpteronRun {
         self.hierarchy.reset();
         self.demand_cycles = 0.0;
+        self.loads = 0;
+        self.stores = 0;
+        let handles = perf.as_deref_mut().map(PerfHandles::register);
         let params = sim.lj_params::<f64>();
         let vv = VelocityVerlet::new(sim.dt);
 
@@ -151,7 +209,10 @@ impl OpteronCpu {
 
         #[cfg(feature = "fault-inject")]
         let mut fault = self.fault_plan.map(sim_fault::FaultSession::new);
-        #[cfg(feature = "fault-inject")]
+        // Extra memory cycles charged by injected ECC reloads. Declared
+        // unconditionally (it stays 0.0 in non-fault builds) because the
+        // perf sampler folds it into the stall counter either way.
+        #[allow(unused_mut)]
         let mut fault_extra_cycles = 0.0f64;
         // An ECC-corrected memory error forces a scrubbed cache line to be
         // refetched from DRAM; the reload costs one DRAM round trip and
@@ -171,6 +232,7 @@ impl OpteronCpu {
                 self.config.clock_hz,
             );
         }
+        self.perf_sample(&mut perf, handles, flops, loop_iters, fault_extra_cycles);
 
         // `_step` is only read by the fault-injection site below.
         for _step in 0..steps {
@@ -208,6 +270,7 @@ impl OpteronCpu {
             }
             flops += 6.0 * sys.n() as f64;
             vv.kick(sys);
+            self.perf_sample(&mut perf, handles, flops, loop_iters, fault_extra_cycles);
         }
 
         let stats = self.hierarchy.stats();
@@ -229,9 +292,41 @@ impl OpteronCpu {
             energies: EnergyReport::measure(sys, pe),
             memory: stats,
             flops,
+            loads: self.loads,
+            stores: self.stores,
             #[cfg(feature = "fault-inject")]
             faults: fault.map_or_else(sim_fault::FaultStats::default, |f| f.stats()),
         }
+    }
+
+    /// Mirror the run's accumulators into the perf monitor and take one
+    /// time-series sample at the current simulated time. Reads only; the
+    /// run's own arithmetic never depends on it.
+    fn perf_sample(
+        &self,
+        perf: &mut Option<&mut sim_perf::PerfMonitor>,
+        handles: Option<PerfHandles>,
+        flops: f64,
+        loop_iters: f64,
+        fault_extra_cycles: f64,
+    ) {
+        let (Some(p), Some(h)) = (perf.as_deref_mut(), handles) else {
+            return;
+        };
+        let stats = self.hierarchy.stats();
+        p.record_total(h.loads, self.loads as f64);
+        p.record_total(h.stores, self.stores as f64);
+        p.record_total(h.l1_hits, stats.l1.hits as f64);
+        p.record_total(h.l1_misses, stats.l1.misses as f64);
+        p.record_total(h.l2_hits, stats.l2.hits as f64);
+        p.record_total(h.l2_misses, stats.l2.misses as f64);
+        p.record_total(h.mem_stall_cycles, self.demand_cycles + fault_extra_cycles);
+        p.record_total(h.flops, flops);
+        let cycles = flops * self.config.cycles_per_flop
+            + loop_iters * self.config.loop_overhead_cycles
+            + self.demand_cycles
+            + fault_extra_cycles;
+        p.sample_all(cycles / self.config.clock_hz);
     }
 
     /// The step-2 gather loop with interleaved cache accesses. Numerics are
@@ -293,6 +388,35 @@ impl OpteronCpu {
             pe = vv.step(&mut sys, &mut kernel, &params);
         }
         EnergyReport::measure(&sys, pe)
+    }
+}
+
+/// Registered handles for the Opteron's counter set (memsim per-level cache
+/// hits/misses, loads/stores, stall cycles, flops).
+#[derive(Clone, Copy)]
+struct PerfHandles {
+    loads: sim_perf::CounterHandle,
+    stores: sim_perf::CounterHandle,
+    l1_hits: sim_perf::CounterHandle,
+    l1_misses: sim_perf::CounterHandle,
+    l2_hits: sim_perf::CounterHandle,
+    l2_misses: sim_perf::CounterHandle,
+    mem_stall_cycles: sim_perf::CounterHandle,
+    flops: sim_perf::CounterHandle,
+}
+
+impl PerfHandles {
+    fn register(p: &mut sim_perf::PerfMonitor) -> Self {
+        Self {
+            loads: p.register("opteron.mem.loads", "refs"),
+            stores: p.register("opteron.mem.stores", "refs"),
+            l1_hits: p.register("opteron.l1.hits", "refs"),
+            l1_misses: p.register("opteron.l1.misses", "refs"),
+            l2_hits: p.register("opteron.l2.hits", "refs"),
+            l2_misses: p.register("opteron.l2.misses", "refs"),
+            mem_stall_cycles: p.register("opteron.mem.stall_cycles", "cycles"),
+            flops: p.register("opteron.flops", "flops"),
+        }
     }
 }
 
@@ -419,6 +543,30 @@ mod tests {
         let total = run.sim_seconds * 2.2e9;
         assert!((total - (run.flop_cycles + run.memory_cycles)).abs() < 1.0);
         assert!(run.flops > 0.0);
+    }
+
+    #[test]
+    fn perf_counters_are_free_and_populated() {
+        let cfg = SimConfig::reduced_lj(108);
+        let plain = OpteronCpu::paper_reference().run_md(&cfg, 3);
+        let mut perf = sim_perf::PerfMonitor::new();
+        let counted = OpteronCpu::paper_reference().run_md_perf(&cfg, 3, &mut perf);
+        assert_eq!(
+            plain.sim_seconds, counted.sim_seconds,
+            "observability is free"
+        );
+        assert_eq!(plain.energies.total, counted.energies.total);
+        assert_eq!(plain.loads, counted.loads);
+        let loads = perf.find("opteron.mem.loads").expect("registered");
+        assert_eq!(loads.value(), counted.loads as f64);
+        assert_eq!(loads.samples().len(), 4, "prime eval + one per step");
+        assert!(perf.find("opteron.l1.hits").expect("registered").value() > 0.0);
+        let stalls = perf.find("opteron.mem.stall_cycles").expect("registered");
+        assert_eq!(
+            stalls.value(),
+            counted.memory_cycles,
+            "stall counter mirrors run"
+        );
     }
 
     #[test]

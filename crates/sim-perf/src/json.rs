@@ -1,0 +1,399 @@
+//! Dependency-free JSON parsing, used to validate emitted metrics files.
+//!
+//! The container has no serde; this is a small strict recursive-descent
+//! parser (no trailing commas, no comments, no NaN/Infinity) — enough to
+//! check that a `RunMetrics` artifact round-trips and matches the schema.
+
+/// A parsed JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JsonValue {
+    Null,
+    Bool(bool),
+    Number(f64),
+    String(String),
+    Array(Vec<JsonValue>),
+    /// Key-value pairs in source order (duplicates rejected at parse time).
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Look up a key in an object.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn as_number(&self) -> Option<f64> {
+        match self {
+            JsonValue::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    pub fn as_object(&self) -> Option<&[(String, JsonValue)]> {
+        match self {
+            JsonValue::Object(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn fail(&self, msg: &str) -> String {
+        format!("JSON parse error at byte {}: {msg}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.fail(&format!("expected {:?}", b as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(JsonValue::String(self.string()?)),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(other) => Err(self.fail(&format!("unexpected {:?}", other as char))),
+            None => Err(self.fail("unexpected end of input")),
+        }
+    }
+
+    fn literal(&mut self, lit: &str, value: JsonValue) -> Result<JsonValue, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(self.fail(&format!("expected {lit:?}")))
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.fail("non-UTF8 number"))?;
+        let n: f64 = text
+            .parse()
+            .map_err(|_| self.fail(&format!("bad number {text:?}")))?;
+        if !n.is_finite() {
+            return Err(self.fail(&format!("non-finite number {text:?}")));
+        }
+        Ok(JsonValue::Number(n))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| self.fail("truncated \\u escape"))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| self.fail("non-UTF8 \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.fail("bad \\u escape"))?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.fail("surrogate \\u escape"))?,
+                            );
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.fail("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(b) if b < 0x20 => return Err(self.fail("raw control char in string")),
+                Some(_) => {
+                    // Copy one UTF-8 scalar.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.fail("non-UTF8 string"))?;
+                    let ch = rest.chars().next().ok_or_else(|| self.fail("empty"))?;
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+                None => return Err(self.fail("unterminated string")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                _ => return Err(self.fail("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'{')?;
+        let mut pairs: Vec<(String, JsonValue)> = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Object(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            if pairs.iter().any(|(k, _)| *k == key) {
+                return Err(self.fail(&format!("duplicate key {key:?}")));
+            }
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.value()?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(pairs));
+                }
+                _ => return Err(self.fail("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+/// Parse a complete JSON document (trailing whitespace allowed, nothing else).
+pub fn parse_json(text: &str) -> Result<JsonValue, String> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.fail("trailing garbage after document"));
+    }
+    Ok(v)
+}
+
+fn require_number(doc: &JsonValue, key: &str) -> Result<f64, String> {
+    doc.get(key)
+        .and_then(JsonValue::as_number)
+        .ok_or_else(|| format!("missing or non-numeric field {key:?}"))
+}
+
+/// Validate a serialized `RunMetrics` document against schema version
+/// [`crate::SCHEMA_VERSION`]: required fields, types, non-negative values,
+/// and the attribution-sums-to-total invariant.
+pub fn validate_run_metrics_json(text: &str) -> Result<(), String> {
+    let doc = parse_json(text)?;
+    let version = require_number(&doc, "schema_version")?;
+    if version != f64::from(crate::SCHEMA_VERSION) {
+        return Err(format!(
+            "schema_version {version} != supported {}",
+            crate::SCHEMA_VERSION
+        ));
+    }
+    doc.get("device")
+        .and_then(JsonValue::as_str)
+        .ok_or("missing or non-string field \"device\"")?;
+    for key in ["n_atoms", "steps"] {
+        let n = require_number(&doc, key)?;
+        if n < 0.0 || n.fract() != 0.0 {
+            return Err(format!(
+                "field {key:?} must be a non-negative integer, got {n}"
+            ));
+        }
+    }
+    let sim_seconds = require_number(&doc, "sim_seconds")?;
+    if sim_seconds < 0.0 {
+        return Err(format!(
+            "sim_seconds must be non-negative, got {sim_seconds}"
+        ));
+    }
+    let attribution = doc
+        .get("attribution")
+        .and_then(JsonValue::as_object)
+        .ok_or("missing or non-object field \"attribution\"")?;
+    let mut sum = 0.0;
+    for (name, v) in attribution {
+        let s = v
+            .as_number()
+            .ok_or_else(|| format!("attribution {name:?} is not a number"))?;
+        if s < 0.0 {
+            return Err(format!("attribution {name:?} is negative: {s}"));
+        }
+        sum += s;
+    }
+    let tol = crate::ATTRIBUTION_REL_TOL * sim_seconds.max(f64::MIN_POSITIVE);
+    if (sum - sim_seconds).abs() > tol {
+        return Err(format!(
+            "attribution sums to {sum} but sim_seconds is {sim_seconds}"
+        ));
+    }
+    let counters = doc
+        .get("counters")
+        .and_then(JsonValue::as_array)
+        .ok_or("missing or non-array field \"counters\"")?;
+    for (i, c) in counters.iter().enumerate() {
+        c.get("name")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| format!("counters[{i}] missing string \"name\""))?;
+        c.get("unit")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| format!("counters[{i}] missing string \"unit\""))?;
+        let v = c
+            .get("value")
+            .and_then(JsonValue::as_number)
+            .ok_or_else(|| format!("counters[{i}] missing numeric \"value\""))?;
+        if v < 0.0 {
+            return Err(format!("counters[{i}] value is negative: {v}"));
+        }
+    }
+    let derived = doc
+        .get("derived")
+        .and_then(JsonValue::as_object)
+        .ok_or("missing or non-object field \"derived\"")?;
+    for (name, v) in derived {
+        v.as_number()
+            .ok_or_else(|| format!("derived {name:?} is not a number"))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars_and_nesting() {
+        let doc =
+            parse_json(r#"{"a": [1, 2.5, -3e2], "b": {"c": "x\n", "d": true}}"#).expect("parses");
+        assert_eq!(
+            doc.get("a")
+                .and_then(JsonValue::as_array)
+                .map(<[JsonValue]>::len),
+            Some(3)
+        );
+        assert_eq!(
+            doc.get("b")
+                .and_then(|b| b.get("c"))
+                .and_then(JsonValue::as_str),
+            Some("x\n")
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(parse_json("{").is_err());
+        assert!(parse_json("[1,]").is_err());
+        assert!(parse_json("{\"a\":1} extra").is_err());
+        assert!(parse_json("{\"a\":1,\"a\":2}").is_err(), "duplicate keys");
+        assert!(parse_json("NaN").is_err());
+    }
+
+    #[test]
+    fn validator_demands_attribution_sum() {
+        let good = r#"{
+            "schema_version": 1, "device": "gpu", "n_atoms": 64, "steps": 2,
+            "sim_seconds": 1.0,
+            "attribution": {"compute": 0.4, "transfer": 0.6},
+            "counters": [{"name": "x", "unit": "ops", "value": 3}],
+            "derived": {"utilization": 0.5}
+        }"#;
+        validate_run_metrics_json(good).expect("valid");
+        let bad = good.replace("0.6", "0.5");
+        assert!(validate_run_metrics_json(&bad).is_err());
+    }
+
+    #[test]
+    fn validator_demands_schema_version() {
+        let doc = r#"{
+            "schema_version": 2, "device": "gpu", "n_atoms": 64, "steps": 2,
+            "sim_seconds": 0.0, "attribution": {}, "counters": [], "derived": {}
+        }"#;
+        let err = validate_run_metrics_json(doc).expect_err("wrong version");
+        assert!(err.contains("schema_version"), "{err}");
+    }
+}

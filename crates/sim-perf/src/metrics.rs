@@ -1,0 +1,314 @@
+//! Schema-versioned per-run metrics: attribution, counters, derived rates.
+
+use crate::counter::PerfMonitor;
+use mdea_trace::escape_json_string;
+use std::fmt::Write as _;
+
+/// Version of the `RunMetrics` JSON schema. Bump when a field is added,
+/// removed, or changes meaning; consumers must check it before diffing runs.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Relative tolerance on `sum(attribution) == sim_seconds`. The devices
+/// derive both sides from the same cost accumulators, so the only slack
+/// allowed is floating-point re-association.
+pub const ATTRIBUTION_REL_TOL: f64 = 1e-9;
+
+/// Everything `perf_report` knows about one simulated run.
+///
+/// `attribution` is the centrepiece: a labelled partition of the run's
+/// simulated seconds (compute vs DMA-wait vs mailbox vs PCIe vs memory
+/// stalls) that [`validate`] requires to sum to `sim_seconds` within
+/// [`ATTRIBUTION_REL_TOL`]. `counters` are the raw monotonic event counts,
+/// `derived` the dimensionless or rate metrics computed from them.
+///
+/// [`validate`]: RunMetrics::validate
+#[derive(Clone, Debug)]
+pub struct RunMetrics {
+    pub schema_version: u32,
+    /// Device label, e.g. "cell-8spe", "gpu-7900gtx", "mta-2", "opteron".
+    pub device: String,
+    pub n_atoms: usize,
+    pub steps: usize,
+    /// Total simulated seconds for the run.
+    pub sim_seconds: f64,
+    /// Labelled partition of `sim_seconds`, in presentation order.
+    pub attribution: Vec<(String, f64)>,
+    /// Raw counters: `(name, value, unit)`.
+    pub counters: Vec<(String, f64, String)>,
+    /// Derived metrics: `(name, value)` — rates, fractions, ratios.
+    pub derived: Vec<(String, f64)>,
+}
+
+impl RunMetrics {
+    pub fn new(device: impl Into<String>, n_atoms: usize, steps: usize, sim_seconds: f64) -> Self {
+        Self {
+            schema_version: SCHEMA_VERSION,
+            device: device.into(),
+            n_atoms,
+            steps,
+            sim_seconds,
+            attribution: Vec::new(),
+            counters: Vec::new(),
+            derived: Vec::new(),
+        }
+    }
+
+    /// Append one attribution bucket (seconds of simulated time).
+    pub fn push_attribution(&mut self, name: impl Into<String>, seconds: f64) {
+        self.attribution.push((name.into(), seconds));
+    }
+
+    /// Seconds attributed to `name` (0 if absent).
+    pub fn attribution_seconds(&self, name: &str) -> f64 {
+        self.attribution
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0.0, |(_, s)| *s)
+    }
+
+    /// Fraction of total simulated time attributed to `name`.
+    pub fn attribution_fraction(&self, name: &str) -> f64 {
+        if self.sim_seconds == 0.0 {
+            0.0
+        } else {
+            self.attribution_seconds(name) / self.sim_seconds
+        }
+    }
+
+    /// Copy every counter's final value out of a [`PerfMonitor`].
+    pub fn absorb_counters(&mut self, monitor: &PerfMonitor) {
+        for c in monitor.counters() {
+            self.counters
+                .push((c.name.clone(), c.value(), c.unit.to_string()));
+        }
+    }
+
+    /// Value of a raw counter (0 if absent).
+    pub fn counter_value(&self, name: &str) -> f64 {
+        self.counters
+            .iter()
+            .find(|(n, _, _)| n == name)
+            .map_or(0.0, |(_, v, _)| *v)
+    }
+
+    pub fn push_derived(&mut self, name: impl Into<String>, value: f64) {
+        self.derived.push((name.into(), value));
+    }
+
+    /// Value of a derived metric (0 if absent).
+    pub fn derived_value(&self, name: &str) -> f64 {
+        self.derived
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0.0, |(_, v)| *v)
+    }
+
+    /// Push the standard rate metrics: achieved vs peak op rate, utilization,
+    /// and bytes moved per op. `ops` is the device's native work unit (flops,
+    /// shader ops, instructions); `peak_ops_per_second` its theoretical peak.
+    pub fn derive_rates(&mut self, ops: f64, peak_ops_per_second: f64, bytes_moved: f64) {
+        let achieved = if self.sim_seconds > 0.0 {
+            ops / self.sim_seconds
+        } else {
+            0.0
+        };
+        self.push_derived("achieved_gops_per_s", achieved / 1e9);
+        self.push_derived("peak_gops_per_s", peak_ops_per_second / 1e9);
+        self.push_derived(
+            "utilization",
+            if peak_ops_per_second > 0.0 {
+                achieved / peak_ops_per_second
+            } else {
+                0.0
+            },
+        );
+        self.push_derived(
+            "bytes_per_op",
+            if ops > 0.0 { bytes_moved / ops } else { 0.0 },
+        );
+    }
+
+    /// Check the record's internal consistency. The attribution-sum check is
+    /// the contract that makes `perf_report` trustworthy: if a device charges
+    /// time it cannot attribute, this fails.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.schema_version != SCHEMA_VERSION {
+            return Err(format!(
+                "schema_version {} != supported {SCHEMA_VERSION}",
+                self.schema_version
+            ));
+        }
+        if !self.sim_seconds.is_finite() || self.sim_seconds < 0.0 {
+            return Err(format!(
+                "sim_seconds not finite/non-negative: {}",
+                self.sim_seconds
+            ));
+        }
+        let mut sum = 0.0;
+        for (name, s) in &self.attribution {
+            if !s.is_finite() || *s < 0.0 {
+                return Err(format!("attribution {name:?} not finite/non-negative: {s}"));
+            }
+            sum += s;
+        }
+        let tol = ATTRIBUTION_REL_TOL * self.sim_seconds.max(f64::MIN_POSITIVE);
+        if (sum - self.sim_seconds).abs() > tol {
+            return Err(format!(
+                "attribution sums to {sum} but sim_seconds is {} (|diff| {} > tol {tol})",
+                self.sim_seconds,
+                (sum - self.sim_seconds).abs()
+            ));
+        }
+        for (name, v, _) in &self.counters {
+            if !v.is_finite() || *v < 0.0 {
+                return Err(format!("counter {name:?} not finite/non-negative: {v}"));
+            }
+        }
+        for (name, v) in &self.derived {
+            if !v.is_finite() {
+                return Err(format!("derived {name:?} not finite: {v}"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Render as a pretty-printed JSON object (stable field order).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"schema_version\": {},", self.schema_version);
+        let _ = writeln!(
+            out,
+            "  \"device\": \"{}\",",
+            escape_json_string(&self.device)
+        );
+        let _ = writeln!(out, "  \"n_atoms\": {},", self.n_atoms);
+        let _ = writeln!(out, "  \"steps\": {},", self.steps);
+        let _ = writeln!(out, "  \"sim_seconds\": {},", json_f64(self.sim_seconds));
+        out.push_str("  \"attribution\": {\n");
+        for (i, (name, s)) in self.attribution.iter().enumerate() {
+            let comma = if i + 1 < self.attribution.len() {
+                ","
+            } else {
+                ""
+            };
+            let _ = writeln!(
+                out,
+                "    \"{}\": {}{comma}",
+                escape_json_string(name),
+                json_f64(*s)
+            );
+        }
+        out.push_str("  },\n  \"counters\": [\n");
+        for (i, (name, v, unit)) in self.counters.iter().enumerate() {
+            let comma = if i + 1 < self.counters.len() { "," } else { "" };
+            let _ = writeln!(
+                out,
+                "    {{\"name\": \"{}\", \"unit\": \"{}\", \"value\": {}}}{comma}",
+                escape_json_string(name),
+                escape_json_string(unit),
+                json_f64(*v)
+            );
+        }
+        out.push_str("  ],\n  \"derived\": {\n");
+        for (i, (name, v)) in self.derived.iter().enumerate() {
+            let comma = if i + 1 < self.derived.len() { "," } else { "" };
+            let _ = writeln!(
+                out,
+                "    \"{}\": {}{comma}",
+                escape_json_string(name),
+                json_f64(*v)
+            );
+        }
+        out.push_str("  }\n}\n");
+        out
+    }
+}
+
+/// Format an `f64` as a JSON number. Rust's `Display` for finite floats is
+/// shortest-round-trip, and a bare integer form ("3") is still a valid JSON
+/// number, so no fixup is needed beyond rejecting non-finite values.
+fn json_f64(v: f64) -> String {
+    assert!(v.is_finite(), "JSON numbers must be finite, got {v}");
+    format!("{v}")
+}
+
+/// Human-readable engineering formatting for counter values ("3.20 G",
+/// "14.1 k"). Unit-agnostic; the caller appends the unit label.
+pub fn format_quantity(v: f64) -> String {
+    let abs = v.abs();
+    if abs >= 1e12 {
+        format!("{:.2} T", v / 1e12)
+    } else if abs >= 1e9 {
+        format!("{:.2} G", v / 1e9)
+    } else if abs >= 1e6 {
+        format!("{:.2} M", v / 1e6)
+    } else if abs >= 1e3 {
+        format!("{:.2} k", v / 1e3)
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunMetrics {
+        let mut m = RunMetrics::new("cell-8spe", 2048, 10, 1.0);
+        m.push_attribution("compute", 0.7);
+        m.push_attribution("dma_wait", 0.2);
+        m.push_attribution("mailbox", 0.1);
+        m.counters
+            .push(("cell.dma.bytes".to_string(), 4096.0, "bytes".to_string()));
+        m.derive_rates(2e9, 25.6e9, 4096.0);
+        m
+    }
+
+    #[test]
+    fn valid_record_passes() {
+        let m = sample();
+        m.validate().expect("valid");
+        assert!((m.attribution_fraction("compute") - 0.7).abs() < 1e-12);
+        assert_eq!(m.attribution_seconds("nope"), 0.0);
+        assert!((m.derived_value("achieved_gops_per_s") - 2.0).abs() < 1e-12);
+        assert!((m.derived_value("utilization") - 2.0 / 25.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn attribution_gap_detected() {
+        let mut m = sample();
+        m.attribution[0].1 = 0.6; // lose 0.1 s
+        let err = m.validate().expect_err("gap");
+        assert!(err.contains("attribution sums"), "{err}");
+    }
+
+    #[test]
+    fn tiny_float_slack_tolerated() {
+        let mut m = RunMetrics::new("x", 1, 1, 0.3);
+        m.push_attribution("a", 0.1);
+        m.push_attribution("b", 0.2); // 0.1 + 0.2 != 0.3 exactly in binary
+        m.validate().expect("within 1e-9 relative");
+    }
+
+    #[test]
+    fn json_is_valid_and_versioned() {
+        let m = sample();
+        let json = m.to_json();
+        crate::json::validate_run_metrics_json(&json).expect("schema-valid");
+        assert!(json.contains("\"schema_version\": 1"));
+    }
+
+    #[test]
+    fn wrong_schema_version_rejected() {
+        let mut m = sample();
+        m.schema_version = 99;
+        assert!(m.validate().is_err());
+    }
+
+    #[test]
+    fn quantity_formatting() {
+        assert_eq!(format_quantity(15.6e9), "15.60 G");
+        assert_eq!(format_quantity(2048.0), "2.05 k");
+        assert_eq!(format_quantity(0.5), "0.50");
+    }
+}

@@ -1,4 +1,4 @@
-//! The four invariant rules and their file scoping.
+//! The five invariant rules and their file scoping.
 
 use crate::Finding;
 
@@ -22,20 +22,39 @@ const DEVICE_CRATE_PREFIXES: &[&str] = &[
     "crates/sim-fault/",
 ];
 
+/// Cost-charging device/clock API calls the observability layer must never
+/// make: sim-perf *observes* runs, it never advances simulated time or bills
+/// cycles. A counter read that charged cost would break the counters-are-free
+/// invariant (counters-on bitwise-identical to counters-off).
+const COST_CHARGING_CALLS: &[&str] = &[
+    ".charge(",
+    "charge_cycles(",
+    "advance_cycles(",
+    "transfer_cycles(",
+    "integration_cycles(",
+    "scale_kernel_cycles(",
+    "loop_cycles(",
+    "loop_seconds(",
+    "upload_seconds(",
+    "readback_seconds(",
+];
+
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Rule {
     PrecisionDiscipline,
     Determinism,
     PanicDiscipline,
     CostConservation,
+    ObserverPurity,
 }
 
 impl Rule {
-    pub const ALL: [Rule; 4] = [
+    pub const ALL: [Rule; 5] = [
         Rule::PrecisionDiscipline,
         Rule::Determinism,
         Rule::PanicDiscipline,
         Rule::CostConservation,
+        Rule::ObserverPurity,
     ];
 
     pub fn name(self) -> &'static str {
@@ -44,6 +63,7 @@ impl Rule {
             Rule::Determinism => "determinism",
             Rule::PanicDiscipline => "panic-discipline",
             Rule::CostConservation => "cost-conservation",
+            Rule::ObserverPurity => "observer-purity",
         }
     }
 
@@ -120,6 +140,16 @@ impl Rule {
                     );
                 }
             }
+            Rule::ObserverPurity => {
+                for pat in COST_CHARGING_CALLS {
+                    for pos in find_pattern(stripped, pat) {
+                        emit(
+                            pos,
+                            format!("`{pat}` in the observability layer — sim-perf observes costs, it never charges them"),
+                        );
+                    }
+                }
+            }
         }
     }
 }
@@ -138,6 +168,9 @@ pub fn applicable_rules(rel_path: &str) -> Vec<Rule> {
         rules.push(Rule::Determinism);
         rules.push(Rule::PanicDiscipline);
         rules.push(Rule::CostConservation);
+    }
+    if rel_path.starts_with("crates/sim-perf/") && rel_path.contains("/src/") {
+        rules.push(Rule::ObserverPurity);
     }
     rules
 }
@@ -447,6 +480,34 @@ mod tests {
         assert!(applicable_rules("crates/md-core/src/lj.rs").is_empty());
         assert!(applicable_rules("crates/cell-be/tests/integration.rs").is_empty());
         assert!(applicable_rules("src/main.rs").is_empty());
+        assert_eq!(
+            applicable_rules("crates/sim-perf/src/counter.rs"),
+            vec![Rule::ObserverPurity],
+            "the observability crate gets exactly the purity rule"
+        );
+        assert!(applicable_rules("crates/sim-perf/tests/api.rs").is_empty());
+    }
+
+    #[test]
+    fn observer_purity_flags_cost_charging_calls() {
+        let path = "crates/sim-perf/src/counter.rs";
+        for src in [
+            "fn f(spe: &mut Spe) { spe.charge(12.0); }\n",
+            "fn f(s: &mut Session) { s.charge_cycles(4, 3.2e9); }\n",
+            "fn f(d: &Dma) { let c = d.transfer_cycles(1024); }\n",
+            "fn f(p: &Processor, l: &LoopDesc) { let c = p.loop_cycles(l); }\n",
+            "fn f(g: &GpuDevice, t: &Texture) { let s = g.upload_seconds(t); }\n",
+        ] {
+            assert_eq!(check(Rule::ObserverPurity, path, src).len(), 1, "{src}");
+        }
+        // Reading already-charged totals is what the layer is *for*.
+        for src in [
+            "fn f(m: &RunMetrics) { let s = m.attribution_seconds(\"dma\"); }\n",
+            "fn f(r: &CellRun) { let s = r.sim_seconds; }\n",
+            "fn f(c: &CounterSeries) { let v = c.value(); }\n",
+        ] {
+            assert!(check(Rule::ObserverPurity, path, src).is_empty(), "{src}");
+        }
     }
 
     #[test]

@@ -16,6 +16,6 @@
 mod json;
 mod tracer;
 
-pub use tracer::{Instant, Span, TraceTrack, Tracer};
+pub use tracer::{CounterSample, Instant, Span, TraceTrack, Tracer};
 
 pub use json::escape_json_string;

@@ -32,11 +32,26 @@ pub struct Instant {
     pub time_s: f64,
 }
 
+/// A sampled counter value on a track (rendered as a Chrome "C" counter
+/// event). Perfetto draws these as counter lanes aligned with the span
+/// timeline — DMA bytes, cache misses, phantom cycles over simulated time.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CounterSample {
+    pub track: TraceTrack,
+    pub name: String,
+    pub category: &'static str,
+    /// Simulated seconds.
+    pub time_s: f64,
+    /// Counter value at `time_s`.
+    pub value: f64,
+}
+
 /// Collects spans and track names; exports Chrome trace JSON.
 #[derive(Clone, Debug, Default)]
 pub struct Tracer {
     spans: Vec<Span>,
     instants: Vec<Instant>,
+    counters: Vec<CounterSample>,
     track_names: Vec<(TraceTrack, String)>,
 }
 
@@ -90,6 +105,26 @@ impl Tracer {
         });
     }
 
+    /// Record one counter sample.
+    pub fn counter(
+        &mut self,
+        track: TraceTrack,
+        name: impl Into<String>,
+        category: &'static str,
+        time_s: f64,
+        value: f64,
+    ) {
+        assert!(time_s >= 0.0, "counter time must be non-negative");
+        assert!(value.is_finite(), "counter value must be finite");
+        self.counters.push(CounterSample {
+            track,
+            name: name.into(),
+            category,
+            time_s,
+            value,
+        });
+    }
+
     pub fn spans(&self) -> &[Span] {
         &self.spans
     }
@@ -98,16 +133,22 @@ impl Tracer {
         &self.instants
     }
 
-    pub fn is_empty(&self) -> bool {
-        self.spans.is_empty() && self.instants.is_empty()
+    pub fn counter_samples(&self) -> &[CounterSample] {
+        &self.counters
     }
 
-    /// End time of the latest span or instant (simulated seconds).
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty() && self.instants.is_empty() && self.counters.is_empty()
+    }
+
+    /// End time of the latest span, instant, or counter sample (simulated
+    /// seconds).
     pub fn end_time(&self) -> f64 {
         self.spans
             .iter()
             .map(|s| s.start_s + s.duration_s)
             .chain(self.instants.iter().map(|i| i.time_s))
+            .chain(self.counters.iter().map(|c| c.time_s))
             .fold(0.0, f64::max)
     }
 
@@ -120,29 +161,18 @@ impl Tracer {
             .sum()
     }
 
-    /// Render as a Chrome trace-event JSON array (complete "X" events, one
-    /// thread per track, microsecond timestamps).
+    /// Render as a Chrome trace-event JSON array (complete "X" events, "i"
+    /// instants, and "C" counter samples; one thread per track, microsecond
+    /// timestamps).
+    ///
+    /// Events are emitted sorted by `(timestamp, track, kind)` — spans before
+    /// instants before counters at equal `(timestamp, track)`, insertion
+    /// order last — so the output depends only on *what* was recorded, never
+    /// on the order the device model happened to record it in. That keeps
+    /// trace golden files stable across refactors of the recording code.
     pub fn to_chrome_json(&self) -> String {
-        let mut out = String::from("[\n");
-        let mut first = true;
-        let mut push = |out: &mut String, body: String| {
-            if !first {
-                out.push_str(",\n");
-            }
-            first = false;
-            out.push_str(&body);
-        };
-        for (track, name) in &self.track_names {
-            push(
-                &mut out,
-                format!(
-                    "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{},\
-                     \"args\":{{\"name\":\"{}\"}}}}",
-                    track.0,
-                    escape_json_string(name)
-                ),
-            );
-        }
+        let mut events: Vec<(f64, u32, u8, String)> =
+            Vec::with_capacity(self.spans.len() + self.instants.len() + self.counters.len());
         for s in &self.spans {
             let mut body = String::new();
             let _ = write!(
@@ -155,7 +185,7 @@ impl Tracer {
                 s.start_s * 1e6,
                 s.duration_s * 1e6,
             );
-            push(&mut out, body);
+            events.push((s.start_s, s.track.0, 0, body));
         }
         for i in &self.instants {
             let mut body = String::new();
@@ -168,6 +198,50 @@ impl Tracer {
                 i.track.0,
                 i.time_s * 1e6,
             );
+            events.push((i.time_s, i.track.0, 1, body));
+        }
+        for c in &self.counters {
+            let mut body = String::new();
+            let _ = write!(
+                body,
+                "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"C\",\"pid\":1,\"tid\":{},\
+                 \"ts\":{:.3},\"args\":{{\"value\":{}}}}}",
+                escape_json_string(&c.name),
+                escape_json_string(c.category),
+                c.track.0,
+                c.time_s * 1e6,
+                c.value,
+            );
+            events.push((c.time_s, c.track.0, 2, body));
+        }
+        // Stable sort: equal (timestamp, track, kind) keeps insertion order.
+        events.sort_by(|a, b| {
+            a.0.total_cmp(&b.0)
+                .then_with(|| a.1.cmp(&b.1))
+                .then_with(|| a.2.cmp(&b.2))
+        });
+
+        let mut out = String::from("[\n");
+        let mut first = true;
+        let mut push = |out: &mut String, body: &str| {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            out.push_str(body);
+        };
+        for (track, name) in &self.track_names {
+            push(
+                &mut out,
+                &format!(
+                    "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{},\
+                     \"args\":{{\"name\":\"{}\"}}}}",
+                    track.0,
+                    escape_json_string(name)
+                ),
+            );
+        }
+        for (_, _, _, body) in &events {
             push(&mut out, body);
         }
         out.push_str("\n]\n");
@@ -248,5 +322,66 @@ mod tests {
     fn empty_tracer_renders_empty_array() {
         let json = Tracer::new().to_chrome_json();
         assert_eq!(json.trim(), "[\n\n]".trim_start());
+    }
+
+    #[test]
+    fn counters_render_as_c_events() {
+        let mut t = Tracer::new();
+        assert!(t.is_empty());
+        t.counter(TraceTrack(5), "dma.bytes", "perf", 0.002, 4096.0);
+        assert!(!t.is_empty());
+        assert_eq!(t.counter_samples().len(), 1);
+        assert!((t.end_time() - 0.002).abs() < 1e-12);
+        let json = t.to_chrome_json();
+        assert!(json.contains("\"ph\":\"C\""), "{json}");
+        assert!(json.contains("\"ts\":2000.000"), "{json}");
+        assert!(json.contains("\"args\":{\"value\":4096}"), "{json}");
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn non_finite_counter_value_rejected() {
+        Tracer::new().counter(TraceTrack(0), "x", "perf", 0.0, f64::NAN);
+    }
+
+    #[test]
+    fn export_is_insertion_order_independent() {
+        let record = |order: &[usize]| {
+            let mut t = Tracer::new();
+            t.name_track(TraceTrack(0), "PPE");
+            let items: [&dyn Fn(&mut Tracer); 3] = [
+                &|t: &mut Tracer| t.span(TraceTrack(0), "late", "c", 0.002, 0.001),
+                &|t: &mut Tracer| t.span(TraceTrack(0), "early", "c", 0.000, 0.001),
+                &|t: &mut Tracer| t.instant(TraceTrack(0), "mid", "c", 0.001),
+            ];
+            for &i in order {
+                items[i](&mut t);
+            }
+            t.to_chrome_json()
+        };
+        let a = record(&[0, 1, 2]);
+        let b = record(&[2, 1, 0]);
+        assert_eq!(a, b, "sorted export must not depend on insertion order");
+        let early = a.find("early").expect("early present");
+        let mid = a.find("mid").expect("mid present");
+        let late = a.find("late").expect("late present");
+        assert!(early < mid && mid < late, "events sorted by timestamp");
+    }
+
+    #[test]
+    fn equal_timestamps_sort_span_instant_counter() {
+        let mut t = Tracer::new();
+        t.counter(TraceTrack(1), "ctr", "perf", 0.001, 1.0);
+        t.instant(TraceTrack(1), "inst", "c", 0.001);
+        t.span(TraceTrack(1), "spn", "c", 0.001, 0.0);
+        t.span(TraceTrack(0), "other-track", "c", 0.001, 0.0);
+        let json = t.to_chrome_json();
+        let pos = |needle: &str| json.find(needle).expect("present");
+        assert!(pos("other-track") < pos("spn"), "lower track first");
+        assert!(
+            pos("spn") < pos("inst") && pos("inst") < pos("ctr"),
+            "{json}"
+        );
     }
 }

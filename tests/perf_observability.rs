@@ -1,0 +1,261 @@
+//! Observability is free, and the attributions reproduce the paper.
+//!
+//! The sim-perf layer's load-bearing invariant: attaching a `PerfMonitor`
+//! to a device run changes *nothing* — the trajectory is bitwise-identical
+//! and the simulated clock reads exactly the same. On top of that, the
+//! per-run time attribution must partition the run's simulated seconds, and
+//! the resulting fractions must reproduce the paper's qualitative claims
+//! (transfer-dominated GPU at small N, DMA-overlapped Cell at 8 SPEs,
+//! stall-free fully-multithreaded MTA, cache-bound Opteron growth).
+
+use cell_be::{CellBeDevice, CellRunConfig};
+use gpu::GpuMdSimulation;
+use harness::perf;
+use md_core::init;
+use md_core::params::SimConfig;
+use md_core::system::ParticleSystem;
+use mta::{MtaMdSimulation, ThreadingMode};
+use opteron::OpteronCpu;
+use proptest::prelude::*;
+use sim_perf::PerfMonitor;
+
+const PAPER_ATOMS: usize = 2048;
+const PAPER_STEPS: usize = 10;
+
+fn paper_sim() -> SimConfig {
+    SimConfig::reduced_lj(PAPER_ATOMS)
+}
+
+/// Exact bit pattern of a trajectory (positions then velocities).
+fn bits_f32(s: &ParticleSystem<f32>) -> Vec<u32> {
+    s.positions
+        .iter()
+        .chain(s.velocities.iter())
+        .flat_map(|v| [v.x.to_bits(), v.y.to_bits(), v.z.to_bits()])
+        .collect()
+}
+
+fn bits_f64(s: &ParticleSystem<f64>) -> Vec<u64> {
+    s.positions
+        .iter()
+        .chain(s.velocities.iter())
+        .flat_map(|v| [v.x.to_bits(), v.y.to_bits(), v.z.to_bits()])
+        .collect()
+}
+
+#[test]
+fn cell_counters_are_free_at_paper_scale() {
+    let sim = paper_sim();
+    let device = CellBeDevice::paper_blade();
+    let cfg = CellRunConfig::best();
+    let mut plain_sys: ParticleSystem<f32> = init::initialize(&sim);
+    let mut counted_sys = plain_sys.clone();
+    let plain = device
+        .run_md_from(&mut plain_sys, &sim, PAPER_STEPS, cfg)
+        .expect("plain run");
+    let mut perf = PerfMonitor::new();
+    let counted = device
+        .run_md_from_perf(&mut counted_sys, &sim, PAPER_STEPS, cfg, &mut perf)
+        .expect("counted run");
+    assert_eq!(bits_f32(&plain_sys), bits_f32(&counted_sys));
+    assert_eq!(plain.sim_seconds.to_bits(), counted.sim_seconds.to_bits());
+    assert_eq!(
+        plain.energies.total.to_bits(),
+        counted.energies.total.to_bits()
+    );
+    assert!(!perf.is_empty(), "the counted run must populate counters");
+}
+
+#[test]
+fn gpu_counters_are_free_at_paper_scale() {
+    let sim = paper_sim();
+    let device = GpuMdSimulation::geforce_7900gtx();
+    let mut plain_sys: ParticleSystem<f32> = init::initialize(&sim);
+    let mut counted_sys = plain_sys.clone();
+    let plain = device.run_md_from(&mut plain_sys, &sim, PAPER_STEPS);
+    let mut perf = PerfMonitor::new();
+    let counted = device.run_md_from_perf(&mut counted_sys, &sim, PAPER_STEPS, &mut perf);
+    assert_eq!(bits_f32(&plain_sys), bits_f32(&counted_sys));
+    assert_eq!(plain.sim_seconds.to_bits(), counted.sim_seconds.to_bits());
+    assert!(!perf.is_empty());
+}
+
+#[test]
+fn mta_counters_are_free_at_paper_scale() {
+    let sim = paper_sim();
+    let device = MtaMdSimulation::paper_mta2();
+    for mode in [
+        ThreadingMode::FullyMultithreaded,
+        ThreadingMode::PartiallyMultithreaded,
+    ] {
+        let mut plain_sys: ParticleSystem<f64> = init::initialize(&sim);
+        let mut counted_sys = plain_sys.clone();
+        let plain = device.run_md_from(&mut plain_sys, &sim, PAPER_STEPS, mode);
+        let mut perf = PerfMonitor::new();
+        let counted = device.run_md_from_perf(&mut counted_sys, &sim, PAPER_STEPS, mode, &mut perf);
+        assert_eq!(bits_f64(&plain_sys), bits_f64(&counted_sys));
+        assert_eq!(plain.sim_seconds.to_bits(), counted.sim_seconds.to_bits());
+        assert!(!perf.is_empty());
+    }
+}
+
+#[test]
+fn opteron_counters_are_free_at_paper_scale() {
+    let sim = paper_sim();
+    let mut plain_sys: ParticleSystem<f64> = init::initialize(&sim);
+    let mut counted_sys = plain_sys.clone();
+    let plain = OpteronCpu::paper_reference().run_md_from(&mut plain_sys, &sim, PAPER_STEPS);
+    let mut perf = PerfMonitor::new();
+    let counted = OpteronCpu::paper_reference().run_md_from_perf(
+        &mut counted_sys,
+        &sim,
+        PAPER_STEPS,
+        &mut perf,
+    );
+    assert_eq!(bits_f64(&plain_sys), bits_f64(&counted_sys));
+    assert_eq!(plain.sim_seconds.to_bits(), counted.sim_seconds.to_bits());
+    assert!(!perf.is_empty());
+}
+
+/// Every device's attribution partitions its simulated seconds (1e-9
+/// relative), and the emitted JSON passes the schema validator.
+#[test]
+fn attribution_partitions_sim_seconds_on_every_device() {
+    let sim = paper_sim();
+    let mut all = perf::standard_metrics(&sim, PAPER_STEPS).expect("all devices run");
+    all.push(perf::mta_metrics(&sim, PAPER_STEPS, ThreadingMode::PartiallyMultithreaded).0);
+    assert_eq!(all.len(), 5);
+    for m in &all {
+        m.validate()
+            .unwrap_or_else(|e| panic!("{} attribution broken: {e}", m.device));
+        let sum: f64 = m.attribution.iter().map(|(_, s)| s).sum();
+        assert!(
+            (sum - m.sim_seconds).abs() <= 1e-9 * m.sim_seconds,
+            "{}: {sum} != {}",
+            m.device,
+            m.sim_seconds
+        );
+        sim_perf::validate_run_metrics_json(&m.to_json())
+            .unwrap_or_else(|e| panic!("{} JSON invalid: {e}", m.device));
+    }
+}
+
+/// Paper, Figure 7: "the overhead associated with beginning a computation on
+/// the GPU" plus PCIe transfers make small runs transfer-dominated; by 2048
+/// atoms the shader dominates and the GPU is worth it.
+#[test]
+fn gpu_is_transfer_dominated_at_small_n_and_compute_dominated_at_2048() {
+    for n in [256usize, 512] {
+        let sim = SimConfig::reduced_lj(n);
+        let (m, _) = perf::gpu_metrics(&sim, PAPER_STEPS);
+        let transfer = m.derived_value("transfer_overhead_fraction");
+        let compute = m.derived_value("compute_fraction");
+        assert!(
+            transfer > compute,
+            "at N={n} transfer ({transfer:.3}) must dominate compute ({compute:.3})"
+        );
+    }
+    let (m, _) = perf::gpu_metrics(&paper_sim(), PAPER_STEPS);
+    let transfer = m.derived_value("transfer_overhead_fraction");
+    let compute = m.derived_value("compute_fraction");
+    assert!(
+        compute > transfer,
+        "at N=2048 compute ({compute:.3}) must dominate transfer ({transfer:.3})"
+    );
+}
+
+/// Paper, Figures 8/9: the Opteron's relative cost of memory grows with the
+/// problem — once the arrays outgrow the caches, stall cycles take an
+/// ever-larger share of the run.
+#[test]
+fn opteron_memory_stall_fraction_strictly_increases_with_n() {
+    let mut last = 0.0f64;
+    for n in [256usize, 512, 1024, 2048] {
+        let sim = SimConfig::reduced_lj(n);
+        let (m, _) = perf::opteron_metrics(&sim, PAPER_STEPS);
+        let f = m.derived_value("memory_stall_fraction");
+        assert!(
+            f > last,
+            "stall fraction must grow: {f:.4} at N={n} after {last:.4}"
+        );
+        last = f;
+    }
+}
+
+/// Paper, Table 1: at 8 SPEs the DMA traffic is overlapped with compute —
+/// the data moves (the byte counters prove it) but contributes almost
+/// nothing to the critical path.
+#[test]
+fn cell_dma_is_overlapped_at_8_spes() {
+    let (m, _) =
+        perf::cell_metrics(&paper_sim(), PAPER_STEPS, CellRunConfig::best()).expect("cell run");
+    assert!(
+        m.counter_value("cell.dma.bytes_in") > 0.0,
+        "DMA must actually move data"
+    );
+    let dma = m.derived_value("dma_fraction");
+    assert!(
+        dma < 0.05,
+        "DMA-wait share of an 8-SPE run must be small (overlapped): {dma:.4}"
+    );
+}
+
+/// Paper, Figure 8: the fully multithreaded MTA run keeps enough streams in
+/// flight to hide all memory latency — essentially no phantom (no-op)
+/// cycles — while the partially multithreaded run serializes on one stream.
+#[test]
+fn mta_full_mt_is_stall_free_and_partial_mt_is_not() {
+    let sim = paper_sim();
+    let (full, _) = perf::mta_metrics(&sim, PAPER_STEPS, ThreadingMode::FullyMultithreaded);
+    let (partial, _) = perf::mta_metrics(&sim, PAPER_STEPS, ThreadingMode::PartiallyMultithreaded);
+    let full_phantom = full.derived_value("phantom_fraction");
+    let partial_phantom = partial.derived_value("phantom_fraction");
+    assert!(
+        full_phantom < 0.01,
+        "fully multithreaded run must be nearly stall-free: {full_phantom:.4}"
+    );
+    assert!(
+        partial_phantom > 0.5,
+        "partially multithreaded run must be stall-dominated: {partial_phantom:.4}"
+    );
+    assert!(full.derived_value("avg_stream_occupancy") > 64.0);
+}
+
+proptest! {
+    /// Counters are cumulative: every sampled series is monotonically
+    /// non-decreasing in both simulated time and value, on an integer-flop
+    /// device (Opteron) and a stream device (MTA).
+    #[test]
+    fn counter_series_are_monotonically_nondecreasing(n in 128usize..320, steps in 1usize..4) {
+        let sim = SimConfig::reduced_lj(n);
+        let mut monitors = Vec::new();
+        let mut perf_o = PerfMonitor::new();
+        OpteronCpu::paper_reference().run_md_perf(&sim, steps, &mut perf_o);
+        monitors.push(perf_o);
+        let mut perf_m = PerfMonitor::new();
+        MtaMdSimulation::paper_mta2().run_md_perf(
+            &sim,
+            steps,
+            ThreadingMode::FullyMultithreaded,
+            &mut perf_m,
+        );
+        monitors.push(perf_m);
+        for monitor in &monitors {
+            prop_assert!(!monitor.is_empty());
+            for c in monitor.counters() {
+                let mut prev_t = f64::NEG_INFINITY;
+                let mut prev_v = f64::NEG_INFINITY;
+                prop_assert!(!c.samples().is_empty(), "{} never sampled", c.name);
+                for &(t, v) in c.samples() {
+                    prop_assert!(
+                        t >= prev_t && v >= prev_v,
+                        "{} regressed: ({t}, {v}) after ({prev_t}, {prev_v})",
+                        c.name
+                    );
+                    prev_t = t;
+                    prev_v = v;
+                }
+            }
+        }
+    }
+}

@@ -5,7 +5,7 @@
 //!
 //! 1. **The shipped tree is lint-clean.** `scan_workspace` over the repo root
 //!    must report zero unwaived findings — the same check `cargo run -p
-//!    sim-vet` performs in CI. Seeded violations of all four rules must be
+//!    sim-vet` performs in CI. Seeded violations of all five rules must be
 //!    *detected* (the linter is alive, not vacuously clean), and inline
 //!    waivers must suppress exactly the findings they name.
 //!
@@ -94,6 +94,22 @@ fn seeded_cost_violation_detected() {
             .any(|f| f.rule == Rule::CostConservation && f.line == 1 && !f.waived),
         "{found:?}"
     );
+}
+
+#[test]
+fn seeded_observer_purity_violation_detected() {
+    let src = "pub fn sample(spe: &mut Spe) -> f64 {\n    spe.charge(4.0);\n    spe.cycles()\n}\n";
+    let found = scan_source("crates/sim-perf/src/counter.rs", src);
+    assert!(
+        found
+            .iter()
+            .any(|f| f.rule == Rule::ObserverPurity && f.line == 2 && !f.waived),
+        "{found:?}"
+    );
+    // The same call inside a device crate is legitimate cost accounting.
+    assert!(scan_source("crates/cell-be/src/spe.rs", src)
+        .iter()
+        .all(|f| f.rule != Rule::ObserverPurity));
 }
 
 #[test]

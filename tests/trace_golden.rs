@@ -257,6 +257,60 @@ fn synthetic_timeline_matches_golden_file() {
 }
 
 #[test]
+fn golden_file_matches_regardless_of_insertion_order() {
+    // Record the same timeline in a scrambled order: the export sorts by
+    // (timestamp, track, kind), so the bytes must still match the golden.
+    let mut t = Tracer::new();
+    t.name_track(TraceTrack(0), "PPE");
+    t.name_track(TraceTrack(1), "SPE 0");
+    t.instant(
+        TraceTrack(1),
+        "hazard: read-before-get at offset 4096",
+        "read-before-get",
+        0.000_375,
+    );
+    t.span(TraceTrack(0), "integrate: kick", "ppe", 0.001_375, 0.000_5);
+    t.span(TraceTrack(1), "accel kernel", "compute", 0.000_375, 0.001);
+    t.span(
+        TraceTrack(1),
+        "dma-get positions",
+        "dma",
+        0.000_125,
+        0.000_25,
+    );
+    t.span(
+        TraceTrack(0),
+        "spawn SPE 0 thread",
+        "thread",
+        0.0,
+        0.000_125,
+    );
+    let golden = include_str!("golden/trace_small.json");
+    assert_eq!(
+        t.to_chrome_json(),
+        golden,
+        "export must be insertion-order-independent"
+    );
+}
+
+#[test]
+fn counter_events_keep_the_export_valid_and_sorted() {
+    let mut t = synthetic_timeline();
+    t.counter(TraceTrack(1), "spe.dma.bytes", "perf", 0.000_375, 4096.0);
+    t.counter(TraceTrack(1), "spe.dma.bytes", "perf", 0.001_375, 8192.0);
+    let json = t.to_chrome_json();
+    Json::validate(&json).expect("trace with counters must parse");
+    assert!(json.contains("\"ph\":\"C\""), "{json}");
+    assert!(json.contains("\"args\":{\"value\":4096}"), "{json}");
+    // The first counter sample shares ts=375 µs with the accel span and the
+    // hazard instant: span < instant < counter at equal (timestamp, track).
+    let accel = json.find("accel kernel").expect("span present");
+    let hazard = json.find("hazard:").expect("instant present");
+    let ctr = json.find("spe.dma.bytes").expect("counter present");
+    assert!(accel < hazard && hazard < ctr, "{json}");
+}
+
+#[test]
 fn golden_file_is_strictly_valid_json() {
     let golden = include_str!("golden/trace_small.json");
     Json::validate(golden).expect("golden trace must parse");
