@@ -11,6 +11,98 @@ pub mod prelude {
     pub use crate::iter::IntoParallelRefIterator;
 }
 
+pub use pool::{ThreadPool, ThreadPoolBuildError, ThreadPoolBuilder};
+
+mod pool {
+    use std::cell::Cell;
+    use std::fmt;
+
+    thread_local! {
+        /// Worker-thread cap installed by [`ThreadPool::install`] on the
+        /// calling thread; `None` uses all available cores.
+        pub(crate) static CURRENT_LIMIT: Cell<Option<usize>> = const { Cell::new(None) };
+    }
+
+    /// Mirror of `rayon::ThreadPoolBuilder` for the one configuration the
+    /// workspace uses: a fixed worker-thread count.
+    #[derive(Default)]
+    pub struct ThreadPoolBuilder {
+        num_threads: usize,
+    }
+
+    impl ThreadPoolBuilder {
+        pub fn new() -> Self {
+            Self::default()
+        }
+
+        /// 0 (the default) means "use all available cores", as in rayon.
+        #[must_use]
+        pub fn num_threads(mut self, num_threads: usize) -> Self {
+            self.num_threads = num_threads;
+            self
+        }
+
+        pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+            Ok(ThreadPool {
+                num_threads: self.num_threads,
+            })
+        }
+    }
+
+    /// Mirror of `rayon::ThreadPool`. The shim spawns scoped threads per
+    /// `collect` rather than keeping persistent workers, so the "pool" is
+    /// just the thread-count limit `install` applies while `op` runs.
+    pub struct ThreadPool {
+        num_threads: usize,
+    }
+
+    impl ThreadPool {
+        /// Run `op` with this pool's thread budget: parallel iterators used
+        /// inside `op` (on this thread) split across at most `num_threads`
+        /// workers. Order-preserving collection keeps results identical to
+        /// any other budget, including serial.
+        pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+            let limit = (self.num_threads > 0).then_some(self.num_threads);
+            let prev = CURRENT_LIMIT.with(|l| l.replace(limit));
+            let guard = RestoreLimit(prev);
+            let out = op();
+            drop(guard);
+            out
+        }
+
+        pub fn current_num_threads(&self) -> usize {
+            if self.num_threads > 0 {
+                self.num_threads
+            } else {
+                std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+            }
+        }
+    }
+
+    /// Restores the previous limit even if `op` panics.
+    struct RestoreLimit(Option<usize>);
+
+    impl Drop for RestoreLimit {
+        fn drop(&mut self) {
+            let prev = self.0;
+            CURRENT_LIMIT.with(|l| l.set(prev));
+        }
+    }
+
+    /// Mirror of `rayon::ThreadPoolBuildError` (this shim cannot actually
+    /// fail to build, but callers match the real API's `Result`).
+    #[derive(Debug)]
+    pub struct ThreadPoolBuildError;
+
+    impl fmt::Display for ThreadPoolBuildError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("thread pool build failed")
+        }
+    }
+
+    impl std::error::Error for ThreadPoolBuildError {}
+}
+
 pub mod iter {
     /// Entry point mirroring `rayon::iter::IntoParallelRefIterator`.
     pub trait IntoParallelRefIterator<'data> {
@@ -99,8 +191,11 @@ pub mod iter {
         F: Fn((usize, &'data T)) -> R + Sync,
     {
         let n = items.len();
-        let threads = std::thread::available_parallelism()
-            .map_or(1, std::num::NonZeroUsize::get)
+        let limit = crate::pool::CURRENT_LIMIT.with(std::cell::Cell::get);
+        let threads = limit
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+            })
             .min(n.max(1));
         if threads <= 1 || n < 2 {
             return items.iter().enumerate().map(f).collect();
@@ -163,6 +258,46 @@ mod tests {
         let one = [7u8];
         let out: Vec<u8> = one.par_iter().enumerate().map(|(_, &x)| x + 1).collect();
         assert_eq!(out, vec![8]);
+    }
+
+    #[test]
+    fn install_caps_threads_and_preserves_results() {
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .expect("shim pools always build");
+        assert_eq!(pool.current_num_threads(), 1);
+        let data: Vec<u32> = (0..1000).collect();
+        let serial: Vec<u64> = pool.install(|| {
+            data.par_iter()
+                .enumerate()
+                .map(|(i, &x)| u64::from(x) * 3 + i as u64)
+                .collect()
+        });
+        let free: Vec<u64> = data
+            .par_iter()
+            .enumerate()
+            .map(|(i, &x)| u64::from(x) * 3 + i as u64)
+            .collect();
+        assert_eq!(serial, free);
+    }
+
+    #[test]
+    fn install_restores_previous_limit() {
+        let outer = crate::ThreadPoolBuilder::new()
+            .num_threads(3)
+            .build()
+            .expect("shim pools always build");
+        let inner = crate::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .expect("shim pools always build");
+        outer.install(|| {
+            inner.install(|| {});
+            // The inner install must not clobber the outer budget.
+            let got: Vec<usize> = [0usize; 4].par_iter().enumerate().map(|(i, _)| i).collect();
+            assert_eq!(got, vec![0, 1, 2, 3]);
+        });
     }
 
     #[test]

@@ -3,33 +3,32 @@
 //! - SPE count sweep (1..8): how Cell speedup scales with SPEs.
 //! - XMT projection (the paper's "we anticipate significant performance
 //!   gains from the upcoming XMT"): MTA-2 vs XMT at 1 and 16 processors.
+//!
+//! Non-paper configurations (XMT, tuned Opterons) have no `DeviceKind`, so
+//! they are driven through the `MdDevice` adapters directly.
 
-use cell_be::{CellBeDevice, CellRunConfig, SpawnPolicy, SpeKernelVariant};
+use cell_be::{CellMd, CellRunConfig, SpawnPolicy, SpeKernelVariant};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use md_core::device::{MdDevice, RunOptions};
 use md_core::params::SimConfig;
 use mdea_bench::{sim_criterion, sim_duration};
-use mta::{MtaConfig, MtaMdSimulation, ThreadingMode};
+use mta::{MtaConfig, MtaMd, MtaMdSimulation, ThreadingMode};
 use opteron::{OpteronConfig, OpteronCpu};
 
 fn spe_count_sweep(c: &mut Criterion) {
     let sim = SimConfig::reduced_lj(1024);
     let steps = 4;
-    let device = CellBeDevice::paper_blade();
     let mut group = c.benchmark_group("ablation_spe_count");
     for n_spes in 1..=8usize {
         group.bench_with_input(BenchmarkId::from_parameter(n_spes), &n_spes, |b, _| {
             b.iter_custom(|iters| {
-                let run = device
-                    .run_md(
-                        &sim,
-                        steps,
-                        CellRunConfig {
-                            n_spes,
-                            policy: SpawnPolicy::LaunchOnce,
-                            variant: SpeKernelVariant::SimdAcceleration,
-                        },
-                    )
-                    .unwrap();
+                let run = CellMd::paper_blade(CellRunConfig {
+                    n_spes,
+                    policy: SpawnPolicy::LaunchOnce,
+                    variant: SpeKernelVariant::SimdAcceleration,
+                })
+                .run(&sim, RunOptions::steps(steps))
+                .expect("fits local store");
                 sim_duration(run.sim_seconds, iters)
             });
         });
@@ -54,10 +53,15 @@ fn xmt_projection(c: &mut Criterion) {
         ),
         ("xmt-16proc-placed", MtaConfig::xmt_nonuniform(16, 0.05)),
     ] {
-        let m = MtaMdSimulation::new(config);
-        group.bench_function(label, |b| {
+        let mut m = MtaMd::new(
+            MtaMdSimulation::new(config),
+            ThreadingMode::FullyMultithreaded,
+        );
+        group.bench_function(label, move |b| {
             b.iter_custom(|iters| {
-                let run = m.run_md(&sim, steps, ThreadingMode::FullyMultithreaded);
+                let run = m
+                    .run(&sim, RunOptions::steps(steps))
+                    .expect("MTA model runs any workload");
                 sim_duration(run.sim_seconds, iters)
             });
         });
@@ -75,9 +79,12 @@ fn gpu_generations(c: &mut Criterion) {
         ("geforce-6800", gpu::GpuMdSimulation::geforce_6800()),
         ("geforce-7900gtx", gpu::GpuMdSimulation::geforce_7900gtx()),
     ] {
-        group.bench_function(label, |b| {
+        let mut runner = runner;
+        group.bench_function(label, move |b| {
             b.iter_custom(|iters| {
-                let run = runner.run_md(&sim, steps);
+                let run = runner
+                    .run(&sim, RunOptions::steps(steps))
+                    .expect("GPU model runs any workload");
                 sim_duration(run.sim_seconds, iters)
             });
         });
@@ -97,9 +104,12 @@ fn opteron_variants(c: &mut Criterion) {
             ("sse2", OpteronConfig::sse2_vectorized()),
             ("prefetch", OpteronConfig::with_prefetcher()),
         ] {
-            group.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
+            let mut cpu = OpteronCpu::new(cfg);
+            group.bench_with_input(BenchmarkId::new(label, n), &n, move |b, _| {
                 b.iter_custom(|iters| {
-                    let run = OpteronCpu::new(cfg).run_md(&sim, steps);
+                    let run = cpu
+                        .run(&sim, RunOptions::steps(steps))
+                        .expect("reference CPU runs");
                     sim_duration(run.sim_seconds, iters)
                 });
             });

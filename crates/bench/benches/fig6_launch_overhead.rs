@@ -1,15 +1,15 @@
 //! Figure 6 as a Criterion bench: total simulated runtime of the four SPE
 //! thread-management configurations (1/8 SPEs × respawn/launch-once).
 
-use cell_be::{CellBeDevice, CellRunConfig, SpawnPolicy, SpeKernelVariant};
+use cell_be::{CellMd, CellRunConfig, SpawnPolicy, SpeKernelVariant};
 use criterion::{criterion_group, criterion_main, Criterion};
+use md_core::device::{MdDevice, RunOptions};
 use md_core::params::SimConfig;
 use mdea_bench::{sim_criterion, sim_duration};
 
 fn fig6(c: &mut Criterion) {
     let sim = SimConfig::reduced_lj(1024);
     let steps = 10;
-    let device = CellBeDevice::paper_blade();
 
     let mut group = c.benchmark_group("fig6_launch_overhead");
     for (label, n_spes, policy) in [
@@ -20,17 +20,13 @@ fn fig6(c: &mut Criterion) {
     ] {
         group.bench_function(label, |b| {
             b.iter_custom(|iters| {
-                let run = device
-                    .run_md(
-                        &sim,
-                        steps,
-                        CellRunConfig {
-                            n_spes,
-                            policy,
-                            variant: SpeKernelVariant::SimdAcceleration,
-                        },
-                    )
-                    .expect("fits local store");
+                let run = CellMd::paper_blade(CellRunConfig {
+                    n_spes,
+                    policy,
+                    variant: SpeKernelVariant::SimdAcceleration,
+                })
+                .run(&sim, RunOptions::steps(steps))
+                .expect("fits local store");
                 sim_duration(run.sim_seconds, iters)
             });
         });

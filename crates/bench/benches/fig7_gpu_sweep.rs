@@ -3,6 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gpu::GpuMdSimulation;
+use md_core::device::{MdDevice, RunOptions};
 use md_core::params::SimConfig;
 use mdea_bench::{sim_criterion, sim_duration};
 use opteron::OpteronCpu;
@@ -14,13 +15,17 @@ fn fig7(c: &mut Criterion) {
         let sim = SimConfig::reduced_lj(n);
         group.bench_with_input(BenchmarkId::new("opteron", n), &n, |b, _| {
             b.iter_custom(|iters| {
-                let run = OpteronCpu::paper_reference().run_md(&sim, steps);
+                let run = OpteronCpu::paper_reference()
+                    .run(&sim, RunOptions::steps(steps))
+                    .expect("reference CPU runs");
                 sim_duration(run.sim_seconds, iters)
             });
         });
         group.bench_with_input(BenchmarkId::new("gpu", n), &n, |b, _| {
             b.iter_custom(|iters| {
-                let run = GpuMdSimulation::geforce_7900gtx().run_md(&sim, steps);
+                let run = GpuMdSimulation::geforce_7900gtx()
+                    .run(&sim, RunOptions::steps(steps))
+                    .expect("GPU model runs any workload");
                 sim_duration(run.sim_seconds, iters)
             });
         });

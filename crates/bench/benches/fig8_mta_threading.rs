@@ -2,25 +2,29 @@
 //! MTA-2 across atom counts.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use md_core::device::{MdDevice, RunOptions};
 use md_core::params::SimConfig;
 use mdea_bench::{sim_criterion, sim_duration};
-use mta::{MtaMdSimulation, ThreadingMode};
+use mta::{MtaMd, ThreadingMode};
 
 fn fig8(c: &mut Criterion) {
     let steps = 4;
-    let m = MtaMdSimulation::paper_mta2();
     let mut group = c.benchmark_group("fig8_mta_threading");
     for &n in &[256usize, 512, 1024, 2048] {
         let sim = SimConfig::reduced_lj(n);
         group.bench_with_input(BenchmarkId::new("fully-mt", n), &n, |b, _| {
             b.iter_custom(|iters| {
-                let run = m.run_md(&sim, steps, ThreadingMode::FullyMultithreaded);
+                let run = MtaMd::paper_mta2(ThreadingMode::FullyMultithreaded)
+                    .run(&sim, RunOptions::steps(steps))
+                    .expect("MTA model runs any workload");
                 sim_duration(run.sim_seconds, iters)
             });
         });
         group.bench_with_input(BenchmarkId::new("partially-mt", n), &n, |b, _| {
             b.iter_custom(|iters| {
-                let run = m.run_md(&sim, steps, ThreadingMode::PartiallyMultithreaded);
+                let run = MtaMd::paper_mta2(ThreadingMode::PartiallyMultithreaded)
+                    .run(&sim, RunOptions::steps(steps))
+                    .expect("MTA model runs any workload");
                 sim_duration(run.sim_seconds, iters)
             });
         });

@@ -1,28 +1,32 @@
 //! Figure 9 as a Criterion bench: MTA vs Opteron simulated runtime across the
 //! workload sweep (the relative-to-256 normalization the paper plots is
-//! applied by the harness binary; the bench reports the raw series).
+//! applied by the sweep binary; the bench reports the raw series).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use md_core::device::{MdDevice, RunOptions};
 use md_core::params::SimConfig;
 use mdea_bench::{sim_criterion, sim_duration};
-use mta::{MtaMdSimulation, ThreadingMode};
+use mta::{MtaMd, ThreadingMode};
 use opteron::OpteronCpu;
 
 fn fig9(c: &mut Criterion) {
     let steps = 2;
-    let m = MtaMdSimulation::paper_mta2();
     let mut group = c.benchmark_group("fig9_scaling");
     for &n in &[256usize, 512, 1024, 2048, 4096] {
         let sim = SimConfig::reduced_lj(n);
         group.bench_with_input(BenchmarkId::new("mta", n), &n, |b, _| {
             b.iter_custom(|iters| {
-                let run = m.run_md(&sim, steps, ThreadingMode::FullyMultithreaded);
+                let run = MtaMd::paper_mta2(ThreadingMode::FullyMultithreaded)
+                    .run(&sim, RunOptions::steps(steps))
+                    .expect("MTA model runs any workload");
                 sim_duration(run.sim_seconds, iters)
             });
         });
         group.bench_with_input(BenchmarkId::new("opteron", n), &n, |b, _| {
             b.iter_custom(|iters| {
-                let run = OpteronCpu::paper_reference().run_md(&sim, steps);
+                let run = OpteronCpu::paper_reference()
+                    .run(&sim, RunOptions::steps(steps))
+                    .expect("reference CPU runs");
                 sim_duration(run.sim_seconds, iters)
             });
         });

@@ -1,43 +1,49 @@
 //! Table 1 as a Criterion bench: simulated total runtime of the four systems
 //! (Opteron, Cell 1 SPE, Cell 8 SPEs, Cell PPE-only) on the MD workload.
 
-use cell_be::{CellBeDevice, CellRunConfig};
+use cell_be::{CellMd, CellPpeMd, CellRunConfig};
 use criterion::{criterion_group, criterion_main, Criterion};
+use md_core::device::{MdDevice, RunOptions};
 use md_core::params::SimConfig;
 use mdea_bench::{sim_criterion, sim_duration};
 use opteron::OpteronCpu;
 
 fn table1(c: &mut Criterion) {
     // 1024 atoms / 4 steps keeps samples fast; the comparison structure is
-    // the paper's (the harness binary runs the full 2048/10).
+    // the paper's (the sweep binary runs the full 2048/10).
     let sim = SimConfig::reduced_lj(1024);
     let steps = 4;
 
     let mut group = c.benchmark_group("table1");
     group.bench_function("opteron", |b| {
         b.iter_custom(|iters| {
-            let run = OpteronCpu::paper_reference().run_md(&sim, steps);
+            let run = OpteronCpu::paper_reference()
+                .run(&sim, RunOptions::steps(steps))
+                .expect("reference CPU runs");
             sim_duration(run.sim_seconds, iters)
         });
     });
-    let device = CellBeDevice::paper_blade();
     group.bench_function("cell-1spe", |b| {
         b.iter_custom(|iters| {
-            let run = device
-                .run_md(&sim, steps, CellRunConfig::single_spe())
-                .unwrap();
+            let run = CellMd::paper_blade(CellRunConfig::single_spe())
+                .run(&sim, RunOptions::steps(steps))
+                .expect("fits local store");
             sim_duration(run.sim_seconds, iters)
         });
     });
     group.bench_function("cell-8spe", |b| {
         b.iter_custom(|iters| {
-            let run = device.run_md(&sim, steps, CellRunConfig::best()).unwrap();
+            let run = CellMd::paper_blade(CellRunConfig::best())
+                .run(&sim, RunOptions::steps(steps))
+                .expect("fits local store");
             sim_duration(run.sim_seconds, iters)
         });
     });
     group.bench_function("cell-ppe-only", |b| {
         b.iter_custom(|iters| {
-            let run = device.run_md_ppe_only(&sim, steps);
+            let run = CellPpeMd::paper_blade()
+                .run(&sim, RunOptions::steps(steps))
+                .expect("the PPE runs any workload");
             sim_duration(run.sim_seconds, iters)
         });
     });

@@ -140,6 +140,7 @@ impl CellBeDevice {
     /// computation offloaded to SPEs. Physics is single precision, matching
     /// the paper's Cell port. Fails if the position + acceleration arrays do
     /// not fit the 256 KB local store.
+    #[deprecated(note = "drive the device through md_core::device::MdDevice::run")]
     pub fn run_md(
         &self,
         sim: &SimConfig,
@@ -157,6 +158,7 @@ impl CellBeDevice {
     /// values are run-local totals.
     ///
     /// [`run_md`]: CellBeDevice::run_md
+    #[deprecated(note = "drive the device through md_core::device::MdDevice::run")]
     pub fn run_md_perf(
         &self,
         sim: &SimConfig,
@@ -175,6 +177,7 @@ impl CellBeDevice {
     /// reproduces the unsegmented trajectory bit for bit. On error
     /// (including injected-fault exhaustion) `sys` may hold a partially
     /// advanced state and must be restored by the caller before retrying.
+    #[deprecated(note = "drive the device through md_core::device::MdDevice::run")]
     pub fn run_md_from(
         &self,
         sys: &mut ParticleSystem<f32>,
@@ -189,6 +192,7 @@ impl CellBeDevice {
     ///
     /// [`run_md_from`]: CellBeDevice::run_md_from
     /// [`run_md_perf`]: CellBeDevice::run_md_perf
+    #[deprecated(note = "drive the device through md_core::device::MdDevice::run")]
     pub fn run_md_from_perf(
         &self,
         sys: &mut ParticleSystem<f32>,
@@ -1013,10 +1017,19 @@ impl CellBeDevice {
     /// penalty; no SPEs, no DMA, no thread launches.
     pub fn run_md_ppe_only(&self, sim: &SimConfig, steps: usize) -> CellRun {
         let mut sys: ParticleSystem<f32> = init::initialize(sim);
+        self.run_md_ppe_only_impl(&mut sys, sim, steps)
+    }
+
+    fn run_md_ppe_only_impl(
+        &self,
+        sys: &mut ParticleSystem<f32>,
+        sim: &SimConfig,
+        steps: usize,
+    ) -> CellRun {
         let n = sys.n();
         let vv = VelocityVerlet::new(sim.dt as f32);
         let ppe = PpeModel::new(&self.config);
-        let params = Self::lj_params(sim, &sys);
+        let params = Self::lj_params(sim, sys);
 
         // The PPE works straight out of main memory; reuse the kernel with a
         // scratch "store" big enough for both arrays. The layout is fixed, so
@@ -1038,7 +1051,7 @@ impl CellBeDevice {
         for eval in 0..=steps {
             if eval > 0 {
                 breakdown.ppe += ppe.integration_cycles(n);
-                vv.kick_drift(&mut sys);
+                vv.kick_drift(sys);
             }
             for (i, p) in sys.positions.iter().enumerate() {
                 scratch.store_quad(pos_r, i, [p.x, p.y, p.z, 0.0]);
@@ -1063,7 +1076,7 @@ impl CellBeDevice {
             }
             if eval > 0 {
                 breakdown.ppe += ppe.integration_cycles(n);
-                vv.kick(&mut sys);
+                vv.kick(sys);
             }
         }
 
@@ -1071,7 +1084,7 @@ impl CellBeDevice {
         CellRun {
             sim_seconds: breakdown.total() / self.config.clock_hz,
             breakdown,
-            energies: EnergyReport::measure(&sys, (pe_total * 0.5) as f64),
+            energies: EnergyReport::measure(sys, (pe_total * 0.5) as f64),
             kernel_stats: stats_total,
             config: CellRunConfig {
                 n_spes: 0,
@@ -1261,7 +1274,225 @@ fn read_quad(mem: &[u8], quad_index: usize) -> [f32; 4] {
     [lane(off), lane(off + 4), lane(off + 8), lane(off + 12)]
 }
 
+/// Each SPE retires up to a 4-wide single-precision FMA per cycle.
+const SPE_FLOPS_PER_CYCLE: f64 = 8.0;
+
+/// A [`CellBeDevice`] bound to one [`CellRunConfig`], so each paper
+/// configuration (1 SPE, 8 SPEs, respawn vs launch-once, SIMD stage) appears
+/// as a distinct device behind [`md_core::device::MdDevice`].
+pub struct CellMd {
+    pub device: CellBeDevice,
+    pub run: CellRunConfig,
+}
+
+impl CellMd {
+    pub fn new(device: CellBeDevice, run: CellRunConfig) -> Self {
+        Self { device, run }
+    }
+
+    /// The paper's blade in the given run configuration.
+    pub fn paper_blade(run: CellRunConfig) -> Self {
+        Self::new(CellBeDevice::paper_blade(), run)
+    }
+}
+
+impl md_core::device::MdDevice for CellMd {
+    fn label(&self) -> String {
+        format!("cell-{}spe", self.run.n_spes)
+    }
+
+    fn peak_ops_per_second(&self) -> f64 {
+        self.device.config.clock_hz * SPE_FLOPS_PER_CYCLE * self.run.n_spes as f64
+    }
+
+    #[cfg(feature = "fault-inject")]
+    fn resalt(&mut self, salt: u64) {
+        self.device.fault_plan = self.device.fault_plan.map(|p| p.with_salt(salt));
+    }
+
+    fn run(
+        &mut self,
+        sim: &SimConfig,
+        mut opts: md_core::device::RunOptions<'_>,
+    ) -> Result<md_core::device::DeviceRun, md_core::device::DeviceError> {
+        #[cfg(feature = "fault-inject")]
+        if let Some(plan) = opts.fault_plan {
+            self.device.fault_plan = Some(plan);
+        }
+        let (mut sys, start_step): (ParticleSystem<f32>, u64) = match opts.start {
+            Some(cp) => (cp.restore(), cp.step),
+            None => (init::initialize(sim), 0),
+        };
+        // Flops and DMA traffic are reported through the counter layer, so
+        // observe with a local monitor when the caller didn't pass one
+        // (observation is free: the counted run is bitwise-identical).
+        let mut local = sim_perf::PerfMonitor::new();
+        let perf = match opts.perf.take() {
+            Some(p) => p,
+            None => &mut local,
+        };
+        let r = self
+            .device
+            .run_md_impl(&mut sys, sim, opts.steps, self.run, None, Some(perf))
+            .map_err(|e| md_core::device::DeviceError::Failed(e.to_string()))?;
+        let clk = self.device.config.clock_hz;
+        let flops = md_core::device::counter_total(perf, "cell.flops.simd")
+            + md_core::device::counter_total(perf, "cell.flops.scalar");
+        let bytes = md_core::device::counter_total(perf, "cell.dma.bytes_in")
+            + md_core::device::counter_total(perf, "cell.dma.bytes_out");
+        let fraction = |cycles: f64| {
+            if r.sim_seconds == 0.0 {
+                0.0
+            } else {
+                (cycles / clk) / r.sim_seconds
+            }
+        };
+        Ok(md_core::device::DeviceRun {
+            sim_seconds: r.sim_seconds,
+            energies: r.energies,
+            checkpoint: md_core::checkpoint::SystemCheckpoint::capture(
+                &sys,
+                start_step + opts.steps as u64,
+            ),
+            attribution: vec![
+                ("compute", r.breakdown.compute / clk),
+                ("dma_wait", r.breakdown.dma / clk),
+                ("mailbox", r.breakdown.mailbox / clk),
+                ("spe_spawn", r.breakdown.spawn / clk),
+                ("ppe_serial", r.breakdown.ppe / clk),
+            ],
+            derived: vec![
+                ("dma_fraction", fraction(r.breakdown.dma)),
+                ("launch_fraction", fraction(r.breakdown.spawn)),
+            ],
+            ops: flops,
+            bytes_moved: bytes,
+            #[cfg(feature = "fault-inject")]
+            faults: r.faults,
+            #[cfg(not(feature = "fault-inject"))]
+            faults: md_core::device::FaultStats::default(),
+        })
+    }
+}
+
+/// The PPE-only baseline (Table 1's 26x-slower row) as a device: the scalar
+/// kernel on the PPE with its CPI penalty, no SPEs, no DMA.
+pub struct CellPpeMd {
+    pub device: CellBeDevice,
+}
+
+impl CellPpeMd {
+    pub fn paper_blade() -> Self {
+        Self {
+            device: CellBeDevice::paper_blade(),
+        }
+    }
+}
+
+impl md_core::device::MdDevice for CellPpeMd {
+    fn label(&self) -> String {
+        "cell-ppe".to_string()
+    }
+
+    /// The PPE issues one scalar flop per cycle in this model.
+    fn peak_ops_per_second(&self) -> f64 {
+        self.device.config.clock_hz
+    }
+
+    fn run(
+        &mut self,
+        sim: &SimConfig,
+        opts: md_core::device::RunOptions<'_>,
+    ) -> Result<md_core::device::DeviceRun, md_core::device::DeviceError> {
+        let (mut sys, start_step): (ParticleSystem<f32>, u64) = match opts.start {
+            Some(cp) => (cp.restore(), cp.step),
+            None => (init::initialize(sim), 0),
+        };
+        let r = self.device.run_md_ppe_only_impl(&mut sys, sim, opts.steps);
+        let clk = self.device.config.clock_hz;
+        let ops = r.kernel_stats.pairs_tested as f64 * FLOPS_PER_PAIR
+            + r.kernel_stats.interactions as f64 * FLOPS_PER_INTERACTION;
+        Ok(md_core::device::DeviceRun {
+            sim_seconds: r.sim_seconds,
+            energies: r.energies,
+            checkpoint: md_core::checkpoint::SystemCheckpoint::capture(
+                &sys,
+                start_step + opts.steps as u64,
+            ),
+            attribution: vec![
+                ("compute", r.breakdown.compute / clk),
+                ("dma_wait", r.breakdown.dma / clk),
+                ("mailbox", r.breakdown.mailbox / clk),
+                ("spe_spawn", r.breakdown.spawn / clk),
+                ("ppe_serial", r.breakdown.ppe / clk),
+            ],
+            derived: Vec::new(),
+            ops,
+            bytes_moved: 0.0,
+            faults: md_core::device::FaultStats::default(),
+        })
+    }
+}
+
+/// The Figure 5 measurement as a device: one acceleration-function
+/// invocation on a single SPE at a fixed optimization stage. Only supports
+/// `steps == 0` from a fresh lattice — it times the function, not a
+/// trajectory.
+pub struct CellAccelProbe {
+    pub device: CellBeDevice,
+    pub variant: SpeKernelVariant,
+}
+
+impl CellAccelProbe {
+    pub fn paper_blade(variant: SpeKernelVariant) -> Self {
+        Self {
+            device: CellBeDevice::paper_blade(),
+            variant,
+        }
+    }
+}
+
+impl md_core::device::MdDevice for CellAccelProbe {
+    fn label(&self) -> String {
+        format!("cell-1spe-{}", self.variant.label().replace(' ', "-"))
+    }
+
+    fn peak_ops_per_second(&self) -> f64 {
+        self.device.config.clock_hz * SPE_FLOPS_PER_CYCLE
+    }
+
+    fn run(
+        &mut self,
+        sim: &SimConfig,
+        opts: md_core::device::RunOptions<'_>,
+    ) -> Result<md_core::device::DeviceRun, md_core::device::DeviceError> {
+        if opts.start.is_some() || opts.steps != 0 {
+            return Err(md_core::device::DeviceError::Unsupported(
+                "the single-SPE probe times one force evaluation from a fresh lattice \
+                 (steps must be 0, no checkpoint)"
+                    .to_string(),
+            ));
+        }
+        let t = self
+            .device
+            .time_single_spe_accel(sim, self.variant)
+            .map_err(|e| md_core::device::DeviceError::Failed(e.to_string()))?;
+        let sys: ParticleSystem<f32> = init::initialize(sim);
+        Ok(md_core::device::DeviceRun {
+            sim_seconds: t,
+            energies: EnergyReport::measure(&sys, 0.0),
+            checkpoint: md_core::checkpoint::SystemCheckpoint::capture(&sys, 0),
+            attribution: vec![("force_eval", t)],
+            derived: Vec::new(),
+            ops: 0.0,
+            bytes_moved: 0.0,
+            faults: md_core::device::FaultStats::default(),
+        })
+    }
+}
+
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use md_core::forces::{AllPairsFullKernel, ForceKernel};

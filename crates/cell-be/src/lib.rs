@@ -38,7 +38,10 @@ mod ppe;
 mod spe;
 
 pub use config::{CellConfig, SpeCostModel};
-pub use device::{CellBeDevice, CellRun, CellRunConfig, CostBreakdown, SpawnPolicy};
+pub use device::{
+    CellAccelProbe, CellBeDevice, CellMd, CellPpeMd, CellRun, CellRunConfig, CostBreakdown,
+    SpawnPolicy,
+};
 pub use dma::DmaEngine;
 pub use error::{CellError, DmaError, LsError};
 pub use kernel::{

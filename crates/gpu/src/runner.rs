@@ -100,6 +100,7 @@ impl GpuMdSimulation {
 
     /// Run `steps` time steps of the MD kernel with step 2 on the GPU, using
     /// the paper's CPU-readback PE reduction.
+    #[deprecated(note = "drive the device through md_core::device::MdDevice::run")]
     pub fn run_md(&self, sim: &SimConfig, steps: usize) -> GpuRun {
         self.run_md_with(sim, steps, crate::reduction::ReductionStrategy::CpuReadback)
     }
@@ -111,6 +112,7 @@ impl GpuMdSimulation {
     /// values are run-local totals.
     ///
     /// [`run_md`]: GpuMdSimulation::run_md
+    #[deprecated(note = "drive the device through md_core::device::MdDevice::run")]
     pub fn run_md_perf(
         &self,
         sim: &SimConfig,
@@ -131,6 +133,7 @@ impl GpuMdSimulation {
     /// of a fresh lattice — the supervisor's checkpoint/restart entry point.
     /// Each segment re-primes accelerations from the incoming positions, so
     /// a segmented run reproduces the unsegmented trajectory bit for bit.
+    #[deprecated(note = "drive the device through md_core::device::MdDevice::run")]
     pub fn run_md_from(
         &self,
         sys: &mut ParticleSystem<f32>,
@@ -150,6 +153,7 @@ impl GpuMdSimulation {
     ///
     /// [`run_md_from`]: GpuMdSimulation::run_md_from
     /// [`run_md_perf`]: GpuMdSimulation::run_md_perf
+    #[deprecated(note = "drive the device through md_core::device::MdDevice::run")]
     pub fn run_md_from_perf(
         &self,
         sys: &mut ParticleSystem<f32>,
@@ -388,7 +392,100 @@ fn resolve_degradable(
     extra
 }
 
+impl md_core::device::MdDevice for GpuMdSimulation {
+    fn label(&self) -> String {
+        // Named models keep their historical metric labels; anything else is
+        // identified by pipe count.
+        let c = &self.config;
+        if c.n_pipes == 24 && c.clock_hz == 650e6 {
+            "gpu-7900gtx".to_string()
+        } else if c.n_pipes == 16 && c.clock_hz == 400e6 {
+            "gpu-6800".to_string()
+        } else {
+            format!("gpu-{}pipes", c.n_pipes)
+        }
+    }
+
+    fn peak_ops_per_second(&self) -> f64 {
+        self.config.ops_per_second()
+    }
+
+    #[cfg(feature = "fault-inject")]
+    fn resalt(&mut self, salt: u64) {
+        self.fault_plan = self.fault_plan.map(|p| p.with_salt(salt));
+    }
+
+    fn run(
+        &mut self,
+        sim: &SimConfig,
+        mut opts: md_core::device::RunOptions<'_>,
+    ) -> Result<md_core::device::DeviceRun, md_core::device::DeviceError> {
+        #[cfg(feature = "fault-inject")]
+        if let Some(plan) = opts.fault_plan {
+            self.fault_plan = Some(plan);
+        }
+        let (mut sys, start_step): (ParticleSystem<f32>, u64) = match opts.start {
+            Some(cp) => (cp.restore(), cp.step),
+            None => (init::initialize(sim), 0),
+        };
+        // bytes_moved comes from the PCIe byte counters, so observe with a
+        // local monitor when the caller didn't pass one (observation is free:
+        // the counted run is bitwise-identical to the uncounted one).
+        let mut local = sim_perf::PerfMonitor::new();
+        let perf = match opts.perf.take() {
+            Some(p) => p,
+            None => &mut local,
+        };
+        let r = self.run_md_impl(
+            &mut sys,
+            sim,
+            opts.steps,
+            crate::reduction::ReductionStrategy::CpuReadback,
+            Some(perf),
+        );
+        let b = r.breakdown;
+        let bytes = md_core::device::counter_total(perf, "gpu.pcie.bytes_to_device")
+            + md_core::device::counter_total(perf, "gpu.pcie.bytes_from_device");
+        // The paper's small-N story: everything that exists only because the
+        // GPU sits across a bus versus the work itself.
+        let total = r.sim_seconds.max(f64::MIN_POSITIVE);
+        Ok(md_core::device::DeviceRun {
+            sim_seconds: r.sim_seconds,
+            energies: r.energies,
+            checkpoint: md_core::checkpoint::SystemCheckpoint::capture(
+                &sys,
+                start_step + opts.steps as u64,
+            ),
+            attribution: vec![
+                ("shader_compute", b.shader),
+                ("pcie_upload", b.upload),
+                ("pcie_readback", b.readback),
+                ("dispatch_overhead", b.dispatch_overhead),
+                ("cpu_serial", b.cpu),
+                ("gpu_reduction", b.gpu_reduction),
+            ],
+            derived: vec![
+                (
+                    "transfer_overhead_fraction",
+                    (b.upload + b.readback + b.dispatch_overhead) / total,
+                ),
+                (
+                    "compute_fraction",
+                    (b.shader + b.cpu + b.gpu_reduction) / total,
+                ),
+            ],
+            ops: r.total_ops as f64,
+            bytes_moved: bytes,
+            #[cfg(feature = "fault-inject")]
+            faults: r.faults,
+            #[cfg(not(feature = "fault-inject"))]
+            faults: md_core::device::FaultStats::default(),
+        })
+    }
+}
+
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use md_core::forces::{AllPairsFullKernel, ForceKernel};

@@ -1,0 +1,282 @@
+//! The device factory (DESIGN.md §11): one enum naming every simulated
+//! machine configuration the paper's evaluation uses, with a single place
+//! that constructs the boxed [`MdDevice`] for it.
+//!
+//! Binaries and the sweep engine hold [`DeviceKind`] values — plain,
+//! copyable data — and only call [`DeviceKind::build`] at the moment a run
+//! actually executes. [`DeviceKind::cache_token`] is the device half of a
+//! sweep-cache key: it encodes both the configuration knobs *and* the
+//! machine constants the factory bakes in, so editing a device's clock or
+//! pipe count invalidates exactly that device's cached points.
+
+#[cfg(feature = "fault-inject")]
+use cell_be::CellBeDevice;
+use cell_be::{
+    CellAccelProbe, CellConfig, CellMd, CellPpeMd, CellRunConfig, SpawnPolicy, SpeKernelVariant,
+};
+use gpu::{GpuConfig, GpuMdSimulation};
+use md_core::device::MdDevice;
+use mta::{MtaConfig, MtaMd, ThreadingMode};
+use opteron::{OpteronConfig, OpteronCpu};
+
+/// The GPU generations the paper compares (section 5.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GpuModel {
+    GeForce7900Gtx,
+    GeForce6800,
+}
+
+impl GpuModel {
+    fn config(self) -> GpuConfig {
+        match self {
+            GpuModel::GeForce7900Gtx => GpuConfig::geforce_7900gtx(),
+            GpuModel::GeForce6800 => GpuConfig::geforce_6800(),
+        }
+    }
+}
+
+/// Every device configuration the evaluation grid can name.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DeviceKind {
+    /// The Cell blade running the SPE-offload port.
+    Cell {
+        n_spes: usize,
+        policy: SpawnPolicy,
+        variant: SpeKernelVariant,
+    },
+    /// The PPE-only baseline (Table 1's slowest row).
+    CellPpe,
+    /// The Figure 5 single-SPE force-evaluation probe (steps must be 0).
+    CellAccel {
+        variant: SpeKernelVariant,
+    },
+    Gpu {
+        model: GpuModel,
+    },
+    Mta {
+        mode: ThreadingMode,
+    },
+    /// The 2.2 GHz Opteron reference machine.
+    Opteron,
+}
+
+impl DeviceKind {
+    /// The Cell blade in an arbitrary run configuration.
+    pub fn cell(run: CellRunConfig) -> Self {
+        DeviceKind::Cell {
+            n_spes: run.n_spes,
+            policy: run.policy,
+            variant: run.variant,
+        }
+    }
+
+    /// The paper's best Cell configuration (8 SPEs, launch-once, full SIMD).
+    pub fn cell_best() -> Self {
+        Self::cell(CellRunConfig::best())
+    }
+
+    /// The best configuration restricted to one SPE.
+    pub fn cell_single_spe() -> Self {
+        Self::cell(CellRunConfig::single_spe())
+    }
+
+    /// The Cell run configuration for the `Cell` variant.
+    fn cell_run_config(self) -> Option<CellRunConfig> {
+        match self {
+            DeviceKind::Cell {
+                n_spes,
+                policy,
+                variant,
+            } => Some(CellRunConfig {
+                n_spes,
+                policy,
+                variant,
+            }),
+            _ => None,
+        }
+    }
+
+    /// The device's metric/cache label — identical to what
+    /// [`MdDevice::label`] on the built device returns.
+    pub fn label(self) -> String {
+        match self {
+            DeviceKind::Cell { n_spes, .. } => format!("cell-{n_spes}spe"),
+            DeviceKind::CellPpe => "cell-ppe".to_string(),
+            DeviceKind::CellAccel { variant } => {
+                format!("cell-1spe-{}", variant.label().replace(' ', "-"))
+            }
+            DeviceKind::Gpu {
+                model: GpuModel::GeForce7900Gtx,
+            } => "gpu-7900gtx".to_string(),
+            DeviceKind::Gpu {
+                model: GpuModel::GeForce6800,
+            } => "gpu-6800".to_string(),
+            DeviceKind::Mta {
+                mode: ThreadingMode::FullyMultithreaded,
+            } => "mta2-full-mt".to_string(),
+            DeviceKind::Mta {
+                mode: ThreadingMode::PartiallyMultithreaded,
+            } => "mta2-partial-mt".to_string(),
+            DeviceKind::Opteron => "opteron".to_string(),
+        }
+    }
+
+    /// Stable text encoding of the full device identity for cache keys:
+    /// configuration knobs plus the machine constants the factory bakes in.
+    /// Any change to either must change this string (and thereby invalidate
+    /// cached results for this device).
+    pub fn cache_token(self) -> String {
+        match self {
+            DeviceKind::Cell {
+                n_spes,
+                policy,
+                variant,
+            } => {
+                let c = CellConfig::paper_blade();
+                format!(
+                    "cell:nspes={n_spes},policy={policy:?},variant={variant:?},clk={}",
+                    c.clock_hz
+                )
+            }
+            DeviceKind::CellPpe => {
+                let c = CellConfig::paper_blade();
+                format!("cell-ppe:clk={}", c.clock_hz)
+            }
+            DeviceKind::CellAccel { variant } => {
+                let c = CellConfig::paper_blade();
+                format!("cell-accel:variant={variant:?},clk={}", c.clock_hz)
+            }
+            DeviceKind::Gpu { model } => {
+                let c = model.config();
+                format!(
+                    "gpu:model={model:?},clk={},pipes={},disp={}",
+                    c.clock_hz, c.n_pipes, c.dispatch_overhead_s
+                )
+            }
+            DeviceKind::Mta { mode } => {
+                let c = MtaConfig::paper_mta2();
+                format!(
+                    "mta:mode={mode:?},clk={},procs={}",
+                    c.clock_hz, c.n_processors
+                )
+            }
+            DeviceKind::Opteron => {
+                let c = OpteronConfig::paper_reference();
+                format!("opteron:clk={},cpf={}", c.clock_hz, c.cycles_per_flop)
+            }
+        }
+    }
+
+    /// Construct the simulated machine. This is the only place in the
+    /// harness that builds concrete device types; everything downstream
+    /// drives the trait object.
+    pub fn build(self) -> Box<dyn MdDevice> {
+        match self {
+            DeviceKind::Cell { .. } => Box::new(CellMd::paper_blade(
+                self.cell_run_config().expect("cell variant"),
+            )),
+            DeviceKind::CellPpe => Box::new(CellPpeMd::paper_blade()),
+            DeviceKind::CellAccel { variant } => Box::new(CellAccelProbe::paper_blade(variant)),
+            DeviceKind::Gpu { model } => Box::new(GpuMdSimulation::new(model.config())),
+            DeviceKind::Mta { mode } => Box::new(MtaMd::paper_mta2(mode)),
+            DeviceKind::Opteron => Box::new(OpteronCpu::paper_reference()),
+        }
+    }
+
+    /// [`DeviceKind::build`] with a deterministic fault schedule armed.
+    /// The PPE-only and Figure 5 probe paths are fault-free by design; the
+    /// plan is ignored there.
+    #[cfg(feature = "fault-inject")]
+    pub fn build_faulted(self, plan: sim_fault::FaultPlan) -> Box<dyn MdDevice> {
+        match self {
+            DeviceKind::Cell { .. } => Box::new(CellMd::new(
+                CellBeDevice::paper_blade().with_fault_plan(plan),
+                self.cell_run_config().expect("cell variant"),
+            )),
+            DeviceKind::CellPpe | DeviceKind::CellAccel { .. } => self.build(),
+            DeviceKind::Gpu { model } => {
+                Box::new(GpuMdSimulation::new(model.config()).with_fault_plan(plan))
+            }
+            DeviceKind::Mta { mode } => Box::new(MtaMd::new(
+                mta::MtaMdSimulation::paper_mta2().with_fault_plan(plan),
+                mode,
+            )),
+            DeviceKind::Opteron => Box::new(OpteronCpu::paper_reference().with_fault_plan(plan)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use md_core::device::RunOptions;
+    use md_core::params::SimConfig;
+
+    /// The full paper roster, one of each label.
+    fn roster() -> Vec<DeviceKind> {
+        vec![
+            DeviceKind::cell_best(),
+            DeviceKind::cell_single_spe(),
+            DeviceKind::CellPpe,
+            DeviceKind::CellAccel {
+                variant: SpeKernelVariant::Original,
+            },
+            DeviceKind::Gpu {
+                model: GpuModel::GeForce7900Gtx,
+            },
+            DeviceKind::Mta {
+                mode: ThreadingMode::FullyMultithreaded,
+            },
+            DeviceKind::Opteron,
+        ]
+    }
+
+    #[test]
+    fn labels_match_built_devices() {
+        for kind in roster() {
+            assert_eq!(kind.label(), kind.build().label(), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn cache_tokens_are_unique() {
+        let tokens: Vec<String> = roster().into_iter().map(DeviceKind::cache_token).collect();
+        for (i, a) in tokens.iter().enumerate() {
+            for b in &tokens[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn every_device_runs_through_the_factory() {
+        let sim = SimConfig::reduced_lj(108);
+        for kind in roster() {
+            let steps = if matches!(kind, DeviceKind::CellAccel { .. }) {
+                0
+            } else {
+                1
+            };
+            let run = kind
+                .build()
+                .run(&sim, RunOptions::steps(steps))
+                .unwrap_or_else(|e| panic!("{kind:?}: {e}"));
+            assert!(run.sim_seconds > 0.0, "{kind:?}");
+            assert!(run.energies.total.is_finite(), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn accel_probe_rejects_time_steps() {
+        let sim = SimConfig::reduced_lj(108);
+        let mut probe = DeviceKind::CellAccel {
+            variant: SpeKernelVariant::SimdAcceleration,
+        }
+        .build();
+        let err = probe.run(&sim, RunOptions::steps(3));
+        assert!(matches!(
+            err,
+            Err(md_core::device::DeviceError::Unsupported(_))
+        ));
+    }
+}

@@ -13,6 +13,9 @@ pub enum HarnessError {
     /// The Cell device model rejected the run (sizing, DMA protocol, or an
     /// injected fault that exhausted its retry budget).
     Cell(cell_be::CellError),
+    /// A device driven through the unified [`md_core::device::MdDevice`] run
+    /// API failed or rejected its options.
+    Device(md_core::device::DeviceError),
     /// An experiment was invoked with arguments it cannot honor.
     InvalidInput(String),
     /// A computed result table is missing a row the analysis needs — a bug
@@ -32,6 +35,7 @@ impl fmt::Display for HarnessError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             HarnessError::Cell(e) => write!(f, "Cell device error: {e}"),
+            HarnessError::Device(e) => write!(f, "device error: {e}"),
             HarnessError::InvalidInput(msg) => write!(f, "invalid experiment input: {msg}"),
             HarnessError::MissingRow(what) => {
                 write!(f, "experiment produced no row for {what}")
@@ -48,6 +52,7 @@ impl std::error::Error for HarnessError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             HarnessError::Cell(e) => Some(e),
+            HarnessError::Device(e) => Some(e),
             HarnessError::Io(e) => Some(e),
             _ => None,
         }
@@ -57,6 +62,12 @@ impl std::error::Error for HarnessError {
 impl From<cell_be::CellError> for HarnessError {
     fn from(e: cell_be::CellError) -> Self {
         HarnessError::Cell(e)
+    }
+}
+
+impl From<md_core::device::DeviceError> for HarnessError {
+    fn from(e: md_core::device::DeviceError) -> Self {
+        HarnessError::Device(e)
     }
 }
 

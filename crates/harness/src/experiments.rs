@@ -1,20 +1,38 @@
 //! The six experiments of the paper's evaluation section.
 //!
-//! Every fallible experiment returns a typed [`HarnessError`] instead of
-//! panicking; the per-figure binaries map errors to nonzero exit codes.
-//! With the `fault-inject` feature, [`faulted`] provides supervised variants
-//! of every experiment that complete under injected device faults.
+//! Every experiment names its machines as [`DeviceKind`] values and drives
+//! them through the unified [`MdDevice`](md_core::device::MdDevice) run API —
+//! no per-experiment device construction. Fallible experiments return a typed
+//! [`HarnessError`] instead of panicking; the figure binaries map errors to
+//! nonzero exit codes. With the `fault-inject` feature, [`faulted`] provides
+//! supervised variants of every experiment that complete under injected
+//! device faults.
 
+use crate::device::{DeviceKind, GpuModel};
 use crate::error::HarnessError;
-use cell_be::{CellBeDevice, CellRunConfig, SpawnPolicy, SpeKernelVariant};
-use gpu::GpuMdSimulation;
+use cell_be::{SpawnPolicy, SpeKernelVariant};
+use md_core::device::{DeviceRun, RunOptions};
 use md_core::params::SimConfig;
-use mta::{MtaMdSimulation, ThreadingMode};
-use opteron::OpteronCpu;
+use mta::{MtaConfig, MtaMd, MtaMdSimulation, ThreadingMode};
 
 /// The paper's standard workload: 2048 atoms, 10 time steps.
 pub const PAPER_ATOMS: usize = 2048;
 pub const PAPER_STEPS: usize = 10;
+
+/// Run one device kind for `steps` from the standard lattice.
+fn run_kind(kind: DeviceKind, sim: &SimConfig, steps: usize) -> Result<DeviceRun, HarnessError> {
+    kind.build()
+        .run(sim, RunOptions::steps(steps))
+        .map_err(HarnessError::from)
+}
+
+/// Seconds charged to one attribution bucket of a run (0 if absent).
+fn attribution_seconds(run: &DeviceRun, name: &str) -> f64 {
+    run.attribution
+        .iter()
+        .find(|(n, _)| *n == name)
+        .map_or(0.0, |&(_, s)| s)
+}
 
 // ---------------------------------------------------------------- Figure 5
 
@@ -30,14 +48,14 @@ pub struct Fig5Row {
 /// Figure 5: SIMD optimization ladder on a single SPE.
 pub fn fig5(n_atoms: usize) -> Result<Vec<Fig5Row>, HarnessError> {
     let sim = SimConfig::reduced_lj(n_atoms);
-    let device = CellBeDevice::paper_blade();
     SpeKernelVariant::ALL
         .iter()
         .map(|&variant| {
+            let probe = run_kind(DeviceKind::CellAccel { variant }, &sim, 0)?;
             Ok(Fig5Row {
                 variant,
                 label: variant.label(),
-                seconds: device.time_single_spe_accel(&sim, variant)?,
+                seconds: probe.sim_seconds,
             })
         })
         .collect()
@@ -60,41 +78,51 @@ impl Fig6Case {
     pub fn launch_fraction(&self) -> f64 {
         self.launch_seconds / self.total_seconds
     }
+
+    fn from_run(n_spes: usize, policy: SpawnPolicy, run: &DeviceRun) -> Self {
+        let policy_label = match policy {
+            SpawnPolicy::RespawnEveryStep => "respawn every time step",
+            SpawnPolicy::LaunchOnce => "launch only first time step",
+        };
+        Fig6Case {
+            label: format!(
+                "{n_spes} SPE{}, {policy_label}",
+                if n_spes > 1 { "s" } else { "" }
+            ),
+            n_spes,
+            policy,
+            total_seconds: run.sim_seconds,
+            launch_seconds: attribution_seconds(run, "spe_spawn"),
+        }
+    }
+}
+
+/// The four Figure 6 device configurations, policy-major.
+fn fig6_grid() -> Vec<(usize, SpawnPolicy)> {
+    let mut grid = Vec::new();
+    for policy in [SpawnPolicy::RespawnEveryStep, SpawnPolicy::LaunchOnce] {
+        for n_spes in [1usize, 8] {
+            grid.push((n_spes, policy));
+        }
+    }
+    grid
 }
 
 /// Figure 6: SPE thread-launch overhead, {1, 8} SPEs × {respawn, launch-once}.
 pub fn fig6(n_atoms: usize, steps: usize) -> Result<Vec<Fig6Case>, HarnessError> {
     let sim = SimConfig::reduced_lj(n_atoms);
-    let device = CellBeDevice::paper_blade();
-    let mut out = Vec::new();
-    for policy in [SpawnPolicy::RespawnEveryStep, SpawnPolicy::LaunchOnce] {
-        for n_spes in [1usize, 8] {
-            let run = device.run_md(
-                &sim,
-                steps,
-                CellRunConfig {
-                    n_spes,
-                    policy,
-                    variant: SpeKernelVariant::SimdAcceleration,
-                },
-            )?;
-            let policy_label = match policy {
-                SpawnPolicy::RespawnEveryStep => "respawn every time step",
-                SpawnPolicy::LaunchOnce => "launch only first time step",
-            };
-            out.push(Fig6Case {
-                label: format!(
-                    "{n_spes} SPE{}, {policy_label}",
-                    if n_spes > 1 { "s" } else { "" }
-                ),
+    fig6_grid()
+        .into_iter()
+        .map(|(n_spes, policy)| {
+            let kind = DeviceKind::Cell {
                 n_spes,
                 policy,
-                total_seconds: run.sim_seconds,
-                launch_seconds: run.breakdown.spawn / device.config.clock_hz,
-            });
-        }
-    }
-    Ok(out)
+                variant: SpeKernelVariant::SimdAcceleration,
+            };
+            let run = run_kind(kind, &sim, steps)?;
+            Ok(Fig6Case::from_run(n_spes, policy, &run))
+        })
+        .collect()
 }
 
 // ---------------------------------------------------------------- Table 1
@@ -128,11 +156,10 @@ impl Table1Data {
 /// Table 1: performance comparison of MD calculations.
 pub fn table1(n_atoms: usize, steps: usize) -> Result<Table1Data, HarnessError> {
     let sim = SimConfig::reduced_lj(n_atoms);
-    let device = CellBeDevice::paper_blade();
-    let opteron = OpteronCpu::paper_reference().run_md(&sim, steps);
-    let one = device.run_md(&sim, steps, CellRunConfig::single_spe())?;
-    let eight = device.run_md(&sim, steps, CellRunConfig::best())?;
-    let ppe = device.run_md_ppe_only(&sim, steps);
+    let opteron = run_kind(DeviceKind::Opteron, &sim, steps)?;
+    let one = run_kind(DeviceKind::cell_single_spe(), &sim, steps)?;
+    let eight = run_kind(DeviceKind::cell_best(), &sim, steps)?;
+    let ppe = run_kind(DeviceKind::CellPpe, &sim, steps)?;
     Ok(Table1Data {
         n_atoms,
         steps,
@@ -161,8 +188,16 @@ pub fn fig7(atom_counts: &[usize], steps: usize) -> Vec<Fig7Row> {
         .iter()
         .map(|&n| {
             let sim = SimConfig::reduced_lj(n);
-            let opteron = OpteronCpu::paper_reference().run_md(&sim, steps);
-            let gpu = GpuMdSimulation::geforce_7900gtx().run_md(&sim, steps);
+            let opteron = run_kind(DeviceKind::Opteron, &sim, steps)
+                .expect("the Opteron reference device is infallible");
+            let gpu = run_kind(
+                DeviceKind::Gpu {
+                    model: GpuModel::GeForce7900Gtx,
+                },
+                &sim,
+                steps,
+            )
+            .expect("the GPU device model is infallible");
             Fig7Row {
                 n_atoms: n,
                 opteron_seconds: opteron.sim_seconds,
@@ -184,19 +219,19 @@ pub struct Fig8Row {
 
 /// Figure 8: fully vs partially multithreaded MD kernel on the MTA-2.
 pub fn fig8(atom_counts: &[usize], steps: usize) -> Vec<Fig8Row> {
-    let m = MtaMdSimulation::paper_mta2();
     atom_counts
         .iter()
         .map(|&n| {
             let sim = SimConfig::reduced_lj(n);
+            let run = |mode| {
+                run_kind(DeviceKind::Mta { mode }, &sim, steps)
+                    .expect("the MTA device model is infallible")
+                    .sim_seconds
+            };
             Fig8Row {
                 n_atoms: n,
-                fully_mt_seconds: m
-                    .run_md(&sim, steps, ThreadingMode::FullyMultithreaded)
-                    .sim_seconds,
-                partially_mt_seconds: m
-                    .run_md(&sim, steps, ThreadingMode::PartiallyMultithreaded)
-                    .sim_seconds,
+                fully_mt_seconds: run(ThreadingMode::FullyMultithreaded),
+                partially_mt_seconds: run(ThreadingMode::PartiallyMultithreaded),
             }
         })
         .collect()
@@ -221,20 +256,22 @@ pub fn fig9(atom_counts: &[usize], steps: usize) -> Result<Vec<Fig9Row>, Harness
             "figure 9 normalizes to the 256-atom run; pass counts starting at 256".into(),
         ));
     }
-    let m = MtaMdSimulation::paper_mta2();
     let runs: Vec<(usize, f64, f64)> = atom_counts
         .iter()
         .map(|&n| {
             let sim = SimConfig::reduced_lj(n);
-            let mta = m
-                .run_md(&sim, steps, ThreadingMode::FullyMultithreaded)
-                .sim_seconds;
-            let opt = OpteronCpu::paper_reference()
-                .run_md(&sim, steps)
-                .sim_seconds;
-            (n, mta, opt)
+            let mta = run_kind(
+                DeviceKind::Mta {
+                    mode: ThreadingMode::FullyMultithreaded,
+                },
+                &sim,
+                steps,
+            )?
+            .sim_seconds;
+            let opt = run_kind(DeviceKind::Opteron, &sim, steps)?.sim_seconds;
+            Ok((n, mta, opt))
         })
-        .collect();
+        .collect::<Result<_, HarnessError>>()?;
     let (_, mta0, opt0) = runs[0];
     Ok(runs
         .iter()
@@ -261,30 +298,36 @@ pub struct XmtRow {
 /// MTA-2's uniform memory. This extension projects both: the MTA-2 baseline,
 /// the optimistic XMT (placed data), and the locality-blind XMT where 80% of
 /// the gather's references go remote.
+///
+/// The XMT machines are hypothetical configurations outside the paper's
+/// evaluation grid, so they are built directly rather than via [`DeviceKind`].
 pub fn xmt_projection(n_atoms: usize, steps: usize, processors: &[usize]) -> Vec<XmtRow> {
-    use mta::MtaConfig;
+    use md_core::device::MdDevice;
     let sim = SimConfig::reduced_lj(n_atoms);
+    let seconds = |config: MtaConfig| {
+        MtaMd::new(
+            MtaMdSimulation::new(config),
+            ThreadingMode::FullyMultithreaded,
+        )
+        .run(&sim, RunOptions::steps(steps))
+        .expect("the MTA device model is infallible")
+        .sim_seconds
+    };
     let mut rows = vec![XmtRow {
         label: "MTA-2",
         n_processors: 1,
-        seconds: MtaMdSimulation::paper_mta2()
-            .run_md(&sim, steps, ThreadingMode::FullyMultithreaded)
-            .sim_seconds,
+        seconds: seconds(MtaConfig::paper_mta2()),
     }];
     for &p in processors {
         rows.push(XmtRow {
             label: "XMT (placed data)",
             n_processors: p,
-            seconds: MtaMdSimulation::new(MtaConfig::xmt(p))
-                .run_md(&sim, steps, ThreadingMode::FullyMultithreaded)
-                .sim_seconds,
+            seconds: seconds(MtaConfig::xmt(p)),
         });
         rows.push(XmtRow {
             label: "XMT (locality-blind)",
             n_processors: p,
-            seconds: MtaMdSimulation::new(MtaConfig::xmt_nonuniform(p, 0.8))
-                .run_md(&sim, steps, ThreadingMode::FullyMultithreaded)
-                .sim_seconds,
+            seconds: seconds(MtaConfig::xmt_nonuniform(p, 0.8)),
         });
     }
     rows
@@ -301,8 +344,7 @@ pub fn xmt_projection(n_atoms: usize, steps: usize, processors: &[usize]) -> Vec
 #[cfg(feature = "fault-inject")]
 pub mod faulted {
     use super::*;
-    use crate::supervisor::{run_supervised, SupervisedDevice, SupervisedRun, SupervisorConfig};
-    use cell_be::{CellError, CellRun};
+    use crate::supervisor::{run_supervised, SupervisedRun, SupervisorConfig};
     use sim_fault::FaultPlan;
 
     /// A fault plan plus the supervision policy applied to every experiment.
@@ -320,32 +362,30 @@ pub mod faulted {
             }
         }
 
-        fn supervise(
-            &self,
-            mut dev: SupervisedDevice,
-            sim: &SimConfig,
-            steps: usize,
-        ) -> SupervisedRun {
-            run_supervised(&mut dev, sim, steps, &self.cfg, None)
+        fn supervise(&self, kind: DeviceKind, sim: &SimConfig, steps: usize) -> SupervisedRun {
+            let mut dev = kind.build_faulted(self.plan);
+            run_supervised(dev.as_mut(), sim, steps, &self.cfg, None)
         }
 
-        /// Run a fallible Cell computation, re-salting the fault schedule on
-        /// each retry; after the budget, degrade to a fault-free device.
-        fn cell_with_retry(
+        /// Run a fallible device kind, re-salting the fault schedule on each
+        /// retry; after the budget, degrade to a fault-free device.
+        fn with_retry(
             &self,
-            f: impl Fn(&CellBeDevice) -> Result<CellRun, CellError>,
-        ) -> Result<CellRun, HarnessError> {
+            kind: DeviceKind,
+            sim: &SimConfig,
+            steps: usize,
+        ) -> Result<DeviceRun, HarnessError> {
             for attempt in 0..self.cfg.max_attempts {
-                let device = CellBeDevice::paper_blade()
-                    .with_fault_plan(self.plan.with_salt(u64::from(attempt)));
-                match f(&device) {
+                let mut dev = kind.build_faulted(self.plan.with_salt(u64::from(attempt)));
+                match dev.run(sim, RunOptions::steps(steps)) {
                     Ok(run) => return Ok(run),
-                    Err(CellError::FaultExhausted { .. }) => {}
+                    Err(md_core::device::DeviceError::Failed(msg))
+                        if msg.contains("exhausted its retry budget") => {}
                     Err(e) => return Err(e.into()),
                 }
             }
             // Graceful degradation: the faults won; finish without them.
-            f(&CellBeDevice::paper_blade()).map_err(HarnessError::from)
+            run_kind(kind, sim, steps)
         }
 
         /// Figure 5 under faults. The single-SPE acceleration timer has no
@@ -359,58 +399,28 @@ pub mod faulted {
         /// fresh schedule until it completes.
         pub fn fig6(&self, n_atoms: usize, steps: usize) -> Result<Vec<Fig6Case>, HarnessError> {
             let sim = SimConfig::reduced_lj(n_atoms);
-            let clock_hz = CellBeDevice::paper_blade().config.clock_hz;
-            let mut out = Vec::new();
-            for policy in [SpawnPolicy::RespawnEveryStep, SpawnPolicy::LaunchOnce] {
-                for n_spes in [1usize, 8] {
-                    let run = self.cell_with_retry(|device| {
-                        device.run_md(
-                            &sim,
-                            steps,
-                            CellRunConfig {
-                                n_spes,
-                                policy,
-                                variant: SpeKernelVariant::SimdAcceleration,
-                            },
-                        )
-                    })?;
-                    let policy_label = match policy {
-                        SpawnPolicy::RespawnEveryStep => "respawn every time step",
-                        SpawnPolicy::LaunchOnce => "launch only first time step",
-                    };
-                    out.push(Fig6Case {
-                        label: format!(
-                            "{n_spes} SPE{}, {policy_label}",
-                            if n_spes > 1 { "s" } else { "" }
-                        ),
+            fig6_grid()
+                .into_iter()
+                .map(|(n_spes, policy)| {
+                    let kind = DeviceKind::Cell {
                         n_spes,
                         policy,
-                        total_seconds: run.sim_seconds,
-                        launch_seconds: run.breakdown.spawn / clock_hz,
-                    });
-                }
-            }
-            Ok(out)
+                        variant: SpeKernelVariant::SimdAcceleration,
+                    };
+                    let run = self.with_retry(kind, &sim, steps)?;
+                    Ok(Fig6Case::from_run(n_spes, policy, &run))
+                })
+                .collect()
         }
 
         /// Table 1 under faults: every leg runs supervised.
         pub fn table1(&self, n_atoms: usize, steps: usize) -> Result<Table1Data, HarnessError> {
             let sim = SimConfig::reduced_lj(n_atoms);
-            let cell = |run_cfg: CellRunConfig| {
-                SupervisedDevice::cell(
-                    CellBeDevice::paper_blade().with_fault_plan(self.plan),
-                    run_cfg,
-                )
-            };
-            let opteron = self.supervise(
-                SupervisedDevice::opteron(OpteronCpu::paper_reference().with_fault_plan(self.plan)),
-                &sim,
-                steps,
-            );
-            let one = self.supervise(cell(CellRunConfig::single_spe()), &sim, steps);
-            let eight = self.supervise(cell(CellRunConfig::best()), &sim, steps);
+            let opteron = self.supervise(DeviceKind::Opteron, &sim, steps);
+            let one = self.supervise(DeviceKind::cell_single_spe(), &sim, steps);
+            let eight = self.supervise(DeviceKind::cell_best(), &sim, steps);
             // The PPE-only path has no fault sites; run it plain.
-            let ppe = CellBeDevice::paper_blade().run_md_ppe_only(&sim, steps);
+            let ppe = run_kind(DeviceKind::CellPpe, &sim, steps)?;
             Ok(Table1Data {
                 n_atoms,
                 steps,
@@ -427,17 +437,11 @@ pub mod faulted {
                 .iter()
                 .map(|&n| {
                     let sim = SimConfig::reduced_lj(n);
-                    let opteron = self.supervise(
-                        SupervisedDevice::opteron(
-                            OpteronCpu::paper_reference().with_fault_plan(self.plan),
-                        ),
-                        &sim,
-                        steps,
-                    );
+                    let opteron = self.supervise(DeviceKind::Opteron, &sim, steps);
                     let gpu = self.supervise(
-                        SupervisedDevice::Gpu(
-                            GpuMdSimulation::geforce_7900gtx().with_fault_plan(self.plan),
-                        ),
+                        DeviceKind::Gpu {
+                            model: GpuModel::GeForce7900Gtx,
+                        },
                         &sim,
                         steps,
                     );
@@ -452,22 +456,18 @@ pub mod faulted {
 
         /// Figure 8 under faults: both threading modes supervised.
         pub fn fig8(&self, atom_counts: &[usize], steps: usize) -> Vec<Fig8Row> {
-            let mta = |mode| SupervisedDevice::Mta {
-                sim: MtaMdSimulation::paper_mta2().with_fault_plan(self.plan),
-                mode,
-            };
             atom_counts
                 .iter()
                 .map(|&n| {
                     let sim = SimConfig::reduced_lj(n);
+                    let run = |mode| {
+                        self.supervise(DeviceKind::Mta { mode }, &sim, steps)
+                            .sim_seconds
+                    };
                     Fig8Row {
                         n_atoms: n,
-                        fully_mt_seconds: self
-                            .supervise(mta(ThreadingMode::FullyMultithreaded), &sim, steps)
-                            .sim_seconds,
-                        partially_mt_seconds: self
-                            .supervise(mta(ThreadingMode::PartiallyMultithreaded), &sim, steps)
-                            .sim_seconds,
+                        fully_mt_seconds: run(ThreadingMode::FullyMultithreaded),
+                        partially_mt_seconds: run(ThreadingMode::PartiallyMultithreaded),
                     }
                 })
                 .collect()
@@ -491,23 +491,14 @@ pub mod faulted {
                     let sim = SimConfig::reduced_lj(n);
                     let mta = self
                         .supervise(
-                            SupervisedDevice::Mta {
-                                sim: MtaMdSimulation::paper_mta2().with_fault_plan(self.plan),
+                            DeviceKind::Mta {
                                 mode: ThreadingMode::FullyMultithreaded,
                             },
                             &sim,
                             steps,
                         )
                         .sim_seconds;
-                    let opt = self
-                        .supervise(
-                            SupervisedDevice::opteron(
-                                OpteronCpu::paper_reference().with_fault_plan(self.plan),
-                            ),
-                            &sim,
-                            steps,
-                        )
-                        .sim_seconds;
+                    let opt = self.supervise(DeviceKind::Opteron, &sim, steps).sim_seconds;
                     (n, mta, opt)
                 })
                 .collect();

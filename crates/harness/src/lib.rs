@@ -2,10 +2,11 @@
 //! evaluation section from the simulated devices.
 //!
 //! Each experiment is a plain function returning a typed result, used by
-//! three consumers: the per-figure binaries (human-readable tables + CSV),
-//! the workspace integration tests (shape assertions), and EXPERIMENTS.md.
+//! three consumers: the `sweep` engine and its per-figure binaries
+//! (`crates/sim-sweep`), the workspace integration tests (shape assertions),
+//! and EXPERIMENTS.md.
 //!
-//! | Paper artifact | Function | Binary |
+//! | Paper artifact | Function | Binary (sim-sweep) |
 //! |---|---|---|
 //! | Figure 5 (SPE SIMD ladder) | [`experiments::fig5`] | `fig5` |
 //! | Figure 6 (SPE launch overhead) | [`experiments::fig6`] | `fig6` |
@@ -13,23 +14,29 @@
 //! | Figure 7 (GPU vs Opteron sweep) | [`experiments::fig7`] | `fig7` |
 //! | Figure 8 (MTA full vs partial MT) | [`experiments::fig8`] | `fig8` |
 //! | Figure 9 (relative scaling) | [`experiments::fig9`] | `fig9` |
+//!
+//! Devices are named by [`device::DeviceKind`] and driven uniformly through
+//! [`md_core::device::MdDevice`]; [`device::DeviceKind::build`] is the single
+//! construction point for every simulated machine.
 
+pub mod device;
 pub mod error;
 pub mod experiments;
 pub mod perf;
 pub mod report;
 pub mod supervisor;
 
+pub use device::{DeviceKind, GpuModel};
 pub use error::HarnessError;
 pub use experiments::{
     fig5, fig6, fig7, fig8, fig9, table1, Fig5Row, Fig6Case, Fig7Row, Fig8Row, Fig9Row, Table1Data,
 };
 pub use perf::{
-    bench_seed_json, cell_metrics, gpu_metrics, mta_metrics, opteron_metrics, standard_metrics,
-    write_metrics_json, write_metrics_json_in, BENCH_SCHEMA_VERSION,
+    cell_metrics, device_metrics, gpu_metrics, mta_metrics, opteron_metrics, standard_metrics,
+    write_metrics_json, write_metrics_json_in,
 };
-pub use report::{write_csv, Table};
+pub use report::{emit_figure, write_csv, Table};
 pub use supervisor::{
     run_supervised, run_supervised_strict, RecoveryEvent, RecoveryReport, SegmentCounters,
-    SupervisedDevice, SupervisedRun, SupervisorConfig, SUPERVISOR_TRACK,
+    SupervisedRun, SupervisorConfig, SUPERVISOR_TRACK,
 };

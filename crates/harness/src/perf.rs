@@ -1,15 +1,16 @@
 //! Performance-counter collection and time attribution for every device
 //! model (DESIGN.md §10).
 //!
-//! Each `*_metrics` function runs one device with a fresh
-//! [`PerfMonitor`] attached, then folds the result into a
-//! [`RunMetrics`] record: the device's own cost breakdown becomes a
-//! time attribution that sums to `sim_seconds` (within
+//! One generic path replaces the per-device metric builders: run a
+//! [`DeviceKind`] with a fresh [`PerfMonitor`] attached, then let
+//! [`md_core::device::collect_metrics`] fold the [`md_core::device::DeviceRun`] into a
+//! [`RunMetrics`] record — the device's own cost breakdown becomes a time
+//! attribution that sums to `sim_seconds` (within
 //! [`sim_perf::ATTRIBUTION_REL_TOL`]), the raw counters are absorbed
-//! verbatim, and a handful of derived quantities (utilization,
-//! achieved GFLOP/s vs device peak, bytes/flop, stall fractions) are
-//! computed from them. The `perf_report` binary renders these records;
-//! `results/metrics/*.json` archives them.
+//! verbatim, and the device's derived quantities (utilization, achieved
+//! GFLOP/s vs peak, bytes/flop, stall fractions) ride along. The
+//! `perf_report` binary renders these records; `results/metrics/*.json`
+//! archives them.
 //!
 //! Counters are observers, never inputs: the numbers here are read off
 //! runs whose trajectory and simulated clock are bitwise-identical to
@@ -19,18 +20,27 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
+use crate::device::{DeviceKind, GpuModel};
 use crate::error::HarnessError;
-use cell_be::{CellBeDevice, CellRunConfig};
-use gpu::GpuMdSimulation;
+use cell_be::CellRunConfig;
+use md_core::device::{collect_metrics, RunOptions};
 use md_core::params::SimConfig;
-use mta::{MtaMdSimulation, ThreadingMode};
-use opteron::OpteronCpu;
+use mta::ThreadingMode;
 use sim_perf::{PerfMonitor, RunMetrics};
 
-/// Each SPE retires up to a 4-wide single-precision FMA per cycle.
-const CELL_SPE_FLOPS_PER_CYCLE: f64 = 8.0;
-/// Every Opteron demand reference moves one 8-byte word (f64 port).
-const OPTERON_BYTES_PER_REF: f64 = 8.0;
+/// Run one device kind with a monitor attached and fold the result into a
+/// schema-versioned [`RunMetrics`] record.
+pub fn device_metrics(
+    kind: DeviceKind,
+    sim: &SimConfig,
+    steps: usize,
+) -> Result<(RunMetrics, PerfMonitor), HarnessError> {
+    let mut dev = kind.build();
+    let mut perf = PerfMonitor::new();
+    let r = dev.run(sim, RunOptions::steps(steps).with_perf(&mut perf))?;
+    let m = collect_metrics(dev.as_ref(), &r, sim.n_atoms, steps, &perf);
+    Ok((m, perf))
+}
 
 /// Counters + attribution for a Cell run at `run.n_spes` SPEs.
 pub fn cell_metrics(
@@ -38,82 +48,25 @@ pub fn cell_metrics(
     steps: usize,
     run: CellRunConfig,
 ) -> Result<(RunMetrics, PerfMonitor), HarnessError> {
-    let device = CellBeDevice::paper_blade();
-    let mut perf = PerfMonitor::new();
-    let r = device.run_md_perf(sim, steps, run, &mut perf)?;
-    let clk = device.config.clock_hz;
-    let mut m = RunMetrics::new(
-        format!("cell-{}spe", run.n_spes),
-        sim.n_atoms,
-        steps,
-        r.sim_seconds,
-    );
-    m.push_attribution("compute", r.breakdown.compute / clk);
-    m.push_attribution("dma_wait", r.breakdown.dma / clk);
-    m.push_attribution("mailbox", r.breakdown.mailbox / clk);
-    m.push_attribution("spe_spawn", r.breakdown.spawn / clk);
-    m.push_attribution("ppe_serial", r.breakdown.ppe / clk);
-    m.absorb_counters(&perf);
-    let flops = m.counter_value("cell.flops.simd") + m.counter_value("cell.flops.scalar");
-    let bytes = m.counter_value("cell.dma.bytes_in") + m.counter_value("cell.dma.bytes_out");
-    let peak = clk * CELL_SPE_FLOPS_PER_CYCLE * run.n_spes as f64;
-    m.derive_rates(flops, peak, bytes);
-    let dma_fraction = m.attribution_fraction("dma_wait");
-    let launch_fraction = m.attribution_fraction("spe_spawn");
-    m.push_derived("dma_fraction", dma_fraction);
-    m.push_derived("launch_fraction", launch_fraction);
-    Ok((m, perf))
+    device_metrics(DeviceKind::cell(run), sim, steps)
 }
 
 /// Counters + attribution for a GeForce 7900 GTX run.
 pub fn gpu_metrics(sim: &SimConfig, steps: usize) -> (RunMetrics, PerfMonitor) {
-    let device = GpuMdSimulation::geforce_7900gtx();
-    let mut perf = PerfMonitor::new();
-    let r = device.run_md_perf(sim, steps, &mut perf);
-    let b = r.breakdown;
-    let mut m = RunMetrics::new("gpu-7900gtx", sim.n_atoms, steps, r.sim_seconds);
-    m.push_attribution("shader_compute", b.shader);
-    m.push_attribution("pcie_upload", b.upload);
-    m.push_attribution("pcie_readback", b.readback);
-    m.push_attribution("dispatch_overhead", b.dispatch_overhead);
-    m.push_attribution("cpu_serial", b.cpu);
-    m.push_attribution("gpu_reduction", b.gpu_reduction);
-    m.absorb_counters(&perf);
-    let bytes =
-        m.counter_value("gpu.pcie.bytes_to_device") + m.counter_value("gpu.pcie.bytes_from_device");
-    m.derive_rates(r.total_ops as f64, device.config.ops_per_second(), bytes);
-    // The paper's small-N story: everything that exists only because the
-    // GPU sits across a bus (transfers, per-dispatch driver overhead)
-    // versus the work itself.
-    let total = r.sim_seconds.max(f64::MIN_POSITIVE);
-    m.push_derived(
-        "transfer_overhead_fraction",
-        (b.upload + b.readback + b.dispatch_overhead) / total,
-    );
-    m.push_derived(
-        "compute_fraction",
-        (b.shader + b.cpu + b.gpu_reduction) / total,
-    );
-    (m, perf)
+    device_metrics(
+        DeviceKind::Gpu {
+            model: GpuModel::GeForce7900Gtx,
+        },
+        sim,
+        steps,
+    )
+    .expect("the GPU device model is infallible")
 }
 
 /// Counters + attribution for the Opteron reference run.
 pub fn opteron_metrics(sim: &SimConfig, steps: usize) -> (RunMetrics, PerfMonitor) {
-    let mut cpu = OpteronCpu::paper_reference();
-    let mut perf = PerfMonitor::new();
-    let r = cpu.run_md_perf(sim, steps, &mut perf);
-    let clk = cpu.config.clock_hz;
-    let mut m = RunMetrics::new("opteron", sim.n_atoms, steps, r.sim_seconds);
-    m.push_attribution("compute", r.flop_cycles / clk);
-    m.push_attribution("memory_stall", r.memory_cycles / clk);
-    m.absorb_counters(&perf);
-    let bytes = (r.loads + r.stores) as f64 * OPTERON_BYTES_PER_REF;
-    m.derive_rates(r.flops, clk / cpu.config.cycles_per_flop, bytes);
-    let stall_fraction = m.attribution_fraction("memory_stall");
-    m.push_derived("memory_stall_fraction", stall_fraction);
-    m.push_derived("l1_miss_rate", r.memory.l1.miss_rate());
-    m.push_derived("l2_miss_rate", r.memory.l2.miss_rate());
-    (m, perf)
+    device_metrics(DeviceKind::Opteron, sim, steps)
+        .expect("the Opteron reference device is infallible")
 }
 
 /// Counters + attribution for an MTA-2 run in `mode`.
@@ -122,30 +75,8 @@ pub fn mta_metrics(
     steps: usize,
     mode: ThreadingMode,
 ) -> (RunMetrics, PerfMonitor) {
-    let device = MtaMdSimulation::paper_mta2();
-    let mut perf = PerfMonitor::new();
-    let r = device.run_md_perf(sim, steps, mode, &mut perf);
-    let clk = device.processor.config.clock_hz;
-    let label = match mode {
-        ThreadingMode::FullyMultithreaded => "mta2-full-mt",
-        ThreadingMode::PartiallyMultithreaded => "mta2-partial-mt",
-    };
-    let mut m = RunMetrics::new(label, sim.n_atoms, steps, r.sim_seconds);
-    m.push_attribution("issue", r.breakdown.issue / clk);
-    m.push_attribution("loop_startup", r.breakdown.startup / clk);
-    m.push_attribution("phantom_stall", r.breakdown.stall / clk);
-    m.absorb_counters(&perf);
-    let peak = clk * device.processor.config.n_processors as f64;
-    // The MTA has no off-node transfers in this kernel: all traffic is
-    // word-granular loads the cycle model already charges, so bytes = 0.
-    m.derive_rates(r.instructions, peak, 0.0);
-    let phantom_fraction = m.attribution_fraction("phantom_stall");
-    m.push_derived("phantom_fraction", phantom_fraction);
-    if r.cycles > 0.0 {
-        let occ = m.counter_value("mta.stream.occupancy_cycles");
-        m.push_derived("avg_stream_occupancy", occ / r.cycles);
-    }
-    (m, perf)
+    device_metrics(DeviceKind::Mta { mode }, sim, steps)
+        .expect("the MTA device model is infallible")
 }
 
 /// One record per device (Cell best-config, GPU, Opteron, MTA full-MT)
@@ -157,81 +88,6 @@ pub fn standard_metrics(sim: &SimConfig, steps: usize) -> Result<Vec<RunMetrics>
         opteron_metrics(sim, steps).0,
         mta_metrics(sim, steps, ThreadingMode::FullyMultithreaded).0,
     ])
-}
-
-/// Schema version of the `BENCH_seed.json` document.
-pub const BENCH_SCHEMA_VERSION: u32 = 1;
-
-/// Render the `BENCH_seed.json` document: simulated seconds for every paper
-/// figure/device at the paper's workload sizes, in a stable order. This is
-/// the performance baseline future changes diff against — any change to a
-/// device's cost model shows up as a drifted number here.
-pub fn bench_seed_json(steps: usize) -> Result<String, HarnessError> {
-    use crate::experiments::{self, PAPER_ATOMS};
-    use std::fmt::Write as _;
-
-    let mut entries: Vec<(&'static str, String, usize, f64)> = Vec::new();
-
-    let t1 = experiments::table1(PAPER_ATOMS, steps)?;
-    entries.push(("table1", "opteron".into(), PAPER_ATOMS, t1.opteron_seconds));
-    entries.push((
-        "table1",
-        "cell-ppe".into(),
-        PAPER_ATOMS,
-        t1.cell_ppe_seconds,
-    ));
-    entries.push((
-        "table1",
-        "cell-1spe".into(),
-        PAPER_ATOMS,
-        t1.cell_1spe_seconds,
-    ));
-    entries.push((
-        "table1",
-        "cell-8spe".into(),
-        PAPER_ATOMS,
-        t1.cell_8spe_seconds,
-    ));
-
-    for r in experiments::fig5(PAPER_ATOMS)? {
-        let device = format!("cell-1spe-{}", r.label.replace(' ', "-"));
-        entries.push(("fig5", device, PAPER_ATOMS, r.seconds));
-    }
-
-    for r in experiments::fig7(&[128, 256, 512, 1024, 2048, 4096, 8192], steps) {
-        entries.push(("fig7", "opteron".into(), r.n_atoms, r.opteron_seconds));
-        entries.push(("fig7", "gpu-7900gtx".into(), r.n_atoms, r.gpu_seconds));
-    }
-
-    for r in experiments::fig8(&[256, 512, 1024, 2048], steps) {
-        entries.push(("fig8", "mta2-full-mt".into(), r.n_atoms, r.fully_mt_seconds));
-        entries.push((
-            "fig8",
-            "mta2-partial-mt".into(),
-            r.n_atoms,
-            r.partially_mt_seconds,
-        ));
-    }
-
-    let mut out = String::from("{\n");
-    let _ = writeln!(out, "  \"schema_version\": {BENCH_SCHEMA_VERSION},");
-    let _ = writeln!(
-        out,
-        "  \"description\": \"Simulated-seconds baseline per paper figure/device; regenerate with the bench_seed binary.\","
-    );
-    let _ = writeln!(out, "  \"steps\": {steps},");
-    out.push_str("  \"benchmarks\": [\n");
-    for (i, (figure, device, n_atoms, seconds)) in entries.iter().enumerate() {
-        assert!(seconds.is_finite(), "{figure}/{device}: non-finite seconds");
-        let comma = if i + 1 < entries.len() { "," } else { "" };
-        let _ = writeln!(
-            out,
-            "    {{\"figure\": \"{figure}\", \"device\": \"{}\", \"n_atoms\": {n_atoms}, \"sim_seconds\": {seconds}}}{comma}",
-            mdea_trace::escape_json_string(device),
-        );
-    }
-    out.push_str("  ]\n}\n");
-    Ok(out)
 }
 
 /// Write one record to `results/metrics/<device>_n<atoms>_s<steps>.json`
@@ -307,29 +163,6 @@ mod tests {
         assert!(occ > 1.0, "full-MT run should use many streams: {occ}");
         let phantom = m.derived_value("phantom_fraction");
         assert!(phantom < 0.05, "full-MT run should be nearly stall-free");
-    }
-
-    #[test]
-    fn bench_seed_document_is_valid_json() {
-        // Tiny step count: this exercises document shape, not paper scale.
-        let json = bench_seed_json(1).expect("bench runs");
-        let doc = sim_perf::parse_json(&json).expect("parses");
-        assert_eq!(
-            doc.get("schema_version").and_then(|v| v.as_number()),
-            Some(f64::from(BENCH_SCHEMA_VERSION))
-        );
-        let benchmarks = doc
-            .get("benchmarks")
-            .and_then(|b| b.as_array())
-            .expect("benchmarks array");
-        assert!(benchmarks.len() >= 20, "got {}", benchmarks.len());
-        for b in benchmarks {
-            let s = b
-                .get("sim_seconds")
-                .and_then(|v| v.as_number())
-                .expect("numeric seconds");
-            assert!(s > 0.0);
-        }
     }
 
     #[test]

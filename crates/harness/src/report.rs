@@ -82,6 +82,30 @@ pub fn write_csv(
     Ok(path)
 }
 
+/// Emit one figure artifact the way every per-figure binary does: title,
+/// blank line, aligned table, the paper-vs-measured shape-check lines, then
+/// the CSV under `results/` with a trailing "wrote <path>" note. Centralizing
+/// the sequence keeps the binaries byte-compatible with each other (and with
+/// their recorded baselines in EXPERIMENTS.md).
+pub fn emit_figure(
+    title: &str,
+    table: &Table,
+    checks: &[String],
+    csv_name: &str,
+    csv_header: &[&str],
+    csv_rows: &[Vec<String>],
+) -> io::Result<()> {
+    println!("{title}\n");
+    println!("{}", table.render());
+    println!("paper-vs-measured shape checks:");
+    for line in checks {
+        println!("{line}");
+    }
+    let path = write_csv(csv_name, csv_header, csv_rows)?;
+    println!("\nwrote {}", path.display());
+    Ok(())
+}
+
 /// Format seconds compactly.
 pub fn secs(s: f64) -> String {
     if s >= 1.0 {

@@ -11,19 +11,20 @@
 //! on the fault-free Opteron reference model and the run is marked
 //! `fell_back`. The recovered trajectory is bit-identical to a fault-free
 //! run on the same device (devices re-prime accelerations from positions at
-//! every `run_md_from` entry, so segment boundaries are invisible to the
+//! every checkpointed entry, so segment boundaries are invisible to the
 //! physics); only the simulated clock shows the recovery work.
+//!
+//! The supervisor drives any [`MdDevice`] — it holds a `&mut dyn MdDevice`
+//! and never knows which architecture is underneath (DESIGN.md §11).
 
 use crate::error::HarnessError;
-use cell_be::{CellBeDevice, CellRunConfig};
-use gpu::GpuMdSimulation;
 use md_core::checkpoint::SystemCheckpoint;
+use md_core::device::{MdDevice, RunOptions};
 use md_core::init;
 use md_core::observables::EnergyReport;
 use md_core::params::SimConfig;
 use md_core::system::ParticleSystem;
 use mdea_trace::{TraceTrack, Tracer};
-use mta::{MtaMdSimulation, ThreadingMode};
 use opteron::OpteronCpu;
 use sim_fault::FaultStats;
 use sim_perf::PerfMonitor;
@@ -146,20 +147,6 @@ pub struct SupervisedRun {
     pub report: RecoveryReport,
 }
 
-/// A device the supervisor can drive segment by segment.
-pub enum SupervisedDevice {
-    Cell {
-        device: CellBeDevice,
-        run: CellRunConfig,
-    },
-    Gpu(GpuMdSimulation),
-    Mta {
-        sim: MtaMdSimulation,
-        mode: ThreadingMode,
-    },
-    Opteron(Box<OpteronCpu>),
-}
-
 /// One completed segment as the supervisor sees it.
 struct Segment {
     after: SystemCheckpoint,
@@ -177,140 +164,6 @@ fn snapshot_counters(perf: &PerfMonitor) -> Vec<(String, f64, &'static str)> {
         .collect()
 }
 
-impl SupervisedDevice {
-    pub fn cell(device: CellBeDevice, run: CellRunConfig) -> Self {
-        SupervisedDevice::Cell { device, run }
-    }
-
-    pub fn opteron(cpu: OpteronCpu) -> Self {
-        SupervisedDevice::Opteron(Box::new(cpu))
-    }
-
-    /// Re-arm the device's fault plan with a fresh salt so a retried segment
-    /// sees a different (but still deterministic) fault schedule.
-    #[cfg(feature = "fault-inject")]
-    fn resalt(&mut self, salt: u64) {
-        let resalted = |p: &Option<sim_fault::FaultPlan>| p.map(|p| p.with_salt(salt));
-        match self {
-            SupervisedDevice::Cell { device, .. } => {
-                device.fault_plan = resalted(&device.fault_plan);
-            }
-            SupervisedDevice::Gpu(g) => g.fault_plan = resalted(&g.fault_plan),
-            SupervisedDevice::Mta { sim, .. } => sim.fault_plan = resalted(&sim.fault_plan),
-            SupervisedDevice::Opteron(cpu) => cpu.fault_plan = resalted(&cpu.fault_plan),
-        }
-    }
-
-    #[cfg(not(feature = "fault-inject"))]
-    fn resalt(&mut self, _salt: u64) {}
-
-    /// Run one segment from `cp`. `Err` is the cause string for the restore
-    /// event; gpu/mta/opteron report exhaustion through their fault stats
-    /// rather than a typed error, so it is promoted to a failure here.
-    fn run_segment(
-        &mut self,
-        cp: &SystemCheckpoint,
-        sim: &SimConfig,
-        steps: usize,
-    ) -> Result<Segment, String> {
-        match self {
-            SupervisedDevice::Cell { device, run } => {
-                let mut sys: ParticleSystem<f32> = cp.restore();
-                let mut perf = PerfMonitor::new();
-                let r = device
-                    .run_md_from_perf(&mut sys, sim, steps, *run, &mut perf)
-                    .map_err(|e| e.to_string())?;
-                Ok(Segment {
-                    after: SystemCheckpoint::capture(&sys, cp.step + steps as u64),
-                    sim_seconds: r.sim_seconds,
-                    energies: r.energies,
-                    faults: run_faults(&r),
-                    counters: snapshot_counters(&perf),
-                })
-            }
-            SupervisedDevice::Gpu(g) => {
-                let mut sys: ParticleSystem<f32> = cp.restore();
-                let mut perf = PerfMonitor::new();
-                let r = g.run_md_from_perf(&mut sys, sim, steps, &mut perf);
-                let faults = {
-                    #[cfg(feature = "fault-inject")]
-                    {
-                        r.faults
-                    }
-                    #[cfg(not(feature = "fault-inject"))]
-                    {
-                        FaultStats::default()
-                    }
-                };
-                reject_exhausted(&faults, "GPU")?;
-                Ok(Segment {
-                    after: SystemCheckpoint::capture(&sys, cp.step + steps as u64),
-                    sim_seconds: r.sim_seconds,
-                    energies: r.energies,
-                    faults,
-                    counters: snapshot_counters(&perf),
-                })
-            }
-            SupervisedDevice::Mta { sim: m, mode } => {
-                let mut sys: ParticleSystem<f64> = cp.restore();
-                let mut perf = PerfMonitor::new();
-                let r = m.run_md_from_perf(&mut sys, sim, steps, *mode, &mut perf);
-                let faults = {
-                    #[cfg(feature = "fault-inject")]
-                    {
-                        r.faults
-                    }
-                    #[cfg(not(feature = "fault-inject"))]
-                    {
-                        FaultStats::default()
-                    }
-                };
-                reject_exhausted(&faults, "MTA")?;
-                Ok(Segment {
-                    after: SystemCheckpoint::capture(&sys, cp.step + steps as u64),
-                    sim_seconds: r.sim_seconds,
-                    energies: r.energies,
-                    faults,
-                    counters: snapshot_counters(&perf),
-                })
-            }
-            SupervisedDevice::Opteron(cpu) => {
-                let mut sys: ParticleSystem<f64> = cp.restore();
-                let mut perf = PerfMonitor::new();
-                let r = cpu.run_md_from_perf(&mut sys, sim, steps, &mut perf);
-                let faults = {
-                    #[cfg(feature = "fault-inject")]
-                    {
-                        r.faults
-                    }
-                    #[cfg(not(feature = "fault-inject"))]
-                    {
-                        FaultStats::default()
-                    }
-                };
-                reject_exhausted(&faults, "Opteron")?;
-                Ok(Segment {
-                    after: SystemCheckpoint::capture(&sys, cp.step + steps as u64),
-                    sim_seconds: r.sim_seconds,
-                    energies: r.energies,
-                    faults,
-                    counters: snapshot_counters(&perf),
-                })
-            }
-        }
-    }
-}
-
-#[cfg(feature = "fault-inject")]
-fn run_faults(r: &cell_be::CellRun) -> FaultStats {
-    r.faults
-}
-
-#[cfg(not(feature = "fault-inject"))]
-fn run_faults(_r: &cell_be::CellRun) -> FaultStats {
-    FaultStats::default()
-}
-
 /// Degradation-style devices absorb exhaustion into their timeline; the
 /// supervisor still treats it as a failed segment so the retry/rollback
 /// path is uniform across devices.
@@ -325,6 +178,34 @@ fn reject_exhausted(faults: &FaultStats, device: &str) -> Result<(), String> {
     }
 }
 
+/// Run one segment from `cp`. `Err` is the cause string for the restore
+/// event; devices that report exhaustion through their fault stats rather
+/// than a typed error have it promoted to a failure here.
+fn run_segment(
+    device: &mut dyn MdDevice,
+    cp: &SystemCheckpoint,
+    sim: &SimConfig,
+    steps: usize,
+) -> Result<Segment, String> {
+    let mut perf = PerfMonitor::new();
+    let r = device
+        .run(
+            sim,
+            RunOptions::steps(steps)
+                .from_checkpoint(cp)
+                .with_perf(&mut perf),
+        )
+        .map_err(|e| e.to_string())?;
+    reject_exhausted(&r.faults, &device.label())?;
+    Ok(Segment {
+        after: r.checkpoint,
+        sim_seconds: r.sim_seconds,
+        energies: r.energies,
+        faults: r.faults,
+        counters: snapshot_counters(&perf),
+    })
+}
+
 /// Drive `device` through `steps` time steps of `sim` under the supervisor's
 /// retry/checkpoint/fallback policy. Never panics and always completes: the
 /// worst case degrades to the fault-free Opteron reference model.
@@ -332,7 +213,7 @@ fn reject_exhausted(faults: &FaultStats, device: &str) -> Result<(), String> {
 /// Pass a [`Tracer`] to get every supervisor decision as an instant event on
 /// [`SUPERVISOR_TRACK`], stamped in accumulated simulated time.
 pub fn run_supervised(
-    device: &mut SupervisedDevice,
+    device: &mut dyn MdDevice,
     sim: &SimConfig,
     steps: usize,
     cfg: &SupervisorConfig,
@@ -377,7 +258,7 @@ pub fn run_supervised(
             // folds both so replays of the same run see the same faults.
             device.resalt((cp.step << 8) | u64::from(attempt));
 
-            let failure = match device.run_segment(&cp, sim, seg_steps) {
+            let failure = match run_segment(device, &cp, sim, seg_steps) {
                 Ok(seg) if seg.sim_seconds > watchdog_budget => {
                     // The watchdog fires at its budget; the segment's work
                     // past that point is lost, not charged.
@@ -521,17 +402,27 @@ fn reference_remainder(
     Vec<(String, f64, &'static str)>,
 ) {
     let mut cpu = OpteronCpu::paper_reference();
-    let mut sys: ParticleSystem<f64> = cp.restore();
     let mut perf = PerfMonitor::new();
-    let r = cpu.run_md_from_perf(&mut sys, sim, steps, &mut perf);
-    let after = SystemCheckpoint::capture(&sys, cp.step + steps as u64);
-    (r.sim_seconds, r.energies, after, snapshot_counters(&perf))
+    let r = cpu
+        .run(
+            sim,
+            RunOptions::steps(steps)
+                .from_checkpoint(cp)
+                .with_perf(&mut perf),
+        )
+        .expect("the Opteron reference device is infallible");
+    (
+        r.sim_seconds,
+        r.energies,
+        r.checkpoint,
+        snapshot_counters(&perf),
+    )
 }
 
 /// Convenience: supervised run that must not have fallen back — used where
 /// the experiment's point is the device's own timing.
 pub fn run_supervised_strict(
-    device: &mut SupervisedDevice,
+    device: &mut dyn MdDevice,
     sim: &SimConfig,
     steps: usize,
     cfg: &SupervisorConfig,
@@ -549,6 +440,9 @@ pub fn run_supervised_strict(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cell_be::{CellMd, CellRunConfig};
+    use gpu::GpuMdSimulation;
+    use mta::{MtaMd, ThreadingMode};
 
     fn small() -> SimConfig {
         SimConfig::reduced_lj(108)
@@ -557,13 +451,11 @@ mod tests {
     #[test]
     fn supervised_matches_unsupervised_without_faults() {
         let sim = small();
-        let mut dev = SupervisedDevice::Mta {
-            sim: MtaMdSimulation::paper_mta2(),
-            mode: ThreadingMode::FullyMultithreaded,
-        };
+        let mut dev = MtaMd::paper_mta2(ThreadingMode::FullyMultithreaded);
         let run = run_supervised(&mut dev, &sim, 6, &SupervisorConfig::default(), None);
-        let plain =
-            MtaMdSimulation::paper_mta2().run_md(&sim, 6, ThreadingMode::FullyMultithreaded);
+        let plain = MtaMd::paper_mta2(ThreadingMode::FullyMultithreaded)
+            .run(&sim, RunOptions::steps(6))
+            .expect("mta runs");
         assert_eq!(run.energies.total, plain.energies.total);
         assert!(!run.report.fell_back);
         assert_eq!(run.report.restores, 0);
@@ -578,7 +470,7 @@ mod tests {
     #[test]
     fn supervised_cell_run_completes() {
         let sim = small();
-        let mut dev = SupervisedDevice::cell(CellBeDevice::paper_blade(), CellRunConfig::best());
+        let mut dev = CellMd::paper_blade(CellRunConfig::best());
         let run = run_supervised(&mut dev, &sim, 4, &SupervisorConfig::default(), None);
         assert!(!run.report.fell_back);
         assert!(run.energies.total.is_finite());
@@ -588,7 +480,7 @@ mod tests {
     #[test]
     fn watchdog_degrades_to_reference() {
         let sim = small();
-        let mut dev = SupervisedDevice::Gpu(GpuMdSimulation::geforce_7900gtx());
+        let mut dev = GpuMdSimulation::geforce_7900gtx();
         let cfg = SupervisorConfig {
             // Impossible budget: every attempt "hangs", forcing fallback.
             watchdog_s_per_step: 1e-30,
@@ -620,7 +512,7 @@ mod tests {
     #[test]
     fn strict_mode_rejects_fallback() {
         let sim = small();
-        let mut dev = SupervisedDevice::opteron(OpteronCpu::paper_reference());
+        let mut dev = OpteronCpu::paper_reference();
         let cfg = SupervisorConfig {
             watchdog_s_per_step: 1e-30,
             ..SupervisorConfig::default()
@@ -632,7 +524,7 @@ mod tests {
     #[test]
     fn segments_carry_counter_deltas() {
         let sim = small();
-        let mut dev = SupervisedDevice::opteron(OpteronCpu::paper_reference());
+        let mut dev = OpteronCpu::paper_reference();
         let run = run_supervised(&mut dev, &sim, 4, &SupervisorConfig::default(), None);
         assert!(!run.report.fell_back);
         // 4 steps at interval 2 → two accepted segments, each with its own
@@ -656,7 +548,7 @@ mod tests {
     #[test]
     fn zero_steps_is_a_noop() {
         let sim = small();
-        let mut dev = SupervisedDevice::opteron(OpteronCpu::paper_reference());
+        let mut dev = OpteronCpu::paper_reference();
         let run = run_supervised(&mut dev, &sim, 0, &SupervisorConfig::default(), None);
         assert_eq!(run.sim_seconds, 0.0);
         assert_eq!(run.checkpoint.step, 0);
@@ -666,6 +558,7 @@ mod tests {
     #[cfg(feature = "fault-inject")]
     mod faulted {
         use super::*;
+        use cell_be::CellBeDevice;
         use sim_fault::FaultPlan;
 
         #[test]
@@ -673,12 +566,11 @@ mod tests {
             let sim = small();
             let cfg = SupervisorConfig::default();
 
-            let mut clean_dev =
-                SupervisedDevice::cell(CellBeDevice::paper_blade(), CellRunConfig::best());
+            let mut clean_dev = CellMd::paper_blade(CellRunConfig::best());
             let clean = run_supervised(&mut clean_dev, &sim, 6, &cfg, None);
 
             let device = CellBeDevice::paper_blade().with_fault_plan(FaultPlan::new(13, 0.05));
-            let mut faulty_dev = SupervisedDevice::cell(device, CellRunConfig::best());
+            let mut faulty_dev = CellMd::new(device, CellRunConfig::best());
             let faulty = run_supervised(&mut faulty_dev, &sim, 6, &cfg, None);
 
             assert!(!faulty.report.fell_back, "recovery should succeed");
@@ -701,7 +593,7 @@ mod tests {
         fn hopeless_device_degrades_to_reference() {
             let sim = small();
             let device = CellBeDevice::paper_blade().with_fault_plan(FaultPlan::new(0, 1.0));
-            let mut dev = SupervisedDevice::cell(device, CellRunConfig::best());
+            let mut dev = CellMd::new(device, CellRunConfig::best());
             let mut tracer = Tracer::new();
             let run = run_supervised(
                 &mut dev,
@@ -722,7 +614,7 @@ mod tests {
             let cfg = SupervisorConfig::default();
             let run = || {
                 let device = CellBeDevice::paper_blade().with_fault_plan(FaultPlan::new(99, 0.08));
-                let mut dev = SupervisedDevice::cell(device, CellRunConfig::best());
+                let mut dev = CellMd::new(device, CellRunConfig::best());
                 run_supervised(&mut dev, &sim, 6, &cfg, None)
             };
             let a = run();

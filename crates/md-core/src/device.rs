@@ -1,0 +1,272 @@
+//! The unified device-run API (DESIGN.md §11).
+//!
+//! Every simulated machine — Cell BE, GPU, MTA-2, Opteron — exposes the same
+//! operation: advance an MD system by `steps` time steps and report what it
+//! cost. Historically each device crate grew four parallel entry points
+//! (`run_md` / `run_md_from` / `run_md_perf` / `run_md_from_perf`); the
+//! [`MdDevice`] trait collapses them into one `run` taking a [`RunOptions`]
+//! builder, so the harness supervisor and the sweep engine can drive any
+//! device through a `dyn MdDevice` without per-device plumbing.
+//!
+//! The contract a device implementation must keep:
+//!
+//! - **Determinism.** `run` with equal inputs returns bit-identical physics
+//!   and simulated seconds. This is what makes sweep results memoizable.
+//! - **Segment transparency.** Starting from a [`SystemCheckpoint`] and
+//!   running `k` steps, then continuing from the returned checkpoint, must
+//!   reproduce the unsegmented trajectory bit for bit (devices re-prime
+//!   accelerations from positions on entry).
+//! - **Free observation.** Passing a [`PerfMonitor`] must not change the
+//!   trajectory or the simulated clock.
+//! - **Attribution identity.** [`DeviceRun::attribution`] partitions
+//!   `sim_seconds`: the buckets sum to the total within float re-association
+//!   (enforced downstream by [`sim_perf::RunMetrics::validate`]).
+
+use crate::checkpoint::SystemCheckpoint;
+use crate::observables::EnergyReport;
+use crate::params::SimConfig;
+use std::fmt;
+
+// Re-exported so device crates that gate their own `sim-fault` dependency
+// behind a feature can still name the plan/stats types unconditionally.
+pub use sim_fault::{FaultPlan, FaultStats};
+pub use sim_perf::PerfMonitor;
+
+/// How one [`MdDevice::run`] call should execute, assembled builder-style:
+///
+/// ```
+/// # use md_core::device::RunOptions;
+/// let opts = RunOptions::steps(10);            // fresh lattice, no extras
+/// # let _ = opts;
+/// ```
+///
+/// Add a checkpoint to resume (`from_checkpoint`), a monitor to observe
+/// (`with_perf`), or a fault plan to arm injection (`with_fault_plan`;
+/// ignored when the device is built without `fault-inject`).
+#[derive(Default)]
+pub struct RunOptions<'a> {
+    /// Time steps to advance.
+    pub steps: usize,
+    /// Resume point; `None` initializes the standard lattice for the run's
+    /// [`SimConfig`].
+    pub start: Option<&'a SystemCheckpoint>,
+    /// Passive performance observer. Counter values are run-local totals;
+    /// use a fresh monitor per run.
+    pub perf: Option<&'a mut PerfMonitor>,
+    /// Arms the device's deterministic fault schedule for this and later
+    /// runs. Devices compiled without `fault-inject` ignore it.
+    pub fault_plan: Option<FaultPlan>,
+}
+
+impl<'a> RunOptions<'a> {
+    /// Start building: run `steps` time steps from a fresh lattice.
+    pub fn steps(steps: usize) -> Self {
+        Self {
+            steps,
+            start: None,
+            perf: None,
+            fault_plan: None,
+        }
+    }
+
+    /// Resume from a checkpoint instead of the fresh lattice.
+    #[must_use]
+    pub fn from_checkpoint(mut self, cp: &'a SystemCheckpoint) -> Self {
+        self.start = Some(cp);
+        self
+    }
+
+    /// Attach a performance monitor (pure observer — bitwise-identical run).
+    #[must_use]
+    pub fn with_perf(mut self, perf: &'a mut PerfMonitor) -> Self {
+        self.perf = Some(perf);
+        self
+    }
+
+    /// Arm a deterministic fault schedule.
+    #[must_use]
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+}
+
+/// Everything a device reports about one run, in device-neutral form.
+///
+/// `attribution`, `derived`, `ops`, and `bytes_moved` exist so one generic
+/// metrics builder can produce the same [`sim_perf::RunMetrics`] records the
+/// per-device `*_metrics` functions used to assemble by hand.
+#[derive(Clone, Debug)]
+pub struct DeviceRun {
+    /// Total simulated seconds charged.
+    pub sim_seconds: f64,
+    pub energies: EnergyReport,
+    /// State after the run, stamped `start.step + steps`.
+    pub checkpoint: SystemCheckpoint,
+    /// Labelled partition of `sim_seconds` in presentation order (compute vs
+    /// DMA-wait vs mailbox vs PCIe vs memory stalls ...).
+    pub attribution: Vec<(&'static str, f64)>,
+    /// Device-specific derived metrics (stall fractions, miss rates, stream
+    /// occupancy), appended after the standard rate metrics.
+    pub derived: Vec<(&'static str, f64)>,
+    /// Work retired in the device's native unit (flops, shader ops,
+    /// instructions) — numerator of the utilization metrics.
+    pub ops: f64,
+    /// Bytes moved over the device's off-core links (DMA, PCIe, DRAM).
+    pub bytes_moved: f64,
+    /// Injected-fault ledger (zero when fault injection is compiled out or
+    /// unarmed). `exhausted > 0` marks a degraded run.
+    pub faults: FaultStats,
+}
+
+/// Why a device refused or abandoned a run.
+#[derive(Clone, Debug)]
+pub enum DeviceError {
+    /// The device model failed mid-run (local-store overflow, injected-fault
+    /// exhaustion, ...). Carries the device's own message.
+    Failed(String),
+    /// The requested options don't make sense for this device (for example,
+    /// resuming the PPE-only baseline from a checkpoint).
+    Unsupported(String),
+}
+
+impl fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceError::Failed(msg) => write!(f, "{msg}"),
+            DeviceError::Unsupported(msg) => write!(f, "unsupported run options: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DeviceError {}
+
+/// A configured simulated machine that can advance an MD system.
+///
+/// Object-safe by design: the supervisor and the sweep engine hold
+/// `Box<dyn MdDevice>` and never know which architecture is underneath.
+pub trait MdDevice {
+    /// Stable device label ("cell-8spe", "gpu-7900gtx", "mta2-full-mt",
+    /// "opteron") — the identity used in metrics records and cache keys.
+    fn label(&self) -> String;
+
+    /// Theoretical peak rate in the device's native ops/second, the
+    /// denominator of the utilization metric.
+    fn peak_ops_per_second(&self) -> f64;
+
+    /// Re-arm the device's fault schedule with a fresh salt so a retried
+    /// segment sees a different (still deterministic) fault pattern. No-op
+    /// for devices without an armed plan.
+    fn resalt(&mut self, _salt: u64) {}
+
+    /// Advance the system per `opts`. On error the device charged nothing
+    /// durable: retry from the same checkpoint after [`MdDevice::resalt`].
+    fn run(&mut self, sim: &SimConfig, opts: RunOptions<'_>) -> Result<DeviceRun, DeviceError>;
+}
+
+/// Fold one [`DeviceRun`] into the schema-versioned [`sim_perf::RunMetrics`]
+/// record: attribution verbatim, counters from the monitor, the standard
+/// rate metrics (achieved vs peak, utilization, bytes/op), then the device's
+/// own derived metrics. This is the single replacement for the four
+/// hand-written `*_metrics` builders the harness used to carry.
+pub fn collect_metrics(
+    device: &dyn MdDevice,
+    run: &DeviceRun,
+    n_atoms: usize,
+    steps: usize,
+    perf: &PerfMonitor,
+) -> sim_perf::RunMetrics {
+    let mut m = sim_perf::RunMetrics::new(device.label(), n_atoms, steps, run.sim_seconds);
+    for (name, seconds) in &run.attribution {
+        m.push_attribution(*name, *seconds);
+    }
+    m.absorb_counters(perf);
+    m.derive_rates(run.ops, device.peak_ops_per_second(), run.bytes_moved);
+    for (name, value) in &run.derived {
+        m.push_derived(*name, *value);
+    }
+    m
+}
+
+/// Final value of a named counter on a monitor (0 if never registered).
+/// Device impls use this to read their own traffic counters back when
+/// computing [`DeviceRun::bytes_moved`].
+pub fn counter_total(perf: &PerfMonitor, name: &str) -> f64 {
+    perf.counters()
+        .iter()
+        .find(|c| c.name == name)
+        .map_or(0.0, sim_perf::CounterSeries::value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init;
+    use crate::system::ParticleSystem;
+
+    /// A trivial in-crate device: charges a fixed cost per step and runs the
+    /// reference physics. Exercises the trait plumbing without a device crate.
+    struct NullDevice;
+
+    impl MdDevice for NullDevice {
+        fn label(&self) -> String {
+            "null".to_string()
+        }
+
+        fn peak_ops_per_second(&self) -> f64 {
+            1e9
+        }
+
+        fn run(&mut self, sim: &SimConfig, opts: RunOptions<'_>) -> Result<DeviceRun, DeviceError> {
+            let (sys, start_step): (ParticleSystem<f64>, u64) = match opts.start {
+                Some(cp) => (cp.restore(), cp.step),
+                None => (init::initialize(sim), 0),
+            };
+            let energies = EnergyReport::measure(&sys, 0.0);
+            let seconds = opts.steps as f64 * 1e-3;
+            let checkpoint = SystemCheckpoint::capture(&sys, start_step + opts.steps as u64);
+            Ok(DeviceRun {
+                sim_seconds: seconds,
+                energies,
+                checkpoint,
+                attribution: vec![("compute", seconds)],
+                derived: vec![("busy_fraction", 1.0)],
+                ops: 1e6 * opts.steps as f64,
+                bytes_moved: 0.0,
+                faults: FaultStats::default(),
+            })
+        }
+    }
+
+    #[test]
+    fn options_builder_composes() {
+        let mut perf = PerfMonitor::new();
+        let opts = RunOptions::steps(4).with_perf(&mut perf);
+        assert_eq!(opts.steps, 4);
+        assert!(opts.start.is_none());
+        assert!(opts.perf.is_some());
+    }
+
+    #[test]
+    fn collect_metrics_builds_a_valid_record() {
+        let sim = SimConfig::reduced_lj(108);
+        let mut dev = NullDevice;
+        let perf = PerfMonitor::new();
+        let run = dev.run(&sim, RunOptions::steps(3)).expect("null device");
+        let m = collect_metrics(&dev, &run, sim.n_atoms, 3, &perf);
+        m.validate().expect("attribution partitions sim_seconds");
+        assert_eq!(m.device, "null");
+        assert_eq!(m.derived_value("busy_fraction"), 1.0);
+        assert!(m.derived_value("achieved_gops_per_s") > 0.0);
+    }
+
+    #[test]
+    fn trait_objects_are_usable() {
+        let sim = SimConfig::reduced_lj(108);
+        let mut boxed: Box<dyn MdDevice> = Box::new(NullDevice);
+        boxed.resalt(7); // default no-op
+        let run = boxed.run(&sim, RunOptions::steps(2)).expect("runs");
+        assert_eq!(run.checkpoint.step, 2);
+        assert_eq!(boxed.label(), "null");
+    }
+}

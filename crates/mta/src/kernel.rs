@@ -117,6 +117,7 @@ impl MtaMdSimulation {
     /// Run `steps` time steps in the given threading mode. Physics is
     /// mode-independent (the modes differ only in how loops are scheduled);
     /// runtimes differ enormously.
+    #[deprecated(note = "drive the device through md_core::device::MdDevice::run")]
     pub fn run_md(&self, sim: &SimConfig, steps: usize, mode: ThreadingMode) -> MtaRun {
         let mut sys: ParticleSystem<f64> = init::initialize(sim);
         self.run_md_impl(&mut sys, sim, steps, mode, None)
@@ -129,6 +130,7 @@ impl MtaMdSimulation {
     /// run: counter values are run-local totals.
     ///
     /// [`run_md`]: MtaMdSimulation::run_md
+    #[deprecated(note = "drive the device through md_core::device::MdDevice::run")]
     pub fn run_md_perf(
         &self,
         sim: &SimConfig,
@@ -144,6 +146,7 @@ impl MtaMdSimulation {
     /// of a fresh lattice — the supervisor's checkpoint/restart entry point.
     /// Each segment re-primes accelerations from the incoming positions, so
     /// a segmented run reproduces the unsegmented trajectory bit for bit.
+    #[deprecated(note = "drive the device through md_core::device::MdDevice::run")]
     pub fn run_md_from(
         &self,
         sys: &mut ParticleSystem<f64>,
@@ -158,6 +161,7 @@ impl MtaMdSimulation {
     ///
     /// [`run_md_from`]: MtaMdSimulation::run_md_from
     /// [`run_md_perf`]: MtaMdSimulation::run_md_perf
+    #[deprecated(note = "drive the device through md_core::device::MdDevice::run")]
     pub fn run_md_from_perf(
         &self,
         sys: &mut ParticleSystem<f64>,
@@ -457,7 +461,106 @@ fn resolve_degradable(
     extra
 }
 
+/// An [`MtaMdSimulation`] bound to one [`ThreadingMode`], so the two Figure 8
+/// configurations appear as distinct devices behind the device-neutral
+/// [`md_core::device::MdDevice`] interface.
+pub struct MtaMd {
+    pub sim: MtaMdSimulation,
+    pub mode: ThreadingMode,
+}
+
+impl MtaMd {
+    pub fn new(sim: MtaMdSimulation, mode: ThreadingMode) -> Self {
+        Self { sim, mode }
+    }
+
+    /// The paper's 40-processor MTA-2 in the given threading mode.
+    pub fn paper_mta2(mode: ThreadingMode) -> Self {
+        Self::new(MtaMdSimulation::paper_mta2(), mode)
+    }
+}
+
+impl md_core::device::MdDevice for MtaMd {
+    fn label(&self) -> String {
+        match self.mode {
+            ThreadingMode::FullyMultithreaded => "mta2-full-mt".to_string(),
+            ThreadingMode::PartiallyMultithreaded => "mta2-partial-mt".to_string(),
+        }
+    }
+
+    /// One instruction per processor per cycle, fully saturated.
+    fn peak_ops_per_second(&self) -> f64 {
+        let c = &self.sim.processor.config;
+        c.clock_hz * c.n_processors as f64
+    }
+
+    #[cfg(feature = "fault-inject")]
+    fn resalt(&mut self, salt: u64) {
+        self.sim.fault_plan = self.sim.fault_plan.map(|p| p.with_salt(salt));
+    }
+
+    fn run(
+        &mut self,
+        sim: &SimConfig,
+        mut opts: md_core::device::RunOptions<'_>,
+    ) -> Result<md_core::device::DeviceRun, md_core::device::DeviceError> {
+        #[cfg(feature = "fault-inject")]
+        if let Some(plan) = opts.fault_plan {
+            self.sim.fault_plan = Some(plan);
+        }
+        let (mut sys, start_step): (ParticleSystem<f64>, u64) = match opts.start {
+            Some(cp) => (cp.restore(), cp.step),
+            None => (init::initialize(sim), 0),
+        };
+        // Stream occupancy is only reported through the counter layer, so
+        // observe with a local monitor when the caller didn't pass one
+        // (observation is free: the counted run is bitwise-identical).
+        let mut local = sim_perf::PerfMonitor::new();
+        let perf = match opts.perf.take() {
+            Some(p) => p,
+            None => &mut local,
+        };
+        let r = self
+            .sim
+            .run_md_impl(&mut sys, sim, opts.steps, self.mode, Some(perf));
+        let clk = self.sim.processor.config.clock_hz;
+        let phantom_fraction = if r.sim_seconds == 0.0 {
+            0.0
+        } else {
+            (r.breakdown.stall / clk) / r.sim_seconds
+        };
+        let mut derived = vec![("phantom_fraction", phantom_fraction)];
+        if r.cycles > 0.0 {
+            let occ = md_core::device::counter_total(perf, "mta.stream.occupancy_cycles");
+            derived.push(("avg_stream_occupancy", occ / r.cycles));
+        }
+        Ok(md_core::device::DeviceRun {
+            sim_seconds: r.sim_seconds,
+            energies: r.energies,
+            checkpoint: md_core::checkpoint::SystemCheckpoint::capture(
+                &sys,
+                start_step + opts.steps as u64,
+            ),
+            attribution: vec![
+                ("issue", r.breakdown.issue / clk),
+                ("loop_startup", r.breakdown.startup / clk),
+                ("phantom_stall", r.breakdown.stall / clk),
+            ],
+            derived,
+            // All traffic is word-granular loads the cycle model already
+            // charges, so there are no off-node bytes to report.
+            ops: r.instructions,
+            bytes_moved: 0.0,
+            #[cfg(feature = "fault-inject")]
+            faults: r.faults,
+            #[cfg(not(feature = "fault-inject"))]
+            faults: md_core::device::FaultStats::default(),
+        })
+    }
+}
+
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use md_core::forces::{AllPairsFullKernel, ForceKernel};

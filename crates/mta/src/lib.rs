@@ -32,6 +32,6 @@ mod processor;
 
 pub use compiler::{analyze_loop, LoopDesc, ParallelizationDecision};
 pub use config::{MtaConfig, RemoteMemoryModel};
-pub use kernel::{MtaCycleBreakdown, MtaMdSimulation, MtaRun, ThreadingMode};
+pub use kernel::{MtaCycleBreakdown, MtaMd, MtaMdSimulation, MtaRun, ThreadingMode};
 pub use memory::{FullEmptyError, FullEmptyMemory};
 pub use processor::{LoopCycleParts, MtaProcessor};

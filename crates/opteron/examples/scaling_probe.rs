@@ -1,3 +1,8 @@
+// Probes the device-specific `OpteronRun` internals (per-level miss rates,
+// flop vs memory cycles) that the unified `MdDevice` report intentionally
+// does not expose, so it calls the raw device API directly.
+#![allow(deprecated)]
+
 fn main() {
     for n in [256usize, 512, 1024, 2048, 4096, 8192] {
         let cfg = md_core::params::SimConfig::reduced_lj(n);

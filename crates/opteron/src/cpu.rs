@@ -132,9 +132,10 @@ impl OpteronCpu {
     /// Run the full MD kernel (Figure 4) for `steps` time steps, replaying
     /// memory traffic through the cache model. Physics is double precision,
     /// exactly as the paper's reference implementation.
+    #[deprecated(note = "drive the device through md_core::device::MdDevice::run")]
     pub fn run_md(&mut self, sim: &SimConfig, steps: usize) -> OpteronRun {
         let mut sys: ParticleSystem<f64> = init::initialize(sim);
-        self.run_md_from(&mut sys, sim, steps)
+        self.run_md_from_impl(&mut sys, sim, steps, None)
     }
 
     /// [`run_md`] with performance counters: cache hits/misses per level,
@@ -144,6 +145,7 @@ impl OpteronCpu {
     /// are run-local totals.
     ///
     /// [`run_md`]: OpteronCpu::run_md
+    #[deprecated(note = "drive the device through md_core::device::MdDevice::run")]
     pub fn run_md_perf(
         &mut self,
         sim: &SimConfig,
@@ -159,6 +161,7 @@ impl OpteronCpu {
     /// positions at entry, so splitting a run into segments reproduces the
     /// unsegmented trajectory bit for bit (the checkpoint/restart contract).
     /// Each call is timed as its own cold-cache run.
+    #[deprecated(note = "drive the device through md_core::device::MdDevice::run")]
     pub fn run_md_from(
         &mut self,
         sys: &mut ParticleSystem<f64>,
@@ -172,6 +175,7 @@ impl OpteronCpu {
     ///
     /// [`run_md_from`]: OpteronCpu::run_md_from
     /// [`run_md_perf`]: OpteronCpu::run_md_perf
+    #[deprecated(note = "drive the device through md_core::device::MdDevice::run")]
     pub fn run_md_from_perf(
         &mut self,
         sys: &mut ParticleSystem<f64>,
@@ -446,7 +450,69 @@ fn resolve_degradable(
     extra
 }
 
+impl md_core::device::MdDevice for OpteronCpu {
+    fn label(&self) -> String {
+        "opteron".to_string()
+    }
+
+    /// One flop per `cycles_per_flop` cycles: the scalar FPU pipeline.
+    fn peak_ops_per_second(&self) -> f64 {
+        self.config.clock_hz / self.config.cycles_per_flop
+    }
+
+    #[cfg(feature = "fault-inject")]
+    fn resalt(&mut self, salt: u64) {
+        self.fault_plan = self.fault_plan.map(|p| p.with_salt(salt));
+    }
+
+    fn run(
+        &mut self,
+        sim: &SimConfig,
+        mut opts: md_core::device::RunOptions<'_>,
+    ) -> Result<md_core::device::DeviceRun, md_core::device::DeviceError> {
+        #[cfg(feature = "fault-inject")]
+        if let Some(plan) = opts.fault_plan {
+            self.fault_plan = Some(plan);
+        }
+        let (mut sys, start_step): (ParticleSystem<f64>, u64) = match opts.start {
+            Some(cp) => (cp.restore(), cp.step),
+            None => (init::initialize(sim), 0),
+        };
+        let r = self.run_md_from_impl(&mut sys, sim, opts.steps, opts.perf.take());
+        let clk = self.config.clock_hz;
+        let stall_fraction = if r.sim_seconds > 0.0 {
+            (r.memory_cycles / clk) / r.sim_seconds
+        } else {
+            0.0
+        };
+        Ok(md_core::device::DeviceRun {
+            sim_seconds: r.sim_seconds,
+            energies: r.energies,
+            checkpoint: md_core::checkpoint::SystemCheckpoint::capture(
+                &sys,
+                start_step + opts.steps as u64,
+            ),
+            attribution: vec![
+                ("compute", r.flop_cycles / clk),
+                ("memory_stall", r.memory_cycles / clk),
+            ],
+            derived: vec![
+                ("memory_stall_fraction", stall_fraction),
+                ("l1_miss_rate", r.memory.l1.miss_rate()),
+                ("l2_miss_rate", r.memory.l2.miss_rate()),
+            ],
+            ops: r.flops,
+            bytes_moved: (r.loads + r.stores) as f64 * 8.0,
+            #[cfg(feature = "fault-inject")]
+            faults: r.faults,
+            #[cfg(not(feature = "fault-inject"))]
+            faults: md_core::device::FaultStats::default(),
+        })
+    }
+}
+
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
 

@@ -1,6 +1,7 @@
 //! Schema-versioned per-run metrics: attribution, counters, derived rates.
 
 use crate::counter::PerfMonitor;
+use crate::json::JsonValue;
 use mdea_trace::escape_json_string;
 use std::fmt::Write as _;
 
@@ -22,7 +23,7 @@ pub const ATTRIBUTION_REL_TOL: f64 = 1e-9;
 /// `derived` the dimensionless or rate metrics computed from them.
 ///
 /// [`validate`]: RunMetrics::validate
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct RunMetrics {
     pub schema_version: u32,
     /// Device label, e.g. "cell-8spe", "gpu-7900gtx", "mta-2", "opteron".
@@ -222,6 +223,78 @@ impl RunMetrics {
         out.push_str("  }\n}\n");
         out
     }
+
+    /// Parse a record back from its [`RunMetrics::to_json`] rendering.
+    ///
+    /// Every number survives bit-exactly: `to_json` renders floats with
+    /// Rust's shortest-round-trip `Display` and this parses them with
+    /// `str::parse::<f64>`, so a record cached on disk equals the freshly
+    /// computed one — the property the sweep result cache leans on.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        Self::from_json_value(&crate::json::parse_json(text)?)
+    }
+
+    /// [`RunMetrics::from_json`] over an already-parsed [`JsonValue`] (for
+    /// callers that embed the record inside a larger document).
+    pub fn from_json_value(doc: &JsonValue) -> Result<Self, String> {
+        let num = |key: &str| {
+            doc.get(key)
+                .and_then(JsonValue::as_number)
+                .ok_or_else(|| format!("missing numeric field {key:?}"))
+        };
+        let device = doc
+            .get("device")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| "missing string field \"device\"".to_string())?;
+        let mut m = RunMetrics::new(
+            device,
+            num("n_atoms")? as usize,
+            num("steps")? as usize,
+            num("sim_seconds")?,
+        );
+        m.schema_version = num("schema_version")? as u32;
+        let attribution = doc
+            .get("attribution")
+            .and_then(JsonValue::as_object)
+            .ok_or_else(|| "missing object field \"attribution\"".to_string())?;
+        for (name, v) in attribution {
+            let s = v
+                .as_number()
+                .ok_or_else(|| format!("attribution {name:?} is not a number"))?;
+            m.push_attribution(name.clone(), s);
+        }
+        let counters = doc
+            .get("counters")
+            .and_then(JsonValue::as_array)
+            .ok_or_else(|| "missing array field \"counters\"".to_string())?;
+        for c in counters {
+            let field = |key: &str| {
+                c.get(key)
+                    .ok_or_else(|| format!("counter entry missing {key:?}"))
+            };
+            let name = field("name")?
+                .as_str()
+                .ok_or_else(|| "counter \"name\" is not a string".to_string())?;
+            let unit = field("unit")?
+                .as_str()
+                .ok_or_else(|| "counter \"unit\" is not a string".to_string())?;
+            let value = field("value")?
+                .as_number()
+                .ok_or_else(|| format!("counter {name:?} value is not a number"))?;
+            m.counters.push((name.to_string(), value, unit.to_string()));
+        }
+        let derived = doc
+            .get("derived")
+            .and_then(JsonValue::as_object)
+            .ok_or_else(|| "missing object field \"derived\"".to_string())?;
+        for (name, v) in derived {
+            let value = v
+                .as_number()
+                .ok_or_else(|| format!("derived {name:?} is not a number"))?;
+            m.push_derived(name.clone(), value);
+        }
+        Ok(m)
+    }
 }
 
 /// Format an `f64` as a JSON number. Rust's `Display` for finite floats is
@@ -303,6 +376,29 @@ mod tests {
         let mut m = sample();
         m.schema_version = 99;
         assert!(m.validate().is_err());
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        let mut m = sample();
+        // Awkward values: shortest-round-trip rendering must survive both
+        // directions bit for bit.
+        m.push_derived("third", 1.0 / 3.0);
+        m.push_derived("tiny", 5e-324);
+        m.push_derived("huge", 1.7976931348623157e308);
+        let back = RunMetrics::from_json(&m.to_json()).expect("parses");
+        assert_eq!(back, m);
+        // And the rendering is a fixed point: serialize → parse → serialize
+        // yields the identical byte string.
+        assert_eq!(back.to_json(), m.to_json());
+    }
+
+    #[test]
+    fn from_json_rejects_malformed_documents() {
+        assert!(RunMetrics::from_json("{").is_err());
+        assert!(RunMetrics::from_json("{}").is_err());
+        let err = RunMetrics::from_json("{\"device\": \"x\"}").expect_err("incomplete");
+        assert!(err.contains("missing"), "{err}");
     }
 
     #[test]

@@ -1,7 +1,9 @@
 //! Runs every experiment in sequence (Figure 5, 6, 7, 8, 9 and Table 1),
 //! printing each regenerated artifact. This is the one-command reproduction
 //! of the paper's evaluation section; see EXPERIMENTS.md for the recorded
-//! paper-vs-measured comparison.
+//! paper-vs-measured comparison. Each child binary goes through the result
+//! cache, so a second invocation replays the whole evaluation without
+//! executing a single device simulation.
 
 use harness::HarnessError;
 use std::process::{Command, ExitCode};

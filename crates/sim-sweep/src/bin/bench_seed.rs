@@ -1,0 +1,31 @@
+//! Regenerates `BENCH_seed.json`: the simulated-seconds baseline for every
+//! paper figure/device at the paper's workload sizes, in deterministic
+//! sorted order. Run from the repo root after any intentional cost-model
+//! change and commit the result; CI and reviewers diff against it to catch
+//! unintended timing drift.
+
+use harness::experiments::PAPER_STEPS;
+use sim_sweep::{figures, run_sweep, spec, EngineConfig, SweepError};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("bench_seed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), SweepError> {
+    let report = run_sweep(&spec::bench_seed(), &EngineConfig::default())?;
+    let json = figures::bench_seed_json(&report, PAPER_STEPS);
+    std::fs::write("BENCH_seed.json", &json)?;
+    println!(
+        "wrote BENCH_seed.json ({} benchmark entries, {} steps each)",
+        json.matches("\"figure\"").count(),
+        PAPER_STEPS
+    );
+    Ok(())
+}

@@ -1,0 +1,22 @@
+//! Regenerates Figure 5: SIMD optimization ladder for the MD kernel on one
+//! SPE (runtime of the acceleration computation, 2048 atoms). A thin
+//! `SweepSpec` declaration: warm-cache runs render without executing any
+//! device simulation.
+
+use sim_sweep::{figures, run_sweep, spec, EngineConfig, SweepError};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("fig5: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), SweepError> {
+    let report = run_sweep(&spec::fig5(), &EngineConfig::default())?;
+    figures::render_fig5(&report)
+}

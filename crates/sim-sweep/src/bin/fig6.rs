@@ -1,0 +1,21 @@
+//! Regenerates Figure 6: SPE thread-launch overhead on the MD kernel,
+//! respawn-every-step vs launch-once, 1 vs 8 SPEs. A thin `SweepSpec`
+//! declaration over the result cache.
+
+use sim_sweep::{figures, run_sweep, spec, EngineConfig, SweepError};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("fig6: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), SweepError> {
+    let report = run_sweep(&spec::fig6(), &EngineConfig::default())?;
+    figures::render_fig6(&report)
+}

@@ -1,0 +1,21 @@
+//! Regenerates Figure 7: GPU vs Opteron runtime across atom counts
+//! (GPU startup excluded; per-step PCIe transfers included). A thin
+//! `SweepSpec` declaration over the result cache.
+
+use sim_sweep::{figures, run_sweep, spec, EngineConfig, SweepError};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("fig7: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), SweepError> {
+    let report = run_sweep(&spec::fig7(), &EngineConfig::default())?;
+    figures::render_fig7(&report)
+}

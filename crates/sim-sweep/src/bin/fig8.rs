@@ -1,0 +1,20 @@
+//! Regenerates Figure 8: fully vs partially multithreaded MD kernel on the
+//! Cray MTA-2. A thin `SweepSpec` declaration over the result cache.
+
+use sim_sweep::{figures, run_sweep, spec, EngineConfig, SweepError};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("fig8: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), SweepError> {
+    let report = run_sweep(&spec::fig8(), &EngineConfig::default())?;
+    figures::render_fig8(&report)
+}

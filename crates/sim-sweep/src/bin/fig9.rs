@@ -1,0 +1,22 @@
+//! Regenerates Figure 9: increase in runtime relative to the 256-atom run,
+//! MTA-2 vs Opteron. A thin `SweepSpec` declaration over the result cache;
+//! its absolute-runtime points are shared with fig7/fig8 where the grids
+//! overlap, so a prior fig7+fig8 run leaves most of this figure warm.
+
+use sim_sweep::{figures, run_sweep, spec, EngineConfig, SweepError};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("fig9: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), SweepError> {
+    let report = run_sweep(&spec::fig9(), &EngineConfig::default())?;
+    figures::render_fig9(&report)
+}

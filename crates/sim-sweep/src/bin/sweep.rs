@@ -1,0 +1,152 @@
+//! `sweep` — the one CLI over the paper's evaluation grid: list the spec
+//! registry, run specs through the cache-backed parallel engine, clean the
+//! cache.
+//!
+//! A cold `sweep run --all` executes every device simulation once; a warm
+//! second run serves everything from `results/cache/` and performs zero
+//! device executions (`--expect-cached` turns that property into an exit
+//! code, which CI checks).
+
+use sim_sweep::{registry, run_sweep, EngineConfig, ResultCache, SweepSpec};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+usage: sweep <command> [options]
+
+commands:
+  list                     show every sweep spec and its point count
+  run [SPEC...] [--all]    execute specs (by name) through the result cache
+  clean                    delete every cached point
+
+run options:
+  --all            run every spec in the registry
+  --no-cache       skip cache lookup and store; always execute
+  --jobs N         worker threads (0 = one per core, 1 = serial; default 0)
+  --cache-dir DIR  cache directory (default results/cache)
+  --expect-cached  fail if any point executed a device simulation
+                   (verifies the cache is warm)
+
+clean options:
+  --cache-dir DIR  cache directory (default results/cache)
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("sweep: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("list") => {
+            list();
+            Ok(())
+        }
+        Some("run") => cmd_run(&args[1..]),
+        Some("clean") => cmd_clean(&args[1..]),
+        Some("--help" | "-h") | None => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command '{other}'\n{USAGE}")),
+    }
+}
+
+fn list() {
+    println!("available sweep specs:");
+    for spec in registry() {
+        println!(
+            "  {:<12} {:>3} points  {}",
+            spec.name,
+            spec.len(),
+            spec.description
+        );
+    }
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let mut cfg = EngineConfig::default();
+    let mut names: Vec<String> = Vec::new();
+    let mut all = false;
+    let mut expect_cached = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--all" => all = true,
+            "--no-cache" => cfg.use_cache = false,
+            "--expect-cached" => expect_cached = true,
+            "--jobs" => {
+                let v = it.next().ok_or("--jobs needs a thread count")?;
+                cfg.jobs = v.parse().map_err(|_| format!("bad --jobs value '{v}'"))?;
+            }
+            "--cache-dir" => {
+                let v = it.next().ok_or("--cache-dir needs a path")?;
+                cfg.cache_dir = v.into();
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown flag '{flag}'")),
+            name => names.push(name.to_string()),
+        }
+    }
+
+    let specs: Vec<SweepSpec> = if all {
+        registry()
+    } else if names.is_empty() {
+        return Err(format!("nothing to run: name specs or pass --all\n{USAGE}"));
+    } else {
+        let available = registry();
+        names
+            .iter()
+            .map(|name| {
+                available
+                    .iter()
+                    .find(|s| s.name == *name)
+                    .cloned()
+                    .ok_or_else(|| format!("unknown spec '{name}' (see `sweep list`)"))
+            })
+            .collect::<Result<_, _>>()?
+    };
+
+    let mut total_hits = 0;
+    let mut total_executed = 0;
+    for spec in &specs {
+        let report = run_sweep(spec, &cfg).map_err(|e| e.to_string())?;
+        println!(
+            "{:<12} {:>3} points  {:>3} cached  {:>3} executed",
+            report.spec_name,
+            report.results.len(),
+            report.hits(),
+            report.executed()
+        );
+        total_hits += report.hits();
+        total_executed += report.executed();
+    }
+    println!("total: {total_hits} cached, {total_executed} executed");
+    if expect_cached && total_executed > 0 {
+        return Err(format!(
+            "--expect-cached: {total_executed} point(s) executed a device simulation; the cache was cold"
+        ));
+    }
+    Ok(())
+}
+
+fn cmd_clean(args: &[String]) -> Result<(), String> {
+    let mut dir = std::path::PathBuf::from(sim_sweep::engine::DEFAULT_CACHE_DIR);
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--cache-dir" => {
+                let v = it.next().ok_or("--cache-dir needs a path")?;
+                dir = v.into();
+            }
+            flag => return Err(format!("unknown flag '{flag}'")),
+        }
+    }
+    let removed = ResultCache::new(dir).clean().map_err(|e| e.to_string())?;
+    println!("removed {removed} cached point(s)");
+    Ok(())
+}

@@ -1,0 +1,21 @@
+//! Regenerates Table 1: performance comparison of the MD calculation,
+//! Opteron vs Cell (1 SPE / 8 SPEs / PPE only), 2048 atoms, 10 time steps.
+//! A thin `SweepSpec` declaration over the result cache.
+
+use sim_sweep::{figures, run_sweep, spec, EngineConfig, SweepError};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("table1: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), SweepError> {
+    let report = run_sweep(&spec::table1(), &EngineConfig::default())?;
+    figures::render_table1(&report)
+}

@@ -172,6 +172,14 @@ pub fn applicable_rules(rel_path: &str) -> Vec<Rule> {
     if rel_path.starts_with("crates/sim-perf/") && rel_path.contains("/src/") {
         rules.push(Rule::ObserverPurity);
     }
+    // The sweep engine's memoization is only sound if results are pure
+    // functions of their cache keys: no wall clocks or iteration-order
+    // nondeterminism (Determinism), and no cost charging from the layer
+    // that merely replays recorded metrics (ObserverPurity).
+    if rel_path.starts_with("crates/sim-sweep/") && rel_path.contains("/src/") {
+        rules.push(Rule::Determinism);
+        rules.push(Rule::ObserverPurity);
+    }
     rules
 }
 
@@ -486,6 +494,12 @@ mod tests {
             "the observability crate gets exactly the purity rule"
         );
         assert!(applicable_rules("crates/sim-perf/tests/api.rs").is_empty());
+        assert_eq!(
+            applicable_rules("crates/sim-sweep/src/engine.rs"),
+            vec![Rule::Determinism, Rule::ObserverPurity],
+            "the sweep engine gets determinism + observer purity"
+        );
+        assert!(applicable_rules("crates/sim-sweep/tests/sweep_cache.rs").is_empty());
     }
 
     #[test]

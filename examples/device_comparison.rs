@@ -6,11 +6,10 @@
 //! cargo run --release --example device_comparison
 //! ```
 
-use md_emerging_arch::cell::{CellBeDevice, CellRunConfig};
-use md_emerging_arch::gpu::GpuMdSimulation;
+use md_emerging_arch::harness::{DeviceKind, GpuModel};
+use md_emerging_arch::md::device::RunOptions;
 use md_emerging_arch::md::params::SimConfig;
-use md_emerging_arch::mta::{MtaMdSimulation, ThreadingMode};
-use md_emerging_arch::opteron::OpteronCpu;
+use md_emerging_arch::mta::ThreadingMode;
 
 fn main() {
     let sim = SimConfig::reduced_lj(1024);
@@ -20,12 +19,19 @@ fn main() {
         sim.n_atoms, steps
     );
 
-    let opteron = OpteronCpu::paper_reference().run_md(&sim, steps);
-    let cell = CellBeDevice::paper_blade()
-        .run_md(&sim, steps, CellRunConfig::best())
-        .expect("workload fits the SPE local store");
-    let gpu = GpuMdSimulation::geforce_7900gtx().run_md(&sim, steps);
-    let mta = MtaMdSimulation::paper_mta2().run_md(&sim, steps, ThreadingMode::FullyMultithreaded);
+    let run_on = |kind: DeviceKind| {
+        kind.build()
+            .run(&sim, RunOptions::steps(steps))
+            .expect("paper workloads fit every device")
+    };
+    let opteron = run_on(DeviceKind::Opteron);
+    let cell = run_on(DeviceKind::cell_best());
+    let gpu = run_on(DeviceKind::Gpu {
+        model: GpuModel::GeForce7900Gtx,
+    });
+    let mta = run_on(DeviceKind::Mta {
+        mode: ThreadingMode::FullyMultithreaded,
+    });
 
     println!(
         "{:<28} {:>12} {:>12} {:>14} {:>10}",

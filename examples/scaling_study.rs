@@ -6,11 +6,10 @@
 //! cargo run --release --example scaling_study
 //! ```
 
-use md_emerging_arch::cell::{CellBeDevice, CellRunConfig};
-use md_emerging_arch::gpu::GpuMdSimulation;
+use md_emerging_arch::harness::{DeviceKind, GpuModel};
+use md_emerging_arch::md::device::RunOptions;
 use md_emerging_arch::md::prelude::*;
-use md_emerging_arch::mta::{MtaMdSimulation, ThreadingMode};
-use md_emerging_arch::opteron::OpteronCpu;
+use md_emerging_arch::mta::ThreadingMode;
 use std::time::Instant;
 
 fn main() {
@@ -26,19 +25,20 @@ fn main() {
 
     for &n in &[256usize, 512, 1024, 2048] {
         let sim = SimConfig::reduced_lj(n);
-        let opteron = OpteronCpu::paper_reference()
-            .run_md(&sim, steps)
-            .sim_seconds;
-        let cell = CellBeDevice::paper_blade()
-            .run_md(&sim, steps, CellRunConfig::best())
-            .unwrap()
-            .sim_seconds;
-        let gpu = GpuMdSimulation::geforce_7900gtx()
-            .run_md(&sim, steps)
-            .sim_seconds;
-        let mta = MtaMdSimulation::paper_mta2()
-            .run_md(&sim, steps, ThreadingMode::FullyMultithreaded)
-            .sim_seconds;
+        let run_on = |kind: DeviceKind| {
+            kind.build()
+                .run(&sim, RunOptions::steps(steps))
+                .expect("paper workloads fit every device")
+                .sim_seconds
+        };
+        let opteron = run_on(DeviceKind::Opteron);
+        let cell = run_on(DeviceKind::cell_best());
+        let gpu = run_on(DeviceKind::Gpu {
+            model: GpuModel::GeForce7900Gtx,
+        });
+        let mta = run_on(DeviceKind::Mta {
+            mode: ThreadingMode::FullyMultithreaded,
+        });
 
         // And the real machine this example runs on, using the rayon kernel.
         let mut host = Simulation::<f64>::prepare_with_kernel(sim, Box::new(RayonKernel));

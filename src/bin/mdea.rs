@@ -10,12 +10,12 @@ use md_emerging_arch::cell::{CellBeDevice, CellRunConfig};
 use md_emerging_arch::cli::{
     parse_args, Command, DevicesArgs, KernelChoice, RunArgs, TraceArgs, USAGE,
 };
-use md_emerging_arch::gpu::GpuMdSimulation;
+use md_emerging_arch::harness::{DeviceKind, GpuModel};
+use md_emerging_arch::md::device::RunOptions;
 use md_emerging_arch::md::forces::ForceKernel;
 use md_emerging_arch::md::prelude::*;
 use md_emerging_arch::md::{io as mdio, sim::Simulation};
-use md_emerging_arch::mta::{MtaMdSimulation, ThreadingMode};
-use md_emerging_arch::opteron::OpteronCpu;
+use md_emerging_arch::mta::ThreadingMode;
 use std::fs::File;
 use std::io::{BufWriter, Write};
 use std::process::ExitCode;
@@ -105,28 +105,30 @@ fn devices(args: DevicesArgs) -> ExitCode {
         "workload: {} atoms, {} steps (simulated 2006 hardware)\n",
         args.config.n_atoms, args.steps
     );
-    let opteron = OpteronCpu::paper_reference().run_md(&args.config, args.steps);
+    let run_on = |kind: DeviceKind| {
+        kind.build()
+            .run(&args.config, RunOptions::steps(args.steps))
+    };
+    let opteron = run_on(DeviceKind::Opteron).expect("the reference CPU always runs");
     let base = opteron.sim_seconds;
     println!("{:<28} {:>12} {:>10}", "system", "runtime", "vs Opteron");
     let row =
         |name: &str, secs: f64| println!("{name:<28} {:>9.2} ms {:>9.2}x", secs * 1e3, base / secs);
     row("Opteron 2.2 GHz", opteron.sim_seconds);
-    match CellBeDevice::paper_blade().run_md(&args.config, args.steps, CellRunConfig::best()) {
+    match run_on(DeviceKind::cell_best()) {
         Ok(cell) => row("Cell BE, 8 SPEs", cell.sim_seconds),
         Err(e) => println!("{:<28} {e}", "Cell BE, 8 SPEs"),
     }
-    row(
-        "GeForce 7900GTX",
-        GpuMdSimulation::geforce_7900gtx()
-            .run_md(&args.config, args.steps)
-            .sim_seconds,
-    );
-    row(
-        "Cray MTA-2",
-        MtaMdSimulation::paper_mta2()
-            .run_md(&args.config, args.steps, ThreadingMode::FullyMultithreaded)
-            .sim_seconds,
-    );
+    let gpu = run_on(DeviceKind::Gpu {
+        model: GpuModel::GeForce7900Gtx,
+    })
+    .expect("the GPU model runs any workload");
+    row("GeForce 7900GTX", gpu.sim_seconds);
+    let mta = run_on(DeviceKind::Mta {
+        mode: ThreadingMode::FullyMultithreaded,
+    })
+    .expect("the MTA model runs any workload");
+    row("Cray MTA-2", mta.sim_seconds);
     ExitCode::SUCCESS
 }
 

@@ -36,10 +36,12 @@
 //! assert!(report.potential < 0.0); // a cohesive LJ liquid
 //! ```
 //!
-//! Run the paper's experiments with the harness binaries:
+//! Run the paper's experiments with the sweep binaries (results are
+//! memoized under `results/cache/`, so a second run replays instantly):
 //!
 //! ```text
-//! cargo run --release -p mdea-harness --bin all_experiments
+//! cargo run --release -p mdea-sim-sweep --bin all_experiments
+//! cargo run --release -p mdea-sim-sweep --bin sweep -- run --all
 //! ```
 
 pub mod cli;

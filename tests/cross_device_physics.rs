@@ -1,16 +1,19 @@
 //! Cross-crate physics agreement: every simulated device and every host
 //! kernel must produce the same trajectory for the same workload — the
 //! property that makes the timing comparisons meaningful.
+//!
+//! Devices are built through [`harness::DeviceKind`] and driven through the
+//! unified [`MdDevice`](md_core::device::MdDevice) run API.
 
-use cell_be::{CellBeDevice, CellRunConfig, SpawnPolicy, SpeKernelVariant};
-use gpu::GpuMdSimulation;
+use cell_be::{SpawnPolicy, SpeKernelVariant};
+use harness::{DeviceKind, GpuModel};
+use md_core::device::{DeviceRun, RunOptions};
 use md_core::forces::{AllPairsFullKernel, ForceKernel};
 use md_core::observables::EnergyReport;
 use md_core::params::SimConfig;
 use md_core::system::ParticleSystem;
 use md_core::verlet::VelocityVerlet;
-use mta::{MtaMdSimulation, ThreadingMode};
-use opteron::OpteronCpu;
+use mta::ThreadingMode;
 
 fn reference<T: vecmath::Real>(sim: &SimConfig, steps: usize) -> EnergyReport {
     let mut sys: ParticleSystem<T> = md_core::init::initialize(sim);
@@ -24,13 +27,19 @@ fn reference<T: vecmath::Real>(sim: &SimConfig, steps: usize) -> EnergyReport {
     EnergyReport::measure(&sys, pe.to_f64())
 }
 
+fn device_run(kind: DeviceKind, sim: &SimConfig, steps: usize) -> DeviceRun {
+    kind.build()
+        .run(sim, RunOptions::steps(steps))
+        .expect("paper workloads succeed")
+}
+
 const N: usize = 500;
 const STEPS: usize = 5;
 
 #[test]
 fn opteron_matches_f64_reference() {
     let sim = SimConfig::reduced_lj(N);
-    let run = OpteronCpu::paper_reference().run_md(&sim, STEPS);
+    let run = device_run(DeviceKind::Opteron, &sim, STEPS);
     let expect = reference::<f64>(&sim, STEPS);
     assert!(
         (run.energies.total - expect.total).abs() < 1e-9 * expect.total.abs(),
@@ -43,7 +52,10 @@ fn opteron_matches_f64_reference() {
 #[test]
 fn mta_matches_f64_reference() {
     let sim = SimConfig::reduced_lj(N);
-    let run = MtaMdSimulation::paper_mta2().run_md(&sim, STEPS, ThreadingMode::FullyMultithreaded);
+    let kind = DeviceKind::Mta {
+        mode: ThreadingMode::FullyMultithreaded,
+    };
+    let run = device_run(kind, &sim, STEPS);
     let expect = reference::<f64>(&sim, STEPS);
     assert!(
         (run.energies.total - expect.total).abs() < 1e-9 * expect.total.abs(),
@@ -56,9 +68,7 @@ fn mta_matches_f64_reference() {
 #[test]
 fn cell_matches_f32_reference() {
     let sim = SimConfig::reduced_lj(N);
-    let run = CellBeDevice::paper_blade()
-        .run_md(&sim, STEPS, CellRunConfig::best())
-        .unwrap();
+    let run = device_run(DeviceKind::cell_best(), &sim, STEPS);
     let expect = reference::<f32>(&sim, STEPS);
     assert!(
         (run.energies.total - expect.total).abs() < 2e-3 * expect.total.abs(),
@@ -71,7 +81,10 @@ fn cell_matches_f32_reference() {
 #[test]
 fn gpu_matches_f32_reference() {
     let sim = SimConfig::reduced_lj(N);
-    let run = GpuMdSimulation::geforce_7900gtx().run_md(&sim, STEPS);
+    let kind = DeviceKind::Gpu {
+        model: GpuModel::GeForce7900Gtx,
+    };
+    let run = device_run(kind, &sim, STEPS);
     let expect = reference::<f32>(&sim, STEPS);
     assert!(
         (run.energies.total - expect.total).abs() < 2e-3 * expect.total.abs(),
@@ -84,23 +97,28 @@ fn gpu_matches_f32_reference() {
 #[test]
 fn all_devices_agree_with_each_other() {
     let sim = SimConfig::reduced_lj(N);
-    let opteron = OpteronCpu::paper_reference()
-        .run_md(&sim, STEPS)
+    let opteron = device_run(DeviceKind::Opteron, &sim, STEPS).energies.total;
+    let cell = device_run(DeviceKind::cell_best(), &sim, STEPS)
         .energies
         .total;
-    let cell = CellBeDevice::paper_blade()
-        .run_md(&sim, STEPS, CellRunConfig::best())
-        .unwrap()
-        .energies
-        .total;
-    let gpu = GpuMdSimulation::geforce_7900gtx()
-        .run_md(&sim, STEPS)
-        .energies
-        .total;
-    let mta = MtaMdSimulation::paper_mta2()
-        .run_md(&sim, STEPS, ThreadingMode::FullyMultithreaded)
-        .energies
-        .total;
+    let gpu = device_run(
+        DeviceKind::Gpu {
+            model: GpuModel::GeForce7900Gtx,
+        },
+        &sim,
+        STEPS,
+    )
+    .energies
+    .total;
+    let mta = device_run(
+        DeviceKind::Mta {
+            mode: ThreadingMode::FullyMultithreaded,
+        },
+        &sim,
+        STEPS,
+    )
+    .energies
+    .total;
     for (name, e, tol) in [("cell", cell, 2e-3), ("gpu", gpu, 2e-3), ("mta", mta, 1e-9)] {
         let err = ((e - opteron) / opteron).abs();
         assert!(err < tol, "{name} diverged from opteron by {err:.2e}");
@@ -110,22 +128,16 @@ fn all_devices_agree_with_each_other() {
 #[test]
 fn every_spe_variant_and_spawn_policy_gives_same_physics() {
     let sim = SimConfig::reduced_lj(256);
-    let device = CellBeDevice::paper_blade();
     let expect = reference::<f32>(&sim, 3);
     for variant in SpeKernelVariant::ALL {
         for policy in [SpawnPolicy::RespawnEveryStep, SpawnPolicy::LaunchOnce] {
             for n_spes in [1usize, 3, 8] {
-                let run = device
-                    .run_md(
-                        &sim,
-                        3,
-                        CellRunConfig {
-                            n_spes,
-                            policy,
-                            variant,
-                        },
-                    )
-                    .unwrap();
+                let kind = DeviceKind::Cell {
+                    n_spes,
+                    policy,
+                    variant,
+                };
+                let run = device_run(kind, &sim, 3);
                 let err = ((run.energies.total - expect.total) / expect.total).abs();
                 assert!(
                     err < 2e-3,
@@ -139,20 +151,22 @@ fn every_spe_variant_and_spawn_policy_gives_same_physics() {
 #[test]
 fn device_timings_are_positive_and_finite() {
     let sim = SimConfig::reduced_lj(256);
-    let runs = [
-        OpteronCpu::paper_reference().run_md(&sim, 2).sim_seconds,
-        CellBeDevice::paper_blade()
-            .run_md(&sim, 2, CellRunConfig::best())
-            .unwrap()
-            .sim_seconds,
-        GpuMdSimulation::geforce_7900gtx()
-            .run_md(&sim, 2)
-            .sim_seconds,
-        MtaMdSimulation::paper_mta2()
-            .run_md(&sim, 2, ThreadingMode::FullyMultithreaded)
-            .sim_seconds,
+    let kinds = [
+        DeviceKind::Opteron,
+        DeviceKind::cell_best(),
+        DeviceKind::Gpu {
+            model: GpuModel::GeForce7900Gtx,
+        },
+        DeviceKind::Mta {
+            mode: ThreadingMode::FullyMultithreaded,
+        },
     ];
-    for (i, t) in runs.iter().enumerate() {
-        assert!(t.is_finite() && *t > 0.0, "device {i} produced runtime {t}");
+    for kind in kinds {
+        let t = device_run(kind, &sim, 2).sim_seconds;
+        assert!(
+            t.is_finite() && t > 0.0,
+            "{} produced runtime {t}",
+            kind.label()
+        );
     }
 }

@@ -6,18 +6,19 @@
 //! accelerations, energies — must be bit-identical to the fault-free run on
 //! the same device, and every paper experiment must complete under faults
 //! via retry/checkpoint/fallback without panicking.
+//!
+//! Every device is constructed through [`DeviceKind`] and driven through the
+//! unified [`MdDevice`](md_core::device::MdDevice) run API; trajectory
+//! equality is asserted on the returned [`SystemCheckpoint`] (f32 devices
+//! widen losslessly to f64 at capture, so the comparison stays bitwise).
 
 #![cfg(feature = "fault-inject")]
 
-use cell_be::{CellBeDevice, CellRunConfig};
-use gpu::GpuMdSimulation;
 use harness::experiments::faulted::FaultedExperiments;
-use harness::{run_supervised, SupervisedDevice, SupervisorConfig};
-use md_core::init;
+use harness::{run_supervised, DeviceKind, GpuModel, SupervisorConfig};
+use md_core::device::{DeviceRun, RunOptions};
 use md_core::params::SimConfig;
-use md_core::system::ParticleSystem;
-use mta::{MtaMdSimulation, ThreadingMode};
-use opteron::OpteronCpu;
+use mta::ThreadingMode;
 use proptest::prelude::*;
 use sim_fault::FaultPlan;
 
@@ -28,19 +29,30 @@ fn paper_sim() -> SimConfig {
     SimConfig::reduced_lj(PAPER_ATOMS)
 }
 
-/// Bitwise trajectory equality between two particle systems.
-fn assert_identical<T: PartialEq + std::fmt::Debug>(a: &ParticleSystem<T>, b: &ParticleSystem<T>)
-where
-    Vec<vecmath::Vec3<T>>: PartialEq,
-    vecmath::Vec3<T>: PartialEq + std::fmt::Debug,
-{
-    assert_eq!(a.positions, b.positions, "positions must be bit-identical");
+fn clean_run(kind: DeviceKind, sim: &SimConfig, steps: usize) -> DeviceRun {
+    kind.build()
+        .run(sim, RunOptions::steps(steps))
+        .expect("fault-free paper workloads succeed")
+}
+
+fn faulted_run(kind: DeviceKind, plan: FaultPlan, sim: &SimConfig, steps: usize) -> DeviceRun {
+    kind.build_faulted(plan)
+        .run(sim, RunOptions::steps(steps))
+        .expect("the injected rate stays within the retry budget")
+}
+
+/// Bitwise trajectory equality between two run checkpoints.
+fn assert_identical(a: &DeviceRun, b: &DeviceRun) {
     assert_eq!(
-        a.velocities, b.velocities,
+        a.checkpoint.positions, b.checkpoint.positions,
+        "positions must be bit-identical"
+    );
+    assert_eq!(
+        a.checkpoint.velocities, b.checkpoint.velocities,
         "velocities must be bit-identical"
     );
     assert_eq!(
-        a.accelerations, b.accelerations,
+        a.checkpoint.accelerations, b.checkpoint.accelerations,
         "accelerations must be bit-identical"
     );
 }
@@ -48,22 +60,15 @@ where
 #[test]
 fn cell_paper_workload_recovers_bit_identically() {
     let sim = paper_sim();
-    let mut clean_sys: ParticleSystem<f32> = init::initialize(&sim);
-    let clean = CellBeDevice::paper_blade()
-        .run_md_from(&mut clean_sys, &sim, PAPER_STEPS, CellRunConfig::best())
-        .expect("paper workload fits the local store");
-
-    let mut faulty_sys: ParticleSystem<f32> = init::initialize(&sim);
-    let faulty = CellBeDevice::paper_blade()
-        .with_fault_plan(FaultPlan::new(2024, 0.02))
-        .run_md_from(&mut faulty_sys, &sim, PAPER_STEPS, CellRunConfig::best())
-        .expect("rate 0.02 stays within the retry budget");
+    let kind = DeviceKind::cell_best();
+    let clean = clean_run(kind, &sim, PAPER_STEPS);
+    let faulty = faulted_run(kind, FaultPlan::new(2024, 0.02), &sim, PAPER_STEPS);
 
     assert!(
         faulty.faults.any(),
         "seed 2024 @ 2% must fire at least once"
     );
-    assert_identical(&clean_sys, &faulty_sys);
+    assert_identical(&clean, &faulty);
     assert_eq!(clean.energies.total, faulty.energies.total);
     assert!(
         faulty.sim_seconds > clean.sim_seconds,
@@ -76,16 +81,14 @@ fn cell_paper_workload_recovers_bit_identically() {
 #[test]
 fn gpu_paper_workload_recovers_bit_identically() {
     let sim = paper_sim();
-    let runner = GpuMdSimulation::geforce_7900gtx();
-    let mut clean_sys: ParticleSystem<f32> = init::initialize(&sim);
-    let clean = runner.run_md_from(&mut clean_sys, &sim, PAPER_STEPS);
-
-    let faulty_runner = GpuMdSimulation::geforce_7900gtx().with_fault_plan(FaultPlan::new(7, 0.1));
-    let mut faulty_sys: ParticleSystem<f32> = init::initialize(&sim);
-    let faulty = faulty_runner.run_md_from(&mut faulty_sys, &sim, PAPER_STEPS);
+    let kind = DeviceKind::Gpu {
+        model: GpuModel::GeForce7900Gtx,
+    };
+    let clean = clean_run(kind, &sim, PAPER_STEPS);
+    let faulty = faulted_run(kind, FaultPlan::new(7, 0.1), &sim, PAPER_STEPS);
 
     assert!(faulty.faults.any());
-    assert_identical(&clean_sys, &faulty_sys);
+    assert_identical(&clean, &faulty);
     assert_eq!(clean.energies.total, faulty.energies.total);
     assert!(faulty.sim_seconds > clean.sim_seconds);
 }
@@ -93,17 +96,14 @@ fn gpu_paper_workload_recovers_bit_identically() {
 #[test]
 fn mta_paper_workload_recovers_bit_identically() {
     let sim = paper_sim();
-    let mode = ThreadingMode::FullyMultithreaded;
-    let mut clean_sys: ParticleSystem<f64> = init::initialize(&sim);
-    let clean = MtaMdSimulation::paper_mta2().run_md_from(&mut clean_sys, &sim, PAPER_STEPS, mode);
-
-    let mut faulty_sys: ParticleSystem<f64> = init::initialize(&sim);
-    let faulty = MtaMdSimulation::paper_mta2()
-        .with_fault_plan(FaultPlan::new(5, 0.15))
-        .run_md_from(&mut faulty_sys, &sim, PAPER_STEPS, mode);
+    let kind = DeviceKind::Mta {
+        mode: ThreadingMode::FullyMultithreaded,
+    };
+    let clean = clean_run(kind, &sim, PAPER_STEPS);
+    let faulty = faulted_run(kind, FaultPlan::new(5, 0.15), &sim, PAPER_STEPS);
 
     assert!(faulty.faults.any());
-    assert_identical(&clean_sys, &faulty_sys);
+    assert_identical(&clean, &faulty);
     assert_eq!(clean.energies.total, faulty.energies.total);
     assert!(faulty.sim_seconds > clean.sim_seconds);
 }
@@ -111,16 +111,16 @@ fn mta_paper_workload_recovers_bit_identically() {
 #[test]
 fn opteron_paper_workload_recovers_bit_identically() {
     let sim = paper_sim();
-    let mut clean_sys: ParticleSystem<f64> = init::initialize(&sim);
-    let clean = OpteronCpu::paper_reference().run_md_from(&mut clean_sys, &sim, PAPER_STEPS);
-
-    let mut faulty_sys: ParticleSystem<f64> = init::initialize(&sim);
-    let faulty = OpteronCpu::paper_reference()
-        .with_fault_plan(FaultPlan::new(17, 0.2))
-        .run_md_from(&mut faulty_sys, &sim, PAPER_STEPS);
+    let clean = clean_run(DeviceKind::Opteron, &sim, PAPER_STEPS);
+    let faulty = faulted_run(
+        DeviceKind::Opteron,
+        FaultPlan::new(17, 0.2),
+        &sim,
+        PAPER_STEPS,
+    );
 
     assert!(faulty.faults.any());
-    assert_identical(&clean_sys, &faulty_sys);
+    assert_identical(&clean, &faulty);
     assert_eq!(clean.energies.total, faulty.energies.total);
     assert!(faulty.sim_seconds > clean.sim_seconds);
 }
@@ -133,12 +133,11 @@ fn supervised_recovery_is_bit_identical_and_strictly_slower() {
     let sim = paper_sim();
     let cfg = SupervisorConfig::default();
 
-    let mut clean_dev = SupervisedDevice::cell(CellBeDevice::paper_blade(), CellRunConfig::best());
-    let clean = run_supervised(&mut clean_dev, &sim, PAPER_STEPS, &cfg, None);
+    let mut clean_dev = DeviceKind::cell_best().build();
+    let clean = run_supervised(clean_dev.as_mut(), &sim, PAPER_STEPS, &cfg, None);
 
-    let device = CellBeDevice::paper_blade().with_fault_plan(FaultPlan::new(41, 0.02));
-    let mut faulty_dev = SupervisedDevice::cell(device, CellRunConfig::best());
-    let faulty = run_supervised(&mut faulty_dev, &sim, PAPER_STEPS, &cfg, None);
+    let mut faulty_dev = DeviceKind::cell_best().build_faulted(FaultPlan::new(41, 0.02));
+    let faulty = run_supervised(faulty_dev.as_mut(), &sim, PAPER_STEPS, &cfg, None);
 
     assert!(!faulty.report.fell_back, "2% faults must be recoverable");
     assert!(faulty.report.faults.any());
@@ -186,14 +185,13 @@ fn all_paper_experiments_complete_under_faults() {
 #[test]
 fn hopeless_rates_degrade_gracefully_at_paper_scale() {
     let sim = paper_sim();
-    let device = CellBeDevice::paper_blade().with_fault_plan(FaultPlan::new(0, 1.0));
-    let mut dev = SupervisedDevice::cell(device, CellRunConfig::best());
+    let mut dev = DeviceKind::cell_best().build_faulted(FaultPlan::new(0, 1.0));
     // One-segment supervision keeps the degenerate case cheap.
     let cfg = SupervisorConfig {
         checkpoint_interval: PAPER_STEPS,
         ..SupervisorConfig::default()
     };
-    let run = run_supervised(&mut dev, &sim, PAPER_STEPS, &cfg, None);
+    let run = run_supervised(dev.as_mut(), &sim, PAPER_STEPS, &cfg, None);
     assert!(run.report.fell_back);
     assert!(run.energies.total.is_finite());
     assert_eq!(run.checkpoint.step, PAPER_STEPS as u64);
@@ -208,17 +206,12 @@ proptest! {
     #[test]
     fn faults_change_only_simulated_time_mta(seed in 0u64..1_000_000, rate in 0.0f64..0.4) {
         let sim = SimConfig::reduced_lj(108);
-        let mode = ThreadingMode::FullyMultithreaded;
-        let mut clean_sys: ParticleSystem<f64> = init::initialize(&sim);
-        let clean = MtaMdSimulation::paper_mta2().run_md_from(&mut clean_sys, &sim, 3, mode);
+        let kind = DeviceKind::Mta { mode: ThreadingMode::FullyMultithreaded };
+        let clean = clean_run(kind, &sim, 3);
+        let faulty = faulted_run(kind, FaultPlan::new(seed, rate), &sim, 3);
 
-        let mut faulty_sys: ParticleSystem<f64> = init::initialize(&sim);
-        let faulty = MtaMdSimulation::paper_mta2()
-            .with_fault_plan(FaultPlan::new(seed, rate))
-            .run_md_from(&mut faulty_sys, &sim, 3, mode);
-
-        prop_assert_eq!(&clean_sys.positions, &faulty_sys.positions);
-        prop_assert_eq!(&clean_sys.velocities, &faulty_sys.velocities);
+        prop_assert_eq!(&clean.checkpoint.positions, &faulty.checkpoint.positions);
+        prop_assert_eq!(&clean.checkpoint.velocities, &faulty.checkpoint.velocities);
         prop_assert_eq!(clean.energies.total, faulty.energies.total);
         prop_assert!(faulty.sim_seconds >= clean.sim_seconds);
         if faulty.faults.extra_seconds > 0.0 {
@@ -231,15 +224,11 @@ proptest! {
     #[test]
     fn faults_change_only_simulated_time_gpu(seed in 0u64..1_000_000, rate in 0.0f64..0.4) {
         let sim = SimConfig::reduced_lj(108);
-        let mut clean_sys: ParticleSystem<f32> = init::initialize(&sim);
-        let clean = GpuMdSimulation::geforce_7900gtx().run_md_from(&mut clean_sys, &sim, 3);
+        let kind = DeviceKind::Gpu { model: GpuModel::GeForce7900Gtx };
+        let clean = clean_run(kind, &sim, 3);
+        let faulty = faulted_run(kind, FaultPlan::new(seed, rate), &sim, 3);
 
-        let mut faulty_sys: ParticleSystem<f32> = init::initialize(&sim);
-        let faulty = GpuMdSimulation::geforce_7900gtx()
-            .with_fault_plan(FaultPlan::new(seed, rate))
-            .run_md_from(&mut faulty_sys, &sim, 3);
-
-        prop_assert_eq!(&clean_sys.positions, &faulty_sys.positions);
+        prop_assert_eq!(&clean.checkpoint.positions, &faulty.checkpoint.positions);
         prop_assert_eq!(clean.energies.total, faulty.energies.total);
         let slowdown = faulty.sim_seconds - clean.sim_seconds;
         prop_assert!((slowdown - faulty.faults.extra_seconds).abs() <= 1e-12 * faulty.sim_seconds);

@@ -1,6 +1,8 @@
 //! Property-based invariants spanning crates: physical conservation laws and
 //! simulator consistency under randomized workloads.
 
+use harness::{DeviceKind, GpuModel};
+use md_core::device::RunOptions;
 use md_core::forces::{AllPairsFullKernel, AllPairsHalfKernel, ForceKernel};
 use md_core::params::SimConfig;
 use md_core::prelude::*;
@@ -104,8 +106,9 @@ proptest! {
     #[test]
     fn cell_f32_tracks_f64(seed in 0u64..200) {
         let cfg = SimConfig::reduced_lj(108).with_seed(seed);
-        let run = cell_be::CellBeDevice::paper_blade()
-            .run_md(&cfg, 2, cell_be::CellRunConfig::best())
+        let run = DeviceKind::cell_best()
+            .build()
+            .run(&cfg, RunOptions::steps(2))
             .unwrap();
         let mut sim64 = Simulation::<f64>::prepare(cfg);
         let r64 = sim64.run(2);
@@ -118,11 +121,10 @@ proptest! {
     fn runtimes_monotone_in_n(seed in 0u64..50) {
         let small = SimConfig::reduced_lj(128).with_seed(seed);
         let large = SimConfig::reduced_lj(256).with_seed(seed);
-        let t_small = opteron::OpteronCpu::paper_reference().run_md(&small, 1).sim_seconds;
-        let t_large = opteron::OpteronCpu::paper_reference().run_md(&large, 1).sim_seconds;
-        prop_assert!(t_large > t_small);
-        let g_small = gpu::GpuMdSimulation::geforce_7900gtx().run_md(&small, 1).sim_seconds;
-        let g_large = gpu::GpuMdSimulation::geforce_7900gtx().run_md(&large, 1).sim_seconds;
-        prop_assert!(g_large > g_small);
+        for kind in [DeviceKind::Opteron, DeviceKind::Gpu { model: GpuModel::GeForce7900Gtx }] {
+            let t_small = kind.build().run(&small, RunOptions::steps(1)).unwrap().sim_seconds;
+            let t_large = kind.build().run(&large, RunOptions::steps(1)).unwrap().sim_seconds;
+            prop_assert!(t_large > t_small, "{} not monotone", kind.label());
+        }
     }
 }

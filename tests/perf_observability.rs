@@ -7,15 +7,17 @@
 //! the resulting fractions must reproduce the paper's qualitative claims
 //! (transfer-dominated GPU at small N, DMA-overlapped Cell at 8 SPEs,
 //! stall-free fully-multithreaded MTA, cache-bound Opteron growth).
+//!
+//! All devices run through the unified [`MdDevice`](md_core::device::MdDevice)
+//! API; "plain" and "counted" runs differ only in `RunOptions::with_perf`.
 
-use cell_be::{CellBeDevice, CellRunConfig};
-use gpu::GpuMdSimulation;
+use cell_be::CellRunConfig;
 use harness::perf;
-use md_core::init;
+use harness::{DeviceKind, GpuModel};
+use md_core::checkpoint::SystemCheckpoint;
+use md_core::device::{DeviceRun, RunOptions};
 use md_core::params::SimConfig;
-use md_core::system::ParticleSystem;
-use mta::{MtaMdSimulation, ThreadingMode};
-use opteron::OpteronCpu;
+use mta::ThreadingMode;
 use proptest::prelude::*;
 use sim_perf::PerfMonitor;
 
@@ -27,37 +29,27 @@ fn paper_sim() -> SimConfig {
 }
 
 /// Exact bit pattern of a trajectory (positions then velocities).
-fn bits_f32(s: &ParticleSystem<f32>) -> Vec<u32> {
-    s.positions
+fn bits(c: &SystemCheckpoint) -> Vec<u64> {
+    c.positions
         .iter()
-        .chain(s.velocities.iter())
+        .chain(c.velocities.iter())
         .flat_map(|v| [v.x.to_bits(), v.y.to_bits(), v.z.to_bits()])
         .collect()
 }
 
-fn bits_f64(s: &ParticleSystem<f64>) -> Vec<u64> {
-    s.positions
-        .iter()
-        .chain(s.velocities.iter())
-        .flat_map(|v| [v.x.to_bits(), v.y.to_bits(), v.z.to_bits()])
-        .collect()
-}
-
-#[test]
-fn cell_counters_are_free_at_paper_scale() {
-    let sim = paper_sim();
-    let device = CellBeDevice::paper_blade();
-    let cfg = CellRunConfig::best();
-    let mut plain_sys: ParticleSystem<f32> = init::initialize(&sim);
-    let mut counted_sys = plain_sys.clone();
-    let plain = device
-        .run_md_from(&mut plain_sys, &sim, PAPER_STEPS, cfg)
+/// Run `kind` twice — bare, then with a monitor attached — and assert the
+/// monitor observed a busy run without perturbing a single bit of it.
+fn assert_counters_free(kind: DeviceKind, sim: &SimConfig, steps: usize) {
+    let plain: DeviceRun = kind
+        .build()
+        .run(sim, RunOptions::steps(steps))
         .expect("plain run");
     let mut perf = PerfMonitor::new();
-    let counted = device
-        .run_md_from_perf(&mut counted_sys, &sim, PAPER_STEPS, cfg, &mut perf)
+    let counted: DeviceRun = kind
+        .build()
+        .run(sim, RunOptions::steps(steps).with_perf(&mut perf))
         .expect("counted run");
-    assert_eq!(bits_f32(&plain_sys), bits_f32(&counted_sys));
+    assert_eq!(bits(&plain.checkpoint), bits(&counted.checkpoint));
     assert_eq!(plain.sim_seconds.to_bits(), counted.sim_seconds.to_bits());
     assert_eq!(
         plain.energies.total.to_bits(),
@@ -67,54 +59,31 @@ fn cell_counters_are_free_at_paper_scale() {
 }
 
 #[test]
+fn cell_counters_are_free_at_paper_scale() {
+    assert_counters_free(DeviceKind::cell_best(), &paper_sim(), PAPER_STEPS);
+}
+
+#[test]
 fn gpu_counters_are_free_at_paper_scale() {
-    let sim = paper_sim();
-    let device = GpuMdSimulation::geforce_7900gtx();
-    let mut plain_sys: ParticleSystem<f32> = init::initialize(&sim);
-    let mut counted_sys = plain_sys.clone();
-    let plain = device.run_md_from(&mut plain_sys, &sim, PAPER_STEPS);
-    let mut perf = PerfMonitor::new();
-    let counted = device.run_md_from_perf(&mut counted_sys, &sim, PAPER_STEPS, &mut perf);
-    assert_eq!(bits_f32(&plain_sys), bits_f32(&counted_sys));
-    assert_eq!(plain.sim_seconds.to_bits(), counted.sim_seconds.to_bits());
-    assert!(!perf.is_empty());
+    let kind = DeviceKind::Gpu {
+        model: GpuModel::GeForce7900Gtx,
+    };
+    assert_counters_free(kind, &paper_sim(), PAPER_STEPS);
 }
 
 #[test]
 fn mta_counters_are_free_at_paper_scale() {
-    let sim = paper_sim();
-    let device = MtaMdSimulation::paper_mta2();
     for mode in [
         ThreadingMode::FullyMultithreaded,
         ThreadingMode::PartiallyMultithreaded,
     ] {
-        let mut plain_sys: ParticleSystem<f64> = init::initialize(&sim);
-        let mut counted_sys = plain_sys.clone();
-        let plain = device.run_md_from(&mut plain_sys, &sim, PAPER_STEPS, mode);
-        let mut perf = PerfMonitor::new();
-        let counted = device.run_md_from_perf(&mut counted_sys, &sim, PAPER_STEPS, mode, &mut perf);
-        assert_eq!(bits_f64(&plain_sys), bits_f64(&counted_sys));
-        assert_eq!(plain.sim_seconds.to_bits(), counted.sim_seconds.to_bits());
-        assert!(!perf.is_empty());
+        assert_counters_free(DeviceKind::Mta { mode }, &paper_sim(), PAPER_STEPS);
     }
 }
 
 #[test]
 fn opteron_counters_are_free_at_paper_scale() {
-    let sim = paper_sim();
-    let mut plain_sys: ParticleSystem<f64> = init::initialize(&sim);
-    let mut counted_sys = plain_sys.clone();
-    let plain = OpteronCpu::paper_reference().run_md_from(&mut plain_sys, &sim, PAPER_STEPS);
-    let mut perf = PerfMonitor::new();
-    let counted = OpteronCpu::paper_reference().run_md_from_perf(
-        &mut counted_sys,
-        &sim,
-        PAPER_STEPS,
-        &mut perf,
-    );
-    assert_eq!(bits_f64(&plain_sys), bits_f64(&counted_sys));
-    assert_eq!(plain.sim_seconds.to_bits(), counted.sim_seconds.to_bits());
-    assert!(!perf.is_empty());
+    assert_counters_free(DeviceKind::Opteron, &paper_sim(), PAPER_STEPS);
 }
 
 /// Every device's attribution partitions its simulated seconds (1e-9
@@ -229,17 +198,16 @@ proptest! {
     fn counter_series_are_monotonically_nondecreasing(n in 128usize..320, steps in 1usize..4) {
         let sim = SimConfig::reduced_lj(n);
         let mut monitors = Vec::new();
-        let mut perf_o = PerfMonitor::new();
-        OpteronCpu::paper_reference().run_md_perf(&sim, steps, &mut perf_o);
-        monitors.push(perf_o);
-        let mut perf_m = PerfMonitor::new();
-        MtaMdSimulation::paper_mta2().run_md_perf(
-            &sim,
-            steps,
-            ThreadingMode::FullyMultithreaded,
-            &mut perf_m,
-        );
-        monitors.push(perf_m);
+        for kind in [
+            DeviceKind::Opteron,
+            DeviceKind::Mta { mode: ThreadingMode::FullyMultithreaded },
+        ] {
+            let mut perf = PerfMonitor::new();
+            kind.build()
+                .run(&sim, RunOptions::steps(steps).with_perf(&mut perf))
+                .expect("counted run");
+            monitors.push(perf);
+        }
         for monitor in &monitors {
             prop_assert!(!monitor.is_empty());
             for c in monitor.counters() {
