@@ -148,7 +148,15 @@ impl CellBeDevice {
         run: CellRunConfig,
     ) -> Result<CellRun, CellError> {
         let mut sys: ParticleSystem<f32> = init::initialize(sim);
-        self.run_md_impl(&mut sys, sim, steps, run, None, None)
+        self.run_md_impl(
+            &mut sys,
+            sim,
+            steps,
+            run,
+            None,
+            None,
+            md_core::device::HostParallelism::Serial,
+        )
     }
 
     /// [`run_md`] with performance counters: per-SPE DMA bytes and stall
@@ -167,7 +175,15 @@ impl CellBeDevice {
         perf: &mut sim_perf::PerfMonitor,
     ) -> Result<CellRun, CellError> {
         let mut sys: ParticleSystem<f32> = init::initialize(sim);
-        self.run_md_impl(&mut sys, sim, steps, run, None, Some(perf))
+        self.run_md_impl(
+            &mut sys,
+            sim,
+            steps,
+            run,
+            None,
+            Some(perf),
+            md_core::device::HostParallelism::Serial,
+        )
     }
 
     /// Like [`Self::run_md`] but continuing from caller-owned state instead
@@ -185,7 +201,15 @@ impl CellBeDevice {
         steps: usize,
         run: CellRunConfig,
     ) -> Result<CellRun, CellError> {
-        self.run_md_impl(sys, sim, steps, run, None, None)
+        self.run_md_impl(
+            sys,
+            sim,
+            steps,
+            run,
+            None,
+            None,
+            md_core::device::HostParallelism::Serial,
+        )
     }
 
     /// [`run_md_from`] with performance counters (see [`run_md_perf`]).
@@ -201,7 +225,15 @@ impl CellBeDevice {
         run: CellRunConfig,
         perf: &mut sim_perf::PerfMonitor,
     ) -> Result<CellRun, CellError> {
-        self.run_md_impl(sys, sim, steps, run, None, Some(perf))
+        self.run_md_impl(
+            sys,
+            sim,
+            steps,
+            run,
+            None,
+            Some(perf),
+            md_core::device::HostParallelism::Serial,
+        )
     }
 
     /// Like [`Self::run_md`], additionally recording a timeline of the
@@ -220,9 +252,18 @@ impl CellBeDevice {
             tracer.name_track(mdea_trace::TraceTrack(1 + s as u32), format!("SPE {s}"));
         }
         let mut sys: ParticleSystem<f32> = init::initialize(sim);
-        self.run_md_impl(&mut sys, sim, steps, run, Some(tracer), None)
+        self.run_md_impl(
+            &mut sys,
+            sim,
+            steps,
+            run,
+            Some(tracer),
+            None,
+            md_core::device::HostParallelism::Serial,
+        )
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn run_md_impl(
         &self,
         sys: &mut ParticleSystem<f32>,
@@ -231,6 +272,7 @@ impl CellBeDevice {
         run: CellRunConfig,
         mut tracer: Option<&mut mdea_trace::Tracer>,
         mut perf: Option<&mut sim_perf::PerfMonitor>,
+        par: md_core::device::HostParallelism,
     ) -> Result<CellRun, CellError> {
         assert!(
             run.n_spes >= 1 && run.n_spes <= self.config.n_spes,
@@ -441,140 +483,206 @@ impl CellBeDevice {
 
             // Each SPE: DMA in all positions, compute its slice, DMA out.
             // SPEs run concurrently; the step's wall time is the slowest SPE.
-            let mut max_spe_cycles = 0.0f64;
-            let mut max_spe_dma = 0.0f64;
-            pe_total = 0.0;
-            for (s, spe) in spes.iter_mut().enumerate() {
-                if run.policy == SpawnPolicy::LaunchOnce && eval > 0 {
-                    #[cfg(feature = "hazard-check")]
-                    hazard[s].note_mailbox_read(s, spe.inbox.is_empty());
-                    let _go = spe.inbox.read();
-                    spe.charge(self.config.mailbox_cycles);
-                    mailbox_round_trips += 1;
-                }
-                let (pos_r, acc_r) = regions[s];
-                let (lo, hi) = slices[s];
-
+            //
+            // The simulated concurrency maps onto host threads: the main
+            // memory image splits into the shared position half (read by
+            // every SPE's get) and per-SPE acceleration windows (each SPE
+            // puts only its own slice), so each lane owns disjoint state.
+            // Fault sites are peeked in-lane (pure) and committed below in
+            // SPE order; every reduction — cost maxima, kernel stats, PE,
+            // perf counters, tracer spans — happens in the serial fold, so
+            // the run is bitwise identical to the serial loop at any host
+            // thread count.
+            let (pos_mem, acc_mem) = main_memory.split_at_mut(n * 16);
+            let pos_mem: &[u8] = pos_mem;
+            let mut lanes: Vec<SpeLane> = Vec::with_capacity(run.n_spes);
+            {
+                let mut acc_rest: &mut [u8] = acc_mem;
                 #[cfg(feature = "hazard-check")]
-                hazard[s].dma_issue(0, Dir::Get, pos_r);
-                let dma_in = dma.get(&main_memory, &mut spe.local_store, pos_r, 0, n * 16)?;
-                // The functional transfer above always lands pristine data;
-                // injected failures only re-model the transfer's cost, so
-                // physics is untouched by construction.
-                #[cfg(feature = "fault-inject")]
-                let dma_in = {
-                    // Failed transfer → full re-issue of the get.
-                    let reissue = resolve_fault_site(
-                        &mut fault,
-                        sim_fault::FaultSite::new(
+                let mut hz_iter = hazard.iter_mut();
+                for (s, spe) in spes.iter_mut().enumerate() {
+                    let (lo, hi) = slices[s];
+                    let (window, rest) = std::mem::take(&mut acc_rest).split_at_mut((hi - lo) * 16);
+                    acc_rest = rest;
+                    lanes.push(SpeLane {
+                        spe,
+                        acc_out: window,
+                        // `hazard` is built with exactly one checker per SPE
+                        // a few lines up; the iterator cannot run dry.
+                        #[cfg(feature = "hazard-check")]
+                        hazard: hz_iter.next().expect("one checker per SPE"), // sim-vet: allow(panic-discipline)
+                    });
+                }
+            }
+            #[cfg(feature = "fault-inject")]
+            let fault_peek = fault.as_ref();
+            let lane_outs = md_core::parallel::map_lanes(
+                par,
+                &mut lanes,
+                |s, lane: &mut SpeLane| -> Result<SpeLaneOut, CellError> {
+                    let spe = &mut *lane.spe;
+                    let mut round_trips = 0u64;
+                    if run.policy == SpawnPolicy::LaunchOnce && eval > 0 {
+                        #[cfg(feature = "hazard-check")]
+                        lane.hazard.note_mailbox_read(s, spe.inbox.is_empty());
+                        let _go = spe.inbox.read();
+                        spe.charge(self.config.mailbox_cycles);
+                        round_trips += 1;
+                    }
+                    let (pos_r, acc_r) = regions[s];
+                    let (lo, hi) = slices[s];
+
+                    #[cfg(feature = "hazard-check")]
+                    lane.hazard.dma_issue(0, Dir::Get, pos_r);
+                    let dma_in = dma.get(pos_mem, &mut spe.local_store, pos_r, 0, n * 16)?;
+                    // The functional transfer above always lands pristine data;
+                    // injected failures only re-model the transfer's cost, so
+                    // physics is untouched by construction. Failed transfer →
+                    // full re-issue of the get; tag-group wait spins out → spin
+                    // window plus a fresh issue-and-wait (two transfers' worth).
+                    #[cfg(feature = "fault-inject")]
+                    let (dma_in, fault_get, fault_tag) = {
+                        let site_get = sim_fault::FaultSite::new(
                             sim_fault::FaultKind::DmaTransfer,
                             eval as u64,
                             s as u32,
                             0,
-                        ),
-                        dma_in,
-                        clk,
-                    )?;
-                    // Tag-group wait spins out → spin window plus a fresh
-                    // issue-and-wait, modeled as two transfers' worth.
-                    let spin = resolve_fault_site(
-                        &mut fault,
-                        sim_fault::FaultSite::new(
+                        );
+                        let site_tag = sim_fault::FaultSite::new(
                             sim_fault::FaultKind::TagWaitTimeout,
                             eval as u64,
                             s as u32,
                             0,
-                        ),
-                        2.0 * dma_in,
-                        clk,
+                        );
+                        let out_get = peek_fault_site(fault_peek, site_get);
+                        let out_tag = peek_fault_site(fault_peek, site_tag);
+                        let reissue = peeked_extra_cycles(out_get, dma_in);
+                        let spin = peeked_extra_cycles(out_tag, 2.0 * dma_in);
+                        (
+                            dma_in + reissue + spin,
+                            (site_get, out_get, dma_in),
+                            (site_tag, out_tag, 2.0 * dma_in),
+                        )
+                    };
+                    #[cfg(feature = "hazard-check")]
+                    {
+                        // The functional engine transfers synchronously; the
+                        // modeled hardware pattern is issue → tag wait → compute.
+                        lane.hazard.tag_wait(0);
+                        lane.hazard.compute_read(pos_r);
+                        lane.hazard.compute_write(acc_r);
+                    }
+                    let (pe_slice, stats) = compute_accelerations(
+                        &mut spe.local_store,
+                        pos_r,
+                        acc_r,
+                        lo..hi,
+                        n,
+                        params,
+                        run.variant,
+                        &self.config.costs,
+                    );
+                    // DMA the computed slice back (a sub-range of the acc region,
+                    // landing in this SPE's window of the acceleration image).
+                    let slice_view = LsRegion {
+                        offset: acc_r.offset + lo * 16,
+                        len: (hi - lo) * 16,
+                    };
+                    #[cfg(feature = "hazard-check")]
+                    lane.hazard.dma_issue(1, Dir::Put, slice_view);
+                    let dma_out = dma.put(
+                        &spe.local_store,
+                        lane.acc_out,
+                        slice_view,
+                        0,
+                        (hi - lo) * 16,
                     )?;
+                    #[cfg(feature = "fault-inject")]
+                    let (dma_out, fault_put) = {
+                        let site = sim_fault::FaultSite::new(
+                            sim_fault::FaultKind::DmaTransfer,
+                            eval as u64,
+                            s as u32,
+                            1,
+                        );
+                        let out = peek_fault_site(fault_peek, site);
+                        let reissue = peeked_extra_cycles(out, dma_out);
+                        (dma_out + reissue, (site, out, dma_out))
+                    };
+                    #[cfg(feature = "hazard-check")]
+                    lane.hazard.tag_wait(1);
+                    // Completion notification to the PPE.
+                    #[cfg(feature = "hazard-check")]
+                    lane.hazard.note_mailbox_write(s, spe.outbox.is_full());
+                    spe.outbox.write(1);
+                    #[cfg(feature = "hazard-check")]
+                    lane.hazard.note_mailbox_read(s, spe.outbox.is_empty());
+                    let _ = spe.outbox.read();
+                    round_trips += 1;
+
+                    spe.charge(dma_in + stats.cycles + self.config.mailbox_cycles + dma_out);
+                    if run.policy == SpawnPolicy::RespawnEveryStep {
+                        spe.stop_thread();
+                    }
+                    Ok(SpeLaneOut {
+                        dma_in,
+                        dma_out,
+                        stats,
+                        pe_slice,
+                        round_trips,
+                        #[cfg(feature = "fault-inject")]
+                        faults: [fault_get, fault_tag, fault_put],
+                    })
+                },
+            );
+
+            // Serial fold in SPE order: fault ledger, reductions, timeline.
+            let mut max_spe_cycles = 0.0f64;
+            let mut max_spe_dma = 0.0f64;
+            pe_total = 0.0;
+            for (s, lane_out) in lane_outs.into_iter().enumerate() {
+                let out = lane_out?;
+                #[cfg(feature = "fault-inject")]
+                {
+                    let [g, t, p] = out.faults;
+                    let reissue = commit_fault_site(&mut fault, g.0, g.1, g.2, clk)?;
+                    let spin = commit_fault_site(&mut fault, t.0, t.1, t.2, clk)?;
                     if reissue + spin > 0.0 {
                         if let Some(tr) = tracer.as_deref_mut() {
                             tr.instant(spe_track(s), "fault: dma get retried", "fault", t_now);
                         }
                     }
-                    dma_in + reissue + spin
-                };
-                #[cfg(feature = "hazard-check")]
-                {
-                    // The functional engine transfers synchronously; the
-                    // modeled hardware pattern is issue → tag wait → compute.
-                    hazard[s].tag_wait(0);
-                    hazard[s].compute_read(pos_r);
-                    hazard[s].compute_write(acc_r);
-                }
-                let (pe_slice, stats) = compute_accelerations(
-                    &mut spe.local_store,
-                    pos_r,
-                    acc_r,
-                    lo..hi,
-                    n,
-                    params,
-                    run.variant,
-                    &self.config.costs,
-                );
-                // DMA the computed slice back (a sub-range of the acc region).
-                let slice_view = LsRegion {
-                    offset: acc_r.offset + lo * 16,
-                    len: (hi - lo) * 16,
-                };
-                #[cfg(feature = "hazard-check")]
-                hazard[s].dma_issue(1, Dir::Put, slice_view);
-                let dma_out = dma.put(
-                    &spe.local_store,
-                    &mut main_memory,
-                    slice_view,
-                    (n + lo) * 16,
-                    (hi - lo) * 16,
-                )?;
-                #[cfg(feature = "fault-inject")]
-                let dma_out = {
-                    let reissue = resolve_fault_site(
-                        &mut fault,
-                        sim_fault::FaultSite::new(
-                            sim_fault::FaultKind::DmaTransfer,
-                            eval as u64,
-                            s as u32,
-                            1,
-                        ),
-                        dma_out,
-                        clk,
-                    )?;
-                    if reissue > 0.0 {
+                    let put_reissue = commit_fault_site(&mut fault, p.0, p.1, p.2, clk)?;
+                    if put_reissue > 0.0 {
                         if let Some(tr) = tracer.as_deref_mut() {
                             tr.instant(spe_track(s), "fault: dma put retried", "fault", t_now);
                         }
                     }
-                    dma_out + reissue
-                };
-                #[cfg(feature = "hazard-check")]
-                hazard[s].tag_wait(1);
-                // Completion notification to the PPE.
-                #[cfg(feature = "hazard-check")]
-                hazard[s].note_mailbox_write(s, spe.outbox.is_full());
-                spe.outbox.write(1);
-                #[cfg(feature = "hazard-check")]
-                hazard[s].note_mailbox_read(s, spe.outbox.is_empty());
-                let _ = spe.outbox.read();
-                mailbox_round_trips += 1;
+                }
+                let (lo, hi) = slices[s];
                 let mbox = self.config.mailbox_cycles;
-
-                let spe_cycles = stats.cycles + mbox;
-                spe.charge(dma_in + spe_cycles + dma_out);
+                let spe_cycles = out.stats.cycles + mbox;
+                mailbox_round_trips += out.round_trips;
                 if let Some(tr) = tracer.as_deref_mut() {
                     // The SPEs run concurrently: each track starts at the
                     // same phase-begin time.
                     let mut t = t_now;
-                    tr.span(spe_track(s), "DMA get positions", "dma", t, dma_in / clk);
-                    t += dma_in / clk;
+                    tr.span(
+                        spe_track(s),
+                        "DMA get positions",
+                        "dma",
+                        t,
+                        out.dma_in / clk,
+                    );
+                    t += out.dma_in / clk;
                     tr.span(
                         spe_track(s),
                         format!("accel kernel [{lo}..{hi})"),
                         "compute",
                         t,
-                        stats.cycles / clk,
+                        out.stats.cycles / clk,
                     );
-                    t += stats.cycles / clk;
+                    t += out.stats.cycles / clk;
                     tr.span(spe_track(s), "mailbox done", "mailbox", t, mbox / clk);
                     t += mbox / clk;
                     tr.span(
@@ -582,23 +690,19 @@ impl CellBeDevice {
                         "DMA put accelerations",
                         "dma",
                         t,
-                        dma_out / clk,
+                        out.dma_out / clk,
                     );
                 }
                 max_spe_cycles = max_spe_cycles.max(spe_cycles);
-                max_spe_dma = max_spe_dma.max(dma_in + dma_out);
-                stats_total.pairs_tested += stats.pairs_tested;
-                stats_total.interactions += stats.interactions;
-                pe_total += pe_slice;
+                max_spe_dma = max_spe_dma.max(out.dma_in + out.dma_out);
+                stats_total.pairs_tested += out.stats.pairs_tested;
+                stats_total.interactions += out.stats.interactions;
+                pe_total += out.pe_slice;
                 if let (Some(p), Some(h)) = (perf.as_deref_mut(), handles.as_ref()) {
                     p.add_u64(h.spe_dma_bytes[s], ((n + hi - lo) * 16) as u64);
-                    p.add(h.spe_dma_stall[s], dma_in + dma_out);
+                    p.add(h.spe_dma_stall[s], out.dma_in + out.dma_out);
                     p.add_u64(h.dma_bytes_in, (n * 16) as u64);
                     p.add_u64(h.dma_bytes_out, ((hi - lo) * 16) as u64);
-                }
-
-                if run.policy == SpawnPolicy::RespawnEveryStep {
-                    spe.stop_thread();
                 }
             }
             breakdown.compute += max_spe_cycles;
@@ -1195,6 +1299,86 @@ impl PerfHandles {
 /// failure, and return the total extra cycles — or the typed exhaustion
 /// error once the retry budget is spent, so the harness supervisor can
 /// restore a checkpoint or fall back to the reference device.
+/// Mutable state one simulated SPE owns during the force phase: the SPE
+/// itself (local store, mailboxes, cycle counter), its window of the main
+/// memory acceleration image, and — under hazard-check — its race detector.
+/// Lanes are disjoint, so the phase can run on host threads.
+struct SpeLane<'a> {
+    spe: &'a mut Spe,
+    acc_out: &'a mut [u8],
+    #[cfg(feature = "hazard-check")]
+    hazard: &'a mut HazardChecker,
+}
+
+/// What one SPE lane reports back for the serial in-order fold.
+struct SpeLaneOut {
+    /// Fault-adjusted cycle cost of the position get.
+    dma_in: f64,
+    /// Fault-adjusted cycle cost of the acceleration put.
+    dma_out: f64,
+    stats: KernelStats,
+    pe_slice: f32,
+    /// Mailbox round trips this SPE performed this evaluation (1 or 2).
+    round_trips: u64,
+    /// Peeked injection sites in resolution order (get, tag wait, put):
+    /// `(site, outcome, unit recovery cycles)`, committed to the session's
+    /// ledger in SPE order by the fold.
+    #[cfg(feature = "fault-inject")]
+    faults: [(sim_fault::FaultSite, sim_fault::SiteOutcome, f64); 3],
+}
+
+/// Lane-side half of [`resolve_fault_site`]: the pure plan walk.
+#[cfg(feature = "fault-inject")]
+fn peek_fault_site(
+    fault: Option<&sim_fault::FaultSession>,
+    site: sim_fault::FaultSite,
+) -> sim_fault::SiteOutcome {
+    fault.map_or_else(sim_fault::SiteOutcome::clean, |f| f.peek(site))
+}
+
+/// Recovery cycles a peeked outcome will charge (0 when the site exhausts —
+/// the run aborts instead of paying for the failed attempts).
+#[cfg(feature = "fault-inject")]
+fn peeked_extra_cycles(out: sim_fault::SiteOutcome, unit_cycles: f64) -> f64 {
+    if out.exhausted {
+        0.0
+    } else {
+        unit_cycles * f64::from(out.failures)
+    }
+}
+
+/// Fold-side half of [`resolve_fault_site`]: replay a peeked outcome into
+/// the session's ledger exactly as the serial walk would have — commit,
+/// abort on exhaustion, then charge the recovery time.
+#[cfg(feature = "fault-inject")]
+fn commit_fault_site(
+    fault: &mut Option<sim_fault::FaultSession>,
+    site: sim_fault::FaultSite,
+    out: sim_fault::SiteOutcome,
+    unit_cycles: f64,
+    clock_hz: f64,
+) -> Result<f64, CellError> {
+    let Some(sess) = fault.as_mut() else {
+        return Ok(0.0);
+    };
+    sess.commit(out);
+    if out.exhausted {
+        return Err(CellError::FaultExhausted {
+            kind: site.kind,
+            eval: site.eval,
+            unit: site.unit,
+        });
+    }
+    let extra = unit_cycles * f64::from(out.failures);
+    if extra > 0.0 {
+        sess.charge(extra / clock_hz);
+    }
+    Ok(extra)
+}
+
+/// Apply the armed fault schedule to one injection site in place (the serial
+/// peek-and-commit walk; see [`peek_fault_site`] / [`commit_fault_site`] for
+/// the split the host-parallel SPE lanes use).
 #[cfg(feature = "fault-inject")]
 fn resolve_fault_site(
     fault: &mut Option<sim_fault::FaultSession>,
@@ -1333,7 +1517,15 @@ impl md_core::device::MdDevice for CellMd {
         };
         let r = self
             .device
-            .run_md_impl(&mut sys, sim, opts.steps, self.run, None, Some(perf))
+            .run_md_impl(
+                &mut sys,
+                sim,
+                opts.steps,
+                self.run,
+                None,
+                Some(perf),
+                opts.host_parallelism,
+            )
             .map_err(|e| md_core::device::DeviceError::Failed(e.to_string()))?;
         let clk = self.device.config.clock_hz;
         let flops = md_core::device::counter_total(perf, "cell.flops.simd")

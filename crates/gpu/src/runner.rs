@@ -126,6 +126,7 @@ impl GpuMdSimulation {
             steps,
             crate::reduction::ReductionStrategy::CpuReadback,
             Some(perf),
+            md_core::device::HostParallelism::Serial,
         )
     }
 
@@ -146,6 +147,7 @@ impl GpuMdSimulation {
             steps,
             crate::reduction::ReductionStrategy::CpuReadback,
             None,
+            md_core::device::HostParallelism::Serial,
         )
     }
 
@@ -167,6 +169,7 @@ impl GpuMdSimulation {
             steps,
             crate::reduction::ReductionStrategy::CpuReadback,
             Some(perf),
+            md_core::device::HostParallelism::Serial,
         )
     }
 
@@ -180,7 +183,14 @@ impl GpuMdSimulation {
         strategy: crate::reduction::ReductionStrategy,
     ) -> GpuRun {
         let mut sys: ParticleSystem<f32> = init::initialize(sim);
-        self.run_md_impl(&mut sys, sim, steps, strategy, None)
+        self.run_md_impl(
+            &mut sys,
+            sim,
+            steps,
+            strategy,
+            None,
+            md_core::device::HostParallelism::Serial,
+        )
     }
 
     fn run_md_impl(
@@ -190,6 +200,7 @@ impl GpuMdSimulation {
         steps: usize,
         strategy: crate::reduction::ReductionStrategy,
         mut perf: Option<&mut sim_perf::PerfMonitor>,
+        par: md_core::device::HostParallelism,
     ) -> GpuRun {
         let n = sys.n();
         let vv = VelocityVerlet::new(sim.dt as f32);
@@ -249,7 +260,7 @@ impl GpuMdSimulation {
                 );
             }
 
-            let result = device.dispatch(&shader, &[&positions], n);
+            let result = device.dispatch_par(&shader, &[&positions], n, par);
             breakdown.shader += result.shader_seconds;
             breakdown.dispatch_overhead += result.overhead_seconds;
             total_ops += result.ops.total();
@@ -424,6 +435,7 @@ impl md_core::device::MdDevice for GpuMdSimulation {
         if let Some(plan) = opts.fault_plan {
             self.fault_plan = Some(plan);
         }
+        let par = opts.host_parallelism;
         let (mut sys, start_step): (ParticleSystem<f32>, u64) = match opts.start {
             Some(cp) => (cp.restore(), cp.step),
             None => (init::initialize(sim), 0),
@@ -442,6 +454,7 @@ impl md_core::device::MdDevice for GpuMdSimulation {
             opts.steps,
             crate::reduction::ReductionStrategy::CpuReadback,
             Some(perf),
+            par,
         );
         let b = r.breakdown;
         let bytes = md_core::device::counter_total(perf, "gpu.pcie.bytes_to_device")

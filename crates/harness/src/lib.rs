@@ -32,7 +32,8 @@ pub use experiments::{
     fig5, fig6, fig7, fig8, fig9, table1, Fig5Row, Fig6Case, Fig7Row, Fig8Row, Fig9Row, Table1Data,
 };
 pub use perf::{
-    cell_metrics, device_metrics, gpu_metrics, mta_metrics, opteron_metrics, standard_metrics,
+    cell_metrics, device_metrics, device_metrics_host, device_metrics_par, gpu_metrics,
+    mta_metrics, opteron_baseline_metrics_host, opteron_metrics, standard_metrics,
     write_metrics_json, write_metrics_json_in,
 };
 pub use report::{emit_figure, write_csv, Table};

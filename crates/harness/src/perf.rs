@@ -23,7 +23,7 @@ use std::path::{Path, PathBuf};
 use crate::device::{DeviceKind, GpuModel};
 use crate::error::HarnessError;
 use cell_be::CellRunConfig;
-use md_core::device::{collect_metrics, RunOptions};
+use md_core::device::{collect_metrics, HostParallelism, RunOptions};
 use md_core::params::SimConfig;
 use mta::ThreadingMode;
 use sim_perf::{PerfMonitor, RunMetrics};
@@ -35,10 +35,73 @@ pub fn device_metrics(
     sim: &SimConfig,
     steps: usize,
 ) -> Result<(RunMetrics, PerfMonitor), HarnessError> {
+    device_metrics_par(kind, sim, steps, HostParallelism::Serial)
+}
+
+/// [`device_metrics`] with the device's simulated lanes executed on host
+/// threads. The record is bitwise identical at any `par` (lane maps are
+/// order-preserving and every reduction folds serially — DESIGN.md §12),
+/// which is what lets the sweep cache serve a result computed at one
+/// thread count to a sweep running at another.
+pub fn device_metrics_par(
+    kind: DeviceKind,
+    sim: &SimConfig,
+    steps: usize,
+    par: HostParallelism,
+) -> Result<(RunMetrics, PerfMonitor), HarnessError> {
     let mut dev = kind.build();
     let mut perf = PerfMonitor::new();
-    let r = dev.run(sim, RunOptions::steps(steps).with_perf(&mut perf))?;
+    let r = dev.run(
+        sim,
+        RunOptions::steps(steps)
+            .with_perf(&mut perf)
+            .with_host_parallelism(par),
+    )?;
     let m = collect_metrics(dev.as_ref(), &r, sim.n_atoms, steps, &perf);
+    Ok((m, perf))
+}
+
+/// [`device_metrics`] with the device's simulated lanes executed on host
+/// threads, plus a wall-clock measurement folded into the record
+/// (`host_wall_seconds` / `host_atom_steps_per_s`).
+///
+/// The run itself is bitwise identical to [`device_metrics`] at any `par` —
+/// only the wall-clock derived metrics differ between hosts. Device
+/// simulators never read the host clock (sim-vet's wall-clock-discipline
+/// rule), so the harness is the layer that times the run from outside.
+pub fn device_metrics_host(
+    kind: DeviceKind,
+    sim: &SimConfig,
+    steps: usize,
+    par: HostParallelism,
+) -> Result<(RunMetrics, PerfMonitor), HarnessError> {
+    let t0 = std::time::Instant::now();
+    let (mut m, perf) = device_metrics_par(kind, sim, steps, par)?;
+    m.record_host_throughput(t0.elapsed().as_secs_f64());
+    Ok((m, perf))
+}
+
+/// [`device_metrics_host`] for the wall-clock *baseline* configuration: the
+/// Opteron reference with its force-evaluation replay memo disabled, i.e.
+/// the full O(N²) cache replay on every evaluation. Simulated results are
+/// bitwise identical to [`DeviceKind::Opteron`] — only host wall-clock
+/// differs — which is what makes this the denominator of the single-run
+/// speedups `BENCH_host.json` records.
+pub fn opteron_baseline_metrics_host(
+    sim: &SimConfig,
+    steps: usize,
+) -> Result<(RunMetrics, PerfMonitor), HarnessError> {
+    let mut cpu = opteron::OpteronCpu::paper_reference();
+    cpu.set_trace_memo(false);
+    let mut perf = PerfMonitor::new();
+    let t0 = std::time::Instant::now();
+    let r = md_core::device::MdDevice::run(
+        &mut cpu,
+        sim,
+        RunOptions::steps(steps).with_perf(&mut perf),
+    )?;
+    let mut m = collect_metrics(&cpu, &r, sim.n_atoms, steps, &perf);
+    m.record_host_throughput(t0.elapsed().as_secs_f64());
     Ok((m, perf))
 }
 
@@ -163,6 +226,23 @@ mod tests {
         assert!(occ > 1.0, "full-MT run should use many streams: {occ}");
         let phantom = m.derived_value("phantom_fraction");
         assert!(phantom < 0.05, "full-MT run should be nearly stall-free");
+    }
+
+    #[test]
+    fn host_parallel_metrics_match_serial_and_carry_throughput() {
+        let sim = small();
+        for kind in [DeviceKind::Opteron, DeviceKind::cell_best()] {
+            let (serial, _) = device_metrics(kind, &sim, 2).expect("serial run");
+            let (par, _) = device_metrics_host(kind, &sim, 2, HostParallelism::Threads(2))
+                .expect("threaded run");
+            // Host threads only change wall-clock, never the simulation.
+            assert_eq!(par.sim_seconds, serial.sim_seconds, "{}", serial.device);
+            assert_eq!(par.attribution, serial.attribution, "{}", serial.device);
+            assert_eq!(par.counters, serial.counters, "{}", serial.device);
+            assert!(par.derived_value("host_wall_seconds") > 0.0);
+            assert!(par.derived_value("host_atom_steps_per_s") > 0.0);
+            par.validate().expect("record stays valid");
+        }
     }
 
     #[test]

@@ -32,6 +32,51 @@ use std::fmt;
 pub use sim_fault::{FaultPlan, FaultStats};
 pub use sim_perf::PerfMonitor;
 
+/// How much host-side parallelism a device may use to execute its simulated
+/// lanes (SPEs, fragment batches, streams, gather rows).
+///
+/// Purely a wall-clock knob: every device runs its lanes as an
+/// order-preserving indexed map followed by a fixed serial fold, so physics,
+/// simulated seconds, perf counters, and fault schedules are bitwise
+/// identical across all settings (DESIGN.md §12). The cost model continues
+/// to charge the *simulated* machine's time; only host wall-clock shrinks.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum HostParallelism {
+    /// Run every simulated lane on the calling thread (the default).
+    #[default]
+    Serial,
+    /// Run lanes on up to `n` host threads; `Threads(0)` means "use every
+    /// available core", as in rayon.
+    Threads(usize),
+}
+
+impl HostParallelism {
+    /// Build the setting from a thread count: 0 = all cores, 1 = serial.
+    pub fn from_threads(n: usize) -> Self {
+        if n == 1 {
+            HostParallelism::Serial
+        } else {
+            HostParallelism::Threads(n)
+        }
+    }
+
+    /// Worker threads this setting resolves to.
+    pub fn threads(self) -> usize {
+        match self {
+            HostParallelism::Serial => 1,
+            HostParallelism::Threads(0) => {
+                std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+            }
+            HostParallelism::Threads(n) => n,
+        }
+    }
+
+    /// Does this setting actually fan out to more than one host thread?
+    pub fn is_parallel(self) -> bool {
+        self.threads() > 1
+    }
+}
+
 /// How one [`MdDevice::run`] call should execute, assembled builder-style:
 ///
 /// ```
@@ -56,6 +101,9 @@ pub struct RunOptions<'a> {
     /// Arms the device's deterministic fault schedule for this and later
     /// runs. Devices compiled without `fault-inject` ignore it.
     pub fault_plan: Option<FaultPlan>,
+    /// Host threads the device may use to execute its simulated lanes.
+    /// Bitwise-identical results at any setting; see [`HostParallelism`].
+    pub host_parallelism: HostParallelism,
 }
 
 impl<'a> RunOptions<'a> {
@@ -66,6 +114,7 @@ impl<'a> RunOptions<'a> {
             start: None,
             perf: None,
             fault_plan: None,
+            host_parallelism: HostParallelism::Serial,
         }
     }
 
@@ -88,6 +137,21 @@ impl<'a> RunOptions<'a> {
     pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
         self.fault_plan = Some(plan);
         self
+    }
+
+    /// Let the device execute its simulated lanes on host threads
+    /// (bitwise-identical to serial; only wall-clock changes).
+    #[must_use]
+    pub fn with_host_parallelism(mut self, par: HostParallelism) -> Self {
+        self.host_parallelism = par;
+        self
+    }
+
+    /// Shorthand for [`Self::with_host_parallelism`] from a thread count
+    /// (0 = all cores, 1 = serial).
+    #[must_use]
+    pub fn with_host_threads(self, n: usize) -> Self {
+        self.with_host_parallelism(HostParallelism::from_threads(n))
     }
 }
 
@@ -241,10 +305,27 @@ mod tests {
     #[test]
     fn options_builder_composes() {
         let mut perf = PerfMonitor::new();
-        let opts = RunOptions::steps(4).with_perf(&mut perf);
+        let opts = RunOptions::steps(4)
+            .with_perf(&mut perf)
+            .with_host_threads(4);
         assert_eq!(opts.steps, 4);
         assert!(opts.start.is_none());
         assert!(opts.perf.is_some());
+        assert_eq!(opts.host_parallelism, HostParallelism::Threads(4));
+    }
+
+    #[test]
+    fn host_parallelism_resolves_threads() {
+        assert_eq!(HostParallelism::Serial.threads(), 1);
+        assert!(!HostParallelism::Serial.is_parallel());
+        assert_eq!(HostParallelism::from_threads(1), HostParallelism::Serial);
+        assert_eq!(HostParallelism::Threads(4).threads(), 4);
+        assert!(HostParallelism::Threads(4).is_parallel());
+        assert!(HostParallelism::Threads(0).threads() >= 1, "0 = all cores");
+        assert_eq!(
+            RunOptions::steps(1).host_parallelism,
+            HostParallelism::Serial
+        );
     }
 
     #[test]

@@ -61,7 +61,122 @@ pub fn interacting_pair_count<T: Real>(sys: &ParticleSystem<T>, cutoff: T) -> us
     count
 }
 
-/// Device-style kernel: for each atom, gather over all other atoms.
+/// Positions in structure-of-arrays layout: one contiguous array per
+/// coordinate axis. The tiled gather ([`gather_row`]) streams each axis
+/// independently, which is the layout every device port models (SPE quadword
+/// lanes, GPU texture channels, MTA stream vectors) and the one the host
+/// vectorizes well.
+#[derive(Clone, Debug)]
+pub struct SoaPositions<T> {
+    pub x: Vec<T>,
+    pub y: Vec<T>,
+    pub z: Vec<T>,
+}
+
+impl<T: Real> SoaPositions<T> {
+    /// Transpose an array-of-structures position list.
+    pub fn from_positions(positions: &[Vec3<T>]) -> Self {
+        Self {
+            x: positions.iter().map(|p| p.x).collect(),
+            y: positions.iter().map(|p| p.y).collect(),
+            z: positions.iter().map(|p| p.z).collect(),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+}
+
+/// j-tile width of the structure-of-arrays gather: the j loop is blocked in
+/// tiles of this many atoms so one tile of three coordinate arrays stays hot
+/// in L1 while every i-row streams over it. Blocking only regroups the loop;
+/// within a row the j order is unchanged, so results are bit-identical to
+/// the unblocked scan.
+pub const GATHER_TILE: usize = 128;
+
+/// One atom's gather result: its acceleration row, its (unhalved) PE
+/// contribution, and how many neighbors fell inside the cutoff.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct GatherRow<T> {
+    pub acc: Vec3<T>,
+    pub pe: T,
+    pub interactions: u64,
+}
+
+/// Compute atom `i`'s full gather row over all other atoms: the tiled SoA
+/// core every device kernel and the host-parallel path share. Accumulation
+/// runs in ascending-j order (tiling does not reorder it), so per-row results
+/// are bitwise identical regardless of tile width or host thread count.
+#[inline]
+pub fn gather_row<T: Real>(
+    soa: &SoaPositions<T>,
+    i: usize,
+    box_len: T,
+    params: &LjParams<T>,
+    inv_mass: T,
+) -> GatherRow<T> {
+    let n = soa.len();
+    let cutoff2 = params.cutoff2();
+    let (xi, yi, zi) = (soa.x[i], soa.y[i], soa.z[i]);
+    let mut acc = Vec3::zero();
+    let mut pe = T::ZERO;
+    let mut interactions = 0u64;
+    let mut dx_buf = [T::ZERO; GATHER_TILE];
+    let mut dy_buf = [T::ZERO; GATHER_TILE];
+    let mut dz_buf = [T::ZERO; GATHER_TILE];
+    let mut r2_buf = [T::ZERO; GATHER_TILE];
+    let mut t0 = 0;
+    while t0 < n {
+        let t1 = (t0 + GATHER_TILE).min(n);
+        let w = t1 - t0;
+        // Distance pass: straight-line per-pair arithmetic (select-form
+        // min-image, no early-outs), which LLVM vectorizes. Each pair's ops
+        // and rounding are exactly those of the scalar formulation; the
+        // `j == i` self-pair is kept and yields r2 == 0, excluded below just
+        // as `energy_force`'s guard excludes it.
+        for k in 0..w {
+            let j = t0 + k;
+            let dx = pbc::min_image_coord_select(xi - soa.x[j], box_len);
+            let dy = pbc::min_image_coord_select(yi - soa.y[j], box_len);
+            let dz = pbc::min_image_coord_select(zi - soa.z[j], box_len);
+            dx_buf[k] = dx;
+            dy_buf[k] = dy;
+            dz_buf[k] = dz;
+            r2_buf[k] = dx * dx + dy * dy + dz * dz;
+        }
+        // Accumulate pass: serial in ascending-j order — bitwise the scalar
+        // loop. The cutoff test rejects ~97% of pairs, so the expensive LJ
+        // terms stay scalar and rare.
+        for k in 0..w {
+            let r2 = r2_buf[k];
+            if r2 < cutoff2 && r2 != T::ZERO {
+                let (e, f_over_r) = params.energy_force(r2);
+                pe += e;
+                let s = f_over_r * inv_mass;
+                acc.x += dx_buf[k] * s;
+                acc.y += dy_buf[k] * s;
+                acc.z += dz_buf[k] * s;
+                interactions += 1;
+            }
+        }
+        t0 = t1;
+    }
+    GatherRow {
+        acc,
+        pe,
+        interactions,
+    }
+}
+
+/// Device-style kernel: for each atom, gather over all other atoms, via the
+/// shared tiled SoA row ([`gather_row`]) plus a serial in-order PE fold —
+/// the same map-then-fold structure the device ports and the host-parallel
+/// [`crate::parallel::RayonKernel`] use, so all of them agree bit for bit.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct AllPairsFullKernel;
 
@@ -69,26 +184,13 @@ impl<T: Real> ForceKernel<T> for AllPairsFullKernel {
     fn compute(&mut self, sys: &mut ParticleSystem<T>, params: &LjParams<T>) -> T {
         let n = sys.n();
         let l = sys.box_len;
-        let cutoff2 = params.cutoff2();
         let inv_m = sys.mass.recip();
+        let soa = SoaPositions::from_positions(&sys.positions);
         let mut pe_twice = T::ZERO;
-        let positions = &sys.positions;
         for i in 0..n {
-            let pi = positions[i];
-            let mut acc = Vec3::zero();
-            for (j, &pj) in positions.iter().enumerate() {
-                if j == i {
-                    continue;
-                }
-                let d = pbc::min_image_branchy(pi - pj, l);
-                let r2 = d.norm2();
-                if r2 < cutoff2 {
-                    let (e, f_over_r) = params.energy_force(r2);
-                    pe_twice += e;
-                    acc += d * (f_over_r * inv_m);
-                }
-            }
-            sys.accelerations[i] = acc;
+            let row = gather_row(&soa, i, l, params, inv_m);
+            sys.accelerations[i] = row.acc;
+            pe_twice += row.pe;
         }
         pe_twice * T::HALF
     }

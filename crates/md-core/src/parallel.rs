@@ -1,57 +1,103 @@
-//! Host-parallel force kernel built on rayon.
+//! Host-parallel execution primitives (DESIGN.md §12).
 //!
-//! The modern answer to the paper's question: today's multi-core CPUs run the
-//! per-atom gather formulation in parallel with a parallel iterator. Used by
-//! the Criterion benches to put real present-day numbers next to the
-//! simulated 2006 devices.
+//! Two layers live here:
+//!
+//! - [`map_lanes`] / [`map_indexed`]: the order-preserving indexed map every
+//!   device simulator uses to run its simulated lanes (SPEs, fragment
+//!   batches, streams, gather rows) on host threads. Reductions never happen
+//!   inside the map — devices fold the returned per-lane values serially, in
+//!   lane order, so results are bitwise identical at any thread count.
+//! - [`RayonKernel`]: the modern answer to the paper's question — today's
+//!   multi-core CPUs run the per-atom gather formulation in parallel with a
+//!   parallel iterator. Used by the Criterion benches to put real
+//!   present-day numbers next to the simulated 2006 devices.
 
-use crate::forces::ForceKernel;
+use crate::device::HostParallelism;
+use crate::forces::{gather_row, ForceKernel, GatherRow, SoaPositions};
 use crate::lj::LjParams;
 use crate::system::ParticleSystem;
 use rayon::prelude::*;
-use vecmath::{pbc, Real, Vec3};
+use vecmath::Real;
+
+/// Run `f(i, &mut lanes[i])` for every lane, returning the per-lane results
+/// in index order.
+///
+/// `Serial` executes the lanes one after another on the calling thread;
+/// `Threads(n)` fans them out on a pool of up to `n` workers. Both settings
+/// run the *same* lane closure over the same lanes and collect in index
+/// order, so a caller that folds the returned values serially gets bitwise
+/// identical results either way. If the pool cannot be built, the map
+/// degrades to serial execution (same results, no wall-clock win).
+pub fn map_lanes<T, R, F>(par: HostParallelism, lanes: &mut [T], f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, &mut T) -> R + Sync,
+{
+    match par {
+        HostParallelism::Serial => lanes.iter_mut().enumerate().map(|(i, l)| f(i, l)).collect(),
+        HostParallelism::Threads(n) => match rayon::ThreadPoolBuilder::new().num_threads(n).build()
+        {
+            Ok(pool) => pool.install(|| {
+                lanes
+                    .par_iter_mut()
+                    .enumerate()
+                    .map(|(i, l)| f(i, l))
+                    .collect()
+            }),
+            Err(_) => lanes.iter_mut().enumerate().map(|(i, l)| f(i, l)).collect(),
+        },
+    }
+}
+
+/// [`map_lanes`] for lanes that are just indices: run `f(0..n)` and return
+/// the results in index order. Used when the per-lane state is read-only
+/// (e.g. per-atom gather rows over a shared position array).
+pub fn map_indexed<R, F>(par: HostParallelism, n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    match par {
+        HostParallelism::Serial => (0..n).map(f).collect(),
+        HostParallelism::Threads(t) => match rayon::ThreadPoolBuilder::new().num_threads(t).build()
+        {
+            Ok(pool) => pool.install(|| {
+                let lanes: Vec<()> = vec![(); n];
+                lanes.par_iter().enumerate().map(|(i, ())| f(i)).collect()
+            }),
+            Err(_) => (0..n).map(f).collect(),
+        },
+    }
+}
 
 /// Data-parallel per-atom gather kernel (same formulation as the device
 /// ports: each atom independently scans all others, so each pair is visited
-/// twice and the accumulated PE is halved).
+/// twice and the accumulated PE is halved). Shares the tiled SoA row
+/// ([`gather_row`]) and the serial in-order PE fold with
+/// [`crate::forces::AllPairsFullKernel`], so the two agree bit for bit.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct RayonKernel;
 
 impl<T: Real> ForceKernel<T> for RayonKernel {
     fn compute(&mut self, sys: &mut ParticleSystem<T>, params: &LjParams<T>) -> T {
         let l = sys.box_len;
-        let cutoff2 = params.cutoff2();
         let inv_m = sys.mass.recip();
-        let positions = &sys.positions;
+        let soa = SoaPositions::from_positions(&sys.positions);
 
         // Indexed parallel map preserves element order, so accelerations land
-        // at the right atom.
-        let per_atom: Vec<(Vec3<T>, T)> = positions
+        // at the right atom; the PE fold below runs serially in row order.
+        let rows: Vec<GatherRow<T>> = (0..sys.n())
+            .collect::<Vec<usize>>()
             .par_iter()
             .enumerate()
-            .map(|(i, &pi)| {
-                let mut acc = Vec3::zero();
-                let mut pe = T::ZERO;
-                for (j, &pj) in positions.iter().enumerate() {
-                    if j == i {
-                        continue;
-                    }
-                    let d = pbc::min_image_branchy(pi - pj, l);
-                    let r2 = d.norm2();
-                    if r2 < cutoff2 {
-                        let (e, f_over_r) = params.energy_force(r2);
-                        pe += e;
-                        acc += d * (f_over_r * inv_m);
-                    }
-                }
-                (acc, pe)
-            })
+            .map(|(_, &i)| gather_row(&soa, i, l, params, inv_m))
             .collect();
 
         let mut pe_twice = T::ZERO;
-        for (i, (acc, pe)) in per_atom.into_iter().enumerate() {
-            sys.accelerations[i] = acc;
-            pe_twice += pe;
+        for (i, row) in rows.into_iter().enumerate() {
+            sys.accelerations[i] = row.acc;
+            pe_twice += row.pe;
         }
         pe_twice * T::HALF
     }
@@ -64,6 +110,7 @@ impl<T: Real> ForceKernel<T> for RayonKernel {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::device::HostParallelism;
     use crate::forces::AllPairsFullKernel;
     use crate::init::initialize;
     use crate::params::SimConfig;
@@ -76,10 +123,38 @@ mod tests {
         let params = cfg.lj_params();
         let pe_seq = AllPairsFullKernel.compute(&mut s1, &params);
         let pe_par = RayonKernel.compute(&mut s2, &params);
-        // Same per-atom summation order within each atom's row, so forces
-        // match bit-for-bit; PE reduction order differs only across atoms.
+        // Both kernels run the same gather_row per atom and fold PE serially
+        // in row order, so forces AND energy match bit for bit.
         assert_eq!(s1.accelerations, s2.accelerations);
-        assert!((pe_seq - pe_par).abs() < 1e-9 * pe_seq.abs());
+        assert_eq!(pe_seq, pe_par);
+    }
+
+    #[test]
+    fn map_lanes_parallel_matches_serial_bitwise() {
+        let mk = || (0..97u64).map(|i| i as f64 * 0.37).collect::<Vec<f64>>();
+        let run = |par: HostParallelism| {
+            let mut lanes = mk();
+            let out = map_lanes(par, &mut lanes, |i, lane| {
+                *lane += i as f64;
+                *lane * 1.0000001
+            });
+            (lanes, out)
+        };
+        let serial = run(HostParallelism::Serial);
+        for n in [2, 4, 8] {
+            assert_eq!(run(HostParallelism::Threads(n)), serial, "{n} threads");
+        }
+    }
+
+    #[test]
+    fn map_indexed_parallel_matches_serial_bitwise() {
+        let f = |i: usize| (i as f64).sin() * 3.0 + i as f64;
+        let serial = map_indexed(HostParallelism::Serial, 301, f);
+        for n in [2, 4, 8] {
+            assert_eq!(map_indexed(HostParallelism::Threads(n), 301, f), serial);
+        }
+        let empty = map_indexed::<f64, _>(HostParallelism::Threads(4), 0, f);
+        assert!(empty.is_empty());
     }
 
     #[test]

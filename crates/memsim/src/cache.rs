@@ -196,6 +196,45 @@ impl Cache {
         let (idx, tag) = self.index_tag(addr);
         self.sets[idx].iter().any(|l| l.valid && l.tag == tag)
     }
+
+    /// Timing-normalized replacement-state equality: true iff the two caches
+    /// respond identically (hit/miss outcome and LRU victim choice) to every
+    /// possible future access sequence.
+    ///
+    /// The canonical per-set state is the sequence of valid tags ordered by
+    /// recency plus the count of invalid ways. *Which physical way* holds a
+    /// tag is unobservable — hits scan every way and the LRU victim is chosen
+    /// by timestamp, not position — and the absolute `last_use` clocks are
+    /// irrelevant because LRU only ever compares them.
+    pub(crate) fn replacement_state_eq(&self, other: &Cache) -> bool {
+        if self.config != other.config {
+            return false;
+        }
+        // Two scratch buffers reused across sets: this check runs once per
+        // memoized replay, and per-set allocation would dominate it.
+        let ways = self.config.associativity;
+        let mut va: Vec<(u64, u64)> = Vec::with_capacity(ways);
+        let mut vb: Vec<(u64, u64)> = Vec::with_capacity(ways);
+        for (a, b) in self.sets.iter().zip(&other.sets) {
+            va.clear();
+            vb.clear();
+            va.extend(a.iter().filter(|l| l.valid).map(|l| (l.last_use, l.tag)));
+            vb.extend(b.iter().filter(|l| l.valid).map(|l| (l.last_use, l.tag)));
+            if va.len() != vb.len() {
+                return false;
+            }
+            va.sort_unstable();
+            vb.sort_unstable();
+            if va.iter().zip(&vb).any(|(x, y)| x.1 != y.1) {
+                return false;
+            }
+        }
+        true
+    }
+
+    pub(crate) fn set_stats(&mut self, stats: CacheStats) {
+        self.stats = stats;
+    }
 }
 
 #[cfg(test)]
@@ -308,6 +347,40 @@ mod tests {
             line_bytes: 24,
             associativity: 2,
         });
+    }
+
+    #[test]
+    fn replacement_state_eq_ignores_absolute_clocks_and_stats() {
+        let mut a = tiny();
+        a.access(0, AccessKind::Read);
+        a.access(64, AccessKind::Read);
+        // Same tags in the same ways, same LRU order, but shifted clocks and
+        // different hit/miss history.
+        let mut b = tiny();
+        b.access(0, AccessKind::Read);
+        b.access(0, AccessKind::Read);
+        b.access(64, AccessKind::Read);
+        assert!(a.replacement_state_eq(&b));
+        assert!(b.replacement_state_eq(&a));
+        assert_ne!(a.stats(), b.stats(), "stats are deliberately ignored");
+    }
+
+    #[test]
+    fn replacement_state_eq_sees_lru_order() {
+        let mut a = tiny();
+        a.access(0, AccessKind::Read);
+        a.access(64, AccessKind::Read);
+        // Same tags in the same ways but the opposite recency order: a future
+        // conflict miss would evict different lines.
+        let mut b = tiny();
+        b.access(0, AccessKind::Read);
+        b.access(64, AccessKind::Read);
+        b.access(0, AccessKind::Read);
+        assert!(!a.replacement_state_eq(&b));
+        // And different contents are of course unequal.
+        let mut c = tiny();
+        c.access(0, AccessKind::Read);
+        assert!(!a.replacement_state_eq(&c));
     }
 
     #[test]

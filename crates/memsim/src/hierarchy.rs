@@ -126,6 +126,43 @@ impl MemoryHierarchy {
         self.total_cycles = 0;
         self.accesses = 0;
     }
+
+    /// Timing-normalized state equality: true iff the two hierarchies return
+    /// the same cycle count for — and evolve identically under — every
+    /// possible future access sequence. Statistics counters are ignored;
+    /// they record history, not future behavior.
+    ///
+    /// This is what makes replay memoization sound: if a hierarchy is in a
+    /// state `replay_state_eq` to one it was in before, replaying the same
+    /// address stream must cost the same cycles and land in an equivalent
+    /// state, so the replay can be skipped and its recorded effect applied
+    /// via [`apply_replay`](MemoryHierarchy::apply_replay).
+    pub fn replay_state_eq(&self, other: &MemoryHierarchy) -> bool {
+        self.l1.replacement_state_eq(&other.l1) && self.l2.replacement_state_eq(&other.l2)
+    }
+
+    /// Skip a replay whose outcome is already known: install the tag/LRU
+    /// state of `exit` and advance the statistics counters by the
+    /// `entry`→`exit` delta (instead of rewinding them to `exit`'s absolute
+    /// values). Caller contract: `self.replay_state_eq(entry)` holds and
+    /// `exit` was produced from `entry` by the access sequence being skipped.
+    pub fn apply_replay(&mut self, entry: &MemoryHierarchy, exit: &MemoryHierarchy) {
+        debug_assert!(self.replay_state_eq(entry), "memoized entry state mismatch");
+        let own = self.stats();
+        let e = entry.stats();
+        let x = exit.stats();
+        self.l1.clone_from(&exit.l1);
+        self.l2.clone_from(&exit.l2);
+        let delta = |mine: CacheStats, from: CacheStats, to: CacheStats| CacheStats {
+            hits: mine.hits + (to.hits - from.hits),
+            misses: mine.misses + (to.misses - from.misses),
+            evictions: mine.evictions + (to.evictions - from.evictions),
+        };
+        self.l1.set_stats(delta(own.l1, e.l1, x.l1));
+        self.l2.set_stats(delta(own.l2, e.l2, x.l2));
+        self.total_cycles = own.total_cycles + (x.total_cycles - e.total_cycles);
+        self.accesses = own.accesses + (x.accesses - e.accesses);
+    }
 }
 
 #[cfg(test)]
@@ -197,6 +234,50 @@ mod tests {
         h.reset();
         assert_eq!(h.stats().accesses, 0);
         assert_eq!(h.access(0, AccessKind::Read), 111, "cold again");
+    }
+
+    #[test]
+    fn apply_replay_is_indistinguishable_from_real_replay() {
+        // An ascending scan whose footprint exactly fills L2: after the cold
+        // pass the hierarchy state is periodic, so pass k's entry state is
+        // replay-equivalent to pass k+1's.
+        let scan = |h: &mut MemoryHierarchy| {
+            let mut cycles = 0;
+            for a in (0..1024u64).step_by(8) {
+                cycles += h.access(a, AccessKind::Read);
+            }
+            cycles
+        };
+        let mut real = tiny_hierarchy();
+        scan(&mut real); // cold pass
+        let entry = real.clone();
+        let recorded = scan(&mut real);
+        let exit = real.clone();
+        assert!(
+            real.replay_state_eq(&entry),
+            "steady state must be periodic for this test to exercise a hit"
+        );
+        assert!(!real.replay_state_eq(&tiny_hierarchy()));
+
+        // Memoized path: skip the next pass. Real path: actually run it.
+        let mut memo = exit.clone();
+        memo.apply_replay(&entry, &exit);
+        let replayed = scan(&mut real);
+        assert_eq!(recorded, replayed, "periodic state implies periodic cost");
+        assert!(memo.replay_state_eq(&real));
+        let (m, r) = (memo.stats(), real.stats());
+        assert_eq!(m.l1, r.l1);
+        assert_eq!(m.l2, r.l2);
+        assert_eq!(m.total_cycles, r.total_cycles);
+        assert_eq!(m.accesses, r.accesses);
+
+        // Future accesses cost the same from the memoized state.
+        for a in [0u64, 8, 512, 4096, 64, 1024] {
+            assert_eq!(
+                memo.access(a, AccessKind::Read),
+                real.access(a, AccessKind::Read)
+            );
+        }
     }
 
     #[test]

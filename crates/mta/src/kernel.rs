@@ -22,7 +22,6 @@ use md_core::observables::EnergyReport;
 use md_core::params::SimConfig;
 use md_core::system::ParticleSystem;
 use md_core::verlet::VelocityVerlet;
-use vecmath::{pbc, Vec3};
 
 /// Instructions per examined pair in step 2 (loads, minimum image, distance,
 /// cutoff compare, loop bookkeeping — all single-issue on the MTA).
@@ -120,7 +119,14 @@ impl MtaMdSimulation {
     #[deprecated(note = "drive the device through md_core::device::MdDevice::run")]
     pub fn run_md(&self, sim: &SimConfig, steps: usize, mode: ThreadingMode) -> MtaRun {
         let mut sys: ParticleSystem<f64> = init::initialize(sim);
-        self.run_md_impl(&mut sys, sim, steps, mode, None)
+        self.run_md_impl(
+            &mut sys,
+            sim,
+            steps,
+            mode,
+            None,
+            md_core::device::HostParallelism::Serial,
+        )
     }
 
     /// [`run_md`] with performance counters: stream-occupancy cycles,
@@ -139,7 +145,14 @@ impl MtaMdSimulation {
         perf: &mut sim_perf::PerfMonitor,
     ) -> MtaRun {
         let mut sys: ParticleSystem<f64> = init::initialize(sim);
-        self.run_md_impl(&mut sys, sim, steps, mode, Some(perf))
+        self.run_md_impl(
+            &mut sys,
+            sim,
+            steps,
+            mode,
+            Some(perf),
+            md_core::device::HostParallelism::Serial,
+        )
     }
 
     /// Like [`Self::run_md`] but continuing from caller-owned state instead
@@ -154,7 +167,14 @@ impl MtaMdSimulation {
         steps: usize,
         mode: ThreadingMode,
     ) -> MtaRun {
-        self.run_md_impl(sys, sim, steps, mode, None)
+        self.run_md_impl(
+            sys,
+            sim,
+            steps,
+            mode,
+            None,
+            md_core::device::HostParallelism::Serial,
+        )
     }
 
     /// [`run_md_from`] with performance counters (see [`run_md_perf`]).
@@ -170,7 +190,14 @@ impl MtaMdSimulation {
         mode: ThreadingMode,
         perf: &mut sim_perf::PerfMonitor,
     ) -> MtaRun {
-        self.run_md_impl(sys, sim, steps, mode, Some(perf))
+        self.run_md_impl(
+            sys,
+            sim,
+            steps,
+            mode,
+            Some(perf),
+            md_core::device::HostParallelism::Serial,
+        )
     }
 
     fn run_md_impl(
@@ -180,6 +207,7 @@ impl MtaMdSimulation {
         steps: usize,
         mode: ThreadingMode,
         mut perf: Option<&mut sim_perf::PerfMonitor>,
+        par: md_core::device::HostParallelism,
     ) -> MtaRun {
         let n = sys.n();
         let vv = VelocityVerlet::new(sim.dt);
@@ -249,34 +277,25 @@ impl MtaMdSimulation {
                 vv.kick_drift(sys);
             }
 
-            // Step 2: forces. Compute physics and the exact interaction count
-            // in one pass, then charge the loop with its true instruction mix.
+            // Step 2: forces. Each simulated stream owns one atom's gather
+            // row; rows run as an order-preserving indexed map (host-parallel
+            // when requested), then the reductions — the full/empty PE
+            // accumulator and the interaction count — fold serially in row
+            // order, so the result is bitwise identical at any thread count.
             tagged.write(0, 0.0);
             let mut interactions: u64 = 0;
-            let cutoff2 = params.cutoff2();
             let box_len = sys.box_len;
             let inv_m = sys.mass.recip();
-            for i in 0..n {
-                let pi = sys.positions[i];
-                let mut acc = Vec3::zero();
-                let mut pe_i = 0.0;
-                for j in 0..n {
-                    if j == i {
-                        continue;
-                    }
-                    let d = pbc::min_image_branchy(pi - sys.positions[j], box_len);
-                    let r2 = d.norm2();
-                    if r2 < cutoff2 {
-                        interactions += 1;
-                        let (e, f_over_r) = params.energy_force(r2);
-                        pe_i += e;
-                        acc += d * (f_over_r * inv_m);
-                    }
-                }
-                sys.accelerations[i] = acc;
+            let soa = md_core::forces::SoaPositions::from_positions(&sys.positions);
+            let rows = md_core::parallel::map_indexed(par, n, |i| {
+                md_core::forces::gather_row(&soa, i, box_len, &params, inv_m)
+            });
+            for (i, row) in rows.into_iter().enumerate() {
+                interactions += row.interactions;
+                sys.accelerations[i] = row.acc;
                 // Reduction inside the loop body: full/empty atomic add.
                 tagged
-                    .atomic_add(0, pe_i)
+                    .atomic_add(0, row.pe)
                     // sim-vet: allow(panic-discipline): full/empty-bit protocol violation is a simulator bug, not a recoverable data error
                     .expect("accumulator protocol is lock/unlock per atom");
             }
@@ -520,9 +539,14 @@ impl md_core::device::MdDevice for MtaMd {
             Some(p) => p,
             None => &mut local,
         };
-        let r = self
-            .sim
-            .run_md_impl(&mut sys, sim, opts.steps, self.mode, Some(perf));
+        let r = self.sim.run_md_impl(
+            &mut sys,
+            sim,
+            opts.steps,
+            self.mode,
+            Some(perf),
+            opts.host_parallelism,
+        );
         let clk = self.sim.processor.config.clock_hz;
         let phantom_fraction = if r.sim_seconds == 0.0 {
             0.0

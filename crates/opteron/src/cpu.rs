@@ -1,14 +1,17 @@
 //! The cache-traced Opteron MD run.
 
 use crate::config::OpteronConfig;
+use md_core::device::HostParallelism;
+use md_core::forces::{gather_row, GatherRow, SoaPositions};
 use md_core::forces::{AllPairsFullKernel, ForceKernel};
 use md_core::init;
 use md_core::observables::EnergyReport;
+use md_core::parallel::map_lanes;
 use md_core::params::SimConfig;
 use md_core::system::ParticleSystem;
 use md_core::verlet::VelocityVerlet;
 use memsim::{AccessKind, AddressSpace, ArrayRegion, HierarchyStats, MemoryHierarchy};
-use vecmath::{pbc, Vec3};
+use vecmath::Vec3;
 
 /// Per-pair flop counts for the scalar kernel (displacement + minimum image +
 /// r²: subs, conditional corrections, multiplies, adds).
@@ -45,6 +48,7 @@ pub struct OpteronRun {
 }
 
 /// The memory front-end: plain hierarchy or prefetcher-assisted.
+#[derive(Clone)]
 enum MemFrontend {
     Plain(MemoryHierarchy),
     Prefetching(memsim::PrefetchingHierarchy),
@@ -71,6 +75,58 @@ impl MemFrontend {
             MemFrontend::Prefetching(h) => h.reset(),
         }
     }
+
+    /// Timing-normalized state equality (see
+    /// [`MemoryHierarchy::replay_state_eq`]); differing front-end kinds are
+    /// never equivalent.
+    fn replay_state_eq(&self, other: &MemFrontend) -> bool {
+        match (self, other) {
+            (MemFrontend::Plain(a), MemFrontend::Plain(b)) => a.replay_state_eq(b),
+            (MemFrontend::Prefetching(a), MemFrontend::Prefetching(b)) => a.replay_state_eq(b),
+            _ => false,
+        }
+    }
+
+    /// Skip a memoized replay (see [`MemoryHierarchy::apply_replay`]).
+    /// Callers establish `self.replay_state_eq(entry)` first, which also
+    /// guarantees all three values are the same front-end kind.
+    fn apply_replay(&mut self, entry: &MemFrontend, exit: &MemFrontend) {
+        match (self, entry, exit) {
+            (MemFrontend::Plain(s), MemFrontend::Plain(e), MemFrontend::Plain(x)) => {
+                s.apply_replay(e, x);
+            }
+            (
+                MemFrontend::Prefetching(s),
+                MemFrontend::Prefetching(e),
+                MemFrontend::Prefetching(x),
+            ) => s.apply_replay(e, x),
+            _ => debug_assert!(false, "replay_state_eq rejects mixed front-end kinds"),
+        }
+    }
+}
+
+/// One memoized force-evaluation cache replay.
+///
+/// A force evaluation's memory-reference stream is fully determined by the
+/// atom count and the array layout — positions' *values* never enter the
+/// trace. The hierarchy is a deterministic automaton, so whenever it
+/// re-enters a state replay-equivalent to `entry`, replaying the stream
+/// *must* cost the same demand cycles and land in a state equivalent to
+/// `exit`. The steady-state MD loop re-enters the same pre-evaluation cache
+/// state every step, so after the first two evaluations the O(N²) replay
+/// collapses to an O(cache-size) equality check plus a state install —
+/// without changing a single reported number.
+struct TraceMemo {
+    /// Stream identity: the memo only applies to the exact same reference
+    /// sequence (same atom count, same simulated array bases).
+    n: usize,
+    pos_base: u64,
+    acc_base: u64,
+    entry: MemFrontend,
+    exit: MemFrontend,
+    demand: f64,
+    loads: u64,
+    stores: u64,
 }
 
 /// The simulated CPU. Holds the cache hierarchy so repeated calls can model
@@ -85,6 +141,12 @@ pub struct OpteronCpu {
     /// Pure event counts: they never feed back into the cycle accounting.
     loads: u64,
     stores: u64,
+    /// Last force-evaluation replay, reused when the cache re-enters the
+    /// same state ([`TraceMemo`]). `None` disables memoization (the
+    /// benchmark baseline) — results are identical either way, only the
+    /// host wall-clock differs.
+    trace_memo: Option<TraceMemo>,
+    trace_memo_enabled: bool,
     /// When armed, ECC-style reload faults fire per the plan's schedule.
     #[cfg(feature = "fault-inject")]
     pub fault_plan: Option<sim_fault::FaultPlan>,
@@ -103,8 +165,21 @@ impl OpteronCpu {
             demand_cycles: 0.0,
             loads: 0,
             stores: 0,
+            trace_memo: None,
+            trace_memo_enabled: true,
             #[cfg(feature = "fault-inject")]
             fault_plan: None,
+        }
+    }
+
+    /// Disable (or re-enable) the force-evaluation replay memo. Every
+    /// reported number is identical either way; turning it off restores the
+    /// full O(N²) cache replay per evaluation, which the scaling benchmark
+    /// uses as its wall-clock baseline.
+    pub fn set_trace_memo(&mut self, enabled: bool) {
+        self.trace_memo_enabled = enabled;
+        if !enabled {
+            self.trace_memo = None;
         }
     }
 
@@ -135,7 +210,7 @@ impl OpteronCpu {
     #[deprecated(note = "drive the device through md_core::device::MdDevice::run")]
     pub fn run_md(&mut self, sim: &SimConfig, steps: usize) -> OpteronRun {
         let mut sys: ParticleSystem<f64> = init::initialize(sim);
-        self.run_md_from_impl(&mut sys, sim, steps, None)
+        self.run_md_from_impl(&mut sys, sim, steps, None, HostParallelism::Serial)
     }
 
     /// [`run_md`] with performance counters: cache hits/misses per level,
@@ -153,7 +228,7 @@ impl OpteronCpu {
         perf: &mut sim_perf::PerfMonitor,
     ) -> OpteronRun {
         let mut sys: ParticleSystem<f64> = init::initialize(sim);
-        self.run_md_from_impl(&mut sys, sim, steps, Some(perf))
+        self.run_md_from_impl(&mut sys, sim, steps, Some(perf), HostParallelism::Serial)
     }
 
     /// Run `steps` further time steps from an existing system state, leaving
@@ -168,7 +243,7 @@ impl OpteronCpu {
         sim: &SimConfig,
         steps: usize,
     ) -> OpteronRun {
-        self.run_md_from_impl(sys, sim, steps, None)
+        self.run_md_from_impl(sys, sim, steps, None, HostParallelism::Serial)
     }
 
     /// [`run_md_from`] with performance counters (see [`run_md_perf`]).
@@ -183,7 +258,7 @@ impl OpteronCpu {
         steps: usize,
         perf: &mut sim_perf::PerfMonitor,
     ) -> OpteronRun {
-        self.run_md_from_impl(sys, sim, steps, Some(perf))
+        self.run_md_from_impl(sys, sim, steps, Some(perf), HostParallelism::Serial)
     }
 
     fn run_md_from_impl(
@@ -192,6 +267,7 @@ impl OpteronCpu {
         sim: &SimConfig,
         steps: usize,
         mut perf: Option<&mut sim_perf::PerfMonitor>,
+        par: HostParallelism,
     ) -> OpteronRun {
         self.hierarchy.reset();
         self.demand_cycles = 0.0;
@@ -226,7 +302,15 @@ impl OpteronCpu {
 
         // Prime the accelerations (step-0 force evaluation), charged like any
         // other evaluation — the paper's total runtime includes everything.
-        let mut pe = self.traced_forces(sys, &params, &pos_r, &acc_r, &mut flops, &mut loop_iters);
+        let mut pe = self.traced_forces(
+            sys,
+            &params,
+            &pos_r,
+            &acc_r,
+            &mut flops,
+            &mut loop_iters,
+            par,
+        );
         #[cfg(feature = "fault-inject")]
         {
             fault_extra_cycles += resolve_degradable(
@@ -251,7 +335,15 @@ impl OpteronCpu {
             vv.kick_drift(sys);
 
             // Step 2: the traced O(N²) force evaluation.
-            pe = self.traced_forces(sys, &params, &pos_r, &acc_r, &mut flops, &mut loop_iters);
+            pe = self.traced_forces(
+                sys,
+                &params,
+                &pos_r,
+                &acc_r,
+                &mut flops,
+                &mut loop_iters,
+                par,
+            );
             #[cfg(feature = "fault-inject")]
             {
                 fault_extra_cycles += resolve_degradable(
@@ -335,6 +427,18 @@ impl OpteronCpu {
 
     /// The step-2 gather loop with interleaved cache accesses. Numerics are
     /// identical to [`AllPairsFullKernel`].
+    ///
+    /// The evaluation is split into heterogeneous lanes run through
+    /// [`map_lanes`]: one lane replays the run's exact memory-reference
+    /// sequence through the cache hierarchy (inherently serial — every access
+    /// mutates cache state), and the remaining lanes compute the per-atom
+    /// physics rows via the shared tiled [`gather_row`]. The cache replay
+    /// never reads the physics and the physics never reads the cache, so the
+    /// two halves overlap on host threads while the serial fold below keeps
+    /// every accumulator in the same order as a serial run — demand cycles,
+    /// reference counts, flops, PE, and accelerations are bitwise identical
+    /// at any thread count.
+    #[allow(clippy::too_many_arguments)]
     fn traced_forces(
         &mut self,
         sys: &mut ParticleSystem<f64>,
@@ -343,40 +447,155 @@ impl OpteronCpu {
         acc_r: &ArrayRegion,
         flops: &mut f64,
         loop_iters: &mut f64,
+        par: HostParallelism,
     ) -> f64 {
         let n = sys.n();
         let l = sys.box_len;
-        let cutoff2 = params.cutoff2();
         let inv_m = sys.mass.recip();
-        let mut pe_twice = 0.0f64;
-        let mut dist_evals = 0.0f64;
-        let mut interactions = 0.0f64;
+        let soa = SoaPositions::from_positions(&sys.positions);
 
-        for i in 0..n {
-            self.mem_access(pos_r.addr(i), AccessKind::Read);
-            let pi = sys.positions[i];
-            let mut acc = Vec3::zero();
-            for j in 0..n {
-                if j == i {
-                    continue;
-                }
-                // The inner loop's only memory traffic: the j-th position.
-                self.mem_access(pos_r.addr(j), AccessKind::Read);
-                let d = pbc::min_image_branchy(pi - sys.positions[j], l);
-                let r2 = d.norm2();
-                dist_evals += 1.0;
-                if r2 < cutoff2 {
-                    let (e, f_over_r) = params.energy_force(r2);
-                    pe_twice += e;
-                    acc += d * (f_over_r * inv_m);
-                    interactions += 1.0;
-                }
-            }
-            self.mem_access(acc_r.addr(i), AccessKind::Write);
-            sys.accelerations[i] = acc;
+        enum Lane<'a> {
+            Trace {
+                h: &'a mut MemFrontend,
+                memo: &'a mut Option<TraceMemo>,
+                memo_enabled: bool,
+            },
+            Rows {
+                lo: usize,
+                hi: usize,
+            },
+        }
+        enum LaneOut {
+            Trace {
+                demand: f64,
+                loads: u64,
+                stores: u64,
+            },
+            Rows(Vec<GatherRow<f64>>),
         }
 
-        *flops += dist_evals * FLOPS_DISTANCE + interactions * FLOPS_INTERACT;
+        // Lane 0 owns the cache replay; the row range is split over the
+        // remaining workers. The split never changes any value — rows are
+        // pure per-atom functions folded in ascending-atom order below — so
+        // the lane count only shapes the wall-clock overlap.
+        let row_lanes = par.threads().saturating_sub(1).max(1);
+        let chunk = n.div_ceil(row_lanes).max(1);
+        let mut lanes: Vec<Lane<'_>> = Vec::with_capacity(row_lanes + 1);
+        lanes.push(Lane::Trace {
+            h: &mut self.hierarchy,
+            memo: &mut self.trace_memo,
+            memo_enabled: self.trace_memo_enabled,
+        });
+        let mut lo = 0;
+        while lo < n {
+            let hi = (lo + chunk).min(n);
+            lanes.push(Lane::Rows { lo, hi });
+            lo = hi;
+        }
+
+        let outs = map_lanes(par, &mut lanes, |_, lane| match lane {
+            Lane::Trace {
+                h,
+                memo,
+                memo_enabled,
+            } => {
+                let h: &mut MemFrontend = h;
+                let memo: &mut Option<TraceMemo> = memo;
+                let memo_enabled = *memo_enabled;
+                // Same stream, same entry state: reuse the recorded replay
+                // (see [`TraceMemo`] for why this cannot change any number).
+                if let Some(m) = memo.as_ref() {
+                    if memo_enabled
+                        && m.n == n
+                        && m.pos_base == pos_r.addr(0)
+                        && m.acc_base == acc_r.addr(0)
+                        && h.replay_state_eq(&m.entry)
+                    {
+                        h.apply_replay(&m.entry, &m.exit);
+                        return LaneOut::Trace {
+                            demand: m.demand,
+                            loads: m.loads,
+                            stores: m.stores,
+                        };
+                    }
+                }
+                let entry = memo_enabled.then(|| h.clone());
+                // The exact reference stream of the scalar kernel: read
+                // pos[i], read every pos[j] in the inner loop, write acc[i].
+                let mut demand = 0.0f64;
+                let mut loads = 0u64;
+                let mut stores = 0u64;
+                for i in 0..n {
+                    demand += h.access(pos_r.addr(i), AccessKind::Read) as f64;
+                    loads += 1;
+                    for j in 0..n {
+                        if j == i {
+                            continue;
+                        }
+                        // The inner loop's only memory traffic: the j-th
+                        // position.
+                        demand += h.access(pos_r.addr(j), AccessKind::Read) as f64;
+                        loads += 1;
+                    }
+                    demand += h.access(acc_r.addr(i), AccessKind::Write) as f64;
+                    stores += 1;
+                }
+                if let Some(entry) = entry {
+                    *memo = Some(TraceMemo {
+                        n,
+                        pos_base: pos_r.addr(0),
+                        acc_base: acc_r.addr(0),
+                        entry,
+                        exit: h.clone(),
+                        demand,
+                        loads,
+                        stores,
+                    });
+                }
+                LaneOut::Trace {
+                    demand,
+                    loads,
+                    stores,
+                }
+            }
+            Lane::Rows { lo, hi } => LaneOut::Rows(
+                (*lo..*hi)
+                    .map(|i| gather_row(&soa, i, l, params, inv_m))
+                    .collect(),
+            ),
+        });
+        drop(lanes);
+
+        // Serial fold in lane order (trace first, then rows ascending).
+        let mut pe_twice = 0.0f64;
+        let mut interactions = 0u64;
+        let mut row_cursor = 0usize;
+        for out in outs {
+            match out {
+                LaneOut::Trace {
+                    demand,
+                    loads,
+                    stores,
+                } => {
+                    // Per-access cycle counts are integers, so this one f64
+                    // add reproduces the per-access accumulation exactly.
+                    self.demand_cycles += demand;
+                    self.loads += loads;
+                    self.stores += stores;
+                }
+                LaneOut::Rows(rows) => {
+                    for row in rows {
+                        sys.accelerations[row_cursor] = row.acc;
+                        pe_twice += row.pe;
+                        interactions += row.interactions;
+                        row_cursor += 1;
+                    }
+                }
+            }
+        }
+
+        let dist_evals = (n as f64) * (n as f64 - 1.0);
+        *flops += dist_evals * FLOPS_DISTANCE + interactions as f64 * FLOPS_INTERACT;
         *loop_iters += dist_evals;
         pe_twice * 0.5
     }
@@ -478,7 +697,8 @@ impl md_core::device::MdDevice for OpteronCpu {
             Some(cp) => (cp.restore(), cp.step),
             None => (init::initialize(sim), 0),
         };
-        let r = self.run_md_from_impl(&mut sys, sim, opts.steps, opts.perf.take());
+        let par = opts.host_parallelism;
+        let r = self.run_md_from_impl(&mut sys, sim, opts.steps, opts.perf.take(), par);
         let clk = self.config.clock_hz;
         let stall_fraction = if r.sim_seconds > 0.0 {
             (r.memory_cycles / clk) / r.sim_seconds

@@ -98,26 +98,39 @@ impl FaultSession {
     /// failure. Callers charge the per-attempt recovery cost themselves via
     /// [`FaultSession::charge`] (the cost model is device-specific).
     pub fn outcome(&mut self, site: FaultSite) -> SiteOutcome {
+        let out = self.peek(site);
+        self.commit(out);
+        out
+    }
+
+    /// Resolve `site` WITHOUT touching the ledger: the pure walk of the
+    /// plan's per-retry decisions. Host-parallel device lanes use this to
+    /// evaluate their injection sites concurrently (the plan is order
+    /// independent), then replay the outcomes into the ledger in lane order
+    /// via [`FaultSession::commit`], so stats and charges end up identical
+    /// to a serial walk.
+    pub fn peek(&self, site: FaultSite) -> SiteOutcome {
         let mut failures = 0u32;
         while failures <= self.max_retries {
             if !self.plan.faults_at(site, failures) {
                 break;
             }
             failures += 1;
-            self.stats.injected += 1;
         }
-        if failures > self.max_retries {
+        SiteOutcome {
+            failures,
+            exhausted: failures > self.max_retries,
+        }
+    }
+
+    /// Record a peeked outcome in the ledger, exactly as
+    /// [`FaultSession::outcome`] would have.
+    pub fn commit(&mut self, out: SiteOutcome) {
+        self.stats.injected += u64::from(out.failures);
+        if out.exhausted {
             self.stats.exhausted += 1;
-            SiteOutcome {
-                failures,
-                exhausted: true,
-            }
         } else {
-            self.stats.retries += u64::from(failures);
-            SiteOutcome {
-                failures,
-                exhausted: false,
-            }
+            self.stats.retries += u64::from(out.failures);
         }
     }
 
@@ -208,6 +221,29 @@ mod tests {
             }
         }
         assert_eq!(a.stats(), b.stats());
+    }
+
+    #[test]
+    fn peek_then_commit_matches_outcome() {
+        let mk = || FaultSession::with_budget(FaultPlan::new(42, 0.35), 2);
+        let (mut direct, mut replayed) = (mk(), mk());
+        for eval in 0..300 {
+            let site = FaultSite::new(FaultKind::DmaTransfer, eval, 3, 1);
+            let a = direct.outcome(site);
+            let b = replayed.peek(site);
+            replayed.commit(b);
+            assert_eq!(a, b);
+        }
+        assert_eq!(direct.stats(), replayed.stats());
+    }
+
+    #[test]
+    fn peek_is_pure() {
+        let session = FaultSession::new(FaultPlan::new(9, 0.5));
+        let site = FaultSite::new(FaultKind::EccReload, 0, 0, 0);
+        let first = session.peek(site);
+        assert_eq!(session.peek(site), first);
+        assert!(!session.stats().any(), "peek must not touch the ledger");
     }
 
     #[test]

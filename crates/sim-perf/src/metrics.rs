@@ -129,6 +129,26 @@ impl RunMetrics {
         );
     }
 
+    /// Record host-side throughput: how fast the simulator itself executed
+    /// (wall-clock), as opposed to the simulated seconds it modeled. Adds
+    /// `host_wall_seconds` and `host_atom_steps_per_s` (atom·steps per
+    /// wall-clock second — the figure of merit for the host-parallel
+    /// execution path, DESIGN.md §12). `host_wall_seconds` must be measured
+    /// by the *caller* (harness or bench): device simulators never read the
+    /// host clock, so the timing always wraps the run from outside.
+    pub fn record_host_throughput(&mut self, host_wall_seconds: f64) {
+        let atom_steps = (self.n_atoms * self.steps.max(1)) as f64;
+        self.push_derived("host_wall_seconds", host_wall_seconds);
+        self.push_derived(
+            "host_atom_steps_per_s",
+            if host_wall_seconds > 0.0 {
+                atom_steps / host_wall_seconds
+            } else {
+                0.0
+            },
+        );
+    }
+
     /// Check the record's internal consistency. The attribution-sum check is
     /// the contract that makes `perf_report` trustworthy: if a device charges
     /// time it cannot attribute, this fails.
@@ -399,6 +419,23 @@ mod tests {
         assert!(RunMetrics::from_json("{}").is_err());
         let err = RunMetrics::from_json("{\"device\": \"x\"}").expect_err("incomplete");
         assert!(err.contains("missing"), "{err}");
+    }
+
+    #[test]
+    fn host_throughput_derives_atom_steps_per_second() {
+        let mut m = sample(); // 2048 atoms, 10 steps
+        m.record_host_throughput(0.5);
+        assert_eq!(m.derived_value("host_wall_seconds"), 0.5);
+        assert_eq!(
+            m.derived_value("host_atom_steps_per_s"),
+            2048.0 * 10.0 / 0.5
+        );
+        m.validate().expect("still a valid record");
+        // Degenerate wall time must not poison the record with NaN/inf.
+        let mut z = sample();
+        z.record_host_throughput(0.0);
+        assert_eq!(z.derived_value("host_atom_steps_per_s"), 0.0);
+        z.validate().expect("zero wall time stays finite");
     }
 
     #[test]

@@ -1,12 +1,29 @@
-//! Regenerates `BENCH_seed.json`: the simulated-seconds baseline for every
-//! paper figure/device at the paper's workload sizes, in deterministic
-//! sorted order. Run from the repo root after any intentional cost-model
-//! change and commit the result; CI and reviewers diff against it to catch
-//! unintended timing drift.
+//! Regenerates the two committed benchmark baselines:
+//!
+//! - `BENCH_seed.json` — the *simulated-seconds* baseline for every paper
+//!   figure/device at the paper's workload sizes, in deterministic sorted
+//!   order. Run from the repo root after any intentional cost-model change
+//!   and commit the result; CI and reviewers diff against it to catch
+//!   unintended timing drift.
+//! - `BENCH_host.json` — the *host wall-clock* snapshot for a single
+//!   Opteron-reference run (2048 atoms × 10 steps) at host thread counts
+//!   {1, 2, 4, 8}, with speedups against the memo-off serial baseline.
+//!   Simulated results are bitwise identical across every row; only wall
+//!   time varies, so this file is provenance (which host, how fast), not a
+//!   CI-diffable artifact.
 
 use harness::experiments::PAPER_STEPS;
+use md_core::device::HostParallelism;
+use md_core::params::SimConfig;
+use sim_sweep::figures::HostBenchRun;
 use sim_sweep::{figures, run_sweep, spec, EngineConfig, SweepError};
 use std::process::ExitCode;
+
+const HOST_BENCH_ATOMS: usize = 2048;
+const HOST_BENCH_STEPS: usize = 10;
+/// Wall-clock repetitions per configuration; the minimum is recorded (the
+/// standard wall-time statistic — noise only ever adds).
+const HOST_BENCH_REPEATS: usize = 3;
 
 fn main() -> ExitCode {
     match run() {
@@ -26,6 +43,94 @@ fn run() -> Result<(), SweepError> {
         "wrote BENCH_seed.json ({} benchmark entries, {} steps each)",
         json.matches("\"figure\"").count(),
         PAPER_STEPS
+    );
+    host_bench()
+}
+
+/// Min-of-N wall-clock for one configuration. The harness does the timing
+/// (`device_metrics_host`); this layer only picks the best repetition and
+/// checks the bitwise-identity contract across configurations.
+fn best_of(
+    measure: impl Fn() -> Result<sim_perf::RunMetrics, SweepError>,
+) -> Result<(HostBenchRun, f64), SweepError> {
+    let mut best: Option<sim_perf::RunMetrics> = None;
+    for _ in 0..HOST_BENCH_REPEATS {
+        let m = measure()?;
+        let faster = best.as_ref().is_none_or(|b| {
+            m.derived_value("host_wall_seconds") < b.derived_value("host_wall_seconds")
+        });
+        if faster {
+            best = Some(m);
+        }
+    }
+    let m = best.expect("at least one repetition ran");
+    Ok((
+        HostBenchRun {
+            host_threads: 0, // caller fills in
+            wall_seconds: m.derived_value("host_wall_seconds"),
+            atom_steps_per_s: m.derived_value("host_atom_steps_per_s"),
+        },
+        m.sim_seconds,
+    ))
+}
+
+fn host_bench() -> Result<(), SweepError> {
+    let sim = SimConfig::reduced_lj(HOST_BENCH_ATOMS);
+    let (mut baseline, base_sim_seconds) = best_of(|| {
+        harness::opteron_baseline_metrics_host(&sim, HOST_BENCH_STEPS)
+            .map(|(m, _)| m)
+            .map_err(SweepError::Render)
+    })?;
+    baseline.host_threads = 1;
+
+    let mut runs = Vec::new();
+    for t in [1usize, 2, 4, 8] {
+        let (mut r, sim_seconds) = best_of(|| {
+            harness::device_metrics_host(
+                harness::DeviceKind::Opteron,
+                &sim,
+                HOST_BENCH_STEPS,
+                HostParallelism::from_threads(t),
+            )
+            .map(|(m, _)| m)
+            .map_err(SweepError::Render)
+        })?;
+        r.host_threads = t;
+        // The whole point of the document: every configuration simulates
+        // the identical run.
+        assert_eq!(
+            sim_seconds.to_bits(),
+            base_sim_seconds.to_bits(),
+            "threads={t}: simulated seconds drifted from the baseline"
+        );
+        runs.push(r);
+    }
+
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let note = format!(
+        "best of {HOST_BENCH_REPEATS} repetitions per row; measured on a {cores}-core host{}",
+        if cores == 1 {
+            " (thread scaling is flat on one core: the speedup over the baseline comes from the force-evaluation replay memo and the tiled gather kernel)"
+        } else {
+            ""
+        }
+    );
+    let json = figures::bench_host_json(
+        HOST_BENCH_ATOMS,
+        HOST_BENCH_STEPS,
+        base_sim_seconds,
+        baseline,
+        &runs,
+        &note,
+    );
+    std::fs::write("BENCH_host.json", &json)?;
+    let best = runs
+        .iter()
+        .map(|r| baseline.wall_seconds / r.wall_seconds)
+        .fold(0.0f64, f64::max);
+    println!(
+        "wrote BENCH_host.json (baseline {:.3}s, best single-run speedup {best:.2}x)",
+        baseline.wall_seconds
     );
     Ok(())
 }

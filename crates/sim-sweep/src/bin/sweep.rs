@@ -22,6 +22,10 @@ run options:
   --all            run every spec in the registry
   --no-cache       skip cache lookup and store; always execute
   --jobs N         worker threads (0 = one per core, 1 = serial; default 0)
+  --host-threads N host threads per point's simulated lanes (0 = one per
+                   core, 1 = serial; default 1). Only honored with
+                   --jobs 1 — a parallel sweep already owns the thread
+                   budget. Results are identical either way.
   --cache-dir DIR  cache directory (default results/cache)
   --expect-cached  fail if any point executed a device simulation
                    (verifies the cache is warm)
@@ -83,6 +87,12 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             "--jobs" => {
                 let v = it.next().ok_or("--jobs needs a thread count")?;
                 cfg.jobs = v.parse().map_err(|_| format!("bad --jobs value '{v}'"))?;
+            }
+            "--host-threads" => {
+                let v = it.next().ok_or("--host-threads needs a thread count")?;
+                cfg.host_threads = v
+                    .parse()
+                    .map_err(|_| format!("bad --host-threads value '{v}'"))?;
             }
             "--cache-dir" => {
                 let v = it.next().ok_or("--cache-dir needs a path")?;

@@ -28,6 +28,12 @@ pub struct EngineConfig {
     pub salt: u64,
     /// Worker threads: 0 = one per core, 1 = serial.
     pub jobs: usize,
+    /// Host threads each *point* may use for its simulated lanes
+    /// (DESIGN.md §12): 0 = one per core, 1 = serial lanes. Only honored
+    /// when the sweep itself is serial (`jobs == 1`) — see the nested-pool
+    /// guard in [`run_sweep`]. Never part of the cache key: lane execution
+    /// is bitwise identical at any thread count.
+    pub host_threads: usize,
 }
 
 impl Default for EngineConfig {
@@ -37,6 +43,7 @@ impl Default for EngineConfig {
             use_cache: true,
             salt: crate::cache::CODE_VERSION_SALT,
             jobs: 0,
+            host_threads: 1,
         }
     }
 }
@@ -129,9 +136,12 @@ impl From<harness::HarnessError> for SweepError {
 }
 
 /// Run one point's device simulation and collect its metrics record.
-fn execute_point(p: &SweepPoint) -> Result<RunMetrics, SweepError> {
+fn execute_point(
+    p: &SweepPoint,
+    par: md_core::device::HostParallelism,
+) -> Result<RunMetrics, SweepError> {
     let sim = md_core::params::SimConfig::reduced_lj(p.n_atoms);
-    harness::device_metrics(p.device, &sim, p.steps)
+    harness::device_metrics_par(p.device, &sim, p.steps, par)
         .map(|(metrics, _)| metrics)
         .map_err(|e| SweepError::Point {
             figure: p.figure,
@@ -147,6 +157,18 @@ fn execute_point(p: &SweepPoint) -> Result<RunMetrics, SweepError> {
 /// `cfg.jobs` workers; collection preserves spec order.
 pub fn run_sweep(spec: &SweepSpec, cfg: &EngineConfig) -> Result<SweepReport, SweepError> {
     let cache = ResultCache::new(cfg.cache_dir.clone());
+    // Nested-pool guard: the sweep and the per-point lane map share one
+    // global host-thread budget. A parallel sweep (`jobs != 1`) already
+    // spends it at the point level; spinning up another `host_threads`-wide
+    // pool inside every worker would multiply the two and oversubscribe the
+    // host. So intra-run parallelism is honored only for serial sweeps —
+    // results are unaffected either way, lanes are bitwise identical at any
+    // thread count.
+    let host_par = if cfg.jobs == 1 {
+        md_core::device::HostParallelism::from_threads(cfg.host_threads)
+    } else {
+        md_core::device::HostParallelism::Serial
+    };
     let run_point = |p: &SweepPoint| -> Result<(RunMetrics, bool), SweepError> {
         let key = point_key(cfg.salt, &p.device.cache_token(), p.n_atoms, p.steps);
         if cfg.use_cache {
@@ -154,7 +176,7 @@ pub fn run_sweep(spec: &SweepSpec, cfg: &EngineConfig) -> Result<SweepReport, Sw
                 return Ok((metrics, true));
             }
         }
-        let metrics = execute_point(p)?;
+        let metrics = execute_point(p, host_par)?;
         if cfg.use_cache {
             cache.store(&key, &metrics)?;
         }

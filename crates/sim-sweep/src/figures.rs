@@ -468,3 +468,80 @@ pub fn bench_seed_json(report: &SweepReport, steps: usize) -> String {
     out.push_str("  ]\n}\n");
     out
 }
+
+/// Schema of `BENCH_host.json`.
+pub const BENCH_HOST_SCHEMA_VERSION: u32 = 1;
+
+/// One measured wall-clock point for [`bench_host_json`]: how fast the host
+/// executed the reference workload in one configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct HostBenchRun {
+    /// Host threads the device's lane map used (1 = serial).
+    pub host_threads: usize,
+    /// Best-of-N wall-clock seconds for the whole run.
+    pub wall_seconds: f64,
+    /// Atom-steps per wall-clock second (the throughput metric
+    /// [`sim_perf::RunMetrics`] carries as `host_atom_steps_per_s`).
+    pub atom_steps_per_s: f64,
+}
+
+/// The `BENCH_host.json` document: host wall-clock for one Opteron-reference
+/// run per thread count, with speedups against the memo-off serial baseline.
+///
+/// Simulated results are bitwise identical across every row (the
+/// host-parallel contract, `tests/host_parallel.rs`); this document records
+/// the only quantity that *does* change between configurations — and
+/// between hosts, which is why the recorded numbers are a provenance
+/// snapshot, not a CI-diffable baseline like `BENCH_seed.json`.
+pub fn bench_host_json(
+    n_atoms: usize,
+    steps: usize,
+    sim_seconds: f64,
+    baseline: HostBenchRun,
+    runs: &[HostBenchRun],
+    note: &str,
+) -> String {
+    assert!(
+        baseline.wall_seconds.is_finite() && baseline.wall_seconds > 0.0,
+        "baseline wall-clock must be positive"
+    );
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"schema_version\": {BENCH_HOST_SCHEMA_VERSION},");
+    let _ = writeln!(
+        out,
+        "  \"description\": \"Host wall-clock for a single Opteron-reference run; simulated results are bitwise identical across all rows. Regenerate with the bench_seed binary.\","
+    );
+    let _ = writeln!(
+        out,
+        "  \"workload\": {{\"device\": \"opteron\", \"n_atoms\": {n_atoms}, \"steps\": {steps}, \"sim_seconds\": {sim_seconds}}},"
+    );
+    let _ = writeln!(
+        out,
+        "  \"note\": \"{}\",",
+        mdea_trace::escape_json_string(note)
+    );
+    let _ = writeln!(
+        out,
+        "  \"baseline\": {{\"label\": \"serial, replay memo off\", \"host_wall_seconds\": {}, \"host_atom_steps_per_s\": {}}},",
+        baseline.wall_seconds, baseline.atom_steps_per_s
+    );
+    out.push_str("  \"runs\": [\n");
+    for (i, r) in runs.iter().enumerate() {
+        assert!(
+            r.wall_seconds.is_finite() && r.wall_seconds > 0.0,
+            "threads={}: wall-clock must be positive",
+            r.host_threads
+        );
+        let comma = if i + 1 < runs.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"host_threads\": {}, \"host_wall_seconds\": {}, \"host_atom_steps_per_s\": {}, \"speedup_vs_baseline\": {}}}{comma}",
+            r.host_threads,
+            r.wall_seconds,
+            r.atom_steps_per_s,
+            baseline.wall_seconds / r.wall_seconds,
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}

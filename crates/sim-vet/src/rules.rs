@@ -117,6 +117,31 @@ impl Rule {
                         );
                     }
                 }
+                // Unordered parallel reductions: host-parallel lane work must
+                // be an order-preserving map whose results fold serially
+                // (DESIGN.md §12). Reducing on the pool makes the float
+                // accumulation order depend on work stealing, breaking the
+                // parallel==serial bitwise-identity contract; `rayon::spawn`
+                // detaches work from the deterministic fold entirely.
+                // (No trailing `(` on the method names: `.sum::<f32>()`
+                // turbofish forms must match too.)
+                for pat in [
+                    "par_iter().sum",
+                    "par_iter().reduce",
+                    "par_iter_mut().sum",
+                    "par_iter_mut().reduce",
+                    "into_par_iter().sum",
+                    "into_par_iter().reduce",
+                    "par_bridge(",
+                    "rayon::spawn",
+                ] {
+                    for pos in find_pattern(stripped, pat) {
+                        emit(
+                            pos,
+                            format!("`{pat}` — unordered parallel reduction; lane results must be collected by an order-preserving map and folded serially so parallel runs stay bitwise-identical to serial"),
+                        );
+                    }
+                }
             }
             Rule::PanicDiscipline => {
                 for (pat, what) in [
@@ -571,6 +596,30 @@ mod tests {
             "let t = clock.now();\n",
             "let t = FaultClock::new();\n",
             "fn now(&self) -> f64 { self.elapsed_s }\n",
+        ] {
+            assert!(check(Rule::Determinism, path, src).is_empty(), "{src}");
+        }
+    }
+
+    #[test]
+    fn determinism_flags_unordered_parallel_reductions() {
+        let path = "crates/opteron/src/cpu.rs";
+        for src in [
+            "let pe: f32 = rows.par_iter().sum();\n",
+            "let pe = rows.par_iter().reduce(|| 0.0, |a, b| a + b);\n",
+            "let pe: f64 = lanes.par_iter_mut().sum();\n",
+            "let pe = (0..n).into_par_iter().sum::<f64>();\n",
+            "let pe = (0..n).into_par_iter().reduce(|| 0.0, f);\n",
+            "rows.iter().par_bridge().for_each(f);\n",
+            "rayon::spawn(move || work());\n",
+        ] {
+            assert_eq!(check(Rule::Determinism, path, src).len(), 1, "{src}");
+        }
+        // The sanctioned shape: order-preserving indexed map, serial fold.
+        for src in [
+            "let outs: Vec<RowOut> = pool.install(|| rows.par_iter().map(f).collect());\n",
+            "let pe: f32 = outs.iter().map(|o| o.pe).sum();\n",
+            "let outs = md_core::parallel::map_indexed(par, n, f);\n",
         ] {
             assert!(check(Rule::Determinism, path, src).is_empty(), "{src}");
         }

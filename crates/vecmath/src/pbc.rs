@@ -36,22 +36,50 @@ pub fn wrap_position<T: Real>(p: Vec3<T>, l: T) -> Vec3<T> {
     Vec3::new(wrap_coord(p.x, l), wrap_coord(p.y, l), wrap_coord(p.z, l))
 }
 
+/// Minimum-image correction for a single coordinate: the scalar core of
+/// [`min_image_branchy`], exposed so structure-of-arrays kernels can apply
+/// it axis by axis with bit-identical results to the vector form.
+#[inline(always)]
+pub fn min_image_coord<T: Real>(mut c: T, l: T) -> T {
+    let half = l * T::HALF;
+    if c > half {
+        c -= l;
+    } else if c < -half {
+        c += l;
+    }
+    c
+}
+
+/// [`min_image_coord`] in select form: both corrections are computed and the
+/// result is chosen with comparisons instead of taken branches. Bitwise
+/// identical to the branchy form in every case (the two conditions are
+/// mutually exclusive, and the chosen expression is the same `c - l` / `c + l`
+/// / `c`), but the straight-line shape lets LLVM turn it into cmov/blend and
+/// vectorize loops over packed coordinates.
+#[inline(always)]
+pub fn min_image_coord_select<T: Real>(c: T, l: T) -> T {
+    let half = l * T::HALF;
+    let down = c - l;
+    let up = c + l;
+    let folded = if c > half { down } else { c };
+    if c < -half {
+        up
+    } else {
+        folded
+    }
+}
+
 /// Minimum-image displacement, branchy form: `if d > L/2 {d -= L} ...` per axis.
 ///
 /// Assumes both positions lie in the primary box (so each raw component is in
 /// `(-L, L)` and one conditional correction per side suffices).
 #[inline(always)]
 pub fn min_image_branchy<T: Real>(d: Vec3<T>, l: T) -> Vec3<T> {
-    let half = l * T::HALF;
-    let fix = |mut c: T| {
-        if c > half {
-            c -= l;
-        } else if c < -half {
-            c += l;
-        }
-        c
-    };
-    Vec3::new(fix(d.x), fix(d.y), fix(d.z))
+    Vec3::new(
+        min_image_coord(d.x, l),
+        min_image_coord(d.y, l),
+        min_image_coord(d.z, l),
+    )
 }
 
 /// Minimum-image displacement, branch-free form using round/copysign math.
@@ -124,6 +152,41 @@ mod tests {
         let l = 10.0f64;
         let d = Vec3::new(6.0, -6.0, 2.0);
         assert_eq!(min_image_branchy(d, l), Vec3::new(-4.0, 4.0, 2.0));
+    }
+
+    #[test]
+    fn scalar_coord_matches_vector_form_bitwise() {
+        let l = 7.5f64;
+        let mut c = -7.4;
+        while c < 7.4 {
+            let d = Vec3::new(c, -c, c / 3.0);
+            let v = min_image_branchy(d, l);
+            assert_eq!(v.x, min_image_coord(d.x, l));
+            assert_eq!(v.y, min_image_coord(d.y, l));
+            assert_eq!(v.z, min_image_coord(d.z, l));
+            c += 0.211;
+        }
+    }
+
+    #[test]
+    fn select_form_matches_branchy_bitwise() {
+        for l in [7.5f64, 10.0, 0.1] {
+            let mut c = -2.0 * l;
+            while c < 2.0 * l {
+                assert_eq!(
+                    min_image_coord(c, l).to_bits(),
+                    min_image_coord_select(c, l).to_bits(),
+                    "c={c} l={l}"
+                );
+                c += l * 0.0137;
+            }
+            for edge in [l / 2.0, -l / 2.0, 0.0, -0.0] {
+                assert_eq!(
+                    min_image_coord(edge, l).to_bits(),
+                    min_image_coord_select(edge, l).to_bits()
+                );
+            }
+        }
     }
 
     #[test]

@@ -106,8 +106,10 @@ fn devices(args: DevicesArgs) -> ExitCode {
         args.config.n_atoms, args.steps
     );
     let run_on = |kind: DeviceKind| {
-        kind.build()
-            .run(&args.config, RunOptions::steps(args.steps))
+        kind.build().run(
+            &args.config,
+            RunOptions::steps(args.steps).with_host_threads(args.host_threads),
+        )
     };
     let opteron = run_on(DeviceKind::Opteron).expect("the reference CPU always runs");
     let base = opteron.sim_seconds;

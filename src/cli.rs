@@ -53,6 +53,10 @@ pub struct RunArgs {
 pub struct DevicesArgs {
     pub config: SimConfig,
     pub steps: usize,
+    /// Host threads for each device's simulated lanes (0 = one per core,
+    /// 1 = serial). Results are bitwise identical at any value; only host
+    /// wall-clock changes.
+    pub host_threads: usize,
 }
 
 /// Parsed `mdea trace` arguments.
@@ -79,7 +83,7 @@ USAGE:
   mdea run     [--atoms N] [--steps S] [--density D] [--temperature T]
                [--dt DT] [--seed X] [--kernel half|full|rayon|neighbor|cell]
                [--xyz FILE [--every K]] [--checkpoint FILE]
-  mdea devices [--atoms N] [--steps S]
+  mdea devices [--atoms N] [--steps S] [--host-threads T]
   mdea trace   [--atoms N] [--steps S] --out FILE
   mdea help
 ";
@@ -195,14 +199,22 @@ pub fn parse_args<'a>(args: impl IntoIterator<Item = &'a str>) -> Result<Command
                 steps: 10,
                 ..WorkloadFlags::default()
             };
+            let mut host_threads = 1usize;
             while let Some(flag) = it.next() {
-                if !w.try_consume(flag, &mut it)? {
-                    return Err(format!("unknown flag for devices: {flag}"));
+                if w.try_consume(flag, &mut it)? {
+                    continue;
+                }
+                match flag {
+                    "--host-threads" => {
+                        host_threads = parse_num(flag, take_value(flag, &mut it)?)?;
+                    }
+                    other => return Err(format!("unknown flag for devices: {other}")),
                 }
             }
             Ok(Command::Devices(DevicesArgs {
                 config: w.config()?,
                 steps: w.steps,
+                host_threads,
             }))
         }
         "trace" => {
@@ -318,6 +330,12 @@ mod tests {
         };
         assert_eq!(d.config.n_atoms, 256);
         assert_eq!(d.steps, 10);
+        assert_eq!(d.host_threads, 1, "serial lanes by default");
+
+        let Command::Devices(d) = parse_args(["devices", "--host-threads", "4"]).unwrap() else {
+            panic!();
+        };
+        assert_eq!(d.host_threads, 4);
 
         let Command::Trace(t) =
             parse_args(["trace", "--steps", "3", "--out", "cell.json"]).unwrap()

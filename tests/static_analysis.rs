@@ -73,6 +73,31 @@ fn seeded_determinism_violation_detected() {
 }
 
 #[test]
+fn seeded_unordered_reduction_violation_detected() {
+    // The host-parallel contract (DESIGN.md §12): lane work is an
+    // order-preserving map, every reduction folds serially. A pool-side
+    // `sum()` makes float accumulation order depend on work stealing.
+    let src = "pub fn pe(rows: &[f32]) -> f32 {\n    rows.par_iter().sum::<f32>()\n}\n";
+    let found = scan_source("crates/opteron/src/cpu.rs", src);
+    assert!(
+        found
+            .iter()
+            .any(|f| f.rule == Rule::Determinism && f.line == 2 && !f.waived),
+        "{found:?}"
+    );
+    // The sweep engine is held to the same rule…
+    let spawn = "pub fn go() {\n    rayon::spawn(|| {});\n}\n";
+    assert!(scan_source("crates/sim-sweep/src/engine.rs", spawn)
+        .iter()
+        .any(|f| f.rule == Rule::Determinism && f.line == 2 && !f.waived));
+    // …but an order-preserving map into a serial fold is the sanctioned shape.
+    let ok = "pub fn pe(rows: &[Row]) -> Vec<Out> {\n    rows.par_iter().map(run).collect()\n}\n";
+    assert!(scan_source("crates/opteron/src/cpu.rs", ok)
+        .iter()
+        .all(|f| f.rule != Rule::Determinism));
+}
+
+#[test]
 fn seeded_panic_violation_detected() {
     let src = "pub fn pick(v: &[f32]) -> f32 {\n    *v.first().unwrap()\n}\n";
     let found = scan_source("crates/cell-be/src/dma.rs", src);
