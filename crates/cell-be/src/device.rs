@@ -1685,6 +1685,9 @@ impl md_core::device::MdDevice for CellAccelProbe {
 
 #[cfg(test)]
 #[allow(deprecated)]
+// Tests assert *bitwise* f64 equality on purpose: identical runs must
+// produce identical results, not merely close ones (DESIGN.md §4).
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
     use md_core::forces::{AllPairsFullKernel, ForceKernel};

@@ -431,6 +431,9 @@ pub fn compute_accelerations_f64(
 // sim-vet: end-allow(precision-discipline)
 
 #[cfg(test)]
+// Tests assert *bitwise* f64 equality on purpose: identical runs must
+// produce identical results, not merely close ones (DESIGN.md §4).
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
     use crate::localstore::LocalStore;

@@ -90,6 +90,9 @@ impl std::fmt::Display for LsOverflow {
 impl std::error::Error for LsOverflow {}
 
 #[cfg(test)]
+// Tests assert *bitwise* f64 equality on purpose: identical runs must
+// produce identical results, not merely close ones (DESIGN.md §4).
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

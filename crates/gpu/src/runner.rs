@@ -406,11 +406,12 @@ fn resolve_degradable(
 impl md_core::device::MdDevice for GpuMdSimulation {
     fn label(&self) -> String {
         // Named models keep their historical metric labels; anything else is
-        // identified by pipe count.
+        // identified by pipe count. The clock match is bit-exact on purpose:
+        // a model label applies only to the unmodified factory constant.
         let c = &self.config;
-        if c.n_pipes == 24 && c.clock_hz == 650e6 {
+        if c.n_pipes == 24 && c.clock_hz.to_bits() == 650e6_f64.to_bits() {
             "gpu-7900gtx".to_string()
-        } else if c.n_pipes == 16 && c.clock_hz == 400e6 {
+        } else if c.n_pipes == 16 && c.clock_hz.to_bits() == 400e6_f64.to_bits() {
             "gpu-6800".to_string()
         } else {
             format!("gpu-{}pipes", c.n_pipes)
@@ -499,6 +500,9 @@ impl md_core::device::MdDevice for GpuMdSimulation {
 
 #[cfg(test)]
 #[allow(deprecated)]
+// Tests assert *bitwise* f64 equality on purpose: identical runs must
+// produce identical results, not merely close ones (DESIGN.md §4).
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
     use md_core::forces::{AllPairsFullKernel, ForceKernel};

@@ -56,6 +56,9 @@ pub trait Shader: Sync {
 }
 
 #[cfg(test)]
+// Tests assert *bitwise* f64 equality on purpose: identical runs must
+// produce identical results, not merely close ones (DESIGN.md §4).
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

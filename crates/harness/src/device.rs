@@ -122,47 +122,110 @@ impl DeviceKind {
     }
 
     /// Stable text encoding of the full device identity for cache keys:
-    /// configuration knobs plus the machine constants the factory bakes in.
-    /// Any change to either must change this string (and thereby invalidate
-    /// cached results for this device).
+    /// configuration knobs plus *every* machine constant the factory bakes
+    /// in. Any change to either must change this string (and thereby
+    /// invalidate cached results for this device). The `cache-token` lint
+    /// rule enforces completeness: each field of each cost-model struct
+    /// reachable from here must appear in the encoding, recursively.
     pub fn cache_token(self) -> String {
+        // Cell machine constants, shared by the three Cell-family arms.
+        let c = CellConfig::paper_blade();
+        let cell_hw = format!(
+            "clk={},nspes_max={},ls={},dma_lat={},dma_bpc={},dma_max={},mbox={},spawn={},ppe_svc={},ppe_cpi={}",
+            c.clock_hz,
+            c.n_spes,
+            c.local_store_bytes,
+            c.dma_latency_cycles,
+            c.dma_bytes_per_cycle,
+            c.dma_max_transfer,
+            c.mailbox_cycles,
+            c.spawn_cycles,
+            c.ppe_service_cycles,
+            c.ppe_cpi_factor,
+        );
+        let k = &c.costs;
+        let cell_costs = format!(
+            "rbr={},rcs={},rsi={},dsc={},dsi={},lsc={},lsi={},cut={},pld={},lj={},asc={},asi={},pa={},dpp={}",
+            k.reflect_branchy,
+            k.reflect_copysign,
+            k.reflect_simd,
+            k.direction_scalar,
+            k.direction_simd,
+            k.length_scalar,
+            k.length_simd,
+            k.cutoff_test,
+            k.pair_loads,
+            k.lj_eval,
+            k.accel_scalar,
+            k.accel_simd,
+            k.per_atom,
+            k.dp_penalty,
+        );
         match self {
             DeviceKind::Cell {
                 n_spes,
                 policy,
                 variant,
-            } => {
-                let c = CellConfig::paper_blade();
-                format!(
-                    "cell:nspes={n_spes},policy={policy:?},variant={variant:?},clk={}",
-                    c.clock_hz
-                )
-            }
-            DeviceKind::CellPpe => {
-                let c = CellConfig::paper_blade();
-                format!("cell-ppe:clk={}", c.clock_hz)
-            }
+            } => format!(
+                "cell:nspes={n_spes},policy={policy:?},variant={variant:?},{cell_hw},{cell_costs}"
+            ),
+            DeviceKind::CellPpe => format!("cell-ppe:{cell_hw},{cell_costs}"),
             DeviceKind::CellAccel { variant } => {
-                let c = CellConfig::paper_blade();
-                format!("cell-accel:variant={variant:?},clk={}", c.clock_hz)
+                format!("cell-accel:variant={variant:?},{cell_hw},{cell_costs}")
             }
             DeviceKind::Gpu { model } => {
-                let c = model.config();
+                let g: GpuConfig = model.config();
                 format!(
-                    "gpu:model={model:?},clk={},pipes={},disp={}",
-                    c.clock_hz, c.n_pipes, c.dispatch_overhead_s
+                    "gpu:model={model:?},clk={},pipes={},up_bps={},rd_bps={},xfer_lat={},disp={},jit={},cpu_lin={},max_tex={}",
+                    g.clock_hz,
+                    g.n_pipes,
+                    g.upload_bytes_per_sec,
+                    g.readback_bytes_per_sec,
+                    g.transfer_latency_s,
+                    g.dispatch_overhead_s,
+                    g.jit_startup_s,
+                    g.cpu_linear_s_per_atom,
+                    g.max_input_textures,
                 )
             }
             DeviceKind::Mta { mode } => {
-                let c = MtaConfig::paper_mta2();
+                let m = MtaConfig::paper_mta2();
+                let remote = match &m.remote_memory {
+                    Some(r) => format!(
+                        "rm_frac={},rm_extra={}",
+                        r.remote_fraction, r.remote_extra_cycles
+                    ),
+                    None => "rm=none".to_string(),
+                };
                 format!(
-                    "mta:mode={mode:?},clk={},procs={}",
-                    c.clock_hz, c.n_processors
+                    "mta:mode={mode:?},clk={},streams={},procs={},issue={},loop_start={},sync={},{remote}",
+                    m.clock_hz,
+                    m.streams_per_processor,
+                    m.n_processors,
+                    m.stream_issue_interval,
+                    m.loop_startup_cycles,
+                    m.sync_instructions,
                 )
             }
             DeviceKind::Opteron => {
-                let c = OpteronConfig::paper_reference();
-                format!("opteron:clk={},cpf={}", c.clock_hz, c.cycles_per_flop)
+                let o = OpteronConfig::paper_reference();
+                let h = &o.memory;
+                format!(
+                    "opteron:clk={},cpf={},loop_ovh={},prefetch={},l1={}:{}:{},l2={}:{}:{},l1hit={},l2hit={},dram={}",
+                    o.clock_hz,
+                    o.cycles_per_flop,
+                    o.loop_overhead_cycles,
+                    o.prefetch,
+                    h.l1.size_bytes,
+                    h.l1.line_bytes,
+                    h.l1.associativity,
+                    h.l2.size_bytes,
+                    h.l2.line_bytes,
+                    h.l2.associativity,
+                    h.l1_hit_cycles,
+                    h.l2_hit_cycles,
+                    h.dram_cycles,
+                )
             }
         }
     }

@@ -733,6 +733,9 @@ impl md_core::device::MdDevice for OpteronCpu {
 
 #[cfg(test)]
 #[allow(deprecated)]
+// Tests assert *bitwise* f64 equality on purpose: identical runs must
+// produce identical results, not merely close ones (DESIGN.md §4).
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

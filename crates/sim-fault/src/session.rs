@@ -160,6 +160,9 @@ impl FaultSession {
 }
 
 #[cfg(test)]
+// Tests assert *bitwise* f64 equality on purpose: identical runs must
+// produce identical results, not merely close ones (DESIGN.md §4).
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
     use crate::plan::FaultKind;

@@ -1,0 +1,25 @@
+//! vet-path: crates/harness/src/device.rs
+//!
+//! Seeded cache-token violations: the config struct gained a field
+//! (`jit_startup_s`) and the enum gained a variant knob (`mode`) that the
+//! `cache_token()` encoding never mentions — exactly the drift that would
+//! silently serve stale cached sweep results. Findings land at the field
+//! definitions.
+
+pub struct FixtureGpuConfig {
+    pub clock_hz: f64,
+    pub n_pipes: usize,
+    pub jit_startup_s: f64, // vet-expect(cache-token)
+}
+
+pub enum DeviceKind {
+    Gpu { model: u32 },
+    Mta { mode: u8 }, // vet-expect(cache-token)
+}
+
+impl DeviceKind {
+    pub fn cache_token(&self) -> String {
+        let c: FixtureGpuConfig = fixture_config();
+        format!("gpu:model={}:clk={}:pipes={}", 0, c.clock_hz, c.n_pipes)
+    }
+}

@@ -1,0 +1,17 @@
+//! vet-path: crates/opteron/src/fixture.rs
+//!
+//! Seeded dead-waiver violations: one waiver still suppresses a real
+//! finding (legal), one suppresses nothing, and one names a rule that does
+//! not exist. The stale two are findings so the waiver inventory cannot rot.
+
+pub fn live(v: &[f32]) -> f32 {
+    *v.first().unwrap() // sim-vet: allow(panic-discipline): fixture-sanctioned
+}
+
+pub fn stale() -> u32 {
+    0 // sim-vet: allow(panic-discipline): nothing panics -- vet-expect(dead-waiver)
+}
+
+pub fn typo() -> u32 {
+    0 // sim-vet: allow(determinsim): misspelled rule -- vet-expect(dead-waiver)
+}

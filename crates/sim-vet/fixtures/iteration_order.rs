@@ -1,0 +1,29 @@
+//! vet-path: crates/md-core/src/fixture.rs
+//!
+//! Seeded iteration-order violations: iterating a `HashMap` field and
+//! draining a `HashSet` parameter. Point lookups stay legal — only
+//! *iteration* is order-nondeterministic.
+
+use std::collections::{HashMap, HashSet};
+
+pub struct Registry {
+    pub entries: HashMap<u64, f32>,
+}
+
+impl Registry {
+    pub fn total(&self) -> f32 {
+        let mut acc = 0.0f32;
+        for v in self.entries.values() { // vet-expect(iteration-order)
+            acc += v;
+        }
+        acc
+    }
+
+    pub fn lookup(&self, k: u64) -> Option<f32> {
+        self.entries.get(&k).copied()
+    }
+}
+
+pub fn drain_all(mut seen: HashSet<u64>) -> usize {
+    seen.drain().count() // vet-expect(iteration-order)
+}

@@ -1,0 +1,10 @@
+//! vet-path: crates/sim-perf/src/fixture.rs
+//!
+//! Seeded observer-purity violation: the observability layer charging a
+//! cost. Counters must be free — counters-on stays bitwise-identical to
+//! counters-off.
+
+pub fn sample(spe: &mut Spe) -> f64 {
+    spe.charge(4.0); // vet-expect(observer-purity)
+    spe.cycles()
+}

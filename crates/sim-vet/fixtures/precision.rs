@@ -1,0 +1,8 @@
+//! vet-path: crates/gpu/src/shader.rs
+//!
+//! Seeded precision violation inside a declared f32 kernel module.
+
+pub fn lj(r2: f32) -> f32 {
+    let e: f64 = 4.0; // vet-expect(precision-discipline)
+    (e as f32) * r2
+}

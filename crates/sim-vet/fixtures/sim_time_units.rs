@@ -1,0 +1,20 @@
+//! vet-path: crates/gpu/src/fixture.rs
+//!
+//! Seeded sim-time unit violations: simulated seconds divided by a host
+//! wall-clock value in one expression, and a bare float literal folded into
+//! a sim-time accumulator outside a cost-model module. Adding a *named*
+//! cost-model field is the sanctioned shape.
+
+pub fn speedup(sim_seconds: f64, wall_seconds: f64) -> f64 {
+    sim_seconds / wall_seconds // vet-expect(sim-time-units)
+}
+
+pub fn accumulate(mut sim_seconds: f64) -> f64 {
+    sim_seconds += 1.5e-6; // vet-expect(sim-time-units)
+    sim_seconds
+}
+
+pub fn sanctioned(mut sim_seconds: f64, dispatch_overhead_s: f64) -> f64 {
+    sim_seconds += dispatch_overhead_s;
+    sim_seconds
+}

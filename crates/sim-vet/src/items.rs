@@ -1,0 +1,801 @@
+//! Lightweight item extraction over the token stream: brace-matched
+//! `struct` / `enum` / `fn` / `impl` items with their names, fields, and
+//! body token ranges.
+//!
+//! This is deliberately *not* a Rust parser — no expressions, no generics
+//! resolution, no macro expansion. It recovers exactly the structure the
+//! semantic rules need: which structs exist and what fields they carry
+//! (cache-token completeness), which fns exist and where their bodies start
+//! and end (per-fn scanning, cost-conservation signatures), which items sit
+//! under `#[cfg(test)]` (rules bind shipping code only), and which `impl`
+//! block a fn belongs to (so `cache_token` can be tied to its enum).
+
+use crate::lexer::{ident_eq, is_code, Token, TokenKind};
+
+/// A named field of a struct or enum variant: `name: Type`.
+#[derive(Clone, Debug)]
+pub struct Field {
+    pub name: String,
+    /// The type as written, tokens joined by single spaces
+    /// (`Option < RemoteMemoryModel >`).
+    pub ty: String,
+    /// 1-based line of the field name.
+    pub line: usize,
+    /// 1-based column of the field name.
+    pub col: usize,
+}
+
+/// An enum variant and its fields (named for struct variants, empty for unit
+/// and tuple variants — tuple payloads carry no field *names* to audit).
+#[derive(Clone, Debug)]
+pub struct Variant {
+    pub name: String,
+    pub fields: Vec<Field>,
+    pub line: usize,
+}
+
+/// A fn item: signature split out, body as a token range into the file's
+/// token vector.
+#[derive(Clone, Debug)]
+pub struct FnItem {
+    pub name: String,
+    /// Type name of the enclosing `impl` block, if any.
+    pub self_ty: Option<String>,
+    pub is_pub: bool,
+    /// Parameter list tokens, rendered (`& mut self , data : & [ u8 ]`).
+    pub params: String,
+    /// Return type as written, `()` when omitted.
+    pub ret: String,
+    /// Token index range (into the lexed file) of the body, braces included.
+    /// `None` for bodyless trait-method declarations.
+    pub body: Option<(usize, usize)>,
+    pub line: usize,
+    /// True when the fn (or an enclosing item) is `#[cfg(test)]`-gated.
+    pub in_test: bool,
+}
+
+/// A struct with named fields. Tuple and unit structs are recorded with an
+/// empty field list.
+#[derive(Clone, Debug)]
+pub struct StructItem {
+    pub name: String,
+    pub fields: Vec<Field>,
+    pub line: usize,
+    pub in_test: bool,
+}
+
+#[derive(Clone, Debug)]
+pub struct EnumItem {
+    pub name: String,
+    pub variants: Vec<Variant>,
+    pub line: usize,
+    pub in_test: bool,
+}
+
+/// Everything extracted from one file.
+#[derive(Clone, Debug, Default)]
+pub struct Items {
+    pub structs: Vec<StructItem>,
+    pub enums: Vec<EnumItem>,
+    pub fns: Vec<FnItem>,
+    /// 1-based line ranges (inclusive) covered by `#[cfg(test)]` items.
+    pub test_ranges: Vec<(usize, usize)>,
+}
+
+impl Items {
+    /// Is `line` inside a `#[cfg(test)]` item?
+    pub fn in_test_code(&self, line: usize) -> bool {
+        self.test_ranges
+            .iter()
+            .any(|&(lo, hi)| (lo..=hi).contains(&line))
+    }
+}
+
+/// Extract items from a lexed file. `src` is the file text the tokens index.
+pub fn extract(src: &str, tokens: &[Token]) -> Items {
+    let code: Vec<usize> = (0..tokens.len()).filter(|&i| is_code(&tokens[i])).collect();
+    let mut items = Items::default();
+    walk(src, tokens, &code, 0, code.len(), None, false, &mut items);
+    items
+}
+
+/// Walk the code-token index range `[lo, hi)` of `code`, extracting items.
+/// `self_ty` is the enclosing impl's type; `in_test` whether an enclosing
+/// item is `#[cfg(test)]`.
+#[allow(clippy::too_many_arguments)]
+fn walk(
+    src: &str,
+    tokens: &[Token],
+    code: &[usize],
+    lo: usize,
+    hi: usize,
+    self_ty: Option<&str>,
+    in_test: bool,
+    items: &mut Items,
+) {
+    let mut i = lo;
+    while i < hi {
+        let tok = &tokens[code[i]];
+        // Attribute: scan `#[ … ]`, noting cfg(test).
+        if tok.is(src, TokenKind::Punct, "#") {
+            let mut j = i + 1;
+            // `#![…]` inner attributes too.
+            if j < hi && tokens[code[j]].is(src, TokenKind::Punct, "!") {
+                j += 1;
+            }
+            if j < hi && tokens[code[j]].is(src, TokenKind::Punct, "[") {
+                let close = match_delim(src, tokens, code, j, hi, "[", "]");
+                let attr_is_test = is_cfg_test(src, tokens, code, j + 1, close.min(hi));
+                if attr_is_test {
+                    // The attribute gates the *next* item: find its extent.
+                    let item_end = item_extent(src, tokens, code, close + 1, hi);
+                    let start_line = tok.line;
+                    let end_line = if item_end > close + 1 && item_end <= hi {
+                        tokens[code[item_end - 1]].line
+                    } else {
+                        start_line
+                    };
+                    items.test_ranges.push((start_line, end_line));
+                    // Recurse into it as test code (items inside are still
+                    // extracted, flagged in_test).
+                    consume_item(
+                        src,
+                        tokens,
+                        code,
+                        close + 1,
+                        item_end.min(hi),
+                        self_ty,
+                        true,
+                        items,
+                    );
+                    i = item_end;
+                    continue;
+                }
+                i = close + 1;
+                continue;
+            }
+        }
+        if tok.kind == TokenKind::Ident {
+            match tok.text(src) {
+                "struct" | "enum" | "fn" | "impl" | "mod" | "trait" => {
+                    let end = item_extent(src, tokens, code, i, hi);
+                    consume_item(src, tokens, code, i, end.min(hi), self_ty, in_test, items);
+                    i = end;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Parse the single item starting at `code[i]` (its `struct`/`fn`/… keyword,
+/// possibly preceded by visibility handled by the caller's scan) ending at
+/// `end` (exclusive). Recurses into `mod`/`impl` bodies.
+#[allow(clippy::too_many_arguments)]
+fn consume_item(
+    src: &str,
+    tokens: &[Token],
+    code: &[usize],
+    mut i: usize,
+    end: usize,
+    self_ty: Option<&str>,
+    in_test: bool,
+    items: &mut Items,
+) {
+    // Skip leading visibility / qualifiers to reach the keyword.
+    while i < end {
+        let t = &tokens[code[i]];
+        if t.kind == TokenKind::Ident {
+            match t.text(src) {
+                "pub" => {
+                    // `pub(crate)` etc.
+                    if i + 1 < end && tokens[code[i + 1]].is(src, TokenKind::Punct, "(") {
+                        i = match_delim(src, tokens, code, i + 1, end, "(", ")") + 1;
+                    } else {
+                        i += 1;
+                    }
+                }
+                "const" | "unsafe" | "async" | "extern" => i += 1,
+                _ => break,
+            }
+        } else if t.kind == TokenKind::Str {
+            // `extern "C"`.
+            i += 1;
+        } else if t.is(src, TokenKind::Punct, "#") {
+            // A non-test attribute between qualifiers; skip it.
+            let mut j = i + 1;
+            if j < end && tokens[code[j]].is(src, TokenKind::Punct, "!") {
+                j += 1;
+            }
+            if j < end && tokens[code[j]].is(src, TokenKind::Punct, "[") {
+                i = match_delim(src, tokens, code, j, end, "[", "]") + 1;
+                continue;
+            }
+            i += 1;
+        } else {
+            break;
+        }
+    }
+    if i >= end {
+        return;
+    }
+    let kw = tokens[code[i]].text(src);
+    match kw {
+        "struct" => parse_struct(src, tokens, code, i, end, in_test, items),
+        "enum" => parse_enum(src, tokens, code, i, end, in_test, items),
+        "fn" => parse_fn(src, tokens, code, i, end, self_ty, in_test, items),
+        "impl" => {
+            // `impl [<…>] [Trait for] Type { … }` — recurse with self_ty.
+            let mut j = i + 1;
+            if j < end && tokens[code[j]].is(src, TokenKind::Punct, "<") {
+                j = match_angle(src, tokens, code, j, end) + 1;
+            }
+            // Collect path idents until `{` or `for`; the segment before the
+            // body (after an optional `for`) is the self type.
+            let mut last_ident: Option<String> = None;
+            let mut after_for: Option<String> = None;
+            let mut saw_for = false;
+            while j < end {
+                let t = &tokens[code[j]];
+                if t.is(src, TokenKind::Punct, "{") {
+                    break;
+                }
+                if t.kind == TokenKind::Ident {
+                    if t.text(src) == "for" {
+                        saw_for = true;
+                    } else if t.text(src) != "where" {
+                        if saw_for {
+                            after_for.get_or_insert_with(|| t.text(src).to_string());
+                            // keep last path segment after `for`
+                            after_for = Some(t.text(src).to_string());
+                        } else {
+                            last_ident = Some(t.text(src).to_string());
+                        }
+                    }
+                } else if t.is(src, TokenKind::Punct, "<") {
+                    j = match_angle(src, tokens, code, j, end) + 1;
+                    continue;
+                }
+                j += 1;
+            }
+            let ty = after_for.or(last_ident);
+            if j < end && tokens[code[j]].is(src, TokenKind::Punct, "{") {
+                let close = match_delim(src, tokens, code, j, end, "{", "}");
+                walk(
+                    src,
+                    tokens,
+                    code,
+                    j + 1,
+                    close.min(end),
+                    ty.as_deref(),
+                    in_test,
+                    items,
+                );
+            }
+        }
+        "mod" | "trait" => {
+            // Recurse into the body if there is one.
+            let mut j = i + 1;
+            while j < end && !tokens[code[j]].is(src, TokenKind::Punct, "{") {
+                if tokens[code[j]].is(src, TokenKind::Punct, ";") {
+                    return;
+                }
+                j += 1;
+            }
+            if j < end {
+                let close = match_delim(src, tokens, code, j, end, "{", "}");
+                walk(
+                    src,
+                    tokens,
+                    code,
+                    j + 1,
+                    close.min(end),
+                    None,
+                    in_test,
+                    items,
+                );
+            }
+        }
+        _ => {}
+    }
+}
+
+fn parse_struct(
+    src: &str,
+    tokens: &[Token],
+    code: &[usize],
+    i: usize,
+    end: usize,
+    in_test: bool,
+    items: &mut Items,
+) {
+    let Some(name_tok) = code.get(i + 1).map(|&ti| &tokens[ti]) else {
+        return;
+    };
+    if name_tok.kind != TokenKind::Ident || i + 1 >= end {
+        return;
+    }
+    let name = name_tok.text(src).to_string();
+    let line = tokens[code[i]].line;
+    let mut j = i + 2;
+    if j < end && tokens[code[j]].is(src, TokenKind::Punct, "<") {
+        j = match_angle(src, tokens, code, j, end) + 1;
+    }
+    // Tuple struct `( … );`, unit struct `;`, or named fields `{ … }`.
+    let mut fields = Vec::new();
+    while j < end {
+        let t = &tokens[code[j]];
+        if t.is(src, TokenKind::Punct, ";") || t.is(src, TokenKind::Punct, "(") {
+            break;
+        }
+        if t.is(src, TokenKind::Punct, "{") {
+            let close = match_delim(src, tokens, code, j, end, "{", "}");
+            fields = parse_fields(src, tokens, code, j + 1, close.min(end));
+            break;
+        }
+        j += 1;
+    }
+    items.structs.push(StructItem {
+        name,
+        fields,
+        line,
+        in_test,
+    });
+}
+
+fn parse_enum(
+    src: &str,
+    tokens: &[Token],
+    code: &[usize],
+    i: usize,
+    end: usize,
+    in_test: bool,
+    items: &mut Items,
+) {
+    let Some(name_tok) = code.get(i + 1).map(|&ti| &tokens[ti]) else {
+        return;
+    };
+    if name_tok.kind != TokenKind::Ident {
+        return;
+    }
+    let name = name_tok.text(src).to_string();
+    let line = tokens[code[i]].line;
+    let mut j = i + 2;
+    while j < end && !tokens[code[j]].is(src, TokenKind::Punct, "{") {
+        j += 1;
+    }
+    let mut variants = Vec::new();
+    if j < end {
+        let close = match_delim(src, tokens, code, j, end, "{", "}");
+        let mut k = j + 1;
+        while k < close.min(end) {
+            let t = &tokens[code[k]];
+            if t.is(src, TokenKind::Punct, "#") {
+                // Variant attribute.
+                let mut a = k + 1;
+                if a < end && tokens[code[a]].is(src, TokenKind::Punct, "[") {
+                    k = match_delim(src, tokens, code, a, end, "[", "]") + 1;
+                    continue;
+                }
+                a += 1;
+                k = a;
+                continue;
+            }
+            if t.kind == TokenKind::Ident {
+                let vname = t.text(src).to_string();
+                let vline = t.line;
+                let mut fields = Vec::new();
+                let mut n = k + 1;
+                if n < close && tokens[code[n]].is(src, TokenKind::Punct, "{") {
+                    let vclose = match_delim(src, tokens, code, n, close, "{", "}");
+                    fields = parse_fields(src, tokens, code, n + 1, vclose.min(close));
+                    n = vclose + 1;
+                } else if n < close && tokens[code[n]].is(src, TokenKind::Punct, "(") {
+                    n = match_delim(src, tokens, code, n, close, "(", ")") + 1;
+                }
+                // Skip discriminant `= expr` up to the comma.
+                while n < close && !tokens[code[n]].is(src, TokenKind::Punct, ",") {
+                    n += 1;
+                }
+                variants.push(Variant {
+                    name: vname,
+                    fields,
+                    line: vline,
+                });
+                k = n + 1;
+                continue;
+            }
+            k += 1;
+        }
+    }
+    items.enums.push(EnumItem {
+        name,
+        variants,
+        line,
+        in_test,
+    });
+}
+
+/// Parse `name: Type, …` field lists (struct bodies and struct-variant
+/// bodies). Attributes and visibility are skipped.
+fn parse_fields(src: &str, tokens: &[Token], code: &[usize], lo: usize, hi: usize) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut i = lo;
+    while i < hi {
+        let t = &tokens[code[i]];
+        if t.is(src, TokenKind::Punct, "#") {
+            if i + 1 < hi && tokens[code[i + 1]].is(src, TokenKind::Punct, "[") {
+                i = match_delim(src, tokens, code, i + 1, hi, "[", "]") + 1;
+                continue;
+            }
+            i += 1;
+            continue;
+        }
+        if t.kind == TokenKind::Ident && t.text(src) == "pub" {
+            if i + 1 < hi && tokens[code[i + 1]].is(src, TokenKind::Punct, "(") {
+                i = match_delim(src, tokens, code, i + 1, hi, "(", ")") + 1;
+            } else {
+                i += 1;
+            }
+            continue;
+        }
+        if t.kind == TokenKind::Ident
+            && i + 1 < hi
+            && tokens[code[i + 1]].is(src, TokenKind::Punct, ":")
+        {
+            let name = t.text(src).to_string();
+            let (line, col) = (t.line, t.col);
+            // Type runs to the next top-level comma.
+            let mut j = i + 2;
+            let mut ty_tokens: Vec<String> = Vec::new();
+            let mut depth = 0i32;
+            while j < hi {
+                let tt = &tokens[code[j]];
+                let txt = tt.text(src);
+                match txt {
+                    "<" | "(" | "[" => depth += 1,
+                    ">" | ")" | "]" => depth -= 1,
+                    "," if depth <= 0 => break,
+                    _ => {}
+                }
+                ty_tokens.push(txt.to_string());
+                j += 1;
+            }
+            fields.push(Field {
+                name,
+                ty: ty_tokens.join(" "),
+                line,
+                col,
+            });
+            i = j + 1;
+            continue;
+        }
+        i += 1;
+    }
+    fields
+}
+
+#[allow(clippy::too_many_arguments)]
+fn parse_fn(
+    src: &str,
+    tokens: &[Token],
+    code: &[usize],
+    i: usize,
+    end: usize,
+    self_ty: Option<&str>,
+    in_test: bool,
+    items: &mut Items,
+) {
+    let Some(name_tok) = code.get(i + 1).map(|&ti| &tokens[ti]) else {
+        return;
+    };
+    if name_tok.kind != TokenKind::Ident {
+        return;
+    }
+    let name = name_tok.text(src).to_string();
+    // `pub` appears before the extent start the caller computed from the
+    // keyword; re-scan the raw token line for it.
+    let kw_tok = &tokens[code[i]];
+    let is_pub = {
+        // Look back over immediately preceding code tokens on the same
+        // logical item (qualifiers only).
+        let mut p = i;
+        let mut found = false;
+        while p > 0 {
+            p -= 1;
+            let t = &tokens[code[p]];
+            match (t.kind, t.text(src)) {
+                (TokenKind::Ident, "pub") => {
+                    found = true;
+                    break;
+                }
+                (TokenKind::Ident, "const" | "unsafe" | "async" | "extern") => {}
+                (TokenKind::Punct, ")") => {} // pub(crate) closer
+                (TokenKind::Ident, "crate" | "super" | "in" | "self") => {}
+                (TokenKind::Punct, "(") => {}
+                (TokenKind::Str, _) => {}
+                _ => break,
+            }
+        }
+        found
+    };
+    let mut j = i + 2;
+    if j < end && tokens[code[j]].is(src, TokenKind::Punct, "<") {
+        j = match_angle(src, tokens, code, j, end) + 1;
+    }
+    if j >= end || !tokens[code[j]].is(src, TokenKind::Punct, "(") {
+        return;
+    }
+    let close = match_delim(src, tokens, code, j, end, "(", ")");
+    let params: Vec<String> = (j + 1..close.min(end))
+        .map(|k| tokens[code[k]].text(src).to_string())
+        .collect();
+    // Return type: tokens between `)` and the body `{` / `;` / `where`.
+    let mut k = close + 1;
+    let mut ret_tokens: Vec<String> = Vec::new();
+    let mut body = None;
+    let mut saw_arrow = false;
+    let mut depth = 0i32;
+    while k < end {
+        let t = &tokens[code[k]];
+        let txt = t.text(src);
+        if depth == 0 && t.is(src, TokenKind::Punct, "{") {
+            let bclose = match_delim(src, tokens, code, k, end, "{", "}");
+            body = Some((code[k], code[bclose.min(end - 1)]));
+            break;
+        }
+        if depth == 0 && t.is(src, TokenKind::Punct, ";") {
+            break;
+        }
+        match txt {
+            "->" => {
+                saw_arrow = true;
+                k += 1;
+                continue;
+            }
+            "where" if depth == 0 => {
+                saw_arrow = false; // ret captured already; stop collecting
+                k += 1;
+                continue;
+            }
+            "<" | "(" | "[" => depth += 1,
+            ">" | ")" | "]" => depth -= 1,
+            _ => {}
+        }
+        if saw_arrow {
+            ret_tokens.push(txt.to_string());
+        }
+        k += 1;
+    }
+    let ret = if ret_tokens.is_empty() {
+        "()".to_string()
+    } else {
+        ret_tokens.join(" ")
+    };
+    items.fns.push(FnItem {
+        name,
+        self_ty: self_ty.map(str::to_string),
+        is_pub,
+        params: params.join(" "),
+        ret,
+        body,
+        line: kw_tok.line,
+        in_test,
+    });
+    // Recurse into the body for nested items (closures' fns, nested mods).
+    if let Some((b_lo, b_hi)) = body {
+        let lo_idx = code.partition_point(|&ti| ti <= b_lo);
+        let hi_idx = code.partition_point(|&ti| ti < b_hi);
+        walk(src, tokens, code, lo_idx, hi_idx, self_ty, in_test, items);
+    }
+}
+
+/// Where the item starting at `code[i]` ends (exclusive code index): after
+/// its matched `{…}` body or its `;`.
+fn item_extent(src: &str, tokens: &[Token], code: &[usize], i: usize, hi: usize) -> usize {
+    let mut j = i;
+    let mut depth = 0i32;
+    while j < hi {
+        let t = &tokens[code[j]];
+        if t.is(src, TokenKind::Punct, "{") {
+            let close = match_delim(src, tokens, code, j, hi, "{", "}");
+            // A fn body / struct body terminates the item — unless we're
+            // inside parens (e.g. a closure argument), which depth tracks.
+            if depth == 0 {
+                return close + 1;
+            }
+            j = close + 1;
+            continue;
+        }
+        match t.text(src) {
+            "(" | "[" => depth += 1,
+            ")" | "]" => depth -= 1,
+            ";" if depth <= 0 => return j + 1,
+            "=" if depth <= 0 => {
+                // `struct X = …;` never occurs, but `type`/`const` items use
+                // `=`; run to the `;`.
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    hi
+}
+
+/// Index of the matching closer for the opener at `code[open_idx]`.
+/// Saturates at the end of range for unbalanced input.
+fn match_delim(
+    src: &str,
+    tokens: &[Token],
+    code: &[usize],
+    open_idx: usize,
+    hi: usize,
+    open: &str,
+    close: &str,
+) -> usize {
+    let mut depth = 0i32;
+    let mut j = open_idx;
+    while j < hi {
+        let t = &tokens[code[j]];
+        if t.is(src, TokenKind::Punct, open) {
+            depth += 1;
+        } else if t.is(src, TokenKind::Punct, close) {
+            depth -= 1;
+            if depth == 0 {
+                return j;
+            }
+        }
+        j += 1;
+    }
+    hi.saturating_sub(1)
+}
+
+/// Match `<…>` generics, tolerating shift operators inside by counting
+/// `<`/`>` characters in multi-char tokens.
+fn match_angle(src: &str, tokens: &[Token], code: &[usize], open_idx: usize, hi: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = open_idx;
+    while j < hi {
+        let txt = tokens[code[j]].text(src);
+        for c in txt.chars() {
+            match c {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                _ => {}
+            }
+        }
+        if depth <= 0 {
+            return j;
+        }
+        j += 1;
+    }
+    hi.saturating_sub(1)
+}
+
+/// Does the attribute token range contain `cfg ( test )` (or
+/// `cfg ( … test … )` like `cfg(all(test, …))`)?
+fn is_cfg_test(src: &str, tokens: &[Token], code: &[usize], lo: usize, hi: usize) -> bool {
+    let mut saw_cfg = false;
+    for &ti in code.iter().take(hi).skip(lo) {
+        let t = &tokens[ti];
+        if ident_eq(t, src, "cfg") {
+            saw_cfg = true;
+        }
+        if saw_cfg && ident_eq(t, src, "test") {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn items_of(src: &str) -> Items {
+        extract(src, &lex(src))
+    }
+
+    #[test]
+    fn struct_fields_with_types_and_lines() {
+        let src = "pub struct GpuConfig {\n    pub clock_hz: f64,\n    pub n_pipes: usize,\n    pub remote: Option<RemoteMemoryModel>,\n}\n";
+        let items = items_of(src);
+        assert_eq!(items.structs.len(), 1);
+        let s = &items.structs[0];
+        assert_eq!(s.name, "GpuConfig");
+        let names: Vec<&str> = s.fields.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["clock_hz", "n_pipes", "remote"]);
+        assert_eq!(s.fields[0].line, 2);
+        assert!(s.fields[2].ty.contains("RemoteMemoryModel"));
+    }
+
+    #[test]
+    fn enum_variants_with_named_fields() {
+        let src = "pub enum DeviceKind {\n    Cell { n_spes: usize, policy: SpawnPolicy },\n    CellPpe,\n    Gpu { model: GpuModel },\n}\n";
+        let items = items_of(src);
+        assert_eq!(items.enums.len(), 1);
+        let e = &items.enums[0];
+        assert_eq!(e.variants.len(), 3);
+        assert_eq!(e.variants[0].fields.len(), 2);
+        assert_eq!(e.variants[0].fields[1].name, "policy");
+        assert!(e.variants[1].fields.is_empty());
+    }
+
+    #[test]
+    fn fns_carry_signature_and_impl_type() {
+        let src = "impl DeviceKind {\n    pub fn cache_token(self) -> String {\n        let x = 1;\n        format!(\"{x}\")\n    }\n    fn helper(&self) {}\n}\n";
+        let items = items_of(src);
+        assert_eq!(items.fns.len(), 2);
+        let f = &items.fns[0];
+        assert_eq!(f.name, "cache_token");
+        assert_eq!(f.self_ty.as_deref(), Some("DeviceKind"));
+        assert!(f.is_pub);
+        assert_eq!(f.ret, "String");
+        assert!(f.body.is_some());
+        assert!(!items.fns[1].is_pub);
+        assert_eq!(items.fns[1].ret, "()");
+    }
+
+    #[test]
+    fn trait_impl_records_the_self_type() {
+        let src = "impl MdDevice for OpteronCpu {\n    fn run(&mut self) -> u32 { 0 }\n}\n";
+        let items = items_of(src);
+        assert_eq!(items.fns[0].self_ty.as_deref(), Some("OpteronCpu"));
+    }
+
+    #[test]
+    fn cfg_test_marks_ranges_and_items() {
+        let src = "fn shipping() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\n";
+        let items = items_of(src);
+        assert!(!items.in_test_code(1));
+        assert!(items.in_test_code(4));
+        let t = items.fns.iter().find(|f| f.name == "t").unwrap();
+        assert!(t.in_test);
+        assert!(
+            !items
+                .fns
+                .iter()
+                .find(|f| f.name == "shipping")
+                .unwrap()
+                .in_test
+        );
+    }
+
+    #[test]
+    fn multiline_signature_line_is_the_fn_keyword() {
+        let src = "pub fn upload(\n    &mut self,\n    data: &[f32],\n) {\n}\n";
+        let items = items_of(src);
+        let f = &items.fns[0];
+        assert_eq!(f.line, 1);
+        assert!(f.params.contains("data"));
+        assert_eq!(f.ret, "()");
+    }
+
+    #[test]
+    fn nested_mods_are_walked() {
+        let src = "mod inner {\n    pub struct S { pub a: u8 }\n    pub fn f() {}\n}\n";
+        let items = items_of(src);
+        assert_eq!(items.structs.len(), 1);
+        assert_eq!(items.fns.len(), 1);
+    }
+
+    #[test]
+    fn generic_structs_and_fns() {
+        let src = "pub struct Pair<T: Ord> { pub a: T, pub b: Vec<T> }\npub fn max<T: Ord>(a: T, b: T) -> T { if a > b { a } else { b } }\n";
+        let items = items_of(src);
+        assert_eq!(items.structs[0].fields.len(), 2);
+        assert_eq!(items.fns[0].name, "max");
+        assert_eq!(items.fns[0].ret, "T");
+    }
+
+    #[test]
+    fn tuple_and_unit_structs_have_no_named_fields() {
+        let src = "pub struct Wrapper(pub f64);\npub struct Marker;\n";
+        let items = items_of(src);
+        assert_eq!(items.structs.len(), 2);
+        assert!(items.structs.iter().all(|s| s.fields.is_empty()));
+    }
+}

@@ -1,0 +1,527 @@
+//! A Rust lexer producing a token stream with byte spans and line/column
+//! positions — the foundation the v2 rules run on.
+//!
+//! This replaces v1's "strip comments and strings, then substring-match"
+//! approach: rules now see *tokens*, so `HashMap` inside a longer identifier,
+//! a path segment in prose, or a pattern inside a macro-generated name can
+//! never fire. Comments are kept as tokens (the waiver parser reads them);
+//! string literals are kept with their content (the cache-token rule reads
+//! `{field}` interpolations out of format strings).
+//!
+//! It is a *lexer*, not a parser: it recognizes identifiers, literals,
+//! lifetimes, comments, and multi-char operators, and leaves grammar to the
+//! item extractor ([`crate::items`]).
+
+/// What a token is. Content lives in the source text; tokens carry spans.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`fn`, `struct`, `HashMap`, `r#match`, …).
+    Ident,
+    /// Integer or float literal, suffix included (`1.0f64`, `0x10u32`).
+    Number,
+    /// String/byte-string literal (ordinary or raw), quotes included.
+    Str,
+    /// Char or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// Lifetime or loop label (`'a`, `'outer`).
+    Lifetime,
+    /// `// …` or `//! …` or `/// …` comment, newline excluded.
+    LineComment,
+    /// `/* … */` comment, nesting handled.
+    BlockComment,
+    /// Operator or delimiter; multi-char forms (`::`, `->`, `+=`, …) are one
+    /// token.
+    Punct,
+}
+
+/// One lexed token: kind plus location. `text` is borrowed back out of the
+/// source via [`Token::text`].
+#[derive(Clone, Copy, Debug)]
+pub struct Token {
+    pub kind: TokenKind,
+    /// Byte range in the source.
+    pub start: usize,
+    pub end: usize,
+    /// 1-based source line of the token's first byte.
+    pub line: usize,
+    /// 1-based column (in bytes) of the token's first byte.
+    pub col: usize,
+}
+
+impl Token {
+    pub fn text<'s>(&self, src: &'s str) -> &'s str {
+        &src[self.start..self.end]
+    }
+
+    pub fn is(&self, src: &str, kind: TokenKind, text: &str) -> bool {
+        self.kind == kind && self.text(src) == text
+    }
+}
+
+/// Multi-char operators, longest first so greedy matching is correct.
+const MULTI_PUNCT: &[&str] = &[
+    "..=", "...", "<<=", ">>=", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "..", "+=",
+    "-=", "*=", "/=", "%=", "^=", "&=", "|=", "<<", ">>",
+];
+
+/// Lex `src` into a token vector. Never fails: unexpected bytes become
+/// single-char `Punct` tokens, unterminated literals run to end of input —
+/// a linter must degrade gracefully on code that doesn't compile yet.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        src,
+        b: src.as_bytes(),
+        i: 0,
+        line: 1,
+        col: 1,
+        out: Vec::with_capacity(src.len() / 4),
+    }
+    .run()
+}
+
+struct Lexer<'s> {
+    src: &'s str,
+    b: &'s [u8],
+    i: usize,
+    line: usize,
+    col: usize,
+    out: Vec<Token>,
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Vec<Token> {
+        while self.i < self.b.len() {
+            let c = self.b[self.i];
+            match c {
+                b' ' | b'\t' | b'\r' | b'\n' => self.bump(1),
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'"' => self.string(self.i),
+                b'\'' => self.char_or_lifetime(),
+                b'r' | b'b' if self.raw_or_byte_string() => {}
+                _ if c == b'_' || c.is_ascii_alphabetic() => self.ident(),
+                _ if c.is_ascii_digit() => self.number(),
+                _ => self.punct(),
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.b.get(self.i + ahead).copied()
+    }
+
+    /// Advance `n` bytes, tracking line/col.
+    fn bump(&mut self, n: usize) {
+        for _ in 0..n {
+            if self.i >= self.b.len() {
+                break;
+            }
+            if self.b[self.i] == b'\n' {
+                self.line += 1;
+                self.col = 1;
+            } else {
+                self.col += 1;
+            }
+            self.i += 1;
+        }
+    }
+
+    fn emit_from(&mut self, kind: TokenKind, start: usize, line: usize, col: usize) {
+        self.out.push(Token {
+            kind,
+            start,
+            end: self.i,
+            line,
+            col,
+        });
+    }
+
+    fn line_comment(&mut self) {
+        let (start, line, col) = (self.i, self.line, self.col);
+        while self.i < self.b.len() && self.b[self.i] != b'\n' {
+            self.bump(1);
+        }
+        self.emit_from(TokenKind::LineComment, start, line, col);
+    }
+
+    fn block_comment(&mut self) {
+        let (start, line, col) = (self.i, self.line, self.col);
+        let mut depth = 0usize;
+        while self.i < self.b.len() {
+            if self.b[self.i] == b'/' && self.peek(1) == Some(b'*') {
+                depth += 1;
+                self.bump(2);
+            } else if self.b[self.i] == b'*' && self.peek(1) == Some(b'/') {
+                depth -= 1;
+                self.bump(2);
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                self.bump(1);
+            }
+        }
+        self.emit_from(TokenKind::BlockComment, start, line, col);
+    }
+
+    /// Ordinary (or byte) string starting at the opening quote; `start` may
+    /// precede `self.i` when a `b` prefix was already consumed.
+    fn string(&mut self, start: usize) {
+        let (line, col) = (self.line, self.col);
+        self.bump(1); // opening quote
+        while self.i < self.b.len() {
+            match self.b[self.i] {
+                b'\\' => self.bump(2),
+                b'"' => {
+                    self.bump(1);
+                    break;
+                }
+                _ => self.bump(1),
+            }
+        }
+        self.emit_from(TokenKind::Str, start, line, col);
+    }
+
+    /// `r"…"`, `r#"…"#`, `br"…"`, `b"…"` — returns false (consuming nothing)
+    /// when the `r`/`b` at the cursor is just an identifier start.
+    fn raw_or_byte_string(&mut self) -> bool {
+        let start = self.i;
+        let mut j = self.i;
+        if self.b[j] == b'b' {
+            j += 1;
+        }
+        let raw = self.b.get(j) == Some(&b'r');
+        if raw {
+            j += 1;
+        }
+        let mut hashes = 0;
+        while self.b.get(j) == Some(&b'#') {
+            hashes += 1;
+            j += 1;
+        }
+        if self.b.get(j) != Some(&b'"') || (!raw && hashes > 0) {
+            return false;
+        }
+        if !raw {
+            // b"…": plain escape rules.
+            let (line, col) = (self.line, self.col);
+            self.bump(j - self.i); // the `b`
+            let _ = (line, col);
+            self.string(start);
+            return true;
+        }
+        let (line, col) = (self.line, self.col);
+        self.bump(j + 1 - self.i); // prefix + opening quote
+        'scan: while self.i < self.b.len() {
+            if self.b[self.i] == b'"' {
+                let mut h = 0;
+                while h < hashes && self.peek(1 + h) == Some(b'#') {
+                    h += 1;
+                }
+                if h == hashes {
+                    self.bump(1 + hashes);
+                    break 'scan;
+                }
+            }
+            self.bump(1);
+        }
+        self.emit_from(TokenKind::Str, start, line, col);
+        true
+    }
+
+    /// `'x'` / `'\n'` are char literals; `'a` in `&'a str` or `'outer:` is a
+    /// lifetime/label. Disambiguation: a lifetime is `'` + ident not followed
+    /// by a closing `'`.
+    fn char_or_lifetime(&mut self) {
+        let (start, line, col) = (self.i, self.line, self.col);
+        let is_char = match self.peek(1) {
+            Some(b'\\') => true,
+            Some(c) if c == b'_' || c.is_ascii_alphanumeric() => {
+                // `'a'` char vs `'a` lifetime: look for the closing quote
+                // right after one identifier char.
+                self.peek(2) == Some(b'\'')
+            }
+            Some(_) => true, // `'('` etc.
+            None => false,
+        };
+        if is_char {
+            self.bump(1); // opening quote
+                          // Scan to the closing quote, consuming escapes (`'\u{1f}'`) and
+                          // whole UTF-8 sequences (`'π'`); bounded so an unterminated
+                          // quote can't swallow the file.
+            let mut budget = 12usize;
+            loop {
+                match self.peek(0) {
+                    None => break,
+                    Some(b'\'') => {
+                        self.bump(1);
+                        break;
+                    }
+                    Some(b'\\') => self.bump(2),
+                    Some(c) if c >= 0x80 => {
+                        self.bump(1);
+                        while self.peek(0).is_some_and(|b| b & 0xC0 == 0x80) {
+                            self.bump(1);
+                        }
+                    }
+                    Some(_) => self.bump(1),
+                }
+                budget = budget.saturating_sub(1);
+                if budget == 0 {
+                    break;
+                }
+            }
+            self.emit_from(TokenKind::Char, start, line, col);
+        } else {
+            self.bump(1);
+            while self
+                .peek(0)
+                .is_some_and(|c| c == b'_' || c.is_ascii_alphanumeric())
+            {
+                self.bump(1);
+            }
+            self.emit_from(TokenKind::Lifetime, start, line, col);
+        }
+    }
+
+    fn ident(&mut self) {
+        let (start, line, col) = (self.i, self.line, self.col);
+        while self
+            .peek(0)
+            .is_some_and(|c| c == b'_' || c.is_ascii_alphanumeric())
+        {
+            self.bump(1);
+        }
+        self.emit_from(TokenKind::Ident, start, line, col);
+    }
+
+    /// Number literal with suffix: `1_000`, `0xFF`, `1.5e-3`, `1.0f64`,
+    /// `2.5f32`, `10usize`. `1.` followed by an identifier or `.` is left as
+    /// integer + punct (`1..n`, `x.1.0` tuple indexing is close enough for a
+    /// linter).
+    fn number(&mut self) {
+        let (start, line, col) = (self.i, self.line, self.col);
+        let radix_prefix = self.peek(0) == Some(b'0')
+            && matches!(self.peek(1), Some(b'x' | b'o' | b'b' | b'X' | b'O' | b'B'));
+        if radix_prefix {
+            self.bump(2);
+            while self
+                .peek(0)
+                .is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_')
+            {
+                self.bump(1);
+            }
+            self.emit_from(TokenKind::Number, start, line, col);
+            return;
+        }
+        while self
+            .peek(0)
+            .is_some_and(|c| c.is_ascii_digit() || c == b'_')
+        {
+            self.bump(1);
+        }
+        // Fraction: only when a digit follows the dot (not `1..` or `1.f()`).
+        if self.peek(0) == Some(b'.') && self.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+            self.bump(1);
+            while self
+                .peek(0)
+                .is_some_and(|c| c.is_ascii_digit() || c == b'_')
+            {
+                self.bump(1);
+            }
+        }
+        // Exponent.
+        if matches!(self.peek(0), Some(b'e' | b'E'))
+            && (self.peek(1).is_some_and(|c| c.is_ascii_digit())
+                || (matches!(self.peek(1), Some(b'+' | b'-'))
+                    && self.peek(2).is_some_and(|c| c.is_ascii_digit())))
+        {
+            self.bump(2);
+            while self
+                .peek(0)
+                .is_some_and(|c| c.is_ascii_digit() || c == b'_')
+            {
+                self.bump(1);
+            }
+        }
+        // Type suffix (`f32`, `f64`, `u8`, `usize`, …).
+        while self
+            .peek(0)
+            .is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_')
+        {
+            self.bump(1);
+        }
+        self.emit_from(TokenKind::Number, start, line, col);
+    }
+
+    fn punct(&mut self) {
+        let (start, line, col) = (self.i, self.line, self.col);
+        // Non-ASCII in code position (a Unicode ident char, `π` in a const
+        // name, stray bytes): consume the whole UTF-8 sequence so the cursor
+        // never lands inside a multi-byte char.
+        if self.b[self.i] >= 0x80 {
+            self.bump(1);
+            while self.peek(0).is_some_and(|c| c & 0xC0 == 0x80) {
+                self.bump(1);
+            }
+            self.emit_from(TokenKind::Punct, start, line, col);
+            return;
+        }
+        let rest = &self.src[self.i..];
+        for op in MULTI_PUNCT {
+            if rest.starts_with(op) {
+                self.bump(op.len());
+                self.emit_from(TokenKind::Punct, start, line, col);
+                return;
+            }
+        }
+        self.bump(1);
+        self.emit_from(TokenKind::Punct, start, line, col);
+    }
+}
+
+/// Convenience: the token's text equals `t` and it is an identifier.
+pub fn ident_eq(tok: &Token, src: &str, t: &str) -> bool {
+    tok.kind == TokenKind::Ident && tok.text(src) == t
+}
+
+/// Is this token one rules should look at (not a comment)?
+pub fn is_code(tok: &Token) -> bool {
+    !matches!(tok.kind, TokenKind::LineComment | TokenKind::BlockComment)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src)
+            .iter()
+            .map(|t| (t.kind, t.text(src).to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let toks = kinds("fn f(x: &mut [f32]) -> f64 {}");
+        let texts: Vec<&str> = toks.iter().map(|(_, s)| s.as_str()).collect();
+        assert_eq!(
+            texts,
+            ["fn", "f", "(", "x", ":", "&", "mut", "[", "f32", "]", ")", "->", "f64", "{", "}"]
+        );
+        assert_eq!(toks[0].0, TokenKind::Ident);
+        assert_eq!(toks[11].0, TokenKind::Punct); // ->
+    }
+
+    #[test]
+    fn multi_char_ops_are_single_tokens() {
+        let toks = kinds("a::b += c 1..=2 x >>= y");
+        let ops: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Punct)
+            .map(|(_, s)| s.as_str())
+            .collect();
+        assert_eq!(ops, ["::", "+=", "..=", ">>="]);
+    }
+
+    #[test]
+    fn comments_are_tokens_with_lines() {
+        let src = "let x = 1; // trailing\n/* block\nspans lines */ let y = 2;\n";
+        let toks = lex(src);
+        let lc = toks
+            .iter()
+            .find(|t| t.kind == TokenKind::LineComment)
+            .unwrap();
+        assert_eq!(lc.text(src), "// trailing");
+        assert_eq!(lc.line, 1);
+        let bc = toks
+            .iter()
+            .find(|t| t.kind == TokenKind::BlockComment)
+            .unwrap();
+        assert_eq!(bc.line, 2);
+        let y = toks.iter().find(|t| ident_eq(t, src, "y")).unwrap();
+        assert_eq!(y.line, 3);
+    }
+
+    #[test]
+    fn strings_keep_content_and_never_leak_tokens() {
+        let src = r#"format!("cell:nspes={n_spes},clk={}", c.clock_hz)"#;
+        let toks = lex(src);
+        let s = toks.iter().find(|t| t.kind == TokenKind::Str).unwrap();
+        assert!(s.text(src).contains("{n_spes}"));
+        // No Ident token for words inside the string.
+        assert!(!toks.iter().any(|t| ident_eq(t, src, "nspes")));
+        assert!(toks.iter().any(|t| ident_eq(t, src, "clock_hz")));
+    }
+
+    #[test]
+    fn raw_strings_and_escapes() {
+        let src = r##"let a = r#"quote " inside"#; let b = "esc \" f64"; f64"##;
+        let toks = lex(src);
+        let strs: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Str)
+            .map(|t| t.text(src))
+            .collect();
+        assert_eq!(strs.len(), 2, "{strs:?}");
+        let idents: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident && t.text(src) == "f64")
+            .map(|t| t.text(src))
+            .collect();
+        assert_eq!(
+            idents.len(),
+            1,
+            "f64 inside the string must not lex as code"
+        );
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let src = "fn f<'a>(x: &'a str) -> char { 'f' }";
+        let toks = lex(src);
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokenKind::Lifetime && t.text(src) == "'a"));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokenKind::Char && t.text(src) == "'f'"));
+    }
+
+    #[test]
+    fn float_suffixes_lex_as_one_number() {
+        let src = "let a = 1.0f64 + 2e-3 + 0xFFu32 + 1_000;";
+        let nums: Vec<String> = lex(src)
+            .iter()
+            .filter(|t| t.kind == TokenKind::Number)
+            .map(|t| t.text(src).to_string())
+            .collect();
+        assert_eq!(nums, ["1.0f64", "2e-3", "0xFFu32", "1_000"]);
+    }
+
+    #[test]
+    fn ranges_do_not_eat_dots() {
+        let src = "for i in 0..n {}";
+        let toks = lex(src);
+        assert!(toks.iter().any(|t| t.is(src, TokenKind::Punct, "..")));
+        assert!(toks.iter().any(|t| t.is(src, TokenKind::Number, "0")));
+    }
+
+    #[test]
+    fn line_and_col_positions() {
+        let src = "ab\n  cd\n";
+        let toks = lex(src);
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn byte_strings() {
+        let src = r#"let a = b"bytes"; let p = br"raw"; ptr"#;
+        let toks = lex(src);
+        let strs = toks.iter().filter(|t| t.kind == TokenKind::Str).count();
+        assert_eq!(strs, 2);
+        assert!(toks.iter().any(|t| ident_eq(t, src, "ptr")));
+    }
+}

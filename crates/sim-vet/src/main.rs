@@ -1,23 +1,56 @@
 //! `sim-vet` CLI: lint the workspace, print `file:line` diagnostics, exit
 //! nonzero when any unwaived finding remains.
 //!
-//! Usage: `cargo run -p sim-vet [-- --root <dir>] [--verbose]`
+//! Usage: `cargo run -p sim-vet [-- --root <dir>] [--verbose]
+//!         [--format text|json|sarif] [--output <file>] [--selfcheck]`
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+enum Format {
+    Text,
+    Json,
+    Sarif,
+}
+
 fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut verbose = false;
+    let mut format = Format::Text;
+    let mut output: Option<PathBuf> = None;
+    let mut selfcheck = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--root" => root = args.next().map(PathBuf::from),
             "--verbose" | "-v" => verbose = true,
+            "--output" | "-o" => output = args.next().map(PathBuf::from),
+            "--selfcheck" => selfcheck = true,
+            "--format" => {
+                format = match args.next().as_deref() {
+                    Some("text") => Format::Text,
+                    Some("json") => Format::Json,
+                    Some("sarif") => Format::Sarif,
+                    other => {
+                        eprintln!(
+                            "sim-vet: unknown format `{}` (expected text|json|sarif)",
+                            other.unwrap_or("")
+                        );
+                        return ExitCode::from(2);
+                    }
+                };
+            }
             "--help" | "-h" => {
                 println!("sim-vet: workspace invariant linter");
-                println!("  --root <dir>   lint this tree (default: workspace root)");
-                println!("  --verbose      also list waived findings");
+                println!("  --root <dir>     lint this tree (default: workspace root)");
+                println!("  --verbose        also list waived findings (text format)");
+                println!("  --format <fmt>   text (default), json, or sarif");
+                println!("  --output <file>  write the report there instead of stdout");
+                println!("  --selfcheck      run the seeded-violation fixture corpus");
+                println!("rules:");
+                for rule in sim_vet::Rule::ALL {
+                    println!("  {:22} {}", rule.name(), rule.description());
+                }
                 return ExitCode::SUCCESS;
             }
             other => {
@@ -35,6 +68,32 @@ fn main() -> ExitCode {
             .map_or_else(|| PathBuf::from("."), PathBuf::from)
     });
 
+    if selfcheck {
+        let fixtures = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures");
+        return match sim_vet::selfcheck::run(&fixtures) {
+            Ok(outcome) => {
+                for failure in &outcome.failures {
+                    eprintln!("sim-vet selfcheck: {failure}");
+                }
+                println!(
+                    "sim-vet selfcheck: {} fixture(s), {} seeded expectation(s), {} failure(s)",
+                    outcome.fixtures,
+                    outcome.expectations,
+                    outcome.failures.len()
+                );
+                if outcome.ok() {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::FAILURE
+                }
+            }
+            Err(e) => {
+                eprintln!("sim-vet: failed to read {}: {e}", fixtures.display());
+                ExitCode::from(2)
+            }
+        };
+    }
+
     let report = match sim_vet::scan_workspace(&root) {
         Ok(r) => r,
         Err(e) => {
@@ -43,20 +102,53 @@ fn main() -> ExitCode {
         }
     };
 
-    for f in report.unwaived() {
-        println!("{f}");
-    }
-    if verbose {
-        for f in report.waived() {
-            println!("{f}");
+    let rendered = match format {
+        Format::Json => Some(sim_vet::output::to_json(&report)),
+        Format::Sarif => Some(sim_vet::output::to_sarif(&report)),
+        Format::Text => None,
+    };
+    match (&output, rendered) {
+        (Some(path), Some(body)) => {
+            if let Err(e) = std::fs::write(path, body) {
+                eprintln!("sim-vet: failed to write {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        }
+        (None, Some(body)) => print!("{body}"),
+        (Some(path), None) => {
+            let mut body = String::new();
+            for f in report.unwaived() {
+                body.push_str(&f.to_string());
+                body.push('\n');
+            }
+            if let Err(e) = std::fs::write(path, body) {
+                eprintln!("sim-vet: failed to write {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        }
+        (None, None) => {
+            for f in report.unwaived() {
+                println!("{f}");
+            }
+            if verbose {
+                for f in report.waived() {
+                    println!("{f}");
+                }
+            }
         }
     }
     let unwaived = report.unwaived().count();
     let waived = report.waived().count();
-    println!(
+    let summary = format!(
         "sim-vet: {} files scanned, {} finding(s) ({} waived)",
         report.files_scanned, unwaived, waived
     );
+    // Keep machine-readable stdout clean; the summary goes to stderr there.
+    if matches!(format, Format::Text) || output.is_some() {
+        println!("{summary}");
+    } else {
+        eprintln!("{summary}");
+    }
     if unwaived == 0 {
         ExitCode::SUCCESS
     } else {

@@ -1,6 +1,9 @@
-//! Inline waiver parsing.
+//! Inline waiver parsing — v2: directives are read from *comment tokens*,
+//! so a waiver-shaped string literal can never waive anything, and every
+//! parsed entry is kept so the `dead-waiver` rule can audit which waivers
+//! still earn their place.
 //!
-//! Syntax (always inside a comment, with an optional `: reason` suffix):
+//! Syntax (always inside a `//` comment, with an optional `: reason`):
 //!
 //! - `// sim-vet: allow(rule)` — trailing: waives `rule` on this line;
 //!   alone on a line: waives `rule` on the next line.
@@ -8,39 +11,63 @@
 //!   waives `rule` for the region between the markers.
 //! - `// sim-vet: allow-file(rule)` — waives `rule` for the whole file.
 
+use crate::lexer::{lex, TokenKind};
 use crate::rules::Rule;
+
+/// One parsed waiver directive and the line span it suppresses.
+#[derive(Clone, Debug)]
+pub struct WaiverEntry {
+    /// `None` when the rule name is unknown — itself a `dead-waiver` finding.
+    pub rule: Option<Rule>,
+    /// The rule name as written.
+    pub raw: String,
+    /// 1-based line of the directive.
+    pub line: usize,
+    /// Covered line span (inclusive); the whole file for `allow-file`.
+    pub lo: usize,
+    pub hi: usize,
+    /// True for `allow-file` entries.
+    pub file_wide: bool,
+}
+
+impl WaiverEntry {
+    pub fn covers(&self, rule: Rule, line: usize) -> bool {
+        self.rule == Some(rule) && (self.file_wide || (self.lo..=self.hi).contains(&line))
+    }
+}
 
 /// Parsed waivers for one file.
 #[derive(Clone, Debug, Default)]
 pub struct Waivers {
-    /// (rule, 1-based line) covered by a line waiver.
-    lines: Vec<(Rule, usize)>,
-    /// (rule, start line, inclusive end line) regions.
-    regions: Vec<(Rule, usize, usize)>,
-    /// Rules waived for the whole file.
-    file: Vec<Rule>,
+    entries: Vec<WaiverEntry>,
 }
 
 impl Waivers {
     pub fn parse(text: &str) -> Self {
-        let mut w = Waivers::default();
-        let mut open_regions: Vec<(Rule, usize)> = Vec::new();
-        let mut total_lines = 0;
-        for (idx, line) in text.lines().enumerate() {
-            let lineno = idx + 1;
-            total_lines = lineno;
-            let Some(pos) = line.find("sim-vet:") else {
-                continue;
-            };
-            // Only honor the directive inside a comment.
-            let Some(comment) = line.find("//") else {
-                continue;
-            };
-            if comment > pos {
+        let tokens = lex(text);
+        let total_lines = text.lines().count().max(1);
+        // For bare-line detection: lines that carry a code token before the
+        // comment make a trailing waiver; otherwise the waiver is bare and
+        // covers the *next* line.
+        let mut code_on_line = vec![false; total_lines + 2];
+        for t in &tokens {
+            if !matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment)
+                && t.line < code_on_line.len()
+            {
+                code_on_line[t.line] = true;
+            }
+        }
+        let mut entries = Vec::new();
+        let mut open_regions: Vec<(usize, Option<Rule>, String, usize)> = Vec::new();
+        for t in &tokens {
+            if t.kind != TokenKind::LineComment {
                 continue;
             }
-            let directive = &line[pos + "sim-vet:".len()..];
-            let directive = directive.trim_start();
+            let comment = t.text(text);
+            let Some(pos) = comment.find("sim-vet:") else {
+                continue;
+            };
+            let directive = comment[pos + "sim-vet:".len()..].trim_start();
             for (prefix, kind) in [
                 ("begin-allow(", WaiverKind::Begin),
                 ("end-allow(", WaiverKind::End),
@@ -53,43 +80,85 @@ impl Waivers {
                 let Some(close) = rest.find(')') else {
                     break;
                 };
-                let Some(rule) = Rule::from_name(rest[..close].trim()) else {
-                    break;
-                };
+                let raw = rest[..close].trim().to_string();
+                let rule = Rule::from_name(&raw);
                 match kind {
                     WaiverKind::Line => {
-                        // Trailing waiver covers its own line; a bare-line
-                        // waiver (comment is the whole line) covers the next.
-                        let bare = line.trim_start().starts_with("//");
-                        w.lines.push((rule, if bare { lineno + 1 } else { lineno }));
+                        let covered = if code_on_line[t.line] {
+                            t.line
+                        } else {
+                            t.line + 1
+                        };
+                        entries.push(WaiverEntry {
+                            rule,
+                            raw,
+                            line: t.line,
+                            lo: covered,
+                            hi: covered,
+                            file_wide: false,
+                        });
                     }
-                    WaiverKind::Begin => open_regions.push((rule, lineno)),
+                    WaiverKind::Begin => {
+                        open_regions.push((entries.len(), rule, raw, t.line));
+                        // Placeholder; span fixed by the matching end marker.
+                        entries.push(WaiverEntry {
+                            rule: None,
+                            raw: String::new(),
+                            line: t.line,
+                            lo: t.line,
+                            hi: t.line,
+                            file_wide: false,
+                        });
+                    }
                     WaiverKind::End => {
-                        if let Some(open_at) = open_regions.iter().rposition(|(r, _)| *r == rule) {
-                            let (r, start) = open_regions.remove(open_at);
-                            w.regions.push((r, start, lineno));
+                        if let Some(open_at) = open_regions.iter().rposition(|(_, r, raw2, _)| {
+                            *r == rule && (r.is_some() || *raw2 == raw)
+                        }) {
+                            let (slot, r, raw2, start) = open_regions.remove(open_at);
+                            entries[slot] = WaiverEntry {
+                                rule: r,
+                                raw: raw2,
+                                line: start,
+                                lo: start,
+                                hi: t.line,
+                                file_wide: false,
+                            };
                         }
                     }
-                    WaiverKind::File => w.file.push(rule),
+                    WaiverKind::File => entries.push(WaiverEntry {
+                        rule,
+                        raw,
+                        line: t.line,
+                        lo: 1,
+                        hi: total_lines,
+                        file_wide: true,
+                    }),
                 }
                 break;
             }
         }
         // Unterminated regions run to end of file.
-        for (rule, start) in open_regions {
-            w.regions.push((rule, start, total_lines));
+        for (slot, rule, raw, start) in open_regions {
+            entries[slot] = WaiverEntry {
+                rule,
+                raw,
+                line: start,
+                lo: start,
+                hi: total_lines,
+                file_wide: false,
+            };
         }
-        w
+        Waivers { entries }
     }
 
     /// Does any waiver cover `rule` at `line`?
     pub fn covers(&self, rule: Rule, line: usize) -> bool {
-        self.file.contains(&rule)
-            || self.lines.iter().any(|&(r, l)| r == rule && l == line)
-            || self
-                .regions
-                .iter()
-                .any(|&(r, lo, hi)| r == rule && (lo..=hi).contains(&line))
+        self.entries.iter().any(|e| e.covers(rule, line))
+    }
+
+    /// Every parsed directive, for the dead-waiver audit.
+    pub fn entries(&self) -> &[WaiverEntry] {
+        &self.entries
     }
 }
 
@@ -123,7 +192,7 @@ mod tests {
 
     #[test]
     fn region_waiver() {
-        let src = "a\n// sim-vet: begin-allow(precision-discipline): DP section\nb\nc\n// sim-vet: end-allow(precision-discipline)\nd\n";
+        let src = "a();\n// sim-vet: begin-allow(precision-discipline): DP section\nb();\nc();\n// sim-vet: end-allow(precision-discipline)\nd();\n";
         let w = Waivers::parse(src);
         assert!(!w.covers(Rule::PrecisionDiscipline, 1));
         assert!(w.covers(Rule::PrecisionDiscipline, 3));
@@ -133,25 +202,43 @@ mod tests {
 
     #[test]
     fn unterminated_region_runs_to_eof() {
-        let w = Waivers::parse("// sim-vet: begin-allow(determinism)\nx\ny\n");
+        let w = Waivers::parse("// sim-vet: begin-allow(determinism)\nx();\ny();\n");
         assert!(w.covers(Rule::Determinism, 3));
     }
 
     #[test]
     fn file_waiver() {
-        let w = Waivers::parse("// sim-vet: allow-file(cost-conservation): charged upstream\nx\n");
-        assert!(w.covers(Rule::CostConservation, 999));
+        let w =
+            Waivers::parse("// sim-vet: allow-file(cost-conservation): charged upstream\nx();\n");
+        assert!(w.covers(Rule::CostConservation, 2));
+        assert!(w.entries()[0].file_wide);
     }
 
     #[test]
-    fn directive_outside_comment_is_ignored() {
-        let w = Waivers::parse("let s = \"sim-vet: allow(determinism)\";\n");
+    fn directive_inside_string_literal_is_ignored() {
+        // v1's line scanner could be fooled by a string containing a
+        // comment-looking waiver; token-level parsing cannot.
+        let w = Waivers::parse("let s = \"// sim-vet: allow(determinism)\";\n");
         assert!(!w.covers(Rule::Determinism, 1));
+        assert!(w.entries().is_empty());
     }
 
     #[test]
-    fn unknown_rule_is_ignored() {
-        let w = Waivers::parse("// sim-vet: allow(no-such-rule)\nx\n");
+    fn unknown_rule_is_kept_for_the_dead_waiver_audit() {
+        let w = Waivers::parse("// sim-vet: allow(no-such-rule)\nx();\n");
         assert!(!w.covers(Rule::Determinism, 2));
+        assert_eq!(w.entries().len(), 1);
+        assert!(w.entries()[0].rule.is_none());
+        assert_eq!(w.entries()[0].raw, "no-such-rule");
+    }
+
+    #[test]
+    fn entry_spans_are_reported() {
+        let src = "// sim-vet: begin-allow(determinism)\na();\n// sim-vet: end-allow(determinism)\nb(); // sim-vet: allow(panic-discipline)\n";
+        let w = Waivers::parse(src);
+        let region = &w.entries()[0];
+        assert_eq!((region.lo, region.hi), (1, 3));
+        let line = &w.entries()[1];
+        assert_eq!((line.lo, line.hi), (4, 4));
     }
 }
