@@ -19,6 +19,7 @@
 //! [`md_core::device::MdDevice`]; [`device::DeviceKind::build`] is the single
 //! construction point for every simulated machine.
 
+pub mod cluster;
 pub mod device;
 pub mod error;
 pub mod experiments;
@@ -26,14 +27,15 @@ pub mod perf;
 pub mod report;
 pub mod supervisor;
 
+pub use cluster::{run_cluster_supervised, ClusterKind, ClusterRecovery};
 pub use device::{DeviceKind, GpuModel};
 pub use error::HarnessError;
 pub use experiments::{
     fig5, fig6, fig7, fig8, fig9, table1, Fig5Row, Fig6Case, Fig7Row, Fig8Row, Fig9Row, Table1Data,
 };
 pub use perf::{
-    cell_metrics, device_metrics, device_metrics_host, device_metrics_par, gpu_metrics,
-    mta_metrics, opteron_baseline_metrics_host, opteron_metrics, standard_metrics,
+    cell_metrics, cluster_metrics, device_metrics, device_metrics_host, device_metrics_par,
+    gpu_metrics, mta_metrics, opteron_baseline_metrics_host, opteron_metrics, standard_metrics,
     write_metrics_json, write_metrics_json_in,
 };
 pub use report::{emit_figure, write_csv, Table};

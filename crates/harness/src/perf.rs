@@ -23,7 +23,7 @@ use std::path::{Path, PathBuf};
 use crate::device::{DeviceKind, GpuModel};
 use crate::error::HarnessError;
 use cell_be::CellRunConfig;
-use md_core::device::{collect_metrics, HostParallelism, RunOptions};
+use md_core::device::{collect_metrics, HostParallelism, MdDevice, RunOptions};
 use md_core::params::SimConfig;
 use mta::ThreadingMode;
 use sim_perf::{PerfMonitor, RunMetrics};
@@ -61,6 +61,23 @@ pub fn device_metrics_par(
     Ok((m, perf))
 }
 
+/// Counters + attribution for one fault-free run of a simulated cluster
+/// (DESIGN.md §14): the same run-and-collect path as [`device_metrics`],
+/// with [`crate::ClusterKind`] as the construction point instead of
+/// [`DeviceKind`]. The record's attribution carries the cluster timeline
+/// buckets (compute / halo_exchange / all_reduce / recovery).
+pub fn cluster_metrics(
+    kind: crate::ClusterKind,
+    sim: &SimConfig,
+    steps: usize,
+) -> Result<(RunMetrics, PerfMonitor), HarnessError> {
+    let mut cluster = kind.build();
+    let mut perf = PerfMonitor::new();
+    let r = cluster.run(sim, RunOptions::steps(steps).with_perf(&mut perf))?;
+    let m = collect_metrics(&cluster, &r, sim.n_atoms, steps, &perf);
+    Ok((m, perf))
+}
+
 /// [`device_metrics`] with the device's simulated lanes executed on host
 /// threads, plus a wall-clock measurement folded into the record
 /// (`host_wall_seconds` / `host_atom_steps_per_s`).
@@ -95,11 +112,7 @@ pub fn opteron_baseline_metrics_host(
     cpu.set_trace_memo(false);
     let mut perf = PerfMonitor::new();
     let t0 = std::time::Instant::now();
-    let r = md_core::device::MdDevice::run(
-        &mut cpu,
-        sim,
-        RunOptions::steps(steps).with_perf(&mut perf),
-    )?;
+    let r = MdDevice::run(&mut cpu, sim, RunOptions::steps(steps).with_perf(&mut perf))?;
     let mut m = collect_metrics(&cpu, &r, sim.n_atoms, steps, &perf);
     m.record_host_throughput(t0.elapsed().as_secs_f64());
     Ok((m, perf))

@@ -183,19 +183,22 @@ fn reject_exhausted(faults: &FaultStats, device: &str) -> Result<(), String> {
 /// than a typed error have it promoted to a failure here.
 fn run_segment(
     device: &mut dyn MdDevice,
-    cp: &SystemCheckpoint,
+    cp: Option<&SystemCheckpoint>,
     sim: &SimConfig,
     steps: usize,
 ) -> Result<Segment, String> {
     let mut perf = PerfMonitor::new();
-    let r = device
-        .run(
-            sim,
-            RunOptions::steps(steps)
-                .from_checkpoint(cp)
-                .with_perf(&mut perf),
-        )
-        .map_err(|e| e.to_string())?;
+    // The first segment (no checkpoint yet) starts the device fresh. f32
+    // devices initialize natively in their own precision, so resuming from
+    // a capture of the f64 initial state can disagree with a fresh start
+    // in the last bit — segment transparency is only contractual for
+    // checkpoints the device itself produced.
+    let base = RunOptions::steps(steps).with_perf(&mut perf);
+    let opts = match cp {
+        Some(c) => base.from_checkpoint(c),
+        None => base,
+    };
+    let r = device.run(sim, opts).map_err(|e| e.to_string())?;
     reject_exhausted(&r.faults, &device.label())?;
     Ok(Segment {
         after: r.checkpoint,
@@ -224,6 +227,10 @@ pub fn run_supervised(
     let mut total_s = 0.0f64;
     let sys: ParticleSystem<f64> = init::initialize(sim);
     let mut cp = SystemCheckpoint::capture(&sys, 0);
+    // Whether `cp` came out of a device run. Until it has, segments start
+    // the device fresh (see `run_segment`); the f64 initial capture is only
+    // ever resumed by the f64 reference device during fallback.
+    let mut device_produced = false;
     let mut energies: Option<EnergyReport> = None;
 
     if let Some(t) = tracer.as_deref_mut() {
@@ -258,7 +265,8 @@ pub fn run_supervised(
             // folds both so replays of the same run see the same faults.
             device.resalt((cp.step << 8) | u64::from(attempt));
 
-            let failure = match run_segment(device, &cp, sim, seg_steps) {
+            let failure = match run_segment(device, device_produced.then_some(&cp), sim, seg_steps)
+            {
                 Ok(seg) if seg.sim_seconds > watchdog_budget => {
                     // The watchdog fires at its budget; the segment's work
                     // past that point is lost, not charged.
@@ -287,6 +295,7 @@ pub fn run_supervised(
                     });
                     energies = Some(seg.energies);
                     cp = seg.after;
+                    device_produced = true;
                     report.checkpoints += 1;
                     emit(
                         &mut report,
@@ -475,6 +484,24 @@ mod tests {
         assert!(!run.report.fell_back);
         assert!(run.energies.total.is_finite());
         assert_eq!(run.checkpoint.step, 4);
+    }
+
+    /// Regression: the supervisor must start the first segment fresh, not
+    /// resume it from a capture of the f64 initial state. Cell initializes
+    /// natively in f32, so the round-tripped start disagreed with a plain
+    /// run in the last bit for a fraction of atoms at this size.
+    #[test]
+    fn supervised_cell_is_bitwise_identical_to_plain() {
+        let sim = SimConfig::reduced_lj(2048);
+        let mut dev = CellMd::paper_blade(CellRunConfig::best());
+        let run = run_supervised(&mut dev, &sim, 4, &SupervisorConfig::default(), None);
+        let plain = CellMd::paper_blade(CellRunConfig::best())
+            .run(&sim, RunOptions::steps(4))
+            .expect("cell runs");
+        assert!(!run.report.fell_back);
+        assert_eq!(run.checkpoint.positions, plain.checkpoint.positions);
+        assert_eq!(run.checkpoint.velocities, plain.checkpoint.velocities);
+        assert_eq!(run.energies.total.to_bits(), plain.energies.total.to_bits());
     }
 
     #[test]

@@ -93,6 +93,33 @@ impl SystemCheckpoint {
         out
     }
 
+    /// Serialize one contiguous atom range — a spatial domain under the
+    /// cluster engine's slab decomposition — as raw coordinate bytes:
+    /// `len × 24` bytes each of positions, velocities, accelerations, in
+    /// MDCP1 field order and endianness but without the header (the owner
+    /// of the full checkpoint already has it). This is the wire payload of
+    /// one halo/migration message.
+    pub fn encode_domain(&self, start: usize, len: usize) -> Vec<u8> {
+        let end = (start + len).min(self.n());
+        let start = start.min(end);
+        let mut out = Vec::with_capacity(3 * 24 * (end - start));
+        for array in [&self.positions, &self.velocities, &self.accelerations] {
+            for v in &array[start..end] {
+                out.extend_from_slice(&v.x.to_le_bytes());
+                out.extend_from_slice(&v.y.to_le_bytes());
+                out.extend_from_slice(&v.z.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// FNV-1a checksum of [`Self::encode_domain`]'s payload for the range.
+    /// Receivers of a halo/migration message recompute this to detect
+    /// in-flight corruption; bit-exact state implies equal checksums.
+    pub fn domain_checksum(&self, start: usize, len: usize) -> u64 {
+        fnv1a(&self.encode_domain(start, len))
+    }
+
     /// Parse the MDCP1 byte format.
     pub fn decode(bytes: &[u8]) -> Result<Self, CheckpointError> {
         if bytes.len() < HEADER_BYTES {
@@ -150,6 +177,18 @@ impl SystemCheckpoint {
             mass,
         })
     }
+}
+
+/// 64-bit FNV-1a over `bytes` — the same hash family the sweep cache uses
+/// for file naming, kept here so checkpoint payload checksums need no
+/// extra dependency.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
 }
 
 /// Decode failures for the MDCP1 byte format.
@@ -243,6 +282,44 @@ mod tests {
             SystemCheckpoint::decode(&bytes[..10]),
             Err(CheckpointError::Truncated { .. })
         ));
+    }
+
+    #[test]
+    fn domain_slices_tile_the_full_payload() {
+        let cp = SystemCheckpoint::capture(&sample_system(), 9);
+        // Uneven split: 256 atoms over 3 domains leaves a remainder slab.
+        let cuts = [(0usize, 86usize), (86, 86), (172, 84)];
+        let mut stitched = Vec::new();
+        let mut per_array: [Vec<u8>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+        for (start, len) in cuts {
+            let bytes = cp.encode_domain(start, len);
+            assert_eq!(bytes.len(), 3 * 24 * len);
+            assert_eq!(cp.domain_checksum(start, len), fnv1a(&bytes));
+            for (i, chunk) in bytes.chunks(24 * len).enumerate() {
+                per_array[i].extend_from_slice(chunk);
+            }
+        }
+        for arr in per_array {
+            stitched.extend_from_slice(&arr);
+        }
+        assert_eq!(stitched, cp.encode_domain(0, cp.n()));
+        // Out-of-range requests clamp instead of panicking.
+        assert!(cp.encode_domain(300, 10).is_empty());
+        assert_eq!(cp.encode_domain(250, 100).len(), 3 * 24 * 6);
+    }
+
+    #[test]
+    fn domain_checksum_detects_single_bit_corruption() {
+        let cp = SystemCheckpoint::capture(&sample_system(), 0);
+        let clean = cp.domain_checksum(0, 64);
+        let mut corrupted = cp.clone();
+        corrupted.positions[5].y = f64::from_bits(corrupted.positions[5].y.to_bits() ^ 1);
+        assert_ne!(corrupted.domain_checksum(0, 64), clean);
+        // The corruption is outside this domain, so its checksum is clean.
+        assert_eq!(
+            corrupted.domain_checksum(64, 64),
+            cp.domain_checksum(64, 64)
+        );
     }
 
     #[test]

@@ -77,6 +77,47 @@ impl HostParallelism {
     }
 }
 
+/// One node's contiguous atom range under the cluster engine's slab
+/// decomposition.
+///
+/// The lattice initializer fills sites in `ix`-major order, so a contiguous
+/// index range *is* a spatial slab along x: splitting the atom array splits
+/// the box. Domains are value types so a cluster engine can recompute the
+/// map after a migration without any registration protocol.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DomainRegion {
+    /// Owning node's rank at map-construction time.
+    pub node: usize,
+    /// First atom index of the slab.
+    pub start: usize,
+    /// Atoms in the slab (the last slab absorbs any remainder).
+    pub len: usize,
+}
+
+impl DomainRegion {
+    /// One past the last atom index of the slab.
+    pub fn end(&self) -> usize {
+        self.start + self.len
+    }
+}
+
+/// Partition `n_atoms` into `nodes` contiguous slabs, remainder spread one
+/// atom at a time over the leading slabs (so sizes differ by at most one
+/// and every node gets work whenever `n_atoms >= nodes`).
+pub fn slab_domains(n_atoms: usize, nodes: usize) -> Vec<DomainRegion> {
+    let nodes = nodes.max(1);
+    let base = n_atoms / nodes;
+    let extra = n_atoms % nodes;
+    let mut out = Vec::with_capacity(nodes);
+    let mut start = 0;
+    for node in 0..nodes {
+        let len = base + usize::from(node < extra);
+        out.push(DomainRegion { node, start, len });
+        start += len;
+    }
+    out
+}
+
 /// How one [`MdDevice::run`] call should execute, assembled builder-style:
 ///
 /// ```
@@ -300,6 +341,27 @@ mod tests {
                 faults: FaultStats::default(),
             })
         }
+    }
+
+    #[test]
+    fn slab_domains_tile_without_gaps() {
+        for (n, nodes) in [(2048usize, 4usize), (2048, 3), (7, 4), (5, 8), (0, 3)] {
+            let map = slab_domains(n, nodes);
+            assert_eq!(map.len(), nodes);
+            let mut cursor = 0;
+            for (rank, d) in map.iter().enumerate() {
+                assert_eq!(d.node, rank);
+                assert_eq!(d.start, cursor);
+                assert_eq!(d.end(), d.start + d.len);
+                cursor = d.end();
+            }
+            assert_eq!(cursor, n, "domains must cover all atoms for {n}/{nodes}");
+            let max = map.iter().map(|d| d.len).max().unwrap_or(0);
+            let min = map.iter().map(|d| d.len).min().unwrap_or(0);
+            assert!(max - min <= 1, "slab sizes differ by more than one");
+        }
+        // nodes = 0 degrades to a single slab rather than panicking.
+        assert_eq!(slab_domains(10, 0).len(), 1);
     }
 
     #[test]

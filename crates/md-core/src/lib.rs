@@ -58,7 +58,9 @@ pub mod prelude {
     pub use crate::bonded::{Angle, Bond, BondedTopology};
     pub use crate::celllist::CellListKernel;
     pub use crate::checkpoint::SystemCheckpoint;
-    pub use crate::device::{DeviceError, DeviceRun, HostParallelism, MdDevice, RunOptions};
+    pub use crate::device::{
+        slab_domains, DeviceError, DeviceRun, DomainRegion, HostParallelism, MdDevice, RunOptions,
+    };
     pub use crate::forces::{AllPairsFullKernel, AllPairsHalfKernel, ForceKernel, PairVisitor};
     pub use crate::init::{lattice_box_len, Lattice};
     pub use crate::lj::LjParams;

@@ -1,0 +1,158 @@
+//! The interconnect cost model: what the fabric between nodes charges.
+//!
+//! Like every other cost model in the workspace (DMA, PCIe, DRAM), the
+//! interconnect charges *simulated* seconds and never touches data. The
+//! numbers default to a 2006-era InfiniBand SDR 4x fabric — the class of
+//! interconnect the contemporary cluster-MD literature (Trott et al.,
+//! PAPERS.md) reports — but every knob is public so sweeps can model
+//! anything from GigE to a backplane.
+
+/// Per-link timing and payload constants of the simulated fabric.
+///
+/// All fields feed the cluster half of `ClusterKind::cache_token`; changing
+/// any of them must invalidate cached cluster sweep points (the
+/// `cache-token` lint enforces this).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct InterconnectModel {
+    /// One-way small-message latency per message, seconds.
+    pub latency_s: f64,
+    /// Sustained point-to-point bandwidth, bytes per second.
+    pub bandwidth_bytes_per_s: f64,
+    /// Wire bytes per remote atom in a halo exchange (positions only:
+    /// 3 × f64 = 24 bytes — velocities stay node-local between reduces).
+    pub halo_bytes_per_atom: f64,
+    /// Payload of one all-reduce hop (partial energy sums + a checksum).
+    pub allreduce_payload_bytes: f64,
+    /// Wire bytes per atom when a whole domain migrates after a node loss
+    /// (full dynamic state: positions + velocities + accelerations,
+    /// 3 × 24 bytes, the MDCP1 payload of `encode_domain`).
+    pub migration_bytes_per_atom: f64,
+}
+
+impl InterconnectModel {
+    /// The 2006 reference fabric: InfiniBand SDR 4x (~5 µs MPI latency,
+    /// ~1 GB/s sustained), MDCP1 payload sizes.
+    pub fn paper_2006() -> Self {
+        Self {
+            latency_s: 5.0e-6,
+            bandwidth_bytes_per_s: 1.0e9,
+            halo_bytes_per_atom: 24.0,
+            allreduce_payload_bytes: 32.0,
+            migration_bytes_per_atom: 72.0,
+        }
+    }
+
+    /// Seconds one message of `bytes` occupies the link.
+    pub fn message_s(&self, bytes: f64) -> f64 {
+        self.latency_s + bytes / self.bandwidth_bytes_per_s
+    }
+
+    /// Seconds one node spends per step gathering its remote halo: the
+    /// all-pairs kernel needs every remote position, so a node with
+    /// `local_atoms` of `total_atoms` receives `total - local` atoms from
+    /// `peers` peer messages.
+    pub fn halo_exchange_s(&self, local_atoms: usize, total_atoms: usize, peers: usize) -> f64 {
+        if peers == 0 || total_atoms <= local_atoms {
+            return 0.0;
+        }
+        let remote = (total_atoms - local_atoms) as f64 * self.halo_bytes_per_atom;
+        peers as f64 * self.latency_s + remote / self.bandwidth_bytes_per_s
+    }
+
+    /// Seconds one recursive-doubling all-reduce over `nodes` ranks takes
+    /// (energy partials after every step): ceil(log2 n) hops, each a
+    /// latency plus the payload.
+    pub fn allreduce_s(&self, nodes: usize) -> f64 {
+        if nodes <= 1 {
+            return 0.0;
+        }
+        let hops = usize::BITS - (nodes - 1).leading_zeros();
+        f64::from(hops) * self.message_s(self.allreduce_payload_bytes)
+    }
+
+    /// Seconds to migrate a dead node's `atoms`-atom domain from the last
+    /// checkpoint to its new owner.
+    pub fn migration_s(&self, atoms: usize) -> f64 {
+        self.message_s(atoms as f64 * self.migration_bytes_per_atom)
+    }
+}
+
+/// Membership and recovery policy of the cluster, separate from the fabric
+/// timing so sweeps can vary them independently.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ClusterPolicy {
+    /// Spare nodes provisioned at start; a dead node's domain goes to a
+    /// spare first, then to the least-loaded survivor.
+    pub spares: usize,
+    /// Resends allowed per halo message before the exchange is declared
+    /// failed (attempts = resends + 1).
+    pub max_halo_resends: u32,
+    /// A node whose segment time would exceed this multiple of the nominal
+    /// budget is expelled by the slow-node watchdog.
+    pub slow_node_factor: f64,
+}
+
+impl ClusterPolicy {
+    /// One warm spare, the sim-fault default retry budget, and a generous
+    /// straggler tolerance.
+    pub fn default_policy() -> Self {
+        Self {
+            spares: 1,
+            max_halo_resends: sim_fault::DEFAULT_MAX_RETRIES,
+            slow_node_factor: 32.0,
+        }
+    }
+}
+
+#[cfg(test)]
+// Bitwise f64 equality is the determinism invariant under test.
+#[allow(clippy::float_cmp)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn halo_cost_scales_with_remote_atoms_and_peers() {
+        let net = InterconnectModel::paper_2006();
+        let one = net.halo_exchange_s(512, 2048, 3);
+        assert!(one > 0.0);
+        // More local atoms → fewer remote bytes → cheaper exchange.
+        assert!(net.halo_exchange_s(1024, 2048, 3) < one);
+        // Single node: nothing to exchange.
+        assert_eq!(net.halo_exchange_s(2048, 2048, 0), 0.0);
+        // Latency term counts per peer message (subtraction re-rounds, so
+        // compare to within one ulp-scale epsilon rather than bitwise).
+        let few = net.halo_exchange_s(512, 2048, 1);
+        assert!(((one - few) - 2.0 * net.latency_s).abs() < 1e-18);
+    }
+
+    #[test]
+    fn allreduce_is_logarithmic_in_nodes() {
+        let net = InterconnectModel::paper_2006();
+        assert_eq!(net.allreduce_s(1), 0.0);
+        let two = net.allreduce_s(2);
+        assert_eq!(two, net.message_s(net.allreduce_payload_bytes));
+        assert_eq!(net.allreduce_s(4), 2.0 * two);
+        assert_eq!(net.allreduce_s(8), 3.0 * two);
+        // Non-power-of-two rounds the hop count up.
+        assert_eq!(net.allreduce_s(5), 3.0 * two);
+    }
+
+    #[test]
+    fn migration_moves_full_state() {
+        let net = InterconnectModel::paper_2006();
+        let s = net.migration_s(512);
+        assert_eq!(
+            s,
+            net.latency_s + 512.0 * net.migration_bytes_per_atom / net.bandwidth_bytes_per_s
+        );
+        assert!(net.migration_s(1024) > s);
+    }
+
+    #[test]
+    fn policy_defaults_are_sane() {
+        let p = ClusterPolicy::default_policy();
+        assert_eq!(p.spares, 1);
+        assert_eq!(p.max_halo_resends, sim_fault::DEFAULT_MAX_RETRIES);
+        assert!(p.slow_node_factor > 1.0);
+    }
+}

@@ -28,10 +28,23 @@ pub enum FaultKind {
     HotSpotRetry,
     /// Opteron: an ECC corrected error forces a cache-line reload.
     EccReload,
+    /// Cluster: a node dies at a segment boundary and its domain must be
+    /// migrated to a survivor from the last checkpoint.
+    NodeCrash,
+    /// Cluster: a halo-exchange message is dropped in flight and resent.
+    HaloDrop,
+    /// Cluster: a halo-exchange message arrives corrupted (caught by the
+    /// receiver's checksum) and is resent.
+    HaloCorrupt,
+    /// Cluster: the interconnect partitions and a node becomes unreachable
+    /// for the rest of the segment attempt.
+    LinkPartition,
+    /// Cluster: a node runs slow enough to trip the per-segment watchdog.
+    NodeSlow,
 }
 
 impl FaultKind {
-    pub const ALL: [FaultKind; 10] = [
+    pub const ALL: [FaultKind; 15] = [
         FaultKind::DmaTransfer,
         FaultKind::TagWaitTimeout,
         FaultKind::MailboxDrop,
@@ -42,6 +55,21 @@ impl FaultKind {
         FaultKind::StreamStarvation,
         FaultKind::HotSpotRetry,
         FaultKind::EccReload,
+        FaultKind::NodeCrash,
+        FaultKind::HaloDrop,
+        FaultKind::HaloCorrupt,
+        FaultKind::LinkPartition,
+        FaultKind::NodeSlow,
+    ];
+
+    /// The node-granularity kinds a cluster engine injects, as opposed to
+    /// the intra-device kinds the device simulators inject themselves.
+    pub const CLUSTER: [FaultKind; 5] = [
+        FaultKind::NodeCrash,
+        FaultKind::HaloDrop,
+        FaultKind::HaloCorrupt,
+        FaultKind::LinkPartition,
+        FaultKind::NodeSlow,
     ];
 
     pub fn label(self) -> &'static str {
@@ -56,6 +84,11 @@ impl FaultKind {
             FaultKind::StreamStarvation => "stream-starvation",
             FaultKind::HotSpotRetry => "hot-spot-retry",
             FaultKind::EccReload => "ecc-reload",
+            FaultKind::NodeCrash => "node-crash",
+            FaultKind::HaloDrop => "halo-drop",
+            FaultKind::HaloCorrupt => "halo-corrupt",
+            FaultKind::LinkPartition => "link-partition",
+            FaultKind::NodeSlow => "node-slow",
         }
     }
 
@@ -72,6 +105,11 @@ impl FaultKind {
             FaultKind::StreamStarvation => 8,
             FaultKind::HotSpotRetry => 9,
             FaultKind::EccReload => 10,
+            FaultKind::NodeCrash => 11,
+            FaultKind::HaloDrop => 12,
+            FaultKind::HaloCorrupt => 13,
+            FaultKind::LinkPartition => 14,
+            FaultKind::NodeSlow => 15,
         }
     }
 }

@@ -44,7 +44,28 @@ fn run() -> Result<(), SweepError> {
         json.matches("\"figure\"").count(),
         PAPER_STEPS
     );
+    cluster_bench()?;
     host_bench()
+}
+
+/// The cluster strong/weak-scaling baseline rides along with the seed
+/// baseline (the `cluster` binary writes the identical bytes — both pull
+/// from the same result cache).
+fn cluster_bench() -> Result<(), SweepError> {
+    let cfg = EngineConfig::default();
+    let strong = sim_sweep::run_cluster_sweep(
+        &sim_sweep::strong_scaling(harness::DeviceKind::Opteron),
+        &cfg,
+    )?;
+    let weak =
+        sim_sweep::run_cluster_sweep(&sim_sweep::weak_scaling(harness::DeviceKind::Opteron), &cfg)?;
+    let json = sim_sweep::bench_cluster_json(&strong, &weak);
+    std::fs::write("BENCH_cluster.json", &json)?;
+    println!(
+        "wrote BENCH_cluster.json ({} scaling entries)",
+        strong.len() + weak.len()
+    );
+    Ok(())
 }
 
 /// Min-of-N wall-clock for one configuration. The harness does the timing

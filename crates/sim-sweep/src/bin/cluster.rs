@@ -1,0 +1,149 @@
+//! The `cluster` binary: the CI face of the multi-node simulation
+//! (DESIGN.md §14).
+//!
+//! - `cluster recover [--out PATH]` — the recovery demo the CI
+//!   `cluster-recovery` job runs: 2048 atoms × 10 steps on 4 simulated
+//!   nodes with node 2 killed mid-run. Asserts the recovered final state is
+//!   bitwise identical to the fault-free cluster run *and* to the
+//!   single-device run, then writes the recovery-report JSON artifact.
+//! - `cluster scaling` — the strong/weak scaling grids over 1/2/4/8 nodes,
+//!   memoized in the shared result cache, written to the schema-versioned
+//!   `BENCH_cluster.json` baseline.
+//! - `cluster all` (the default) — both.
+
+use harness::{run_cluster_supervised, ClusterKind, DeviceKind, SupervisorConfig};
+use md_core::device::RunOptions;
+use md_core::params::SimConfig;
+use sim_sweep::{bench_cluster_json, run_cluster_sweep, scaling, EngineConfig, SweepError};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+/// The CI recovery workload: same size as the host benchmark rows.
+const RECOVERY_ATOMS: usize = 2048;
+const RECOVERY_STEPS: usize = 10;
+const RECOVERY_NODES: usize = 4;
+/// Which node dies, and during which step its segment fails.
+const KILLED_NODE: usize = 2;
+const KILL_AT_STEP: u64 = 5;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut mode: Option<String> = None;
+    let mut out = PathBuf::from("results").join("cluster_recovery.json");
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "recover" | "scaling" | "all" => mode = Some(a.clone()),
+            "--out" => match it.next() {
+                Some(p) => out = PathBuf::from(p),
+                None => return usage("--out needs a path"),
+            },
+            other => return usage(&format!("unknown argument {other:?}")),
+        }
+    }
+    let mode = mode.unwrap_or_else(|| "all".to_string());
+    let result = match mode.as_str() {
+        "recover" => recover(&out),
+        "scaling" => scaling_bench(),
+        _ => recover(&out).and_then(|()| scaling_bench()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("cluster: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("cluster: {msg}");
+    eprintln!("usage: cluster [recover|scaling|all] [--out PATH]");
+    ExitCode::FAILURE
+}
+
+/// Kill node 2 mid-run and prove recovery changed nothing but the simulated
+/// clock: final positions, velocities, and energies must be bitwise equal
+/// to the fault-free cluster run, which must be bitwise equal to the
+/// single-device run.
+fn recover(out: &PathBuf) -> Result<(), SweepError> {
+    let sim = SimConfig::reduced_lj(RECOVERY_ATOMS);
+    let cfg = SupervisorConfig::default();
+    let kind = ClusterKind::new(DeviceKind::Opteron, RECOVERY_NODES);
+
+    let mut single = DeviceKind::Opteron.build();
+    let plain = single
+        .run(&sim, RunOptions::steps(RECOVERY_STEPS))
+        .map_err(|e| SweepError::Point {
+            figure: "cluster-recover",
+            device: DeviceKind::Opteron.label(),
+            n_atoms: RECOVERY_ATOMS,
+            steps: RECOVERY_STEPS,
+            message: e.to_string(),
+        })?;
+
+    let mut clean = kind.build();
+    let clean_rec = run_cluster_supervised(&mut clean, &sim, RECOVERY_STEPS, &cfg, None);
+
+    let mut faulted = kind.build();
+    faulted.kill_node_at_step(KILLED_NODE, KILL_AT_STEP);
+    let rec = run_cluster_supervised(&mut faulted, &sim, RECOVERY_STEPS, &cfg, None);
+
+    assert!(
+        rec.recovered_cleanly(),
+        "recovery degraded to fallback: {:?}",
+        rec.run.report.events
+    );
+    assert!(rec.migrations >= 1, "the killed node's domain must migrate");
+    assert_eq!(
+        rec.run.checkpoint.positions, clean_rec.run.checkpoint.positions,
+        "positions drifted across node-kill recovery"
+    );
+    assert_eq!(
+        rec.run.checkpoint.velocities, clean_rec.run.checkpoint.velocities,
+        "velocities drifted across node-kill recovery"
+    );
+    assert_eq!(
+        clean_rec.run.checkpoint.positions, plain.checkpoint.positions,
+        "fault-free cluster drifted from the single device"
+    );
+    assert_eq!(
+        clean_rec.run.checkpoint.velocities, plain.checkpoint.velocities,
+        "fault-free cluster velocities drifted from the single device"
+    );
+    assert!(
+        rec.run.energies.total.to_bits() == clean_rec.run.energies.total.to_bits()
+            && clean_rec.run.energies.total.to_bits() == plain.energies.total.to_bits(),
+        "final energies drifted"
+    );
+
+    if let Some(dir) = out.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    std::fs::write(out, rec.to_json())?;
+    println!(
+        "recover: killed node {KILLED_NODE} at step {KILL_AT_STEP}; {} restore(s), {} migration(s); final state bitwise-identical to fault-free and single-device runs",
+        rec.run.report.restores, rec.migrations
+    );
+    println!("recover: wrote {}", out.display());
+    Ok(())
+}
+
+/// Run both scaling grids and write the committed baseline.
+fn scaling_bench() -> Result<(), SweepError> {
+    let cfg = EngineConfig::default();
+    let strong = run_cluster_sweep(&scaling::strong_scaling(DeviceKind::Opteron), &cfg)?;
+    let weak = run_cluster_sweep(&scaling::weak_scaling(DeviceKind::Opteron), &cfg)?;
+    let json = bench_cluster_json(&strong, &weak);
+    std::fs::write("BENCH_cluster.json", &json)?;
+    let cached = strong
+        .iter()
+        .chain(weak.iter())
+        .filter(|r| r.from_cache)
+        .count();
+    println!(
+        "scaling: wrote BENCH_cluster.json ({} entries, {cached} from cache)",
+        strong.len() + weak.len()
+    );
+    Ok(())
+}

@@ -60,6 +60,27 @@ impl ResultCache {
         Self { dir: dir.into() }
     }
 
+    /// Open a cache directory for a sweep run: create it if absent and sweep
+    /// any stale `.tmp-*` files left behind by a writer that died between
+    /// write and rename. Completed (renamed) entries are never touched —
+    /// the temp sweep only reclaims files that were still private to the
+    /// crashed writer, so concurrent readers cannot observe the removal.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        let cache = Self::new(dir);
+        fs::create_dir_all(&cache.dir)?;
+        for entry in fs::read_dir(&cache.dir)? {
+            let path = entry?.path();
+            let is_tmp = path
+                .file_name()
+                .and_then(|name| name.to_str())
+                .is_some_and(|name| name.starts_with(".tmp-"));
+            if is_tmp {
+                fs::remove_file(&path)?;
+            }
+        }
+        Ok(cache)
+    }
+
     pub fn dir(&self) -> &Path {
         &self.dir
     }
@@ -89,7 +110,11 @@ impl ResultCache {
 
     /// Publish a completed point. Write-to-temp then rename, so concurrent
     /// readers (worker threads, or another sweep process sharing the
-    /// directory) see old-or-new content, never a torn file.
+    /// directory) see old-or-new content, never a torn file. When two
+    /// writers race on the same key the last rename wins atomically; both
+    /// candidate files are complete documents carrying the key, and equal
+    /// keys imply bitwise-equal metrics, so either outcome is correct and
+    /// [`Self::load`]'s key re-verification accepts it.
     pub fn store(&self, key: &str, metrics: &RunMetrics) -> io::Result<()> {
         fs::create_dir_all(&self.dir)?;
         let body = format!(
@@ -189,6 +214,73 @@ mod tests {
         assert_ne!(a, b);
         let cache = temp_cache("salt");
         assert_ne!(cache.path_for(&a), cache.path_for(&b));
+    }
+
+    #[test]
+    fn open_sweeps_stale_temp_files_but_keeps_entries() {
+        let cache = temp_cache("open-sweep");
+        let m = sample_metrics();
+        let key = point_key(CODE_VERSION_SALT, "opteron:test", 108, 1);
+        cache.store(&key, &m).expect("store");
+        // A writer that died between write and rename leaves a private temp
+        // file behind; reopening the directory reclaims it.
+        let stale = cache.dir().join(".tmp-99999-0");
+        fs::write(&stale, "torn partial document").expect("plant stale tmp");
+        let reopened = ResultCache::open(cache.dir()).expect("open");
+        assert!(!stale.exists(), "stale temp file must be swept");
+        assert_eq!(reopened.load(&key).expect("entry survives the sweep"), m);
+        let _ = fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn open_creates_a_missing_directory() {
+        let dir = std::env::temp_dir().join(format!(
+            "mdea-sweep-cache-{}-open-create",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        let cache = ResultCache::open(&dir).expect("open creates");
+        assert!(cache.dir().is_dir());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn racing_writers_on_one_key_leave_a_loadable_entry() {
+        let cache = temp_cache("race");
+        let m = sample_metrics();
+        let key = point_key(CODE_VERSION_SALT, "opteron:test", 108, 1);
+        // Two threads publish the same key concurrently, many times each, to
+        // exercise the write-temp-then-rename window. Rename-wins means the
+        // entry must be loadable and key-consistent after every iteration —
+        // never torn, never another key's document.
+        std::thread::scope(|scope| {
+            for _ in 0..2 {
+                scope.spawn(|| {
+                    for _ in 0..50 {
+                        cache.store(&key, &m).expect("concurrent store");
+                    }
+                });
+            }
+            scope.spawn(|| {
+                for _ in 0..100 {
+                    // Concurrent readers see a miss (before the first
+                    // rename lands) or the full document — never a panic
+                    // and never a wrong answer.
+                    if let Some(back) = cache.load(&key) {
+                        assert_eq!(back, m);
+                    }
+                }
+            });
+        });
+        assert_eq!(cache.load(&key).expect("hit after the race"), m);
+        // Both writers' temp files were consumed by their renames.
+        let leftovers = fs::read_dir(cache.dir())
+            .expect("read dir")
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().starts_with(".tmp-"))
+            .count();
+        assert_eq!(leftovers, 0, "no temp files may outlive their writers");
+        let _ = fs::remove_dir_all(cache.dir());
     }
 
     #[test]

@@ -156,7 +156,14 @@ fn execute_point(
 /// run and a cache store. Points run concurrently on a pool of
 /// `cfg.jobs` workers; collection preserves spec order.
 pub fn run_sweep(spec: &SweepSpec, cfg: &EngineConfig) -> Result<SweepReport, SweepError> {
-    let cache = ResultCache::new(cfg.cache_dir.clone());
+    // `open` (not `new`) when caching: sweeps temp files orphaned by a
+    // previous writer that died mid-store, so a crashed run can't leak disk
+    // forever. `--no-cache` must not even create the directory.
+    let cache = if cfg.use_cache {
+        ResultCache::open(cfg.cache_dir.clone())?
+    } else {
+        ResultCache::new(cfg.cache_dir.clone())
+    };
     // Nested-pool guard: the sweep and the per-point lane map share one
     // global host-thread budget. A parallel sweep (`jobs != 1`) already
     // spends it at the point level; spinning up another `host_threads`-wide

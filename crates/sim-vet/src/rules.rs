@@ -202,7 +202,9 @@ pub fn builtin_profile(rel_path: &str) -> (Profile, bool) {
         Profile::Device
     } else if rel_path.starts_with("crates/sim-perf/") {
         Profile::Observer
-    } else if rel_path.starts_with("crates/sim-sweep/") {
+    } else if rel_path.starts_with("crates/sim-sweep/")
+        || rel_path.starts_with("crates/sim-cluster/")
+    {
         Profile::Engine
     } else if rel_path.starts_with("crates/md-core/") {
         Profile::Core

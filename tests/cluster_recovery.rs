@@ -1,0 +1,367 @@
+//! Cluster node-kill recovery gate (DESIGN.md §14) at paper scale
+//! (2048 atoms, 10 steps), in the style of `tests/host_parallel.rs`.
+//!
+//! The contract under test: a cluster is purely a *timeline* decomposition.
+//! Partitioning the box across nodes, killing a node at a segment boundary,
+//! and migrating its domain to a spare or survivor may only add simulated
+//! seconds — final positions, velocities, and energies are bitwise
+//! identical to the fault-free cluster run, which is bitwise identical to
+//! the single-device run. f32 devices widen losslessly to f64 at
+//! checkpoint capture, so checkpoint equality is a bitwise trajectory
+//! comparison.
+
+use harness::{
+    run_cluster_supervised, ClusterKind, ClusterRecovery, DeviceKind, GpuModel, SupervisorConfig,
+};
+use md_core::device::{DeviceRun, MdDevice, RunOptions};
+use md_core::params::SimConfig;
+use mta::ThreadingMode;
+use proptest::prelude::*;
+
+const PAPER_ATOMS: usize = 2048;
+const PAPER_STEPS: usize = 10;
+/// Cluster widths the acceptance gate sweeps.
+const NODE_COUNTS: [usize; 3] = [2, 4, 8];
+
+/// Every roster device that can resume from a checkpoint (the PPE-only
+/// baseline and the Figure 5 probe cannot, and are rejected as nodes).
+fn all_devices() -> [DeviceKind; 4] {
+    [
+        DeviceKind::Opteron,
+        DeviceKind::cell_best(),
+        DeviceKind::Gpu {
+            model: GpuModel::GeForce7900Gtx,
+        },
+        DeviceKind::Mta {
+            mode: ThreadingMode::FullyMultithreaded,
+        },
+    ]
+}
+
+fn single_run(kind: DeviceKind, sim: &SimConfig) -> DeviceRun {
+    kind.build()
+        .run(sim, RunOptions::steps(PAPER_STEPS))
+        .expect("single-device reference run")
+}
+
+fn clean_cluster(kind: DeviceKind, nodes: usize, sim: &SimConfig) -> ClusterRecovery {
+    let mut cluster = ClusterKind::new(kind, nodes).build();
+    run_cluster_supervised(
+        &mut cluster,
+        sim,
+        PAPER_STEPS,
+        &SupervisorConfig::default(),
+        None,
+    )
+}
+
+fn killed_cluster(
+    kind: DeviceKind,
+    nodes: usize,
+    victim: usize,
+    at_step: u64,
+    sim: &SimConfig,
+) -> ClusterRecovery {
+    let mut cluster = ClusterKind::new(kind, nodes).build();
+    cluster.kill_node_at_step(victim, at_step);
+    run_cluster_supervised(
+        &mut cluster,
+        sim,
+        PAPER_STEPS,
+        &SupervisorConfig::default(),
+        None,
+    )
+}
+
+/// The acceptance predicate: recovery is invisible in the physics.
+fn assert_recovery_is_bit_exact(
+    rec: &ClusterRecovery,
+    clean: &ClusterRecovery,
+    single: &DeviceRun,
+    ctx: &str,
+) {
+    assert!(
+        rec.recovered_cleanly(),
+        "{ctx}: degraded to fallback — {:?}",
+        rec.run.report.events
+    );
+    assert_eq!(
+        rec.run.checkpoint.positions, clean.run.checkpoint.positions,
+        "{ctx}: positions drifted across recovery"
+    );
+    assert_eq!(
+        rec.run.checkpoint.velocities, clean.run.checkpoint.velocities,
+        "{ctx}: velocities drifted across recovery"
+    );
+    assert_eq!(
+        rec.run.energies, clean.run.energies,
+        "{ctx}: energies drifted across recovery"
+    );
+    assert_eq!(
+        clean.run.checkpoint.positions, single.checkpoint.positions,
+        "{ctx}: fault-free cluster drifted from the single device"
+    );
+    assert_eq!(
+        clean.run.checkpoint.velocities, single.checkpoint.velocities,
+        "{ctx}: fault-free cluster velocities drifted from the single device"
+    );
+    assert_eq!(
+        clean.run.energies, single.energies,
+        "{ctx}: fault-free cluster energies drifted from the single device"
+    );
+    // The fault is visible exactly where it should be: the simulated clock.
+    assert!(
+        rec.run.sim_seconds > clean.run.sim_seconds,
+        "{ctx}: a node kill must cost simulated time"
+    );
+    assert!(
+        rec.migrations >= 1,
+        "{ctx}: the dead node's domain must move"
+    );
+    assert!(rec.run.report.restores >= 1, "{ctx}: the kill must restore");
+}
+
+#[test]
+fn every_device_survives_a_node_kill_bit_exactly() {
+    for kind in all_devices() {
+        let sim = SimConfig::reduced_lj(PAPER_ATOMS);
+        let single = single_run(kind, &sim);
+        for nodes in NODE_COUNTS {
+            let clean = clean_cluster(kind, nodes, &sim);
+            // Kill the middle node mid-run: the domain migrates to the
+            // warm spare and the segment replays from the last checkpoint.
+            let rec = killed_cluster(kind, nodes, nodes / 2, 5, &sim);
+            let ctx = format!("{} on {nodes} nodes", kind.label());
+            assert_recovery_is_bit_exact(&rec, &clean, &single, &ctx);
+        }
+    }
+}
+
+/// Exhaustive victim × boundary sweep on the reference device: any single
+/// node, killed during any supervision segment, recovers bit-exactly.
+/// (The per-device sweep above pins the cross-device story; this one pins
+/// the full kill matrix where runs are cheapest.)
+#[test]
+fn opteron_recovers_from_any_victim_at_any_segment() {
+    let sim = SimConfig::reduced_lj(PAPER_ATOMS);
+    let single = single_run(DeviceKind::Opteron, &sim);
+    // One kill step inside each of the five checkpoint segments
+    // (checkpoint_interval = 2 ⇒ segments start at 0, 2, 4, 6, 8).
+    let kill_steps: [u64; 5] = [1, 3, 5, 7, 9];
+    for nodes in NODE_COUNTS {
+        let clean = clean_cluster(DeviceKind::Opteron, nodes, &sim);
+        for victim in 0..nodes {
+            for at_step in kill_steps {
+                let rec = killed_cluster(DeviceKind::Opteron, nodes, victim, at_step, &sim);
+                let ctx = format!("opteron {nodes} nodes, victim {victim}, kill step {at_step}");
+                assert_recovery_is_bit_exact(&rec, &clean, &single, &ctx);
+            }
+        }
+    }
+}
+
+/// With no spare, the domain migrates to a survivor instead; the physics
+/// still cannot tell.
+#[test]
+fn migration_to_a_survivor_is_bit_exact_too() {
+    let sim = SimConfig::reduced_lj(PAPER_ATOMS);
+    let single = single_run(DeviceKind::Opteron, &sim);
+    let clean = {
+        let mut cluster = ClusterKind::new(DeviceKind::Opteron, 4)
+            .with_spares(0)
+            .build();
+        run_cluster_supervised(
+            &mut cluster,
+            &sim,
+            PAPER_STEPS,
+            &SupervisorConfig::default(),
+            None,
+        )
+    };
+    let mut cluster = ClusterKind::new(DeviceKind::Opteron, 4)
+        .with_spares(0)
+        .build();
+    cluster.kill_node_at_step(1, 4);
+    let rec = run_cluster_supervised(
+        &mut cluster,
+        &sim,
+        PAPER_STEPS,
+        &SupervisorConfig::default(),
+        None,
+    );
+    assert_recovery_is_bit_exact(&rec, &clean, &single, "spareless 4-node cluster");
+    assert_eq!(rec.spares_left, 0);
+    assert_eq!(rec.alive_nodes, 3, "the survivor absorbs the dead domain");
+}
+
+/// Segmented-resume edge cases (ISSUE 7 satellite): the checkpoint seams
+/// nobody hits in the happy path.
+mod resume_edges {
+    use super::*;
+    use md_core::checkpoint::SystemCheckpoint;
+    use md_core::init;
+    use md_core::system::ParticleSystem;
+
+    /// Resuming a cluster from a checkpoint captured at step 0 (before any
+    /// device ran) must match the fresh run bitwise on an f64 device — the
+    /// capture is an exact image of the initial state.
+    #[test]
+    fn resume_from_a_step_zero_checkpoint_matches_fresh() {
+        let sim = SimConfig::reduced_lj(256);
+        let sys: ParticleSystem<f64> = init::initialize(&sim);
+        let cp0 = SystemCheckpoint::capture(&sys, 0);
+        let fresh = ClusterKind::new(DeviceKind::Opteron, 4)
+            .build()
+            .run(&sim, RunOptions::steps(6))
+            .expect("fresh cluster run");
+        let resumed = ClusterKind::new(DeviceKind::Opteron, 4)
+            .build()
+            .run(&sim, RunOptions::steps(6).from_checkpoint(&cp0))
+            .expect("resumed cluster run");
+        assert_eq!(fresh.checkpoint.positions, resumed.checkpoint.positions);
+        assert_eq!(fresh.checkpoint.velocities, resumed.checkpoint.velocities);
+        assert_eq!(fresh.energies, resumed.energies);
+        assert_eq!(resumed.checkpoint.step, 6);
+    }
+
+    /// A checkpoint taken one step short of the end, resumed for the final
+    /// step, lands on the same bits as the unsegmented run — the segment
+    /// boundary can sit anywhere, including flush against the final step.
+    #[test]
+    fn boundary_at_the_final_step_is_transparent() {
+        let sim = SimConfig::reduced_lj(256);
+        let whole = ClusterKind::new(DeviceKind::Opteron, 4)
+            .build()
+            .run(&sim, RunOptions::steps(10))
+            .expect("whole run");
+        let mut cluster = ClusterKind::new(DeviceKind::Opteron, 4).build();
+        let first = cluster
+            .run(&sim, RunOptions::steps(9))
+            .expect("first 9 steps");
+        let last = cluster
+            .run(
+                &sim,
+                RunOptions::steps(1).from_checkpoint(&first.checkpoint),
+            )
+            .expect("final step");
+        assert_eq!(whole.checkpoint.positions, last.checkpoint.positions);
+        assert_eq!(whole.checkpoint.velocities, last.checkpoint.velocities);
+        assert_eq!(last.checkpoint.step, 10);
+    }
+
+    /// Supervising for exactly the steps already taken (a resume *at* the
+    /// final step) is a no-op in state space: zero further steps requested.
+    #[test]
+    fn supervising_zero_further_steps_is_a_noop() {
+        let sim = SimConfig::reduced_lj(256);
+        let mut cluster = ClusterKind::new(DeviceKind::Opteron, 4).build();
+        let rec = run_cluster_supervised(&mut cluster, &sim, 0, &SupervisorConfig::default(), None);
+        assert_eq!(rec.run.checkpoint.step, 0);
+        assert_eq!(rec.run.sim_seconds, 0.0);
+        assert!(rec.run.energies.total.is_finite());
+        assert!(rec.recovered_cleanly());
+    }
+
+    /// Node counts that do not divide the atom count leave a remainder
+    /// domain (slab sizes differing by one); partitioning, recovery, and
+    /// the physics must not care.
+    #[test]
+    fn remainder_domains_are_bit_exact_through_recovery() {
+        // 2048 % 3 ≠ 0 and 257 is prime: both force uneven slabs.
+        for (n_atoms, nodes) in [(2048, 3), (257, 5)] {
+            let sim = SimConfig::reduced_lj(n_atoms);
+            let single = DeviceKind::Opteron
+                .build()
+                .run(&sim, RunOptions::steps(PAPER_STEPS))
+                .expect("single run");
+            let mut clean = ClusterKind::new(DeviceKind::Opteron, nodes).build();
+            let clean_rec = run_cluster_supervised(
+                &mut clean,
+                &sim,
+                PAPER_STEPS,
+                &SupervisorConfig::default(),
+                None,
+            );
+            let mut faulted = ClusterKind::new(DeviceKind::Opteron, nodes).build();
+            faulted.kill_node_at_step(nodes - 1, 5);
+            let rec = run_cluster_supervised(
+                &mut faulted,
+                &sim,
+                PAPER_STEPS,
+                &SupervisorConfig::default(),
+                None,
+            );
+            let ctx = format!("{n_atoms} atoms on {nodes} nodes");
+            assert_recovery_is_bit_exact(&rec, &clean_rec, &single, &ctx);
+        }
+    }
+}
+
+proptest! {
+    // Each case replays ~2 supervised cluster runs; keep the count modest
+    // (the exhaustive sweeps above carry the deterministic coverage).
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Scripted kills sampled over (nodes, victim, boundary): always
+    /// bit-exact, at a smaller workload so the sampler can afford to roam.
+    #[test]
+    fn any_scripted_kill_recovers_bit_exactly(
+        nodes_ix in 0usize..NODE_COUNTS.len(),
+        victim_seed in 0usize..8,
+        at_step in 0u64..10,
+    ) {
+        let nodes = NODE_COUNTS[nodes_ix];
+        let victim = victim_seed % nodes;
+        let sim = SimConfig::reduced_lj(256);
+        let steps = PAPER_STEPS;
+        let cfg = SupervisorConfig::default();
+        let single = DeviceKind::Opteron
+            .build()
+            .run(&sim, RunOptions::steps(steps))
+            .expect("single run");
+        let mut clean = ClusterKind::new(DeviceKind::Opteron, nodes).build();
+        let clean_rec = run_cluster_supervised(&mut clean, &sim, steps, &cfg, None);
+        let mut faulted = ClusterKind::new(DeviceKind::Opteron, nodes).build();
+        faulted.kill_node_at_step(victim, at_step);
+        let rec = run_cluster_supervised(&mut faulted, &sim, steps, &cfg, None);
+        prop_assert!(rec.recovered_cleanly(), "events: {:?}", rec.run.report.events);
+        prop_assert_eq!(&rec.run.checkpoint.positions, &clean_rec.run.checkpoint.positions);
+        prop_assert_eq!(&rec.run.checkpoint.velocities, &clean_rec.run.checkpoint.velocities);
+        prop_assert_eq!(&clean_rec.run.checkpoint.positions, &single.checkpoint.positions);
+        prop_assert_eq!(rec.run.energies.total.to_bits(), single.energies.total.to_bits());
+        prop_assert!(rec.migrations >= 1);
+    }
+
+    /// Seeded node-granularity fault schedules (crashes, partitions, slow
+    /// nodes, halo trouble) on top of a scripted kill: whenever the
+    /// supervisor reports clean recovery, the trajectory is bit-exact.
+    #[test]
+    fn seeded_fault_storms_never_corrupt_a_clean_recovery(
+        seed in 0u64..1u64 << 32,
+        victim_seed in 0usize..8,
+    ) {
+        let nodes = 4usize;
+        let victim = victim_seed % nodes;
+        let sim = SimConfig::reduced_lj(256);
+        let steps = PAPER_STEPS;
+        // Generous attempt budget so modest storms never hit the Opteron
+        // fallback (which would change devices, not corrupt physics).
+        let cfg = SupervisorConfig { max_attempts: 6, ..SupervisorConfig::default() };
+        let mut clean = ClusterKind::new(DeviceKind::Opteron, nodes).build();
+        let clean_rec = run_cluster_supervised(&mut clean, &sim, steps, &cfg, None);
+        let plan = sim_fault::FaultPlan::new(seed, 0.01);
+        let mut stormy = ClusterKind::new(DeviceKind::Opteron, nodes)
+            .build_with_node_faults(plan);
+        stormy.kill_node_at_step(victim, 5);
+        let rec = run_cluster_supervised(&mut stormy, &sim, steps, &cfg, None);
+        if rec.recovered_cleanly() {
+            prop_assert_eq!(&rec.run.checkpoint.positions, &clean_rec.run.checkpoint.positions);
+            prop_assert_eq!(&rec.run.checkpoint.velocities, &clean_rec.run.checkpoint.velocities);
+            prop_assert_eq!(
+                rec.run.energies.total.to_bits(),
+                clean_rec.run.energies.total.to_bits()
+            );
+            prop_assert!(rec.run.sim_seconds > clean_rec.run.sim_seconds);
+        }
+    }
+}
