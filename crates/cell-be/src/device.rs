@@ -1539,7 +1539,7 @@ impl md_core::device::MdDevice for CellMd {
                 (cycles / clk) / r.sim_seconds
             }
         };
-        Ok(md_core::device::DeviceRun {
+        let run = md_core::device::DeviceRun {
             sim_seconds: r.sim_seconds,
             energies: r.energies,
             checkpoint: md_core::checkpoint::SystemCheckpoint::capture(
@@ -1563,7 +1563,12 @@ impl md_core::device::MdDevice for CellMd {
             faults: r.faults,
             #[cfg(not(feature = "fault-inject"))]
             faults: md_core::device::FaultStats::default(),
-        })
+        };
+        if let Some(led) = opts.ledger.take() {
+            let label = md_core::device::MdDevice::label(self);
+            md_core::device::ledger_record_run(led, &label, &run, Some(perf));
+        }
+        Ok(run)
     }
 }
 
@@ -1594,7 +1599,7 @@ impl md_core::device::MdDevice for CellPpeMd {
     fn run(
         &mut self,
         sim: &SimConfig,
-        opts: md_core::device::RunOptions<'_>,
+        mut opts: md_core::device::RunOptions<'_>,
     ) -> Result<md_core::device::DeviceRun, md_core::device::DeviceError> {
         let (mut sys, start_step): (ParticleSystem<f32>, u64) = match opts.start {
             Some(cp) => (cp.restore(), cp.step),
@@ -1604,7 +1609,7 @@ impl md_core::device::MdDevice for CellPpeMd {
         let clk = self.device.config.clock_hz;
         let ops = r.kernel_stats.pairs_tested as f64 * FLOPS_PER_PAIR
             + r.kernel_stats.interactions as f64 * FLOPS_PER_INTERACTION;
-        Ok(md_core::device::DeviceRun {
+        let run = md_core::device::DeviceRun {
             sim_seconds: r.sim_seconds,
             energies: r.energies,
             checkpoint: md_core::checkpoint::SystemCheckpoint::capture(
@@ -1622,7 +1627,12 @@ impl md_core::device::MdDevice for CellPpeMd {
             ops,
             bytes_moved: 0.0,
             faults: md_core::device::FaultStats::default(),
-        })
+        };
+        if let Some(led) = opts.ledger.take() {
+            let label = md_core::device::MdDevice::label(self);
+            md_core::device::ledger_record_run(led, &label, &run, opts.perf.as_deref());
+        }
+        Ok(run)
     }
 }
 
@@ -1656,7 +1666,7 @@ impl md_core::device::MdDevice for CellAccelProbe {
     fn run(
         &mut self,
         sim: &SimConfig,
-        opts: md_core::device::RunOptions<'_>,
+        mut opts: md_core::device::RunOptions<'_>,
     ) -> Result<md_core::device::DeviceRun, md_core::device::DeviceError> {
         if opts.start.is_some() || opts.steps != 0 {
             return Err(md_core::device::DeviceError::Unsupported(
@@ -1670,7 +1680,7 @@ impl md_core::device::MdDevice for CellAccelProbe {
             .time_single_spe_accel(sim, self.variant)
             .map_err(|e| md_core::device::DeviceError::Failed(e.to_string()))?;
         let sys: ParticleSystem<f32> = init::initialize(sim);
-        Ok(md_core::device::DeviceRun {
+        let run = md_core::device::DeviceRun {
             sim_seconds: t,
             energies: EnergyReport::measure(&sys, 0.0),
             checkpoint: md_core::checkpoint::SystemCheckpoint::capture(&sys, 0),
@@ -1679,7 +1689,12 @@ impl md_core::device::MdDevice for CellAccelProbe {
             ops: 0.0,
             bytes_moved: 0.0,
             faults: md_core::device::FaultStats::default(),
-        })
+        };
+        if let Some(led) = opts.ledger.take() {
+            let label = md_core::device::MdDevice::label(self);
+            md_core::device::ledger_record_run(led, &label, &run, opts.perf.as_deref());
+        }
+        Ok(run)
     }
 }
 

@@ -463,7 +463,7 @@ impl md_core::device::MdDevice for GpuMdSimulation {
         // The paper's small-N story: everything that exists only because the
         // GPU sits across a bus versus the work itself.
         let total = r.sim_seconds.max(f64::MIN_POSITIVE);
-        Ok(md_core::device::DeviceRun {
+        let run = md_core::device::DeviceRun {
             sim_seconds: r.sim_seconds,
             energies: r.energies,
             checkpoint: md_core::checkpoint::SystemCheckpoint::capture(
@@ -494,7 +494,12 @@ impl md_core::device::MdDevice for GpuMdSimulation {
             faults: r.faults,
             #[cfg(not(feature = "fault-inject"))]
             faults: md_core::device::FaultStats::default(),
-        })
+        };
+        if let Some(led) = opts.ledger.take() {
+            let label = md_core::device::MdDevice::label(self);
+            md_core::device::ledger_record_run(led, &label, &run, Some(perf));
+        }
+        Ok(run)
     }
 }
 

@@ -5,8 +5,15 @@
 //!
 //! ```text
 //! perf_report [--atoms N] [--steps S]   # default: the paper's 2048 × 10
+//! perf_report --device NAME             # one device only (cell, gpu,
+//!                                       #   opteron, mta-full, mta-partial)
+//! perf_report --ledger PATH             # also write a merged run ledger
 //! perf_report --validate FILE...        # schema-check existing records
 //! ```
+//!
+//! With `--ledger`, every device runs with a [`sim_obs::RunLedger`]
+//! attached and the merged JSONL ledger (one source per device, plus host
+//! wall-clock events) is written to PATH for `obs timeline` / `obs check`.
 
 use harness::perf;
 use harness::report::{secs, Table};
@@ -34,6 +41,8 @@ fn run(args: &[String]) -> Result<(), HarnessError> {
 
     let mut atoms = experiments::PAPER_ATOMS;
     let mut steps = experiments::PAPER_STEPS;
+    let mut ledger_path: Option<String> = None;
+    let mut only_device: Option<harness::DeviceKind> = None;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let value = |it: &mut std::slice::Iter<String>| -> Result<usize, HarnessError> {
@@ -45,9 +54,28 @@ fn run(args: &[String]) -> Result<(), HarnessError> {
         match flag.as_str() {
             "--atoms" => atoms = value(&mut it)?,
             "--steps" => steps = value(&mut it)?,
+            "--ledger" => {
+                ledger_path = Some(
+                    it.next()
+                        .ok_or_else(|| {
+                            HarnessError::InvalidInput("--ledger needs a path".to_string())
+                        })?
+                        .clone(),
+                );
+            }
+            "--device" => {
+                let name = it.next().ok_or_else(|| {
+                    HarnessError::InvalidInput("--device needs a name".to_string())
+                })?;
+                only_device = Some(device_by_name(name).ok_or_else(|| {
+                    HarnessError::InvalidInput(format!(
+                        "unknown device {name} (expected cell, gpu, opteron, mta-full, or mta-partial)"
+                    ))
+                })?);
+            }
             other => {
                 return Err(HarnessError::InvalidInput(format!(
-                    "unknown flag {other} (expected --atoms, --steps, or --validate)"
+                    "unknown flag {other} (expected --atoms, --steps, --device, --ledger, or --validate)"
                 )))
             }
         }
@@ -56,8 +84,37 @@ fn run(args: &[String]) -> Result<(), HarnessError> {
     let sim = SimConfig::reduced_lj(atoms);
     println!("Performance report — {atoms} atoms, {steps} time steps\n");
 
-    let mut all = perf::standard_metrics(&sim, steps)?;
-    all.push(perf::mta_metrics(&sim, steps, ThreadingMode::PartiallyMultithreaded).0);
+    let kinds: Vec<harness::DeviceKind> = match only_device {
+        Some(kind) => vec![kind],
+        None => vec![
+            harness::DeviceKind::cell_best(),
+            harness::DeviceKind::Gpu {
+                model: harness::GpuModel::GeForce7900Gtx,
+            },
+            harness::DeviceKind::Opteron,
+            harness::DeviceKind::Mta {
+                mode: ThreadingMode::FullyMultithreaded,
+            },
+            harness::DeviceKind::Mta {
+                mode: ThreadingMode::PartiallyMultithreaded,
+            },
+        ],
+    };
+    let mut all = Vec::with_capacity(kinds.len());
+    let mut combined = sim_obs::RunLedger::new("perf-report", &perf::workload_label(&sim, steps));
+    for kind in kinds {
+        if ledger_path.is_some() {
+            // The ledger-attached run is bitwise-identical to the plain one
+            // (tests/obs_ledger.rs), so the tables below are unaffected.
+            let (m, led) = perf::device_ledger(kind, &sim, steps)?;
+            for ev in led.events() {
+                combined.push(ev.clone());
+            }
+            all.push(m);
+        } else {
+            all.push(perf::device_metrics(kind, &sim, steps)?.0);
+        }
+    }
 
     let mut summary = Table::new(&["device", "sim time", "achieved", "peak", "util", "bytes/op"]);
     for m in &all {
@@ -110,7 +167,32 @@ fn run(args: &[String]) -> Result<(), HarnessError> {
         let path = perf::write_metrics_json(m)?;
         println!("wrote {}", path.display());
     }
+    if let Some(path) = &ledger_path {
+        std::fs::write(path, combined.to_jsonl())?;
+        println!(
+            "wrote run ledger {path} ({} events)",
+            combined.events().len()
+        );
+    }
     Ok(())
+}
+
+/// `--device NAME`: the standard report configurations by friendly name.
+fn device_by_name(name: &str) -> Option<harness::DeviceKind> {
+    match name {
+        "cell" => Some(harness::DeviceKind::cell_best()),
+        "gpu" => Some(harness::DeviceKind::Gpu {
+            model: harness::GpuModel::GeForce7900Gtx,
+        }),
+        "opteron" => Some(harness::DeviceKind::Opteron),
+        "mta-full" => Some(harness::DeviceKind::Mta {
+            mode: ThreadingMode::FullyMultithreaded,
+        }),
+        "mta-partial" => Some(harness::DeviceKind::Mta {
+            mode: ThreadingMode::PartiallyMultithreaded,
+        }),
+        _ => None,
+    }
 }
 
 /// `--validate FILE...`: schema-check records written by a previous run.

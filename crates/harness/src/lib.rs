@@ -34,12 +34,13 @@ pub use experiments::{
     fig5, fig6, fig7, fig8, fig9, table1, Fig5Row, Fig6Case, Fig7Row, Fig8Row, Fig9Row, Table1Data,
 };
 pub use perf::{
-    cell_metrics, cluster_metrics, device_metrics, device_metrics_host, device_metrics_par,
-    gpu_metrics, mta_metrics, opteron_baseline_metrics_host, opteron_metrics, standard_metrics,
-    write_metrics_json, write_metrics_json_in,
+    cell_metrics, cluster_ledger, cluster_metrics, device_ledger, device_metrics,
+    device_metrics_host, device_metrics_par, gpu_metrics, mta_metrics,
+    opteron_baseline_metrics_host, opteron_metrics, record_host_throughput_ledger,
+    standard_metrics, workload_label, write_metrics_json, write_metrics_json_in,
 };
 pub use report::{emit_figure, write_csv, Table};
 pub use supervisor::{
-    run_supervised, run_supervised_strict, RecoveryEvent, RecoveryReport, SegmentCounters,
-    SupervisedRun, SupervisorConfig, SUPERVISOR_TRACK,
+    run_supervised, run_supervised_ledger, run_supervised_strict, RecoveryEvent, RecoveryReport,
+    SegmentCounters, SupervisedRun, SupervisorConfig, SUPERVISOR_TRACK,
 };

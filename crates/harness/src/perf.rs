@@ -26,6 +26,7 @@ use cell_be::CellRunConfig;
 use md_core::device::{collect_metrics, HostParallelism, MdDevice, RunOptions};
 use md_core::params::SimConfig;
 use mta::ThreadingMode;
+use sim_obs::RunLedger;
 use sim_perf::{PerfMonitor, RunMetrics};
 
 /// Run one device kind with a monitor attached and fold the result into a
@@ -76,6 +77,87 @@ pub fn cluster_metrics(
     let r = cluster.run(sim, RunOptions::steps(steps).with_perf(&mut perf))?;
     let m = collect_metrics(&cluster, &r, sim.n_atoms, steps, &perf);
     Ok((m, perf))
+}
+
+/// Run one device kind with a [`RunLedger`] attached and the run host-timed
+/// from outside. The returned ledger carries the device's phase attribution,
+/// counter series, any fault totals, and the two host measurements `obs
+/// check` gates on (`host_wall_seconds`, `host_atom_steps_per_s`). The run
+/// itself is bitwise-identical to an uninstrumented one (`tests/obs_ledger.rs`).
+pub fn device_ledger(
+    kind: DeviceKind,
+    sim: &SimConfig,
+    steps: usize,
+) -> Result<(RunMetrics, RunLedger), HarnessError> {
+    let mut dev = kind.build();
+    let label = dev.label();
+    let mut perf = PerfMonitor::new();
+    let mut ledger = RunLedger::new(&label, &workload_label(sim, steps));
+    let t0 = std::time::Instant::now();
+    let r = dev.run(
+        sim,
+        RunOptions::steps(steps)
+            .with_perf(&mut perf)
+            .with_ledger(&mut ledger),
+    )?;
+    let wall = t0.elapsed().as_secs_f64();
+    let mut m = collect_metrics(dev.as_ref(), &r, sim.n_atoms, steps, &perf);
+    m.record_host_throughput(wall);
+    record_host_throughput_ledger(&mut ledger, &label, sim, steps, wall);
+    Ok((m, ledger))
+}
+
+/// [`device_ledger`] for a simulated cluster: node lifecycle events, per-rank
+/// counters, and recovery activity all land in the same ledger format.
+pub fn cluster_ledger(
+    kind: crate::ClusterKind,
+    sim: &SimConfig,
+    steps: usize,
+) -> Result<(RunMetrics, RunLedger), HarnessError> {
+    let mut cluster = kind.build();
+    let label = cluster.label();
+    let mut perf = PerfMonitor::new();
+    let mut ledger = RunLedger::new(&label, &workload_label(sim, steps));
+    let t0 = std::time::Instant::now();
+    let r = cluster.run(
+        sim,
+        RunOptions::steps(steps)
+            .with_perf(&mut perf)
+            .with_ledger(&mut ledger),
+    )?;
+    let wall = t0.elapsed().as_secs_f64();
+    let mut m = collect_metrics(&cluster, &r, sim.n_atoms, steps, &perf);
+    m.record_host_throughput(wall);
+    record_host_throughput_ledger(&mut ledger, &label, sim, steps, wall);
+    Ok((m, ledger))
+}
+
+/// The ledger's human-readable workload field, shared by every producer so
+/// `obs diff` compares like against like.
+pub fn workload_label(sim: &SimConfig, steps: usize) -> String {
+    format!("{} atoms x {} steps", sim.n_atoms, steps)
+}
+
+/// Fold an externally measured wall-clock duration into a ledger as the two
+/// host events the `obs check` gate reads. Host events are quarantined from
+/// the canonical view, so recording them cannot perturb determinism checks.
+pub fn record_host_throughput_ledger(
+    ledger: &mut RunLedger,
+    source: &str,
+    sim: &SimConfig,
+    steps: usize,
+    wall_seconds: f64,
+) {
+    ledger.host_value(source, "host_wall_seconds", wall_seconds, "s");
+    if wall_seconds > 0.0 {
+        let atom_steps = sim.n_atoms as f64 * steps as f64;
+        ledger.host_value(
+            source,
+            "host_atom_steps_per_s",
+            atom_steps / wall_seconds,
+            "atom_steps/s",
+        );
+    }
 }
 
 /// [`device_metrics`] with the device's simulated lanes executed on host

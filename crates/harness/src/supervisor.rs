@@ -27,6 +27,7 @@ use md_core::system::ParticleSystem;
 use mdea_trace::{TraceTrack, Tracer};
 use opteron::OpteronCpu;
 use sim_fault::FaultStats;
+use sim_obs::{EventKind, LedgerEvent, RunLedger};
 use sim_perf::PerfMonitor;
 
 /// The trace track supervisor events are emitted on.
@@ -80,6 +81,26 @@ pub enum RecoveryEvent {
 }
 
 impl RecoveryEvent {
+    /// Short machine name for the ledger's `name` field.
+    fn kind_name(&self) -> &'static str {
+        match self {
+            RecoveryEvent::Checkpoint { .. } => "checkpoint",
+            RecoveryEvent::Restore { .. } => "restore",
+            RecoveryEvent::WatchdogTimeout { .. } => "watchdog_timeout",
+            RecoveryEvent::Fallback { .. } => "fallback",
+        }
+    }
+
+    /// Step the event is anchored to.
+    fn step(&self) -> u64 {
+        match self {
+            RecoveryEvent::Checkpoint { step }
+            | RecoveryEvent::Restore { step, .. }
+            | RecoveryEvent::WatchdogTimeout { step, .. }
+            | RecoveryEvent::Fallback { step, .. } => *step,
+        }
+    }
+
     fn label(&self) -> String {
         match self {
             RecoveryEvent::Checkpoint { step } => format!("supervisor: checkpoint @ step {step}"),
@@ -209,6 +230,45 @@ fn run_segment(
     })
 }
 
+/// Record one accepted segment in the ledger: a `supervisor` phase spanning
+/// the segment's simulated time, plus the device's final counter values at
+/// the segment's end. Failed (rolled back) attempts are never recorded — the
+/// ledger shows the run the physics actually kept.
+fn ledger_segment(
+    ledger: &mut Option<&mut RunLedger>,
+    source: &str,
+    start_s: f64,
+    seg: &SegmentCounters,
+) {
+    let Some(led) = ledger.as_deref_mut() else {
+        return;
+    };
+    led.push(LedgerEvent {
+        t_s: start_s,
+        kind: EventKind::Phase,
+        source: "supervisor".to_string(),
+        name: "segment".to_string(),
+        step: Some(seg.start_step),
+        dur_s: Some(seg.sim_seconds),
+        value: None,
+        unit: None,
+        detail: None,
+    });
+    for (name, value, unit) in &seg.counters {
+        led.push(LedgerEvent {
+            t_s: start_s + seg.sim_seconds,
+            kind: EventKind::Counter,
+            source: source.to_string(),
+            name: name.clone(),
+            step: Some(seg.start_step),
+            dur_s: None,
+            value: Some(*value),
+            unit: Some(unit.to_string()),
+            detail: None,
+        });
+    }
+}
+
 /// Drive `device` through `steps` time steps of `sim` under the supervisor's
 /// retry/checkpoint/fallback policy. Never panics and always completes: the
 /// worst case degrades to the fault-free Opteron reference model.
@@ -220,8 +280,25 @@ pub fn run_supervised(
     sim: &SimConfig,
     steps: usize,
     cfg: &SupervisorConfig,
-    mut tracer: Option<&mut Tracer>,
+    tracer: Option<&mut Tracer>,
 ) -> SupervisedRun {
+    run_supervised_ledger(device, sim, steps, cfg, tracer, None)
+}
+
+/// [`run_supervised`] with an optional [`RunLedger`] receiving the full
+/// recovery story: every supervisor decision as a `recovery` event at its
+/// accumulated simulated time, plus one `supervisor` phase and the device's
+/// counter totals per *accepted* segment. The ledger is observation only —
+/// attaching it cannot change the trajectory, the timings, or the report.
+pub fn run_supervised_ledger(
+    device: &mut dyn MdDevice,
+    sim: &SimConfig,
+    steps: usize,
+    cfg: &SupervisorConfig,
+    mut tracer: Option<&mut Tracer>,
+    mut ledger: Option<&mut RunLedger>,
+) -> SupervisedRun {
+    let device_label = device.label();
     let interval = cfg.checkpoint_interval.max(1);
     let mut report = RecoveryReport::default();
     let mut total_s = 0.0f64;
@@ -238,10 +315,24 @@ pub fn run_supervised(
     }
     let emit = |report: &mut RecoveryReport,
                 tracer: &mut Option<&mut Tracer>,
+                ledger: &mut Option<&mut RunLedger>,
                 at_s: f64,
                 ev: RecoveryEvent| {
         if let Some(t) = tracer.as_deref_mut() {
             t.instant(SUPERVISOR_TRACK, ev.label(), "supervisor", at_s);
+        }
+        if let Some(led) = ledger.as_deref_mut() {
+            led.push(LedgerEvent {
+                t_s: at_s,
+                kind: EventKind::Recovery,
+                source: "supervisor".to_string(),
+                name: ev.kind_name().to_string(),
+                step: Some(ev.step()),
+                dur_s: None,
+                value: None,
+                unit: None,
+                detail: Some(ev.label()),
+            });
         }
         report.events.push(ev);
     };
@@ -249,6 +340,7 @@ pub fn run_supervised(
     emit(
         &mut report,
         &mut tracer,
+        &mut ledger,
         total_s,
         RecoveryEvent::Checkpoint { step: 0 },
     );
@@ -276,6 +368,7 @@ pub fn run_supervised(
                     emit(
                         &mut report,
                         &mut tracer,
+                        &mut ledger,
                         total_s,
                         RecoveryEvent::WatchdogTimeout {
                             step: cp.step,
@@ -285,14 +378,17 @@ pub fn run_supervised(
                     "watchdog timeout".to_string()
                 }
                 Ok(seg) => {
+                    let seg_start = total_s;
                     total_s += seg.sim_seconds;
                     report.faults.merge(&seg.faults);
-                    report.segments.push(SegmentCounters {
+                    let counters = SegmentCounters {
                         start_step: cp.step,
                         steps: seg_steps,
                         sim_seconds: seg.sim_seconds,
                         counters: seg.counters,
-                    });
+                    };
+                    ledger_segment(&mut ledger, &device_label, seg_start, &counters);
+                    report.segments.push(counters);
                     energies = Some(seg.energies);
                     cp = seg.after;
                     device_produced = true;
@@ -300,6 +396,7 @@ pub fn run_supervised(
                     emit(
                         &mut report,
                         &mut tracer,
+                        &mut ledger,
                         total_s,
                         RecoveryEvent::Checkpoint { step: cp.step },
                     );
@@ -318,6 +415,7 @@ pub fn run_supervised(
             emit(
                 &mut report,
                 &mut tracer,
+                &mut ledger,
                 total_s,
                 RecoveryEvent::Restore {
                     step: cp.step,
@@ -332,6 +430,7 @@ pub fn run_supervised(
         emit(
             &mut report,
             &mut tracer,
+            &mut ledger,
             total_s,
             RecoveryEvent::Fallback {
                 step: cp.step,
@@ -339,12 +438,14 @@ pub fn run_supervised(
             },
         );
         let (s, e, after, counters) = reference_remainder(&cp, sim, steps - done);
-        report.segments.push(SegmentCounters {
+        let seg = SegmentCounters {
             start_step: cp.step,
             steps: steps - done,
             sim_seconds: s,
             counters,
-        });
+        };
+        ledger_segment(&mut ledger, "opteron-reference", total_s, &seg);
+        report.segments.push(seg);
         total_s += s;
         energies = Some(e);
         cp = after;
@@ -365,6 +466,7 @@ pub fn run_supervised(
             emit(
                 &mut report,
                 &mut tracer,
+                &mut ledger,
                 total_s,
                 RecoveryEvent::Fallback {
                     step: cp.step,
@@ -374,12 +476,14 @@ pub fn run_supervised(
             let start: ParticleSystem<f64> = init::initialize(sim);
             let (s, e, after, counters) =
                 reference_remainder(&SystemCheckpoint::capture(&start, 0), sim, steps);
-            report.segments.push(SegmentCounters {
+            let seg = SegmentCounters {
                 start_step: 0,
                 steps,
                 sim_seconds: s,
                 counters,
-            });
+            };
+            ledger_segment(&mut ledger, "opteron-reference", total_s, &seg);
+            report.segments.push(seg);
             total_s += s;
             energies = Some(e);
             cp = after;
@@ -570,6 +674,45 @@ mod tests {
                 seg.start_step
             );
         }
+    }
+
+    #[test]
+    fn ledger_records_segments_and_recovery_without_perturbing_the_run() {
+        let sim = small();
+        let cfg = SupervisorConfig::default();
+        let mut led = RunLedger::new("supervised-opteron", "108 atoms x 4 steps");
+        let mut dev = OpteronCpu::paper_reference();
+        let run = run_supervised_ledger(&mut dev, &sim, 4, &cfg, None, Some(&mut led));
+        let mut plain_dev = OpteronCpu::paper_reference();
+        let plain = run_supervised(&mut plain_dev, &sim, 4, &cfg, None);
+        // Observation only: the ledger-attached run is bitwise-identical.
+        assert_eq!(run.energies.total.to_bits(), plain.energies.total.to_bits());
+        assert_eq!(run.checkpoint.positions, plain.checkpoint.positions);
+        assert_eq!(run.sim_seconds.to_bits(), plain.sim_seconds.to_bits());
+        // Initial + 2 segment checkpoints land as recovery events.
+        let recoveries = led
+            .events()
+            .iter()
+            .filter(|e| e.kind == EventKind::Recovery)
+            .count();
+        assert_eq!(recoveries, 3);
+        // One supervisor phase per accepted segment, laid end-to-end.
+        let segs: Vec<_> = led
+            .events()
+            .iter()
+            .filter(|e| e.kind == EventKind::Phase && e.name == "segment")
+            .collect();
+        assert_eq!(segs.len(), 2);
+        assert_eq!(segs[0].step, Some(0));
+        assert_eq!(segs[1].step, Some(2));
+        let total: f64 = segs.iter().filter_map(|e| e.dur_s).sum();
+        assert!((total - run.sim_seconds).abs() <= 1e-9 * run.sim_seconds);
+        // Device counters land under the device's label at segment ends.
+        assert!(led.events().iter().any(|e| {
+            e.kind == EventKind::Counter && e.name == "opteron.flops" && e.source == "opteron"
+        }));
+        // The recovery story round-trips through the JSONL format.
+        assert!(RunLedger::parse_jsonl(&led.to_jsonl()).is_ok());
     }
 
     #[test]

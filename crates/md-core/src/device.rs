@@ -30,6 +30,7 @@ use std::fmt;
 // Re-exported so device crates that gate their own `sim-fault` dependency
 // behind a feature can still name the plan/stats types unconditionally.
 pub use sim_fault::{FaultPlan, FaultStats};
+pub use sim_obs::RunLedger;
 pub use sim_perf::PerfMonitor;
 
 /// How much host-side parallelism a device may use to execute its simulated
@@ -145,6 +146,9 @@ pub struct RunOptions<'a> {
     /// Host threads the device may use to execute its simulated lanes.
     /// Bitwise-identical results at any setting; see [`HostParallelism`].
     pub host_parallelism: HostParallelism,
+    /// Unified run-ledger sink. Like `perf`, a pure observer: a run with a
+    /// ledger attached is bitwise-identical to the same run without one.
+    pub ledger: Option<&'a mut RunLedger>,
 }
 
 impl<'a> RunOptions<'a> {
@@ -156,6 +160,7 @@ impl<'a> RunOptions<'a> {
             perf: None,
             fault_plan: None,
             host_parallelism: HostParallelism::Serial,
+            ledger: None,
         }
     }
 
@@ -193,6 +198,15 @@ impl<'a> RunOptions<'a> {
     #[must_use]
     pub fn with_host_threads(self, n: usize) -> Self {
         self.with_host_parallelism(HostParallelism::from_threads(n))
+    }
+
+    /// Attach a run ledger (pure observer — bitwise-identical run). The
+    /// device records its attribution phases, counters, and fault events
+    /// relative to the ledger's current sim offset.
+    #[must_use]
+    pub fn with_ledger(mut self, ledger: &'a mut RunLedger) -> Self {
+        self.ledger = Some(ledger);
+        self
     }
 }
 
@@ -293,6 +307,41 @@ pub fn collect_metrics(
     m
 }
 
+/// Record one completed device run into a ledger: attribution phases laid
+/// end-to-end from the ledger's current sim offset, a closing `sim_seconds`
+/// counter, every perf-counter series, and fault totals when any fault
+/// fired. Devices call this at the end of `run` when the caller attached a
+/// ledger; like the perf monitor, it only reads the run's outputs, so the
+/// trajectory and the simulated clock are untouched.
+pub fn ledger_record_run(
+    ledger: &mut RunLedger,
+    source: &str,
+    run: &DeviceRun,
+    perf: Option<&PerfMonitor>,
+) {
+    ledger.device_phases(source, &run.attribution);
+    ledger.counter(source, "sim_seconds", run.sim_seconds, run.sim_seconds, "s");
+    if let Some(p) = perf {
+        p.export_to_ledger(ledger, source, run.sim_seconds);
+    }
+    if run.faults.injected > 0 || run.faults.exhausted > 0 {
+        ledger.counter(
+            source,
+            "faults_injected",
+            run.sim_seconds,
+            run.faults.injected as f64,
+            "events",
+        );
+        ledger.counter(
+            source,
+            "fault_extra_seconds",
+            run.sim_seconds,
+            run.faults.extra_seconds,
+            "s",
+        );
+    }
+}
+
 /// Final value of a named counter on a monitor (0 if never registered).
 /// Device impls use this to read their own traffic counters back when
 /// computing [`DeviceRun::bytes_moved`].
@@ -367,12 +416,15 @@ mod tests {
     #[test]
     fn options_builder_composes() {
         let mut perf = PerfMonitor::new();
+        let mut ledger = RunLedger::new("null", "test");
         let opts = RunOptions::steps(4)
             .with_perf(&mut perf)
-            .with_host_threads(4);
+            .with_host_threads(4)
+            .with_ledger(&mut ledger);
         assert_eq!(opts.steps, 4);
         assert!(opts.start.is_none());
         assert!(opts.perf.is_some());
+        assert!(opts.ledger.is_some());
         assert_eq!(opts.host_parallelism, HostParallelism::Threads(4));
     }
 

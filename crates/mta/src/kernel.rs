@@ -558,7 +558,7 @@ impl md_core::device::MdDevice for MtaMd {
             let occ = md_core::device::counter_total(perf, "mta.stream.occupancy_cycles");
             derived.push(("avg_stream_occupancy", occ / r.cycles));
         }
-        Ok(md_core::device::DeviceRun {
+        let run = md_core::device::DeviceRun {
             sim_seconds: r.sim_seconds,
             energies: r.energies,
             checkpoint: md_core::checkpoint::SystemCheckpoint::capture(
@@ -579,7 +579,12 @@ impl md_core::device::MdDevice for MtaMd {
             faults: r.faults,
             #[cfg(not(feature = "fault-inject"))]
             faults: md_core::device::FaultStats::default(),
-        })
+        };
+        if let Some(led) = opts.ledger.take() {
+            let label = md_core::device::MdDevice::label(self);
+            md_core::device::ledger_record_run(led, &label, &run, Some(perf));
+        }
+        Ok(run)
     }
 }
 

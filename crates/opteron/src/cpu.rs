@@ -698,14 +698,22 @@ impl md_core::device::MdDevice for OpteronCpu {
             None => (init::initialize(sim), 0),
         };
         let par = opts.host_parallelism;
-        let r = self.run_md_from_impl(&mut sys, sim, opts.steps, opts.perf.take(), par);
+        // Counter values feed the ledger too, so observe with a local
+        // monitor when the caller didn't pass one (observation is free: the
+        // counted run is bitwise-identical).
+        let mut local = sim_perf::PerfMonitor::new();
+        let perf = match opts.perf.take() {
+            Some(p) => p,
+            None => &mut local,
+        };
+        let r = self.run_md_from_impl(&mut sys, sim, opts.steps, Some(perf), par);
         let clk = self.config.clock_hz;
         let stall_fraction = if r.sim_seconds > 0.0 {
             (r.memory_cycles / clk) / r.sim_seconds
         } else {
             0.0
         };
-        Ok(md_core::device::DeviceRun {
+        let run = md_core::device::DeviceRun {
             sim_seconds: r.sim_seconds,
             energies: r.energies,
             checkpoint: md_core::checkpoint::SystemCheckpoint::capture(
@@ -727,7 +735,12 @@ impl md_core::device::MdDevice for OpteronCpu {
             faults: r.faults,
             #[cfg(not(feature = "fault-inject"))]
             faults: md_core::device::FaultStats::default(),
-        })
+        };
+        if let Some(led) = opts.ledger.take() {
+            let label = md_core::device::MdDevice::label(self);
+            md_core::device::ledger_record_run(led, &label, &run, Some(perf));
+        }
+        Ok(run)
     }
 }
 

@@ -373,8 +373,12 @@ impl MdDevice for ClusterMd {
             perf,
             fault_plan,
             host_parallelism,
+            ledger,
         } = opts;
         let mut perf = perf;
+        // Node events recorded by *this* call (repairs, kills, migrations)
+        // start here; the ledger gets exactly this slice, not the full log.
+        let events_mark = self.events.len();
         if let Some(plan) = fault_plan {
             // At cluster granularity the armed plan is the *node-level*
             // schedule; member devices get theirs at construction.
@@ -548,6 +552,94 @@ impl MdDevice for ClusterMd {
             }
         }
 
+        let attribution = vec![
+            ("compute", crit_compute),
+            ("halo_exchange", crit_halo),
+            ("all_reduce", allreduce_total),
+            ("recovery", recovery_s),
+        ];
+
+        if let Some(led) = ledger {
+            let source = self.label();
+            led.device_phases(&source, &attribution);
+            led.counter(&source, "sim_seconds", sim_seconds, sim_seconds, "s");
+            for &rank in &alive {
+                let node_src = format!("{source}.node{rank}");
+                led.counter(
+                    &node_src,
+                    "compute_s",
+                    sim_seconds,
+                    compute_s[rank],
+                    "seconds",
+                );
+                led.counter(
+                    &node_src,
+                    "halo_bytes",
+                    sim_seconds,
+                    halo_bytes[rank],
+                    "bytes",
+                );
+                led.counter(
+                    &node_src,
+                    "halo_messages",
+                    sim_seconds,
+                    halo_messages[rank] as f64,
+                    "events",
+                );
+            }
+            led.counter(
+                &source,
+                "halo_resends",
+                sim_seconds,
+                halo_resends_total as f64,
+                "events",
+            );
+            led.counter(
+                &source,
+                "migrations",
+                sim_seconds,
+                migrations_charged as f64,
+                "events",
+            );
+            for ev in &self.events[events_mark..] {
+                let (name, step, detail) = match ev {
+                    NodeEvent::Killed { node, step, cause } => {
+                        ("node_killed", *step, format!("node {node}: {cause}"))
+                    }
+                    NodeEvent::Partitioned { node, step } => {
+                        ("node_partitioned", *step, format!("node {node}"))
+                    }
+                    NodeEvent::SlowNode { node, step } => {
+                        ("node_slow", *step, format!("node {node}"))
+                    }
+                    NodeEvent::Reprovisioned { node, step } => {
+                        ("node_reprovisioned", *step, format!("node {node}"))
+                    }
+                    NodeEvent::Migrated {
+                        from,
+                        to,
+                        atoms,
+                        step,
+                    } => (
+                        "domain_migrated",
+                        *step,
+                        format!("node {from} -> node {to} ({atoms} atoms)"),
+                    ),
+                };
+                led.push(sim_obs::LedgerEvent {
+                    t_s: led.sim_offset(),
+                    kind: sim_obs::EventKind::Node,
+                    source: source.clone(),
+                    name: name.to_string(),
+                    step: Some(step),
+                    dur_s: None,
+                    value: None,
+                    unit: None,
+                    detail: Some(detail),
+                });
+            }
+        }
+
         let mut derived = vec![
             ("cluster_nodes", alive.len() as f64),
             (
@@ -573,12 +665,7 @@ impl MdDevice for ClusterMd {
             sim_seconds,
             energies: phys.energies,
             checkpoint: phys.checkpoint,
-            attribution: vec![
-                ("compute", crit_compute),
-                ("halo_exchange", crit_halo),
-                ("all_reduce", allreduce_total),
-                ("recovery", recovery_s),
-            ],
+            attribution,
             derived,
             ops: phys.ops,
             bytes_moved: ((phys.bytes_moved + halo_bytes_total) + allreduce_bytes) + recovery_bytes,

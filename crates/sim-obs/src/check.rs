@@ -1,0 +1,180 @@
+//! Regression gating: compare a run ledger's host measurements against the
+//! committed `BENCH_host.json` baselines.
+//!
+//! The gate reads the best (lowest-wall) measured row from the bench file's
+//! `runs` array, applies a configurable relative tolerance, and flags a
+//! regression when the ledger's `host_wall_seconds` exceeds the limit or
+//! its `host_atom_steps_per_s` falls below it. Tolerances are deliberately
+//! caller-chosen: CI on a shared 1-core runner wants a much looser band
+//! than a dedicated bench host.
+
+use crate::json::{json_f64, parse_json, JsonValue};
+use crate::ledger::RunLedger;
+use std::fmt::Write as _;
+
+/// One gated comparison.
+#[derive(Clone, Debug)]
+pub struct CheckResult {
+    /// Metric name, e.g. `host_wall_seconds`.
+    pub metric: String,
+    /// Value read from the ledger.
+    pub measured: f64,
+    /// Reference value from the bench file.
+    pub reference: f64,
+    /// The pass/fail boundary after applying the tolerance.
+    pub limit: f64,
+    /// True when the measured value is on the wrong side of the limit.
+    pub regressed: bool,
+}
+
+impl CheckResult {
+    /// One human-readable report line.
+    pub fn render(&self) -> String {
+        let mut line = String::new();
+        let _ = write!(
+            line,
+            "{} {}: measured {} vs reference {} (limit {})",
+            if self.regressed { "FAIL" } else { "ok  " },
+            self.metric,
+            json_f64(self.measured),
+            json_f64(self.reference),
+            json_f64(self.limit),
+        );
+        line
+    }
+}
+
+/// Reference host numbers parsed out of `BENCH_host.json`.
+#[derive(Clone, Copy, Debug)]
+pub struct HostBaseline {
+    pub wall_seconds: f64,
+    pub atom_steps_per_s: f64,
+}
+
+/// Extract the best measured row (lowest wall) from `BENCH_host.json` text.
+pub fn parse_host_baseline(bench_json: &str) -> Result<HostBaseline, String> {
+    let doc = parse_json(bench_json).map_err(|e| format!("BENCH_host.json: {e}"))?;
+    let runs = doc
+        .get("runs")
+        .and_then(JsonValue::as_array)
+        .ok_or("BENCH_host.json missing runs array")?;
+    let mut best: Option<HostBaseline> = None;
+    for run in runs {
+        let wall = run
+            .get("host_wall_seconds")
+            .and_then(JsonValue::as_number)
+            .ok_or("run missing host_wall_seconds")?;
+        let tput = run
+            .get("host_atom_steps_per_s")
+            .and_then(JsonValue::as_number)
+            .ok_or("run missing host_atom_steps_per_s")?;
+        if best.is_none_or(|b| wall < b.wall_seconds) {
+            best = Some(HostBaseline {
+                wall_seconds: wall,
+                atom_steps_per_s: tput,
+            });
+        }
+    }
+    best.ok_or_else(|| "BENCH_host.json has no runs".to_string())
+}
+
+/// Gate a ledger against a baseline. `tolerance` is relative slack: 0.5
+/// allows the wall clock to be up to 50% slower (and throughput up to 33%
+/// lower) than the reference before flagging.
+pub fn check_ledger(
+    ledger: &RunLedger,
+    baseline: HostBaseline,
+    tolerance: f64,
+) -> Result<Vec<CheckResult>, String> {
+    assert!(tolerance >= 0.0, "tolerance must be non-negative");
+    let wall = host_metric_any_source(ledger, "host_wall_seconds")
+        .ok_or("ledger has no host_wall_seconds event — was it produced by a host-timed run?")?;
+    let tput = host_metric_any_source(ledger, "host_atom_steps_per_s")
+        .ok_or("ledger has no host_atom_steps_per_s event")?;
+
+    let wall_limit = baseline.wall_seconds * (1.0 + tolerance);
+    let tput_limit = baseline.atom_steps_per_s / (1.0 + tolerance);
+    Ok(vec![
+        CheckResult {
+            metric: "host_wall_seconds".to_string(),
+            measured: wall,
+            reference: baseline.wall_seconds,
+            limit: wall_limit,
+            regressed: wall > wall_limit,
+        },
+        CheckResult {
+            metric: "host_atom_steps_per_s".to_string(),
+            measured: tput,
+            reference: baseline.atom_steps_per_s,
+            limit: tput_limit,
+            regressed: tput < tput_limit,
+        },
+    ])
+}
+
+fn host_metric_any_source(ledger: &RunLedger, name: &str) -> Option<f64> {
+    ledger
+        .events()
+        .iter()
+        .filter(|e| e.kind == crate::ledger::EventKind::Host && e.name == name)
+        .filter_map(|e| e.value)
+        .next_back()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ledger::RunLedger;
+
+    const BENCH: &str = r#"{
+      "schema_version": 1,
+      "runs": [
+        {"host_threads": 1, "host_wall_seconds": 0.2, "host_atom_steps_per_s": 100000.0},
+        {"host_threads": 2, "host_wall_seconds": 0.4, "host_atom_steps_per_s": 50000.0}
+      ]
+    }"#;
+
+    fn timed_ledger(wall: f64, tput: f64) -> RunLedger {
+        let mut l = RunLedger::new("opteron", "2048 x 10");
+        l.host_value("harness", "host_wall_seconds", wall, "s");
+        l.host_value("harness", "host_atom_steps_per_s", tput, "atom_steps/s");
+        l
+    }
+
+    #[test]
+    fn baseline_picks_lowest_wall_row() {
+        let b = parse_host_baseline(BENCH).expect("parses");
+        assert_eq!(b.wall_seconds, 0.2);
+        assert_eq!(b.atom_steps_per_s, 100_000.0);
+    }
+
+    #[test]
+    fn within_tolerance_passes() {
+        let b = parse_host_baseline(BENCH).unwrap();
+        let results = check_ledger(&timed_ledger(0.25, 90_000.0), b, 0.5).expect("checks");
+        assert!(results.iter().all(|r| !r.regressed), "{results:?}");
+    }
+
+    #[test]
+    fn slow_wall_clock_regresses() {
+        let b = parse_host_baseline(BENCH).unwrap();
+        let results = check_ledger(&timed_ledger(0.31, 90_000.0), b, 0.5).expect("checks");
+        assert!(results[0].regressed, "{results:?}");
+        assert!(!results[1].regressed);
+        assert!(results[0].render().starts_with("FAIL"));
+    }
+
+    #[test]
+    fn low_throughput_regresses() {
+        let b = parse_host_baseline(BENCH).unwrap();
+        let results = check_ledger(&timed_ledger(0.25, 10_000.0), b, 0.5).expect("checks");
+        assert!(results[1].regressed, "{results:?}");
+    }
+
+    #[test]
+    fn untimed_ledger_is_an_error() {
+        let b = parse_host_baseline(BENCH).unwrap();
+        let l = RunLedger::new("opteron", "2048 x 10");
+        assert!(check_ledger(&l, b, 0.5).is_err());
+    }
+}

@@ -1,0 +1,214 @@
+//! Ledger exporters: Chrome trace-event JSON (for Perfetto / `chrome://tracing`)
+//! and a Prometheus textfile (for node-exporter style scraping).
+
+use crate::chrome::ChromeTrace;
+use crate::json::json_f64;
+use crate::ledger::{EventKind, RunLedger};
+use std::fmt::Write as _;
+
+/// Render a ledger as a Chrome trace. Each source gets its own track, in
+/// sorted-source order; host events land on a dedicated trailing track so
+/// the deterministic timeline stays visually separate from wall-clock data.
+pub fn ledger_to_chrome(ledger: &RunLedger) -> String {
+    let sources = ledger.sources();
+    let track_of = |source: &str| -> u32 {
+        sources
+            .iter()
+            .position(|s| s == source)
+            .map_or(0, |i| u32::try_from(i).unwrap_or(0) + 1)
+    };
+    let host_track = u32::try_from(sources.len()).unwrap_or(0) + 1;
+
+    let mut trace = ChromeTrace::new();
+    for source in &sources {
+        trace.thread_name(track_of(source), source);
+    }
+    if ledger.events().iter().any(|e| e.kind == EventKind::Host) {
+        trace.thread_name(host_track, "host wall-clock");
+    }
+    for ev in ledger.events() {
+        let category = ev.kind.as_str();
+        match ev.kind {
+            EventKind::Phase => {
+                trace.span(
+                    track_of(&ev.source),
+                    &ev.name,
+                    category,
+                    ev.t_s,
+                    ev.dur_s.unwrap_or(0.0),
+                );
+            }
+            EventKind::Counter => {
+                trace.counter(
+                    track_of(&ev.source),
+                    &ev.name,
+                    category,
+                    ev.t_s,
+                    ev.value.unwrap_or(0.0),
+                );
+            }
+            EventKind::Instant | EventKind::Cache | EventKind::Node | EventKind::Recovery => {
+                trace.instant(track_of(&ev.source), &ev.name, category, ev.t_s);
+            }
+            EventKind::Host => {
+                trace.counter(host_track, &ev.name, category, 0.0, ev.value.unwrap_or(0.0));
+            }
+        }
+    }
+    trace.render()
+}
+
+fn prom_label(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render a ledger as a Prometheus textfile. Phase durations, final counter
+/// values, and host measurements become gauges; event names live in labels
+/// so the metric family set stays fixed.
+pub fn ledger_to_prometheus(ledger: &RunLedger) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "# HELP mdea_phase_seconds Simulated seconds attributed to one phase of one source\n",
+    );
+    out.push_str("# TYPE mdea_phase_seconds gauge\n");
+    let mut phase_totals: Vec<(String, String, f64)> = Vec::new();
+    for ev in ledger.events() {
+        if ev.kind != EventKind::Phase {
+            continue;
+        }
+        let dur = ev.dur_s.unwrap_or(0.0);
+        match phase_totals
+            .iter_mut()
+            .find(|(s, n, _)| *s == ev.source && *n == ev.name)
+        {
+            Some((_, _, total)) => *total += dur,
+            None => phase_totals.push((ev.source.clone(), ev.name.clone(), dur)),
+        }
+    }
+    phase_totals.sort_by(|a, b| (&a.0, &a.1).cmp(&(&b.0, &b.1)));
+    for (source, name, total) in &phase_totals {
+        let _ = writeln!(
+            out,
+            "mdea_phase_seconds{{source=\"{}\",phase=\"{}\"}} {}",
+            prom_label(source),
+            prom_label(name),
+            json_f64(*total),
+        );
+    }
+
+    out.push_str("# HELP mdea_counter Final value of one ledger counter\n");
+    out.push_str("# TYPE mdea_counter gauge\n");
+    // Last write wins per (source, name): counters report running totals.
+    let mut finals: Vec<(String, String, String, f64)> = Vec::new();
+    for ev in ledger.events() {
+        if ev.kind != EventKind::Counter {
+            continue;
+        }
+        let value = ev.value.unwrap_or(0.0);
+        let unit = ev.unit.clone().unwrap_or_default();
+        match finals
+            .iter_mut()
+            .find(|(s, n, _, _)| *s == ev.source && *n == ev.name)
+        {
+            Some(slot) => {
+                slot.2 = unit;
+                slot.3 = value;
+            }
+            None => finals.push((ev.source.clone(), ev.name.clone(), unit, value)),
+        }
+    }
+    finals.sort_by(|a, b| (&a.0, &a.1).cmp(&(&b.0, &b.1)));
+    for (source, name, unit, value) in &finals {
+        let _ = writeln!(
+            out,
+            "mdea_counter{{source=\"{}\",name=\"{}\",unit=\"{}\"}} {}",
+            prom_label(source),
+            prom_label(name),
+            prom_label(unit),
+            json_f64(*value),
+        );
+    }
+
+    out.push_str("# HELP mdea_host Host wall-clock measurement (non-deterministic)\n");
+    out.push_str("# TYPE mdea_host gauge\n");
+    let mut hosts: Vec<(String, String, f64)> = Vec::new();
+    for ev in ledger.events() {
+        if ev.kind != EventKind::Host {
+            continue;
+        }
+        let value = ev.value.unwrap_or(0.0);
+        match hosts
+            .iter_mut()
+            .find(|(s, n, _)| *s == ev.source && *n == ev.name)
+        {
+            Some((_, _, v)) => *v = value,
+            None => hosts.push((ev.source.clone(), ev.name.clone(), value)),
+        }
+    }
+    hosts.sort_by(|a, b| (&a.0, &a.1).cmp(&(&b.0, &b.1)));
+    for (source, name, value) in &hosts {
+        let _ = writeln!(
+            out,
+            "mdea_host{{source=\"{}\",name=\"{}\"}} {}",
+            prom_label(source),
+            prom_label(name),
+            json_f64(*value),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ledger::RunLedger;
+
+    fn sample() -> RunLedger {
+        let mut l = RunLedger::new("dev", "2048 x 10");
+        l.device_phases("dev", &[("compute", 0.75), ("stall", 0.25)]);
+        l.counter("dev", "ops", 0.5, 10.0, "ops");
+        l.counter("dev", "ops", 1.0, 25.0, "ops");
+        l.instant(EventKind::Recovery, "supervisor", "restore", 0.9);
+        l.host_value("harness", "host_wall_seconds", 0.1, "s");
+        l
+    }
+
+    #[test]
+    fn chrome_export_assigns_tracks_and_parses() {
+        let json = ledger_to_chrome(&sample());
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ph\":\"i\""));
+        assert!(json.contains("\"ph\":\"C\""));
+        assert!(json.contains("host wall-clock"));
+        crate::json::parse_json(&json).expect("chrome export is valid JSON");
+    }
+
+    #[test]
+    fn prometheus_export_totals_phases_and_takes_final_counter() {
+        let text = ledger_to_prometheus(&sample());
+        assert!(text.contains("mdea_phase_seconds{source=\"dev\",phase=\"compute\"} 0.75"));
+        assert!(
+            text.contains("mdea_counter{source=\"dev\",name=\"ops\",unit=\"ops\"} 25"),
+            "{text}"
+        );
+        assert!(text.contains("mdea_host{source=\"harness\",name=\"host_wall_seconds\"} 0.1"));
+    }
+
+    #[test]
+    fn prometheus_labels_are_escaped() {
+        let mut l = RunLedger::new("x", "w");
+        l.phase("a\"b", "c\\d", 0.0, 1.0);
+        let text = ledger_to_prometheus(&l);
+        assert!(text.contains("source=\"a\\\"b\""));
+        assert!(text.contains("phase=\"c\\\\d\""));
+    }
+}

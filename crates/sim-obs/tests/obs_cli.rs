@@ -1,0 +1,134 @@
+//! End-to-end exit-code contract of the `obs` binary: 0 ok, 1 usage/parse
+//! error, 2 regression detected by `check`. The regression case is seeded
+//! synthetically — a ledger claiming a wall clock far beyond the committed
+//! baseline must make `obs check` exit nonzero, which is what lets CI gate
+//! on it.
+
+use sim_obs::RunLedger;
+use std::path::PathBuf;
+use std::process::Command;
+
+fn obs(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_obs"))
+        .args(args)
+        .output()
+        .expect("obs binary runs")
+}
+
+fn scratch_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("obs-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir scratch");
+    dir
+}
+
+const BENCH: &str = r#"{
+  "schema_version": 1,
+  "runs": [
+    {"host_threads": 1, "host_wall_seconds": 0.2, "host_atom_steps_per_s": 100000.0}
+  ]
+}"#;
+
+fn timed_ledger(wall: f64, tput: f64) -> String {
+    let mut l = RunLedger::new("opteron", "2048 atoms x 10 steps");
+    l.device_phases("opteron", &[("compute", 0.3), ("memory_stall", 0.1)]);
+    l.host_value("opteron", "host_wall_seconds", wall, "s");
+    l.host_value("opteron", "host_atom_steps_per_s", tput, "atom_steps/s");
+    l.to_jsonl()
+}
+
+#[test]
+fn check_passes_within_tolerance_and_gates_seeded_regression() {
+    let dir = scratch_dir();
+    let bench = dir.join("BENCH_host.json");
+    std::fs::write(&bench, BENCH).unwrap();
+
+    // Within tolerance: measured wall 0.25s vs reference 0.2s at tol 0.5.
+    let good = dir.join("good.jsonl");
+    std::fs::write(&good, timed_ledger(0.25, 90_000.0)).unwrap();
+    let out = obs(&[
+        "check",
+        good.to_str().unwrap(),
+        "--bench",
+        bench.to_str().unwrap(),
+        "--tol",
+        "0.5",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+
+    // Seeded synthetic regression: 10x the baseline wall clock.
+    let slow = dir.join("slow.jsonl");
+    std::fs::write(&slow, timed_ledger(2.0, 10_000.0)).unwrap();
+    let out = obs(&[
+        "check",
+        slow.to_str().unwrap(),
+        "--bench",
+        bench.to_str().unwrap(),
+        "--tol",
+        "0.5",
+    ]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("regression"), "{stderr}");
+}
+
+#[test]
+fn validate_accepts_real_ledgers_and_rejects_garbage() {
+    let dir = scratch_dir();
+    let good = dir.join("valid.jsonl");
+    std::fs::write(&good, timed_ledger(0.2, 100_000.0)).unwrap();
+    assert_eq!(
+        obs(&["validate", good.to_str().unwrap()]).status.code(),
+        Some(0)
+    );
+
+    let bad = dir.join("garbage.jsonl");
+    std::fs::write(&bad, "this is not a ledger\n").unwrap();
+    assert_eq!(
+        obs(&["validate", bad.to_str().unwrap()]).status.code(),
+        Some(1)
+    );
+
+    // Usage errors are exit 1 too.
+    assert_eq!(obs(&[]).status.code(), Some(1));
+    assert_eq!(obs(&["check", "nope.jsonl"]).status.code(), Some(1));
+}
+
+#[test]
+fn timeline_diff_and_export_succeed_on_a_real_ledger() {
+    let dir = scratch_dir();
+    let a = dir.join("a.jsonl");
+    let b = dir.join("b.jsonl");
+    std::fs::write(&a, timed_ledger(0.2, 100_000.0)).unwrap();
+    std::fs::write(&b, timed_ledger(0.3, 70_000.0)).unwrap();
+
+    let out = obs(&["timeline", a.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("compute"), "{stdout}");
+
+    assert_eq!(
+        obs(&["diff", a.to_str().unwrap(), b.to_str().unwrap()])
+            .status
+            .code(),
+        Some(0)
+    );
+
+    let chrome = dir.join("trace.json");
+    let prom = dir.join("metrics.prom");
+    let out = obs(&[
+        "export",
+        a.to_str().unwrap(),
+        "--chrome",
+        chrome.to_str().unwrap(),
+        "--prom",
+        prom.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let trace = std::fs::read_to_string(&chrome).unwrap();
+    assert!(
+        trace.starts_with("[\n") && trace.ends_with("]\n"),
+        "{trace}"
+    );
+    let metrics = std::fs::read_to_string(&prom).unwrap();
+    assert!(metrics.contains("mdea_phase_seconds"), "{metrics}");
+}

@@ -150,6 +150,19 @@ impl PerfMonitor {
             }
         }
     }
+
+    /// Export every counter into a run ledger under `source`: all sampled
+    /// points, plus one final-value event at `end_rel_s` (relative to the
+    /// ledger's sim offset) so the running total is always recoverable from
+    /// the last event.
+    pub fn export_to_ledger(&self, ledger: &mut sim_obs::RunLedger, source: &str, end_rel_s: f64) {
+        for c in &self.counters {
+            for &(t_s, value) in &c.samples {
+                ledger.counter(source, &c.name, t_s, value, c.unit);
+            }
+            ledger.counter(source, &c.name, end_rel_s, c.value, c.unit);
+        }
+    }
 }
 
 #[cfg(test)]

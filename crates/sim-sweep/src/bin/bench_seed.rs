@@ -11,6 +11,12 @@
 //!   Simulated results are bitwise identical across every row; only wall
 //!   time varies, so this file is provenance (which host, how fast), not a
 //!   CI-diffable artifact.
+//!
+//! Each invocation also *appends* the best host row to
+//! `BENCH_trajectory.json` (schema-versioned, append-only), so the repo
+//! accumulates a performance history across PRs instead of overwriting a
+//! single snapshot. `obs check` gates regressions against `BENCH_host.json`;
+//! the trajectory is the longitudinal record behind that gate.
 
 use harness::experiments::PAPER_STEPS;
 use md_core::device::HostParallelism;
@@ -45,7 +51,18 @@ fn run() -> Result<(), SweepError> {
         PAPER_STEPS
     );
     cluster_bench()?;
-    host_bench()
+    let entry = host_bench()?;
+    append_trajectory(entry)
+}
+
+/// Append the host bench's best row to the cross-PR performance history.
+/// The timestamp is stamped inside `sim-obs` (the observer layer owns the
+/// stack's only `SystemTime` call).
+fn append_trajectory(entry: sim_obs::TrajectoryEntry) -> Result<(), SweepError> {
+    let path = std::path::Path::new("BENCH_trajectory.json");
+    sim_obs::append_entry(path, entry).map_err(std::io::Error::other)?;
+    println!("appended BENCH_trajectory.json entry");
+    Ok(())
 }
 
 /// The cluster strong/weak-scaling baseline rides along with the seed
@@ -95,7 +112,7 @@ fn best_of(
     ))
 }
 
-fn host_bench() -> Result<(), SweepError> {
+fn host_bench() -> Result<sim_obs::TrajectoryEntry, SweepError> {
     let sim = SimConfig::reduced_lj(HOST_BENCH_ATOMS);
     let (mut baseline, base_sim_seconds) = best_of(|| {
         harness::opteron_baseline_metrics_host(&sim, HOST_BENCH_STEPS)
@@ -153,5 +170,21 @@ fn host_bench() -> Result<(), SweepError> {
         "wrote BENCH_host.json (baseline {:.3}s, best single-run speedup {best:.2}x)",
         baseline.wall_seconds
     );
-    Ok(())
+    let best_run = runs
+        .iter()
+        .min_by(|a, b| a.wall_seconds.total_cmp(&b.wall_seconds))
+        .expect("at least one host-thread row ran");
+    Ok(sim_obs::TrajectoryEntry {
+        recorded_unix_s: 0, // stamped at append time
+        device: "opteron".to_string(),
+        n_atoms: HOST_BENCH_ATOMS as u64,
+        steps: HOST_BENCH_STEPS as u64,
+        sim_seconds: base_sim_seconds,
+        host_wall_seconds: best_run.wall_seconds,
+        host_atom_steps_per_s: best_run.atom_steps_per_s,
+        note: format!(
+            "bench_seed host bench, best of {HOST_BENCH_REPEATS} repetitions at host_threads={}",
+            best_run.host_threads
+        ),
+    })
 }

@@ -73,6 +73,40 @@ impl SweepReport {
     pub fn executed(&self) -> usize {
         self.results.len() - self.hits()
     }
+
+    /// Post-hoc ledger view of the sweep: one `cache` event per point (with
+    /// "hit"/"miss" detail) and one phase per point spanning its simulated
+    /// seconds, points laid end-to-end in spec order. Built purely from the
+    /// finished report, so it cannot perturb the sweep — and a warm sweep's
+    /// ledger is byte-identical to the cold one's because cached metrics are
+    /// bitwise the metrics the run produced.
+    pub fn to_ledger(&self) -> sim_obs::RunLedger {
+        let mut led = sim_obs::RunLedger::new(
+            self.spec_name,
+            &format!("{} sweep points", self.results.len()),
+        );
+        let mut cursor = 0.0f64;
+        for r in &self.results {
+            let name = format!(
+                "{}_n{}_s{}",
+                r.metrics.device, r.point.n_atoms, r.point.steps
+            );
+            led.push(sim_obs::LedgerEvent {
+                t_s: cursor,
+                kind: sim_obs::EventKind::Cache,
+                source: "sweep-cache".to_string(),
+                name: name.clone(),
+                step: None,
+                dur_s: None,
+                value: None,
+                unit: None,
+                detail: Some(if r.from_cache { "hit" } else { "miss" }.to_string()),
+            });
+            led.phase(&r.metrics.device, &name, cursor, r.metrics.sim_seconds);
+            cursor += r.metrics.sim_seconds;
+        }
+        led
+    }
 }
 
 #[derive(Debug)]

@@ -1,0 +1,12 @@
+//! vet-path: crates/sim-obs/src/fixture.rs
+//!
+//! Seeded observer-purity violations in the run-ledger crate: the ledger
+//! records what a run did; it must never charge simulated cost itself. A
+//! run with a ledger attached stays bitwise-identical to one without.
+
+pub fn record(spe: &mut Spe, ledger: &mut RunLedger) -> f64 {
+    spe.charge(2.0); // vet-expect(observer-purity)
+    let cycles = charge_cycles(4); // vet-expect(observer-purity)
+    ledger.counter("spe", "cycles", 0.0, cycles, "cycles");
+    spe.cycles()
+}

@@ -200,7 +200,7 @@ pub fn builtin_profile(rel_path: &str) -> (Profile, bool) {
     .any(|p| rel_path.starts_with(p))
     {
         Profile::Device
-    } else if rel_path.starts_with("crates/sim-perf/") {
+    } else if rel_path.starts_with("crates/sim-perf/") || rel_path.starts_with("crates/sim-obs/") {
         Profile::Observer
     } else if rel_path.starts_with("crates/sim-sweep/")
         || rel_path.starts_with("crates/sim-cluster/")
@@ -501,7 +501,7 @@ fn check_observer_purity(ctx: &FileContext<'_>, out: &mut Vec<Finding>) {
                 out,
                 Rule::ObserverPurity,
                 ci + 1,
-                "`.charge()` in the observability layer — sim-perf observes costs, it never charges them".into(),
+                "`.charge()` in the observability layer — observers watch costs, they never charge them".into(),
             );
         }
         if ci + 1 < n && ctx.is_punct(ci + 1, "(") {
@@ -513,7 +513,7 @@ fn check_observer_purity(ctx: &FileContext<'_>, out: &mut Vec<Finding>) {
                         out,
                         Rule::ObserverPurity,
                         ci,
-                        format!("`{t}()` in the observability layer — sim-perf observes costs, it never charges them"),
+                        format!("`{t}()` in the observability layer — observers watch costs, they never charge them"),
                     );
                 }
             }
@@ -994,6 +994,11 @@ mod tests {
         assert!(applicable_rules("src/main.rs").is_empty());
         assert_eq!(
             applicable_rules("crates/sim-perf/src/counter.rs"),
+            vec![Rule::ObserverPurity, Rule::IterationOrder],
+        );
+        // sim-obs is the second observer crate: same profile, same rules.
+        assert_eq!(
+            applicable_rules("crates/sim-obs/src/ledger.rs"),
             vec![Rule::ObserverPurity, Rule::IterationOrder],
         );
         assert!(applicable_rules("crates/sim-sweep/src/engine.rs").contains(&Rule::Determinism));

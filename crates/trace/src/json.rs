@@ -1,55 +1,17 @@
-//! Minimal JSON string escaping (the only JSON machinery the trace format
-//! needs beyond simple formatting).
+//! JSON string escaping, re-exported from the shared `sim-obs` layer so the
+//! public `mdea_trace::escape_json_string` path keeps working. The
+//! implementation (and its property tests) moved down into `sim_obs::json`
+//! when the Chrome writer was deduplicated.
 
-/// Escape a string for embedding in a JSON string literal.
-pub fn escape_json_string(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
-            }
-            c => out.push(c),
-        }
-    }
-    out
-}
+pub use sim_obs::json::escape_json_string;
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
-    fn escapes_specials() {
+    fn reexport_escapes_specials() {
         assert_eq!(escape_json_string(r#"a"b"#), r#"a\"b"#);
-        assert_eq!(escape_json_string("a\\b"), r"a\\b");
-        assert_eq!(escape_json_string("line\nbreak"), r"line\nbreak");
         assert_eq!(escape_json_string("\u{1}"), "\\u0001");
-        assert_eq!(escape_json_string("plain"), "plain");
-    }
-
-    proptest! {
-        /// Escaped output never contains raw control characters or unescaped
-        /// quotes/backslashes in positions that would break a JSON literal.
-        #[test]
-        fn output_is_literal_safe(s in ".*") {
-            let e = escape_json_string(&s);
-            let mut chars = e.chars().peekable();
-            while let Some(c) = chars.next() {
-                prop_assert!((c as u32) >= 0x20, "raw control char survived");
-                if c == '\\' {
-                    let next = chars.next();
-                    prop_assert!(next.is_some(), "dangling escape");
-                } else {
-                    prop_assert!(c != '"', "unescaped quote");
-                }
-            }
-        }
     }
 }

@@ -1,7 +1,6 @@
 //! Span collection and Chrome trace-event export.
 
-use crate::json::escape_json_string;
-use std::fmt::Write as _;
+use sim_obs::ChromeTrace;
 
 /// A logical timeline row (a device engine: "PPE", "SPE 0", "DMA", ...).
 /// Rendered as a thread inside the trace's single process.
@@ -170,82 +169,25 @@ impl Tracer {
     /// order last — so the output depends only on *what* was recorded, never
     /// on the order the device model happened to record it in. That keeps
     /// trace golden files stable across refactors of the recording code.
+    ///
+    /// The byte format itself lives in [`sim_obs::ChromeTrace`], shared with
+    /// `sim-perf`'s counter export and pinned by the golden files under
+    /// `tests/golden/`.
     pub fn to_chrome_json(&self) -> String {
-        let mut events: Vec<(f64, u32, u8, String)> =
-            Vec::with_capacity(self.spans.len() + self.instants.len() + self.counters.len());
+        let mut trace = ChromeTrace::new();
+        for (track, name) in &self.track_names {
+            trace.thread_name(track.0, name);
+        }
         for s in &self.spans {
-            let mut body = String::new();
-            let _ = write!(
-                body,
-                "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"pid\":1,\"tid\":{},\
-                 \"ts\":{:.3},\"dur\":{:.3}}}",
-                escape_json_string(&s.name),
-                escape_json_string(s.category),
-                s.track.0,
-                s.start_s * 1e6,
-                s.duration_s * 1e6,
-            );
-            events.push((s.start_s, s.track.0, 0, body));
+            trace.span(s.track.0, &s.name, s.category, s.start_s, s.duration_s);
         }
         for i in &self.instants {
-            let mut body = String::new();
-            let _ = write!(
-                body,
-                "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"i\",\"pid\":1,\"tid\":{},\
-                 \"ts\":{:.3},\"s\":\"t\"}}",
-                escape_json_string(&i.name),
-                escape_json_string(i.category),
-                i.track.0,
-                i.time_s * 1e6,
-            );
-            events.push((i.time_s, i.track.0, 1, body));
+            trace.instant(i.track.0, &i.name, i.category, i.time_s);
         }
         for c in &self.counters {
-            let mut body = String::new();
-            let _ = write!(
-                body,
-                "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"C\",\"pid\":1,\"tid\":{},\
-                 \"ts\":{:.3},\"args\":{{\"value\":{}}}}}",
-                escape_json_string(&c.name),
-                escape_json_string(c.category),
-                c.track.0,
-                c.time_s * 1e6,
-                c.value,
-            );
-            events.push((c.time_s, c.track.0, 2, body));
+            trace.counter(c.track.0, &c.name, c.category, c.time_s, c.value);
         }
-        // Stable sort: equal (timestamp, track, kind) keeps insertion order.
-        events.sort_by(|a, b| {
-            a.0.total_cmp(&b.0)
-                .then_with(|| a.1.cmp(&b.1))
-                .then_with(|| a.2.cmp(&b.2))
-        });
-
-        let mut out = String::from("[\n");
-        let mut first = true;
-        let mut push = |out: &mut String, body: &str| {
-            if !first {
-                out.push_str(",\n");
-            }
-            first = false;
-            out.push_str(body);
-        };
-        for (track, name) in &self.track_names {
-            push(
-                &mut out,
-                &format!(
-                    "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{},\
-                     \"args\":{{\"name\":\"{}\"}}}}",
-                    track.0,
-                    escape_json_string(name)
-                ),
-            );
-        }
-        for (_, _, _, body) in &events {
-            push(&mut out, body);
-        }
-        out.push_str("\n]\n");
-        out
+        trace.render()
     }
 }
 

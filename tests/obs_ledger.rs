@@ -1,0 +1,245 @@
+//! The run ledger is free: ledger-on is bitwise-identical to ledger-off.
+//!
+//! This pins the tentpole invariant of the observability layer (DESIGN.md
+//! §15): attaching a [`RunLedger`] to any run — every device kind at the
+//! paper's 2048 × 10 workload, and a 4-node cluster — changes *nothing*
+//! about the trajectory, the energies, or the simulated clock. On top of
+//! that, two ledger-enabled runs of the same configuration must produce
+//! identical event sequences modulo host-time fields (the `canonical_lines`
+//! view), and every produced ledger must round-trip through its JSONL
+//! serialization.
+
+use harness::{ClusterKind, DeviceKind, GpuModel};
+use md_core::checkpoint::SystemCheckpoint;
+use md_core::device::{MdDevice, RunOptions};
+use md_core::params::SimConfig;
+use mta::ThreadingMode;
+use sim_obs::{EventKind, RunLedger};
+
+const PAPER_ATOMS: usize = 2048;
+const PAPER_STEPS: usize = 10;
+
+fn paper_sim() -> SimConfig {
+    SimConfig::reduced_lj(PAPER_ATOMS)
+}
+
+/// Exact bit pattern of a trajectory (positions then velocities).
+fn bits(c: &SystemCheckpoint) -> Vec<u64> {
+    c.positions
+        .iter()
+        .chain(c.velocities.iter())
+        .flat_map(|v| [v.x.to_bits(), v.y.to_bits(), v.z.to_bits()])
+        .collect()
+}
+
+/// Run `kind` bare and with a ledger attached; the ledger must observe a
+/// busy run without perturbing a single bit. Then run with a second ledger
+/// and check the canonical (host-events-excluded) serialization agrees
+/// exactly — the "identical modulo host-time" determinism contract.
+fn assert_ledger_free(kind: DeviceKind, sim: &SimConfig, steps: usize) {
+    let label = kind.label();
+    let plain = kind
+        .build()
+        .run(sim, RunOptions::steps(steps))
+        .expect("plain run");
+    let mut led = RunLedger::new(&label, "ledger determinism probe");
+    let observed = kind
+        .build()
+        .run(sim, RunOptions::steps(steps).with_ledger(&mut led))
+        .expect("ledger run");
+    assert_eq!(
+        bits(&plain.checkpoint),
+        bits(&observed.checkpoint),
+        "{label}"
+    );
+    assert_eq!(
+        plain.sim_seconds.to_bits(),
+        observed.sim_seconds.to_bits(),
+        "{label}"
+    );
+    assert_eq!(
+        plain.energies.total.to_bits(),
+        observed.energies.total.to_bits(),
+        "{label}"
+    );
+    assert!(!led.is_empty(), "{label}: ledger run must record events");
+
+    let mut led2 = RunLedger::new(&label, "ledger determinism probe");
+    kind.build()
+        .run(sim, RunOptions::steps(steps).with_ledger(&mut led2))
+        .expect("second ledger run");
+    assert_eq!(
+        led.canonical_lines(),
+        led2.canonical_lines(),
+        "{label}: canonical event sequence must be deterministic"
+    );
+    let back = RunLedger::parse_jsonl(&led.to_jsonl()).expect("ledger round-trips");
+    assert_eq!(back.events().len(), led.events().len(), "{label}");
+}
+
+#[test]
+fn cell_ledger_is_free_at_paper_scale() {
+    assert_ledger_free(DeviceKind::cell_best(), &paper_sim(), PAPER_STEPS);
+}
+
+#[test]
+fn cell_ppe_ledger_is_free_at_paper_scale() {
+    assert_ledger_free(DeviceKind::CellPpe, &paper_sim(), PAPER_STEPS);
+}
+
+#[test]
+fn cell_accel_probe_ledger_is_free() {
+    // The accelerator probe measures launch overhead and only supports the
+    // zero-step workload.
+    let kind = DeviceKind::CellAccel {
+        variant: cell_be::SpeKernelVariant::SimdAcceleration,
+    };
+    assert_ledger_free(kind, &paper_sim(), 0);
+}
+
+#[test]
+fn gpu_ledger_is_free_at_paper_scale() {
+    let kind = DeviceKind::Gpu {
+        model: GpuModel::GeForce7900Gtx,
+    };
+    assert_ledger_free(kind, &paper_sim(), PAPER_STEPS);
+}
+
+#[test]
+fn mta_ledger_is_free_at_paper_scale() {
+    for mode in [
+        ThreadingMode::FullyMultithreaded,
+        ThreadingMode::PartiallyMultithreaded,
+    ] {
+        assert_ledger_free(DeviceKind::Mta { mode }, &paper_sim(), PAPER_STEPS);
+    }
+}
+
+#[test]
+fn opteron_ledger_is_free_at_paper_scale() {
+    assert_ledger_free(DeviceKind::Opteron, &paper_sim(), PAPER_STEPS);
+}
+
+#[test]
+fn four_node_cluster_ledger_is_free_at_paper_scale() {
+    let sim = paper_sim();
+    let kind = ClusterKind::new(DeviceKind::Opteron, 4);
+    let plain = kind
+        .build()
+        .run(&sim, RunOptions::steps(PAPER_STEPS))
+        .expect("plain cluster run");
+    let mut led = RunLedger::new("cluster-4x", "ledger determinism probe");
+    let observed = kind
+        .build()
+        .run(&sim, RunOptions::steps(PAPER_STEPS).with_ledger(&mut led))
+        .expect("ledger cluster run");
+    assert_eq!(bits(&plain.checkpoint), bits(&observed.checkpoint));
+    assert_eq!(plain.sim_seconds.to_bits(), observed.sim_seconds.to_bits());
+    assert_eq!(
+        plain.energies.total.to_bits(),
+        observed.energies.total.to_bits()
+    );
+
+    // The cluster lays its timeline buckets as phases and reports per-node
+    // counters on `<label>.node<rank>` sources.
+    let phases: Vec<&str> = led
+        .events()
+        .iter()
+        .filter(|e| e.kind == EventKind::Phase)
+        .map(|e| e.name.as_str())
+        .collect();
+    for bucket in ["compute", "halo_exchange", "all_reduce", "recovery"] {
+        assert!(
+            phases.contains(&bucket),
+            "missing phase {bucket}: {phases:?}"
+        );
+    }
+    for rank in 0..4 {
+        let node_src = format!("cluster-4x-opteron.node{rank}");
+        assert!(
+            led.events()
+                .iter()
+                .any(|e| e.kind == EventKind::Counter && e.source == node_src),
+            "no counters for {node_src}"
+        );
+    }
+
+    let mut led2 = RunLedger::new("cluster-4x", "ledger determinism probe");
+    kind.build()
+        .run(&sim, RunOptions::steps(PAPER_STEPS).with_ledger(&mut led2))
+        .expect("second ledger cluster run");
+    assert_eq!(led.canonical_lines(), led2.canonical_lines());
+}
+
+/// The harness's host-timed producer fills in the two gate metrics and the
+/// result still parses, validates, and carries a non-empty canonical view.
+#[test]
+fn device_ledger_producer_carries_host_gate_metrics() {
+    let sim = SimConfig::reduced_lj(256);
+    let (metrics, led) =
+        harness::device_ledger(DeviceKind::Opteron, &sim, 3).expect("ledger producer");
+    assert_eq!(metrics.device, "opteron");
+    assert!(led.host_metric("opteron", "host_wall_seconds").is_some());
+    assert!(led
+        .host_metric("opteron", "host_atom_steps_per_s")
+        .is_some());
+    assert!(!led.canonical_lines().is_empty());
+    RunLedger::validate(&led.to_jsonl()).expect("serialized ledger validates");
+}
+
+/// A warm sweep's post-hoc ledger flips cache events from miss to hit while
+/// the simulated timeline stays byte-identical (cached metrics are bitwise
+/// the metrics the cold run produced).
+#[test]
+fn sweep_ledger_records_cache_hits_and_misses() {
+    use sim_sweep::{run_sweep, EngineConfig, SweepSpec};
+    let spec = SweepSpec {
+        name: "obs-ledger-probe",
+        description: "two tiny points for the cache-event test",
+        points: vec![
+            sim_sweep::SweepPoint {
+                figure: "probe",
+                device: DeviceKind::Opteron,
+                n_atoms: 108,
+                steps: 2,
+            },
+            sim_sweep::SweepPoint {
+                figure: "probe",
+                device: DeviceKind::Opteron,
+                n_atoms: 256,
+                steps: 2,
+            },
+        ],
+    };
+    let dir = std::env::temp_dir().join(format!("obs-sweep-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg = EngineConfig {
+        cache_dir: dir.clone(),
+        jobs: 1,
+        ..EngineConfig::default()
+    };
+    let cold = run_sweep(&spec, &cfg).expect("cold sweep");
+    let warm = run_sweep(&spec, &cfg).expect("warm sweep");
+    let cold_led = cold.to_ledger();
+    let warm_led = warm.to_ledger();
+
+    let details = |l: &RunLedger| -> Vec<String> {
+        l.events()
+            .iter()
+            .filter(|e| e.kind == EventKind::Cache)
+            .map(|e| e.detail.clone().unwrap_or_default())
+            .collect()
+    };
+    assert_eq!(details(&cold_led), vec!["miss", "miss"]);
+    assert_eq!(details(&warm_led), vec!["hit", "hit"]);
+
+    // Everything except the hit/miss provenance is byte-identical.
+    let sans_cache = |l: &RunLedger| -> Vec<String> {
+        l.canonical_lines()
+            .into_iter()
+            .filter(|line| !line.contains("\"kind\":\"cache\""))
+            .collect()
+    };
+    assert_eq!(sans_cache(&cold_led), sans_cache(&warm_led));
+    let _ = std::fs::remove_dir_all(&dir);
+}

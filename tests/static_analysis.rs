@@ -131,6 +131,14 @@ fn seeded_observer_purity_violation_detected() {
             .any(|f| f.rule == Rule::ObserverPurity && f.line == 2 && !f.waived),
         "{found:?}"
     );
+    // The run-ledger crate is held to the same purity rule: observation
+    // (ledger-on) must stay bitwise-identical to ledger-off.
+    let obs = scan_source("crates/sim-obs/src/ledger.rs", src);
+    assert!(
+        obs.iter()
+            .any(|f| f.rule == Rule::ObserverPurity && f.line == 2 && !f.waived),
+        "{obs:?}"
+    );
     // The same call inside a device crate is legitimate cost accounting.
     assert!(scan_source("crates/cell-be/src/spe.rs", src)
         .iter()

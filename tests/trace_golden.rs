@@ -310,6 +310,45 @@ fn counter_events_keep_the_export_valid_and_sorted() {
     assert!(accel < hazard && hazard < ctr, "{json}");
 }
 
+/// A deterministic monitor exercising both `"C"`-export paths: sampled
+/// counters (one event per sample) and an unsampled counter (a single point
+/// at t = 0 carrying the final value).
+fn synthetic_monitor() -> sim_perf::PerfMonitor {
+    let mut m = sim_perf::PerfMonitor::new();
+    let bytes = m.register("spe.dma.bytes", "bytes");
+    let fetches = m.register("gpu.tex.fetches", "ops");
+    m.add(bytes, 4096.0);
+    m.add_u64(fetches, 100);
+    m.sample_all(0.000_25);
+    m.add(bytes, 4096.0);
+    m.sample_all(0.000_75);
+    let unsampled = m.register("ppe.mailbox.round_trips", "events");
+    m.add_u64(unsampled, 3);
+    m
+}
+
+#[test]
+fn perf_counter_export_matches_golden_file() {
+    let mut t = Tracer::new();
+    t.name_track(TraceTrack(90), "perf");
+    synthetic_monitor().export_to_tracer(&mut t, TraceTrack(90));
+    let json = t.to_chrome_json();
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/perf_counters.json"
+    );
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(path, &json).expect("write golden");
+    }
+    let golden = std::fs::read_to_string(path).expect("read tests/golden/perf_counters.json");
+    assert_eq!(
+        json, golden,
+        "perf counter export drifted from tests/golden/perf_counters.json — \
+         if the change is intentional, regenerate with UPDATE_GOLDEN=1"
+    );
+    Json::validate(&json).expect("counter export must parse");
+}
+
 #[test]
 fn golden_file_is_strictly_valid_json() {
     let golden = include_str!("golden/trace_small.json");
