@@ -12,7 +12,7 @@ fn neighbor_ablation(c: &mut Criterion) {
     for &n in &[500usize, 2048] {
         let cfg = SimConfig::reduced_lj(n);
         let sys: ParticleSystem<f64> = md_core::init::initialize(&cfg);
-        let params = cfg.lj_params::<f64>();
+        let params = cfg.substrate::<f64>();
 
         group.bench_with_input(BenchmarkId::new("all-pairs-n2", n), &n, |b, _| {
             let mut s = sys.clone();

@@ -11,7 +11,7 @@ fn force_kernels(c: &mut Criterion) {
     for &n in &[256usize, 864] {
         let cfg = SimConfig::reduced_lj(n);
         let sys: ParticleSystem<f64> = md_core::init::initialize(&cfg);
-        let params = cfg.lj_params::<f64>();
+        let params = cfg.substrate::<f64>();
 
         group.bench_with_input(BenchmarkId::new("all-pairs-half", n), &n, |b, _| {
             let mut s = sys.clone();
@@ -44,8 +44,8 @@ fn precision(c: &mut Criterion) {
     let cfg = SimConfig::reduced_lj(864);
     let sys64: ParticleSystem<f64> = md_core::init::initialize(&cfg);
     let sys32: ParticleSystem<f32> = sys64.convert();
-    let p64 = cfg.lj_params::<f64>();
-    let p32 = cfg.lj_params::<f32>();
+    let p64 = cfg.substrate::<f64>();
+    let p32 = cfg.substrate::<f32>();
 
     group.bench_function("f64", |b| {
         let mut s = sys64.clone();

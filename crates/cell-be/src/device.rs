@@ -6,7 +6,7 @@ use crate::dma::DmaEngine;
 use crate::error::CellError;
 #[cfg(feature = "hazard-check")]
 use crate::hazard::{Dir, HazardChecker};
-use crate::kernel::{compute_accelerations, KernelStats, SpeKernelVariant, SpeLjParams};
+use crate::kernel::{compute_accelerations, KernelStats, SpeKernelVariant, SpeLanePhysics};
 use crate::localstore::{LocalStore, LsRegion};
 use crate::ppe::PpeModel;
 use crate::spe::Spe;
@@ -116,8 +116,8 @@ impl CellBeDevice {
         Self::new(CellConfig::paper_blade())
     }
 
-    /// Arm a deterministic fault schedule for subsequent `run_md*` calls
-    /// (primary resident path only; the tiled/double/PPE-only paths stay
+    /// Arm a deterministic fault schedule for subsequent runs (primary
+    /// resident path only; the tiled/double/PPE-only paths stay
     /// fault-free).
     #[cfg(feature = "fault-inject")]
     #[must_use]
@@ -126,120 +126,19 @@ impl CellBeDevice {
         self
     }
 
-    fn lj_params(sim: &SimConfig, sys: &ParticleSystem<f32>) -> SpeLjParams {
-        SpeLjParams {
-            epsilon: 1.0,
-            sigma: 1.0,
-            cutoff2: (sim.cutoff * sim.cutoff) as f32,
+    fn lane_physics(sim: &SimConfig, sys: &ParticleSystem<f32>) -> SpeLanePhysics {
+        SpeLanePhysics {
+            sub: sim.substrate::<f32>(),
             box_len: sys.box_len,
             inv_mass: 1.0 / sys.mass,
         }
     }
 
-    /// Run the MD kernel for `steps` time steps with the acceleration
-    /// computation offloaded to SPEs. Physics is single precision, matching
-    /// the paper's Cell port. Fails if the position + acceleration arrays do
-    /// not fit the 256 KB local store.
-    #[deprecated(note = "drive the device through md_core::device::MdDevice::run")]
-    pub fn run_md(
-        &self,
-        sim: &SimConfig,
-        steps: usize,
-        run: CellRunConfig,
-    ) -> Result<CellRun, CellError> {
-        let mut sys: ParticleSystem<f32> = init::initialize(sim);
-        self.run_md_impl(
-            &mut sys,
-            sim,
-            steps,
-            run,
-            None,
-            None,
-            md_core::device::HostParallelism::Serial,
-        )
-    }
-
-    /// [`run_md`] with performance counters: per-SPE DMA bytes and stall
-    /// cycles, mailbox round-trips, SIMD vs scalar flops, sampled once per
-    /// force evaluation. The monitor is a passive observer — this run is
-    /// bitwise-identical to [`run_md`]. Use a fresh monitor per run: counter
-    /// values are run-local totals.
-    ///
-    /// [`run_md`]: CellBeDevice::run_md
-    #[deprecated(note = "drive the device through md_core::device::MdDevice::run")]
-    pub fn run_md_perf(
-        &self,
-        sim: &SimConfig,
-        steps: usize,
-        run: CellRunConfig,
-        perf: &mut sim_perf::PerfMonitor,
-    ) -> Result<CellRun, CellError> {
-        let mut sys: ParticleSystem<f32> = init::initialize(sim);
-        self.run_md_impl(
-            &mut sys,
-            sim,
-            steps,
-            run,
-            None,
-            Some(perf),
-            md_core::device::HostParallelism::Serial,
-        )
-    }
-
-    /// Like [`Self::run_md`] but continuing from caller-owned state instead
-    /// of a fresh lattice. The supervisor uses this to resume a run from a
-    /// checkpoint: because every segment re-primes accelerations from the
-    /// positions at its first evaluation, a run split into segments
-    /// reproduces the unsegmented trajectory bit for bit. On error
-    /// (including injected-fault exhaustion) `sys` may hold a partially
-    /// advanced state and must be restored by the caller before retrying.
-    #[deprecated(note = "drive the device through md_core::device::MdDevice::run")]
-    pub fn run_md_from(
-        &self,
-        sys: &mut ParticleSystem<f32>,
-        sim: &SimConfig,
-        steps: usize,
-        run: CellRunConfig,
-    ) -> Result<CellRun, CellError> {
-        self.run_md_impl(
-            sys,
-            sim,
-            steps,
-            run,
-            None,
-            None,
-            md_core::device::HostParallelism::Serial,
-        )
-    }
-
-    /// [`run_md_from`] with performance counters (see [`run_md_perf`]).
-    ///
-    /// [`run_md_from`]: CellBeDevice::run_md_from
-    /// [`run_md_perf`]: CellBeDevice::run_md_perf
-    #[deprecated(note = "drive the device through md_core::device::MdDevice::run")]
-    pub fn run_md_from_perf(
-        &self,
-        sys: &mut ParticleSystem<f32>,
-        sim: &SimConfig,
-        steps: usize,
-        run: CellRunConfig,
-        perf: &mut sim_perf::PerfMonitor,
-    ) -> Result<CellRun, CellError> {
-        self.run_md_impl(
-            sys,
-            sim,
-            steps,
-            run,
-            None,
-            Some(perf),
-            md_core::device::HostParallelism::Serial,
-        )
-    }
-
-    /// Like [`Self::run_md`], additionally recording a timeline of the
-    /// simulated execution (PPE track 0, SPE `i` on track `i + 1`) into the
-    /// tracer — exportable to `chrome://tracing` via
-    /// [`mdea_trace::Tracer::to_chrome_json`].
+    /// Run the MD kernel with SPE offload, additionally recording a timeline
+    /// of the simulated execution (PPE track 0, SPE `i` on track `i + 1`)
+    /// into the tracer — exportable to `chrome://tracing` via
+    /// [`mdea_trace::Tracer::to_chrome_json`]. The plain run path is
+    /// [`md_core::device::MdDevice::run`] on [`CellMd`].
     pub fn run_md_traced(
         &self,
         sim: &SimConfig,
@@ -283,7 +182,10 @@ impl CellBeDevice {
         let vv = VelocityVerlet::new(sim.dt as f32);
         let ppe = PpeModel::new(&self.config);
         let dma = DmaEngine::new(&self.config);
-        let params = Self::lj_params(sim, sys);
+        let params = Self::lane_physics(sim, sys);
+        // Ensemble upkeep (thermostat) runs on the PPE after the final kick;
+        // zero cycles under NVE, so the seed cost model is untouched.
+        let ens_cycles = sys.n() as f64 * params.sub.extra_step_ops_per_atom();
 
         // One fault session per run: the plan decides, the session keeps the
         // retry/exhaustion ledger and the simulated-time cost of recovery.
@@ -723,6 +625,9 @@ impl CellBeDevice {
                 }
                 t_now += dur;
                 vv.kick(sys);
+                params.sub.apply_thermostat(sys);
+                breakdown.ppe += ens_cycles;
+                t_now += ens_cycles / clk;
             }
 
             if let (Some(p), Some(h)) = (perf.as_deref_mut(), handles.as_ref()) {
@@ -787,7 +692,8 @@ impl CellBeDevice {
         let vv = VelocityVerlet::new(sim.dt as f32);
         let ppe = PpeModel::new(&self.config);
         let dma = DmaEngine::new(&self.config);
-        let params = Self::lj_params(sim, &sys);
+        let params = Self::lane_physics(sim, &sys);
+        let ens_cycles = n as f64 * params.sub.extra_step_ops_per_atom();
 
         let mut main_memory = vec![0u8; 2 * n * 16];
         let mut spes: Vec<Spe> = (0..run.n_spes)
@@ -948,6 +854,8 @@ impl CellBeDevice {
             if eval > 0 {
                 breakdown.ppe += ppe.integration_cycles(n);
                 vv.kick(&mut sys);
+                params.sub.apply_thermostat(&mut sys);
+                breakdown.ppe += ens_cycles;
             }
         }
 
@@ -986,13 +894,12 @@ impl CellBeDevice {
         let vv = VelocityVerlet::new(sim.dt);
         let ppe = PpeModel::new(&self.config);
         let dma = DmaEngine::new(&self.config);
-        let params = crate::kernel::SpeLjParamsF64 {
-            epsilon: 1.0,
-            sigma: 1.0,
-            cutoff2: sim.cutoff * sim.cutoff,
+        let params = crate::kernel::SpeLanePhysicsF64 {
+            sub: sim.substrate::<f64>(),
             box_len: sys.box_len,
             inv_mass: 1.0 / sys.mass,
         };
+        let ens_cycles = n as f64 * params.sub.extra_step_ops_per_atom();
 
         // Two quadwords per atom per array.
         let mut main_memory = vec![0u8; 4 * n * 16];
@@ -1101,6 +1008,8 @@ impl CellBeDevice {
             if eval > 0 {
                 breakdown.ppe += ppe.integration_cycles(n);
                 vv.kick(&mut sys);
+                params.sub.apply_thermostat(&mut sys);
+                breakdown.ppe += ens_cycles;
             }
         }
 
@@ -1133,7 +1042,8 @@ impl CellBeDevice {
         let n = sys.n();
         let vv = VelocityVerlet::new(sim.dt as f32);
         let ppe = PpeModel::new(&self.config);
-        let params = Self::lj_params(sim, sys);
+        let params = Self::lane_physics(sim, sys);
+        let ens_cycles = n as f64 * params.sub.extra_step_ops_per_atom();
 
         // The PPE works straight out of main memory; reuse the kernel with a
         // scratch "store" big enough for both arrays. The layout is fixed, so
@@ -1181,6 +1091,8 @@ impl CellBeDevice {
             if eval > 0 {
                 breakdown.ppe += ppe.integration_cycles(n);
                 vv.kick(sys);
+                params.sub.apply_thermostat(sys);
+                breakdown.ppe += ens_cycles;
             }
         }
 
@@ -1212,7 +1124,7 @@ impl CellBeDevice {
         let sys: ParticleSystem<f32> = init::initialize(sim);
         let n = sys.n();
         let dma = DmaEngine::new(&self.config);
-        let params = Self::lj_params(sim, &sys);
+        let params = Self::lane_physics(sim, &sys);
 
         let mut spe = Spe::new(0, &self.config);
         let pos_r = spe.alloc_quads(n)?;
@@ -1699,16 +1611,67 @@ impl md_core::device::MdDevice for CellAccelProbe {
 }
 
 #[cfg(test)]
-#[allow(deprecated)]
 // Tests assert *bitwise* f64 equality on purpose: identical runs must
 // produce identical results, not merely close ones (DESIGN.md §4).
 #[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
+    use md_core::device::HostParallelism;
     use md_core::forces::{AllPairsFullKernel, ForceKernel};
 
     fn workload(n: usize) -> SimConfig {
         SimConfig::reduced_lj(n)
+    }
+
+    /// Test driver for the resident SPE-offload path from a fresh lattice
+    /// (the production entry point is `MdDevice::run` on [`CellMd`]).
+    fn run_md(
+        device: &CellBeDevice,
+        sim: &SimConfig,
+        steps: usize,
+        run: CellRunConfig,
+    ) -> Result<CellRun, CellError> {
+        let mut sys: ParticleSystem<f32> = init::initialize(sim);
+        device.run_md_impl(
+            &mut sys,
+            sim,
+            steps,
+            run,
+            None,
+            None,
+            HostParallelism::Serial,
+        )
+    }
+
+    /// Like [`run_md`] but continuing from caller-owned state.
+    fn run_md_from(
+        device: &CellBeDevice,
+        sys: &mut ParticleSystem<f32>,
+        sim: &SimConfig,
+        steps: usize,
+        run: CellRunConfig,
+    ) -> Result<CellRun, CellError> {
+        device.run_md_impl(sys, sim, steps, run, None, None, HostParallelism::Serial)
+    }
+
+    /// [`run_md`] with performance counters attached.
+    fn run_md_perf(
+        device: &CellBeDevice,
+        sim: &SimConfig,
+        steps: usize,
+        run: CellRunConfig,
+        perf: &mut sim_perf::PerfMonitor,
+    ) -> Result<CellRun, CellError> {
+        let mut sys: ParticleSystem<f32> = init::initialize(sim);
+        device.run_md_impl(
+            &mut sys,
+            sim,
+            steps,
+            run,
+            None,
+            Some(perf),
+            HostParallelism::Serial,
+        )
     }
 
     #[test]
@@ -1731,18 +1694,17 @@ mod tests {
     fn physics_matches_f32_reference() {
         let sim = workload(256);
         let device = CellBeDevice::paper_blade();
-        let run = device
-            .run_md(&sim, 3, CellRunConfig::best())
-            .expect("256 atoms fit the local store");
+        let run =
+            run_md(&device, &sim, 3, CellRunConfig::best()).expect("256 atoms fit the local store");
 
         // Reference: same workload, f32, untimed.
         let mut sys: ParticleSystem<f32> = init::initialize(&sim);
-        let params = sim.lj_params::<f32>();
+        let sub = sim.substrate::<f32>();
         let vv = VelocityVerlet::new(sim.dt as f32);
         let mut kernel = AllPairsFullKernel;
-        let mut pe = kernel.compute(&mut sys, &params);
+        let mut pe = kernel.compute(&mut sys, &sub);
         for _ in 0..3 {
-            pe = vv.step(&mut sys, &mut kernel, &params);
+            pe = vv.step(&mut sys, &mut kernel, &sub);
         }
         let expect = EnergyReport::measure(&sys, pe as f64);
         assert!(
@@ -1759,17 +1721,17 @@ mod tests {
         let device = CellBeDevice::paper_blade();
         let mut totals = Vec::new();
         for variant in SpeKernelVariant::ALL {
-            let run = device
-                .run_md(
-                    &sim,
-                    2,
-                    CellRunConfig {
-                        n_spes: 4,
-                        policy: SpawnPolicy::LaunchOnce,
-                        variant,
-                    },
-                )
-                .unwrap();
+            let run = run_md(
+                &device,
+                &sim,
+                2,
+                CellRunConfig {
+                    n_spes: 4,
+                    policy: SpawnPolicy::LaunchOnce,
+                    variant,
+                },
+            )
+            .unwrap();
             totals.push(run.energies.total);
         }
         for t in &totals {
@@ -1796,28 +1758,28 @@ mod tests {
     fn figure6_launch_once_amortizes_spawn() {
         let sim = workload(2048);
         let device = CellBeDevice::paper_blade();
-        let respawn = device
-            .run_md(
-                &sim,
-                10,
-                CellRunConfig {
-                    n_spes: 8,
-                    policy: SpawnPolicy::RespawnEveryStep,
-                    variant: SpeKernelVariant::SimdAcceleration,
-                },
-            )
-            .unwrap();
-        let once = device
-            .run_md(
-                &sim,
-                10,
-                CellRunConfig {
-                    n_spes: 8,
-                    policy: SpawnPolicy::LaunchOnce,
-                    variant: SpeKernelVariant::SimdAcceleration,
-                },
-            )
-            .unwrap();
+        let respawn = run_md(
+            &device,
+            &sim,
+            10,
+            CellRunConfig {
+                n_spes: 8,
+                policy: SpawnPolicy::RespawnEveryStep,
+                variant: SpeKernelVariant::SimdAcceleration,
+            },
+        )
+        .unwrap();
+        let once = run_md(
+            &device,
+            &sim,
+            10,
+            CellRunConfig {
+                n_spes: 8,
+                policy: SpawnPolicy::LaunchOnce,
+                variant: SpeKernelVariant::SimdAcceleration,
+            },
+        )
+        .unwrap();
         assert!(once.sim_seconds < respawn.sim_seconds);
         assert!(
             respawn.launch_fraction() > 3.0 * once.launch_fraction(),
@@ -1835,10 +1797,8 @@ mod tests {
     fn eight_spes_beat_one_spe_when_launch_amortized() {
         let sim = workload(2048);
         let device = CellBeDevice::paper_blade();
-        let one = device
-            .run_md(&sim, 10, CellRunConfig::single_spe())
-            .unwrap();
-        let eight = device.run_md(&sim, 10, CellRunConfig::best()).unwrap();
+        let one = run_md(&device, &sim, 10, CellRunConfig::single_spe()).unwrap();
+        let eight = run_md(&device, &sim, 10, CellRunConfig::best()).unwrap();
         let speedup = one.sim_seconds / eight.sim_seconds;
         assert!(
             (3.5..7.0).contains(&speedup),
@@ -1853,7 +1813,7 @@ mod tests {
         // assert a substantial gap cheaply.
         let sim = workload(1024);
         let device = CellBeDevice::paper_blade();
-        let eight = device.run_md(&sim, 6, CellRunConfig::best()).unwrap();
+        let eight = run_md(&device, &sim, 6, CellRunConfig::best()).unwrap();
         let ppe = device.run_md_ppe_only(&sim, 6);
         let ratio = ppe.sim_seconds / eight.sim_seconds;
         assert!(ratio > 5.0, "PPE-only should be far slower: {ratio:.1}");
@@ -1868,7 +1828,7 @@ mod tests {
         // atoms need 2 * 160 KB > 256 KB.
         let sim = workload(10_000);
         let device = CellBeDevice::paper_blade();
-        let err = device.run_md(&sim, 1, CellRunConfig::best());
+        let err = run_md(&device, &sim, 1, CellRunConfig::best());
         assert!(err.is_err(), "10k atoms cannot fit the local store layout");
     }
 
@@ -1876,8 +1836,8 @@ mod tests {
     fn deterministic() {
         let sim = workload(256);
         let device = CellBeDevice::paper_blade();
-        let a = device.run_md(&sim, 3, CellRunConfig::best()).unwrap();
-        let b = device.run_md(&sim, 3, CellRunConfig::best()).unwrap();
+        let a = run_md(&device, &sim, 3, CellRunConfig::best()).unwrap();
+        let b = run_md(&device, &sim, 3, CellRunConfig::best()).unwrap();
         assert_eq!(a.sim_seconds, b.sim_seconds);
         assert_eq!(a.energies.total, b.energies.total);
     }
@@ -1886,11 +1846,9 @@ mod tests {
     fn perf_counters_are_free_and_populated() {
         let sim = workload(256);
         let device = CellBeDevice::paper_blade();
-        let plain = device.run_md(&sim, 3, CellRunConfig::best()).unwrap();
+        let plain = run_md(&device, &sim, 3, CellRunConfig::best()).unwrap();
         let mut perf = sim_perf::PerfMonitor::new();
-        let counted = device
-            .run_md_perf(&sim, 3, CellRunConfig::best(), &mut perf)
-            .unwrap();
+        let counted = run_md_perf(&device, &sim, 3, CellRunConfig::best(), &mut perf).unwrap();
 
         // Observability is free: bitwise-identical outcome.
         assert_eq!(plain.sim_seconds, counted.sim_seconds);
@@ -1923,18 +1881,18 @@ mod tests {
         let sim = workload(108);
         let device = CellBeDevice::paper_blade();
         let mut perf = sim_perf::PerfMonitor::new();
-        device
-            .run_md_perf(
-                &sim,
-                1,
-                CellRunConfig {
-                    n_spes: 2,
-                    policy: SpawnPolicy::LaunchOnce,
-                    variant: SpeKernelVariant::Original,
-                },
-                &mut perf,
-            )
-            .unwrap();
+        run_md_perf(
+            &device,
+            &sim,
+            1,
+            CellRunConfig {
+                n_spes: 2,
+                policy: SpawnPolicy::LaunchOnce,
+                variant: SpeKernelVariant::Original,
+            },
+            &mut perf,
+        )
+        .unwrap();
         let simd = perf.find("cell.flops.simd").expect("registered");
         let scalar = perf.find("cell.flops.scalar").expect("registered");
         assert_eq!(simd.value(), 0.0);
@@ -1949,7 +1907,7 @@ mod tests {
         let traced = device
             .run_md_traced(&sim, 3, CellRunConfig::best(), &mut tracer)
             .unwrap();
-        let plain = device.run_md(&sim, 3, CellRunConfig::best()).unwrap();
+        let plain = run_md(&device, &sim, 3, CellRunConfig::best()).unwrap();
 
         // Tracing must not perturb the simulation.
         assert_eq!(traced.sim_seconds, plain.sim_seconds);
@@ -1985,7 +1943,7 @@ mod tests {
     fn tiled_port_matches_resident_port() {
         let sim = workload(512);
         let device = CellBeDevice::paper_blade();
-        let resident = device.run_md(&sim, 3, CellRunConfig::best()).unwrap();
+        let resident = run_md(&device, &sim, 3, CellRunConfig::best()).unwrap();
         let tiled = device
             .run_md_tiled(&sim, 3, CellRunConfig::best(), 128)
             .unwrap();
@@ -2053,12 +2011,12 @@ mod tests {
             .expect("fits local store");
 
         let mut sys: ParticleSystem<f64> = init::initialize(&sim);
-        let params = sim.lj_params::<f64>();
+        let sub = sim.substrate::<f64>();
         let vv = VelocityVerlet::new(sim.dt);
         let mut kernel = AllPairsFullKernel;
-        let mut pe = kernel.compute(&mut sys, &params);
+        let mut pe = kernel.compute(&mut sys, &sub);
         for _ in 0..3 {
-            pe = vv.step(&mut sys, &mut kernel, &params);
+            pe = vv.step(&mut sys, &mut kernel, &sub);
         }
         let expect = EnergyReport::measure(&sys, pe);
         assert!(
@@ -2073,7 +2031,7 @@ mod tests {
     fn double_precision_pays_the_dp_penalty() {
         let sim = workload(512);
         let device = CellBeDevice::paper_blade();
-        let sp = device.run_md(&sim, 4, CellRunConfig::best()).unwrap();
+        let sp = run_md(&device, &sim, 4, CellRunConfig::best()).unwrap();
         let dp = device
             .run_md_double(&sim, 4, CellRunConfig::best())
             .unwrap();
@@ -2092,17 +2050,11 @@ mod tests {
         let sim = workload(256);
         let device = CellBeDevice::paper_blade();
         let mut whole: ParticleSystem<f32> = init::initialize(&sim);
-        device
-            .run_md_from(&mut whole, &sim, 10, CellRunConfig::best())
-            .unwrap();
+        run_md_from(&device, &mut whole, &sim, 10, CellRunConfig::best()).unwrap();
 
         let mut segmented: ParticleSystem<f32> = init::initialize(&sim);
-        device
-            .run_md_from(&mut segmented, &sim, 5, CellRunConfig::best())
-            .unwrap();
-        device
-            .run_md_from(&mut segmented, &sim, 5, CellRunConfig::best())
-            .unwrap();
+        run_md_from(&device, &mut segmented, &sim, 5, CellRunConfig::best()).unwrap();
+        run_md_from(&device, &mut segmented, &sim, 5, CellRunConfig::best()).unwrap();
 
         assert_eq!(whole.positions, segmented.positions);
         assert_eq!(whole.velocities, segmented.velocities);
@@ -2115,16 +2067,26 @@ mod tests {
         let sim = workload(256);
         let clean_device = CellBeDevice::paper_blade();
         let mut clean_sys: ParticleSystem<f32> = init::initialize(&sim);
-        let clean = clean_device
-            .run_md_from(&mut clean_sys, &sim, 5, CellRunConfig::best())
-            .unwrap();
+        let clean = run_md_from(
+            &clean_device,
+            &mut clean_sys,
+            &sim,
+            5,
+            CellRunConfig::best(),
+        )
+        .unwrap();
 
         let faulty_device =
             CellBeDevice::paper_blade().with_fault_plan(sim_fault::FaultPlan::new(7, 0.1));
         let mut faulty_sys: ParticleSystem<f32> = init::initialize(&sim);
-        let faulty = faulty_device
-            .run_md_from(&mut faulty_sys, &sim, 5, CellRunConfig::best())
-            .unwrap();
+        let faulty = run_md_from(
+            &faulty_device,
+            &mut faulty_sys,
+            &sim,
+            5,
+            CellRunConfig::best(),
+        )
+        .unwrap();
 
         assert_eq!(clean_sys.positions, faulty_sys.positions);
         assert_eq!(clean_sys.velocities, faulty_sys.velocities);
@@ -2152,7 +2114,7 @@ mod tests {
     fn always_faulting_plan_surfaces_typed_exhaustion() {
         let sim = workload(256);
         let device = CellBeDevice::paper_blade().with_fault_plan(sim_fault::FaultPlan::new(0, 1.0));
-        let err = device.run_md(&sim, 2, CellRunConfig::best());
+        let err = run_md(&device, &sim, 2, CellRunConfig::best());
         assert!(
             matches!(err, Err(CellError::FaultExhausted { .. })),
             "rate-1.0 plan must exhaust: {err:?}"
@@ -2165,8 +2127,8 @@ mod tests {
         let sim = workload(256);
         let mk =
             || CellBeDevice::paper_blade().with_fault_plan(sim_fault::FaultPlan::new(42, 0.15));
-        let a = mk().run_md(&sim, 4, CellRunConfig::best()).unwrap();
-        let b = mk().run_md(&sim, 4, CellRunConfig::best()).unwrap();
+        let a = run_md(&mk(), &sim, 4, CellRunConfig::best()).unwrap();
+        let b = run_md(&mk(), &sim, 4, CellRunConfig::best()).unwrap();
         assert_eq!(a.faults, b.faults);
         assert_eq!(a.sim_seconds, b.sim_seconds);
     }
@@ -2191,7 +2153,7 @@ mod tests {
         // 6000 atoms fit in f32 (2 * 96 KB) but not in f64 (2 * 192 KB).
         let sim = workload(6000);
         let device = CellBeDevice::paper_blade();
-        assert!(device.run_md(&sim, 0, CellRunConfig::best()).is_ok());
+        assert!(run_md(&device, &sim, 0, CellRunConfig::best()).is_ok());
         assert!(device
             .run_md_double(&sim, 0, CellRunConfig::best())
             .is_err());

@@ -20,8 +20,9 @@
 
 use crate::config::SpeCostModel;
 use crate::localstore::{LocalStore, LsRegion};
+use md_core::scenario::Substrate;
 use std::ops::Range;
-use vecmath::F32x4;
+use vecmath::{F32x4, Real};
 
 /// The six optimization stages of Figure 5.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
@@ -82,12 +83,14 @@ pub struct KernelStats {
     pub cycles: f64, // sim-vet: allow(precision-discipline): simulated-time accounting, not kernel physics
 }
 
-/// Scalar LJ parameters as the SPE sees them (single precision).
+/// Per-lane physics as the SPE sees it (single precision, matching the
+/// paper's Cell port): the resolved scenario substrate — potential,
+/// precision policy, thermostat — plus the geometry constants every pair
+/// evaluation needs. Replaces the old hard-coded `SpeLjParams` so the same
+/// SPE kernel serves every scenario (DESIGN.md §16).
 #[derive(Clone, Copy, Debug)]
-pub struct SpeLjParams {
-    pub epsilon: f32,
-    pub sigma: f32,
-    pub cutoff2: f32,
+pub struct SpeLanePhysics {
+    pub sub: Substrate<f32>,
     pub box_len: f32,
     pub inv_mass: f32,
 }
@@ -105,7 +108,7 @@ pub fn compute_accelerations(
     acc: LsRegion,
     i_range: Range<usize>,
     n_atoms: usize,
-    params: SpeLjParams,
+    params: SpeLanePhysics,
     variant: SpeKernelVariant,
     costs: &SpeCostModel,
 ) -> (f32, KernelStats) {
@@ -114,7 +117,12 @@ pub fn compute_accelerations(
 
     let l = params.box_len;
     let half_l = 0.5 * l;
-    let sigma2 = params.sigma * params.sigma;
+    let cutoff2 = params.sub.cutoff2();
+    let mixed = params.sub.accumulate_f64;
+    // Potential-evaluation cycles per interacting pair: the LJ baseline plus
+    // whatever extra arithmetic the scenario's potential costs (zero for LJ,
+    // so the default scenario's charges are bit-identical to the seed).
+    let pot_cost = costs.lj_eval + params.sub.extra_eval_ops();
 
     let reflect_cost = if variant.reflect_simd() {
         costs.reflect_simd
@@ -147,6 +155,12 @@ pub fn compute_accelerations(
         let pi_v = F32x4(pi);
         let mut acc_v = F32x4::ZERO;
         let mut pe_i = 0.0f32;
+        // Mixed-precision accumulators (policy `mixed`): row sums carried in
+        // f64 on the SPE's DP unit, narrowed once at the store.
+        // sim-vet: begin-allow(precision-discipline): the mixed policy's DP accumulators are the point — the SPE's double-precision unit carries the row sums
+        let mut acc64 = [0.0f64; 3];
+        let mut pe64 = 0.0f64;
+        // sim-vet: end-allow(precision-discipline)
 
         for j in 0..n_atoms {
             if j == i {
@@ -215,22 +229,26 @@ pub fn compute_accelerations(
             };
 
             // --- cutoff test (data-dependent in every variant) ---
-            if r2 < params.cutoff2 && r2 > 0.0 {
+            if r2 < cutoff2 && r2 > 0.0 {
                 stats.interactions += 1;
-                stats.cycles += costs.lj_eval + accel_cost;
+                stats.cycles += pot_cost + accel_cost;
 
-                let inv_r2 = 1.0 / r2;
-                let s2 = sigma2 * inv_r2;
-                let s6 = s2 * s2 * s2;
-                let s12 = s6 * s6;
-                let e = 4.0 * params.epsilon * (s12 - s6);
-                let f_over_r = 24.0 * params.epsilon * (2.0 * s12 - s6) * inv_r2;
-                pe_i += e;
+                let (e, f_over_r) = params.sub.energy_force(r2);
 
                 // --- force → acceleration conversion ---
-                if variant.accel_simd() {
+                if mixed {
+                    // sim-vet: begin-allow(precision-discipline): mixed policy widens per-pair contributions to the DP accumulators
+                    pe64 += f64::from(e);
+                    let s = f_over_r * params.inv_mass;
+                    acc64[0] += f64::from(dir.lane(0) * s);
+                    acc64[1] += f64::from(dir.lane(1) * s);
+                    acc64[2] += f64::from(dir.lane(2) * s);
+                    // sim-vet: end-allow(precision-discipline)
+                } else if variant.accel_simd() {
+                    pe_i += e;
                     acc_v = dir.madd(F32x4::splat(f_over_r * params.inv_mass), acc_v);
                 } else {
+                    pe_i += e;
                     let mut a = acc_v.0;
                     for (k, ak) in a.iter_mut().take(3).enumerate() {
                         *ak += dir.lane(k) * f_over_r * params.inv_mass;
@@ -240,6 +258,15 @@ pub fn compute_accelerations(
             }
         }
 
+        if mixed {
+            acc_v = F32x4([
+                f32::from_f64(acc64[0]),
+                f32::from_f64(acc64[1]),
+                f32::from_f64(acc64[2]),
+                0.0,
+            ]);
+            pe_i = f32::from_f64(pe64);
+        }
         pe_slice += pe_i;
         ls.store_quad(acc, i, [acc_v.lane(0), acc_v.lane(1), acc_v.lane(2), pe_i]);
     }
@@ -267,7 +294,7 @@ pub fn compute_accelerations_tiled(
     j_offset: usize,
     j_count: usize,
     acc: LsRegion,
-    params: SpeLjParams,
+    params: SpeLanePhysics,
     variant: SpeKernelVariant,
     costs: &SpeCostModel,
 ) -> (f32, KernelStats) {
@@ -280,18 +307,24 @@ pub fn compute_accelerations_tiled(
 
     let l = params.box_len;
     let half_l = 0.5 * l;
-    let sigma2 = params.sigma * params.sigma;
+    let cutoff2 = params.sub.cutoff2();
+    let mixed = params.sub.accumulate_f64;
     let per_pair_cost = costs.reflect_simd
         + costs.direction_simd
         + costs.length_simd
         + costs.cutoff_test
         + costs.pair_loads;
-    let per_interact_cost = costs.lj_eval + costs.accel_simd;
+    let per_interact_cost = costs.lj_eval + costs.accel_simd + params.sub.extra_eval_ops();
 
     for ii in 0..i_count {
         stats.cycles += costs.per_atom;
         let pi = F32x4(ls.load_quad(pos_i, ii));
         let mut acc_q = F32x4(ls.load_quad(acc, ii));
+        // Mixed policy: this tile's contributions sum in f64, then fold into
+        // the running f32 quad once per tile (the quad is the cross-tile
+        // carrier, so narrowing happens at tile granularity).
+        // sim-vet: allow(precision-discipline): mixed-policy tile accumulator runs on the SPE DP unit by design
+        let mut acc64 = [0.0f64; 4];
 
         for jj in 0..j_count {
             if i_offset + ii == j_offset + jj {
@@ -312,19 +345,32 @@ pub fn compute_accelerations_tiled(
             let dir = pi.sub(pj.add(shift));
             let r2 = dir.dot3(dir);
 
-            if r2 < params.cutoff2 && r2 > 0.0 {
+            if r2 < cutoff2 && r2 > 0.0 {
                 stats.interactions += 1;
                 stats.cycles += per_interact_cost;
-                let inv_r2 = 1.0 / r2;
-                let s2 = sigma2 * inv_r2;
-                let s6 = s2 * s2 * s2;
-                let s12 = s6 * s6;
-                let e = 4.0 * params.epsilon * (s12 - s6);
-                let f_over_r = 24.0 * params.epsilon * (2.0 * s12 - s6) * inv_r2;
+                let (e, f_over_r) = params.sub.energy_force(r2);
                 pe_added += e;
-                acc_q = dir.madd(F32x4::splat(f_over_r * params.inv_mass), acc_q);
-                acc_q = acc_q.with_lane(3, acc_q.lane(3) + e);
+                if mixed {
+                    // sim-vet: begin-allow(precision-discipline): mixed policy widens per-pair contributions to the DP accumulators
+                    let s = f_over_r * params.inv_mass;
+                    acc64[0] += f64::from(dir.lane(0) * s);
+                    acc64[1] += f64::from(dir.lane(1) * s);
+                    acc64[2] += f64::from(dir.lane(2) * s);
+                    acc64[3] += f64::from(e);
+                    // sim-vet: end-allow(precision-discipline)
+                } else {
+                    acc_q = dir.madd(F32x4::splat(f_over_r * params.inv_mass), acc_q);
+                    acc_q = acc_q.with_lane(3, acc_q.lane(3) + e);
+                }
             }
+        }
+        if mixed {
+            acc_q = F32x4([
+                acc_q.lane(0) + f32::from_f64(acc64[0]),
+                acc_q.lane(1) + f32::from_f64(acc64[1]),
+                acc_q.lane(2) + f32::from_f64(acc64[2]),
+                acc_q.lane(3) + f32::from_f64(acc64[3]),
+            ]);
         }
         ls.store_quad(acc, ii, acc_q.0);
     }
@@ -334,12 +380,10 @@ pub fn compute_accelerations_tiled(
 
 // sim-vet: begin-allow(precision-discipline): explicit double-precision section — models the SPE's DP unit (the paper's "outstanding issue"), not the f32 datapath
 
-/// Double-precision LJ parameters for the DP kernel extension.
+/// Double-precision lane physics for the DP kernel extension.
 #[derive(Clone, Copy, Debug)]
-pub struct SpeLjParamsF64 {
-    pub epsilon: f64,
-    pub sigma: f64,
-    pub cutoff2: f64,
+pub struct SpeLanePhysicsF64 {
+    pub sub: Substrate<f64>,
     pub box_len: f64,
     pub inv_mass: f64,
 }
@@ -359,7 +403,7 @@ pub fn compute_accelerations_f64(
     acc: LsRegion,
     i_range: Range<usize>,
     n_atoms: usize,
-    params: SpeLjParamsF64,
+    params: SpeLanePhysicsF64,
     costs: &SpeCostModel,
 ) -> (f64, KernelStats) {
     let mut stats = KernelStats::default();
@@ -367,14 +411,15 @@ pub fn compute_accelerations_f64(
 
     let l = params.box_len;
     let half_l = 0.5 * l;
-    let sigma2 = params.sigma * params.sigma;
+    let cutoff2 = params.sub.cutoff2();
 
     // DP stage costs: arithmetic scaled by the penalty, loads doubled.
     let per_pair_cost =
         (costs.reflect_simd + costs.direction_simd + costs.length_simd + costs.cutoff_test)
             * costs.dp_penalty
             + 2.0 * costs.pair_loads;
-    let per_interact_cost = (costs.lj_eval + costs.accel_simd) * costs.dp_penalty;
+    let per_interact_cost =
+        (costs.lj_eval + costs.accel_simd + params.sub.extra_eval_ops()) * costs.dp_penalty;
 
     for i in i_range {
         stats.cycles += costs.per_atom * 2.0;
@@ -405,15 +450,11 @@ pub fn compute_accelerations_f64(
                 d[k] = dk;
             }
             let r2 = d[0] * d[0] + d[1] * d[1] + d[2] * d[2];
-            if r2 < params.cutoff2 && r2 > 0.0 {
+            if r2 < cutoff2 && r2 > 0.0 {
                 stats.interactions += 1;
                 stats.cycles += per_interact_cost;
-                let inv_r2 = 1.0 / r2;
-                let s2 = sigma2 * inv_r2;
-                let s6 = s2 * s2 * s2;
-                let s12 = s6 * s6;
-                pe_i += 4.0 * params.epsilon * (s12 - s6);
-                let f_over_r = 24.0 * params.epsilon * (2.0 * s12 - s6) * inv_r2;
+                let (e, f_over_r) = params.sub.energy_force(r2);
+                pe_i += e;
                 for k in 0..3 {
                     acc_v[k] += d[k] * f_over_r * params.inv_mass;
                 }
@@ -437,12 +478,13 @@ pub fn compute_accelerations_f64(
 mod tests {
     use super::*;
     use crate::localstore::LocalStore;
+    use md_core::scenario::ScenarioSpec;
 
     /// Builds a small LS image from explicit positions.
     fn setup(
         positions: &[[f32; 3]],
         box_len: f32,
-    ) -> (LocalStore, LsRegion, LsRegion, SpeLjParams) {
+    ) -> (LocalStore, LsRegion, LsRegion, SpeLanePhysics) {
         let n = positions.len();
         let mut ls = LocalStore::new(64 * 1024);
         let pos = ls.alloc_quads(n).unwrap();
@@ -450,10 +492,8 @@ mod tests {
         for (i, p) in positions.iter().enumerate() {
             ls.store_quad(pos, i, [p[0], p[1], p[2], 0.0]);
         }
-        let params = SpeLjParams {
-            epsilon: 1.0,
-            sigma: 1.0,
-            cutoff2: 6.25,
+        let params = SpeLanePhysics {
+            sub: ScenarioSpec::default().substrate(2.5),
             box_len,
             inv_mass: 1.0,
         };
@@ -537,7 +577,7 @@ mod tests {
         let mut prev = f64::INFINITY;
         for v in SpeKernelVariant::ALL {
             let (mut ls, pos, acc, mut params) = setup(&positions, 6.0);
-            params.cutoff2 = 4.0;
+            params.sub = ScenarioSpec::default().substrate(2.0);
             let (_, stats) = compute_accelerations(&mut ls, pos, acc, 0..32, 32, params, v, &costs);
             assert!(
                 stats.cycles < prev,
@@ -561,11 +601,11 @@ mod tests {
         let v = SpeKernelVariant::SimdAcceleration;
 
         let (mut ls_a, pos_a, acc_a, mut pa) = setup(&positions, 6.0);
-        pa.cutoff2 = 4.0;
+        pa.sub = ScenarioSpec::default().substrate(2.0);
         let (pe_full, _) = compute_accelerations(&mut ls_a, pos_a, acc_a, 0..32, 32, pa, v, &costs);
 
         let (mut ls_b, pos_b, acc_b, mut pb) = setup(&positions, 6.0);
-        pb.cutoff2 = 4.0;
+        pb.sub = ScenarioSpec::default().substrate(2.0);
         let (pe1, _) = compute_accelerations(&mut ls_b, pos_b, acc_b, 0..16, 32, pb, v, &costs);
         let (pe2, _) = compute_accelerations(&mut ls_b, pos_b, acc_b, 16..32, 32, pb, v, &costs);
 

@@ -46,7 +46,7 @@ pub use dma::DmaEngine;
 pub use error::{CellError, DmaError, LsError};
 pub use kernel::{
     compute_accelerations, compute_accelerations_f64, compute_accelerations_tiled, KernelStats,
-    SpeKernelVariant, SpeLjParams, SpeLjParamsF64,
+    SpeKernelVariant, SpeLanePhysics, SpeLanePhysicsF64,
 };
 pub use localstore::{LocalStore, LsRegion};
 pub use mailbox::Mailbox;

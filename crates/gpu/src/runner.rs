@@ -98,81 +98,6 @@ impl GpuMdSimulation {
         Self::new(GpuConfig::geforce_6800())
     }
 
-    /// Run `steps` time steps of the MD kernel with step 2 on the GPU, using
-    /// the paper's CPU-readback PE reduction.
-    #[deprecated(note = "drive the device through md_core::device::MdDevice::run")]
-    pub fn run_md(&self, sim: &SimConfig, steps: usize) -> GpuRun {
-        self.run_md_with(sim, steps, crate::reduction::ReductionStrategy::CpuReadback)
-    }
-
-    /// [`run_md`] with performance counters: texture fetches, shader
-    /// instructions, PCIe bytes per direction, and readback stalls, sampled
-    /// once per evaluation. The monitor is a passive observer — this run is
-    /// bitwise-identical to [`run_md`]. Use a fresh monitor per run: counter
-    /// values are run-local totals.
-    ///
-    /// [`run_md`]: GpuMdSimulation::run_md
-    #[deprecated(note = "drive the device through md_core::device::MdDevice::run")]
-    pub fn run_md_perf(
-        &self,
-        sim: &SimConfig,
-        steps: usize,
-        perf: &mut sim_perf::PerfMonitor,
-    ) -> GpuRun {
-        let mut sys: ParticleSystem<f32> = init::initialize(sim);
-        self.run_md_impl(
-            &mut sys,
-            sim,
-            steps,
-            crate::reduction::ReductionStrategy::CpuReadback,
-            Some(perf),
-            md_core::device::HostParallelism::Serial,
-        )
-    }
-
-    /// Like [`Self::run_md`] but continuing from caller-owned state instead
-    /// of a fresh lattice — the supervisor's checkpoint/restart entry point.
-    /// Each segment re-primes accelerations from the incoming positions, so
-    /// a segmented run reproduces the unsegmented trajectory bit for bit.
-    #[deprecated(note = "drive the device through md_core::device::MdDevice::run")]
-    pub fn run_md_from(
-        &self,
-        sys: &mut ParticleSystem<f32>,
-        sim: &SimConfig,
-        steps: usize,
-    ) -> GpuRun {
-        self.run_md_impl(
-            sys,
-            sim,
-            steps,
-            crate::reduction::ReductionStrategy::CpuReadback,
-            None,
-            md_core::device::HostParallelism::Serial,
-        )
-    }
-
-    /// [`run_md_from`] with performance counters (see [`run_md_perf`]).
-    ///
-    /// [`run_md_from`]: GpuMdSimulation::run_md_from
-    /// [`run_md_perf`]: GpuMdSimulation::run_md_perf
-    #[deprecated(note = "drive the device through md_core::device::MdDevice::run")]
-    pub fn run_md_from_perf(
-        &self,
-        sys: &mut ParticleSystem<f32>,
-        sim: &SimConfig,
-        steps: usize,
-        perf: &mut sim_perf::PerfMonitor,
-    ) -> GpuRun {
-        self.run_md_impl(
-            sys,
-            sim,
-            steps,
-            crate::reduction::ReductionStrategy::CpuReadback,
-            Some(perf),
-            md_core::device::HostParallelism::Serial,
-        )
-    }
-
     /// Run with an explicit PE-reduction strategy — `GpuMultiPass` is the
     /// alternative the paper rejected; it exists so the overhead claim can be
     /// measured (see the `ablation_gpu_reduction` bench).
@@ -204,16 +129,11 @@ impl GpuMdSimulation {
     ) -> GpuRun {
         let n = sys.n();
         let vv = VelocityVerlet::new(sim.dt as f32);
+        let sub = sim.substrate::<f32>();
 
         let mut device = GpuDevice::new(self.config);
-        let shader = LjAccelShader::new(n);
-        device.compile(LjAccelShader::constants(
-            sys.box_len,
-            (sim.cutoff * sim.cutoff) as f32,
-            1.0,
-            1.0,
-            1.0 / sys.mass,
-        ));
+        let shader = LjAccelShader::new(n, sub);
+        device.compile(LjAccelShader::constants(sys.box_len, 1.0 / sys.mass, &sub));
 
         let mut breakdown = GpuStepBreakdown::default();
         let mut total_ops = 0u64;
@@ -325,6 +245,12 @@ impl GpuMdSimulation {
             if eval > 0 {
                 vv.kick(sys);
                 breakdown.cpu += self.config.cpu_linear_s_per_atom * n as f64;
+                // Ensemble work (thermostat rescale) is one more O(N) host
+                // pass; absent under NVE, so the paper runs charge nothing.
+                if sub.extra_step_ops_per_atom() > 0.0 {
+                    breakdown.cpu += self.config.cpu_linear_s_per_atom * n as f64;
+                }
+                sub.apply_thermostat(sys);
             }
 
             if let (Some(p), Some(h)) = (perf.as_deref_mut(), handles) {
@@ -504,7 +430,6 @@ impl md_core::device::MdDevice for GpuMdSimulation {
 }
 
 #[cfg(test)]
-#[allow(deprecated)]
 // Tests assert *bitwise* f64 equality on purpose: identical runs must
 // produce identical results, not merely close ones (DESIGN.md §4).
 #[allow(clippy::float_cmp)]
@@ -512,18 +437,57 @@ mod tests {
     use super::*;
     use md_core::forces::{AllPairsFullKernel, ForceKernel};
 
+    /// Test-local shorthand over the single run path (the public surface is
+    /// [`md_core::device::MdDevice::run`]).
+    fn run_md(m: &GpuMdSimulation, sim: &SimConfig, steps: usize) -> GpuRun {
+        m.run_md_with(sim, steps, crate::reduction::ReductionStrategy::CpuReadback)
+    }
+
+    fn run_md_perf(
+        m: &GpuMdSimulation,
+        sim: &SimConfig,
+        steps: usize,
+        perf: &mut sim_perf::PerfMonitor,
+    ) -> GpuRun {
+        let mut sys: ParticleSystem<f32> = init::initialize(sim);
+        m.run_md_impl(
+            &mut sys,
+            sim,
+            steps,
+            crate::reduction::ReductionStrategy::CpuReadback,
+            Some(perf),
+            md_core::device::HostParallelism::Serial,
+        )
+    }
+
+    fn run_md_from(
+        m: &GpuMdSimulation,
+        sys: &mut ParticleSystem<f32>,
+        sim: &SimConfig,
+        steps: usize,
+    ) -> GpuRun {
+        m.run_md_impl(
+            sys,
+            sim,
+            steps,
+            crate::reduction::ReductionStrategy::CpuReadback,
+            None,
+            md_core::device::HostParallelism::Serial,
+        )
+    }
+
     #[test]
     fn physics_matches_f32_reference() {
         let sim = SimConfig::reduced_lj(256);
-        let run = GpuMdSimulation::geforce_7900gtx().run_md(&sim, 3);
+        let run = run_md(&GpuMdSimulation::geforce_7900gtx(), &sim, 3);
 
         let mut sys: ParticleSystem<f32> = init::initialize(&sim);
-        let params = sim.lj_params::<f32>();
+        let sub = sim.substrate::<f32>();
         let vv = VelocityVerlet::new(sim.dt as f32);
         let mut kernel = AllPairsFullKernel;
-        let mut pe = kernel.compute(&mut sys, &params);
+        let mut pe = kernel.compute(&mut sys, &sub);
         for _ in 0..3 {
-            pe = vv.step(&mut sys, &mut kernel, &params);
+            pe = vv.step(&mut sys, &mut kernel, &sub);
         }
         let expect = EnergyReport::measure(&sys, pe as f64);
         assert!(
@@ -537,7 +501,7 @@ mod tests {
     #[test]
     fn startup_excluded_from_runtime() {
         let sim = SimConfig::reduced_lj(108);
-        let run = GpuMdSimulation::geforce_7900gtx().run_md(&sim, 1);
+        let run = run_md(&GpuMdSimulation::geforce_7900gtx(), &sim, 1);
         assert!(run.startup_seconds > 0.0);
         assert!(
             (run.sim_seconds - run.breakdown.total()).abs() < 1e-12,
@@ -549,9 +513,12 @@ mod tests {
     fn per_step_costs_have_constant_and_linear_parts() {
         // Dispatch overhead is constant per step; transfers are O(N).
         let t = |n: usize| {
-            GpuMdSimulation::geforce_7900gtx()
-                .run_md(&SimConfig::reduced_lj(n), 2)
-                .breakdown
+            run_md(
+                &GpuMdSimulation::geforce_7900gtx(),
+                &SimConfig::reduced_lj(n),
+                2,
+            )
+            .breakdown
         };
         let a = t(256);
         let b = t(1024);
@@ -565,8 +532,8 @@ mod tests {
     #[test]
     fn deterministic() {
         let sim = SimConfig::reduced_lj(108);
-        let a = GpuMdSimulation::geforce_7900gtx().run_md(&sim, 2);
-        let b = GpuMdSimulation::geforce_7900gtx().run_md(&sim, 2);
+        let a = run_md(&GpuMdSimulation::geforce_7900gtx(), &sim, 2);
+        let b = run_md(&GpuMdSimulation::geforce_7900gtx(), &sim, 2);
         assert_eq!(a.sim_seconds, b.sim_seconds);
         assert_eq!(a.energies.total, b.energies.total);
         assert_eq!(a.total_ops, b.total_ops);
@@ -575,9 +542,9 @@ mod tests {
     #[test]
     fn perf_counters_are_free_and_populated() {
         let sim = SimConfig::reduced_lj(128);
-        let plain = GpuMdSimulation::geforce_7900gtx().run_md(&sim, 2);
+        let plain = run_md(&GpuMdSimulation::geforce_7900gtx(), &sim, 2);
         let mut perf = sim_perf::PerfMonitor::new();
-        let counted = GpuMdSimulation::geforce_7900gtx().run_md_perf(&sim, 2, &mut perf);
+        let counted = run_md_perf(&GpuMdSimulation::geforce_7900gtx(), &sim, 2, &mut perf);
         assert_eq!(
             plain.sim_seconds, counted.sim_seconds,
             "observability is free"
@@ -619,10 +586,10 @@ mod tests {
         let sim = SimConfig::reduced_lj(256);
         let runner = GpuMdSimulation::geforce_7900gtx();
         let mut whole: ParticleSystem<f32> = init::initialize(&sim);
-        runner.run_md_from(&mut whole, &sim, 10);
+        run_md_from(&runner, &mut whole, &sim, 10);
         let mut segmented: ParticleSystem<f32> = init::initialize(&sim);
-        runner.run_md_from(&mut segmented, &sim, 5);
-        runner.run_md_from(&mut segmented, &sim, 5);
+        run_md_from(&runner, &mut segmented, &sim, 5);
+        run_md_from(&runner, &mut segmented, &sim, 5);
         assert_eq!(whole.positions, segmented.positions);
         assert_eq!(whole.velocities, segmented.velocities);
     }
@@ -631,10 +598,12 @@ mod tests {
     #[test]
     fn injected_faults_leave_physics_untouched_and_slow_the_run() {
         let sim = SimConfig::reduced_lj(256);
-        let clean = GpuMdSimulation::geforce_7900gtx().run_md(&sim, 5);
-        let faulty = GpuMdSimulation::geforce_7900gtx()
-            .with_fault_plan(sim_fault::FaultPlan::new(5, 0.3))
-            .run_md(&sim, 5);
+        let clean = run_md(&GpuMdSimulation::geforce_7900gtx(), &sim, 5);
+        let faulty = run_md(
+            &GpuMdSimulation::geforce_7900gtx().with_fault_plan(sim_fault::FaultPlan::new(5, 0.3)),
+            &sim,
+            5,
+        );
         assert_eq!(clean.energies.total, faulty.energies.total);
         assert_eq!(clean.total_ops, faulty.total_ops);
         assert!(faulty.faults.any());
@@ -651,9 +620,11 @@ mod tests {
     #[test]
     fn exhaustion_degrades_instead_of_failing() {
         let sim = SimConfig::reduced_lj(108);
-        let run = GpuMdSimulation::geforce_7900gtx()
-            .with_fault_plan(sim_fault::FaultPlan::new(0, 1.0))
-            .run_md(&sim, 1);
+        let run = run_md(
+            &GpuMdSimulation::geforce_7900gtx().with_fault_plan(sim_fault::FaultPlan::new(0, 1.0)),
+            &sim,
+            1,
+        );
         assert!(run.faults.exhausted > 0, "rate 1.0 must exhaust");
         assert!(
             run.energies.total.is_finite(),
@@ -666,9 +637,12 @@ mod tests {
     fn fault_schedule_is_reproducible_across_runs() {
         let sim = SimConfig::reduced_lj(108);
         let mk = || {
-            GpuMdSimulation::geforce_7900gtx()
-                .with_fault_plan(sim_fault::FaultPlan::new(42, 0.25))
-                .run_md(&sim, 3)
+            run_md(
+                &GpuMdSimulation::geforce_7900gtx()
+                    .with_fault_plan(sim_fault::FaultPlan::new(42, 0.25)),
+                &sim,
+                3,
+            )
         };
         let (a, b) = (mk(), mk());
         assert_eq!(a.faults, b.faults);

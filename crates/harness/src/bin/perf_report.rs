@@ -67,11 +67,10 @@ fn run(args: &[String]) -> Result<(), HarnessError> {
                 let name = it.next().ok_or_else(|| {
                     HarnessError::InvalidInput("--device needs a name".to_string())
                 })?;
-                only_device = Some(device_by_name(name).ok_or_else(|| {
-                    HarnessError::InvalidInput(format!(
-                        "unknown device {name} (expected cell, gpu, opteron, mta-full, or mta-partial)"
-                    ))
-                })?);
+                only_device = Some(
+                    name.parse::<harness::DeviceKind>()
+                        .map_err(|e| HarnessError::InvalidInput(e.to_string()))?,
+                );
             }
             other => {
                 return Err(HarnessError::InvalidInput(format!(
@@ -175,24 +174,6 @@ fn run(args: &[String]) -> Result<(), HarnessError> {
         );
     }
     Ok(())
-}
-
-/// `--device NAME`: the standard report configurations by friendly name.
-fn device_by_name(name: &str) -> Option<harness::DeviceKind> {
-    match name {
-        "cell" => Some(harness::DeviceKind::cell_best()),
-        "gpu" => Some(harness::DeviceKind::Gpu {
-            model: harness::GpuModel::GeForce7900Gtx,
-        }),
-        "opteron" => Some(harness::DeviceKind::Opteron),
-        "mta-full" => Some(harness::DeviceKind::Mta {
-            mode: ThreadingMode::FullyMultithreaded,
-        }),
-        "mta-partial" => Some(harness::DeviceKind::Mta {
-            mode: ThreadingMode::PartiallyMultithreaded,
-        }),
-        _ => None,
-    }
 }
 
 /// `--validate FILE...`: schema-check records written by a previous run.

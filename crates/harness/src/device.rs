@@ -230,6 +230,38 @@ impl DeviceKind {
         }
     }
 
+    /// Every kind [`DeviceKind::from_str`] can produce, one per parseable
+    /// label. The parse grammar and this list are maintained together: a
+    /// label parses if and only if a kind here displays as it.
+    pub fn parseable_roster() -> Vec<DeviceKind> {
+        let mut all = vec![
+            DeviceKind::CellPpe,
+            DeviceKind::Gpu {
+                model: GpuModel::GeForce7900Gtx,
+            },
+            DeviceKind::Gpu {
+                model: GpuModel::GeForce6800,
+            },
+            DeviceKind::Mta {
+                mode: ThreadingMode::FullyMultithreaded,
+            },
+            DeviceKind::Mta {
+                mode: ThreadingMode::PartiallyMultithreaded,
+            },
+            DeviceKind::Opteron,
+        ];
+        for n_spes in 1..=CellConfig::paper_blade().n_spes {
+            all.push(DeviceKind::cell(CellRunConfig {
+                n_spes,
+                ..CellRunConfig::best()
+            }));
+        }
+        for variant in SpeKernelVariant::ALL {
+            all.push(DeviceKind::CellAccel { variant });
+        }
+        all
+    }
+
     /// Construct the simulated machine. This is the only place in the
     /// harness that builds concrete device types; everything downstream
     /// drives the trait object.
@@ -266,6 +298,80 @@ impl DeviceKind {
             )),
             DeviceKind::Opteron => Box::new(OpteronCpu::paper_reference().with_fault_plan(plan)),
         }
+    }
+}
+
+impl std::fmt::Display for DeviceKind {
+    /// Renders [`DeviceKind::label`] — `Display` and `FromStr` round-trip
+    /// through the label grammar, so every printed device name is also a
+    /// valid `--device` argument.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// A device name that [`DeviceKind::from_str`] does not recognize. The
+/// message lists every label the grammar accepts.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseDeviceKindError {
+    pub name: String,
+}
+
+impl std::fmt::Display for ParseDeviceKindError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let known: Vec<String> = DeviceKind::parseable_roster()
+            .into_iter()
+            .map(|k| k.label())
+            .collect();
+        write!(
+            f,
+            "unknown device '{}' (known: {})",
+            self.name,
+            known.join(", ")
+        )
+    }
+}
+
+impl std::error::Error for ParseDeviceKindError {}
+
+impl std::str::FromStr for DeviceKind {
+    type Err = ParseDeviceKindError;
+
+    /// Parses the label grammar emitted by [`DeviceKind::label`]:
+    /// `cell-<n>spe` (best-run policy and kernel variant), `cell-ppe`,
+    /// `cell-1spe-<variant>` (the Figure 5 probe), `gpu-7900gtx`,
+    /// `gpu-6800`, `mta2-full-mt`, `mta2-partial-mt`, and `opteron`. A few
+    /// friendly aliases are accepted for CLI ergonomics (`cell`, `gpu`,
+    /// `mta-full`, `mta-partial`); they parse to the canonical kind, whose
+    /// `Display` is the canonical label.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        // Friendly aliases first; each maps onto a canonical kind below.
+        match s {
+            "cell" => return Ok(DeviceKind::cell_best()),
+            "gpu" => {
+                return Ok(DeviceKind::Gpu {
+                    model: GpuModel::GeForce7900Gtx,
+                })
+            }
+            "mta" | "mta-full" => {
+                return Ok(DeviceKind::Mta {
+                    mode: ThreadingMode::FullyMultithreaded,
+                })
+            }
+            "mta-partial" => {
+                return Ok(DeviceKind::Mta {
+                    mode: ThreadingMode::PartiallyMultithreaded,
+                })
+            }
+            _ => {}
+        }
+        // Canonical labels: exactly the strings `label()` can emit.
+        for kind in DeviceKind::parseable_roster() {
+            if kind.label() == s {
+                return Ok(kind);
+            }
+        }
+        Err(ParseDeviceKindError { name: s.into() })
     }
 }
 
@@ -326,6 +432,100 @@ mod tests {
                 .unwrap_or_else(|e| panic!("{kind:?}: {e}"));
             assert!(run.sim_seconds > 0.0, "{kind:?}");
             assert!(run.energies.total.is_finite(), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn every_parseable_label_round_trips() {
+        // The grammar is finite, so this is exhaustive: each kind the parser
+        // can produce displays to a label that parses back to the same kind.
+        let all = DeviceKind::parseable_roster();
+        assert!(all.len() >= 15, "roster covers the full grammar");
+        for kind in all {
+            let label = kind.to_string();
+            assert_eq!(label, kind.label(), "Display renders label()");
+            let back: DeviceKind = label.parse().unwrap_or_else(|e| panic!("{e}"));
+            assert_eq!(back, kind, "round trip through {label:?}");
+        }
+    }
+
+    #[test]
+    fn friendly_aliases_parse_to_canonical_kinds() {
+        for (alias, want) in [
+            ("cell", DeviceKind::cell_best()),
+            (
+                "gpu",
+                DeviceKind::Gpu {
+                    model: GpuModel::GeForce7900Gtx,
+                },
+            ),
+            (
+                "mta-full",
+                DeviceKind::Mta {
+                    mode: ThreadingMode::FullyMultithreaded,
+                },
+            ),
+            (
+                "mta-partial",
+                DeviceKind::Mta {
+                    mode: ThreadingMode::PartiallyMultithreaded,
+                },
+            ),
+        ] {
+            let got: DeviceKind = alias.parse().unwrap_or_else(|e| panic!("{e}"));
+            assert_eq!(got, want, "{alias}");
+            // Re-parsing the canonical display is idempotent.
+            assert_eq!(
+                got.to_string().parse::<DeviceKind>().unwrap(),
+                got,
+                "{alias}"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_names_fail_with_the_roster_in_the_message() {
+        let err = "gpu-8800".parse::<DeviceKind>().unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("gpu-8800"), "{msg}");
+        assert!(msg.contains("gpu-7900gtx"), "{msg}");
+        assert!(msg.contains("opteron"), "{msg}");
+    }
+
+    proptest::proptest! {
+        /// Any kind assembled from arbitrary in-range knobs — not just the
+        /// canonical constructors — survives Display → FromStr, as long as
+        /// its non-label knobs are the canonical ones the parser restores.
+        #[test]
+        fn arbitrary_knob_kinds_round_trip(
+            n_spes in 1usize..9,
+            variant_pick in 0usize..6,
+            gpu_pick in 0usize..2,
+            mta_pick in 0usize..2,
+        ) {
+            let variant = SpeKernelVariant::ALL[variant_pick];
+            let kinds = [
+                DeviceKind::cell(CellRunConfig { n_spes, ..CellRunConfig::best() }),
+                DeviceKind::CellAccel { variant },
+                DeviceKind::Gpu {
+                    model: [GpuModel::GeForce7900Gtx, GpuModel::GeForce6800][gpu_pick],
+                },
+                DeviceKind::Mta {
+                    mode: [
+                        ThreadingMode::FullyMultithreaded,
+                        ThreadingMode::PartiallyMultithreaded,
+                    ][mta_pick],
+                },
+            ];
+            for kind in kinds {
+                let label = kind.to_string();
+                let back: DeviceKind = label
+                    .parse()
+                    .map_err(|e: ParseDeviceKindError| {
+                        proptest::test_runner::TestCaseError::fail(e.to_string())
+                    })?;
+                proptest::prop_assert_eq!(back, kind);
+            }
         }
     }
 

@@ -135,7 +135,19 @@ pub fn cluster_ledger(
 /// The ledger's human-readable workload field, shared by every producer so
 /// `obs diff` compares like against like.
 pub fn workload_label(sim: &SimConfig, steps: usize) -> String {
-    format!("{} atoms x {} steps", sim.n_atoms, steps)
+    // The scenario token rides in the workload identity so ledgers from
+    // different scenarios never alias. The faithful default appends
+    // nothing, keeping pre-substrate ledger text byte-identical.
+    if sim.scenario == md_core::scenario::ScenarioSpec::default() {
+        format!("{} atoms x {} steps", sim.n_atoms, steps)
+    } else {
+        format!(
+            "{} atoms x {} steps @ {}",
+            sim.n_atoms,
+            steps,
+            sim.scenario_token()
+        )
+    }
 }
 
 /// Fold an externally measured wall-clock duration into a ledger as the two

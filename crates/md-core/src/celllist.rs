@@ -6,7 +6,7 @@
 //! from O(N²) to O(N) at fixed density.
 
 use crate::forces::ForceKernel;
-use crate::lj::LjParams;
+use crate::scenario::Substrate;
 use crate::system::ParticleSystem;
 use vecmath::{pbc, Real, Vec3};
 
@@ -53,11 +53,11 @@ impl CellListKernel {
 }
 
 impl<T: Real> ForceKernel<T> for CellListKernel {
-    fn compute(&mut self, sys: &mut ParticleSystem<T>, params: &LjParams<T>) -> T {
-        self.bin(sys, params.cutoff);
+    fn compute(&mut self, sys: &mut ParticleSystem<T>, sub: &Substrate<T>) -> T {
+        self.bin(sys, sub.cutoff());
         let m = self.cells_per_edge as i64;
         let l = sys.box_len;
-        let cutoff2 = params.cutoff2();
+        let cutoff2 = sub.cutoff2();
         let inv_m = sys.mass.recip();
         let mut pe_twice = T::ZERO;
 
@@ -100,7 +100,7 @@ impl<T: Real> ForceKernel<T> for CellListKernel {
                         let d = pbc::min_image_branchy(p - sys.positions[ju], l);
                         let r2 = d.norm2();
                         if r2 < cutoff2 {
-                            let (e, f_over_r) = params.energy_force(r2);
+                            let (e, f_over_r) = sub.energy_force(r2);
                             pe_twice += e;
                             ai += d * (f_over_r * inv_m);
                         }
@@ -132,10 +132,10 @@ mod tests {
         let cfg = SimConfig::reduced_lj(2048);
         let mut s1: ParticleSystem<f64> = initialize(&cfg);
         let mut s2 = s1.clone();
-        let params = cfg.lj_params();
-        let pe_ref = AllPairsHalfKernel.compute(&mut s1, &params);
+        let sub = cfg.substrate();
+        let pe_ref = AllPairsHalfKernel.compute(&mut s1, &sub);
         let mut cl = CellListKernel::new();
-        let pe_cl = cl.compute(&mut s2, &params);
+        let pe_cl = cl.compute(&mut s2, &sub);
         assert!(
             cl.cells_per_edge >= 5,
             "expected real cells, got {}",
@@ -158,10 +158,10 @@ mod tests {
         let cfg = SimConfig::reduced_lj(108);
         let mut s1: ParticleSystem<f64> = initialize(&cfg);
         let mut s2 = s1.clone();
-        let params = cfg.lj_params();
-        let pe_ref = AllPairsHalfKernel.compute(&mut s1, &params);
+        let sub = cfg.substrate();
+        let pe_ref = AllPairsHalfKernel.compute(&mut s1, &sub);
         let mut cl = CellListKernel::new();
-        let pe_cl = cl.compute(&mut s2, &params);
+        let pe_cl = cl.compute(&mut s2, &sub);
         assert!(
             (pe_ref - pe_cl).abs() < 1e-6 * pe_ref.abs(),
             "{pe_ref} vs {pe_cl}"

@@ -21,14 +21,18 @@
 //! neighbor structures (those live in [`crate::neighbor`]/[`crate::celllist`]
 //! as the extensions the paper names but does not use).
 
-use crate::lj::LjParams;
+use crate::scenario::Substrate;
 use crate::system::ParticleSystem;
 use vecmath::{pbc, Real, Vec3};
 
 /// A force evaluator: fills `sys.accelerations` and returns the total
 /// potential energy.
+///
+/// Kernels evaluate pairs against a resolved [`Substrate`] — potential,
+/// evaluation precision, accumulation policy — rather than a hard-coded LJ
+/// parameter struct, so every kernel serves every scenario (DESIGN.md §16).
 pub trait ForceKernel<T: Real> {
-    fn compute(&mut self, sys: &mut ParticleSystem<T>, params: &LjParams<T>) -> T;
+    fn compute(&mut self, sys: &mut ParticleSystem<T>, sub: &Substrate<T>) -> T;
 
     /// Human-readable kernel name for reports.
     fn name(&self) -> &'static str;
@@ -112,16 +116,23 @@ pub struct GatherRow<T> {
 /// core every device kernel and the host-parallel path share. Accumulation
 /// runs in ascending-j order (tiling does not reorder it), so per-row results
 /// are bitwise identical regardless of tile width or host thread count.
+///
+/// When the substrate requests mixed precision (`accumulate_f64`), the row
+/// sums run in f64 and narrow once at the end; otherwise the accumulators
+/// are native `T`, exactly the seed arithmetic.
 #[inline]
 pub fn gather_row<T: Real>(
     soa: &SoaPositions<T>,
     i: usize,
     box_len: T,
-    params: &LjParams<T>,
+    sub: &Substrate<T>,
     inv_mass: T,
 ) -> GatherRow<T> {
+    if sub.accumulate_f64 {
+        return gather_row_mixed(soa, i, box_len, sub, inv_mass);
+    }
     let n = soa.len();
-    let cutoff2 = params.cutoff2();
+    let cutoff2 = sub.cutoff2();
     let (xi, yi, zi) = (soa.x[i], soa.y[i], soa.z[i]);
     let mut acc = Vec3::zero();
     let mut pe = T::ZERO;
@@ -155,7 +166,7 @@ pub fn gather_row<T: Real>(
         for k in 0..w {
             let r2 = r2_buf[k];
             if r2 < cutoff2 && r2 != T::ZERO {
-                let (e, f_over_r) = params.energy_force(r2);
+                let (e, f_over_r) = sub.energy_force(r2);
                 pe += e;
                 let s = f_over_r * inv_mass;
                 acc.x += dx_buf[k] * s;
@@ -173,6 +184,62 @@ pub fn gather_row<T: Real>(
     }
 }
 
+/// The mixed-precision row: same tiled distance pass and ascending-j
+/// accumulation order as [`gather_row`], but the per-row sums are carried in
+/// f64 and narrowed to `T` once at the end. Pair terms are still evaluated
+/// through the substrate (native precision unless the policy forces one).
+fn gather_row_mixed<T: Real>(
+    soa: &SoaPositions<T>,
+    i: usize,
+    box_len: T,
+    sub: &Substrate<T>,
+    inv_mass: T,
+) -> GatherRow<T> {
+    let n = soa.len();
+    let cutoff2 = sub.cutoff2();
+    let (xi, yi, zi) = (soa.x[i], soa.y[i], soa.z[i]);
+    let mut acc = Vec3::<f64>::zero();
+    let mut pe = 0.0f64;
+    let mut interactions = 0u64;
+    let mut dx_buf = [T::ZERO; GATHER_TILE];
+    let mut dy_buf = [T::ZERO; GATHER_TILE];
+    let mut dz_buf = [T::ZERO; GATHER_TILE];
+    let mut r2_buf = [T::ZERO; GATHER_TILE];
+    let mut t0 = 0;
+    while t0 < n {
+        let t1 = (t0 + GATHER_TILE).min(n);
+        let w = t1 - t0;
+        for k in 0..w {
+            let j = t0 + k;
+            let dx = pbc::min_image_coord_select(xi - soa.x[j], box_len);
+            let dy = pbc::min_image_coord_select(yi - soa.y[j], box_len);
+            let dz = pbc::min_image_coord_select(zi - soa.z[j], box_len);
+            dx_buf[k] = dx;
+            dy_buf[k] = dy;
+            dz_buf[k] = dz;
+            r2_buf[k] = dx * dx + dy * dy + dz * dz;
+        }
+        for k in 0..w {
+            let r2 = r2_buf[k];
+            if r2 < cutoff2 && r2 != T::ZERO {
+                let (e, f_over_r) = sub.energy_force(r2);
+                pe += e.to_f64();
+                let s = f_over_r * inv_mass;
+                acc.x += (dx_buf[k] * s).to_f64();
+                acc.y += (dy_buf[k] * s).to_f64();
+                acc.z += (dz_buf[k] * s).to_f64();
+                interactions += 1;
+            }
+        }
+        t0 = t1;
+    }
+    GatherRow {
+        acc: Vec3::new(T::from_f64(acc.x), T::from_f64(acc.y), T::from_f64(acc.z)),
+        pe: T::from_f64(pe),
+        interactions,
+    }
+}
+
 /// Device-style kernel: for each atom, gather over all other atoms, via the
 /// shared tiled SoA row ([`gather_row`]) plus a serial in-order PE fold —
 /// the same map-then-fold structure the device ports and the host-parallel
@@ -181,14 +248,14 @@ pub fn gather_row<T: Real>(
 pub struct AllPairsFullKernel;
 
 impl<T: Real> ForceKernel<T> for AllPairsFullKernel {
-    fn compute(&mut self, sys: &mut ParticleSystem<T>, params: &LjParams<T>) -> T {
+    fn compute(&mut self, sys: &mut ParticleSystem<T>, sub: &Substrate<T>) -> T {
         let n = sys.n();
         let l = sys.box_len;
         let inv_m = sys.mass.recip();
         let soa = SoaPositions::from_positions(&sys.positions);
         let mut pe_twice = T::ZERO;
         for i in 0..n {
-            let row = gather_row(&soa, i, l, params, inv_m);
+            let row = gather_row(&soa, i, l, sub, inv_m);
             sys.accelerations[i] = row.acc;
             pe_twice += row.pe;
         }
@@ -205,10 +272,10 @@ impl<T: Real> ForceKernel<T> for AllPairsFullKernel {
 pub struct AllPairsHalfKernel;
 
 impl<T: Real> ForceKernel<T> for AllPairsHalfKernel {
-    fn compute(&mut self, sys: &mut ParticleSystem<T>, params: &LjParams<T>) -> T {
+    fn compute(&mut self, sys: &mut ParticleSystem<T>, sub: &Substrate<T>) -> T {
         let n = sys.n();
         let l = sys.box_len;
-        let cutoff2 = params.cutoff2();
+        let cutoff2 = sub.cutoff2();
         let inv_m = sys.mass.recip();
         let mut pe = T::ZERO;
         for a in sys.accelerations.iter_mut() {
@@ -220,7 +287,7 @@ impl<T: Real> ForceKernel<T> for AllPairsHalfKernel {
                 let d = pbc::min_image_branchy(pi - sys.positions[j], l);
                 let r2 = d.norm2();
                 if r2 < cutoff2 {
-                    let (e, f_over_r) = params.energy_force(r2);
+                    let (e, f_over_r) = sub.energy_force(r2);
                     pe += e;
                     let da = d * (f_over_r * inv_m);
                     sys.accelerations[i] += da;
@@ -253,12 +320,13 @@ impl<T: Real, F: FnMut(usize, usize, T)> PairVisitor<T> for F {
 mod tests {
     use super::*;
     use crate::init::initialize;
+    use crate::lj::LjParams;
     use crate::params::SimConfig;
     use proptest::prelude::*;
 
-    fn small_sys() -> (ParticleSystem<f64>, LjParams<f64>) {
+    fn small_sys() -> (ParticleSystem<f64>, Substrate<f64>) {
         let cfg = SimConfig::reduced_lj(108);
-        (initialize(&cfg), cfg.lj_params())
+        (initialize(&cfg), cfg.substrate())
     }
 
     #[test]
@@ -269,7 +337,7 @@ mod tests {
         sys.positions[0] = Vec3::new(10.0, 10.0, 10.0);
         sys.positions[1] = Vec3::new(11.2, 10.0, 10.0);
         let params = LjParams::reduced(2.5);
-        let pe = AllPairsHalfKernel.compute(&mut sys, &params);
+        let pe = AllPairsHalfKernel.compute(&mut sys, &Substrate::from_lj(params));
         assert!((pe - params.energy(1.2 * 1.2)).abs() < 1e-12);
         let f_over_r = params.force_over_r(1.2 * 1.2);
         assert!(f_over_r < 0.0, "attractive at 1.2σ");
@@ -283,11 +351,11 @@ mod tests {
 
     #[test]
     fn full_and_half_kernels_agree() {
-        let (sys0, params) = small_sys();
+        let (sys0, sub) = small_sys();
         let mut s1 = sys0.clone();
         let mut s2 = sys0;
-        let pe1 = AllPairsFullKernel.compute(&mut s1, &params);
-        let pe2 = AllPairsHalfKernel.compute(&mut s2, &params);
+        let pe1 = AllPairsFullKernel.compute(&mut s1, &sub);
+        let pe2 = AllPairsHalfKernel.compute(&mut s2, &sub);
         assert!(
             (pe1 - pe2).abs() < 1e-9 * pe2.abs().max(1.0),
             "PE mismatch: {pe1} vs {pe2}"
@@ -299,8 +367,8 @@ mod tests {
 
     #[test]
     fn newtons_third_law_net_force_zero() {
-        let (mut sys, params) = small_sys();
-        AllPairsFullKernel.compute(&mut sys, &params);
+        let (mut sys, sub) = small_sys();
+        AllPairsFullKernel.compute(&mut sys, &sub);
         let mut net = Vec3::zero();
         for a in &sys.accelerations {
             net += *a;
@@ -310,8 +378,8 @@ mod tests {
 
     #[test]
     fn liquid_density_pe_is_negative() {
-        let (mut sys, params) = small_sys();
-        let pe = AllPairsHalfKernel.compute(&mut sys, &params);
+        let (mut sys, sub) = small_sys();
+        let pe = AllPairsHalfKernel.compute(&mut sys, &sub);
         assert!(pe < 0.0, "cohesive LJ liquid should have negative PE: {pe}");
         // Classic LJ liquid near triple point: PE/N ≈ −6 (loose bound).
         let per_atom = pe / sys.n() as f64;
@@ -320,12 +388,12 @@ mod tests {
 
     #[test]
     fn pair_count_matches_for_each_pair() {
-        let (sys, params) = small_sys();
-        let count = interacting_pair_count(&sys, params.cutoff);
+        let (sys, sub) = small_sys();
+        let count = interacting_pair_count(&sys, sub.cutoff());
         let mut manual = 0;
         for i in 0..sys.n() {
             for j in (i + 1)..sys.n() {
-                if sys.distance2(i, j) < params.cutoff2() {
+                if sys.distance2(i, j) < sub.cutoff2() {
                     manual += 1;
                 }
             }
@@ -347,8 +415,7 @@ mod tests {
         sys.positions[0] = Vec3::new(10.0, 10.0, 10.0);
         sys.positions[1] = Vec3::new(50.0, 50.0, 50.0);
         sys.positions[2] = Vec3::new(90.0, 10.0, 50.0);
-        let params = LjParams::reduced(2.5);
-        let pe = AllPairsFullKernel.compute(&mut sys, &params);
+        let pe = AllPairsFullKernel.compute(&mut sys, &Substrate::from_lj(LjParams::reduced(2.5)));
         assert_eq!(pe, 0.0);
         for a in &sys.accelerations {
             assert_eq!(*a, Vec3::zero());
@@ -365,10 +432,10 @@ mod tests {
                 .with_seed(seed);
             let mut s1: ParticleSystem<f64> = initialize(&cfg);
             // Randomize positions away from the lattice with a short "shake".
-            let params = cfg.lj_params::<f64>();
+            let sub = cfg.substrate::<f64>();
             let mut s2 = s1.clone();
-            let pe1 = AllPairsFullKernel.compute(&mut s1, &params);
-            let pe2 = AllPairsHalfKernel.compute(&mut s2, &params);
+            let pe1 = AllPairsFullKernel.compute(&mut s1, &sub);
+            let pe2 = AllPairsHalfKernel.compute(&mut s2, &sub);
             prop_assert!((pe1 - pe2).abs() < 1e-9 * pe2.abs().max(1.0));
             let mut net = Vec3::zero();
             for a in &s1.accelerations { net += *a; }

@@ -47,6 +47,7 @@ pub mod observables;
 pub mod parallel;
 pub mod params;
 pub mod rng;
+pub mod scenario;
 pub mod sim;
 pub mod system;
 pub mod thermostat;
@@ -69,6 +70,9 @@ pub mod prelude {
     pub use crate::parallel::RayonKernel;
     pub use crate::params::SimConfig;
     pub use crate::rng::SplitMix64;
+    pub use crate::scenario::{
+        Ensemble, PairPotential, Potential, PrecisionPolicy, ScenarioSpec, Substrate,
+    };
     pub use crate::sim::Simulation;
     pub use crate::system::ParticleSystem;
     pub use crate::thermostat::VelocityRescale;

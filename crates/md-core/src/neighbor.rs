@@ -11,7 +11,7 @@
 //! criterion).
 
 use crate::forces::ForceKernel;
-use crate::lj::LjParams;
+use crate::scenario::Substrate;
 use crate::system::ParticleSystem;
 use vecmath::{pbc, Real, Vec3};
 
@@ -60,9 +60,9 @@ impl<T: Real> NeighborListKernel<T> {
             .any(|(p, a)| pbc::min_image_branchy(*p - *a, sys.box_len).norm2() > limit2)
     }
 
-    fn rebuild(&mut self, sys: &ParticleSystem<T>, params: &LjParams<T>) {
+    fn rebuild(&mut self, sys: &ParticleSystem<T>, sub: &Substrate<T>) {
         let n = sys.n();
-        let reach = params.cutoff + self.skin;
+        let reach = sub.cutoff() + self.skin;
         let reach2 = reach * reach;
         self.pairs.clear();
         for i in 0..n {
@@ -79,12 +79,12 @@ impl<T: Real> NeighborListKernel<T> {
 }
 
 impl<T: Real> ForceKernel<T> for NeighborListKernel<T> {
-    fn compute(&mut self, sys: &mut ParticleSystem<T>, params: &LjParams<T>) -> T {
+    fn compute(&mut self, sys: &mut ParticleSystem<T>, sub: &Substrate<T>) -> T {
         if self.needs_rebuild(sys) {
-            self.rebuild(sys, params);
+            self.rebuild(sys, sub);
         }
         let l = sys.box_len;
-        let cutoff2 = params.cutoff2();
+        let cutoff2 = sub.cutoff2();
         let inv_m = sys.mass.recip();
         let mut pe = T::ZERO;
         for a in sys.accelerations.iter_mut() {
@@ -95,7 +95,7 @@ impl<T: Real> ForceKernel<T> for NeighborListKernel<T> {
             let d = pbc::min_image_branchy(sys.positions[i] - sys.positions[j], l);
             let r2 = d.norm2();
             if r2 < cutoff2 {
-                let (e, f_over_r) = params.energy_force(r2);
+                let (e, f_over_r) = sub.energy_force(r2);
                 pe += e;
                 let da = d * (f_over_r * inv_m);
                 sys.accelerations[i] += da;
@@ -123,10 +123,10 @@ mod tests {
         let cfg = SimConfig::reduced_lj(256);
         let mut s1: ParticleSystem<f64> = initialize(&cfg);
         let mut s2 = s1.clone();
-        let params = cfg.lj_params();
-        let pe_ref = AllPairsHalfKernel.compute(&mut s1, &params);
+        let sub = cfg.substrate();
+        let pe_ref = AllPairsHalfKernel.compute(&mut s1, &sub);
         let mut nl = NeighborListKernel::with_default_skin();
-        let pe_nl = nl.compute(&mut s2, &params);
+        let pe_nl = nl.compute(&mut s2, &sub);
         assert!((pe_ref - pe_nl).abs() < 1e-9 * pe_ref.abs());
         for (a, b) in s1.accelerations.iter().zip(&s2.accelerations) {
             assert!((*a - *b).norm() < 1e-9);
@@ -139,15 +139,15 @@ mod tests {
         // Run with the pairlist; periodically cross-check against reference.
         let cfg = SimConfig::reduced_lj(256);
         let mut sys: ParticleSystem<f64> = initialize(&cfg);
-        let params = cfg.lj_params();
+        let sub = cfg.substrate();
         let vv = VelocityVerlet::new(cfg.dt);
         let mut nl = NeighborListKernel::with_default_skin();
-        nl.compute(&mut sys, &params);
+        nl.compute(&mut sys, &sub);
         for step in 0..60 {
-            let pe_nl = vv.step(&mut sys, &mut nl, &params);
+            let pe_nl = vv.step(&mut sys, &mut nl, &sub);
             if step % 15 == 0 {
                 let mut check = sys.clone();
-                let pe_ref = AllPairsHalfKernel.compute(&mut check, &params);
+                let pe_ref = AllPairsHalfKernel.compute(&mut check, &sub);
                 assert!(
                     (pe_nl - pe_ref).abs() < 1e-8 * pe_ref.abs().max(1.0),
                     "step {step}: {pe_nl} vs {pe_ref}"
@@ -161,16 +161,16 @@ mod tests {
     fn rebuild_triggered_by_motion() {
         let cfg = SimConfig::reduced_lj(108);
         let mut sys: ParticleSystem<f64> = initialize(&cfg);
-        let params = cfg.lj_params();
+        let sub = cfg.substrate();
         let mut nl = NeighborListKernel::new(0.1); // tiny skin -> rebuild fast
-        nl.compute(&mut sys, &params);
+        nl.compute(&mut sys, &sub);
         assert_eq!(nl.rebuilds, 1);
         // Move one atom beyond skin/2.
         sys.positions[0].x += 0.2;
-        nl.compute(&mut sys, &params);
+        nl.compute(&mut sys, &sub);
         assert_eq!(nl.rebuilds, 2);
         // No motion → no rebuild.
-        nl.compute(&mut sys, &params);
+        nl.compute(&mut sys, &sub);
         assert_eq!(nl.rebuilds, 2);
     }
 
@@ -178,9 +178,9 @@ mod tests {
     fn pair_count_bounded_by_full_n2() {
         let cfg = SimConfig::reduced_lj(256);
         let mut sys: ParticleSystem<f64> = initialize(&cfg);
-        let params = cfg.lj_params();
+        let sub = cfg.substrate();
         let mut nl = NeighborListKernel::with_default_skin();
-        nl.compute(&mut sys, &params);
+        nl.compute(&mut sys, &sub);
         let n = sys.n();
         assert!(nl.pair_count() < n * (n - 1) / 2, "list must prune pairs");
         assert!(nl.pair_count() > 0);

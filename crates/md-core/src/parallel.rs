@@ -14,7 +14,7 @@
 
 use crate::device::HostParallelism;
 use crate::forces::{gather_row, ForceKernel, GatherRow, SoaPositions};
-use crate::lj::LjParams;
+use crate::scenario::Substrate;
 use crate::system::ParticleSystem;
 use rayon::prelude::*;
 use vecmath::Real;
@@ -80,7 +80,7 @@ where
 pub struct RayonKernel;
 
 impl<T: Real> ForceKernel<T> for RayonKernel {
-    fn compute(&mut self, sys: &mut ParticleSystem<T>, params: &LjParams<T>) -> T {
+    fn compute(&mut self, sys: &mut ParticleSystem<T>, sub: &Substrate<T>) -> T {
         let l = sys.box_len;
         let inv_m = sys.mass.recip();
         let soa = SoaPositions::from_positions(&sys.positions);
@@ -91,7 +91,7 @@ impl<T: Real> ForceKernel<T> for RayonKernel {
             .collect::<Vec<usize>>()
             .par_iter()
             .enumerate()
-            .map(|(_, &i)| gather_row(&soa, i, l, params, inv_m))
+            .map(|(_, &i)| gather_row(&soa, i, l, sub, inv_m))
             .collect();
 
         let mut pe_twice = T::ZERO;
@@ -120,9 +120,9 @@ mod tests {
         let cfg = SimConfig::reduced_lj(256);
         let mut s1: ParticleSystem<f64> = initialize(&cfg);
         let mut s2 = s1.clone();
-        let params = cfg.lj_params();
-        let pe_seq = AllPairsFullKernel.compute(&mut s1, &params);
-        let pe_par = RayonKernel.compute(&mut s2, &params);
+        let sub = cfg.substrate();
+        let pe_seq = AllPairsFullKernel.compute(&mut s1, &sub);
+        let pe_par = RayonKernel.compute(&mut s2, &sub);
         // Both kernels run the same gather_row per atom and fold PE serially
         // in row order, so forces AND energy match bit for bit.
         assert_eq!(s1.accelerations, s2.accelerations);
@@ -160,12 +160,12 @@ mod tests {
     #[test]
     fn deterministic_across_runs() {
         let cfg = SimConfig::reduced_lj(108);
-        let params = cfg.lj_params();
+        let sub = cfg.substrate();
         let base: ParticleSystem<f64> = initialize(&cfg);
         let mut a = base.clone();
         let mut b = base;
-        let pe_a = RayonKernel.compute(&mut a, &params);
-        let pe_b = RayonKernel.compute(&mut b, &params);
+        let pe_a = RayonKernel.compute(&mut a, &sub);
+        let pe_b = RayonKernel.compute(&mut b, &sub);
         assert_eq!(pe_a, pe_b, "indexed collect keeps reduction deterministic");
         assert_eq!(a.accelerations, b.accelerations);
     }
@@ -173,12 +173,12 @@ mod tests {
     #[test]
     fn f32_variant_close_to_f64() {
         let cfg = SimConfig::reduced_lj(108);
-        let params64 = cfg.lj_params::<f64>();
-        let params32 = cfg.lj_params::<f32>();
+        let sub64 = cfg.substrate::<f64>();
+        let sub32 = cfg.substrate::<f32>();
         let mut s64: ParticleSystem<f64> = initialize(&cfg);
         let mut s32: ParticleSystem<f32> = s64.convert();
-        let pe64 = RayonKernel.compute(&mut s64, &params64);
-        let pe32 = RayonKernel.compute(&mut s32, &params32);
+        let pe64 = RayonKernel.compute(&mut s64, &sub64);
+        let pe32 = RayonKernel.compute(&mut s32, &sub32);
         assert!(
             (pe64 - pe32 as f64).abs() < 2e-3 * pe64.abs(),
             "{pe64} vs {pe32}"

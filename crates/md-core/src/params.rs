@@ -2,6 +2,7 @@
 
 use crate::init::Lattice;
 use crate::lj::LjParams;
+use crate::scenario::{ScenarioSpec, Substrate};
 
 /// Full description of an MD workload — enough to reproduce any experiment.
 ///
@@ -26,6 +27,9 @@ pub struct SimConfig {
     pub seed: u64,
     /// If true, truncate to exactly `n_atoms` after lattice fill.
     pub exact_n: bool,
+    /// Which physics scenario to run: potential × ensemble × precision
+    /// policy (DESIGN.md §16). Defaults to the paper-faithful LJ/NVE/native.
+    pub scenario: ScenarioSpec,
 }
 
 impl SimConfig {
@@ -44,6 +48,7 @@ impl SimConfig {
             lattice: Lattice::Fcc,
             seed: 0x5EED_0001,
             exact_n: true,
+            scenario: ScenarioSpec::default(),
         }
     }
 
@@ -53,9 +58,22 @@ impl SimConfig {
         Self::reduced_lj(2048)
     }
 
-    /// Lennard-Jones parameters implied by reduced units.
+    /// Lennard-Jones parameters implied by reduced units. Kept for
+    /// LJ-specific call sites (analysis, tests); the run path resolves the
+    /// scenario through [`Self::substrate`] instead.
     pub fn lj_params<T: vecmath::Real>(&self) -> LjParams<T> {
         LjParams::reduced(T::from_f64(self.cutoff))
+    }
+
+    /// Resolve this config's scenario into precision `T` — the evaluator
+    /// every force kernel and device lane runs against.
+    pub fn substrate<T: vecmath::Real>(&self) -> Substrate<T> {
+        self.scenario.substrate(self.cutoff)
+    }
+
+    /// The scenario identity token, for cache keys and ledgers.
+    pub fn scenario_token(&self) -> String {
+        self.scenario.cache_token()
     }
 
     /// Cubic box side length L for this (N, ρ).
@@ -93,6 +111,11 @@ impl SimConfig {
         self
     }
 
+    pub fn with_scenario(mut self, scenario: ScenarioSpec) -> Self {
+        self.scenario = scenario;
+        self
+    }
+
     /// Sanity checks; panics with a descriptive message on nonsense input.
     pub fn validate(&self) {
         if let Err(e) = self.try_validate() {
@@ -123,7 +146,7 @@ impl SimConfig {
                 self.box_len() / 2.0,
             ));
         }
-        Ok(())
+        self.scenario.try_validate()
     }
 }
 

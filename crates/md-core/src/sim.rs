@@ -3,9 +3,9 @@
 use crate::bonded::BondedTopology;
 use crate::forces::{AllPairsHalfKernel, ForceKernel};
 use crate::init;
-use crate::lj::LjParams;
 use crate::observables::EnergyReport;
 use crate::params::SimConfig;
+use crate::scenario::Substrate;
 use crate::system::ParticleSystem;
 use crate::verlet::VelocityVerlet;
 use vecmath::Real;
@@ -15,7 +15,7 @@ use vecmath::Real;
 /// interactions (the paper's force field split, §3.5).
 pub struct Simulation<T: Real> {
     pub system: ParticleSystem<T>,
-    pub params: LjParams<T>,
+    pub substrate: Substrate<T>,
     pub integrator: VelocityVerlet<T>,
     kernel: Box<dyn ForceKernel<T> + Send>,
     topology: BondedTopology,
@@ -37,11 +37,11 @@ impl<T: Real> Simulation<T> {
         mut kernel: Box<dyn ForceKernel<T> + Send>,
     ) -> Self {
         let mut system = init::initialize::<T>(&config);
-        let params = config.lj_params();
-        let last_pe = kernel.compute(&mut system, &params);
+        let substrate = config.substrate();
+        let last_pe = kernel.compute(&mut system, &substrate);
         Self {
             system,
-            params,
+            substrate,
             integrator: VelocityVerlet::new(T::from_f64(config.dt)),
             kernel,
             topology: BondedTopology::new(),
@@ -63,7 +63,7 @@ impl<T: Real> Simulation<T> {
     }
 
     fn recompute_forces(&mut self) {
-        let mut pe = self.kernel.compute(&mut self.system, &self.params);
+        let mut pe = self.kernel.compute(&mut self.system, &self.substrate);
         if !self.topology.is_empty() {
             pe += self.topology.accumulate_forces(&mut self.system);
         }
@@ -75,13 +75,14 @@ impl<T: Real> Simulation<T> {
         if self.topology.is_empty() {
             self.last_pe =
                 self.integrator
-                    .step(&mut self.system, self.kernel.as_mut(), &self.params);
+                    .step(&mut self.system, self.kernel.as_mut(), &self.substrate);
         } else {
             // Same velocity-Verlet splitting, with the bonded terms added to
             // the freshly computed non-bonded forces.
             self.integrator.kick_drift(&mut self.system);
             self.recompute_forces();
             self.integrator.kick(&mut self.system);
+            self.substrate.apply_thermostat(&mut self.system);
         }
         self.steps_done += 1;
         self.energies()

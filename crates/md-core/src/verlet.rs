@@ -16,13 +16,13 @@
 //! only step 2) share the surrounding integrator code path.
 
 use crate::forces::ForceKernel;
-use crate::lj::LjParams;
 use crate::observables::EnergyReport;
+use crate::scenario::Substrate;
 use crate::system::ParticleSystem;
 use vecmath::Real;
 
 /// The velocity-Verlet integrator. Stateless apart from the timestep; force
-/// state lives in the kernel.
+/// state lives in the kernel, physics selection in the [`Substrate`].
 ///
 /// ```
 /// use md_core::prelude::*;
@@ -30,11 +30,11 @@ use vecmath::Real;
 ///
 /// let cfg = SimConfig::reduced_lj(108);
 /// let mut sys: ParticleSystem<f64> = md_core::init::initialize(&cfg);
-/// let params = cfg.lj_params::<f64>();
+/// let sub = cfg.substrate::<f64>();
 /// let vv = VelocityVerlet::new(cfg.dt);
 /// let mut kernel = AllPairsHalfKernel;
-/// kernel.compute(&mut sys, &params); // prime accelerations
-/// let report = vv.run(&mut sys, &mut kernel, &params, 10);
+/// kernel.compute(&mut sys, &sub); // prime accelerations
+/// let report = vv.run(&mut sys, &mut kernel, &sub, 10);
 /// assert!(report.total.is_finite());
 /// ```
 #[derive(Clone, Copy, Debug)]
@@ -71,16 +71,19 @@ impl<T: Real> VelocityVerlet<T> {
     }
 
     /// One full time step with the given force kernel. Returns the potential
-    /// energy at the new positions (step 5 computes energies from it).
+    /// energy at the new positions (step 5 computes energies from it). The
+    /// substrate's thermostat, if any, is applied after the final kick — a
+    /// no-op under NVE, so the paper's integration path is untouched.
     pub fn step(
         &self,
         sys: &mut ParticleSystem<T>,
         kernel: &mut dyn ForceKernel<T>,
-        params: &LjParams<T>,
+        sub: &Substrate<T>,
     ) -> T {
         self.kick_drift(sys);
-        let pe = kernel.compute(sys, params);
+        let pe = kernel.compute(sys, sub);
         self.kick(sys);
+        sub.apply_thermostat(sys);
         pe
     }
 
@@ -89,12 +92,12 @@ impl<T: Real> VelocityVerlet<T> {
         &self,
         sys: &mut ParticleSystem<T>,
         kernel: &mut dyn ForceKernel<T>,
-        params: &LjParams<T>,
+        sub: &Substrate<T>,
         steps: usize,
     ) -> EnergyReport {
         let mut pe = T::ZERO;
         for _ in 0..steps {
-            pe = self.step(sys, kernel, params);
+            pe = self.step(sys, kernel, sub);
         }
         EnergyReport::measure(sys, pe.to_f64())
     }
@@ -107,22 +110,22 @@ mod tests {
     use crate::init::initialize;
     use crate::params::SimConfig;
 
-    fn setup(n: usize) -> (ParticleSystem<f64>, LjParams<f64>, VelocityVerlet<f64>) {
+    fn setup(n: usize) -> (ParticleSystem<f64>, Substrate<f64>, VelocityVerlet<f64>) {
         let cfg = SimConfig::reduced_lj(n);
         let sys = initialize(&cfg);
-        (sys, cfg.lj_params(), VelocityVerlet::new(cfg.dt))
+        (sys, cfg.substrate(), VelocityVerlet::new(cfg.dt))
     }
 
     #[test]
     fn energy_conserved_over_many_steps() {
-        let (mut sys, params, vv) = setup(108);
+        let (mut sys, sub, vv) = setup(108);
         let mut kernel = AllPairsHalfKernel;
         // Prime accelerations for the first half-kick.
-        let pe0 = kernel.compute(&mut sys, &params);
+        let pe0 = kernel.compute(&mut sys, &sub);
         let e0 = pe0 + sys.kinetic_energy();
         let mut pe = pe0;
         for _ in 0..200 {
-            pe = vv.step(&mut sys, &mut kernel, &params);
+            pe = vv.step(&mut sys, &mut kernel, &sub);
         }
         let e1 = pe + sys.kinetic_energy();
         let drift = ((e1 - e0) / e0).abs();
@@ -132,11 +135,11 @@ mod tests {
 
     #[test]
     fn momentum_conserved() {
-        let (mut sys, params, vv) = setup(108);
+        let (mut sys, sub, vv) = setup(108);
         let mut kernel = AllPairsHalfKernel;
-        kernel.compute(&mut sys, &params);
+        kernel.compute(&mut sys, &sub);
         for _ in 0..100 {
-            vv.step(&mut sys, &mut kernel, &params);
+            vv.step(&mut sys, &mut kernel, &sub);
         }
         assert!(sys.total_momentum().norm() < 1e-8);
     }
@@ -148,16 +151,16 @@ mod tests {
             let mut sys: ParticleSystem<f64> = initialize(&cfg);
             // Shifted potential: energy continuous at the cutoff, so drift is
             // the integrator's O(dt²) error rather than truncation jumps.
-            let params = cfg.lj_params::<f64>().shifted();
+            let sub = Substrate::from_lj(cfg.lj_params::<f64>().shifted());
             let vv = VelocityVerlet::new(dt);
             let mut kernel = AllPairsHalfKernel;
-            let pe0 = kernel.compute(&mut sys, &params);
+            let pe0 = kernel.compute(&mut sys, &sub);
             let e0 = pe0 + sys.kinetic_energy();
             let mut pe = pe0;
             // Same physical time: steps ∝ 1/dt.
             let steps = (0.5 / dt) as usize;
             for _ in 0..steps {
-                pe = vv.step(&mut sys, &mut kernel, &params);
+                pe = vv.step(&mut sys, &mut kernel, &sub);
             }
             ((pe + sys.kinetic_energy() - e0) / e0).abs()
         };
@@ -173,11 +176,11 @@ mod tests {
 
     #[test]
     fn positions_stay_wrapped() {
-        let (mut sys, params, vv) = setup(108);
+        let (mut sys, sub, vv) = setup(108);
         let mut kernel = AllPairsHalfKernel;
-        kernel.compute(&mut sys, &params);
+        kernel.compute(&mut sys, &sub);
         for _ in 0..50 {
-            vv.step(&mut sys, &mut kernel, &params);
+            vv.step(&mut sys, &mut kernel, &sub);
         }
         let l = sys.box_len;
         for p in &sys.positions {
@@ -191,15 +194,15 @@ mod tests {
     fn reversibility_one_step() {
         // Take a step, negate velocities, take another: back to the start
         // (velocity Verlet is time-reversible up to roundoff).
-        let (mut sys, params, vv) = setup(108);
+        let (mut sys, sub, vv) = setup(108);
         let mut kernel = AllPairsHalfKernel;
-        kernel.compute(&mut sys, &params);
+        kernel.compute(&mut sys, &sub);
         let start = sys.positions.clone();
-        vv.step(&mut sys, &mut kernel, &params);
+        vv.step(&mut sys, &mut kernel, &sub);
         for v in &mut sys.velocities {
             *v = -*v;
         }
-        vv.step(&mut sys, &mut kernel, &params);
+        vv.step(&mut sys, &mut kernel, &sub);
         for (p, q) in sys.positions.iter().zip(&start) {
             let d = vecmath::pbc::min_image_branchy(*p - *q, sys.box_len);
             assert!(d.norm() < 1e-10, "did not return: {:?}", d);
@@ -214,10 +217,10 @@ mod tests {
 
     #[test]
     fn run_returns_energy_report() {
-        let (mut sys, params, vv) = setup(108);
+        let (mut sys, sub, vv) = setup(108);
         let mut kernel = AllPairsHalfKernel;
-        kernel.compute(&mut sys, &params);
-        let report = vv.run(&mut sys, &mut kernel, &params, 10);
+        kernel.compute(&mut sys, &sub);
+        let report = vv.run(&mut sys, &mut kernel, &sub, 10);
         assert!(report.kinetic > 0.0);
         assert!(report.potential < 0.0);
         assert!((report.total - (report.kinetic + report.potential)).abs() < 1e-12);

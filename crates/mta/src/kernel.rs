@@ -113,93 +113,11 @@ impl MtaMdSimulation {
         self
     }
 
-    /// Run `steps` time steps in the given threading mode. Physics is
-    /// mode-independent (the modes differ only in how loops are scheduled);
-    /// runtimes differ enormously.
-    #[deprecated(note = "drive the device through md_core::device::MdDevice::run")]
-    pub fn run_md(&self, sim: &SimConfig, steps: usize, mode: ThreadingMode) -> MtaRun {
-        let mut sys: ParticleSystem<f64> = init::initialize(sim);
-        self.run_md_impl(
-            &mut sys,
-            sim,
-            steps,
-            mode,
-            None,
-            md_core::device::HostParallelism::Serial,
-        )
-    }
-
-    /// [`run_md`] with performance counters: stream-occupancy cycles,
-    /// phantom/no-op cycles, hot-spot retry cycles, and instructions,
-    /// sampled once per evaluation. The monitor is a passive observer —
-    /// this run is bitwise-identical to [`run_md`]. Use a fresh monitor per
-    /// run: counter values are run-local totals.
-    ///
-    /// [`run_md`]: MtaMdSimulation::run_md
-    #[deprecated(note = "drive the device through md_core::device::MdDevice::run")]
-    pub fn run_md_perf(
-        &self,
-        sim: &SimConfig,
-        steps: usize,
-        mode: ThreadingMode,
-        perf: &mut sim_perf::PerfMonitor,
-    ) -> MtaRun {
-        let mut sys: ParticleSystem<f64> = init::initialize(sim);
-        self.run_md_impl(
-            &mut sys,
-            sim,
-            steps,
-            mode,
-            Some(perf),
-            md_core::device::HostParallelism::Serial,
-        )
-    }
-
-    /// Like [`Self::run_md`] but continuing from caller-owned state instead
-    /// of a fresh lattice — the supervisor's checkpoint/restart entry point.
-    /// Each segment re-primes accelerations from the incoming positions, so
-    /// a segmented run reproduces the unsegmented trajectory bit for bit.
-    #[deprecated(note = "drive the device through md_core::device::MdDevice::run")]
-    pub fn run_md_from(
-        &self,
-        sys: &mut ParticleSystem<f64>,
-        sim: &SimConfig,
-        steps: usize,
-        mode: ThreadingMode,
-    ) -> MtaRun {
-        self.run_md_impl(
-            sys,
-            sim,
-            steps,
-            mode,
-            None,
-            md_core::device::HostParallelism::Serial,
-        )
-    }
-
-    /// [`run_md_from`] with performance counters (see [`run_md_perf`]).
-    ///
-    /// [`run_md_from`]: MtaMdSimulation::run_md_from
-    /// [`run_md_perf`]: MtaMdSimulation::run_md_perf
-    #[deprecated(note = "drive the device through md_core::device::MdDevice::run")]
-    pub fn run_md_from_perf(
-        &self,
-        sys: &mut ParticleSystem<f64>,
-        sim: &SimConfig,
-        steps: usize,
-        mode: ThreadingMode,
-        perf: &mut sim_perf::PerfMonitor,
-    ) -> MtaRun {
-        self.run_md_impl(
-            sys,
-            sim,
-            steps,
-            mode,
-            Some(perf),
-            md_core::device::HostParallelism::Serial,
-        )
-    }
-
+    /// Run `steps` time steps in the given threading mode, continuing from
+    /// caller-owned state. Physics is mode-independent (the modes differ
+    /// only in how loops are scheduled); runtimes differ enormously. This is
+    /// the single run path behind [`md_core::device::MdDevice::run`] on
+    /// [`MtaMd`].
     fn run_md_impl(
         &self,
         sys: &mut ParticleSystem<f64>,
@@ -211,7 +129,7 @@ impl MtaMdSimulation {
     ) -> MtaRun {
         let n = sys.n();
         let vv = VelocityVerlet::new(sim.dt);
-        let params = sim.lj_params::<f64>();
+        let sub = sim.substrate::<f64>();
 
         let mut cycles = 0.0f64;
         let mut instructions = 0.0f64;
@@ -288,7 +206,7 @@ impl MtaMdSimulation {
             let inv_m = sys.mass.recip();
             let soa = md_core::forces::SoaPositions::from_positions(&sys.positions);
             let rows = md_core::parallel::map_indexed(par, n, |i| {
-                md_core::forces::gather_row(&soa, i, box_len, &params, inv_m)
+                md_core::forces::gather_row(&soa, i, box_len, &sub, inv_m)
             });
             for (i, row) in rows.into_iter().enumerate() {
                 interactions += row.interactions;
@@ -301,8 +219,10 @@ impl MtaMdSimulation {
             }
             pe = tagged.read(0) * 0.5;
 
+            // Interaction cost: the LJ baseline plus whatever extra work the
+            // scenario's potential costs (zero for the paper-faithful run).
             let per_iter = (n as f64 - 1.0) * INSTR_PER_PAIR
-                + (interactions as f64 / n as f64) * INSTR_PER_INTERACTION
+                + (interactions as f64 / n as f64) * (INSTR_PER_INTERACTION + sub.extra_eval_ops())
                 + self.processor.config.sync_instructions;
             let step2 = LoopDesc {
                 name: "step2-forces",
@@ -372,6 +292,30 @@ impl MtaMdSimulation {
                     &mut occupancy_cycles,
                 );
                 vv.kick(sys);
+
+                // Ensemble work: the thermostat's velocity rescale is one
+                // more O(N) parallel loop. Absent under NVE, so the
+                // paper-faithful runs charge (and record) nothing.
+                let ens_ops = sub.extra_step_ops_per_atom();
+                if ens_ops > 0.0 {
+                    let l = LoopDesc {
+                        name: "step6-thermostat",
+                        iterations: n as u64,
+                        instructions_per_iteration: ens_ops,
+                        memory_fraction: 0.3,
+                        has_unresolved_reduction: false,
+                        pragma_no_dependence: false,
+                    };
+                    record(l.name, analyze_loop(&l), &mut decisions);
+                    charge(
+                        &l,
+                        &mut cycles,
+                        &mut instructions,
+                        &mut breakdown,
+                        &mut occupancy_cycles,
+                    );
+                }
+                sub.apply_thermostat(sys);
 
                 // Step 5: kinetic/total energies (parallelized without code
                 // modification, per the paper).
@@ -589,7 +533,6 @@ impl md_core::device::MdDevice for MtaMd {
 }
 
 #[cfg(test)]
-#[allow(deprecated)]
 // Tests assert *bitwise* f64 equality on purpose: identical runs must
 // produce identical results, not merely close ones (DESIGN.md §4).
 #[allow(clippy::float_cmp)]
@@ -597,21 +540,70 @@ mod tests {
     use super::*;
     use md_core::forces::{AllPairsFullKernel, ForceKernel};
 
+    /// Test-local shorthand over the single run path (the public surface is
+    /// [`md_core::device::MdDevice::run`] on [`MtaMd`]).
+    fn run_md(m: &MtaMdSimulation, sim: &SimConfig, steps: usize, mode: ThreadingMode) -> MtaRun {
+        let mut sys: ParticleSystem<f64> = init::initialize(sim);
+        m.run_md_impl(
+            &mut sys,
+            sim,
+            steps,
+            mode,
+            None,
+            md_core::device::HostParallelism::Serial,
+        )
+    }
+
+    fn run_md_perf(
+        m: &MtaMdSimulation,
+        sim: &SimConfig,
+        steps: usize,
+        mode: ThreadingMode,
+        perf: &mut sim_perf::PerfMonitor,
+    ) -> MtaRun {
+        let mut sys: ParticleSystem<f64> = init::initialize(sim);
+        m.run_md_impl(
+            &mut sys,
+            sim,
+            steps,
+            mode,
+            Some(perf),
+            md_core::device::HostParallelism::Serial,
+        )
+    }
+
+    fn run_md_from(
+        m: &MtaMdSimulation,
+        sys: &mut ParticleSystem<f64>,
+        sim: &SimConfig,
+        steps: usize,
+        mode: ThreadingMode,
+    ) -> MtaRun {
+        m.run_md_impl(
+            sys,
+            sim,
+            steps,
+            mode,
+            None,
+            md_core::device::HostParallelism::Serial,
+        )
+    }
+
     #[test]
     fn physics_matches_reference_and_is_mode_independent() {
         let sim = SimConfig::reduced_lj(108);
         let m = MtaMdSimulation::paper_mta2();
-        let full = m.run_md(&sim, 3, ThreadingMode::FullyMultithreaded);
-        let partial = m.run_md(&sim, 3, ThreadingMode::PartiallyMultithreaded);
+        let full = run_md(&m, &sim, 3, ThreadingMode::FullyMultithreaded);
+        let partial = run_md(&m, &sim, 3, ThreadingMode::PartiallyMultithreaded);
         assert_eq!(full.energies.total, partial.energies.total);
 
         let mut sys: ParticleSystem<f64> = init::initialize(&sim);
-        let params = sim.lj_params::<f64>();
+        let sub = sim.substrate::<f64>();
         let vv = VelocityVerlet::new(sim.dt);
         let mut kernel = AllPairsFullKernel;
-        let mut pe = kernel.compute(&mut sys, &params);
+        let mut pe = kernel.compute(&mut sys, &sub);
         for _ in 0..3 {
-            pe = vv.step(&mut sys, &mut kernel, &params);
+            pe = vv.step(&mut sys, &mut kernel, &sub);
         }
         let expect = EnergyReport::measure(&sys, pe);
         assert!(
@@ -626,8 +618,8 @@ mod tests {
     fn figure8_fully_mt_much_faster() {
         let sim = SimConfig::reduced_lj(256);
         let m = MtaMdSimulation::paper_mta2();
-        let full = m.run_md(&sim, 2, ThreadingMode::FullyMultithreaded);
-        let partial = m.run_md(&sim, 2, ThreadingMode::PartiallyMultithreaded);
+        let full = run_md(&m, &sim, 2, ThreadingMode::FullyMultithreaded);
+        let partial = run_md(&m, &sim, 2, ThreadingMode::PartiallyMultithreaded);
         let ratio = partial.sim_seconds / full.sim_seconds;
         assert!(
             ratio > 10.0,
@@ -640,8 +632,8 @@ mod tests {
         let m = MtaMdSimulation::paper_mta2();
         let gap = |n: usize| {
             let sim = SimConfig::reduced_lj(n);
-            let full = m.run_md(&sim, 1, ThreadingMode::FullyMultithreaded);
-            let partial = m.run_md(&sim, 1, ThreadingMode::PartiallyMultithreaded);
+            let full = run_md(&m, &sim, 1, ThreadingMode::FullyMultithreaded);
+            let partial = run_md(&m, &sim, 1, ThreadingMode::PartiallyMultithreaded);
             partial.sim_seconds - full.sim_seconds
         };
         assert!(gap(1024) > 10.0 * gap(256), "absolute gap grows ~N²");
@@ -651,7 +643,7 @@ mod tests {
     fn compiler_decisions_reported() {
         let sim = SimConfig::reduced_lj(108);
         let m = MtaMdSimulation::paper_mta2();
-        let partial = m.run_md(&sim, 1, ThreadingMode::PartiallyMultithreaded);
+        let partial = run_md(&m, &sim, 1, ThreadingMode::PartiallyMultithreaded);
         let step2 = partial
             .decisions
             .iter()
@@ -665,7 +657,7 @@ mod tests {
             .all(|(_, d)| d.parallel);
         assert!(others_parallel, "rest of the kernel parallelizes untouched");
 
-        let full = m.run_md(&sim, 1, ThreadingMode::FullyMultithreaded);
+        let full = run_md(&m, &sim, 1, ThreadingMode::FullyMultithreaded);
         let step2 = full
             .decisions
             .iter()
@@ -680,7 +672,8 @@ mod tests {
         // (≈ flop) growth — no cache knee.
         let m = MtaMdSimulation::paper_mta2();
         let run = |n: usize| {
-            m.run_md(
+            run_md(
+                &m,
                 &SimConfig::reduced_lj(n),
                 1,
                 ThreadingMode::FullyMultithreaded,
@@ -704,7 +697,7 @@ mod tests {
             ThreadingMode::FullyMultithreaded,
             ThreadingMode::PartiallyMultithreaded,
         ] {
-            let run = m.run_md(&sim, 2, mode);
+            let run = run_md(&m, &sim, 2, mode);
             let b = run.breakdown;
             assert!(
                 (b.total() - run.cycles).abs() <= 1e-9 * run.cycles,
@@ -729,9 +722,9 @@ mod tests {
         let sim = SimConfig::reduced_lj(108);
         let m = MtaMdSimulation::paper_mta2();
         let mode = ThreadingMode::FullyMultithreaded;
-        let plain = m.run_md(&sim, 3, mode);
+        let plain = run_md(&m, &sim, 3, mode);
         let mut perf = sim_perf::PerfMonitor::new();
-        let counted = m.run_md_perf(&sim, 3, mode, &mut perf);
+        let counted = run_md_perf(&m, &sim, 3, mode, &mut perf);
 
         // Observability is free: bitwise-identical outcome.
         assert_eq!(plain.sim_seconds, counted.sim_seconds);
@@ -759,8 +752,8 @@ mod tests {
     fn deterministic() {
         let sim = SimConfig::reduced_lj(108);
         let m = MtaMdSimulation::paper_mta2();
-        let a = m.run_md(&sim, 2, ThreadingMode::FullyMultithreaded);
-        let b = m.run_md(&sim, 2, ThreadingMode::FullyMultithreaded);
+        let a = run_md(&m, &sim, 2, ThreadingMode::FullyMultithreaded);
+        let b = run_md(&m, &sim, 2, ThreadingMode::FullyMultithreaded);
         assert_eq!(a.sim_seconds, b.sim_seconds);
         assert_eq!(a.energies.total, b.energies.total);
     }
@@ -771,10 +764,10 @@ mod tests {
         let m = MtaMdSimulation::paper_mta2();
         let mode = ThreadingMode::FullyMultithreaded;
         let mut whole: ParticleSystem<f64> = init::initialize(&sim);
-        m.run_md_from(&mut whole, &sim, 10, mode);
+        run_md_from(&m, &mut whole, &sim, 10, mode);
         let mut segmented: ParticleSystem<f64> = init::initialize(&sim);
-        m.run_md_from(&mut segmented, &sim, 5, mode);
-        m.run_md_from(&mut segmented, &sim, 5, mode);
+        run_md_from(&m, &mut segmented, &sim, 5, mode);
+        run_md_from(&m, &mut segmented, &sim, 5, mode);
         assert_eq!(whole.positions, segmented.positions);
         assert_eq!(whole.velocities, segmented.velocities);
     }
@@ -784,10 +777,13 @@ mod tests {
     fn injected_faults_leave_physics_untouched_and_slow_the_run() {
         let sim = SimConfig::reduced_lj(108);
         let mode = ThreadingMode::FullyMultithreaded;
-        let clean = MtaMdSimulation::paper_mta2().run_md(&sim, 5, mode);
-        let faulty = MtaMdSimulation::paper_mta2()
-            .with_fault_plan(sim_fault::FaultPlan::new(9, 0.4))
-            .run_md(&sim, 5, mode);
+        let clean = run_md(&MtaMdSimulation::paper_mta2(), &sim, 5, mode);
+        let faulty = run_md(
+            &MtaMdSimulation::paper_mta2().with_fault_plan(sim_fault::FaultPlan::new(9, 0.4)),
+            &sim,
+            5,
+            mode,
+        );
         assert_eq!(clean.energies.total, faulty.energies.total);
         assert_eq!(clean.instructions, faulty.instructions);
         assert!(faulty.faults.any());
@@ -804,9 +800,12 @@ mod tests {
     #[test]
     fn exhaustion_degrades_instead_of_failing() {
         let sim = SimConfig::reduced_lj(108);
-        let run = MtaMdSimulation::paper_mta2()
-            .with_fault_plan(sim_fault::FaultPlan::new(0, 1.0))
-            .run_md(&sim, 1, ThreadingMode::FullyMultithreaded);
+        let run = run_md(
+            &MtaMdSimulation::paper_mta2().with_fault_plan(sim_fault::FaultPlan::new(0, 1.0)),
+            &sim,
+            1,
+            ThreadingMode::FullyMultithreaded,
+        );
         assert!(run.faults.exhausted > 0);
         assert!(run.energies.total.is_finite());
     }
@@ -816,9 +815,12 @@ mod tests {
     fn fault_schedule_is_reproducible_across_runs() {
         let sim = SimConfig::reduced_lj(108);
         let mk = || {
-            MtaMdSimulation::paper_mta2()
-                .with_fault_plan(sim_fault::FaultPlan::new(21, 0.3))
-                .run_md(&sim, 3, ThreadingMode::FullyMultithreaded)
+            run_md(
+                &MtaMdSimulation::paper_mta2().with_fault_plan(sim_fault::FaultPlan::new(21, 0.3)),
+                &sim,
+                3,
+                ThreadingMode::FullyMultithreaded,
+            )
         };
         let (a, b) = (mk(), mk());
         assert_eq!(a.faults, b.faults);

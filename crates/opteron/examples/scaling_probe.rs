@@ -1,19 +1,33 @@
-// Probes the device-specific `OpteronRun` internals (per-level miss rates,
-// flop vs memory cycles) that the unified `MdDevice` report intentionally
-// does not expose, so it calls the raw device API directly.
-#![allow(deprecated)]
+// Probes how the Opteron's runtime decomposes as N grows, via the unified
+// `MdDevice` report: compute vs memory-stall attribution and the cache miss
+// rates surfaced in the derived metrics.
+
+use md_core::device::{MdDevice, RunOptions};
 
 fn main() {
     for n in [256usize, 512, 1024, 2048, 4096, 8192] {
         let cfg = md_core::params::SimConfig::reduced_lj(n);
-        let run = opteron::OpteronCpu::paper_reference().run_md(&cfg, 1);
+        let mut cpu = opteron::OpteronCpu::paper_reference();
+        let run = cpu.run(&cfg, RunOptions::steps(1)).expect("opteron run");
+        let attributed = |key: &str| {
+            run.attribution
+                .iter()
+                .find(|(k, _)| *k == key)
+                .map_or(0.0, |(_, v)| *v)
+        };
+        let derived = |key: &str| {
+            run.derived
+                .iter()
+                .find(|(k, _)| *k == key)
+                .map_or(0.0, |(_, v)| *v)
+        };
         println!(
-            "N={n:5} t={:.6}s flop_cyc={:.3e} mem_cyc={:.3e} l1miss={:.4} avgmem={:.2}",
+            "N={n:5} t={:.6}s compute={:.3e}s mem_stall={:.3e}s l1miss={:.4} l2miss={:.4}",
             run.sim_seconds,
-            run.flop_cycles,
-            run.memory_cycles,
-            run.memory.l1.miss_rate(),
-            run.memory.avg_cycles()
+            attributed("compute"),
+            attributed("memory_stall"),
+            derived("l1_miss_rate"),
+            derived("l2_miss_rate"),
         );
     }
 }

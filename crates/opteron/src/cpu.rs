@@ -204,63 +204,11 @@ impl OpteronCpu {
         self.demand_cycles += self.hierarchy.access(addr, kind) as f64;
     }
 
-    /// Run the full MD kernel (Figure 4) for `steps` time steps, replaying
-    /// memory traffic through the cache model. Physics is double precision,
-    /// exactly as the paper's reference implementation.
-    #[deprecated(note = "drive the device through md_core::device::MdDevice::run")]
-    pub fn run_md(&mut self, sim: &SimConfig, steps: usize) -> OpteronRun {
-        let mut sys: ParticleSystem<f64> = init::initialize(sim);
-        self.run_md_from_impl(&mut sys, sim, steps, None, HostParallelism::Serial)
-    }
-
-    /// [`run_md`] with performance counters: cache hits/misses per level,
-    /// loads/stores, memory-stall cycles, and flops, sampled once per time
-    /// step. The monitor is a passive observer — this run is bitwise-
-    /// identical to [`run_md`]. Use a fresh monitor per run: counter values
-    /// are run-local totals.
-    ///
-    /// [`run_md`]: OpteronCpu::run_md
-    #[deprecated(note = "drive the device through md_core::device::MdDevice::run")]
-    pub fn run_md_perf(
-        &mut self,
-        sim: &SimConfig,
-        steps: usize,
-        perf: &mut sim_perf::PerfMonitor,
-    ) -> OpteronRun {
-        let mut sys: ParticleSystem<f64> = init::initialize(sim);
-        self.run_md_from_impl(&mut sys, sim, steps, Some(perf), HostParallelism::Serial)
-    }
-
-    /// Run `steps` further time steps from an existing system state, leaving
-    /// the advanced state in `sys`. Accelerations are re-primed from the
-    /// positions at entry, so splitting a run into segments reproduces the
-    /// unsegmented trajectory bit for bit (the checkpoint/restart contract).
-    /// Each call is timed as its own cold-cache run.
-    #[deprecated(note = "drive the device through md_core::device::MdDevice::run")]
-    pub fn run_md_from(
-        &mut self,
-        sys: &mut ParticleSystem<f64>,
-        sim: &SimConfig,
-        steps: usize,
-    ) -> OpteronRun {
-        self.run_md_from_impl(sys, sim, steps, None, HostParallelism::Serial)
-    }
-
-    /// [`run_md_from`] with performance counters (see [`run_md_perf`]).
-    ///
-    /// [`run_md_from`]: OpteronCpu::run_md_from
-    /// [`run_md_perf`]: OpteronCpu::run_md_perf
-    #[deprecated(note = "drive the device through md_core::device::MdDevice::run")]
-    pub fn run_md_from_perf(
-        &mut self,
-        sys: &mut ParticleSystem<f64>,
-        sim: &SimConfig,
-        steps: usize,
-        perf: &mut sim_perf::PerfMonitor,
-    ) -> OpteronRun {
-        self.run_md_from_impl(sys, sim, steps, Some(perf), HostParallelism::Serial)
-    }
-
+    /// Run the full MD kernel (Figure 4), replaying memory traffic through
+    /// the cache model. Physics is double precision, exactly as the paper's
+    /// reference implementation; the scenario substrate selects the pair
+    /// potential, ensemble, and precision policy. This is the single run
+    /// path behind [`md_core::device::MdDevice::run`].
     fn run_md_from_impl(
         &mut self,
         sys: &mut ParticleSystem<f64>,
@@ -274,7 +222,10 @@ impl OpteronCpu {
         self.loads = 0;
         self.stores = 0;
         let handles = perf.as_deref_mut().map(PerfHandles::register);
-        let params = sim.lj_params::<f64>();
+        let sub = sim.substrate::<f64>();
+        // Ensemble work (thermostat rescale) is O(N) per step on top of the
+        // integration loop; zero under NVE so the paper runs are untouched.
+        let ens_flops = sys.n() as f64 * sub.extra_step_ops_per_atom();
         let vv = VelocityVerlet::new(sim.dt);
 
         // Lay out the logical arrays in the simulated address space.
@@ -302,15 +253,8 @@ impl OpteronCpu {
 
         // Prime the accelerations (step-0 force evaluation), charged like any
         // other evaluation — the paper's total runtime includes everything.
-        let mut pe = self.traced_forces(
-            sys,
-            &params,
-            &pos_r,
-            &acc_r,
-            &mut flops,
-            &mut loop_iters,
-            par,
-        );
+        let mut pe =
+            self.traced_forces(sys, &sub, &pos_r, &acc_r, &mut flops, &mut loop_iters, par);
         #[cfg(feature = "fault-inject")]
         {
             fault_extra_cycles += resolve_degradable(
@@ -335,15 +279,7 @@ impl OpteronCpu {
             vv.kick_drift(sys);
 
             // Step 2: the traced O(N²) force evaluation.
-            pe = self.traced_forces(
-                sys,
-                &params,
-                &pos_r,
-                &acc_r,
-                &mut flops,
-                &mut loop_iters,
-                par,
-            );
+            pe = self.traced_forces(sys, &sub, &pos_r, &acc_r, &mut flops, &mut loop_iters, par);
             #[cfg(feature = "fault-inject")]
             {
                 fault_extra_cycles += resolve_degradable(
@@ -366,6 +302,8 @@ impl OpteronCpu {
             }
             flops += 6.0 * sys.n() as f64;
             vv.kick(sys);
+            sub.apply_thermostat(sys);
+            flops += ens_flops;
             self.perf_sample(&mut perf, handles, flops, loop_iters, fault_extra_cycles);
         }
 
@@ -442,7 +380,7 @@ impl OpteronCpu {
     fn traced_forces(
         &mut self,
         sys: &mut ParticleSystem<f64>,
-        params: &md_core::lj::LjParams<f64>,
+        sub: &md_core::scenario::Substrate<f64>,
         pos_r: &ArrayRegion,
         acc_r: &ArrayRegion,
         flops: &mut f64,
@@ -560,7 +498,7 @@ impl OpteronCpu {
             }
             Lane::Rows { lo, hi } => LaneOut::Rows(
                 (*lo..*hi)
-                    .map(|i| gather_row(&soa, i, l, params, inv_m))
+                    .map(|i| gather_row(&soa, i, l, sub, inv_m))
                     .collect(),
             ),
         });
@@ -595,7 +533,10 @@ impl OpteronCpu {
         }
 
         let dist_evals = (n as f64) * (n as f64 - 1.0);
-        *flops += dist_evals * FLOPS_DISTANCE + interactions as f64 * FLOPS_INTERACT;
+        // Per-interaction flops: the LJ baseline plus whatever extra work the
+        // scenario's potential costs (zero for the paper-faithful LJ run).
+        *flops += dist_evals * FLOPS_DISTANCE
+            + interactions as f64 * (FLOPS_INTERACT + sub.extra_eval_ops());
         *loop_iters += dist_evals;
         pe_twice * 0.5
     }
@@ -603,12 +544,12 @@ impl OpteronCpu {
     /// Reference check: the same workload run through the untimed kernel.
     pub fn untimed_energies(sim: &SimConfig, steps: usize) -> EnergyReport {
         let mut sys: ParticleSystem<f64> = init::initialize(sim);
-        let params = sim.lj_params::<f64>();
+        let sub = sim.substrate::<f64>();
         let vv = VelocityVerlet::new(sim.dt);
         let mut kernel = AllPairsFullKernel;
-        let mut pe = kernel.compute(&mut sys, &params);
+        let mut pe = kernel.compute(&mut sys, &sub);
         for _ in 0..steps {
-            pe = vv.step(&mut sys, &mut kernel, &params);
+            pe = vv.step(&mut sys, &mut kernel, &sub);
         }
         EnergyReport::measure(&sys, pe)
     }
@@ -745,18 +686,43 @@ impl md_core::device::MdDevice for OpteronCpu {
 }
 
 #[cfg(test)]
-#[allow(deprecated)]
 // Tests assert *bitwise* f64 equality on purpose: identical runs must
 // produce identical results, not merely close ones (DESIGN.md §4).
 #[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 
+    /// Test-local shorthand over the single run path (the public surface is
+    /// [`md_core::device::MdDevice::run`]).
+    fn run_md(cpu: &mut OpteronCpu, sim: &SimConfig, steps: usize) -> OpteronRun {
+        let mut sys: ParticleSystem<f64> = init::initialize(sim);
+        cpu.run_md_from_impl(&mut sys, sim, steps, None, HostParallelism::Serial)
+    }
+
+    fn run_md_perf(
+        cpu: &mut OpteronCpu,
+        sim: &SimConfig,
+        steps: usize,
+        perf: &mut sim_perf::PerfMonitor,
+    ) -> OpteronRun {
+        let mut sys: ParticleSystem<f64> = init::initialize(sim);
+        cpu.run_md_from_impl(&mut sys, sim, steps, Some(perf), HostParallelism::Serial)
+    }
+
+    fn run_md_from(
+        cpu: &mut OpteronCpu,
+        sys: &mut ParticleSystem<f64>,
+        sim: &SimConfig,
+        steps: usize,
+    ) -> OpteronRun {
+        cpu.run_md_from_impl(sys, sim, steps, None, HostParallelism::Serial)
+    }
+
     #[test]
     fn physics_matches_untimed_kernel() {
         let cfg = SimConfig::reduced_lj(108);
         let mut cpu = OpteronCpu::paper_reference();
-        let run = cpu.run_md(&cfg, 5);
+        let run = run_md(&mut cpu, &cfg, 5);
         let reference = OpteronCpu::untimed_energies(&cfg, 5);
         assert!(
             (run.energies.total - reference.total).abs() < 1e-9 * reference.total.abs(),
@@ -769,8 +735,8 @@ mod tests {
     #[test]
     fn runtime_positive_and_deterministic() {
         let cfg = SimConfig::reduced_lj(256);
-        let a = OpteronCpu::paper_reference().run_md(&cfg, 2);
-        let b = OpteronCpu::paper_reference().run_md(&cfg, 2);
+        let a = run_md(&mut OpteronCpu::paper_reference(), &cfg, 2);
+        let b = run_md(&mut OpteronCpu::paper_reference(), &cfg, 2);
         assert!(a.sim_seconds > 0.0);
         assert_eq!(a.sim_seconds, b.sim_seconds, "simulation is deterministic");
         assert_eq!(a.memory.accesses, b.memory.accesses);
@@ -782,7 +748,13 @@ mod tests {
         // (24·N bytes > 64 KB, i.e. N ≳ 2700), total runtime grows faster
         // than the floating-point work — the gap a cache-less machine like
         // the MTA-2 does not show.
-        let run = |n: usize| OpteronCpu::paper_reference().run_md(&SimConfig::reduced_lj(n), 1);
+        let run = |n: usize| {
+            run_md(
+                &mut OpteronCpu::paper_reference(),
+                &SimConfig::reduced_lj(n),
+                1,
+            )
+        };
         let small = run(256);
         let large = run(4096);
         let total_ratio = large.sim_seconds / small.sim_seconds;
@@ -796,7 +768,11 @@ mod tests {
     #[test]
     fn l1_miss_rate_rises_with_problem_size() {
         let miss_rate = |n: usize| {
-            let run = OpteronCpu::paper_reference().run_md(&SimConfig::reduced_lj(n), 1);
+            let run = run_md(
+                &mut OpteronCpu::paper_reference(),
+                &SimConfig::reduced_lj(n),
+                1,
+            );
             run.memory.l1.miss_rate()
         };
         let small = miss_rate(256);
@@ -814,8 +790,12 @@ mod tests {
         // kernel's sequential inner loop (see module docs for why this is an
         // interesting caveat to the paper's cache argument).
         let cfg = SimConfig::reduced_lj(4096);
-        let plain = OpteronCpu::paper_reference().run_md(&cfg, 1);
-        let pf = OpteronCpu::new(OpteronConfig::with_prefetcher()).run_md(&cfg, 1);
+        let plain = run_md(&mut OpteronCpu::paper_reference(), &cfg, 1);
+        let pf = run_md(
+            &mut OpteronCpu::new(OpteronConfig::with_prefetcher()),
+            &cfg,
+            1,
+        );
         assert_eq!(plain.energies.total, pf.energies.total, "same physics");
         assert!(
             pf.memory_cycles < 0.7 * plain.memory_cycles,
@@ -829,8 +809,12 @@ mod tests {
     #[test]
     fn sse2_ablation_faster_but_same_physics() {
         let cfg = SimConfig::reduced_lj(256);
-        let scalar = OpteronCpu::paper_reference().run_md(&cfg, 2);
-        let sse2 = OpteronCpu::new(OpteronConfig::sse2_vectorized()).run_md(&cfg, 2);
+        let scalar = run_md(&mut OpteronCpu::paper_reference(), &cfg, 2);
+        let sse2 = run_md(
+            &mut OpteronCpu::new(OpteronConfig::sse2_vectorized()),
+            &cfg,
+            2,
+        );
         assert_eq!(scalar.energies.total, sse2.energies.total);
         let speedup = scalar.sim_seconds / sse2.sim_seconds;
         assert!(
@@ -841,7 +825,11 @@ mod tests {
 
     #[test]
     fn cycles_decompose() {
-        let run = OpteronCpu::paper_reference().run_md(&SimConfig::reduced_lj(108), 2);
+        let run = run_md(
+            &mut OpteronCpu::paper_reference(),
+            &SimConfig::reduced_lj(108),
+            2,
+        );
         let total = run.sim_seconds * 2.2e9;
         assert!((total - (run.flop_cycles + run.memory_cycles)).abs() < 1.0);
         assert!(run.flops > 0.0);
@@ -850,9 +838,9 @@ mod tests {
     #[test]
     fn perf_counters_are_free_and_populated() {
         let cfg = SimConfig::reduced_lj(108);
-        let plain = OpteronCpu::paper_reference().run_md(&cfg, 3);
+        let plain = run_md(&mut OpteronCpu::paper_reference(), &cfg, 3);
         let mut perf = sim_perf::PerfMonitor::new();
-        let counted = OpteronCpu::paper_reference().run_md_perf(&cfg, 3, &mut perf);
+        let counted = run_md_perf(&mut OpteronCpu::paper_reference(), &cfg, 3, &mut perf);
         assert_eq!(
             plain.sim_seconds, counted.sim_seconds,
             "observability is free"
@@ -876,12 +864,12 @@ mod tests {
         let cfg = SimConfig::reduced_lj(108);
 
         let mut whole_sys: ParticleSystem<f64> = init::initialize(&cfg);
-        OpteronCpu::paper_reference().run_md_from(&mut whole_sys, &cfg, 10);
+        run_md_from(&mut OpteronCpu::paper_reference(), &mut whole_sys, &cfg, 10);
 
         let mut seg_sys: ParticleSystem<f64> = init::initialize(&cfg);
         let mut cpu = OpteronCpu::paper_reference();
-        cpu.run_md_from(&mut seg_sys, &cfg, 5);
-        cpu.run_md_from(&mut seg_sys, &cfg, 5);
+        run_md_from(&mut cpu, &mut seg_sys, &cfg, 5);
+        run_md_from(&mut cpu, &mut seg_sys, &cfg, 5);
 
         assert_eq!(seg_sys.positions, whole_sys.positions);
         assert_eq!(seg_sys.velocities, whole_sys.velocities);
@@ -895,10 +883,13 @@ mod tests {
         #[test]
         fn injected_faults_leave_physics_untouched_and_slow_the_run() {
             let cfg = SimConfig::reduced_lj(108);
-            let clean = OpteronCpu::paper_reference().run_md(&cfg, 6);
-            let faulty = OpteronCpu::paper_reference()
-                .with_fault_plan(sim_fault::FaultPlan::new(7, 0.4))
-                .run_md(&cfg, 6);
+            let clean = run_md(&mut OpteronCpu::paper_reference(), &cfg, 6);
+            let faulty = run_md(
+                &mut OpteronCpu::paper_reference()
+                    .with_fault_plan(sim_fault::FaultPlan::new(7, 0.4)),
+                &cfg,
+                6,
+            );
 
             assert_eq!(clean.energies.total, faulty.energies.total);
             assert_eq!(clean.energies.kinetic, faulty.energies.kinetic);
@@ -918,9 +909,12 @@ mod tests {
         #[test]
         fn exhaustion_degrades_instead_of_failing() {
             let cfg = SimConfig::reduced_lj(108);
-            let run = OpteronCpu::paper_reference()
-                .with_fault_plan(sim_fault::FaultPlan::new(3, 1.0))
-                .run_md(&cfg, 3);
+            let run = run_md(
+                &mut OpteronCpu::paper_reference()
+                    .with_fault_plan(sim_fault::FaultPlan::new(3, 1.0)),
+                &cfg,
+                3,
+            );
             assert!(run.faults.exhausted > 0, "rate 1.0 must exhaust retries");
             assert!(run.energies.total.is_finite());
             assert!(run.sim_seconds > 0.0);
@@ -930,9 +924,12 @@ mod tests {
         fn fault_schedule_is_reproducible_across_runs() {
             let cfg = SimConfig::reduced_lj(108);
             let run = || {
-                OpteronCpu::paper_reference()
-                    .with_fault_plan(sim_fault::FaultPlan::new(42, 0.3))
-                    .run_md(&cfg, 5)
+                run_md(
+                    &mut OpteronCpu::paper_reference()
+                        .with_fault_plan(sim_fault::FaultPlan::new(42, 0.3)),
+                    &cfg,
+                    5,
+                )
             };
             let a = run();
             let b = run();

@@ -703,7 +703,7 @@ mod tests {
                 Some(cp) => (cp.restore(), cp.step),
                 None => (init::initialize(sim), 0),
             };
-            let params = sim.lj_params();
+            let params = sim.substrate();
             let mut kernel = md_core::forces::AllPairsFullKernel;
             let stepper = md_core::verlet::VelocityVerlet::new(sim.dt);
             use md_core::forces::ForceKernel;

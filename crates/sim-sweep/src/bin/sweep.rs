@@ -29,6 +29,10 @@ run options:
   --cache-dir DIR  cache directory (default results/cache)
   --expect-cached  fail if any point executed a device simulation
                    (verifies the cache is warm)
+  --scenario SPEC  run the named specs under a different scenario
+                   (<potential>/<ensemble>/<precision>, e.g.
+                   morse:d1,a2,r1.2/nvt:t0.85,k0.1/native). Cache keys move
+                   with the scenario, so warm LJ results are never served.
 
 clean options:
   --cache-dir DIR  cache directory (default results/cache)
@@ -78,6 +82,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let mut names: Vec<String> = Vec::new();
     let mut all = false;
     let mut expect_cached = false;
+    let mut scenario: Option<md_core::scenario::ScenarioSpec> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -97,6 +102,15 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             "--cache-dir" => {
                 let v = it.next().ok_or("--cache-dir needs a path")?;
                 cfg.cache_dir = v.into();
+            }
+            "--scenario" => {
+                let v = it.next().ok_or("--scenario needs a spec")?;
+                let parsed: md_core::scenario::ScenarioSpec =
+                    v.parse().map_err(|e| format!("bad --scenario: {e}"))?;
+                parsed
+                    .try_validate()
+                    .map_err(|e| format!("bad --scenario: {e}"))?;
+                scenario = Some(parsed);
             }
             flag if flag.starts_with("--") => return Err(format!("unknown flag '{flag}'")),
             name => names.push(name.to_string()),
@@ -119,6 +133,10 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
                     .ok_or_else(|| format!("unknown spec '{name}' (see `sweep list`)"))
             })
             .collect::<Result<_, _>>()?
+    };
+    let specs: Vec<SweepSpec> = match scenario {
+        Some(scn) => specs.into_iter().map(|s| s.with_scenario(scn)).collect(),
+        None => specs,
     };
 
     let mut total_hits = 0;

@@ -30,9 +30,18 @@ pub const CODE_VERSION_SALT: u64 = 1;
 /// its own `schema_version`).
 pub const CACHE_SCHEMA_VERSION: u32 = 1;
 
-/// The full cache key for one sweep point.
-pub fn point_key(salt: u64, device_token: &str, n_atoms: usize, steps: usize) -> String {
-    format!("v{salt}|{device_token}|n{n_atoms}|s{steps}")
+/// The full cache key for one sweep point. `scenario_token` is the
+/// [`md_core::scenario::ScenarioSpec::cache_token`] of the workload's
+/// scenario: two sweeps differing only in potential, ensemble, or precision
+/// policy must never share an entry.
+pub fn point_key(
+    salt: u64,
+    device_token: &str,
+    scenario_token: &str,
+    n_atoms: usize,
+    steps: usize,
+) -> String {
+    format!("v{salt}|{device_token}|{scenario_token}|n{n_atoms}|s{steps}")
 }
 
 /// 64-bit FNV-1a over the key string; collisions are tolerated (the stored
@@ -173,7 +182,13 @@ mod tests {
     fn store_then_load_round_trips_bitwise() {
         let cache = temp_cache("roundtrip");
         let m = sample_metrics();
-        let key = point_key(CODE_VERSION_SALT, "opteron:test", 108, 1);
+        let key = point_key(
+            CODE_VERSION_SALT,
+            "opteron:test",
+            "lj:e1,s1/nve/native",
+            108,
+            1,
+        );
         cache.store(&key, &m).expect("store");
         let back = cache.load(&key).expect("hit");
         assert_eq!(back, m);
@@ -184,7 +199,13 @@ mod tests {
     fn corrupted_entry_is_a_miss_not_a_panic() {
         let cache = temp_cache("corrupt");
         let m = sample_metrics();
-        let key = point_key(CODE_VERSION_SALT, "opteron:test", 108, 1);
+        let key = point_key(
+            CODE_VERSION_SALT,
+            "opteron:test",
+            "lj:e1,s1/nve/native",
+            108,
+            1,
+        );
         cache.store(&key, &m).expect("store");
         for garbage in ["", "{", "not json at all", "{\"cache_schema\": 1}"] {
             fs::write(cache.path_for(&key), garbage).expect("corrupt");
@@ -199,9 +220,21 @@ mod tests {
         // key's path must not be returned for this key.
         let cache = temp_cache("collision");
         let m = sample_metrics();
-        let stored = point_key(CODE_VERSION_SALT, "opteron:test", 108, 1);
+        let stored = point_key(
+            CODE_VERSION_SALT,
+            "opteron:test",
+            "lj:e1,s1/nve/native",
+            108,
+            1,
+        );
         cache.store(&stored, &m).expect("store");
-        let other = point_key(CODE_VERSION_SALT, "opteron:test", 108, 2);
+        let other = point_key(
+            CODE_VERSION_SALT,
+            "opteron:test",
+            "lj:e1,s1/nve/native",
+            108,
+            2,
+        );
         fs::rename(cache.path_for(&stored), cache.path_for(&other)).expect("move");
         assert!(cache.load(&other).is_none());
         let _ = fs::remove_dir_all(cache.dir());
@@ -209,8 +242,8 @@ mod tests {
 
     #[test]
     fn salt_changes_the_key() {
-        let a = point_key(1, "opteron:test", 108, 1);
-        let b = point_key(2, "opteron:test", 108, 1);
+        let a = point_key(1, "opteron:test", "lj:e1,s1/nve/native", 108, 1);
+        let b = point_key(2, "opteron:test", "lj:e1,s1/nve/native", 108, 1);
         assert_ne!(a, b);
         let cache = temp_cache("salt");
         assert_ne!(cache.path_for(&a), cache.path_for(&b));
@@ -220,7 +253,13 @@ mod tests {
     fn open_sweeps_stale_temp_files_but_keeps_entries() {
         let cache = temp_cache("open-sweep");
         let m = sample_metrics();
-        let key = point_key(CODE_VERSION_SALT, "opteron:test", 108, 1);
+        let key = point_key(
+            CODE_VERSION_SALT,
+            "opteron:test",
+            "lj:e1,s1/nve/native",
+            108,
+            1,
+        );
         cache.store(&key, &m).expect("store");
         // A writer that died between write and rename leaves a private temp
         // file behind; reopening the directory reclaims it.
@@ -248,7 +287,13 @@ mod tests {
     fn racing_writers_on_one_key_leave_a_loadable_entry() {
         let cache = temp_cache("race");
         let m = sample_metrics();
-        let key = point_key(CODE_VERSION_SALT, "opteron:test", 108, 1);
+        let key = point_key(
+            CODE_VERSION_SALT,
+            "opteron:test",
+            "lj:e1,s1/nve/native",
+            108,
+            1,
+        );
         // Two threads publish the same key concurrently, many times each, to
         // exercise the write-temp-then-rename window. Rename-wins means the
         // entry must be loadable and key-consistent after every iteration —
@@ -289,13 +334,15 @@ mod tests {
         assert_eq!(cache.clean().expect("missing dir is clean"), 0);
         let m = sample_metrics();
         cache
-            .store(&point_key(1, "a", 108, 1), &m)
+            .store(&point_key(1, "a", "lj:e1,s1/nve/native", 108, 1), &m)
             .expect("store a");
         cache
-            .store(&point_key(1, "b", 108, 1), &m)
+            .store(&point_key(1, "b", "lj:e1,s1/nve/native", 108, 1), &m)
             .expect("store b");
         assert_eq!(cache.clean().expect("clean"), 2);
-        assert!(cache.load(&point_key(1, "a", 108, 1)).is_none());
+        assert!(cache
+            .load(&point_key(1, "a", "lj:e1,s1/nve/native", 108, 1))
+            .is_none());
         let _ = fs::remove_dir_all(cache.dir());
     }
 }

@@ -87,9 +87,17 @@ impl SweepReport {
         );
         let mut cursor = 0.0f64;
         for r in &self.results {
+            // Scenario identity rides in the event name so ledgers from
+            // different scenarios never alias; the faithful default adds
+            // nothing, keeping pre-substrate ledgers byte-identical.
+            let scenario = if r.point.scenario == Default::default() {
+                String::new()
+            } else {
+                format!("@{}", r.point.scenario.cache_token())
+            };
             let name = format!(
-                "{}_n{}_s{}",
-                r.metrics.device, r.point.n_atoms, r.point.steps
+                "{}_n{}_s{}{}",
+                r.metrics.device, r.point.n_atoms, r.point.steps, scenario
             );
             led.push(sim_obs::LedgerEvent {
                 t_s: cursor,
@@ -174,7 +182,7 @@ fn execute_point(
     p: &SweepPoint,
     par: md_core::device::HostParallelism,
 ) -> Result<RunMetrics, SweepError> {
-    let sim = md_core::params::SimConfig::reduced_lj(p.n_atoms);
+    let sim = md_core::params::SimConfig::reduced_lj(p.n_atoms).with_scenario(p.scenario);
     harness::device_metrics_par(p.device, &sim, p.steps, par)
         .map(|(metrics, _)| metrics)
         .map_err(|e| SweepError::Point {
@@ -211,7 +219,13 @@ pub fn run_sweep(spec: &SweepSpec, cfg: &EngineConfig) -> Result<SweepReport, Sw
         md_core::device::HostParallelism::Serial
     };
     let run_point = |p: &SweepPoint| -> Result<(RunMetrics, bool), SweepError> {
-        let key = point_key(cfg.salt, &p.device.cache_token(), p.n_atoms, p.steps);
+        let key = point_key(
+            cfg.salt,
+            &p.device.cache_token(),
+            &p.scenario.cache_token(),
+            p.n_atoms,
+            p.steps,
+        );
         if cfg.use_cache {
             if let Some(metrics) = cache.load(&key) {
                 return Ok((metrics, true));

@@ -120,7 +120,8 @@ pub fn run_cluster_sweep(
     };
     let mut results = Vec::with_capacity(spec.points.len());
     for p in &spec.points {
-        let key = point_key(cfg.salt, &p.cluster.cache_token(), p.n_atoms, p.steps);
+        let scn = md_core::scenario::ScenarioSpec::default().cache_token();
+        let key = point_key(cfg.salt, &p.cluster.cache_token(), &scn, p.n_atoms, p.steps);
         if cfg.use_cache {
             if let Some(metrics) = cache.load(&key) {
                 results.push(ClusterPointResult {
@@ -287,8 +288,9 @@ mod tests {
     #[test]
     fn cluster_cache_keys_are_disjoint_from_device_keys() {
         let kind = ClusterKind::new(DeviceKind::Opteron, 1);
-        let cluster_key = point_key(1, &kind.cache_token(), 2048, 10);
-        let device_key = point_key(1, &DeviceKind::Opteron.cache_token(), 2048, 10);
+        let scn = md_core::scenario::ScenarioSpec::default().cache_token();
+        let cluster_key = point_key(1, &kind.cache_token(), &scn, 2048, 10);
+        let device_key = point_key(1, &DeviceKind::Opteron.cache_token(), &scn, 2048, 10);
         assert_ne!(cluster_key, device_key);
         assert!(kind.cache_token().starts_with("cluster:"));
     }

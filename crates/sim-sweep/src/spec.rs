@@ -9,6 +9,7 @@
 use cell_be::{SpawnPolicy, SpeKernelVariant};
 use harness::experiments::{PAPER_ATOMS, PAPER_STEPS};
 use harness::{DeviceKind, GpuModel};
+use md_core::scenario::ScenarioSpec;
 use mta::ThreadingMode;
 
 /// Figure 7's atom counts (also the GPU-vs-Opteron slice of `bench_seed`).
@@ -21,16 +22,19 @@ pub const FIG9_ATOMS: [usize; 6] = [256, 512, 1024, 2048, 4096, 8192];
 /// the 4096-atom point).
 pub const BENCH_FIG8_ATOMS: [usize; 4] = [256, 512, 1024, 2048];
 
-/// One cacheable unit of work: run `device` on the standard reduced-LJ
-/// lattice at `n_atoms` for `steps` time steps. `figure` names the artifact
-/// the point belongs to (display/grouping only — it is *not* part of the
-/// cache key, so points shared between figures hit the same cache entry).
+/// One cacheable unit of work: run `device` on the standard reduced lattice
+/// at `n_atoms` for `steps` time steps under `scenario`. `figure` names the
+/// artifact the point belongs to (display/grouping only — it is *not* part
+/// of the cache key, so points shared between figures hit the same cache
+/// entry). The scenario *is* part of the key: a warm cache for one scenario
+/// never serves another.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct SweepPoint {
     pub figure: &'static str,
     pub device: DeviceKind,
     pub n_atoms: usize,
     pub steps: usize,
+    pub scenario: ScenarioSpec,
 }
 
 /// An ordered set of sweep points with a stable name for the CLI.
@@ -50,6 +54,15 @@ impl SweepSpec {
     pub fn is_empty(&self) -> bool {
         self.points.is_empty()
     }
+
+    /// The same grid re-targeted at a different scenario (the CLI's
+    /// `--scenario` axis). Every point's cache key moves with it.
+    pub fn with_scenario(mut self, scenario: ScenarioSpec) -> Self {
+        for p in &mut self.points {
+            p.scenario = scenario;
+        }
+        self
+    }
 }
 
 fn point(figure: &'static str, device: DeviceKind, n_atoms: usize, steps: usize) -> SweepPoint {
@@ -58,6 +71,7 @@ fn point(figure: &'static str, device: DeviceKind, n_atoms: usize, steps: usize)
         device,
         n_atoms,
         steps,
+        scenario: ScenarioSpec::default(),
     }
 }
 
@@ -228,6 +242,41 @@ pub fn bench_seed() -> SweepSpec {
     }
 }
 
+/// The scenario extension matrix: both non-LJ scenarios (Morse/NVT and
+/// truncated Coulomb) on all four paper devices at a small size — the CI
+/// gate proving every device runs every reachable scenario end-to-end, with
+/// caching and perf collection. Scenario-major so each device's two rows
+/// sit apart, mirroring how the extension experiments are reported.
+pub fn scenario_matrix() -> SweepSpec {
+    let devices = [
+        DeviceKind::Opteron,
+        DeviceKind::cell_best(),
+        DeviceKind::Gpu {
+            model: GpuModel::GeForce7900Gtx,
+        },
+        DeviceKind::Mta {
+            mode: ThreadingMode::FullyMultithreaded,
+        },
+    ];
+    let mut points = Vec::new();
+    for scenario in [ScenarioSpec::morse_nvt(), ScenarioSpec::coulomb_cutoff()] {
+        for device in devices {
+            points.push(SweepPoint {
+                figure: "scenario-matrix",
+                device,
+                n_atoms: 108,
+                steps: 4,
+                scenario,
+            });
+        }
+    }
+    SweepSpec {
+        name: "scenario_matrix",
+        description: "Morse/NVT and truncated-Coulomb scenarios on all four devices",
+        points,
+    }
+}
+
 /// Every named spec, in evaluation-section order. This is what
 /// `sweep list` prints and `sweep run --all` executes.
 pub fn registry() -> Vec<SweepSpec> {
@@ -239,6 +288,7 @@ pub fn registry() -> Vec<SweepSpec> {
         fig8(),
         fig9(),
         bench_seed(),
+        scenario_matrix(),
     ]
 }
 
@@ -266,6 +316,46 @@ mod tests {
         assert_eq!(fig8().len(), 10);
         assert_eq!(fig9().len(), 12);
         assert_eq!(bench_seed().len(), 32);
+        assert_eq!(scenario_matrix().len(), 8);
+    }
+
+    #[test]
+    fn paper_figures_run_the_faithful_scenario() {
+        for spec in registry() {
+            if spec.name == "scenario_matrix" {
+                continue;
+            }
+            for p in &spec.points {
+                assert_eq!(
+                    p.scenario,
+                    ScenarioSpec::default(),
+                    "{}: paper grids must stay LJ/NVE/native",
+                    spec.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scenario_changes_the_cache_key() {
+        let p = table1().points[0];
+        let base = crate::cache::point_key(
+            1,
+            &p.device.cache_token(),
+            &p.scenario.cache_token(),
+            p.n_atoms,
+            p.steps,
+        );
+        for other in [ScenarioSpec::morse_nvt(), ScenarioSpec::coulomb_cutoff()] {
+            let moved = crate::cache::point_key(
+                1,
+                &p.device.cache_token(),
+                &other.cache_token(),
+                p.n_atoms,
+                p.steps,
+            );
+            assert_ne!(base, moved, "{other:?} must not share {base:?}");
+        }
     }
 
     #[test]
@@ -289,8 +379,20 @@ mod tests {
             .find(|p| p.device == DeviceKind::Opteron && p.n_atoms == 2048)
             .expect("fig7 has a 2048-atom Opteron point");
         assert_eq!(
-            crate::cache::point_key(1, &t1.device.cache_token(), t1.n_atoms, t1.steps),
-            crate::cache::point_key(1, &f7.device.cache_token(), f7.n_atoms, f7.steps),
+            crate::cache::point_key(
+                1,
+                &t1.device.cache_token(),
+                &t1.scenario.cache_token(),
+                t1.n_atoms,
+                t1.steps
+            ),
+            crate::cache::point_key(
+                1,
+                &f7.device.cache_token(),
+                &f7.scenario.cache_token(),
+                f7.n_atoms,
+                f7.steps
+            ),
         );
     }
 }

@@ -24,6 +24,7 @@ fn small_fig7_spec() -> SweepSpec {
                 device,
                 n_atoms,
                 steps: 1,
+                scenario: Default::default(),
             });
         }
     }
@@ -83,6 +84,7 @@ fn corrupted_cache_entry_recomputes_instead_of_panicking() {
     let key = point_key(
         engine.salt,
         &victim.device.cache_token(),
+        &victim.scenario.cache_token(),
         victim.n_atoms,
         victim.steps,
     );

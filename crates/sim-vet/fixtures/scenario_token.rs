@@ -1,0 +1,19 @@
+//! vet-path: crates/md-core/src/scenario.rs
+//!
+//! Seeded cache-token violation on a scenario struct: the spec gained a
+//! `precision` knob that its own `cache_token()` never encodes, so a warm
+//! sweep cache would serve one precision policy's results for another.
+//! The struct *self* type is an expansion root (not just the types
+//! constructed in the body), which is what catches this drift.
+
+pub struct FixtureScenarioSpec {
+    pub potential: u32,
+    pub ensemble: u32,
+    pub precision: u32, // vet-expect(cache-token)
+}
+
+impl FixtureScenarioSpec {
+    pub fn cache_token(&self) -> String {
+        format!("{}/{}", self.potential, self.ensemble)
+    }
+}

@@ -905,8 +905,15 @@ pub fn check_cache_token(
             Some(ty) => format!("{ty}::cache_token"),
             None => "cache_token".to_string(),
         };
-        // The enclosing enum's variant fields are configuration knobs too.
+        // The enclosing type's own fields are configuration knobs too. A
+        // struct self type (e.g. a scenario spec) joins the expansion roots
+        // so its fields — and any struct-typed fields below them — must all
+        // be encoded; an enum self type gets its variant fields checked
+        // directly.
         if let Some(self_ty) = &fnsym.item.self_ty {
+            if symbols.has_struct(self_ty) {
+                roots.push(self_ty.clone());
+            }
             if let Some(en) = symbols.enumeration(self_ty) {
                 for v in &en.item.variants {
                     for f in &v.fields {

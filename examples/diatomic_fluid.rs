@@ -16,10 +16,11 @@ fn main() {
         .with_density(0.5)
         .with_temperature(0.9)
         .with_dt(0.002);
-    let mut sim = Simulation::<f64>::prepare(config);
     // Truncated-and-shifted LJ: the energy is continuous at the cutoff, so
     // the NVE drift below measures the integrator, not truncation jumps.
-    sim.params = sim.params.shifted();
+    let shifted = config.lj_params::<f64>().shifted();
+    let mut sim = Simulation::<f64>::prepare(config);
+    sim.substrate = Substrate::from_lj(shifted);
 
     // Pair up lattice neighbors (2i, 2i+1) with stiff springs, making
     // N₂-style dumbbells. Each bond's rest length is its initial separation

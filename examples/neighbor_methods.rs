@@ -13,17 +13,17 @@ use std::time::Instant;
 fn time_kernel(
     name: &str,
     sys: &ParticleSystem<f64>,
-    params: &LjParams<f64>,
+    sub: &Substrate<f64>,
     kernel: &mut dyn ForceKernel<f64>,
     reference_pe: f64,
 ) {
     let mut s = sys.clone();
     // One warm-up evaluation (builds neighbor structures).
-    let pe = kernel.compute(&mut s, params);
+    let pe = kernel.compute(&mut s, sub);
     let reps = 5;
     let t0 = Instant::now();
     for _ in 0..reps {
-        kernel.compute(&mut s, params);
+        kernel.compute(&mut s, sub);
     }
     let per_eval = t0.elapsed().as_secs_f64() / reps as f64;
     let err = ((pe - reference_pe) / reference_pe).abs();
@@ -39,7 +39,7 @@ fn time_kernel(
 fn main() {
     let cfg = SimConfig::reduced_lj(2048);
     let sys: ParticleSystem<f64> = md_emerging_arch::md::init::initialize(&cfg);
-    let params = cfg.lj_params::<f64>();
+    let sub = cfg.substrate::<f64>();
 
     println!(
         "force evaluation methods, {} atoms at rho* = {} (host wall-clock)\n",
@@ -48,36 +48,30 @@ fn main() {
 
     let mut reference = AllPairsHalfKernel;
     let mut s = sys.clone();
-    let reference_pe = reference.compute(&mut s, &params);
+    let reference_pe = reference.compute(&mut s, &sub);
 
     time_kernel(
         "all-pairs O(N²)",
         &sys,
-        &params,
+        &sub,
         &mut AllPairsHalfKernel,
         reference_pe,
     );
     time_kernel(
         "neighbor list",
         &sys,
-        &params,
+        &sub,
         &mut NeighborListKernel::with_default_skin(),
         reference_pe,
     );
     time_kernel(
         "cell list",
         &sys,
-        &params,
+        &sub,
         &mut CellListKernel::new(),
         reference_pe,
     );
-    time_kernel(
-        "rayon parallel",
-        &sys,
-        &params,
-        &mut RayonKernel,
-        reference_pe,
-    );
+    time_kernel("rayon parallel", &sys, &sub, &mut RayonKernel, reference_pe);
 
     println!(
         "\nthe paper's device ports compute distances on the fly with no neighbor \

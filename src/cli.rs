@@ -9,6 +9,7 @@
 //! - `trace` — produce a Chrome-trace timeline of a simulated Cell run.
 
 use md_core::params::SimConfig;
+use md_core::scenario::ScenarioSpec;
 
 /// Which force kernel `mdea run` uses.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -82,10 +83,16 @@ mdea — molecular dynamics on simulated 2006 'emerging' architectures
 USAGE:
   mdea run     [--atoms N] [--steps S] [--density D] [--temperature T]
                [--dt DT] [--seed X] [--kernel half|full|rayon|neighbor|cell]
-               [--xyz FILE [--every K]] [--checkpoint FILE]
-  mdea devices [--atoms N] [--steps S] [--host-threads T]
+               [--scenario SPEC] [--xyz FILE [--every K]] [--checkpoint FILE]
+  mdea devices [--atoms N] [--steps S] [--host-threads T] [--scenario SPEC]
   mdea trace   [--atoms N] [--steps S] --out FILE
   mdea help
+
+SCENARIO:
+  <potential>/<ensemble>/<precision>, trailing segments optional.
+  Potentials: lj:e<ε>,s<σ> | morse:d<D>,a<a>,r<r0> | coul:q<q²>
+  Ensembles:  nve | nvt:t<T*>,k<κ>      Precision: native|f32|f64|mixed
+  Default ('default') is the paper-faithful LJ/NVE/native scenario.
 ";
 
 fn take_value<'a>(flag: &str, it: &mut impl Iterator<Item = &'a str>) -> Result<&'a str, String> {
@@ -108,6 +115,7 @@ struct WorkloadFlags {
     temperature: f64,
     dt: f64,
     seed: u64,
+    scenario: ScenarioSpec,
 }
 
 impl Default for WorkloadFlags {
@@ -119,6 +127,7 @@ impl Default for WorkloadFlags {
             temperature: 0.728,
             dt: 0.005,
             seed: 0x5EED_0001,
+            scenario: ScenarioSpec::default(),
         }
     }
 }
@@ -129,7 +138,8 @@ impl WorkloadFlags {
             .with_density(self.density)
             .with_temperature(self.temperature)
             .with_dt(self.dt)
-            .with_seed(self.seed);
+            .with_seed(self.seed)
+            .with_scenario(self.scenario);
         cfg.try_validate()?;
         Ok(cfg)
     }
@@ -147,6 +157,12 @@ impl WorkloadFlags {
             "--temperature" => self.temperature = parse_num(flag, take_value(flag, it)?)?,
             "--dt" => self.dt = parse_num(flag, take_value(flag, it)?)?,
             "--seed" => self.seed = parse_num(flag, take_value(flag, it)?)?,
+            "--scenario" => {
+                let v = take_value(flag, it)?;
+                self.scenario = v
+                    .parse()
+                    .map_err(|e| format!("invalid value '{v}' for {flag}: {e}"))?;
+            }
             _ => return Ok(false),
         }
         Ok(true)
@@ -345,6 +361,31 @@ mod tests {
         assert_eq!(t.steps, 3);
         assert_eq!(t.out_path, "cell.json");
         assert!(parse_args(["trace"]).is_err(), "--out required");
+    }
+
+    #[test]
+    fn scenario_flag_selects_the_workload_scenario() {
+        let Command::Run(r) =
+            parse_args(["run", "--scenario", "morse:d1,a2,r1.2/nvt:t0.85,k0.1/mixed"]).unwrap()
+        else {
+            panic!("expected run");
+        };
+        assert_eq!(
+            r.config.scenario_token(),
+            "morse:d1,a2,r1.2/nvt:t0.85,k0.1/mixed"
+        );
+        let Command::Devices(d) = parse_args(["devices", "--scenario", "coul:q1"]).unwrap() else {
+            panic!("expected devices");
+        };
+        assert_eq!(d.config.scenario_token(), "coul:q1/nve/native");
+        assert!(
+            parse_args(["run", "--scenario", "magic"]).is_err(),
+            "unknown scenario"
+        );
+        assert!(
+            parse_args(["run", "--scenario", "nvt:t-3,k0.5"]).is_err(),
+            "invalid parameters fail config validation"
+        );
     }
 
     #[test]

@@ -17,7 +17,7 @@ use mta::ThreadingMode;
 
 fn reference<T: vecmath::Real>(sim: &SimConfig, steps: usize) -> EnergyReport {
     let mut sys: ParticleSystem<T> = md_core::init::initialize(sim);
-    let params = sim.lj_params::<T>();
+    let params = sim.substrate::<T>();
     let vv = VelocityVerlet::new(T::from_f64(sim.dt));
     let mut kernel = AllPairsFullKernel;
     let mut pe = kernel.compute(&mut sys, &params);

@@ -32,7 +32,7 @@ proptest! {
     fn energy_conservation(cfg in workload_strategy()) {
         let cfg = cfg.with_dt(0.002);
         let mut sys: ParticleSystem<f64> = md_core::init::initialize(&cfg);
-        let params = cfg.lj_params::<f64>().shifted();
+        let params = Substrate::from_lj(cfg.lj_params::<f64>().shifted());
         let vv = VelocityVerlet::new(cfg.dt);
         let mut kernel = AllPairsHalfKernel;
         let pe0 = kernel.compute(&mut sys, &params);
@@ -51,7 +51,7 @@ proptest! {
     #[test]
     fn net_force_zero(cfg in workload_strategy()) {
         let mut sys: ParticleSystem<f64> = md_core::init::initialize(&cfg);
-        let params = cfg.lj_params::<f64>();
+        let params = cfg.substrate::<f64>();
         AllPairsFullKernel.compute(&mut sys, &params);
         let mut net = Vec3::zero();
         for a in &sys.accelerations {
@@ -74,7 +74,7 @@ proptest! {
     #[test]
     fn kernels_agree(cfg in workload_strategy()) {
         let sys: ParticleSystem<f64> = md_core::init::initialize(&cfg);
-        let params = cfg.lj_params::<f64>();
+        let params = cfg.substrate::<f64>();
         let mut kernels: Vec<(&str, Box<dyn ForceKernel<f64>>)> = vec![
             ("half", Box::new(AllPairsHalfKernel)),
             ("full", Box::new(AllPairsFullKernel)),

@@ -202,12 +202,14 @@ fn sweep_ledger_records_cache_hits_and_misses() {
                 device: DeviceKind::Opteron,
                 n_atoms: 108,
                 steps: 2,
+                scenario: Default::default(),
             },
             sim_sweep::SweepPoint {
                 figure: "probe",
                 device: DeviceKind::Opteron,
                 n_atoms: 256,
                 steps: 2,
+                scenario: Default::default(),
             },
         ],
     };
