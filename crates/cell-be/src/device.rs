@@ -98,6 +98,14 @@ impl CellRun {
 /// The simulated Cell blade.
 pub struct CellBeDevice {
     pub config: CellConfig,
+    /// Physics-once replay memo (DESIGN.md §17): when enabled (the default)
+    /// and the run uses the fully SIMDized kernel variant, each SPE slice's
+    /// physics is evaluated once through the shared batched kernel and the
+    /// per-pair cost loop is replayed in closed form. Bitwise identical to
+    /// the interpretive path in state, energies, sim-seconds, and counters;
+    /// disabling it (`set_eval_memo(false)`) restores the interpretive loop
+    /// for baseline timing.
+    eval_memo: bool,
     /// Armed fault schedule; `None` runs fault-free (see DESIGN.md §9).
     #[cfg(feature = "fault-inject")]
     pub fault_plan: Option<sim_fault::FaultPlan>,
@@ -107,9 +115,15 @@ impl CellBeDevice {
     pub fn new(config: CellConfig) -> Self {
         Self {
             config,
+            eval_memo: true,
             #[cfg(feature = "fault-inject")]
             fault_plan: None,
         }
+    }
+
+    /// Enable or disable the shared-eval replay memo.
+    pub fn set_eval_memo(&mut self, enabled: bool) {
+        self.eval_memo = enabled;
     }
 
     pub fn paper_blade() -> Self {
@@ -474,16 +488,33 @@ impl CellBeDevice {
                         lane.hazard.compute_read(pos_r);
                         lane.hazard.compute_write(acc_r);
                     }
-                    let (pe_slice, stats) = compute_accelerations(
-                        &mut spe.local_store,
-                        pos_r,
-                        acc_r,
-                        lo..hi,
-                        n,
-                        params,
-                        run.variant,
-                        &self.config.costs,
-                    );
+                    // Physics-once split (DESIGN.md §17): under the memo the
+                    // slice's physics comes from the shared batched kernel
+                    // and the cycle charge is the closed-form replay — both
+                    // bitwise the interpretive loop's results.
+                    let (pe_slice, stats) =
+                        if self.eval_memo && run.variant == SpeKernelVariant::SimdAcceleration {
+                            crate::kernel::compute_accelerations_shared(
+                                &mut spe.local_store,
+                                pos_r,
+                                acc_r,
+                                lo..hi,
+                                n,
+                                params,
+                                &self.config.costs,
+                            )
+                        } else {
+                            compute_accelerations(
+                                &mut spe.local_store,
+                                pos_r,
+                                acc_r,
+                                lo..hi,
+                                n,
+                                params,
+                                run.variant,
+                                &self.config.costs,
+                            )
+                        };
                     // DMA the computed slice back (a sub-range of the acc region,
                     // landing in this SPE's window of the acceleration image).
                     let slice_view = LsRegion {

@@ -83,6 +83,31 @@ pub struct KernelStats {
     pub cycles: f64, // sim-vet: allow(precision-discipline): simulated-time accounting, not kernel physics
 }
 
+impl KernelStats {
+    /// Charge the slice's cycles in closed form from the work counts:
+    /// per-atom row overhead, per-tested-pair cost, per-interaction cost.
+    ///
+    /// Both the interpretive kernels and the shared-eval replay charge
+    /// through this one expression, so the memo's cycle replay is *bitwise*
+    /// the interpretive charge — an f64 identity, not an approximation. (An
+    /// incremental `cycles += …` per pair cannot be replayed exactly: with
+    /// non-integral stage costs the running sum's rounding depends on the
+    /// interleaving of row/pair/interaction charges.)
+    // sim-vet: begin-allow(precision-discipline): simulated-cycle accounting, not kernel physics
+    fn charge_closed_form(
+        &mut self,
+        costs: &SpeCostModel,
+        rows: u64,
+        per_pair_cost: f64,
+        per_interact_cost: f64,
+    ) {
+        self.cycles = costs.per_atom * rows as f64
+            + per_pair_cost * self.pairs_tested as f64
+            + per_interact_cost * self.interactions as f64;
+    }
+    // sim-vet: end-allow(precision-discipline)
+}
+
 /// Per-lane physics as the SPE sees it (single precision, matching the
 /// paper's Cell port): the resolved scenario substrate — potential,
 /// precision policy, thermostat — plus the geometry constants every pair
@@ -148,9 +173,9 @@ pub fn compute_accelerations(
     };
     let per_pair_cost =
         reflect_cost + direction_cost + length_cost + costs.cutoff_test + costs.pair_loads;
+    let rows = i_range.len() as u64;
 
     for i in i_range {
-        stats.cycles += costs.per_atom;
         let pi = ls.load_quad(pos, i);
         let pi_v = F32x4(pi);
         let mut acc_v = F32x4::ZERO;
@@ -167,7 +192,6 @@ pub fn compute_accelerations(
                 continue;
             }
             stats.pairs_tested += 1;
-            stats.cycles += per_pair_cost;
             let pj = ls.load_quad(pos, j);
 
             // --- unit-cell reflection: correct pj to i's nearest image ---
@@ -231,7 +255,6 @@ pub fn compute_accelerations(
             // --- cutoff test (data-dependent in every variant) ---
             if r2 < cutoff2 && r2 > 0.0 {
                 stats.interactions += 1;
-                stats.cycles += pot_cost + accel_cost;
 
                 let (e, f_over_r) = params.sub.energy_force(r2);
 
@@ -270,6 +293,54 @@ pub fn compute_accelerations(
         pe_slice += pe_i;
         ls.store_quad(acc, i, [acc_v.lane(0), acc_v.lane(1), acc_v.lane(2), pe_i]);
     }
+    stats.charge_closed_form(costs, rows, per_pair_cost, pot_cost + accel_cost);
+
+    (pe_slice, stats)
+}
+
+/// Shared-eval replay of the fully SIMDized kernel
+/// ([`SpeKernelVariant::SimdAcceleration`]): physics through
+/// [`md_core::shared_eval::cell_row`] (the same per-pair IEEE operations,
+/// batched 8-wide on the host), cycles charged in closed form from the same
+/// work counts the interpretive loop would have accumulated. Bitwise
+/// identical to `compute_accelerations` with the `SimdAcceleration` variant
+/// in local-store contents, returned PE, and [`KernelStats`] — pinned by a
+/// unit test below and end-to-end by `tests/shared_eval.rs`.
+#[allow(clippy::too_many_arguments)]
+pub fn compute_accelerations_shared(
+    ls: &mut LocalStore,
+    pos: LsRegion,
+    acc: LsRegion,
+    i_range: Range<usize>,
+    n_atoms: usize,
+    params: SpeLanePhysics,
+    costs: &SpeCostModel,
+) -> (f32, KernelStats) {
+    let mut stats = KernelStats::default();
+    let mut pe_slice = 0.0f32;
+
+    let pot_cost = costs.lj_eval + params.sub.extra_eval_ops();
+    let per_pair_cost = costs.reflect_simd
+        + costs.direction_simd
+        + costs.length_simd
+        + costs.cutoff_test
+        + costs.pair_loads;
+    let rows = i_range.len() as u64;
+
+    let soa = md_core::shared_eval::SoaPositionsF32::from_quads(
+        (0..n_atoms).map(|j| ls.load_quad(pos, j)),
+    );
+    for i in i_range {
+        let row =
+            md_core::shared_eval::cell_row(&soa, i, params.box_len, &params.sub, params.inv_mass);
+        // The interpretive loop skips the self-pair with a branch; the
+        // shared kernel predicates it off. Tested-pair count is the same.
+        stats.pairs_tested += n_atoms as u64 - 1;
+        stats.interactions += row.interactions;
+        pe_slice += row.pe;
+        ls.store_quad(acc, i, [row.acc[0], row.acc[1], row.acc[2], row.pe]);
+    }
+    stats.charge_closed_form(costs, rows, per_pair_cost, pot_cost + costs.accel_simd);
 
     (pe_slice, stats)
 }
@@ -317,7 +388,6 @@ pub fn compute_accelerations_tiled(
     let per_interact_cost = costs.lj_eval + costs.accel_simd + params.sub.extra_eval_ops();
 
     for ii in 0..i_count {
-        stats.cycles += costs.per_atom;
         let pi = F32x4(ls.load_quad(pos_i, ii));
         let mut acc_q = F32x4(ls.load_quad(acc, ii));
         // Mixed policy: this tile's contributions sum in f64, then fold into
@@ -331,7 +401,6 @@ pub fn compute_accelerations_tiled(
                 continue; // self-pair
             }
             stats.pairs_tested += 1;
-            stats.cycles += per_pair_cost;
             let pj = F32x4(ls.load_quad(pos_j, jj));
 
             let d = pi.sub(pj);
@@ -347,7 +416,6 @@ pub fn compute_accelerations_tiled(
 
             if r2 < cutoff2 && r2 > 0.0 {
                 stats.interactions += 1;
-                stats.cycles += per_interact_cost;
                 let (e, f_over_r) = params.sub.energy_force(r2);
                 pe_added += e;
                 if mixed {
@@ -374,6 +442,7 @@ pub fn compute_accelerations_tiled(
         }
         ls.store_quad(acc, ii, acc_q.0);
     }
+    stats.charge_closed_form(costs, i_count as u64, per_pair_cost, per_interact_cost);
 
     (pe_added, stats)
 }
@@ -615,6 +684,55 @@ mod tests {
             let b = ls_b.load_quad(acc_b, i);
             for k in 0..4 {
                 assert_eq!(a[k], b[k], "atom {i} lane {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn shared_eval_replay_is_bitwise_identical() {
+        // The memo contract: physics through the shared batched kernel plus
+        // closed-form cycle charging must equal the interpretive
+        // `SimdAcceleration` loop exactly — LS contents, PE, and stats.
+        let costs = SpeCostModel::calibrated();
+        let positions: Vec<[f32; 3]> = (0..67)
+            .map(|i| {
+                let f = i as f32;
+                [(f * 0.917) % 6.0, (f * 1.371) % 6.0, (f * 0.533) % 6.0]
+            })
+            .collect();
+        let n = positions.len();
+        for spec in [
+            ScenarioSpec::default(),
+            ScenarioSpec::morse_nvt(),
+            ScenarioSpec::default()
+                .with_precision(md_core::scenario::PrecisionPolicy::MixedF64Accumulate),
+        ] {
+            let (mut ls_a, pos_a, acc_a, mut pa) = setup(&positions, 6.0);
+            pa.sub = spec.substrate(2.0);
+            let (pe_a, st_a) = compute_accelerations(
+                &mut ls_a,
+                pos_a,
+                acc_a,
+                0..n,
+                n,
+                pa,
+                SpeKernelVariant::SimdAcceleration,
+                &costs,
+            );
+            let (mut ls_b, pos_b, acc_b, mut pb) = setup(&positions, 6.0);
+            pb.sub = spec.substrate(2.0);
+            let (pe_b, st_b) =
+                compute_accelerations_shared(&mut ls_b, pos_b, acc_b, 0..n, n, pb, &costs);
+            assert_eq!(pe_a.to_bits(), pe_b.to_bits());
+            assert_eq!(st_a.pairs_tested, st_b.pairs_tested);
+            assert_eq!(st_a.interactions, st_b.interactions);
+            assert_eq!(st_a.cycles.to_bits(), st_b.cycles.to_bits());
+            for i in 0..n {
+                let a = ls_a.load_quad(acc_a, i);
+                let b = ls_b.load_quad(acc_b, i);
+                for k in 0..4 {
+                    assert_eq!(a[k].to_bits(), b[k].to_bits(), "atom {i} lane {k}");
+                }
             }
         }
     }

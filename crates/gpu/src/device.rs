@@ -58,6 +58,15 @@ impl GpuDevice {
         self.startup_seconds
     }
 
+    /// The JIT-baked constant block, if [`compile`] has run. The shared-eval
+    /// fast path reads the same compiled constants the interpretive dispatch
+    /// would, so both paths see one source of truth for the kernel parameters.
+    ///
+    /// [`compile`]: GpuDevice::compile
+    pub(crate) fn compiled_constants(&self) -> Option<&ShaderConstants> {
+        self.constants.as_ref()
+    }
+
     /// PCIe cost of moving a texture to the GPU, seconds.
     pub fn upload_seconds(&self, texture: &Texture) -> f64 {
         self.config.transfer_latency_s
@@ -132,6 +141,14 @@ impl GpuDevice {
             ops.alu += batch_ops.alu;
             ops.fetches += batch_ops.fetches;
         }
+        self.finish_dispatch(output, ops)
+    }
+
+    /// Convert a completed fragment pass into a [`DispatchResult`]: retired
+    /// ops become pipeline-occupancy seconds, plus the fixed per-dispatch
+    /// driver overhead. Shared by the interpretive dispatch and the
+    /// shared-eval replay path so both charge time through one expression.
+    pub(crate) fn finish_dispatch(&self, output: Texture, ops: ShaderOps) -> DispatchResult {
         let shader_seconds = ops.total() as f64 / self.config.ops_per_second();
         DispatchResult {
             output,

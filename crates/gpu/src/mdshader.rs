@@ -19,9 +19,13 @@
 //! and alternative potentials charge extra ALU slots per pair — on this
 //! hardware a longer pair expression is simply a longer fragment program.
 
+use crate::device::{DispatchResult, GpuDevice, FRAGMENT_BATCH};
 use crate::shader::{Shader, ShaderConstants, ShaderOps};
 use crate::texture::Texture;
+use md_core::device::HostParallelism;
+use md_core::parallel::map_indexed;
 use md_core::scenario::Substrate;
+use md_core::shared_eval::{self, SoaPositionsF32};
 use vecmath::Real;
 
 /// Indices of the kernel constants inside [`ShaderConstants`].
@@ -101,6 +105,75 @@ impl LjAccelShader {
         values[constants::INV_MASS] = inv_mass;
         values[constants::MIXED_ACC] = if sub.accumulate_f64 { 1.0 } else { 0.0 };
         ShaderConstants { values }
+    }
+
+    /// Physics-once dispatch: the fragment-batch row replay (DESIGN.md §17).
+    ///
+    /// Computes the same output texture as
+    /// [`GpuDevice::dispatch_par`]`(self, ..)` through the shared wide
+    /// evaluator ([`shared_eval::gpu_texel`], which reproduces [`execute`]'s
+    /// per-pair arithmetic bit for bit), and *replays* the op tally as a
+    /// closed form instead of counting fetch/ALU slots pair by pair.
+    /// Predication makes that exact, not approximate: the interpretive
+    /// shader charges every examined pair identically regardless of the
+    /// cutoff outcome, so each texel retires exactly
+    /// `1 + N·FETCH_PER_PAIR` fetches and
+    /// `ALU_PER_INSTANCE + N·(ALU_PER_PAIR + extra_alu)` ALU slots, and the
+    /// per-batch u64 sums — folded in the same batch order — are equal by
+    /// construction. Identical ops mean identical `shader_seconds`.
+    ///
+    /// The compile-before-dispatch JIT contract still holds: the kernel
+    /// constants come from the device's compiled block, exactly as the
+    /// interpretive path reads them.
+    ///
+    /// [`execute`]: Shader::execute
+    pub fn dispatch_shared(
+        &self,
+        device: &GpuDevice,
+        positions: &Texture,
+        par: HostParallelism,
+    ) -> DispatchResult {
+        let c = device
+            .compiled_constants()
+            // sim-vet: allow(panic-discipline): compile-before-dispatch is an API contract (the JIT protocol), not a runtime data failure
+            .expect("shader must be JIT-compiled (GpuDevice::compile) before dispatch");
+        let n = self.n_atoms;
+        let l = c.values[constants::BOX_LEN];
+        let inv_mass = c.values[constants::INV_MASS];
+        let soa = SoaPositionsF32::from_quads(positions.texels().iter().copied());
+
+        // The interpretive shader's per-texel retirement, as a closed form.
+        let per_texel_fetches = 1 + n as u64 * FETCH_PER_PAIR;
+        let per_texel_alu = ALU_PER_INSTANCE + n as u64 * (ALU_PER_PAIR + self.extra_alu);
+
+        // Same fixed batch decomposition as the interpretive dispatch: the
+        // batches depend only on the output length, and the serial fold below
+        // commits texels and op tallies in batch order.
+        let n_batches = n.div_ceil(FRAGMENT_BATCH);
+        let batches = map_indexed(par, n_batches, |b| {
+            let lo = b * FRAGMENT_BATCH;
+            let hi = (lo + FRAGMENT_BATCH).min(n);
+            let ops = ShaderOps {
+                alu: (hi - lo) as u64 * per_texel_alu,
+                fetches: (hi - lo) as u64 * per_texel_fetches,
+            };
+            let texels: Vec<[f32; 4]> = (lo..hi)
+                .map(|i| shared_eval::gpu_texel(&soa, i, l, &self.sub, inv_mass))
+                .collect();
+            (texels, ops)
+        });
+        let mut output = Texture::new(n);
+        let mut ops = ShaderOps::default();
+        let mut cursor = 0usize;
+        for (texels, batch_ops) in batches {
+            for texel in texels {
+                output.texels_mut()[cursor] = texel;
+                cursor += 1;
+            }
+            ops.alu += batch_ops.alu;
+            ops.fetches += batch_ops.fetches;
+        }
+        device.finish_dispatch(output, ops)
     }
 }
 
@@ -285,6 +358,46 @@ mod tests {
         // Past r₀: the Morse well pulls atom 0 toward atom 1 (+x).
         assert!(a0[0] > 0.0, "got {a0:?}");
         assert!(a0[3] < 0.0, "bound pair has negative PE: {a0:?}");
+    }
+
+    /// The physics-once contract at the dispatch level: the shared-eval
+    /// replay produces the same texels, op tally, and charged seconds as the
+    /// interpretive per-pair walk — bit for bit — for every scenario flavor,
+    /// at an output length that exercises a partial fragment batch.
+    #[test]
+    fn shared_dispatch_is_bitwise_identical() {
+        use md_core::scenario::PrecisionPolicy;
+        let n = FRAGMENT_BATCH + 44;
+        let pts: Vec<[f32; 3]> = (0..n)
+            .map(|i| {
+                let t = i as f32;
+                [
+                    (t * 0.37).rem_euclid(6.0),
+                    (t * 0.73 + 1.1).rem_euclid(6.0),
+                    (t * 1.19 + 2.3).rem_euclid(6.0),
+                ]
+            })
+            .collect();
+        for spec in [
+            ScenarioSpec::default(),
+            ScenarioSpec::morse_nvt(),
+            ScenarioSpec::default().with_precision(PrecisionPolicy::MixedF64Accumulate),
+        ] {
+            let sub: Substrate<f32> = spec.substrate(2.5);
+            let mut dev = GpuDevice::geforce_7900gtx();
+            dev.compile(LjAccelShader::constants(6.0, 0.5, &sub));
+            let tex = Texture::from_xyz(&pts);
+            let shader = LjAccelShader::new(n, sub);
+            let interp = dev.dispatch(&shader, &[&tex], n);
+            for threads in [1usize, 2, 8] {
+                let shared = shader.dispatch_shared(&dev, &tex, HostParallelism::Threads(threads));
+                assert_eq!(shared.output.texels(), interp.output.texels(), "{threads}");
+                assert_eq!(shared.ops.alu, interp.ops.alu);
+                assert_eq!(shared.ops.fetches, interp.ops.fetches);
+                assert_eq!(shared.shader_seconds, interp.shader_seconds);
+                assert_eq!(shared.overhead_seconds, interp.overhead_seconds);
+            }
+        }
     }
 
     #[test]

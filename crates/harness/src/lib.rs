@@ -34,8 +34,8 @@ pub use experiments::{
     fig5, fig6, fig7, fig8, fig9, table1, Fig5Row, Fig6Case, Fig7Row, Fig8Row, Fig9Row, Table1Data,
 };
 pub use perf::{
-    cell_metrics, cluster_ledger, cluster_metrics, device_ledger, device_metrics,
-    device_metrics_host, device_metrics_par, gpu_metrics, mta_metrics,
+    cell_metrics, cluster_ledger, cluster_metrics, device_baseline_metrics_host, device_ledger,
+    device_metrics, device_metrics_host, device_metrics_par, gpu_metrics, mta_metrics,
     opteron_baseline_metrics_host, opteron_metrics, record_host_throughput_ledger,
     standard_metrics, workload_label, write_metrics_json, write_metrics_json_in,
 };

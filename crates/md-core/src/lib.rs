@@ -48,6 +48,7 @@ pub mod parallel;
 pub mod params;
 pub mod rng;
 pub mod scenario;
+pub mod shared_eval;
 pub mod sim;
 pub mod system;
 pub mod thermostat;

@@ -418,6 +418,11 @@ impl OpteronCpu {
         // the lane count only shapes the wall-clock overlap.
         let row_lanes = par.threads().saturating_sub(1).max(1);
         let chunk = n.div_ceil(row_lanes).max(1);
+        // Hoisted before lane construction: `self.trace_memo` is mutably
+        // borrowed into the trace lane, so the rows arm reads a copy. When the
+        // memo is on, rows go through the shared wide evaluator — bitwise
+        // identical to [`gather_row`] per the shared-eval contract.
+        let eval_memo = self.trace_memo_enabled;
         let mut lanes: Vec<Lane<'_>> = Vec::with_capacity(row_lanes + 1);
         lanes.push(Lane::Trace {
             h: &mut self.hierarchy,
@@ -498,7 +503,13 @@ impl OpteronCpu {
             }
             Lane::Rows { lo, hi } => LaneOut::Rows(
                 (*lo..*hi)
-                    .map(|i| gather_row(&soa, i, l, sub, inv_m))
+                    .map(|i| {
+                        if eval_memo {
+                            md_core::shared_eval::host_row(&soa, i, l, sub, inv_m)
+                        } else {
+                            gather_row(&soa, i, l, sub, inv_m)
+                        }
+                    })
                     .collect(),
             ),
         });

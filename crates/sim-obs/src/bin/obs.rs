@@ -5,7 +5,7 @@
 //! obs diff <a.jsonl> <b.jsonl>                     compare two ledgers
 //! obs export <ledger.jsonl> --chrome <out.json>    Chrome trace export
 //! obs export <ledger.jsonl> --prom <out.prom>      Prometheus textfile
-//! obs check <ledger.jsonl> --bench <BENCH_host.json> [--tol <rel>]
+//! obs check <ledger.jsonl> --bench <BENCH_host.json> [--device <label>] [--tol <rel>]
 //! obs validate <ledger.jsonl>                      schema check only
 //! ```
 //!
@@ -276,17 +276,23 @@ fn export(args: &[String]) -> Result<i32, String> {
 }
 
 fn check(args: &[String]) -> Result<i32, String> {
-    let usage = "usage: obs check <ledger.jsonl> --bench <BENCH_host.json> [--tol <rel>]";
+    let usage =
+        "usage: obs check <ledger.jsonl> --bench <BENCH_host.json> [--device <label>] [--tol <rel>]";
     let Some(path) = args.first() else {
         return Err(usage.to_string());
     };
     let mut bench_path: Option<&str> = None;
+    let mut device: Option<&str> = None;
     let mut tolerance = 0.5;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
             "--bench" => {
                 bench_path = Some(args.get(i + 1).ok_or("--bench needs a path")?);
+                i += 2;
+            }
+            "--device" => {
+                device = Some(args.get(i + 1).ok_or("--device needs a label")?);
                 i += 2;
             }
             "--tol" => {
@@ -304,7 +310,7 @@ fn check(args: &[String]) -> Result<i32, String> {
     let ledger = load_ledger(path)?;
     let bench =
         std::fs::read_to_string(bench_path).map_err(|e| format!("read {bench_path}: {e}"))?;
-    let baseline = parse_host_baseline(&bench)?;
+    let baseline = parse_host_baseline(&bench, device)?;
     let results = check_ledger(&ledger, baseline, tolerance)?;
     println!(
         "checking {} against {} (tolerance {tolerance})",

@@ -52,12 +52,59 @@ pub struct HostBaseline {
 }
 
 /// Extract the best measured row (lowest wall) from `BENCH_host.json` text.
-pub fn parse_host_baseline(bench_json: &str) -> Result<HostBaseline, String> {
+///
+/// Understands both schema versions: v1 carries a single top-level `runs`
+/// array (one Opteron workload), v2 a `devices` array with per-device
+/// `runs`. `device` selects which v2 section to read; it is required when
+/// the file has more than one device and must match a recorded label. A v1
+/// file has exactly one (implicit) device, so any `device` value is
+/// accepted there — the caller is naming the run it measured, and a v1
+/// file has nothing to cross-check it against.
+pub fn parse_host_baseline(bench_json: &str, device: Option<&str>) -> Result<HostBaseline, String> {
     let doc = parse_json(bench_json).map_err(|e| format!("BENCH_host.json: {e}"))?;
-    let runs = doc
+    if let Some(runs) = doc.get("runs").and_then(JsonValue::as_array) {
+        return best_row(runs);
+    }
+    let devices = doc
+        .get("devices")
+        .and_then(JsonValue::as_array)
+        .ok_or("BENCH_host.json missing runs (schema v1) or devices (schema v2) array")?;
+    let labels: Vec<&str> = devices
+        .iter()
+        .map(|d| {
+            d.get("device")
+                .and_then(JsonValue::as_str)
+                .ok_or("device entry missing device label")
+        })
+        .collect::<Result<_, _>>()?;
+    let picked = match device {
+        Some(want) => devices
+            .iter()
+            .zip(&labels)
+            .find(|(_, label)| **label == want)
+            .map(|(d, _)| d)
+            .ok_or_else(|| {
+                format!(
+                    "BENCH_host.json has no device {want:?} (known: {})",
+                    labels.join(", ")
+                )
+            })?,
+        None if devices.len() == 1 => &devices[0],
+        None => {
+            return Err(format!(
+                "BENCH_host.json records multiple devices ({}); pass --device to pick one",
+                labels.join(", ")
+            ))
+        }
+    };
+    let runs = picked
         .get("runs")
         .and_then(JsonValue::as_array)
-        .ok_or("BENCH_host.json missing runs array")?;
+        .ok_or("device entry missing runs array")?;
+    best_row(runs)
+}
+
+fn best_row(runs: &[JsonValue]) -> Result<HostBaseline, String> {
     let mut best: Option<HostBaseline> = None;
     for run in runs {
         let wall = run
@@ -134,6 +181,29 @@ mod tests {
       ]
     }"#;
 
+    const BENCH_V2: &str = r#"{
+      "schema_version": 2,
+      "devices": [
+        {
+          "device": "opteron",
+          "sim_seconds": 1.5,
+          "baseline": {"label": "serial, eval memo off", "host_wall_seconds": 0.9, "host_atom_steps_per_s": 20000.0},
+          "runs": [
+            {"host_threads": 1, "host_wall_seconds": 0.2, "host_atom_steps_per_s": 100000.0},
+            {"host_threads": 2, "host_wall_seconds": 0.4, "host_atom_steps_per_s": 50000.0}
+          ]
+        },
+        {
+          "device": "gpu-7900gtx",
+          "sim_seconds": 0.3,
+          "baseline": {"label": "serial, eval memo off", "host_wall_seconds": 0.5, "host_atom_steps_per_s": 40000.0},
+          "runs": [
+            {"host_threads": 1, "host_wall_seconds": 0.1, "host_atom_steps_per_s": 200000.0}
+          ]
+        }
+      ]
+    }"#;
+
     fn timed_ledger(wall: f64, tput: f64) -> RunLedger {
         let mut l = RunLedger::new("opteron", "2048 x 10");
         l.host_value("harness", "host_wall_seconds", wall, "s");
@@ -143,21 +213,53 @@ mod tests {
 
     #[test]
     fn baseline_picks_lowest_wall_row() {
-        let b = parse_host_baseline(BENCH).expect("parses");
+        let b = parse_host_baseline(BENCH, None).expect("parses");
         assert_eq!(b.wall_seconds, 0.2);
         assert_eq!(b.atom_steps_per_s, 100_000.0);
     }
 
     #[test]
+    fn v1_accepts_any_device_name() {
+        // A v1 file has one implicit device; the filter has nothing to
+        // cross-check, so it picks the same rows.
+        let b = parse_host_baseline(BENCH, Some("opteron")).expect("parses");
+        assert_eq!(b.wall_seconds, 0.2);
+    }
+
+    #[test]
+    fn v2_selects_the_named_device_row() {
+        let b = parse_host_baseline(BENCH_V2, Some("opteron")).expect("parses");
+        assert_eq!(b.wall_seconds, 0.2);
+        assert_eq!(b.atom_steps_per_s, 100_000.0);
+        let g = parse_host_baseline(BENCH_V2, Some("gpu-7900gtx")).expect("parses");
+        assert_eq!(g.wall_seconds, 0.1);
+        assert_eq!(g.atom_steps_per_s, 200_000.0);
+    }
+
+    #[test]
+    fn v2_multi_device_requires_the_filter() {
+        let err = parse_host_baseline(BENCH_V2, None).unwrap_err();
+        assert!(err.contains("--device"), "{err}");
+        assert!(err.contains("gpu-7900gtx"), "{err}");
+    }
+
+    #[test]
+    fn v2_unknown_device_lists_known_labels() {
+        let err = parse_host_baseline(BENCH_V2, Some("mta2-full-mt")).unwrap_err();
+        assert!(err.contains("mta2-full-mt"), "{err}");
+        assert!(err.contains("opteron"), "{err}");
+    }
+
+    #[test]
     fn within_tolerance_passes() {
-        let b = parse_host_baseline(BENCH).unwrap();
+        let b = parse_host_baseline(BENCH, None).unwrap();
         let results = check_ledger(&timed_ledger(0.25, 90_000.0), b, 0.5).expect("checks");
         assert!(results.iter().all(|r| !r.regressed), "{results:?}");
     }
 
     #[test]
     fn slow_wall_clock_regresses() {
-        let b = parse_host_baseline(BENCH).unwrap();
+        let b = parse_host_baseline(BENCH, None).unwrap();
         let results = check_ledger(&timed_ledger(0.31, 90_000.0), b, 0.5).expect("checks");
         assert!(results[0].regressed, "{results:?}");
         assert!(!results[1].regressed);
@@ -166,14 +268,14 @@ mod tests {
 
     #[test]
     fn low_throughput_regresses() {
-        let b = parse_host_baseline(BENCH).unwrap();
+        let b = parse_host_baseline(BENCH, None).unwrap();
         let results = check_ledger(&timed_ledger(0.25, 10_000.0), b, 0.5).expect("checks");
         assert!(results[1].regressed, "{results:?}");
     }
 
     #[test]
     fn untimed_ledger_is_an_error() {
-        let b = parse_host_baseline(BENCH).unwrap();
+        let b = parse_host_baseline(BENCH, None).unwrap();
         let l = RunLedger::new("opteron", "2048 x 10");
         assert!(check_ledger(&l, b, 0.5).is_err());
     }

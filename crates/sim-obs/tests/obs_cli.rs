@@ -28,6 +28,29 @@ const BENCH: &str = r#"{
   ]
 }"#;
 
+/// A schema-v2 bench file (per-device sections, the bench_seed output shape).
+const BENCH_V2: &str = r#"{
+  "schema_version": 2,
+  "devices": [
+    {
+      "device": "opteron",
+      "sim_seconds": 1.5,
+      "baseline": {"label": "serial, eval memo off", "host_wall_seconds": 0.9, "host_atom_steps_per_s": 20000.0},
+      "runs": [
+        {"host_threads": 1, "host_wall_seconds": 0.2, "host_atom_steps_per_s": 100000.0}
+      ]
+    },
+    {
+      "device": "gpu-7900gtx",
+      "sim_seconds": 0.3,
+      "baseline": {"label": "serial, eval memo off", "host_wall_seconds": 0.5, "host_atom_steps_per_s": 40000.0},
+      "runs": [
+        {"host_threads": 1, "host_wall_seconds": 0.02, "host_atom_steps_per_s": 1000000.0}
+      ]
+    }
+  ]
+}"#;
+
 fn timed_ledger(wall: f64, tput: f64) -> String {
     let mut l = RunLedger::new("opteron", "2048 atoms x 10 steps");
     l.device_phases("opteron", &[("compute", 0.3), ("memory_stall", 0.1)]);
@@ -69,6 +92,53 @@ fn check_passes_within_tolerance_and_gates_seeded_regression() {
     assert_eq!(out.status.code(), Some(2), "{out:?}");
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("regression"), "{stderr}");
+}
+
+#[test]
+fn check_device_filter_selects_the_matching_v2_row() {
+    let dir = scratch_dir();
+    let bench = dir.join("BENCH_host_v2.json");
+    std::fs::write(&bench, BENCH_V2).unwrap();
+    let ledger = dir.join("run.jsonl");
+    std::fs::write(&ledger, timed_ledger(0.25, 90_000.0)).unwrap();
+
+    // Against the opteron row (0.2s reference) the run passes at tol 0.5...
+    let out = obs(&[
+        "check",
+        ledger.to_str().unwrap(),
+        "--bench",
+        bench.to_str().unwrap(),
+        "--device",
+        "opteron",
+        "--tol",
+        "0.5",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+
+    // ...but the same measurement is a seeded regression against the much
+    // faster gpu row — proof the filter switched reference rows.
+    let out = obs(&[
+        "check",
+        ledger.to_str().unwrap(),
+        "--bench",
+        bench.to_str().unwrap(),
+        "--device",
+        "gpu-7900gtx",
+        "--tol",
+        "0.5",
+    ]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+
+    // Multi-device file without a filter is a usage error, not a pass.
+    let out = obs(&[
+        "check",
+        ledger.to_str().unwrap(),
+        "--bench",
+        bench.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--device"), "{stderr}");
 }
 
 #[test]

@@ -5,23 +5,26 @@
 //!   order. Run from the repo root after any intentional cost-model change
 //!   and commit the result; CI and reviewers diff against it to catch
 //!   unintended timing drift.
-//! - `BENCH_host.json` — the *host wall-clock* snapshot for a single
-//!   Opteron-reference run (2048 atoms × 10 steps) at host thread counts
-//!   {1, 2, 4, 8}, with speedups against the memo-off serial baseline.
-//!   Simulated results are bitwise identical across every row; only wall
-//!   time varies, so this file is provenance (which host, how fast), not a
+//! - `BENCH_host.json` — the *host wall-clock* snapshot for every device
+//!   (Cell best-config, GPU, MTA full-MT, Opteron) at the reference
+//!   workload (2048 atoms × 10 steps): a memo-off serial baseline plus
+//!   memoized rows at host thread counts {1, 2, 4, 8}, with speedups
+//!   against each device's own baseline (DESIGN.md §17). Simulated results
+//!   are bitwise identical across every row of a device; only wall time
+//!   varies, so this file is provenance (which host, how fast), not a
 //!   CI-diffable artifact.
 //!
-//! Each invocation also *appends* the best host row to
+//! Each invocation also *appends* one best host row per device to
 //! `BENCH_trajectory.json` (schema-versioned, append-only), so the repo
 //! accumulates a performance history across PRs instead of overwriting a
 //! single snapshot. `obs check` gates regressions against `BENCH_host.json`;
 //! the trajectory is the longitudinal record behind that gate.
 
 use harness::experiments::PAPER_STEPS;
+use harness::DeviceKind;
 use md_core::device::HostParallelism;
 use md_core::params::SimConfig;
-use sim_sweep::figures::HostBenchRun;
+use sim_sweep::figures::{DeviceHostBench, HostBenchRun};
 use sim_sweep::{figures, run_sweep, spec, EngineConfig, SweepError};
 use std::process::ExitCode;
 
@@ -51,17 +54,20 @@ fn run() -> Result<(), SweepError> {
         PAPER_STEPS
     );
     cluster_bench()?;
-    let entry = host_bench()?;
-    append_trajectory(entry)
+    let entries = host_bench()?;
+    append_trajectory(entries)
 }
 
-/// Append the host bench's best row to the cross-PR performance history.
+/// Append each device's best host row to the cross-PR performance history.
 /// The timestamp is stamped inside `sim-obs` (the observer layer owns the
 /// stack's only `SystemTime` call).
-fn append_trajectory(entry: sim_obs::TrajectoryEntry) -> Result<(), SweepError> {
+fn append_trajectory(entries: Vec<sim_obs::TrajectoryEntry>) -> Result<(), SweepError> {
     let path = std::path::Path::new("BENCH_trajectory.json");
-    sim_obs::append_entry(path, entry).map_err(std::io::Error::other)?;
-    println!("appended BENCH_trajectory.json entry");
+    let count = entries.len();
+    for entry in entries {
+        sim_obs::append_entry(path, entry).map_err(std::io::Error::other)?;
+    }
+    println!("appended {count} BENCH_trajectory.json entries");
     Ok(())
 }
 
@@ -70,12 +76,9 @@ fn append_trajectory(entry: sim_obs::TrajectoryEntry) -> Result<(), SweepError> 
 /// from the same result cache).
 fn cluster_bench() -> Result<(), SweepError> {
     let cfg = EngineConfig::default();
-    let strong = sim_sweep::run_cluster_sweep(
-        &sim_sweep::strong_scaling(harness::DeviceKind::Opteron),
-        &cfg,
-    )?;
-    let weak =
-        sim_sweep::run_cluster_sweep(&sim_sweep::weak_scaling(harness::DeviceKind::Opteron), &cfg)?;
+    let strong =
+        sim_sweep::run_cluster_sweep(&sim_sweep::strong_scaling(DeviceKind::Opteron), &cfg)?;
+    let weak = sim_sweep::run_cluster_sweep(&sim_sweep::weak_scaling(DeviceKind::Opteron), &cfg)?;
     let json = sim_sweep::bench_cluster_json(&strong, &weak);
     std::fs::write("BENCH_cluster.json", &json)?;
     println!(
@@ -112,10 +115,28 @@ fn best_of(
     ))
 }
 
-fn host_bench() -> Result<sim_obs::TrajectoryEntry, SweepError> {
-    let sim = SimConfig::reduced_lj(HOST_BENCH_ATOMS);
+/// The devices the host bench covers: the paper's four ports, each with a
+/// physics-once eval memo and a memo-off interpretive baseline.
+fn host_bench_kinds() -> [DeviceKind; 4] {
+    [
+        DeviceKind::cell_best(),
+        DeviceKind::Gpu {
+            model: harness::GpuModel::GeForce7900Gtx,
+        },
+        DeviceKind::Mta {
+            mode: mta::ThreadingMode::FullyMultithreaded,
+        },
+        DeviceKind::Opteron,
+    ]
+}
+
+/// Bench one device: memo-off serial baseline plus memoized rows per host
+/// thread count, with the physics-once bitwise contract asserted between
+/// every pair of rows.
+fn host_bench_device(kind: DeviceKind, sim: &SimConfig) -> Result<DeviceHostBench, SweepError> {
+    let label = kind.label();
     let (mut baseline, base_sim_seconds) = best_of(|| {
-        harness::opteron_baseline_metrics_host(&sim, HOST_BENCH_STEPS)
+        harness::device_baseline_metrics_host(kind, sim, HOST_BENCH_STEPS, HostParallelism::Serial)
             .map(|(m, _)| m)
             .map_err(SweepError::Render)
     })?;
@@ -125,8 +146,8 @@ fn host_bench() -> Result<sim_obs::TrajectoryEntry, SweepError> {
     for t in [1usize, 2, 4, 8] {
         let (mut r, sim_seconds) = best_of(|| {
             harness::device_metrics_host(
-                harness::DeviceKind::Opteron,
-                &sim,
+                kind,
+                sim,
                 HOST_BENCH_STEPS,
                 HostParallelism::from_threads(t),
             )
@@ -134,57 +155,72 @@ fn host_bench() -> Result<sim_obs::TrajectoryEntry, SweepError> {
             .map_err(SweepError::Render)
         })?;
         r.host_threads = t;
-        // The whole point of the document: every configuration simulates
-        // the identical run.
+        // The whole point of the document: every configuration — memo on or
+        // off, at any thread count — simulates the identical run.
         assert_eq!(
             sim_seconds.to_bits(),
             base_sim_seconds.to_bits(),
-            "threads={t}: simulated seconds drifted from the baseline"
+            "{label} threads={t}: simulated seconds drifted from the memo-off baseline"
         );
         runs.push(r);
+    }
+    let best = runs
+        .iter()
+        .map(|r| baseline.wall_seconds / r.wall_seconds)
+        .fold(0.0f64, f64::max);
+    println!(
+        "  {label}: baseline {:.3}s, best single-run speedup {best:.2}x",
+        baseline.wall_seconds
+    );
+    Ok(DeviceHostBench {
+        device: label,
+        sim_seconds: base_sim_seconds,
+        baseline,
+        runs,
+    })
+}
+
+fn host_bench() -> Result<Vec<sim_obs::TrajectoryEntry>, SweepError> {
+    let sim = SimConfig::reduced_lj(HOST_BENCH_ATOMS);
+    let mut devices = Vec::new();
+    for kind in host_bench_kinds() {
+        devices.push(host_bench_device(kind, &sim)?);
     }
 
     let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     let note = format!(
         "best of {HOST_BENCH_REPEATS} repetitions per row; measured on a {cores}-core host{}",
         if cores == 1 {
-            " (thread scaling is flat on one core: the speedup over the baseline comes from the force-evaluation replay memo and the tiled gather kernel)"
+            " (thread scaling is flat on one core: the speedup over each baseline comes from the physics-once shared evaluator)"
         } else {
             ""
         }
     );
-    let json = figures::bench_host_json(
-        HOST_BENCH_ATOMS,
-        HOST_BENCH_STEPS,
-        base_sim_seconds,
-        baseline,
-        &runs,
-        &note,
-    );
+    let json = figures::bench_host_json(HOST_BENCH_ATOMS, HOST_BENCH_STEPS, &devices, &note);
     std::fs::write("BENCH_host.json", &json)?;
-    let best = runs
+    println!("wrote BENCH_host.json ({} devices)", devices.len());
+
+    Ok(devices
         .iter()
-        .map(|r| baseline.wall_seconds / r.wall_seconds)
-        .fold(0.0f64, f64::max);
-    println!(
-        "wrote BENCH_host.json (baseline {:.3}s, best single-run speedup {best:.2}x)",
-        baseline.wall_seconds
-    );
-    let best_run = runs
-        .iter()
-        .min_by(|a, b| a.wall_seconds.total_cmp(&b.wall_seconds))
-        .expect("at least one host-thread row ran");
-    Ok(sim_obs::TrajectoryEntry {
-        recorded_unix_s: 0, // stamped at append time
-        device: "opteron".to_string(),
-        n_atoms: HOST_BENCH_ATOMS as u64,
-        steps: HOST_BENCH_STEPS as u64,
-        sim_seconds: base_sim_seconds,
-        host_wall_seconds: best_run.wall_seconds,
-        host_atom_steps_per_s: best_run.atom_steps_per_s,
-        note: format!(
-            "bench_seed host bench, best of {HOST_BENCH_REPEATS} repetitions at host_threads={}",
-            best_run.host_threads
-        ),
-    })
+        .map(|dev| {
+            let best_run = dev
+                .runs
+                .iter()
+                .min_by(|a, b| a.wall_seconds.total_cmp(&b.wall_seconds))
+                .expect("at least one host-thread row ran");
+            sim_obs::TrajectoryEntry {
+                recorded_unix_s: 0, // stamped at append time
+                device: dev.device.clone(),
+                n_atoms: HOST_BENCH_ATOMS as u64,
+                steps: HOST_BENCH_STEPS as u64,
+                sim_seconds: dev.sim_seconds,
+                host_wall_seconds: best_run.wall_seconds,
+                host_atom_steps_per_s: best_run.atom_steps_per_s,
+                note: format!(
+                    "bench_seed host bench, best of {HOST_BENCH_REPEATS} repetitions at host_threads={}",
+                    best_run.host_threads
+                ),
+            }
+        })
+        .collect())
 }

@@ -469,8 +469,11 @@ pub fn bench_seed_json(report: &SweepReport, steps: usize) -> String {
     out
 }
 
-/// Schema of `BENCH_host.json`.
-pub const BENCH_HOST_SCHEMA_VERSION: u32 = 1;
+/// Schema of `BENCH_host.json`. Version 2 (physics-once execution,
+/// DESIGN.md §17) replaces the single Opteron `runs` array with a `devices`
+/// array carrying a memo-off baseline plus memoized thread rows for every
+/// device; `obs check` reads both versions.
+pub const BENCH_HOST_SCHEMA_VERSION: u32 = 2;
 
 /// One measured wall-clock point for [`bench_host_json`]: how fast the host
 /// executed the reference workload in one configuration.
@@ -485,62 +488,93 @@ pub struct HostBenchRun {
     pub atom_steps_per_s: f64,
 }
 
-/// The `BENCH_host.json` document: host wall-clock for one Opteron-reference
-/// run per thread count, with speedups against the memo-off serial baseline.
+/// One device's section of `BENCH_host.json`: its simulated clock for the
+/// workload, the memo-off (interpretive per-pair path) serial baseline, and
+/// the memoized shared-eval rows per host thread count.
+#[derive(Clone, Debug)]
+pub struct DeviceHostBench {
+    /// Device label ([`harness::DeviceKind::label`] grammar).
+    pub device: String,
+    /// Simulated seconds — bitwise identical across every row of this
+    /// device, baseline included (the physics-once contract).
+    pub sim_seconds: f64,
+    /// Serial run with the device's eval memo disabled.
+    pub baseline: HostBenchRun,
+    /// Memoized runs, one per host thread count.
+    pub runs: Vec<HostBenchRun>,
+}
+
+/// The `BENCH_host.json` document: host wall-clock per device per host
+/// thread count, with speedups against each device's own memo-off serial
+/// baseline.
 ///
-/// Simulated results are bitwise identical across every row (the
-/// host-parallel contract, `tests/host_parallel.rs`); this document records
+/// Simulated results are bitwise identical across every row of a device
+/// (the host-parallel contract, `tests/host_parallel.rs`, and the
+/// physics-once contract, `tests/shared_eval.rs`); this document records
 /// the only quantity that *does* change between configurations — and
 /// between hosts, which is why the recorded numbers are a provenance
 /// snapshot, not a CI-diffable baseline like `BENCH_seed.json`.
 pub fn bench_host_json(
     n_atoms: usize,
     steps: usize,
-    sim_seconds: f64,
-    baseline: HostBenchRun,
-    runs: &[HostBenchRun],
+    devices: &[DeviceHostBench],
     note: &str,
 ) -> String {
-    assert!(
-        baseline.wall_seconds.is_finite() && baseline.wall_seconds > 0.0,
-        "baseline wall-clock must be positive"
-    );
     let mut out = String::from("{\n");
     let _ = writeln!(out, "  \"schema_version\": {BENCH_HOST_SCHEMA_VERSION},");
     let _ = writeln!(
         out,
-        "  \"description\": \"Host wall-clock for a single Opteron-reference run; simulated results are bitwise identical across all rows. Regenerate with the bench_seed binary.\","
+        "  \"description\": \"Host wall-clock per device; simulated results are bitwise identical across all rows of a device. Speedups are against each device's own memo-off serial baseline. Regenerate with the bench_seed binary.\","
     );
     let _ = writeln!(
         out,
-        "  \"workload\": {{\"device\": \"opteron\", \"n_atoms\": {n_atoms}, \"steps\": {steps}, \"sim_seconds\": {sim_seconds}}},"
+        "  \"workload\": {{\"n_atoms\": {n_atoms}, \"steps\": {steps}}},"
     );
     let _ = writeln!(
         out,
         "  \"note\": \"{}\",",
         mdea_trace::escape_json_string(note)
     );
-    let _ = writeln!(
-        out,
-        "  \"baseline\": {{\"label\": \"serial, replay memo off\", \"host_wall_seconds\": {}, \"host_atom_steps_per_s\": {}}},",
-        baseline.wall_seconds, baseline.atom_steps_per_s
-    );
-    out.push_str("  \"runs\": [\n");
-    for (i, r) in runs.iter().enumerate() {
+    out.push_str("  \"devices\": [\n");
+    for (d, dev) in devices.iter().enumerate() {
         assert!(
-            r.wall_seconds.is_finite() && r.wall_seconds > 0.0,
-            "threads={}: wall-clock must be positive",
-            r.host_threads
+            dev.baseline.wall_seconds.is_finite() && dev.baseline.wall_seconds > 0.0,
+            "{}: baseline wall-clock must be positive",
+            dev.device
         );
-        let comma = if i + 1 < runs.len() { "," } else { "" };
+        let _ = writeln!(out, "    {{");
         let _ = writeln!(
             out,
-            "    {{\"host_threads\": {}, \"host_wall_seconds\": {}, \"host_atom_steps_per_s\": {}, \"speedup_vs_baseline\": {}}}{comma}",
-            r.host_threads,
-            r.wall_seconds,
-            r.atom_steps_per_s,
-            baseline.wall_seconds / r.wall_seconds,
+            "      \"device\": \"{}\",",
+            mdea_trace::escape_json_string(&dev.device)
         );
+        let _ = writeln!(out, "      \"sim_seconds\": {},", dev.sim_seconds);
+        let _ = writeln!(
+            out,
+            "      \"baseline\": {{\"label\": \"serial, eval memo off\", \"host_wall_seconds\": {}, \"host_atom_steps_per_s\": {}}},",
+            dev.baseline.wall_seconds, dev.baseline.atom_steps_per_s
+        );
+        out.push_str("      \"runs\": [\n");
+        for (i, r) in dev.runs.iter().enumerate() {
+            assert!(
+                r.wall_seconds.is_finite() && r.wall_seconds > 0.0,
+                "{} threads={}: wall-clock must be positive",
+                dev.device,
+                r.host_threads
+            );
+            let comma = if i + 1 < dev.runs.len() { "," } else { "" };
+            let _ = writeln!(
+                out,
+                "        {{\"host_threads\": {}, \"host_wall_seconds\": {}, \"host_atom_steps_per_s\": {}, \"speedup_vs_baseline\": {}}}{comma}",
+                r.host_threads,
+                r.wall_seconds,
+                r.atom_steps_per_s,
+                dev.baseline.wall_seconds / r.wall_seconds,
+            );
+        }
+        let comma = if d + 1 < devices.len() { "," } else { "" };
+        let _ = writeln!(out, "      ]");
+        let _ = writeln!(out, "    }}{comma}");
     }
     out.push_str("  ]\n}\n");
     out

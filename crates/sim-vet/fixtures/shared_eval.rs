@@ -1,0 +1,21 @@
+//! vet-path: crates/md-core/src/shared_eval.rs
+//!
+//! Seeded eval-purity violations: the shared evaluator charging costs.
+//! Physics-once execution (DESIGN.md §17) only stays bitwise-safe if the
+//! shared kernel computes physics and nothing else — simulated time charged
+//! here would be double-counted into every device that replays the result.
+
+pub fn row(spe: &mut Spe, r2: f32) -> f32 {
+    spe.charge(4.0); // vet-expect(eval-purity)
+    1.0 / r2
+}
+
+pub fn slice(s: &mut Session) -> f64 {
+    s.charge_cycles(4, 7) // vet-expect(eval-purity)
+}
+
+/// Pure physics is the sanctioned shape: the caller's replay layer charges.
+pub fn pair_energy(inv_r2: f32) -> f32 {
+    let s6 = inv_r2 * inv_r2 * inv_r2;
+    s6 * (s6 - 1.0)
+}

@@ -10,6 +10,7 @@
 //! [package.metadata.simvet]
 //! profile = "device"               # device|observer|engine|core|host|exempt
 //! f32-kernel-modules = ["src/kernel.rs"]   # precision-discipline targets
+//! shared-eval-modules = ["src/shared_eval.rs"]   # eval-purity targets
 //! ```
 //!
 //! A member with *no* profile is itself a finding: new crates must opt into
@@ -73,6 +74,9 @@ pub struct Target {
     pub bad_profile: Option<String>,
     /// Workspace-relative paths of declared f32 kernel modules.
     pub f32_kernel_modules: Vec<String>,
+    /// Workspace-relative paths of declared shared-eval modules
+    /// (eval-purity targets: physics only, no cost charging).
+    pub shared_eval_modules: Vec<String>,
 }
 
 /// Discover every scan target under `root`. Falls back to "scan everything
@@ -107,20 +111,22 @@ fn target_from_manifest(_root: &Path, dir: &str, manifest: &str) -> Target {
         },
         None => (None, None),
     };
-    let f32_kernel_modules = meta
-        .as_deref()
-        .map(|t| {
-            array_value(t, "f32-kernel-modules")
-                .into_iter()
-                .map(|m| join_rel(dir, &m))
-                .collect()
-        })
-        .unwrap_or_default();
+    let module_list = |key: &str| -> Vec<String> {
+        meta.as_deref()
+            .map(|t| {
+                array_value(t, key)
+                    .into_iter()
+                    .map(|m| join_rel(dir, &m))
+                    .collect()
+            })
+            .unwrap_or_default()
+    };
     Target {
         dir: dir.to_string(),
         profile,
         bad_profile,
-        f32_kernel_modules,
+        f32_kernel_modules: module_list("f32-kernel-modules"),
+        shared_eval_modules: module_list("shared-eval-modules"),
     }
 }
 

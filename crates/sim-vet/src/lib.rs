@@ -136,7 +136,11 @@ fn rules_for_path(targets: &[Target], rel_path: &str) -> Vec<Rule> {
         return Vec::new();
     }
     match target.profile {
-        Some(p) => profile_rules(p, target.f32_kernel_modules.iter().any(|m| m == rel_path)),
+        Some(p) => profile_rules(
+            p,
+            target.f32_kernel_modules.iter().any(|m| m == rel_path),
+            target.shared_eval_modules.iter().any(|m| m == rel_path),
+        ),
         None => Vec::new(),
     }
 }
@@ -448,6 +452,7 @@ impl DeviceKind {
             profile: None,
             bad_profile: None,
             f32_kernel_modules: Vec::new(),
+            shared_eval_modules: Vec::new(),
         }];
         let sources = vec![(
             "crates/newthing/src/lib.rs".to_string(),

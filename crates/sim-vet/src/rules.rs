@@ -28,6 +28,7 @@ pub enum Rule {
     PanicDiscipline,
     CostConservation,
     ObserverPurity,
+    EvalPurity,
     CacheToken,
     IterationOrder,
     SimTimeUnits,
@@ -36,12 +37,13 @@ pub enum Rule {
 }
 
 impl Rule {
-    pub const ALL: [Rule; 10] = [
+    pub const ALL: [Rule; 11] = [
         Rule::PrecisionDiscipline,
         Rule::Determinism,
         Rule::PanicDiscipline,
         Rule::CostConservation,
         Rule::ObserverPurity,
+        Rule::EvalPurity,
         Rule::CacheToken,
         Rule::IterationOrder,
         Rule::SimTimeUnits,
@@ -57,6 +59,7 @@ impl Rule {
             Rule::PanicDiscipline => "panic-discipline",
             Rule::CostConservation => "cost-conservation",
             Rule::ObserverPurity => "observer-purity",
+            Rule::EvalPurity => "eval-purity",
             Rule::CacheToken => "cache-token",
             Rule::IterationOrder => "iteration-order",
             Rule::SimTimeUnits => "sim-time-units",
@@ -82,6 +85,9 @@ impl Rule {
             }
             Rule::ObserverPurity => {
                 "the observability layer observes costs and never charges them"
+            }
+            Rule::EvalPurity => {
+                "shared-eval modules evaluate physics only and never charge costs"
             }
             Rule::CacheToken => {
                 "every cost-model field reachable from DeviceKind is encoded in cache_token()"
@@ -149,8 +155,14 @@ impl FileContext<'_> {
 }
 
 /// Which per-file rules a profile applies to a crate-`src` file.
-pub fn profile_rules(profile: Profile, is_f32_kernel: bool) -> Vec<Rule> {
+pub fn profile_rules(profile: Profile, is_f32_kernel: bool, is_shared_eval: bool) -> Vec<Rule> {
     let mut rules = Vec::new();
+    // Physics-once execution (DESIGN.md §17): a declared shared-eval module
+    // computes physics and nothing else, whatever its crate's profile — cost
+    // interpretation belongs to each device's replay layer.
+    if is_shared_eval {
+        rules.push(Rule::EvalPurity);
+    }
     match profile {
         Profile::Device => {
             if is_f32_kernel {
@@ -216,6 +228,13 @@ pub fn builtin_profile(rel_path: &str) -> (Profile, bool) {
     (profile, F32_KERNEL_MODULES.contains(&rel_path))
 }
 
+/// Built-in shared-eval module list, mirroring the shipped
+/// `shared-eval-modules` metadata entries (see [`builtin_profile`]).
+pub fn builtin_shared_eval(rel_path: &str) -> bool {
+    const SHARED_EVAL_MODULES: &[&str] = &["crates/md-core/src/shared_eval.rs"];
+    SHARED_EVAL_MODULES.contains(&rel_path)
+}
+
 /// Which rules apply to a workspace-relative path under the built-in
 /// fallback scoping. Invariant rules bind shipping code (`…/src/…`) only.
 pub fn applicable_rules(rel_path: &str) -> Vec<Rule> {
@@ -223,7 +242,7 @@ pub fn applicable_rules(rel_path: &str) -> Vec<Rule> {
         return Vec::new();
     }
     let (profile, f32) = builtin_profile(rel_path);
-    profile_rules(profile, f32)
+    profile_rules(profile, f32, builtin_shared_eval(rel_path))
 }
 
 /// Run one per-file rule.
@@ -239,6 +258,7 @@ pub fn check_rule(
         Rule::PanicDiscipline => check_panic(ctx, out),
         Rule::CostConservation => check_cost_conservation(ctx, out),
         Rule::ObserverPurity => check_observer_purity(ctx, out),
+        Rule::EvalPurity => check_eval_purity(ctx, out),
         Rule::IterationOrder => check_iteration_order(ctx, symbols, out),
         Rule::SimTimeUnits => check_sim_time_units(ctx, out),
         // Workspace-level rules are driven by `lib.rs`, not per file.
@@ -475,8 +495,10 @@ fn split_params(params: &str) -> Vec<String> {
 // ---------------------------------------------------------------------------
 // observer-purity
 
-/// Cost-charging device/clock API calls the observability layer must never
-/// make (counters-on must stay bitwise-identical to counters-off).
+/// Cost-charging device/clock API calls that observability *and* shared-eval
+/// modules must never make (counters-on must stay bitwise-identical to
+/// counters-off; the shared evaluator computes physics once, costs are
+/// replayed per device).
 const COST_CHARGING_CALLS: &[&str] = &[
     "charge_cycles",
     "advance_cycles",
@@ -490,6 +512,27 @@ const COST_CHARGING_CALLS: &[&str] = &[
 ];
 
 fn check_observer_purity(ctx: &FileContext<'_>, out: &mut Vec<Finding>) {
+    check_cost_charging(
+        ctx,
+        Rule::ObserverPurity,
+        "in the observability layer — observers watch costs, they never charge them",
+        out,
+    );
+}
+
+/// Physics-once execution (DESIGN.md §17): a shared-eval module computes
+/// each evaluation's physics exactly once; charging simulated time or cycles
+/// there would double-count it into every device that replays the result.
+fn check_eval_purity(ctx: &FileContext<'_>, out: &mut Vec<Finding>) {
+    check_cost_charging(
+        ctx,
+        Rule::EvalPurity,
+        "in a shared-eval module — the shared evaluator computes physics once; cost interpretation belongs to each device's replay layer",
+        out,
+    );
+}
+
+fn check_cost_charging(ctx: &FileContext<'_>, rule: Rule, why: &str, out: &mut Vec<Finding>) {
     let n = ctx.code.len();
     for ci in 0..n {
         if ci + 2 < n
@@ -497,24 +540,14 @@ fn check_observer_purity(ctx: &FileContext<'_>, out: &mut Vec<Finding>) {
             && ctx.is_ident(ci + 1, "charge")
             && ctx.is_punct(ci + 2, "(")
         {
-            ctx.emit(
-                out,
-                Rule::ObserverPurity,
-                ci + 1,
-                "`.charge()` in the observability layer — observers watch costs, they never charge them".into(),
-            );
+            ctx.emit(out, rule, ci + 1, format!("`.charge()` {why}"));
         }
         if ci + 1 < n && ctx.is_punct(ci + 1, "(") {
             let tok = ctx.tok(ci);
             if tok.kind == TokenKind::Ident {
                 let t = tok.text(ctx.src);
                 if COST_CHARGING_CALLS.contains(&t) {
-                    ctx.emit(
-                        out,
-                        Rule::ObserverPurity,
-                        ci,
-                        format!("`{t}()` in the observability layer — observers watch costs, they never charge them"),
-                    );
+                    ctx.emit(out, rule, ci, format!("`{t}()` {why}"));
                 }
             }
         }
@@ -1010,6 +1043,28 @@ mod tests {
         );
         assert!(applicable_rules("crates/sim-sweep/src/engine.rs").contains(&Rule::Determinism));
         assert!(applicable_rules("crates/harness/src/device.rs").contains(&Rule::SimTimeUnits));
+        // The declared shared-eval module carries eval-purity on top of its
+        // crate's core profile; sibling md-core files do not.
+        assert!(applicable_rules("crates/md-core/src/shared_eval.rs").contains(&Rule::EvalPurity));
+        assert!(!applicable_rules("crates/md-core/src/lj.rs").contains(&Rule::EvalPurity));
+    }
+
+    #[test]
+    fn eval_purity_flags_cost_charging_in_shared_eval_modules() {
+        let path = "crates/md-core/src/shared_eval.rs";
+        for src in [
+            "pub fn row(spe: &mut Spe) { spe.charge(4.0); }\n",
+            "pub fn row(s: &mut Session) { s.charge_cycles(4, 3.2e9); }\n",
+            "pub fn row(g: &Gpu, t: &Texture) -> f64 { g.upload_seconds(t) }\n",
+        ] {
+            assert_eq!(check(path, src, Rule::EvalPurity).len(), 1, "{src}");
+        }
+        // Pure physics — and cost charging *outside* the shared evaluator
+        // (a device's replay layer) — are both fine.
+        let pure = "pub fn row(r2: f32) -> f32 { 1.0 / r2 }\n";
+        assert!(check(path, pure, Rule::EvalPurity).is_empty());
+        let replay = "pub fn f(spe: &mut Spe) { spe.charge(4.0); }\n";
+        assert!(check("crates/cell-be/src/kernel.rs", replay, Rule::EvalPurity).is_empty());
     }
 
     #[test]

@@ -18,7 +18,9 @@ pub mod pbc;
 mod real;
 mod simd4;
 mod vec3;
+pub mod wide;
 
 pub use real::Real;
 pub use simd4::F32x4;
 pub use vec3::Vec3;
+pub use wide::{F32x8, F64x4, Mask4, Mask8};

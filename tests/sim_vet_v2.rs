@@ -268,6 +268,16 @@ fn manifest_profiles_agree_with_builtin_fallback() {
                 "{module} lost precision-discipline"
             );
         }
+        for module in &t.shared_eval_modules {
+            assert!(
+                sim_vet::rules::builtin_shared_eval(module),
+                "builtin map misses shared-eval module {module}"
+            );
+            assert!(
+                sim_vet::applicable_rules(module).contains(&Rule::EvalPurity),
+                "{module} lost eval-purity"
+            );
+        }
     }
 }
 

@@ -146,6 +146,28 @@ fn seeded_observer_purity_violation_detected() {
 }
 
 #[test]
+fn seeded_eval_purity_violation_detected() {
+    // Physics-once execution (DESIGN.md §17): the shared evaluator computes
+    // physics only; charging simulated time there would double-count it into
+    // every device that replays the result.
+    let src = "pub fn row(spe: &mut Spe, r2: f32) -> f32 {\n    spe.charge(4.0);\n    r2\n}\n";
+    let found = scan_source("crates/md-core/src/shared_eval.rs", src);
+    assert!(
+        found
+            .iter()
+            .any(|f| f.rule == Rule::EvalPurity && f.line == 2 && !f.waived),
+        "{found:?}"
+    );
+    // Sibling md-core modules and device replay layers charge legitimately.
+    assert!(scan_source("crates/md-core/src/lj.rs", src)
+        .iter()
+        .all(|f| f.rule != Rule::EvalPurity));
+    assert!(scan_source("crates/cell-be/src/kernel.rs", src)
+        .iter()
+        .all(|f| f.rule != Rule::EvalPurity));
+}
+
+#[test]
 fn waiver_suppresses_exactly_its_rule() {
     let src = "use std::collections::HashMap; // sim-vet: allow(determinism): keyed by atom id, drained sorted\npub fn pick(v: &[f32]) -> f32 { *v.first().unwrap() }\n";
     let found = scan_source("crates/mta/src/kernel.rs", src);
